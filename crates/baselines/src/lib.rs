@@ -1,0 +1,26 @@
+//! Baseline RDF→PG transformations the paper compares against (§5, §6).
+//!
+//! Both baselines are reimplemented from their published mapping semantics
+//! so the quality analysis (Tables 6–7) can measure exactly the loss modes
+//! the paper attributes to them:
+//!
+//! * [`neosem`] — a NeoSemantics (n10s)-style importer: one node per
+//!   resource, `rdf:type`s as labels, literals as (array) node properties,
+//!   IRI objects as relationships. Loss mode: a property of one node cannot
+//!   be represented both as a relationship and as a node property, so
+//!   heterogeneous (literal + IRI) values of the *same property on the same
+//!   node* keep only the representation of the first value seen.
+//! * [`rdf2pg`] — the schema-dependent direct mapping of rdf2pg: one label
+//!   per node (the first `rdf:type`), a *global* per-predicate decision
+//!   between data property and object property (majority kind wins), and
+//!   homogeneous arrays (elements whose datatype differs from the first
+//!   value's are dropped).
+//!
+//! Each module also provides the query translation the paper uses for that
+//! tool (`UNION ALL` + `UNWIND` for NeoSemantics, see Q22 in §5.2).
+
+pub mod neosem;
+pub mod rdf2pg;
+
+pub use neosem::NeoSemantics;
+pub use rdf2pg::Rdf2Pg;

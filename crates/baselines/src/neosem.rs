@@ -1,0 +1,260 @@
+//! NeoSemantics (n10s)-style transformation.
+//!
+//! Mapping semantics (from the n10s documentation the paper cites):
+//!
+//! * every resource (IRI / blank node) becomes exactly one node, its IRI in
+//!   the `uri` property (n10s uses `uri`, not `iri`),
+//! * all `rdf:type` objects become labels (multi-label supported),
+//! * literal objects become node properties; multi-valued properties use
+//!   the `ARRAY` strategy (values accumulate),
+//! * IRI objects become relationships,
+//! * datatypes are not preserved — literal values are stored natively when
+//!   they parse, as strings otherwise.
+//!
+//! **Loss mode** (what Tables 6–7 measure): one property of one node is
+//! either a relationship or a node property, never both. When a
+//! heterogeneous property mixes literal and IRI values *on the same node*,
+//! the representation chosen for the first value wins and later values of
+//! the other kind are dropped.
+
+use s3pg_pg::{NodeId, PropertyGraph, Value};
+use s3pg_rdf::fxhash::{FxHashMap, FxHashSet};
+use s3pg_rdf::{vocab, Graph, Term};
+
+/// Property key n10s stores resource IRIs under.
+pub const URI_KEY: &str = "uri";
+
+/// The NeoSemantics-style transformer.
+#[derive(Debug, Clone, Default)]
+pub struct NeoSemantics {
+    /// Number of values dropped by the representation conflict.
+    pub dropped_values: usize,
+}
+
+/// Output of the transformation.
+#[derive(Debug, Clone)]
+pub struct NeoSemOutput {
+    pub pg: PropertyGraph,
+    /// Values lost to the per-(node, property) representation conflict.
+    pub dropped_values: usize,
+}
+
+impl NeoSemantics {
+    /// Transform an RDF graph the n10s way.
+    pub fn transform(graph: &Graph) -> NeoSemOutput {
+        let mut pg = PropertyGraph::with_capacity(graph.len() / 2, graph.len());
+        let mut nodes: FxHashMap<String, NodeId> = FxHashMap::default();
+        let mut dropped = 0usize;
+        // (node, property key) → first representation was a relationship?
+        let mut as_rel: FxHashSet<(NodeId, String)> = FxHashSet::default();
+        let mut as_prop: FxHashSet<(NodeId, String)> = FxHashSet::default();
+
+        let type_p = graph.type_predicate_opt();
+
+        let node_for = |pg: &mut PropertyGraph,
+                        nodes: &mut FxHashMap<String, NodeId>,
+                        term: Term,
+                        graph: &Graph| {
+            let reference = match term {
+                Term::Iri(s) => graph.resolve(s).to_string(),
+                Term::Blank(s) => format!("_:{}", graph.resolve(s)),
+                Term::Literal(_) => unreachable!(),
+            };
+            *nodes.entry(reference.clone()).or_insert_with(|| {
+                let id = pg.add_node(Vec::<&str>::new());
+                pg.set_prop(id, URI_KEY, Value::String(reference));
+                id
+            })
+        };
+
+        // Types → labels.
+        if let Some(type_p) = type_p {
+            for t in graph.match_pattern(None, Some(type_p), None) {
+                let Some(class) = t.o.as_iri() else { continue };
+                let node = node_for(&mut pg, &mut nodes, t.s, graph);
+                let label = vocab::local_name(graph.resolve(class)).to_string();
+                pg.add_label(node, &label);
+            }
+        }
+
+        // Properties.
+        for t in graph.triples() {
+            if Some(t.p) == type_p {
+                continue;
+            }
+            let subject = node_for(&mut pg, &mut nodes, t.s, graph);
+            let key = vocab::local_name(graph.resolve(t.p)).to_string();
+            match t.o {
+                Term::Literal(l) => {
+                    if as_rel.contains(&(subject, key.clone())) {
+                        dropped += 1; // representation conflict: lost
+                        continue;
+                    }
+                    as_prop.insert((subject, key.clone()));
+                    let value = native_value(graph.resolve(l.lexical), graph.resolve(l.datatype));
+                    pg.push_prop(subject, &key, value);
+                }
+                Term::Iri(_) | Term::Blank(_) => {
+                    if as_prop.contains(&(subject, key.clone())) {
+                        dropped += 1;
+                        continue;
+                    }
+                    as_rel.insert((subject, key.clone()));
+                    let object = node_for(&mut pg, &mut nodes, t.o, graph);
+                    pg.add_edge(subject, object, &key);
+                }
+            }
+        }
+
+        NeoSemOutput {
+            pg,
+            dropped_values: dropped,
+        }
+    }
+
+    /// The Cypher translation the paper uses for n10s graphs: relationships
+    /// `UNION ALL` unwound array properties (Q22's second listing).
+    ///
+    /// Translates `SELECT ?e ?v WHERE { ?e a <class> . ?e <pred> ?v . }`;
+    /// pass `class = None` for untyped subject queries.
+    pub fn query(class: Option<&str>, predicate: &str) -> String {
+        let key = vocab::local_name(predicate);
+        let label_part = match class {
+            Some(c) => format!(":{}", vocab::local_name(c)),
+            None => String::new(),
+        };
+        format!(
+            "MATCH (n{label_part})-[:{key}]->(tn) RETURN n.uri AS e, tn.uri AS v \
+             UNION ALL \
+             MATCH (n{label_part}) UNWIND n.{key} AS v RETURN n.uri AS e, v",
+        )
+    }
+}
+
+/// n10s stores literals natively when they parse, as strings otherwise; the
+/// datatype IRI itself is not kept.
+fn native_value(lexical: &str, datatype: &str) -> Value {
+    let typed = Value::from_xsd(lexical, datatype);
+    match typed {
+        // Dates and years have no native representation pre-Neo4j-4 n10s
+        // defaults; keep them as strings (the paper's queries compare
+        // stringified values anyway).
+        Value::Date(s) | Value::DateTime(s) => Value::String(s),
+        Value::Year(y) => Value::String(y.to_string()),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3pg_query::cypher;
+    use s3pg_rdf::parser::parse_turtle;
+
+    fn album_graph() -> Graph {
+        parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:sunrise a :Album ; :title "California Sunrise" ;
+    :writer :billy, "Tofer Brown" .
+:billy a :Person ; :name "Billy Montana" .
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_node_per_resource_with_type_labels() {
+        let out = NeoSemantics::transform(&album_graph());
+        assert_eq!(out.pg.node_count(), 2);
+        let sunrise = find_by_uri(&out.pg, "http://ex/sunrise");
+        assert!(out.pg.labels_of(sunrise).contains(&"Album"));
+    }
+
+    #[test]
+    fn literals_become_properties_iris_become_edges() {
+        let out = NeoSemantics::transform(&album_graph());
+        let sunrise = find_by_uri(&out.pg, "http://ex/sunrise");
+        assert_eq!(
+            out.pg.prop(sunrise, "title"),
+            Some(&Value::String("California Sunrise".into()))
+        );
+        assert_eq!(out.pg.edge_count(), 1);
+    }
+
+    #[test]
+    fn hetero_property_drops_conflicting_representation() {
+        // :writer on :sunrise is first an IRI (:billy in parse order?) —
+        // parse order here is :billy then "Tofer Brown", so the literal is
+        // dropped.
+        let out = NeoSemantics::transform(&album_graph());
+        assert_eq!(out.dropped_values, 1);
+        let sunrise = find_by_uri(&out.pg, "http://ex/sunrise");
+        assert_eq!(out.pg.prop(sunrise, "writer"), None);
+    }
+
+    #[test]
+    fn multi_valued_literals_accumulate_into_arrays() {
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a a :T ; :tag "x", "y", "z" .
+"#,
+        )
+        .unwrap();
+        let out = NeoSemantics::transform(&g);
+        let a = find_by_uri(&out.pg, "http://ex/a");
+        match out.pg.prop(a, "tag") {
+            Some(Value::List(items)) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(out.dropped_values, 0);
+    }
+
+    #[test]
+    fn union_all_query_reaches_both_representations() {
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a a :Album ; :writer :p1 .
+:b a :Album ; :writer "Literal Only" .
+:p1 a :Person .
+"#,
+        )
+        .unwrap();
+        let out = NeoSemantics::transform(&g);
+        let q = NeoSemantics::query(Some("http://ex/Album"), "http://ex/writer");
+        let rows = cypher::execute(&out.pg, &q).unwrap();
+        // Both albums' writers found: no same-node conflict here.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn same_node_conflict_loses_answers() {
+        let out = NeoSemantics::transform(&album_graph());
+        let q = NeoSemantics::query(Some("http://ex/Album"), "http://ex/writer");
+        let rows = cypher::execute(&out.pg, &q).unwrap();
+        // Ground truth is 2 writers; the literal one was dropped.
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn blank_nodes_are_kept_unlike_hugegraph() {
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a a :T ; :p _:b .
+"#,
+        )
+        .unwrap();
+        let out = NeoSemantics::transform(&g);
+        assert_eq!(out.pg.node_count(), 2);
+        assert_eq!(out.pg.edge_count(), 1);
+    }
+
+    fn find_by_uri(pg: &PropertyGraph, uri: &str) -> NodeId {
+        pg.node_ids()
+            .find(|&n| pg.prop(n, URI_KEY) == Some(&Value::String(uri.into())))
+            .expect("node with uri")
+    }
+}

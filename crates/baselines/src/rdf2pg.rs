@@ -1,0 +1,269 @@
+//! rdf2pg-style schema-dependent direct mapping.
+//!
+//! Mapping semantics (Angles, Thakkar, Tomaszuk — "Mapping RDF Databases to
+//! Property Graph Databases", the variant the paper evaluates):
+//!
+//! * one node per resource with a **single label**: the first `rdf:type`
+//!   (the direct database mapping is class-keyed),
+//! * a **global, schema-level decision per predicate**: a predicate whose
+//!   observed objects are mostly IRIs is an *object property* (always a
+//!   relationship), otherwise a *data property* (always a node property) —
+//!   minority-kind values are dropped,
+//! * array properties are homogeneous: elements whose parsed type differs
+//!   from the first element's are dropped.
+//!
+//! These three rules produce exactly the loss pattern of Tables 6–7: small
+//! losses on single-type queries (secondary labels gone), moderate losses
+//! on multi-type homogeneous literals (mixed-datatype arrays), and losses
+//! of up to 70% on heterogeneous queries (global representation choice).
+
+use s3pg_pg::{NodeId, PropertyGraph, Value};
+use s3pg_rdf::fxhash::{FxHashMap, FxHashSet};
+use s3pg_rdf::{vocab, Graph, Term};
+
+/// Property key rdf2pg stores resource IRIs under.
+pub const IRI_KEY: &str = "iri";
+
+/// The rdf2pg-style transformer.
+#[derive(Debug, Clone, Default)]
+pub struct Rdf2Pg;
+
+/// Output of the transformation.
+#[derive(Debug, Clone)]
+pub struct Rdf2PgOutput {
+    pub pg: PropertyGraph,
+    /// Predicates globally classified as object properties (relationships).
+    pub object_properties: FxHashSet<String>,
+    /// Values dropped by the global representation choice or by array
+    /// homogenisation.
+    pub dropped_values: usize,
+}
+
+impl Rdf2Pg {
+    /// Transform an RDF graph with the schema-dependent direct mapping.
+    pub fn transform(graph: &Graph) -> Rdf2PgOutput {
+        let type_p = graph.type_predicate_opt();
+
+        // Schema pass: classify each predicate globally.
+        let mut iri_counts: FxHashMap<s3pg_rdf::Sym, (usize, usize)> = FxHashMap::default();
+        for t in graph.triples() {
+            if Some(t.p) == type_p {
+                continue;
+            }
+            let counts = iri_counts.entry(t.p).or_default();
+            if t.o.is_literal() {
+                counts.1 += 1;
+            } else {
+                counts.0 += 1;
+            }
+        }
+        let object_properties: FxHashSet<String> = iri_counts
+            .iter()
+            .filter(|(_, (iris, lits))| iris >= lits)
+            .map(|(&p, _)| graph.resolve(p).to_string())
+            .collect();
+
+        let mut pg = PropertyGraph::with_capacity(graph.len() / 2, graph.len());
+        let mut nodes: FxHashMap<String, NodeId> = FxHashMap::default();
+        let mut labelled: FxHashSet<NodeId> = FxHashSet::default();
+        let mut dropped = 0usize;
+
+        let node_for = |pg: &mut PropertyGraph,
+                        nodes: &mut FxHashMap<String, NodeId>,
+                        term: Term,
+                        graph: &Graph| {
+            let reference = match term {
+                Term::Iri(s) => graph.resolve(s).to_string(),
+                Term::Blank(s) => format!("_:{}", graph.resolve(s)),
+                Term::Literal(_) => unreachable!(),
+            };
+            *nodes.entry(reference.clone()).or_insert_with(|| {
+                let id = pg.add_node(Vec::<&str>::new());
+                pg.set_prop(id, IRI_KEY, Value::String(reference));
+                id
+            })
+        };
+
+        // Single label: the first type seen per entity.
+        if let Some(type_p) = type_p {
+            for t in graph.match_pattern(None, Some(type_p), None) {
+                let Some(class) = t.o.as_iri() else { continue };
+                let node = node_for(&mut pg, &mut nodes, t.s, graph);
+                if labelled.insert(node) {
+                    let label = vocab::local_name(graph.resolve(class)).to_string();
+                    pg.add_label(node, &label);
+                } else {
+                    dropped += 1; // secondary type lost
+                }
+            }
+        }
+
+        for t in graph.triples() {
+            if Some(t.p) == type_p {
+                continue;
+            }
+            let subject = node_for(&mut pg, &mut nodes, t.s, graph);
+            let predicate = graph.resolve(t.p).to_string();
+            let key = vocab::local_name(&predicate).to_string();
+            let is_object_property = object_properties.contains(&predicate);
+            match t.o {
+                Term::Literal(l) => {
+                    if is_object_property {
+                        dropped += 1; // literal under an object property: lost
+                        continue;
+                    }
+                    let value =
+                        Value::from_xsd(graph.resolve(l.lexical), graph.resolve(l.datatype));
+                    // Homogeneous arrays only.
+                    let fits = match pg.prop(subject, &key) {
+                        Some(existing) => {
+                            let first = match existing {
+                                Value::List(items) => items.first().map(Value::content_type),
+                                scalar => Some(scalar.content_type()),
+                            };
+                            first.is_none_or(|t| t == value.content_type())
+                        }
+                        None => true,
+                    };
+                    if fits {
+                        pg.push_prop(subject, &key, value);
+                    } else {
+                        dropped += 1;
+                    }
+                }
+                Term::Iri(_) | Term::Blank(_) => {
+                    if !is_object_property {
+                        dropped += 1; // IRI under a data property: lost
+                        continue;
+                    }
+                    let object = node_for(&mut pg, &mut nodes, t.o, graph);
+                    pg.add_edge(subject, object, &key);
+                }
+            }
+        }
+
+        Rdf2PgOutput {
+            pg,
+            object_properties,
+            dropped_values: dropped,
+        }
+    }
+}
+
+impl Rdf2PgOutput {
+    /// The Cypher translation matching this graph's representation of
+    /// `SELECT ?e ?v WHERE { ?e a <class> . ?e <pred> ?v . }`.
+    pub fn query(&self, class: Option<&str>, predicate: &str) -> String {
+        let key = vocab::local_name(predicate);
+        let label_part = match class {
+            Some(c) => format!(":{}", vocab::local_name(c)),
+            None => String::new(),
+        };
+        if self.object_properties.contains(predicate) {
+            format!("MATCH (n{label_part})-[:{key}]->(tn) RETURN n.iri AS e, tn.iri AS v")
+        } else {
+            format!("MATCH (n{label_part}) UNWIND n.{key} AS v RETURN n.iri AS e, v")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3pg_query::cypher;
+    use s3pg_rdf::parser::parse_turtle;
+
+    fn album_graph() -> Graph {
+        parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:sunrise a :Album, :MusicalWork ; :title "California Sunrise" ;
+    :writer :billy, "Tofer Brown" .
+:other a :Album ; :title "Other" ; :writer "Solo", "Duo" .
+:billy a :Person ; :name "Billy Montana" .
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_label_per_node() {
+        let out = Rdf2Pg::transform(&album_graph());
+        let sunrise = find(&out.pg, "http://ex/sunrise");
+        assert_eq!(out.pg.labels_of(sunrise).len(), 1);
+        assert!(out.dropped_values >= 1); // the :MusicalWork label
+    }
+
+    #[test]
+    fn global_decision_drops_minority_kind() {
+        // :writer has 1 IRI and 3 literal values → data property; the IRI
+        // value :billy is dropped everywhere.
+        let out = Rdf2Pg::transform(&album_graph());
+        assert!(!out.object_properties.contains("http://ex/writer"));
+        assert_eq!(out.pg.edge_count(), 0);
+        let sunrise = find(&out.pg, "http://ex/sunrise");
+        assert_eq!(
+            out.pg.prop(sunrise, "writer"),
+            Some(&Value::String("Tofer Brown".into()))
+        );
+    }
+
+    #[test]
+    fn majority_iri_predicate_becomes_relationship() {
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a a :T ; :link :b, :c, "stray" .
+:b a :T . :c a :T .
+"#,
+        )
+        .unwrap();
+        let out = Rdf2Pg::transform(&g);
+        assert!(out.object_properties.contains("http://ex/link"));
+        assert_eq!(out.pg.edge_count(), 2);
+        assert_eq!(out.dropped_values, 1); // "stray"
+    }
+
+    #[test]
+    fn heterogeneous_arrays_are_homogenised() {
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+:a a :T ; :val "text", "42"^^xsd:integer, "more text" .
+"#,
+        )
+        .unwrap();
+        let out = Rdf2Pg::transform(&g);
+        let a = find(&out.pg, "http://ex/a");
+        // First value fixes the element type; the integer is dropped.
+        match out.pg.prop(a, "val").unwrap() {
+            Value::List(items) => assert_eq!(items.len(), 2),
+            Value::String(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(out.dropped_values, 1);
+    }
+
+    #[test]
+    fn query_uses_matching_representation() {
+        let out = Rdf2Pg::transform(&album_graph());
+        let q = out.query(Some("http://ex/Album"), "http://ex/writer");
+        let rows = cypher::execute(&out.pg, &q).unwrap();
+        // 4 writer values in ground truth; the IRI one is lost → 3.
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn secondary_type_queries_lose_answers() {
+        let out = Rdf2Pg::transform(&album_graph());
+        let rows = cypher::execute(&out.pg, "MATCH (n:MusicalWork) RETURN n.iri").unwrap();
+        // :sunrise is a MusicalWork in RDF, but only its first label
+        // survived.
+        assert_eq!(rows.len(), 0);
+    }
+
+    fn find(pg: &PropertyGraph, iri: &str) -> NodeId {
+        pg.node_by_iri(iri).expect("node by iri")
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 4 benchmark: transformation + loading time of S3PG vs the two
+//! baselines on each emulated dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s3pg::pipeline;
+use s3pg::Mode;
+use s3pg_baselines::{NeoSemantics, Rdf2Pg};
+use s3pg_bench::experiments::{prepare, Dataset, Scale};
+use std::hint::black_box;
+
+const SCALE: Scale = Scale(0.15);
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/transform");
+    group.sample_size(10);
+    for dataset in Dataset::ALL {
+        let prepared = prepare(dataset, SCALE);
+        let graph = &prepared.generated.graph;
+        group.bench_with_input(
+            BenchmarkId::new("s3pg", dataset.name()),
+            graph,
+            |b, graph| {
+                b.iter(|| {
+                    black_box(pipeline::transform(
+                        graph,
+                        &prepared.shapes,
+                        Mode::Parsimonious,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("neosem", dataset.name()),
+            graph,
+            |b, graph| b.iter(|| black_box(NeoSemantics::transform(graph))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rdf2pg", dataset.name()),
+            graph,
+            |b, graph| b.iter(|| black_box(Rdf2Pg::transform(graph))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/load");
+    group.sample_size(10);
+    for dataset in [Dataset::DBpedia2020, Dataset::Bio2RdfCt] {
+        let prepared = prepare(dataset, SCALE);
+        let out = pipeline::transform(
+            &prepared.generated.graph,
+            &prepared.shapes,
+            Mode::Parsimonious,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csv_roundtrip", dataset.name()),
+            &out.pg,
+            |b, pg| b.iter(|| black_box(pipeline::load(pg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_load);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! * [`report`] — plain-text table rendering.
+//! * [`experiments`] — one function per paper artifact (Tables 2–7,
+//!   Figure 6, the §5.4 monotonicity analysis), each returning structured
+//!   results and printable tables. The `run_experiments` binary drives
+//!   them; the Criterion benches in `benches/` measure the hot paths.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{Dataset, Scale};

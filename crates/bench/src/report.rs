@@ -1,0 +1,128 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a duration in the mixed minutes/seconds style of Table 4.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 60.0 {
+        format!("{:.1} m", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else {
+        format!("{:.1} ms", secs * 1e3)
+    }
+}
+
+/// Format an accuracy percentage like the paper's tables (100% exact).
+pub fn fmt_accuracy(pct: f64) -> String {
+    if (pct - 100.0).abs() < 1e-9 {
+        "100%".to_string()
+    } else {
+        format!("{pct:.2}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a much longer name".into(), "22".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // value column aligned after widest name
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[3].starts_with("short             "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(fmt_duration(Duration::from_secs(90)), "1.5 m");
+    }
+
+    #[test]
+    fn accuracy_formats() {
+        assert_eq!(fmt_accuracy(100.0), "100%");
+        assert_eq!(fmt_accuracy(99.4567), "99.46%");
+        assert_eq!(fmt_accuracy(30.2), "30.20%");
+    }
+}

@@ -1,0 +1,396 @@
+//! PG-Schema conformance checking (Definition 2.6 of the paper).
+//!
+//! A node conforms to a node type when it carries the type's expected labels
+//! and its record satisfies the effective property specs; an edge conforms
+//! to an edge type when its label matches and its endpoints conform to the
+//! declared source/target types; a property graph conforms to its schema
+//! (`PG ⊨ S_PG`) when the typing maps every element to a non-empty set of
+//! types and every PG-Key holds.
+//!
+//! Content records are treated as *open*: extra keys (notably the `iri` and
+//! `ov` bookkeeping keys S3PG adds) do not break conformance, which matches
+//! the LOOSE graph-type option the paper adopts for transformed graphs.
+
+use crate::graph::{EdgeId, NodeId, PropertyGraph, IRI_KEY, VALUE_KEY};
+use crate::schema::{CountKey, NodeType, PgSchema};
+use crate::value::{ContentType, Value};
+use std::fmt;
+
+/// A conformance failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NonConformance {
+    /// A node matched no node type.
+    UntypedNode { node: NodeId, labels: Vec<String> },
+    /// An edge matched no edge type.
+    UntypedEdge { edge: EdgeId, label: String },
+    /// A PG-Key was violated.
+    KeyViolation {
+        node: NodeId,
+        key: String,
+        count: usize,
+    },
+}
+
+impl fmt::Display for NonConformance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonConformance::UntypedNode { node, labels } => {
+                write!(
+                    f,
+                    "node {:?} with labels {labels:?} matches no node type",
+                    node
+                )
+            }
+            NonConformance::UntypedEdge { edge, label } => {
+                write!(f, "edge {:?} with label {label} matches no edge type", edge)
+            }
+            NonConformance::KeyViolation { node, key, count } => {
+                write!(f, "node {:?} violates key [{key}] with count {count}", node)
+            }
+        }
+    }
+}
+
+/// The result of checking `PG ⊨ S_PG`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// All failures found.
+    pub failures: Vec<NonConformance>,
+}
+
+impl ConformanceReport {
+    /// Whether the graph conforms.
+    pub fn conforms(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Check that every element of `pg` conforms to at least one type of
+/// `schema` and that all PG-Keys hold.
+pub fn check(pg: &PropertyGraph, schema: &PgSchema) -> ConformanceReport {
+    let mut report = ConformanceReport::default();
+
+    for node in pg.node_ids() {
+        let typed = schema
+            .node_types()
+            .iter()
+            .any(|nt| node_conforms(pg, schema, node, nt));
+        if !typed {
+            report.failures.push(NonConformance::UntypedNode {
+                node,
+                labels: pg.labels_of(node).iter().map(|s| s.to_string()).collect(),
+            });
+        }
+    }
+
+    for edge in pg.edge_ids() {
+        if !edge_conforms_any(pg, schema, edge) {
+            let label = pg
+                .edge_labels_of(edge)
+                .first()
+                .map(|s| s.to_string())
+                .unwrap_or_default();
+            report
+                .failures
+                .push(NonConformance::UntypedEdge { edge, label });
+        }
+    }
+
+    for key in schema.keys() {
+        check_key(pg, schema, key, &mut report);
+    }
+
+    report
+}
+
+/// Node typing `T(v) = {τ ∈ N_S | v ⊨ τ}` — whether `node ⊨ nt`.
+///
+/// A node conforms to a type when it carries the type's label and satisfies
+/// the type's *effective* (own + inherited) property specs. Ancestor labels
+/// are not required: Algorithm 1 assigns labels from the entity's explicit
+/// `rdf:type` statements only, so a node typed only `GS` in the source data
+/// carries only the `GS` label while still owing `regNo`/`name` through the
+/// type hierarchy.
+pub fn node_conforms(pg: &PropertyGraph, schema: &PgSchema, node: NodeId, nt: &NodeType) -> bool {
+    if !pg.has_label(node, &nt.label) {
+        return false;
+    }
+    for spec in schema.effective_properties(nt) {
+        match pg.prop(node, &spec.key) {
+            None => {
+                if !spec.optional {
+                    return false;
+                }
+            }
+            Some(value) => {
+                if !value_fits(value, &spec) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn value_fits(value: &Value, spec: &crate::schema::PropertySpec) -> bool {
+    let type_ok = |v: &Value| spec.content == ContentType::Any || v.content_type() == spec.content;
+    match (&spec.array, value) {
+        (None, Value::List(_)) => false,
+        (None, v) => type_ok(v),
+        (Some((min, max)), Value::List(items)) => {
+            items.len() >= *min as usize
+                && max.is_none_or(|m| items.len() <= m as usize)
+                && items.iter().all(type_ok)
+        }
+        // A scalar counts as a singleton array.
+        (Some((min, max)), v) => *min <= 1 && max.is_none_or(|m| m >= 1) && type_ok(v),
+    }
+}
+
+/// Whether an edge conforms to at least one edge type
+/// (`∃⟨t1, t, t2⟩ ∈ η_S(σ)` with conforming endpoints).
+pub fn edge_conforms_any(pg: &PropertyGraph, schema: &PgSchema, edge: EdgeId) -> bool {
+    let e = pg.edge(edge);
+    pg.edge_labels_of(edge).iter().any(|label| {
+        schema.edge_types_by_label(label).any(|et| {
+            let src_ok = schema
+                .node_type(&et.source)
+                .is_some_and(|nt| node_conforms(pg, schema, e.src, nt));
+            let dst_ok = et.targets.iter().any(|t| {
+                schema
+                    .node_type(t)
+                    .is_some_and(|nt| node_conforms(pg, schema, e.dst, nt))
+            });
+            src_ok && dst_ok
+        })
+    })
+}
+
+fn check_key(
+    pg: &PropertyGraph,
+    schema: &PgSchema,
+    key: &CountKey,
+    report: &mut ConformanceReport,
+) {
+    let Some(for_type) = schema.node_type(&key.for_type) else {
+        return;
+    };
+    // Nodes of the FOR type: those carrying its primary label and conforming.
+    for node in pg.nodes_with_label(&for_type.label) {
+        if !node_conforms(pg, schema, node, for_type) {
+            continue;
+        }
+        let count = pg
+            .out_edges(node)
+            .iter()
+            .filter(|&&e| {
+                let edge = pg.edge(e);
+                pg.edge_labels_of(e).contains(&key.edge_label.as_str())
+                    && key.target_types.iter().any(|t| {
+                        schema
+                            .node_type(t)
+                            .is_some_and(|nt| node_conforms(pg, schema, edge.dst, nt))
+                    })
+            })
+            .count();
+        if !key.admits(count) {
+            report.failures.push(NonConformance::KeyViolation {
+                node,
+                key: key.to_string(),
+                count,
+            });
+        }
+    }
+}
+
+/// The bookkeeping keys S3PG adds to every node, exempt from closed-record
+/// interpretations.
+pub const BOOKKEEPING_KEYS: &[&str] = &[IRI_KEY, VALUE_KEY];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{EdgeType, NodeType, PropertySpec};
+
+    fn schema() -> PgSchema {
+        let mut s = PgSchema::new();
+        let mut person = NodeType::entity("personType", "Person", "http://ex/Person");
+        person
+            .properties
+            .push(PropertySpec::required("name", ContentType::String));
+        let mut student = NodeType::entity("studentType", "Student", "http://ex/Student");
+        student.extends.push("personType".into());
+        student
+            .properties
+            .push(PropertySpec::required("regNo", ContentType::String));
+        let dept = NodeType::entity("departmentType", "Department", "http://ex/Department");
+        s.add_node_type(person);
+        s.add_node_type(student);
+        s.add_node_type(dept);
+        s.add_edge_type(EdgeType {
+            name: "worksForType".into(),
+            label: "worksFor".into(),
+            iri: None,
+            source: "personType".into(),
+            targets: vec!["departmentType".into()],
+        });
+        s
+    }
+
+    fn conforming_graph() -> PropertyGraph {
+        let mut pg = PropertyGraph::new();
+        let alice = pg.add_node(["Person"]);
+        pg.set_prop(alice, "name", Value::String("Alice".into()));
+        let bob = pg.add_node(["Person", "Student"]);
+        pg.set_prop(bob, "name", Value::String("Bob".into()));
+        pg.set_prop(bob, "regNo", Value::String("Bs12".into()));
+        let cs = pg.add_node(["Department"]);
+        pg.add_edge(alice, cs, "worksFor");
+        pg
+    }
+
+    #[test]
+    fn conforming_graph_passes() {
+        let report = check(&conforming_graph(), &schema());
+        assert!(report.conforms(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn missing_mandatory_property_fails_typing() {
+        let mut pg = PropertyGraph::new();
+        pg.add_node(["Person"]); // no name
+        let report = check(&pg, &schema());
+        assert!(!report.conforms());
+        assert!(matches!(
+            report.failures[0],
+            NonConformance::UntypedNode { .. }
+        ));
+    }
+
+    #[test]
+    fn student_without_inherited_name_fails() {
+        let mut pg = PropertyGraph::new();
+        let bob = pg.add_node(["Person", "Student"]);
+        pg.set_prop(bob, "regNo", Value::String("Bs12".into()));
+        // Missing inherited `name`; bob conforms to no type (Person requires
+        // name too).
+        assert!(!check(&pg, &schema()).conforms());
+    }
+
+    #[test]
+    fn wrong_value_type_fails() {
+        let mut pg = PropertyGraph::new();
+        let p = pg.add_node(["Person"]);
+        pg.set_prop(p, "name", Value::Int(42));
+        assert!(!check(&pg, &schema()).conforms());
+    }
+
+    #[test]
+    fn extra_properties_are_allowed_open_content() {
+        let mut pg = conforming_graph();
+        let alice = pg.node_by_iri("nope").unwrap_or(NodeId(0));
+        pg.set_prop(alice, "iri", Value::String("http://ex/alice".into()));
+        pg.set_prop(alice, "hobby", Value::String("chess".into()));
+        assert!(check(&pg, &schema()).conforms());
+    }
+
+    #[test]
+    fn edge_with_wrong_endpoint_type_fails() {
+        let mut pg = PropertyGraph::new();
+        let a = pg.add_node(["Person"]);
+        pg.set_prop(a, "name", Value::String("A".into()));
+        let b = pg.add_node(["Person"]);
+        pg.set_prop(b, "name", Value::String("B".into()));
+        pg.add_edge(a, b, "worksFor"); // target must be a Department
+        let report = check(&pg, &schema());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| matches!(f, NonConformance::UntypedEdge { .. })));
+    }
+
+    #[test]
+    fn unknown_edge_label_fails() {
+        let mut pg = conforming_graph();
+        pg.add_edge(NodeId(0), NodeId(2), "teleportsTo");
+        assert!(!check(&pg, &schema()).conforms());
+    }
+
+    #[test]
+    fn count_key_enforced() {
+        let mut s = schema();
+        s.add_key(CountKey {
+            for_type: "personType".into(),
+            edge_label: "worksFor".into(),
+            min: 1,
+            max: Some(1),
+            target_types: vec!["departmentType".into()],
+        });
+        // Alice works for one department: fine. Bob (also a Person) works
+        // for none: violation.
+        let report = check(&conforming_graph(), &s);
+        let key_violations: Vec<_> = report
+            .failures
+            .iter()
+            .filter(|f| matches!(f, NonConformance::KeyViolation { .. }))
+            .collect();
+        assert_eq!(key_violations.len(), 1);
+    }
+
+    #[test]
+    fn array_spec_accepts_bounded_lists() {
+        let mut s = PgSchema::new();
+        let mut t = NodeType::entity("tType", "T", "http://ex/T");
+        t.properties
+            .push(PropertySpec::array("tags", ContentType::String, 1, Some(2)));
+        s.add_node_type(t);
+
+        let mut pg = PropertyGraph::new();
+        let ok = pg.add_node(["T"]);
+        pg.set_prop(
+            ok,
+            "tags",
+            Value::List(vec![Value::String("a".into()), Value::String("b".into())]),
+        );
+        assert!(check(&pg, &s).conforms());
+
+        let mut pg2 = PropertyGraph::new();
+        let over = pg2.add_node(["T"]);
+        pg2.set_prop(
+            over,
+            "tags",
+            Value::List(vec![
+                Value::String("a".into()),
+                Value::String("b".into()),
+                Value::String("c".into()),
+            ]),
+        );
+        assert!(!check(&pg2, &s).conforms());
+    }
+
+    #[test]
+    fn scalar_satisfies_array_spec_as_singleton() {
+        let mut s = PgSchema::new();
+        let mut t = NodeType::entity("tType", "T", "http://ex/T");
+        t.properties
+            .push(PropertySpec::array("tags", ContentType::String, 1, None));
+        s.add_node_type(t);
+        let mut pg = PropertyGraph::new();
+        let n = pg.add_node(["T"]);
+        pg.set_prop(n, "tags", Value::String("solo".into()));
+        assert!(check(&pg, &s).conforms());
+    }
+
+    #[test]
+    fn list_where_scalar_expected_fails() {
+        let mut s = PgSchema::new();
+        let mut t = NodeType::entity("tType", "T", "http://ex/T");
+        t.properties
+            .push(PropertySpec::required("x", ContentType::Int));
+        s.add_node_type(t);
+        let mut pg = PropertyGraph::new();
+        let n = pg.add_node(["T"]);
+        pg.set_prop(n, "x", Value::List(vec![Value::Int(1)]));
+        assert!(!check(&pg, &s).conforms());
+    }
+}

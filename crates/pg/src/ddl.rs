@@ -1,0 +1,170 @@
+//! PG-Schema DDL serialization in the style of Figure 5 of the paper.
+//!
+//! Node types render as `(personType: Person { name STRING })`, hierarchy as
+//! `(studentType: studentType & personType)`, edge types as
+//! `CREATE EDGE TYPE (:srcType)-[name: label { iri: "…" }]->(:t1 | :t2)`,
+//! and PG-Keys as `FOR (x: T) COUNT l..u OF …` lines.
+
+use crate::schema::{EdgeType, NodeType, NodeTypeKind, PgSchema, PropertySpec};
+use std::fmt::Write as _;
+
+/// Render the whole schema as DDL text.
+pub fn to_ddl(schema: &PgSchema) -> String {
+    let mut out = String::new();
+    for nt in schema.node_types() {
+        write_node_type(&mut out, nt);
+    }
+    for nt in schema.node_types() {
+        for parent in &nt.extends {
+            let _ = writeln!(out, "({}: {} & {})", nt.name, nt.name, parent);
+        }
+    }
+    for et in schema.edge_types() {
+        write_edge_type(&mut out, et);
+    }
+    for key in schema.keys() {
+        let _ = writeln!(out, "{key}");
+    }
+    out
+}
+
+fn write_node_type(out: &mut String, nt: &NodeType) {
+    let _ = write!(out, "({}: {}", nt.name, nt.label);
+    let mut parts: Vec<String> = Vec::new();
+    if nt.kind == NodeTypeKind::LiteralCarrier {
+        if let Some(iri) = &nt.iri {
+            parts.push(format!("iri: \"{iri}\""));
+        }
+    }
+    for spec in &nt.properties {
+        parts.push(render_spec(spec));
+    }
+    if parts.is_empty() {
+        let _ = writeln!(out, " {{}})");
+    } else {
+        let _ = writeln!(out, " {{ {} }})", parts.join(", "));
+    }
+}
+
+fn render_spec(spec: &PropertySpec) -> String {
+    let mut s = String::new();
+    if spec.optional {
+        s.push_str("OPTIONAL ");
+    }
+    let _ = write!(s, "{}: {}", spec.key, spec.content.ddl_name());
+    if let Some((min, max)) = spec.array {
+        match max {
+            Some(m) => {
+                let _ = write!(s, " ARRAY {{{min}, {m}}}");
+            }
+            None => {
+                let _ = write!(s, " ARRAY {{{min}, *}}");
+            }
+        }
+    }
+    s
+}
+
+fn write_edge_type(out: &mut String, et: &EdgeType) {
+    let targets = et
+        .targets
+        .iter()
+        .map(|t| format!(":{t}"))
+        .collect::<Vec<_>>()
+        .join(" | ");
+    let iri = match &et.iri {
+        Some(iri) => format!(" {{ iri: \"{iri}\" }}"),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "CREATE EDGE TYPE (:{})-[{}: {}{}]->({})",
+        et.source, et.name, et.label, iri, targets
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::CountKey;
+    use crate::value::ContentType;
+
+    fn figure5_schema() -> PgSchema {
+        let mut s = PgSchema::new();
+        let mut person = NodeType::entity("personType", "Person", "http://ex/Person");
+        person
+            .properties
+            .push(PropertySpec::required("name", ContentType::String));
+        s.add_node_type(person);
+        let mut student = NodeType::entity("studentType", "Student", "http://ex/Student");
+        student.extends.push("personType".into());
+        student
+            .properties
+            .push(PropertySpec::required("regNo", ContentType::String));
+        s.add_node_type(student);
+        s.add_node_type(NodeType::literal_carrier(
+            "stringType",
+            "STRING",
+            "http://www.w3.org/2001/XMLSchema#string",
+        ));
+        s.add_edge_type(EdgeType {
+            name: "dobType".into(),
+            label: "dob".into(),
+            iri: Some("http://x.y/dob".into()),
+            source: "personType".into(),
+            targets: vec!["stringType".into(), "dateType".into()],
+        });
+        s.add_key(CountKey {
+            for_type: "personType".into(),
+            edge_label: "dob".into(),
+            min: 1,
+            max: None,
+            target_types: vec!["stringType".into(), "dateType".into()],
+        });
+        s
+    }
+
+    #[test]
+    fn node_types_render_like_figure5() {
+        let ddl = to_ddl(&figure5_schema());
+        assert!(ddl.contains("(personType: Person { name: STRING })"));
+        assert!(ddl.contains("(studentType: studentType & personType)"));
+        assert!(ddl
+            .contains("(stringType: STRING { iri: \"http://www.w3.org/2001/XMLSchema#string\" })"));
+    }
+
+    #[test]
+    fn edge_types_render_with_union_targets() {
+        let ddl = to_ddl(&figure5_schema());
+        assert!(ddl.contains(
+            "CREATE EDGE TYPE (:personType)-[dobType: dob { iri: \"http://x.y/dob\" }]->(:stringType | :dateType)"
+        ));
+    }
+
+    #[test]
+    fn keys_render_count_qualifiers() {
+        let ddl = to_ddl(&figure5_schema());
+        assert!(ddl.contains("COUNT 1.. OF"));
+    }
+
+    #[test]
+    fn optional_and_array_specs_render_table1_syntax() {
+        assert_eq!(
+            render_spec(&PropertySpec::optional("name", ContentType::String)),
+            "OPTIONAL name: STRING"
+        );
+        assert_eq!(
+            render_spec(&PropertySpec::array(
+                "name",
+                ContentType::String,
+                1,
+                Some(5)
+            )),
+            "name: STRING ARRAY {1, 5}"
+        );
+        assert_eq!(
+            render_spec(&PropertySpec::array("name", ContentType::String, 0, None)),
+            "OPTIONAL name: STRING ARRAY {0, *}"
+        );
+    }
+}

@@ -1,0 +1,489 @@
+//! Parser for the Figure-5-style PG-Schema DDL emitted by [`crate::ddl`].
+//!
+//! Accepts the four statement forms:
+//!
+//! ```text
+//! (personType: Person { name: STRING, OPTIONAL nick: STRING ARRAY {0, *} })
+//! (studentType: studentType & personType)
+//! CREATE EDGE TYPE (:srcType)-[name: label { iri: "…" }]->(:t1 | :t2)
+//! FOR (x: T) COUNT 1..3 OF T WITHIN (x)-[:label]->(T: {t1 | t2})
+//! ```
+//!
+//! Together with [`crate::ddl::to_ddl`] this makes the schema text format
+//! round-trippable, so PG-Schemas can be stored and exchanged as files.
+
+use crate::schema::{CountKey, EdgeType, NodeType, NodeTypeKind, PgSchema, PropertySpec};
+use crate::value::ContentType;
+use std::fmt;
+
+/// DDL parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DdlError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for DdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DDL error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DdlError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, DdlError> {
+    Err(DdlError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parse a DDL document into a [`PgSchema`].
+pub fn parse_ddl(input: &str) -> Result<PgSchema, DdlError> {
+    let mut schema = PgSchema::new();
+    // Inheritance statements may precede the parent declaration; collect
+    // and apply at the end.
+    let mut inheritance: Vec<(String, String, usize)> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let n = lineno + 1;
+        if line.is_empty() || line.starts_with("//") || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("CREATE EDGE TYPE") {
+            schema.add_edge_type(parse_edge_type(rest.trim(), n)?);
+        } else if line.starts_with("FOR ") {
+            schema.add_key(parse_count_key(line, n)?);
+        } else if line.starts_with('(') {
+            match parse_node_statement(line, n)? {
+                NodeStatement::Type(nt) => schema.add_node_type(nt),
+                NodeStatement::Inherit(child, parent) => {
+                    inheritance.push((child, parent, n));
+                }
+            }
+        } else {
+            return err(n, format!("unrecognised statement: {line}"));
+        }
+    }
+
+    for (child, parent, n) in inheritance {
+        match schema.node_type_mut(&child) {
+            Some(nt) => {
+                if !nt.extends.contains(&parent) {
+                    nt.extends.push(parent);
+                }
+            }
+            None => return err(n, format!("inheritance for unknown type '{child}'")),
+        }
+    }
+    Ok(schema)
+}
+
+enum NodeStatement {
+    Type(NodeType),
+    Inherit(String, String),
+}
+
+/// `(name: Label { props })` or `(name: name & parent)`.
+fn parse_node_statement(line: &str, n: usize) -> Result<NodeStatement, DdlError> {
+    let inner = line
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| DdlError {
+            line: n,
+            message: "node statement must be parenthesised".into(),
+        })?;
+    let (name, rest) = inner.split_once(':').ok_or_else(|| DdlError {
+        line: n,
+        message: "expected 'name: ...'".into(),
+    })?;
+    let name = name.trim().to_string();
+    let rest = rest.trim();
+
+    // Inheritance form: `name & parent`.
+    if let Some((child, parent)) = rest.split_once('&') {
+        let child = child.trim();
+        if child == name {
+            return Ok(NodeStatement::Inherit(name, parent.trim().to_string()));
+        }
+    }
+
+    // Type form: `Label { props }` (props optional).
+    let (label, props_text) = match rest.split_once('{') {
+        Some((label, tail)) => {
+            let body = tail.strip_suffix('}').ok_or_else(|| DdlError {
+                line: n,
+                message: "unterminated '{' in node type".into(),
+            })?;
+            (label.trim().to_string(), body.trim().to_string())
+        }
+        None => (rest.to_string(), String::new()),
+    };
+
+    let mut nt = NodeType {
+        name,
+        label: label.clone(),
+        extends: Vec::new(),
+        properties: Vec::new(),
+        iri: None,
+        kind: NodeTypeKind::Entity,
+    };
+    for part in split_top_level(&props_text, ',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(iri) = part.strip_prefix("iri:") {
+            // Carrier marker: `iri: "http://…"`.
+            nt.iri = Some(unquote(iri.trim()));
+            nt.kind = NodeTypeKind::LiteralCarrier;
+            continue;
+        }
+        nt.properties.push(parse_property_spec(part, n)?);
+    }
+    Ok(NodeStatement::Type(nt))
+}
+
+/// `OPTIONAL? key: TYPE (ARRAY {min, max|*})?`
+fn parse_property_spec(text: &str, n: usize) -> Result<PropertySpec, DdlError> {
+    let (optional, text) = match text.strip_prefix("OPTIONAL ") {
+        Some(rest) => (true, rest.trim()),
+        None => (false, text),
+    };
+    let (key, type_text) = text.split_once(':').ok_or_else(|| DdlError {
+        line: n,
+        message: format!("expected 'key: TYPE' in '{text}'"),
+    })?;
+    let key = key.trim().to_string();
+    let type_text = type_text.trim();
+
+    let (content_name, array) = match type_text.split_once("ARRAY") {
+        Some((ct, bounds)) => {
+            let bounds = bounds
+                .trim()
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .ok_or_else(|| DdlError {
+                    line: n,
+                    message: "ARRAY bounds must be '{min, max}'".into(),
+                })?;
+            let (min, max) = bounds.split_once(',').ok_or_else(|| DdlError {
+                line: n,
+                message: "ARRAY bounds must have two components".into(),
+            })?;
+            let min: u32 = min.trim().parse().map_err(|_| DdlError {
+                line: n,
+                message: "bad ARRAY lower bound".into(),
+            })?;
+            let max = match max.trim() {
+                "*" => None,
+                m => Some(m.parse().map_err(|_| DdlError {
+                    line: n,
+                    message: "bad ARRAY upper bound".into(),
+                })?),
+            };
+            (ct.trim(), Some((min, max)))
+        }
+        None => (type_text, None),
+    };
+    let content = ContentType::from_ddl_name(content_name).ok_or_else(|| DdlError {
+        line: n,
+        message: format!("unknown content type '{content_name}'"),
+    })?;
+    Ok(PropertySpec {
+        key,
+        content,
+        optional,
+        array,
+    })
+}
+
+/// `(:src)-[name: label { iri: "…" }]->(:t1 | :t2)`
+fn parse_edge_type(text: &str, n: usize) -> Result<EdgeType, DdlError> {
+    let open = text.find("(:").ok_or_else(|| DdlError {
+        line: n,
+        message: "expected '(:src)'".into(),
+    })?;
+    let close = text[open..].find(')').ok_or_else(|| DdlError {
+        line: n,
+        message: "unterminated source".into(),
+    })? + open;
+    let source = text[open + 2..close].trim().to_string();
+
+    let lb = text[close..].find('[').ok_or_else(|| DdlError {
+        line: n,
+        message: "expected '[' after source".into(),
+    })? + close;
+    let rb = text[lb..].find(']').ok_or_else(|| DdlError {
+        line: n,
+        message: "unterminated '['".into(),
+    })? + lb;
+    let rel = &text[lb + 1..rb];
+    let (name, rel_rest) = rel.split_once(':').ok_or_else(|| DdlError {
+        line: n,
+        message: "expected 'name: label' in relationship".into(),
+    })?;
+    let name = name.trim().to_string();
+    let (label, iri) = match rel_rest.split_once('{') {
+        Some((label, tail)) => {
+            let body = tail.trim().strip_suffix('}').ok_or_else(|| DdlError {
+                line: n,
+                message: "unterminated '{' in relationship".into(),
+            })?;
+            let iri = body
+                .trim()
+                .strip_prefix("iri:")
+                .map(|s| unquote(s.trim()))
+                .ok_or_else(|| DdlError {
+                    line: n,
+                    message: "relationship record must be 'iri: \"…\"'".into(),
+                })?;
+            (label.trim().to_string(), Some(iri))
+        }
+        None => (rel_rest.trim().to_string(), None),
+    };
+
+    let arrow = text[rb..].find("->(").ok_or_else(|| DdlError {
+        line: n,
+        message: "expected '->(targets)'".into(),
+    })? + rb;
+    let tclose = text[arrow..].rfind(')').ok_or_else(|| DdlError {
+        line: n,
+        message: "unterminated targets".into(),
+    })? + arrow;
+    let targets = text[arrow + 3..tclose]
+        .split('|')
+        .map(|t| t.trim().trim_start_matches(':').to_string())
+        .filter(|t| !t.is_empty())
+        .collect();
+
+    Ok(EdgeType {
+        name,
+        label,
+        iri,
+        source,
+        targets,
+    })
+}
+
+/// `FOR (x: T) COUNT l..u OF T WITHIN (x)-[:label]->(T: {t1 | t2})`
+fn parse_count_key(text: &str, n: usize) -> Result<CountKey, DdlError> {
+    let for_open = text.find('(').ok_or_else(|| DdlError {
+        line: n,
+        message: "expected '(x: T)' after FOR".into(),
+    })?;
+    let for_close = text[for_open..].find(')').ok_or_else(|| DdlError {
+        line: n,
+        message: "unterminated FOR target".into(),
+    })? + for_open;
+    let for_type = text[for_open + 1..for_close]
+        .split_once(':')
+        .map(|(_, t)| t.trim().to_string())
+        .ok_or_else(|| DdlError {
+            line: n,
+            message: "FOR target must be '(x: Type)'".into(),
+        })?;
+
+    let count_pos = text.find("COUNT").ok_or_else(|| DdlError {
+        line: n,
+        message: "expected COUNT qualifier".into(),
+    })?;
+    let after_count = text[count_pos + 5..].trim_start();
+    let bounds: String = after_count
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    let (min_s, max_s) = bounds.split_once("..").ok_or_else(|| DdlError {
+        line: n,
+        message: "COUNT bounds must be 'l..u'".into(),
+    })?;
+    let min: u32 = min_s.parse().map_err(|_| DdlError {
+        line: n,
+        message: "bad COUNT lower bound".into(),
+    })?;
+    let max = if max_s.is_empty() {
+        None
+    } else {
+        Some(max_s.parse().map_err(|_| DdlError {
+            line: n,
+            message: "bad COUNT upper bound".into(),
+        })?)
+    };
+
+    let label_pos = text.find("-[:").ok_or_else(|| DdlError {
+        line: n,
+        message: "expected '-[:label]->' pattern".into(),
+    })?;
+    let label_end = text[label_pos..].find(']').ok_or_else(|| DdlError {
+        line: n,
+        message: "unterminated pattern label".into(),
+    })? + label_pos;
+    let edge_label = text[label_pos + 3..label_end].trim().to_string();
+
+    let targets_open = text[label_end..].find('{').ok_or_else(|| DdlError {
+        line: n,
+        message: "expected '{targets}' in pattern".into(),
+    })? + label_end;
+    let targets_close = text[targets_open..].find('}').ok_or_else(|| DdlError {
+        line: n,
+        message: "unterminated targets".into(),
+    })? + targets_open;
+    let target_types = text[targets_open + 1..targets_close]
+        .split('|')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect();
+
+    Ok(CountKey {
+        for_type,
+        edge_label,
+        min,
+        max,
+        target_types,
+    })
+}
+
+/// Split on `sep` at brace depth zero (array bounds contain commas).
+fn split_top_level(text: &str, sep: char) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            c if c == sep && depth == 0 => {
+                out.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&text[start..]);
+    out
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches('"').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::to_ddl;
+
+    fn sample_schema() -> PgSchema {
+        let mut s = PgSchema::new();
+        let mut person = NodeType::entity("personType", "Person", "http://ex/Person");
+        person
+            .properties
+            .push(PropertySpec::required("name", ContentType::String));
+        person
+            .properties
+            .push(PropertySpec::optional("age", ContentType::Int));
+        person
+            .properties
+            .push(PropertySpec::array("nick", ContentType::String, 1, Some(3)));
+        s.add_node_type(person);
+        let mut student = NodeType::entity("studentType", "Student", "http://ex/Student");
+        student.extends.push("personType".into());
+        s.add_node_type(student);
+        s.add_node_type(NodeType::literal_carrier(
+            "stringType",
+            "STRING",
+            "http://www.w3.org/2001/XMLSchema#string",
+        ));
+        s.add_edge_type(EdgeType {
+            name: "dobType".into(),
+            label: "dob".into(),
+            iri: Some("http://ex/dob".into()),
+            source: "personType".into(),
+            targets: vec!["stringType".into(), "dateType".into()],
+        });
+        s.add_key(CountKey {
+            for_type: "personType".into(),
+            edge_label: "dob".into(),
+            min: 1,
+            max: Some(2),
+            target_types: vec!["stringType".into(), "dateType".into()],
+        });
+        s
+    }
+
+    #[test]
+    fn ddl_roundtrip() {
+        let schema = sample_schema();
+        let text = to_ddl(&schema);
+        let parsed = parse_ddl(&text).unwrap();
+        // Entity iri is not serialized in the DDL (only carriers show it),
+        // so compare everything else.
+        assert_eq!(parsed.node_type_count(), schema.node_type_count());
+        assert_eq!(parsed.edge_type_count(), schema.edge_type_count());
+        assert_eq!(parsed.keys(), schema.keys());
+        let person = parsed.node_type("personType").unwrap();
+        assert_eq!(
+            person.properties,
+            schema.node_type("personType").unwrap().properties
+        );
+        let student = parsed.node_type("studentType").unwrap();
+        assert_eq!(student.extends, vec!["personType".to_string()]);
+        let carrier = parsed.node_type("stringType").unwrap();
+        assert_eq!(carrier.kind, NodeTypeKind::LiteralCarrier);
+        assert_eq!(
+            carrier.iri.as_deref(),
+            Some("http://www.w3.org/2001/XMLSchema#string")
+        );
+        let et = parsed.edge_type("dobType").unwrap();
+        assert_eq!(et, schema.edge_type("dobType").unwrap());
+    }
+
+    #[test]
+    fn parses_property_spec_variants() {
+        let req = parse_property_spec("name: STRING", 1).unwrap();
+        assert!(!req.optional && req.array.is_none());
+        let opt = parse_property_spec("OPTIONAL name: STRING", 1).unwrap();
+        assert!(opt.optional);
+        let arr = parse_property_spec("name: STRING ARRAY {1, 5}", 1).unwrap();
+        assert_eq!(arr.array, Some((1, Some(5))));
+        let unbounded = parse_property_spec("name: STRING ARRAY {0, *}", 1).unwrap();
+        assert_eq!(unbounded.array, Some((0, None)));
+        assert!(parse_property_spec("name: NOPE", 1).is_err());
+        assert!(parse_property_spec("just_a_key", 1).is_err());
+    }
+
+    #[test]
+    fn parses_count_key_with_open_upper_bound() {
+        let key = parse_count_key(
+            "FOR (x: studentType) COUNT 1.. OF T WITHIN (x)-[:takesCourse]->(T: {courseType | stringType})",
+            1,
+        )
+        .unwrap();
+        assert_eq!(key.min, 1);
+        assert_eq!(key.max, None);
+        assert_eq!(key.target_types.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(parse_ddl("garbage here").is_err());
+        assert!(parse_ddl("(broken").is_err());
+        assert!(parse_ddl("CREATE EDGE TYPE nonsense").is_err());
+        assert!(parse_ddl("(childType: childType & ghostType)").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "// comment\n\n# also a comment\n(tType: T {})\n";
+        let schema = parse_ddl(text).unwrap();
+        assert_eq!(schema.node_type_count(), 1);
+    }
+
+    #[test]
+    fn f_st_output_is_parseable() {
+        // The DDL produced for the full Figure 4 schema parses back.
+        let schema = sample_schema();
+        let text = to_ddl(&schema);
+        assert!(parse_ddl(&text).is_ok(), "{text}");
+    }
+}

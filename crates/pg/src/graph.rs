@@ -1,0 +1,580 @@
+//! The property graph model (Definition 2.4 of the paper) with indexes.
+//!
+//! `PG = (N, E, ρ, λ, π)`: nodes `N`, edges `E`, an incidence function
+//! `ρ : E → N × N` (here stored on each edge), a labelling `λ` mapping nodes
+//! and edges to label sets, and a record mapping `π` assigning key/value
+//! properties. Labels and keys are interned.
+//!
+//! The store maintains the indexes the transformation and the Cypher engine
+//! need: nodes by label, edges by label, in/out adjacency, and a unique
+//! index over the `iri` property — S3PG stores each RDF entity's IRI as a
+//! node property (Figure 2c), and Algorithm 1's second phase resolves
+//! subjects/objects through this index.
+
+use crate::value::Value;
+use s3pg_rdf::fxhash::FxHashMap;
+use s3pg_rdf::{Interner, Sym};
+
+/// Identifier of a node in a [`PropertyGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge in a [`PropertyGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// Property key under which S3PG stores the originating IRI of a node.
+pub const IRI_KEY: &str = "iri";
+/// Property key under which S3PG stores the value of a literal-carrying node
+/// (`ov` for "object value", as in the paper's Q22 translation
+/// `COALESCE(tn.ov, tn.iri)`).
+pub const VALUE_KEY: &str = "ov";
+
+/// A node: label set plus record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Node {
+    pub labels: Vec<Sym>,
+    pub props: Vec<(Sym, Value)>,
+}
+
+/// An edge: endpoints, label set, record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub labels: Vec<Sym>,
+    pub props: Vec<(Sym, Value)>,
+}
+
+/// An in-memory property graph with label, adjacency, and IRI indexes.
+#[derive(Debug, Default, Clone)]
+pub struct PropertyGraph {
+    interner: Interner,
+    nodes: Vec<Node>,
+    node_live: Vec<bool>,
+    live_node_count: usize,
+    edges: Vec<Edge>,
+    edge_live: Vec<bool>,
+    live_edge_count: usize,
+    by_label: FxHashMap<Sym, Vec<NodeId>>,
+    by_edge_label: FxHashMap<Sym, Vec<EdgeId>>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+    by_iri: FxHashMap<String, NodeId>,
+    iri_key: Option<Sym>,
+}
+
+impl PropertyGraph {
+    /// Create an empty property graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a graph sized for roughly `nodes`/`edges` elements.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        PropertyGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out_edges: Vec::with_capacity(nodes),
+            in_edges: Vec::with_capacity(nodes),
+            ..Default::default()
+        }
+    }
+
+    // ---- interning -------------------------------------------------------
+
+    /// Intern a label or key string.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.interner.intern(s)
+    }
+
+    /// Resolve an interned label/key.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Borrow the interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    // ---- nodes -----------------------------------------------------------
+
+    /// Add a node with the given labels; returns its id.
+    pub fn add_node<S: AsRef<str>>(&mut self, labels: impl IntoIterator<Item = S>) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        let mut node = Node::default();
+        for l in labels {
+            let sym = self.interner.intern(l.as_ref());
+            if !node.labels.contains(&sym) {
+                node.labels.push(sym);
+                self.by_label.entry(sym).or_default().push(id);
+            }
+        }
+        self.nodes.push(node);
+        self.node_live.push(true);
+        self.live_node_count += 1;
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Remove (tombstone) a node. Refuses while live edges are attached —
+    /// remove those first. Returns `true` on success.
+    pub fn remove_node(&mut self, id: NodeId) -> bool {
+        if !self.node_live[id.0 as usize] {
+            return false;
+        }
+        let has_live_edges = self.out_edges[id.0 as usize]
+            .iter()
+            .chain(self.in_edges[id.0 as usize].iter())
+            .any(|&e| self.edge_live[e.0 as usize]);
+        if has_live_edges {
+            return false;
+        }
+        self.node_live[id.0 as usize] = false;
+        self.live_node_count -= 1;
+        if let Some(Value::String(iri)) = self.prop(id, IRI_KEY).cloned() {
+            self.by_iri.remove(&iri);
+        }
+        true
+    }
+
+    /// Whether a node id refers to a live node.
+    #[inline]
+    pub fn node_is_live(&self, id: NodeId) -> bool {
+        self.node_live[id.0 as usize]
+    }
+
+    /// Add a label to an existing node (λ is a set: duplicates are ignored).
+    pub fn add_label(&mut self, node: NodeId, label: &str) {
+        let sym = self.interner.intern(label);
+        let n = &mut self.nodes[node.0 as usize];
+        if !n.labels.contains(&sym) {
+            n.labels.push(sym);
+            self.by_label.entry(sym).or_default().push(node);
+        }
+    }
+
+    /// Remove a label from a node; returns `true` if it was present.
+    pub fn remove_label(&mut self, node: NodeId, label: &str) -> bool {
+        let Some(sym) = self.interner.get(label) else {
+            return false;
+        };
+        let n = &mut self.nodes[node.0 as usize];
+        let Some(pos) = n.labels.iter().position(|&l| l == sym) else {
+            return false;
+        };
+        n.labels.remove(pos);
+        if let Some(postings) = self.by_label.get_mut(&sym) {
+            postings.retain(|&id| id != node);
+        }
+        true
+    }
+
+    /// Set a property on a node, replacing any existing value for the key.
+    /// Setting the [`IRI_KEY`] maintains the unique IRI index.
+    pub fn set_prop(&mut self, node: NodeId, key: &str, value: Value) {
+        let sym = self.interner.intern(key);
+        if key == IRI_KEY {
+            self.iri_key = Some(sym);
+            if let Value::String(iri) = &value {
+                self.by_iri.insert(iri.clone(), node);
+            }
+        }
+        let props = &mut self.nodes[node.0 as usize].props;
+        match props.iter_mut().find(|(k, _)| *k == sym) {
+            Some((_, v)) => *v = value,
+            None => props.push((sym, value)),
+        }
+    }
+
+    /// Accumulate a value into a node property: absent → scalar; present →
+    /// array append (NeoSemantics-style multi-value handling).
+    pub fn push_prop(&mut self, node: NodeId, key: &str, value: Value) {
+        let sym = self.interner.intern(key);
+        let props = &mut self.nodes[node.0 as usize].props;
+        match props.iter_mut().find(|(k, _)| *k == sym) {
+            Some((_, v)) => v.push(value),
+            None => props.push((sym, value)),
+        }
+    }
+
+    /// Read a node property by key name.
+    pub fn prop(&self, node: NodeId, key: &str) -> Option<&Value> {
+        let sym = self.interner.get(key)?;
+        self.nodes[node.0 as usize]
+            .props
+            .iter()
+            .find(|(k, _)| *k == sym)
+            .map(|(_, v)| v)
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Labels of a node, resolved to strings.
+    pub fn labels_of(&self, id: NodeId) -> Vec<&str> {
+        self.nodes[id.0 as usize]
+            .labels
+            .iter()
+            .map(|&l| self.interner.resolve(l))
+            .collect()
+    }
+
+    /// Whether a node carries a label.
+    pub fn has_label(&self, id: NodeId, label: &str) -> bool {
+        match self.interner.get(label) {
+            Some(sym) => self.nodes[id.0 as usize].labels.contains(&sym),
+            None => false,
+        }
+    }
+
+    /// All live node ids carrying `label`.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        self.interner
+            .get(label)
+            .and_then(|sym| self.by_label.get(&sym))
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&n| self.node_live[n.0 as usize])
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Find the node representing an RDF entity via the unique `iri` index.
+    pub fn node_by_iri(&self, iri: &str) -> Option<NodeId> {
+        self.by_iri.get(iri).copied()
+    }
+
+    /// All live node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.node_live[n.0 as usize])
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_node_count
+    }
+
+    // ---- edges -----------------------------------------------------------
+
+    /// Add an edge `src -[label]-> dst`; returns its id.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: &str) -> EdgeId {
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("too many edges"));
+        let sym = self.interner.intern(label);
+        self.edges.push(Edge {
+            src,
+            dst,
+            labels: vec![sym],
+            props: Vec::new(),
+        });
+        self.edge_live.push(true);
+        self.live_edge_count += 1;
+        self.by_edge_label.entry(sym).or_default().push(id);
+        self.out_edges[src.0 as usize].push(id);
+        self.in_edges[dst.0 as usize].push(id);
+        id
+    }
+
+    /// Remove one edge `src -[label]-> dst` (tombstoned); returns `true` if
+    /// such an edge existed. Used by the incremental transformation to apply
+    /// deletions from an RDF Δ without recomputation.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId, label: &str) -> bool {
+        let Some(sym) = self.interner.get(label) else {
+            return false;
+        };
+        let found = self.out_edges[src.0 as usize].iter().copied().find(|&e| {
+            self.edge_live[e.0 as usize] && {
+                let edge = &self.edges[e.0 as usize];
+                edge.dst == dst && edge.labels.contains(&sym)
+            }
+        });
+        match found {
+            Some(e) => {
+                self.edge_live[e.0 as usize] = false;
+                self.live_edge_count -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether an edge id refers to a live (not removed) edge.
+    #[inline]
+    pub fn edge_is_live(&self, id: EdgeId) -> bool {
+        self.edge_live[id.0 as usize]
+    }
+
+    /// Remove a specific edge by id; returns `true` if it was live.
+    pub fn remove_edge_by_id(&mut self, id: EdgeId) -> bool {
+        if self.edge_live[id.0 as usize] {
+            self.edge_live[id.0 as usize] = false;
+            self.live_edge_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a property from a node; returns the removed value.
+    pub fn remove_prop(&mut self, node: NodeId, key: &str) -> Option<Value> {
+        let sym = self.interner.get(key)?;
+        let props = &mut self.nodes[node.0 as usize].props;
+        let pos = props.iter().position(|(k, _)| *k == sym)?;
+        Some(props.remove(pos).1)
+    }
+
+    /// Remove one occurrence of `value` from a node property: scalars are
+    /// removed entirely, arrays lose one matching element (collapsing to a
+    /// scalar when one element remains).
+    pub fn remove_prop_value(&mut self, node: NodeId, key: &str, value: &Value) -> bool {
+        let Some(sym) = self.interner.get(key) else {
+            return false;
+        };
+        let props = &mut self.nodes[node.0 as usize].props;
+        let Some(pos) = props.iter().position(|(k, _)| *k == sym) else {
+            return false;
+        };
+        match &mut props[pos].1 {
+            Value::List(items) => {
+                let Some(i) = items.iter().position(|v| v == value) else {
+                    return false;
+                };
+                items.remove(i);
+                if items.len() == 1 {
+                    let last = items.pop().unwrap();
+                    props[pos].1 = last;
+                } else if items.is_empty() {
+                    props.remove(pos);
+                }
+                true
+            }
+            scalar => {
+                if scalar == value {
+                    props.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Set a property on an edge.
+    pub fn set_edge_prop(&mut self, edge: EdgeId, key: &str, value: Value) {
+        let sym = self.interner.intern(key);
+        let props = &mut self.edges[edge.0 as usize].props;
+        match props.iter_mut().find(|(k, _)| *k == sym) {
+            Some((_, v)) => *v = value,
+            None => props.push((sym, value)),
+        }
+    }
+
+    /// Read an edge property by key name.
+    pub fn edge_prop(&self, edge: EdgeId, key: &str) -> Option<&Value> {
+        let sym = self.interner.get(key)?;
+        self.edges[edge.0 as usize]
+            .props
+            .iter()
+            .find(|(k, _)| *k == sym)
+            .map(|(_, v)| v)
+    }
+
+    /// Borrow an edge.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0 as usize]
+    }
+
+    /// Labels of an edge, resolved.
+    pub fn edge_labels_of(&self, id: EdgeId) -> Vec<&str> {
+        self.edges[id.0 as usize]
+            .labels
+            .iter()
+            .map(|&l| self.interner.resolve(l))
+            .collect()
+    }
+
+    /// All live edge ids with `label`.
+    pub fn edges_with_label(&self, label: &str) -> Vec<EdgeId> {
+        self.interner
+            .get(label)
+            .and_then(|sym| self.by_edge_label.get(&sym))
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&e| self.edge_live[e.0 as usize])
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Live outgoing edges of a node.
+    pub fn out_edges(&self, node: NodeId) -> Vec<EdgeId> {
+        self.out_edges[node.0 as usize]
+            .iter()
+            .copied()
+            .filter(|&e| self.edge_live[e.0 as usize])
+            .collect()
+    }
+
+    /// Live incoming edges of a node.
+    pub fn in_edges(&self, node: NodeId) -> Vec<EdgeId> {
+        self.in_edges[node.0 as usize]
+            .iter()
+            .copied()
+            .filter(|&e| self.edge_live[e.0 as usize])
+            .collect()
+    }
+
+    /// All live edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32)
+            .map(EdgeId)
+            .filter(|&e| self.edge_live[e.0 as usize])
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edge_count
+    }
+
+    /// Number of distinct edge labels with at least one live edge
+    /// ("# of Rel Types" in Table 5).
+    pub fn relationship_type_count(&self) -> usize {
+        self.by_edge_label
+            .values()
+            .filter(|v| v.iter().any(|&e| self.edge_live[e.0 as usize]))
+            .count()
+    }
+
+    /// Whether a live edge `src -[label]-> dst` exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId, label: &str) -> bool {
+        let Some(sym) = self.interner.get(label) else {
+            return false;
+        };
+        self.out_edges[src.0 as usize].iter().any(|&e| {
+            self.edge_live[e.0 as usize] && {
+                let edge = &self.edges[e.0 as usize];
+                edge.dst == dst && edge.labels.contains(&sym)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure2c() -> (PropertyGraph, NodeId, NodeId, NodeId) {
+        // The PG of Figure 2c: bob (Person,Student,GS), alice
+        // (Person,Faculty,Professor), d1 (Department).
+        let mut pg = PropertyGraph::new();
+        let bob = pg.add_node(["Person", "Student", "GS"]);
+        pg.set_prop(bob, IRI_KEY, Value::String("http://ex/bob".into()));
+        pg.set_prop(bob, "regNo", Value::String("Bs12".into()));
+        let alice = pg.add_node(["Person", "Faculty", "Professor"]);
+        pg.set_prop(alice, IRI_KEY, Value::String("http://ex/alice".into()));
+        pg.set_prop(alice, "name", Value::String("Alice".into()));
+        let d1 = pg.add_node(["Department"]);
+        pg.set_prop(d1, IRI_KEY, Value::String("http://ex/cs".into()));
+        pg.set_prop(d1, "name", Value::String("Computer Science".into()));
+        pg.add_edge(bob, alice, "advisedBy");
+        pg.add_edge(alice, d1, "worksFor");
+        (pg, bob, alice, d1)
+    }
+
+    #[test]
+    fn multi_labels_are_sets() {
+        let (pg, bob, ..) = figure2c();
+        assert_eq!(pg.labels_of(bob), vec!["Person", "Student", "GS"]);
+        let mut pg = pg;
+        pg.add_label(bob, "Person"); // duplicate ignored
+        assert_eq!(pg.labels_of(bob).len(), 3);
+        assert_eq!(pg.nodes_with_label("Person").len(), 2);
+    }
+
+    #[test]
+    fn iri_index_resolves_entities() {
+        let (pg, bob, ..) = figure2c();
+        assert_eq!(pg.node_by_iri("http://ex/bob"), Some(bob));
+        assert_eq!(pg.node_by_iri("http://ex/nobody"), None);
+    }
+
+    #[test]
+    fn set_prop_replaces() {
+        let (mut pg, bob, ..) = figure2c();
+        pg.set_prop(bob, "regNo", Value::String("Bs99".into()));
+        assert_eq!(pg.prop(bob, "regNo"), Some(&Value::String("Bs99".into())));
+        assert_eq!(pg.node(bob).props.len(), 2); // iri + regNo
+    }
+
+    #[test]
+    fn push_prop_accumulates_arrays() {
+        let (mut pg, bob, ..) = figure2c();
+        pg.push_prop(bob, "nick", Value::String("bobby".into()));
+        pg.push_prop(bob, "nick", Value::String("rob".into()));
+        assert_eq!(
+            pg.prop(bob, "nick"),
+            Some(&Value::List(vec![
+                Value::String("bobby".into()),
+                Value::String("rob".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn adjacency_indexes() {
+        let (pg, bob, alice, d1) = figure2c();
+        assert_eq!(pg.out_edges(bob).len(), 1);
+        assert_eq!(pg.in_edges(alice).len(), 1);
+        assert_eq!(pg.out_edges(alice).len(), 1);
+        assert_eq!(pg.in_edges(d1).len(), 1);
+        let e = pg.edge(pg.out_edges(bob)[0]);
+        assert_eq!(e.src, bob);
+        assert_eq!(e.dst, alice);
+    }
+
+    #[test]
+    fn edge_label_index_and_counts() {
+        let (pg, ..) = figure2c();
+        assert_eq!(pg.edge_count(), 2);
+        assert_eq!(pg.relationship_type_count(), 2);
+        assert_eq!(pg.edges_with_label("advisedBy").len(), 1);
+        assert_eq!(pg.edges_with_label("nothing").len(), 0);
+    }
+
+    #[test]
+    fn has_edge_detects_duplicates() {
+        let (mut pg, bob, alice, _) = figure2c();
+        assert!(pg.has_edge(bob, alice, "advisedBy"));
+        assert!(!pg.has_edge(alice, bob, "advisedBy"));
+        assert!(!pg.has_edge(bob, alice, "worksFor"));
+        pg.add_edge(bob, alice, "advisedBy");
+        assert_eq!(pg.edge_count(), 3); // multigraph: duplicates allowed
+    }
+
+    #[test]
+    fn edge_props() {
+        let (mut pg, bob, alice, _) = figure2c();
+        let e = pg.add_edge(bob, alice, "knows");
+        pg.set_edge_prop(e, "since", Value::Year(2020));
+        assert_eq!(pg.edge_prop(e, "since"), Some(&Value::Year(2020)));
+        assert_eq!(pg.edge_prop(e, "until"), None);
+    }
+
+    #[test]
+    fn empty_label_set_is_allowed() {
+        let mut pg = PropertyGraph::new();
+        let n = pg.add_node(Vec::<&str>::new());
+        assert!(pg.labels_of(n).is_empty());
+        assert_eq!(pg.node_count(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! PG-Keys: constraint expressions of the form
+//! `FOR p(x) <qualifier> q(x, ȳ)` (Definition 2.5, K_S).
+//!
+//! S3PG uses the `COUNT <lower>..<upper> OF` qualifier to translate SHACL
+//! cardinalities of edge-encoded properties (Figure 5c/5d):
+//!
+//! ```text
+//! FOR (p: Professor) COUNT 1..1 OF u WITHIN (p)-[:worksFor]->(u: Department)
+//! ```
+
+use std::fmt;
+
+/// A participation/cardinality PG-Key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountKey {
+    /// The node type name the key ranges over (`p(x)`).
+    pub for_type: String,
+    /// The edge label of the pattern `q(x, ȳ)`.
+    pub edge_label: String,
+    /// Lower bound of the COUNT qualifier.
+    pub min: u32,
+    /// Upper bound; `None` = unbounded.
+    pub max: Option<u32>,
+    /// Allowed target node type names in the pattern.
+    pub target_types: Vec<String>,
+}
+
+impl CountKey {
+    /// Whether `count` distinct results satisfy this key.
+    pub fn admits(&self, count: usize) -> bool {
+        count >= self.min as usize && self.max.is_none_or(|m| count <= m as usize)
+    }
+
+    /// Widen the bounds to also admit counts admitted by `other`
+    /// (monotone schema update).
+    pub fn widen(&mut self, min: u32, max: Option<u32>) {
+        self.min = self.min.min(min);
+        self.max = match (self.max, max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+}
+
+impl fmt::Display for CountKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let upper = match self.max {
+            Some(m) => m.to_string(),
+            None => String::new(),
+        };
+        write!(
+            f,
+            "FOR (x: {}) COUNT {}..{} OF T WITHIN (x)-[:{}]->(T: {{{}}})",
+            self.for_type,
+            self.min,
+            upper,
+            self.edge_label,
+            self.target_types.join(" | ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> CountKey {
+        CountKey {
+            for_type: "professorType".into(),
+            edge_label: "worksFor".into(),
+            min: 1,
+            max: Some(1),
+            target_types: vec!["departmentType".into()],
+        }
+    }
+
+    #[test]
+    fn admits_checks_bounds() {
+        let k = key();
+        assert!(k.admits(1));
+        assert!(!k.admits(0));
+        assert!(!k.admits(2));
+        let unbounded = CountKey { max: None, ..key() };
+        assert!(unbounded.admits(100));
+    }
+
+    #[test]
+    fn widen_never_narrows() {
+        let mut k = key();
+        k.widen(0, Some(3));
+        assert_eq!((k.min, k.max), (0, Some(3)));
+        k.widen(1, None);
+        assert_eq!((k.min, k.max), (0, None));
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let k = key();
+        let s = k.to_string();
+        assert!(s.contains("FOR (x: professorType)"));
+        assert!(s.contains("COUNT 1..1 OF"));
+        assert!(s.contains("(x)-[:worksFor]->(T: {departmentType})"));
+    }
+}

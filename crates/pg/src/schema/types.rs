@@ -1,0 +1,214 @@
+//! PG-Types: node and edge type definitions.
+
+use crate::value::ContentType;
+
+/// How a spec'd property may repeat, mirroring Table 1 of the paper:
+/// a scalar (`name: STRING`) or an array with bounds
+/// (`name: STRING ARRAY {M, N}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertySpec {
+    /// Property key, e.g. `name`.
+    pub key: String,
+    /// Content type of the value (or of array elements).
+    pub content: ContentType,
+    /// `OPTIONAL` marker (min cardinality 0).
+    pub optional: bool,
+    /// `None` → scalar; `Some((min, max))` → array with bounds, `max = None`
+    /// meaning unbounded (`{1, *}`).
+    pub array: Option<(u32, Option<u32>)>,
+}
+
+impl PropertySpec {
+    /// A mandatory scalar property (`{key: TYPE}` — Table 1 row `[1..1]`).
+    pub fn required(key: impl Into<String>, content: ContentType) -> Self {
+        PropertySpec {
+            key: key.into(),
+            content,
+            optional: false,
+            array: None,
+        }
+    }
+
+    /// An optional scalar property (`OPTIONAL key: TYPE` — row `[0..1]`).
+    pub fn optional(key: impl Into<String>, content: ContentType) -> Self {
+        PropertySpec {
+            key: key.into(),
+            content,
+            optional: true,
+            array: None,
+        }
+    }
+
+    /// An array property with bounds (rows `[0..*]`, `[1..N]`, `[M..N]`).
+    pub fn array(key: impl Into<String>, content: ContentType, min: u32, max: Option<u32>) -> Self {
+        PropertySpec {
+            key: key.into(),
+            content,
+            optional: min == 0,
+            array: Some((min, max)),
+        }
+    }
+}
+
+/// Discriminates entity node types from the literal-carrier node types S3PG
+/// introduces for multi-type properties (Figure 5d: `stringType`, `dateType`,
+/// `gYearType` are node types whose instances carry literal values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeTypeKind {
+    /// A type for RDF entities (target classes).
+    Entity,
+    /// A type whose nodes carry literal values in the `ov` property.
+    LiteralCarrier,
+}
+
+/// A node type: `ν_S` entry plus hierarchy (`γ_S`) links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeType {
+    /// Type name, e.g. `personType`.
+    pub name: String,
+    /// Primary label, e.g. `Person`.
+    pub label: String,
+    /// Parent type names (γ_S) — `(studentType: studentType & personType)`.
+    pub extends: Vec<String>,
+    /// Property specs (content record type).
+    pub properties: Vec<PropertySpec>,
+    /// The originating IRI: the RDF class for entity types, the XSD datatype
+    /// for literal carriers. Carried so the inverse mapping `N : S_PG → S_G`
+    /// can reconstruct the SHACL schema exactly.
+    pub iri: Option<String>,
+    /// Entity or literal-carrier.
+    pub kind: NodeTypeKind,
+}
+
+impl NodeType {
+    /// Create an entity node type for an RDF class.
+    pub fn entity(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        class_iri: impl Into<String>,
+    ) -> Self {
+        NodeType {
+            name: name.into(),
+            label: label.into(),
+            extends: Vec::new(),
+            properties: Vec::new(),
+            iri: Some(class_iri.into()),
+            kind: NodeTypeKind::Entity,
+        }
+    }
+
+    /// Create a literal-carrier node type for an XSD datatype
+    /// (`(stringType: STRING { iri: "http:...#string" })` in Figure 5d).
+    pub fn literal_carrier(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        datatype_iri: impl Into<String>,
+    ) -> Self {
+        NodeType {
+            name: name.into(),
+            label: label.into(),
+            extends: Vec::new(),
+            properties: Vec::new(),
+            iri: Some(datatype_iri.into()),
+            kind: NodeTypeKind::LiteralCarrier,
+        }
+    }
+
+    /// Find a property spec by key.
+    pub fn property(&self, key: &str) -> Option<&PropertySpec> {
+        self.properties.iter().find(|p| p.key == key)
+    }
+}
+
+/// An edge type: `η_S` entry — source type, edge label, and the set of
+/// allowed target types
+/// (`CREATE EDGE TYPE (:GSType)-[takesCourse]->(:string|:course|:gradCourse)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeType {
+    /// Type name, e.g. `worksForType`.
+    pub name: String,
+    /// Edge label, e.g. `worksFor`.
+    pub label: String,
+    /// The RDF predicate IRI, kept for information preservation
+    /// (`[dobType: dob { iri: "http://x.y/dob" }]` in Figure 5d).
+    pub iri: Option<String>,
+    /// Source node type name.
+    pub source: String,
+    /// Alternative target node type names (the `|` union in the DDL).
+    pub targets: Vec<String>,
+}
+
+impl EdgeType {
+    /// Whether `target` is an allowed target type name.
+    pub fn allows_target(&self, target: &str) -> bool {
+        self.targets.iter().any(|t| t == target)
+    }
+
+    /// Add a target type if not already present; returns true when added.
+    /// This is the monotone widening used when schema evolution adds new
+    /// datatypes to a property (§4.1.1).
+    pub fn add_target(&mut self, target: impl Into<String>) -> bool {
+        let target = target.into();
+        if self.allows_target(&target) {
+            false
+        } else {
+            self.targets.push(target);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property_spec_constructors_encode_table1() {
+        let req = PropertySpec::required("name", ContentType::String);
+        assert!(!req.optional && req.array.is_none());
+        let opt = PropertySpec::optional("nick", ContentType::String);
+        assert!(opt.optional);
+        let arr = PropertySpec::array("alias", ContentType::String, 1, Some(5));
+        assert_eq!(arr.array, Some((1, Some(5))));
+        assert!(!arr.optional);
+        let free = PropertySpec::array("tags", ContentType::String, 0, None);
+        assert!(free.optional);
+    }
+
+    #[test]
+    fn node_type_kinds() {
+        let person = NodeType::entity("personType", "Person", "http://ex/Person");
+        assert_eq!(person.kind, NodeTypeKind::Entity);
+        let string = NodeType::literal_carrier(
+            "stringType",
+            "STRING",
+            "http://www.w3.org/2001/XMLSchema#string",
+        );
+        assert_eq!(string.kind, NodeTypeKind::LiteralCarrier);
+        assert!(string.iri.as_deref().unwrap().ends_with("#string"));
+    }
+
+    #[test]
+    fn edge_type_target_widening_is_idempotent() {
+        let mut et = EdgeType {
+            name: "regNoType".into(),
+            label: "regNo".into(),
+            iri: None,
+            source: "studentType".into(),
+            targets: vec!["stringType".into()],
+        };
+        assert!(et.add_target("intType"));
+        assert!(!et.add_target("intType"));
+        assert_eq!(et.targets.len(), 2);
+        assert!(et.allows_target("stringType"));
+    }
+
+    #[test]
+    fn property_lookup() {
+        let mut nt = NodeType::entity("t", "T", "http://ex/T");
+        nt.properties
+            .push(PropertySpec::required("x", ContentType::Int));
+        assert!(nt.property("x").is_some());
+        assert!(nt.property("y").is_none());
+    }
+}

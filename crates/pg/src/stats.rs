@@ -1,0 +1,76 @@
+//! Transformed-graph statistics matching Table 5 of the paper
+//! ("Transformed Graphs (PG models) Stats").
+
+use crate::graph::PropertyGraph;
+
+/// The per-PG statistics the paper reports in Table 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PgStats {
+    /// "# of Nodes".
+    pub nodes: usize,
+    /// "# of Edges".
+    pub edges: usize,
+    /// "# of Rel Types" — distinct edge labels.
+    pub rel_types: usize,
+    /// Distinct node labels (not in the paper's table, useful diagnostics).
+    pub node_labels: usize,
+    /// Total key/value properties across nodes and edges.
+    pub properties: usize,
+}
+
+impl PgStats {
+    /// Compute statistics for `pg`.
+    pub fn of(pg: &PropertyGraph) -> Self {
+        let mut node_labels = std::collections::BTreeSet::new();
+        let mut properties = 0;
+        for id in pg.node_ids() {
+            let node = pg.node(id);
+            properties += node.props.len();
+            for &l in &node.labels {
+                node_labels.insert(l);
+            }
+        }
+        for id in pg.edge_ids() {
+            properties += pg.edge(id).props.len();
+        }
+        PgStats {
+            nodes: pg.node_count(),
+            edges: pg.edge_count(),
+            rel_types: pg.relationship_type_count(),
+            node_labels: node_labels.len(),
+            properties,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn counts_nodes_edges_types() {
+        let mut pg = PropertyGraph::new();
+        let a = pg.add_node(["Person", "Student"]);
+        let b = pg.add_node(["Person"]);
+        let c = pg.add_node(["Department"]);
+        pg.set_prop(a, "name", Value::String("A".into()));
+        pg.set_prop(b, "name", Value::String("B".into()));
+        pg.add_edge(a, b, "advisedBy");
+        let e = pg.add_edge(b, c, "worksFor");
+        pg.set_edge_prop(e, "since", Value::Year(2020));
+        pg.add_edge(a, c, "worksFor");
+
+        let stats = PgStats::of(&pg);
+        assert_eq!(stats.nodes, 3);
+        assert_eq!(stats.edges, 3);
+        assert_eq!(stats.rel_types, 2);
+        assert_eq!(stats.node_labels, 3);
+        assert_eq!(stats.properties, 3);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        assert_eq!(PgStats::of(&PropertyGraph::new()), PgStats::default());
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the PG substrate: CSV and YARS-PG round-trips
+//! over arbitrary property graphs, and conformance/value invariants.
+
+use proptest::prelude::*;
+use s3pg_pg::{csv, yarspg, NodeId, PropertyGraph, Value};
+
+fn string_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~äöü;|=,\\[\\]\"'\\\\]{0,16}").unwrap()
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let scalar = prop_oneof![
+        string_strategy().prop_map(Value::String),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        (1900i32..2100).prop_map(Value::Year),
+        proptest::string::string_regex("20[0-9]{2}-[01][0-9]-[0-2][0-9]")
+            .unwrap()
+            .prop_map(Value::Date),
+    ];
+    scalar.clone().prop_recursive(1, 8, 4, move |inner| {
+        proptest::collection::vec(inner, 1..4).prop_map(Value::List)
+    })
+}
+
+type Props = Vec<(String, Value)>;
+
+#[derive(Debug, Clone)]
+struct ArbGraph {
+    nodes: Vec<(Vec<String>, Props)>,
+    edges: Vec<(usize, usize, String, Props)>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = ArbGraph> {
+    let label = || proptest::string::string_regex("[A-Za-z][A-Za-z0-9_]{0,8}").unwrap();
+    let key = || proptest::string::string_regex("[a-z][a-z0-9_]{0,8}").unwrap();
+    let node = (
+        proptest::collection::vec(label(), 0..3),
+        proptest::collection::vec((key(), value_strategy()), 0..4),
+    );
+    proptest::collection::vec(node, 1..12)
+        .prop_flat_map(move |nodes| {
+            let n = nodes.len();
+            let edge = (
+                0..n,
+                0..n,
+                proptest::string::string_regex("[a-z][a-zA-Z0-9_]{0,8}").unwrap(),
+                proptest::collection::vec(
+                    (
+                        proptest::string::string_regex("[a-z][a-z0-9_]{0,6}").unwrap(),
+                        value_strategy(),
+                    ),
+                    0..2,
+                ),
+            );
+            (Just(nodes), proptest::collection::vec(edge, 0..16))
+        })
+        .prop_map(|(nodes, edges)| ArbGraph { nodes, edges })
+}
+
+fn build(arb: &ArbGraph) -> PropertyGraph {
+    let mut pg = PropertyGraph::new();
+    let ids: Vec<NodeId> = arb
+        .nodes
+        .iter()
+        .map(|(labels, props)| {
+            let id = pg.add_node(labels.iter().map(String::as_str));
+            // Last write wins for duplicate keys, matching set_prop.
+            for (k, v) in props {
+                pg.set_prop(id, k, v.clone());
+            }
+            id
+        })
+        .collect();
+    for (src, dst, label, props) in &arb.edges {
+        let e = pg.add_edge(ids[*src], ids[*dst], label);
+        for (k, v) in props {
+            pg.set_edge_prop(e, k, v.clone());
+        }
+    }
+    pg
+}
+
+fn graphs_equal(a: &PropertyGraph, b: &PropertyGraph) -> bool {
+    if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    for (na, nb) in a.node_ids().zip(b.node_ids()) {
+        if a.labels_of(na) != b.labels_of(nb) {
+            return false;
+        }
+        let pa: Vec<(String, Value)> = a
+            .node(na)
+            .props
+            .iter()
+            .map(|(k, v)| (a.resolve(*k).to_string(), v.clone()))
+            .collect();
+        let pb: Vec<(String, Value)> = b
+            .node(nb)
+            .props
+            .iter()
+            .map(|(k, v)| (b.resolve(*k).to_string(), v.clone()))
+            .collect();
+        if pa != pb {
+            return false;
+        }
+    }
+    for (ea, eb) in a.edge_ids().zip(b.edge_ids()) {
+        let (xa, xb) = (a.edge(ea), b.edge(eb));
+        if xa.src != xb.src || xa.dst != xb.dst {
+            return false;
+        }
+        if a.edge_labels_of(ea) != b.edge_labels_of(eb) {
+            return false;
+        }
+        let pa: Vec<(String, Value)> = xa
+            .props
+            .iter()
+            .map(|(k, v)| (a.resolve(*k).to_string(), v.clone()))
+            .collect();
+        let pb: Vec<(String, Value)> = xb
+            .props
+            .iter()
+            .map(|(k, v)| (b.resolve(*k).to_string(), v.clone()))
+            .collect();
+        if pa != pb {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSV bulk export/import round-trips arbitrary graphs exactly.
+    #[test]
+    fn csv_roundtrip(arb in graph_strategy()) {
+        let pg = build(&arb);
+        let back = csv::import(&csv::export(&pg)).unwrap();
+        prop_assert!(graphs_equal(&pg, &back));
+    }
+
+    /// YARS-PG serialization round-trips arbitrary graphs exactly.
+    #[test]
+    fn yarspg_roundtrip(arb in graph_strategy()) {
+        let pg = build(&arb);
+        let back = yarspg::from_yarspg(&yarspg::to_yarspg(&pg)).unwrap();
+        prop_assert!(graphs_equal(&pg, &back));
+    }
+
+    /// `push_prop` after N pushes yields either a scalar (N=1) or a list of
+    /// exactly N values.
+    #[test]
+    fn push_prop_accumulates(values in proptest::collection::vec(value_strategy(), 1..6)) {
+        // Lists inside lists are not produced by push (arrays are flat), so
+        // only push scalars.
+        let scalars: Vec<Value> = values
+            .into_iter()
+            .map(|v| match v {
+                Value::List(mut items) => items.pop().unwrap(),
+                other => other,
+            })
+            .collect();
+        let mut pg = PropertyGraph::new();
+        let n = pg.add_node(["T"]);
+        for v in &scalars {
+            pg.push_prop(n, "k", v.clone());
+        }
+        match pg.prop(n, "k").unwrap() {
+            Value::List(items) => prop_assert_eq!(items.len(), scalars.len()),
+            _ => prop_assert_eq!(scalars.len(), 1),
+        }
+    }
+
+    /// Edge tombstones never corrupt adjacency: removing an edge leaves all
+    /// other edges reachable and counts consistent.
+    #[test]
+    fn edge_removal_consistency(arb in graph_strategy(), victim in 0usize..16) {
+        let mut pg = build(&arb);
+        if pg.edge_count() == 0 {
+            return Ok(());
+        }
+        let edges: Vec<_> = pg.edge_ids().collect();
+        let e = edges[victim % edges.len()];
+        let edge = pg.edge(e).clone();
+        let label = pg.edge_labels_of(e)[0].to_string();
+        let before = pg.edge_count();
+        prop_assert!(pg.remove_edge(edge.src, edge.dst, &label));
+        prop_assert_eq!(pg.edge_count(), before - 1);
+        prop_assert!(!pg.edge_is_live(e));
+        let out_sum: usize = pg.node_ids().map(|n| pg.out_edges(n).len()).sum();
+        prop_assert_eq!(out_sum, pg.edge_count());
+        let in_sum: usize = pg.node_ids().map(|n| pg.in_edges(n).len()).sum();
+        prop_assert_eq!(in_sum, pg.edge_count());
+    }
+}

@@ -1,0 +1,1542 @@
+//! A Cypher subset over [`s3pg_pg::PropertyGraph`].
+//!
+//! Covers the query shapes the paper's quality analysis uses (§5.2), e.g.
+//! the two translations of Q22:
+//!
+//! ```text
+//! MATCH (n:sch_ShoppingCenter)-[:dbp_address]->(tn)
+//! RETURN n.iri AS node_iri, COALESCE(tn.ov, tn.iri) AS tn_iri_or_value
+//! ```
+//!
+//! ```text
+//! MATCH (node:sch_ShoppingCenter)-[:sch_address]->(tn)
+//! RETURN node.uri AS node_uri, tn.uri AS v
+//! UNION ALL
+//! MATCH (node:sch_ShoppingCenter)
+//! UNWIND node.sch_address AS v
+//! RETURN node.uri AS node_uri, v
+//! ```
+//!
+//! Supported grammar: `MATCH` with comma-separated multi-hop path patterns
+//! (directed or undirected relationships, multiple labels), `WHERE`,
+//! `UNWIND expr AS var`, `RETURN DISTINCT? expr AS alias, …`, `LIMIT`, and
+//! `UNION ALL` between single queries. Expressions: property access,
+//! variables, literals, `COALESCE`, comparisons, `AND`/`OR`/`NOT`,
+//! `IS NULL` / `IS NOT NULL`. NULL propagates as in Cypher; `UNWIND` of
+//! NULL produces no rows.
+
+use s3pg_pg::{EdgeId, NodeId, PropertyGraph, Value};
+use s3pg_rdf::fxhash::{FxHashMap, FxHashSet};
+use std::fmt;
+
+/// A parse or evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CypherError(pub String);
+
+impl fmt::Display for CypherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cypher error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CypherError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CypherError> {
+    Err(CypherError(msg.into()))
+}
+
+// ---- AST -------------------------------------------------------------------
+
+/// A node pattern `(var:Label1:Label2)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodePattern {
+    pub var: Option<String>,
+    pub labels: Vec<String>,
+}
+
+/// Relationship direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Out,
+    In,
+    Undirected,
+}
+
+/// A relationship pattern `-[var:label]->`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelPattern {
+    pub var: Option<String>,
+    pub labels: Vec<String>,
+    pub direction: Direction,
+}
+
+/// A path: start node plus hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPattern {
+    pub start: NodePattern,
+    pub hops: Vec<(RelPattern, NodePattern)>,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Var(String),
+    Prop(String, String),
+    Lit(Value),
+    Null,
+    Coalesce(Vec<Expr>),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    IsNull(Box<Expr>, bool), // bool = negated (IS NOT NULL)
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// One `MATCH … RETURN …` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleQuery {
+    pub patterns: Vec<PathPattern>,
+    /// `OPTIONAL MATCH` patterns: rows they cannot extend are kept with the
+    /// pattern's variables unbound (NULL).
+    pub optional_patterns: Vec<PathPattern>,
+    pub where_clause: Option<Expr>,
+    /// Chained `UNWIND expr AS var` clauses, applied in order.
+    pub unwind: Vec<(Expr, String)>,
+    /// Dialect extension: a `WHERE` directly after the UNWIND chain,
+    /// evaluated against the unwound variables (standard Cypher needs a
+    /// `WITH` for this; the paper's translated queries do not).
+    pub unwind_where: Option<Expr>,
+    pub return_items: Vec<(ReturnItem, String)>,
+    pub distinct: bool,
+    /// `ORDER BY expr [DESC]` — index into `return_items` plus descending.
+    pub order_by: Option<(usize, bool)>,
+    pub skip: Option<usize>,
+    pub limit: Option<usize>,
+}
+
+/// One projection: a plain expression or a `count(...)` aggregate. When any
+/// aggregate is present the non-aggregated items act as grouping keys
+/// (Cypher's implicit GROUP BY).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnItem {
+    Expr(Expr),
+    /// `count(*)` (arg `None`) or `count([DISTINCT] expr)`.
+    Count {
+        distinct: bool,
+        arg: Option<Expr>,
+    },
+}
+
+/// A full query: one or more single queries joined by `UNION ALL`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CypherQuery {
+    pub parts: Vec<SingleQuery>,
+}
+
+// ---- lexer -----------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Int(i64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Colon,
+    Comma,
+    Dot,
+    Dash,
+    Arrow,     // ->
+    BackArrow, // <-
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne, // <>
+    Star,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, CypherError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b if (b as char).is_ascii_whitespace() => pos += 1,
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'(' => {
+                out.push(Tok::LParen);
+                pos += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                pos += 1;
+            }
+            b'[' => {
+                out.push(Tok::LBracket);
+                pos += 1;
+            }
+            b']' => {
+                out.push(Tok::RBracket);
+                pos += 1;
+            }
+            b':' => {
+                out.push(Tok::Colon);
+                pos += 1;
+            }
+            b',' => {
+                out.push(Tok::Comma);
+                pos += 1;
+            }
+            b'.' => {
+                out.push(Tok::Dot);
+                pos += 1;
+            }
+            b'-' if bytes.get(pos + 1) == Some(&b'>') => {
+                out.push(Tok::Arrow);
+                pos += 2;
+            }
+            b'-' => {
+                // Negative number or dash.
+                if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)
+                    && matches!(
+                        out.last(),
+                        Some(Tok::Eq)
+                            | Some(Tok::Ne)
+                            | Some(Tok::Lt)
+                            | Some(Tok::Gt)
+                            | Some(Tok::Le)
+                            | Some(Tok::Ge)
+                            | Some(Tok::LParen)
+                            | Some(Tok::Comma)
+                    )
+                {
+                    let (tok, next) = lex_number(bytes, pos)?;
+                    out.push(tok);
+                    pos = next;
+                } else {
+                    out.push(Tok::Dash);
+                    pos += 1;
+                }
+            }
+            b'<' if bytes.get(pos + 1) == Some(&b'-') => {
+                out.push(Tok::BackArrow);
+                pos += 2;
+            }
+            b'<' if bytes.get(pos + 1) == Some(&b'>') => {
+                out.push(Tok::Ne);
+                pos += 2;
+            }
+            b'<' if bytes.get(pos + 1) == Some(&b'=') => {
+                out.push(Tok::Le);
+                pos += 2;
+            }
+            b'<' => {
+                out.push(Tok::Lt);
+                pos += 1;
+            }
+            b'>' if bytes.get(pos + 1) == Some(&b'=') => {
+                out.push(Tok::Ge);
+                pos += 2;
+            }
+            b'>' => {
+                out.push(Tok::Gt);
+                pos += 1;
+            }
+            b'=' => {
+                out.push(Tok::Eq);
+                pos += 1;
+            }
+            b'*' => {
+                out.push(Tok::Star);
+                pos += 1;
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                let start = pos + 1;
+                let mut end = start;
+                let mut text = String::new();
+                loop {
+                    match bytes.get(end) {
+                        Some(&c) if c == quote => break,
+                        Some(b'\\') => {
+                            match bytes.get(end + 1) {
+                                Some(b'n') => text.push('\n'),
+                                Some(b't') => text.push('\t'),
+                                Some(&c) => text.push(c as char),
+                                None => return err("unterminated string"),
+                            }
+                            end += 2;
+                        }
+                        Some(&c) => {
+                            text.push(c as char);
+                            end += 1;
+                        }
+                        None => return err("unterminated string"),
+                    }
+                }
+                out.push(Tok::Str(text));
+                pos = end + 1;
+            }
+            b'`' => {
+                let start = pos + 1;
+                let Some(close) = bytes[start..].iter().position(|&c| c == b'`') else {
+                    return err("unterminated backtick identifier");
+                };
+                out.push(Tok::Ident(
+                    std::str::from_utf8(&bytes[start..start + close])
+                        .map_err(|_| CypherError("invalid UTF-8".into()))?
+                        .to_string(),
+                ));
+                pos = start + close + 1;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(bytes, pos)?;
+                out.push(tok);
+                pos = next;
+            }
+            _ => {
+                let start = pos;
+                while pos < bytes.len() {
+                    let c = bytes[pos] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if pos == start {
+                    return err(format!("unexpected character '{}'", b as char));
+                }
+                out.push(Tok::Ident(
+                    std::str::from_utf8(&bytes[start..pos]).unwrap().to_string(),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(bytes: &[u8], mut pos: usize) -> Result<(Tok, usize), CypherError> {
+    let start = pos;
+    if bytes[pos] == b'-' {
+        pos += 1;
+    }
+    let mut is_float = false;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'0'..=b'9' => pos += 1,
+            b'.' if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) && !is_float => {
+                is_float = true;
+                pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..pos]).unwrap();
+    if is_float {
+        Ok((
+            Tok::Num(text.parse().map_err(|_| CypherError("bad number".into()))?),
+            pos,
+        ))
+    } else {
+        Ok((
+            Tok::Int(
+                text.parse()
+                    .map_err(|_| CypherError("bad integer".into()))?,
+            ),
+            pos,
+        ))
+    }
+}
+
+// ---- parser ----------------------------------------------------------------
+
+/// Parse a Cypher query.
+pub fn parse(input: &str) -> Result<CypherQuery, CypherError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut parts = vec![p.single_query()?];
+    while p.eat_kw("UNION") {
+        if !p.eat_kw("ALL") {
+            return err("only UNION ALL is supported");
+        }
+        parts.push(p.single_query()?);
+    }
+    if p.pos != p.tokens.len() {
+        return err("trailing tokens after query");
+    }
+    let arity = parts[0].return_items.len();
+    if parts.iter().any(|q| q.return_items.len() != arity) {
+        return err("UNION ALL parts must return the same number of columns");
+    }
+    Ok(CypherQuery { parts })
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CypherError> {
+        match self.next() {
+            Some(Tok::Ident(w)) => Ok(w),
+            other => err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn single_query(&mut self) -> Result<SingleQuery, CypherError> {
+        let mut patterns = Vec::new();
+        let mut optional_patterns = Vec::new();
+        let mut where_clause = None;
+        loop {
+            let optional = self.eat_kw("OPTIONAL");
+            if !self.eat_kw("MATCH") {
+                if optional {
+                    return err("expected MATCH after OPTIONAL");
+                }
+                break;
+            }
+            let sink: &mut Vec<PathPattern> = if optional {
+                &mut optional_patterns
+            } else {
+                &mut patterns
+            };
+            sink.push(self.path_pattern()?);
+            while self.eat(&Tok::Comma) {
+                let p = self.path_pattern()?;
+                if optional {
+                    optional_patterns.push(p);
+                } else {
+                    patterns.push(p);
+                }
+            }
+            if self.eat_kw("WHERE") {
+                let expr = self.expr()?;
+                where_clause = Some(match where_clause.take() {
+                    Some(prev) => Expr::And(Box::new(prev), Box::new(expr)),
+                    None => expr,
+                });
+            }
+        }
+        if patterns.is_empty() {
+            return err("query must begin with MATCH");
+        }
+        let mut unwind = Vec::new();
+        while self.eat_kw("UNWIND") {
+            let e = self.expr()?;
+            if !self.eat_kw("AS") {
+                return err("expected AS in UNWIND");
+            }
+            let var = self.ident("UNWIND variable")?;
+            unwind.push((e, var));
+        }
+        let unwind_where = if !unwind.is_empty() && self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        if !self.eat_kw("RETURN") {
+            return err("expected RETURN");
+        }
+        let distinct = self.eat_kw("DISTINCT");
+        let mut return_items: Vec<(ReturnItem, String)> = Vec::new();
+        loop {
+            let item = self.return_item()?;
+            let alias = if self.eat_kw("AS") {
+                self.ident("alias")?
+            } else {
+                match &item {
+                    ReturnItem::Expr(Expr::Var(v)) => v.clone(),
+                    ReturnItem::Expr(Expr::Prop(v, k)) => format!("{v}.{k}"),
+                    ReturnItem::Count { .. } => format!("count{}", return_items.len()),
+                    _ => format!("col{}", return_items.len()),
+                }
+            };
+            return_items.push((item, alias));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let order_by = if self.eat_kw("ORDER") {
+            if !self.eat_kw("BY") {
+                return err("expected BY after ORDER");
+            }
+            // Order key must reference a returned alias or expression.
+            let key = self.expr()?;
+            let index = return_items
+                .iter()
+                .position(|(item, alias)| match (&key, item) {
+                    (Expr::Var(v), _) if v == alias => true,
+                    (k, ReturnItem::Expr(e)) => k == e,
+                    _ => false,
+                })
+                .ok_or_else(|| {
+                    CypherError("ORDER BY must reference a RETURN item or alias".into())
+                })?;
+            let descending = if self.eat_kw("DESC") || self.eat_kw("DESCENDING") {
+                true
+            } else {
+                let _ = self.eat_kw("ASC") || self.eat_kw("ASCENDING");
+                false
+            };
+            Some((index, descending))
+        } else {
+            None
+        };
+        let skip = if self.eat_kw("SKIP") {
+            match self.next() {
+                Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return err("expected non-negative integer after SKIP"),
+            }
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return err("expected non-negative integer after LIMIT"),
+            }
+        } else {
+            None
+        };
+        Ok(SingleQuery {
+            patterns,
+            optional_patterns,
+            where_clause,
+            unwind,
+            unwind_where,
+            return_items,
+            distinct,
+            order_by,
+            skip,
+            limit,
+        })
+    }
+
+    /// A RETURN item: `count(*)`, `count([DISTINCT] expr)`, or an expression.
+    fn return_item(&mut self) -> Result<ReturnItem, CypherError> {
+        if let Some(Tok::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case("COUNT") {
+                // Lookahead: only treat as aggregate when '(' follows.
+                if self.tokens.get(self.pos + 1) == Some(&Tok::LParen) {
+                    self.pos += 2;
+                    if self.eat(&Tok::Star) {
+                        if !self.eat(&Tok::RParen) {
+                            return err("expected ')' after count(*");
+                        }
+                        return Ok(ReturnItem::Count {
+                            distinct: false,
+                            arg: None,
+                        });
+                    }
+                    let distinct = self.eat_kw("DISTINCT");
+                    let arg = self.expr()?;
+                    if !self.eat(&Tok::RParen) {
+                        return err("expected ')' closing count(...)");
+                    }
+                    return Ok(ReturnItem::Count {
+                        distinct,
+                        arg: Some(arg),
+                    });
+                }
+            }
+        }
+        Ok(ReturnItem::Expr(self.expr()?))
+    }
+
+    fn path_pattern(&mut self) -> Result<PathPattern, CypherError> {
+        let start = self.node_pattern()?;
+        let mut hops = Vec::new();
+        loop {
+            let direction_in = if self.eat(&Tok::BackArrow) {
+                true
+            } else if self.eat(&Tok::Dash) {
+                false
+            } else {
+                break;
+            };
+            // Optional [var:label] part.
+            let (var, labels) = if self.eat(&Tok::LBracket) {
+                let var = match self.peek() {
+                    Some(Tok::Ident(_)) => Some(self.ident("rel variable")?),
+                    _ => None,
+                };
+                let mut labels = Vec::new();
+                while self.eat(&Tok::Colon) {
+                    labels.push(self.ident("rel label")?);
+                }
+                if !self.eat(&Tok::RBracket) {
+                    return err("expected ']'");
+                }
+                (var, labels)
+            } else {
+                (None, Vec::new())
+            };
+            let direction = if direction_in {
+                if !self.eat(&Tok::Dash) {
+                    return err("expected '-' after '<-[...]'");
+                }
+                Direction::In
+            } else if self.eat(&Tok::Arrow) {
+                Direction::Out
+            } else if self.eat(&Tok::Dash) {
+                Direction::Undirected
+            } else {
+                return err("expected '->' or '-' after relationship");
+            };
+            let node = self.node_pattern()?;
+            hops.push((
+                RelPattern {
+                    var,
+                    labels,
+                    direction,
+                },
+                node,
+            ));
+        }
+        Ok(PathPattern { start, hops })
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern, CypherError> {
+        if !self.eat(&Tok::LParen) {
+            return err("expected '(' starting node pattern");
+        }
+        let var = match self.peek() {
+            Some(Tok::Ident(_)) => Some(self.ident("node variable")?),
+            _ => None,
+        };
+        let mut labels = Vec::new();
+        while self.eat(&Tok::Colon) {
+            labels.push(self.ident("label")?);
+        }
+        if !self.eat(&Tok::RParen) {
+            return err("expected ')' closing node pattern");
+        }
+        Ok(NodePattern { var, labels })
+    }
+
+    fn expr(&mut self) -> Result<Expr, CypherError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CypherError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CypherError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, CypherError> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CypherError> {
+        let left = self.atom()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.atom()?;
+            return Ok(Expr::Cmp(op, Box::new(left), Box::new(right)));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            if !self.eat_kw("NULL") {
+                return err("expected NULL after IS [NOT]");
+            }
+            return Ok(Expr::IsNull(Box::new(left), negated));
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Expr, CypherError> {
+        match self.next() {
+            Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("COALESCE") => {
+                if !self.eat(&Tok::LParen) {
+                    return err("expected '(' after COALESCE");
+                }
+                let mut args = vec![self.expr()?];
+                while self.eat(&Tok::Comma) {
+                    args.push(self.expr()?);
+                }
+                if !self.eat(&Tok::RParen) {
+                    return err("expected ')' closing COALESCE");
+                }
+                Ok(Expr::Coalesce(args))
+            }
+            Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("NULL") => Ok(Expr::Null),
+            Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("TRUE") => {
+                Ok(Expr::Lit(Value::Bool(true)))
+            }
+            Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("FALSE") => {
+                Ok(Expr::Lit(Value::Bool(false)))
+            }
+            Some(Tok::Ident(var)) => {
+                if self.eat(&Tok::Dot) {
+                    let key = self.ident("property key")?;
+                    Ok(Expr::Prop(var, key))
+                } else {
+                    Ok(Expr::Var(var))
+                }
+            }
+            Some(Tok::Str(s)) => Ok(Expr::Lit(Value::String(s))),
+            Some(Tok::Int(i)) => Ok(Expr::Lit(Value::Int(i))),
+            Some(Tok::Num(f)) => Ok(Expr::Lit(Value::Float(f))),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                if !self.eat(&Tok::RParen) {
+                    return err("expected ')'");
+                }
+                Ok(e)
+            }
+            other => err(format!("unexpected token in expression: {other:?}")),
+        }
+    }
+}
+
+// ---- evaluation ------------------------------------------------------------
+
+/// One bound variable.
+#[derive(Debug, Clone, PartialEq)]
+enum Binding {
+    Node(NodeId),
+    Edge(EdgeId),
+    Val(Value),
+}
+
+type Row = FxHashMap<String, Binding>;
+
+/// Query results: aliases plus rows of nullable values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rows {
+    /// Column aliases.
+    pub columns: Vec<String>,
+    /// Each row aligned with `columns`; `None` is Cypher NULL.
+    pub rows: Vec<Vec<Option<Value>>>,
+}
+
+impl Rows {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Parse and evaluate `query` over `pg`.
+pub fn execute(pg: &PropertyGraph, query: &str) -> Result<Rows, CypherError> {
+    let q = parse(query)?;
+    evaluate(pg, &q)
+}
+
+/// Evaluate a parsed query over `pg`.
+pub fn evaluate(pg: &PropertyGraph, query: &CypherQuery) -> Result<Rows, CypherError> {
+    let mut columns: Vec<String> = Vec::new();
+    let mut all_rows: Vec<Vec<Option<Value>>> = Vec::new();
+    for (i, part) in query.parts.iter().enumerate() {
+        let part_rows = evaluate_single(pg, part)?;
+        if i == 0 {
+            columns = part_rows.columns;
+        }
+        all_rows.extend(part_rows.rows);
+    }
+    Ok(Rows {
+        columns,
+        rows: all_rows,
+    })
+}
+
+fn evaluate_single(pg: &PropertyGraph, q: &SingleQuery) -> Result<Rows, CypherError> {
+    let mut rows: Vec<Row> = vec![Row::default()];
+    for pattern in &q.patterns {
+        rows = expand_path(pg, pattern, rows)?;
+        if rows.is_empty() {
+            break;
+        }
+    }
+    // OPTIONAL MATCH: left-join semantics per pattern.
+    for pattern in &q.optional_patterns {
+        let mut extended = Vec::with_capacity(rows.len());
+        for row in rows {
+            let sub = expand_path(pg, pattern, vec![row.clone()])?;
+            if sub.is_empty() {
+                extended.push(row);
+            } else {
+                extended.extend(sub);
+            }
+        }
+        rows = extended;
+    }
+    if let Some(where_clause) = &q.where_clause {
+        rows.retain(|row| matches!(eval(pg, where_clause, row), Some(Value::Bool(true))));
+    }
+    for (expr, var) in &q.unwind {
+        let mut unwound = Vec::new();
+        for row in rows {
+            match eval(pg, expr, &row) {
+                None => {} // UNWIND NULL → no rows
+                Some(value) => {
+                    for item in value.iter_flat() {
+                        let mut r = row.clone();
+                        r.insert(var.clone(), Binding::Val(item.clone()));
+                        unwound.push(r);
+                    }
+                }
+            }
+        }
+        rows = unwound;
+    }
+    if let Some(unwind_where) = &q.unwind_where {
+        rows.retain(|row| matches!(eval(pg, unwind_where, row), Some(Value::Bool(true))));
+    }
+    let columns: Vec<String> = q.return_items.iter().map(|(_, a)| a.clone()).collect();
+    let has_aggregate = q
+        .return_items
+        .iter()
+        .any(|(item, _)| matches!(item, ReturnItem::Count { .. }));
+
+    let mut out: Vec<Vec<Option<Value>>> = if has_aggregate {
+        aggregate_rows(pg, q, &rows)
+    } else {
+        rows.iter()
+            .map(|row| {
+                q.return_items
+                    .iter()
+                    .map(|(item, _)| match item {
+                        ReturnItem::Expr(e) => eval(pg, e, row),
+                        ReturnItem::Count { .. } => unreachable!(),
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    if q.distinct {
+        let mut seen = FxHashSet::default();
+        out.retain(|r| {
+            let key: Vec<String> = r
+                .iter()
+                .map(|v| v.as_ref().map_or("∅".to_string(), |v| format!("{v:?}")))
+                .collect();
+            seen.insert(key)
+        });
+    }
+    if let Some((index, descending)) = q.order_by {
+        out.sort_by(|a, b| {
+            let ord = match (&a[index], &b[index]) {
+                (Some(x), Some(y)) => {
+                    compare(x, y).unwrap_or_else(|| x.to_string().cmp(&y.to_string()))
+                }
+                (None, None) => std::cmp::Ordering::Equal,
+                // NULL sorts last (Cypher default ascending).
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (Some(_), None) => std::cmp::Ordering::Less,
+            };
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(skip) = q.skip {
+        out.drain(..skip.min(out.len()));
+    }
+    if let Some(limit) = q.limit {
+        out.truncate(limit);
+    }
+    Ok(Rows { columns, rows: out })
+}
+
+/// Cypher's implicit grouping: non-aggregated RETURN items form the group
+/// key; each `count` aggregates within its group. `count(expr)` skips NULLs;
+/// `count(DISTINCT expr)` counts distinct non-NULL values.
+fn aggregate_rows(pg: &PropertyGraph, q: &SingleQuery, rows: &[Row]) -> Vec<Vec<Option<Value>>> {
+    use std::collections::BTreeMap;
+    // Group key: rendered non-aggregate values in item order.
+    struct Group {
+        key_values: Vec<Option<Value>>,
+        count_star: usize,
+        /// Per count-item: plain tally and distinct-set.
+        counts: Vec<usize>,
+        distinct_seen: Vec<FxHashSet<String>>,
+    }
+    let count_items: Vec<usize> = q
+        .return_items
+        .iter()
+        .enumerate()
+        .filter(|(_, (item, _))| matches!(item, ReturnItem::Count { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let mut groups: BTreeMap<Vec<String>, Group> = BTreeMap::new();
+    for row in rows {
+        let mut key = Vec::new();
+        let mut key_values = Vec::new();
+        for (item, _) in &q.return_items {
+            if let ReturnItem::Expr(e) = item {
+                let v = eval(pg, e, row);
+                key.push(v.as_ref().map_or("∅".to_string(), |v| format!("{v:?}")));
+                key_values.push(v);
+            }
+        }
+        let group = groups.entry(key).or_insert_with(|| Group {
+            key_values,
+            count_star: 0,
+            counts: vec![0; count_items.len()],
+            distinct_seen: vec![FxHashSet::default(); count_items.len()],
+        });
+        group.count_star += 1;
+        for (slot, &item_index) in count_items.iter().enumerate() {
+            if let (ReturnItem::Count { distinct, arg }, _) = &q.return_items[item_index] {
+                match arg {
+                    None => group.counts[slot] += 1,
+                    Some(expr) => {
+                        if let Some(v) = eval(pg, expr, row) {
+                            if *distinct {
+                                group.distinct_seen[slot].insert(format!("{v:?}"));
+                            } else {
+                                group.counts[slot] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // When there are no rows and no grouping keys, count(*) is 0.
+    if groups.is_empty() && count_items.len() == q.return_items.len() {
+        let row = q.return_items.iter().map(|_| Some(Value::Int(0))).collect();
+        return vec![row];
+    }
+    groups
+        .into_values()
+        .map(|group| {
+            let mut key_iter = group.key_values.into_iter();
+            let mut counts = group.counts.iter();
+            let mut distinct_sets = group.distinct_seen.iter();
+            q.return_items
+                .iter()
+                .map(|(item, _)| match item {
+                    ReturnItem::Expr(_) => key_iter.next().unwrap(),
+                    ReturnItem::Count { distinct, arg } => {
+                        let plain = *counts.next().unwrap();
+                        let distinct_count = distinct_sets.next().unwrap().len();
+                        let n = match (arg, distinct) {
+                            (Some(_), true) => distinct_count,
+                            _ => plain,
+                        };
+                        Some(Value::Int(n as i64))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn expand_path(
+    pg: &PropertyGraph,
+    pattern: &PathPattern,
+    rows: Vec<Row>,
+) -> Result<Vec<Row>, CypherError> {
+    // Bind the start node.
+    let mut current: Vec<Row> = Vec::new();
+    for row in rows {
+        let pre_bound = match pattern.start.var.as_ref().and_then(|v| row.get(v)) {
+            Some(Binding::Node(n)) => Some(*n),
+            Some(_) => return err("pattern variable already bound to a non-node"),
+            None => None,
+        };
+        match pre_bound {
+            Some(n) => {
+                if node_matches(pg, n, &pattern.start) {
+                    let mut r = row;
+                    r.insert("\u{0}anchor".into(), Binding::Node(n));
+                    current.push(r);
+                }
+            }
+            None => {
+                let candidates: Vec<NodeId> = match pattern.start.labels.first() {
+                    Some(label) => pg.nodes_with_label(label).to_vec(),
+                    None => pg.node_ids().collect(),
+                };
+                for n in candidates {
+                    if node_matches(pg, n, &pattern.start) {
+                        let mut r = row.clone();
+                        if let Some(v) = &pattern.start.var {
+                            r.insert(v.clone(), Binding::Node(n));
+                        }
+                        // Track the anonymous position for subsequent hops.
+                        r.insert("\u{0}anchor".into(), Binding::Node(n));
+                        current.push(r);
+                    }
+                }
+            }
+        }
+    }
+
+    for (rel, node) in &pattern.hops {
+        let mut next: Vec<Row> = Vec::new();
+        for row in &current {
+            let Some(Binding::Node(anchor)) = row.get("\u{0}anchor").cloned() else {
+                continue;
+            };
+            let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
+            let mut collect = |edges: &[EdgeId], outgoing: bool| {
+                for &e in edges {
+                    let edge = pg.edge(e);
+                    let label_ok = rel.labels.is_empty()
+                        || pg
+                            .edge_labels_of(e)
+                            .iter()
+                            .any(|l| rel.labels.iter().any(|rl| rl == l));
+                    if label_ok {
+                        let other = if outgoing { edge.dst } else { edge.src };
+                        candidates.push((e, other));
+                    }
+                }
+            };
+            match rel.direction {
+                Direction::Out => collect(&pg.out_edges(anchor), true),
+                Direction::In => collect(&pg.in_edges(anchor), false),
+                Direction::Undirected => {
+                    collect(&pg.out_edges(anchor), true);
+                    collect(&pg.in_edges(anchor), false);
+                }
+            }
+            for (e, target) in candidates {
+                if !node_matches(pg, target, node) {
+                    continue;
+                }
+                // Respect pre-bound node variables (joins between patterns).
+                if let Some(v) = &node.var {
+                    if let Some(existing) = row.get(v) {
+                        if existing != &Binding::Node(target) {
+                            continue;
+                        }
+                    }
+                }
+                let mut r = row.clone();
+                if let Some(v) = &rel.var {
+                    r.insert(v.clone(), Binding::Edge(e));
+                }
+                if let Some(v) = &node.var {
+                    r.insert(v.clone(), Binding::Node(target));
+                }
+                r.insert("\u{0}anchor".into(), Binding::Node(target));
+                next.push(r);
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    for row in &mut current {
+        row.remove("\u{0}anchor");
+    }
+    Ok(current)
+}
+
+fn node_matches(pg: &PropertyGraph, node: NodeId, pattern: &NodePattern) -> bool {
+    pattern.labels.iter().all(|l| pg.has_label(node, l))
+}
+
+fn eval(pg: &PropertyGraph, expr: &Expr, row: &Row) -> Option<Value> {
+    match expr {
+        Expr::Null => None,
+        Expr::Lit(v) => Some(v.clone()),
+        Expr::Var(name) => match row.get(name)? {
+            Binding::Val(v) => Some(v.clone()),
+            Binding::Node(_) | Binding::Edge(_) => None,
+        },
+        Expr::Prop(var, key) => match row.get(var)? {
+            Binding::Node(n) => pg.prop(*n, key).cloned(),
+            Binding::Edge(e) => pg.edge_prop(*e, key).cloned(),
+            Binding::Val(_) => None,
+        },
+        Expr::Coalesce(args) => args.iter().find_map(|a| eval(pg, a, row)),
+        Expr::Cmp(op, left, right) => {
+            let l = eval(pg, left, row)?;
+            let r = eval(pg, right, row)?;
+            let ord = compare(&l, &r)?;
+            Some(Value::Bool(match op {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => ord.is_ne(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+            }))
+        }
+        Expr::And(a, b) => match (eval(pg, a, row), eval(pg, b, row)) {
+            (Some(Value::Bool(x)), Some(Value::Bool(y))) => Some(Value::Bool(x && y)),
+            (Some(Value::Bool(false)), _) | (_, Some(Value::Bool(false))) => {
+                Some(Value::Bool(false))
+            }
+            _ => None,
+        },
+        Expr::Or(a, b) => match (eval(pg, a, row), eval(pg, b, row)) {
+            (Some(Value::Bool(x)), Some(Value::Bool(y))) => Some(Value::Bool(x || y)),
+            (Some(Value::Bool(true)), _) | (_, Some(Value::Bool(true))) => Some(Value::Bool(true)),
+            _ => None,
+        },
+        Expr::Not(a) => match eval(pg, a, row) {
+            Some(Value::Bool(b)) => Some(Value::Bool(!b)),
+            _ => None,
+        },
+        Expr::IsNull(a, negated) => {
+            let is_null = eval(pg, a, row).is_none();
+            Some(Value::Bool(is_null != *negated))
+        }
+    }
+}
+
+fn compare(l: &Value, r: &Value) -> Option<std::cmp::Ordering> {
+    use Value::*;
+    match (l, r) {
+        (Int(a), Int(b)) => Some(a.cmp(b)),
+        (Float(a), Float(b)) => a.partial_cmp(b),
+        (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+        (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+        (String(a), String(b)) => Some(a.cmp(b)),
+        (Bool(a), Bool(b)) => Some(a.cmp(b)),
+        (Date(a), Date(b)) => Some(a.cmp(b)),
+        (DateTime(a), DateTime(b)) => Some(a.cmp(b)),
+        (Year(a), Year(b)) => Some(a.cmp(b)),
+        (Year(a), Int(b)) => Some((*a as i64).cmp(b)),
+        (Int(a), Year(b)) => Some(a.cmp(&(*b as i64))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3pg_pg::IRI_KEY;
+
+    fn graph() -> PropertyGraph {
+        let mut pg = PropertyGraph::new();
+        let bob = pg.add_node(["Person", "Student"]);
+        pg.set_prop(bob, IRI_KEY, Value::String("http://ex/bob".into()));
+        pg.set_prop(bob, "regNo", Value::String("Bs12".into()));
+        pg.set_prop(bob, "age", Value::Int(24));
+        pg.set_prop(
+            bob,
+            "nick",
+            Value::List(vec![
+                Value::String("bobby".into()),
+                Value::String("rob".into()),
+            ]),
+        );
+        let carol = pg.add_node(["Person", "Student"]);
+        pg.set_prop(carol, IRI_KEY, Value::String("http://ex/carol".into()));
+        pg.set_prop(carol, "regNo", Value::String("Bs13".into()));
+        pg.set_prop(carol, "age", Value::Int(22));
+        let alice = pg.add_node(["Person", "Professor"]);
+        pg.set_prop(alice, IRI_KEY, Value::String("http://ex/alice".into()));
+        pg.set_prop(alice, "name", Value::String("Alice".into()));
+        let db = pg.add_node(["Course"]);
+        pg.set_prop(db, IRI_KEY, Value::String("http://ex/db".into()));
+        pg.set_prop(db, "title", Value::String("Databases".into()));
+        let string_node = pg.add_node(["STRING"]);
+        pg.set_prop(string_node, "ov", Value::String("Self Study".into()));
+        pg.add_edge(bob, alice, "advisedBy");
+        pg.add_edge(carol, alice, "advisedBy");
+        pg.add_edge(bob, db, "takesCourse");
+        pg.add_edge(carol, db, "takesCourse");
+        pg.add_edge(bob, string_node, "takesCourse");
+        pg
+    }
+
+    #[test]
+    fn match_by_label() {
+        let rows = execute(&graph(), "MATCH (n:Student) RETURN n.regNo").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.columns, vec!["n.regNo"]);
+    }
+
+    #[test]
+    fn match_relationship() {
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Student)-[:advisedBy]->(m) RETURN n.iri AS s, m.iri AS t",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows
+            .rows
+            .iter()
+            .all(|r| r[1] == Some(Value::String("http://ex/alice".into()))));
+    }
+
+    #[test]
+    fn coalesce_handles_literal_nodes() {
+        // The S3PG Q22 pattern: target may be an entity (iri) or a literal
+        // carrier node (ov).
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Student)-[:takesCourse]->(tn) RETURN n.iri AS s, COALESCE(tn.ov, tn.iri) AS v",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        let values: Vec<String> = rows
+            .rows
+            .iter()
+            .map(|r| r[1].as_ref().unwrap().to_string())
+            .collect();
+        assert!(values.contains(&"Self Study".to_string()));
+        assert!(values.contains(&"http://ex/db".to_string()));
+    }
+
+    #[test]
+    fn union_all_with_unwind() {
+        // The NeoSemantics Q22 pattern: relationship results UNION ALL
+        // array-property results.
+        let mut pg = graph();
+        let bob = pg.node_by_iri("http://ex/bob").unwrap();
+        pg.push_prop(bob, "writer", Value::String("Tofer Brown".into()));
+        pg.push_prop(bob, "writer", Value::String("Billy Montana".into()));
+        let rows = execute(
+            &pg,
+            "MATCH (n:Student)-[:advisedBy]->(m) RETURN n.iri AS s, m.iri AS v \
+             UNION ALL \
+             MATCH (n:Student) UNWIND n.writer AS v RETURN n.iri AS s, v",
+        )
+        .unwrap();
+        // 2 advisedBy rows + 2 unwound writers (carol has none → no rows).
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn unwind_null_produces_no_rows() {
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Professor) UNWIND n.missing AS v RETURN v",
+        )
+        .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn where_comparisons() {
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Student) WHERE n.age > 23 RETURN n.regNo",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.rows[0][0], Some(Value::String("Bs12".into())));
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Student) WHERE n.age >= 22 AND n.regNo = 'Bs13' RETURN n.iri",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn where_is_null() {
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Person) WHERE n.name IS NOT NULL RETURN n.name",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Person) WHERE n.name IS NULL RETURN n.iri",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn incoming_direction() {
+        let rows = execute(
+            &graph(),
+            "MATCH (p:Professor)<-[:advisedBy]-(s) RETURN s.regNo",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn undirected_matches_both() {
+        let rows = execute(
+            &graph(),
+            "MATCH (p:Professor)-[:advisedBy]-(s) RETURN s.iri",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn multi_hop_path() {
+        let rows = execute(
+            &graph(),
+            "MATCH (p:Professor)<-[:advisedBy]-(s)-[:takesCourse]->(c:Course) RETURN s.regNo, c.title",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn comma_patterns_join_on_shared_vars() {
+        let rows = execute(
+            &graph(),
+            "MATCH (s:Student)-[:advisedBy]->(p), (s)-[:takesCourse]->(c:Course) RETURN s.regNo, p.iri, c.title",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let rows = execute(
+            &graph(),
+            "MATCH (s:Student)-[:takesCourse]->(c:Course) RETURN DISTINCT c.title",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        let rows = execute(&graph(), "MATCH (n:Person) RETURN n.iri LIMIT 2").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn multiple_labels_in_node_pattern() {
+        let rows = execute(&graph(), "MATCH (n:Person:Student) RETURN n.iri").unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = execute(&graph(), "MATCH (n:Person:Course) RETURN n.iri").unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn missing_property_returns_null() {
+        let rows = execute(&graph(), "MATCH (n:Course) RETURN n.nothing AS x").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.rows[0][0], None);
+    }
+
+    #[test]
+    fn edge_variable_properties() {
+        let mut pg = graph();
+        let bob = pg.node_by_iri("http://ex/bob").unwrap();
+        let alice = pg.node_by_iri("http://ex/alice").unwrap();
+        let e = pg.add_edge(bob, alice, "mentors");
+        pg.set_edge_prop(e, "since", Value::Year(2021));
+        let rows = execute(&pg, "MATCH (a)-[r:mentors]->(b) RETURN r.since").unwrap();
+        assert_eq!(rows.rows, vec![vec![Some(Value::Year(2021))]]);
+    }
+
+    #[test]
+    fn backtick_identifiers() {
+        let mut pg = PropertyGraph::new();
+        let n = pg.add_node(["Weird Label"]);
+        pg.set_prop(n, "strange key", Value::Int(1));
+        let rows = execute(&pg, "MATCH (n:`Weird Label`) RETURN n.`strange key`").unwrap();
+        assert_eq!(rows.rows, vec![vec![Some(Value::Int(1))]]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(execute(&graph(), "RETURN 1").is_err());
+        assert!(execute(&graph(), "MATCH (n RETURN n").is_err());
+        assert!(execute(&graph(), "MATCH (n) RETURN n.x UNION MATCH (n) RETURN n.x").is_err());
+        assert!(execute(
+            &graph(),
+            "MATCH (n) RETURN n.x UNION ALL MATCH (n) RETURN n.x, n.y"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn optional_match_keeps_unmatched_rows() {
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Person) OPTIONAL MATCH (n)<-[:advisedBy]-(s) RETURN n.iri AS p, s.iri AS s",
+        )
+        .unwrap();
+        // alice matched twice (bob, carol); bob and carol keep NULL.
+        assert_eq!(rows.len(), 4);
+        let nulls = rows.rows.iter().filter(|r| r[1].is_none()).count();
+        assert_eq!(nulls, 2);
+    }
+
+    #[test]
+    fn optional_match_unbound_props_are_null() {
+        let rows = execute(
+            &graph(),
+            "MATCH (c:Course) OPTIONAL MATCH (c)-[:taughtBy]->(t) RETURN c.title, t.iri",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.rows[0][1], None);
+    }
+
+    #[test]
+    fn optional_requires_match_keyword() {
+        assert!(execute(&graph(), "MATCH (n) OPTIONAL RETURN n.iri").is_err());
+    }
+
+    #[test]
+    fn count_star() {
+        let rows = execute(&graph(), "MATCH (n:Student) RETURN count(*) AS c").unwrap();
+        assert_eq!(rows.rows, vec![vec![Some(Value::Int(2))]]);
+    }
+
+    #[test]
+    fn count_expression_skips_nulls() {
+        // Only alice has a name among Person nodes.
+        let rows = execute(&graph(), "MATCH (n:Person) RETURN count(n.name) AS c").unwrap();
+        assert_eq!(rows.rows, vec![vec![Some(Value::Int(1))]]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rows = execute(
+            &graph(),
+            "MATCH (s:Student)-[:takesCourse]->(c:Course) RETURN count(DISTINCT c.title) AS c",
+        )
+        .unwrap();
+        assert_eq!(rows.rows, vec![vec![Some(Value::Int(1))]]);
+    }
+
+    #[test]
+    fn implicit_group_by_non_aggregated_items() {
+        // Per-student course counts: bob takes 2 (db + carrier), carol 1.
+        let rows = execute(
+            &graph(),
+            "MATCH (s:Student)-[:takesCourse]->(c) RETURN s.regNo AS r, count(*) AS n ORDER BY r",
+        )
+        .unwrap();
+        assert_eq!(
+            rows.rows,
+            vec![
+                vec![Some(Value::String("Bs12".into())), Some(Value::Int(2))],
+                vec![Some(Value::String("Bs13".into())), Some(Value::Int(1))],
+            ]
+        );
+    }
+
+    #[test]
+    fn count_on_empty_match_is_zero() {
+        let rows = execute(&graph(), "MATCH (n:Nothing) RETURN count(*) AS c").unwrap();
+        assert_eq!(rows.rows, vec![vec![Some(Value::Int(0))]]);
+    }
+
+    #[test]
+    fn order_by_asc_desc_and_skip() {
+        let rows = execute(&graph(), "MATCH (n:Student) RETURN n.age AS a ORDER BY a").unwrap();
+        assert_eq!(
+            rows.rows,
+            vec![vec![Some(Value::Int(22))], vec![Some(Value::Int(24))]]
+        );
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Student) RETURN n.age AS a ORDER BY a DESC",
+        )
+        .unwrap();
+        assert_eq!(rows.rows[0], vec![Some(Value::Int(24))]);
+        let rows = execute(
+            &graph(),
+            "MATCH (n:Student) RETURN n.age AS a ORDER BY a SKIP 1 LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(rows.rows, vec![vec![Some(Value::Int(24))]]);
+    }
+
+    #[test]
+    fn order_by_nulls_sort_last() {
+        let rows = execute(&graph(), "MATCH (n:Person) RETURN n.name AS x ORDER BY x").unwrap();
+        assert_eq!(rows.rows.last().unwrap(), &vec![None]);
+        assert_eq!(rows.rows[0], vec![Some(Value::String("Alice".into()))]);
+    }
+
+    #[test]
+    fn order_by_unknown_alias_errors() {
+        assert!(execute(&graph(), "MATCH (n) RETURN n.x AS a ORDER BY b").is_err());
+    }
+
+    #[test]
+    fn anonymous_nodes_and_rels() {
+        let rows = execute(&graph(), "MATCH (:Student)-[]->(m:Course) RETURN m.title").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Result-set comparison: the `tr(µ)` conversion of Definition 3.2 and the
+//! accuracy metric of §5.2.
+//!
+//! Query preservation requires `tr(⟦Q⟧_G) = ⟦Q*⟧_PG`: SPARQL solutions are
+//! converted to the Cypher value domain (IRIs and blank-node ids become
+//! strings, literals become their typed values) and compared as multisets.
+//! The paper's accuracy percentage is
+//! `|answers on PG| / |ground-truth answers on RDF| × 100`, where results
+//! are matched row-by-row.
+
+use crate::cypher::Rows;
+use crate::sparql::Solutions;
+use s3pg_pg::Value;
+use s3pg_rdf::fxhash::FxHashMap;
+use s3pg_rdf::{Graph, Term};
+
+/// A normalized, order-insensitive result multiset: each row is a vector of
+/// nullable string renderings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultSet {
+    rows: Vec<Vec<Option<String>>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// `tr(µ)`: convert SPARQL solutions. IRIs and blank-node ids become
+    /// their string representations; literals their lexical value rendering.
+    pub fn from_sparql(graph: &Graph, solutions: &Solutions) -> Self {
+        let mut rows: Vec<Vec<Option<String>>> = solutions
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|t| t.map(|t| render_term(graph, t)))
+                    .collect()
+            })
+            .collect();
+        rows.sort();
+        ResultSet { rows }
+    }
+
+    /// Convert Cypher rows.
+    pub fn from_cypher(rows: &Rows) -> Self {
+        let mut rows: Vec<Vec<Option<String>>> = rows
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| v.as_ref().map(render_value)).collect())
+            .collect();
+        rows.sort();
+        ResultSet { rows }
+    }
+
+    /// Multiset intersection size with another result set.
+    pub fn overlap(&self, other: &ResultSet) -> usize {
+        let mut counts: FxHashMap<&[Option<String>], usize> = FxHashMap::default();
+        for row in &self.rows {
+            *counts.entry(row.as_slice()).or_insert(0) += 1;
+        }
+        let mut shared = 0;
+        for row in &other.rows {
+            if let Some(c) = counts.get_mut(row.as_slice()) {
+                if *c > 0 {
+                    *c -= 1;
+                    shared += 1;
+                }
+            }
+        }
+        shared
+    }
+
+    /// Whether two result multisets are identical (`R ⊆ R'` and `R' ⊆ R`).
+    pub fn same_as(&self, other: &ResultSet) -> bool {
+        self.rows == other.rows
+    }
+}
+
+fn render_term(graph: &Graph, term: Term) -> String {
+    match term {
+        Term::Iri(s) => graph.resolve(s).to_string(),
+        Term::Blank(s) => format!("_:{}", graph.resolve(s)),
+        Term::Literal(l) => {
+            // Render through the PG value domain so "24"^^xsd:integer on the
+            // RDF side equals Int(24) on the PG side.
+            let value = Value::from_xsd(graph.resolve(l.lexical), graph.resolve(l.datatype));
+            render_value(&value)
+        }
+    }
+}
+
+fn render_value(value: &Value) -> String {
+    value.to_string()
+}
+
+/// The paper's accuracy metric (§5.2): `|overlap with GT| / |GT| × 100`.
+/// Returns 100.0 for an empty ground truth matched by an empty result.
+pub fn accuracy(ground_truth: &ResultSet, observed: &ResultSet) -> f64 {
+    if ground_truth.is_empty() {
+        return if observed.is_empty() { 100.0 } else { 0.0 };
+    }
+    (ground_truth.overlap(observed) as f64) / (ground_truth.len() as f64) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cypher, sparql};
+    use s3pg_pg::PropertyGraph;
+    use s3pg_rdf::parser::parse_turtle;
+
+    fn rdf() -> Graph {
+        parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:bob a :Student ; :age 24 ; :advisedBy :alice .
+:carol a :Student ; :age 22 ; :advisedBy :alice .
+:alice a :Professor .
+"#,
+        )
+        .unwrap()
+    }
+
+    fn pg() -> PropertyGraph {
+        let mut pg = PropertyGraph::new();
+        let bob = pg.add_node(["Student"]);
+        pg.set_prop(bob, "iri", Value::String("http://ex/bob".into()));
+        pg.set_prop(bob, "age", Value::Int(24));
+        let carol = pg.add_node(["Student"]);
+        pg.set_prop(carol, "iri", Value::String("http://ex/carol".into()));
+        pg.set_prop(carol, "age", Value::Int(22));
+        let alice = pg.add_node(["Professor"]);
+        pg.set_prop(alice, "iri", Value::String("http://ex/alice".into()));
+        pg.add_edge(bob, alice, "advisedBy");
+        pg.add_edge(carol, alice, "advisedBy");
+        pg
+    }
+
+    #[test]
+    fn equivalent_queries_have_equal_result_sets() {
+        let g = rdf();
+        let sols = sparql::execute(
+            &g,
+            "PREFIX ex: <http://ex/> SELECT ?s ?p WHERE { ?s a ex:Student . ?s ex:advisedBy ?p . }",
+        )
+        .unwrap();
+        let gt = ResultSet::from_sparql(&g, &sols);
+
+        let rows = cypher::execute(
+            &pg(),
+            "MATCH (s:Student)-[:advisedBy]->(p) RETURN s.iri, p.iri",
+        )
+        .unwrap();
+        let observed = ResultSet::from_cypher(&rows);
+
+        assert!(gt.same_as(&observed));
+        assert_eq!(accuracy(&gt, &observed), 100.0);
+    }
+
+    #[test]
+    fn typed_literals_compare_across_models() {
+        let g = rdf();
+        let sols = sparql::execute(
+            &g,
+            "PREFIX ex: <http://ex/> SELECT ?s ?a WHERE { ?s ex:age ?a . }",
+        )
+        .unwrap();
+        let gt = ResultSet::from_sparql(&g, &sols);
+        let rows = cypher::execute(&pg(), "MATCH (s:Student) RETURN s.iri, s.age").unwrap();
+        assert_eq!(accuracy(&gt, &ResultSet::from_cypher(&rows)), 100.0);
+    }
+
+    #[test]
+    fn lossy_results_score_below_100() {
+        let g = rdf();
+        let sols = sparql::execute(
+            &g,
+            "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Student . }",
+        )
+        .unwrap();
+        let gt = ResultSet::from_sparql(&g, &sols);
+        // A "transformation" that lost carol.
+        let rows =
+            cypher::execute(&pg(), "MATCH (s:Student) WHERE s.age > 23 RETURN s.iri").unwrap();
+        let observed = ResultSet::from_cypher(&rows);
+        assert_eq!(accuracy(&gt, &observed), 50.0);
+        assert!(!gt.same_as(&observed));
+    }
+
+    #[test]
+    fn overlap_is_multiset_aware() {
+        let a = ResultSet {
+            rows: vec![
+                vec![Some("x".to_string())],
+                vec![Some("x".to_string())],
+                vec![Some("y".to_string())],
+            ],
+        };
+        let b = ResultSet {
+            rows: vec![vec![Some("x".to_string())], vec![Some("x".to_string())]],
+        };
+        assert_eq!(a.overlap(&b), 2);
+        assert_eq!(b.overlap(&a), 2);
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let empty = ResultSet { rows: vec![] };
+        let non_empty = ResultSet {
+            rows: vec![vec![None]],
+        };
+        assert_eq!(accuracy(&empty, &empty), 100.0);
+        assert_eq!(accuracy(&empty, &non_empty), 0.0);
+    }
+
+    #[test]
+    fn nulls_participate_in_comparison() {
+        let a = ResultSet {
+            rows: vec![vec![Some("x".to_string()), None]],
+        };
+        let b = ResultSet {
+            rows: vec![vec![Some("x".to_string()), None]],
+        };
+        assert!(a.same_as(&b));
+    }
+}

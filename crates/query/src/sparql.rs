@@ -1,0 +1,1237 @@
+//! A SPARQL subset over [`s3pg_rdf::Graph`].
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! query    := prefix* SELECT DISTINCT? (var+ | '*') WHERE '{' pattern* '}' (LIMIT n)?
+//! prefix   := PREFIX name ':' '<' iri '>'
+//! pattern  := term term term '.'  |  FILTER '(' expr ')'
+//! term     := '?'name | '<'iri'>' | prefixed | 'a' | literal
+//! expr     := isLiteral(?v) | isIRI(?v) | ?v op const | expr && expr | expr || expr | !expr
+//! ```
+//!
+//! Evaluation is bottom-up BGP matching with greedy join ordering: at each
+//! step the pattern with the smallest index-estimated candidate count under
+//! the current bindings is expanded.
+
+use s3pg_rdf::fxhash::FxHashMap;
+use s3pg_rdf::{Graph, Sym, Term};
+use std::fmt;
+
+/// A parse or evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparqlError(pub String);
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SparqlError> {
+    Err(SparqlError(msg.into()))
+}
+
+/// A term position in a triple pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternTerm {
+    /// A variable, by name (without `?`).
+    Var(String),
+    /// An IRI.
+    Iri(String),
+    /// A literal with optional datatype (plain = xsd:string).
+    Literal {
+        lexical: String,
+        datatype: Option<String>,
+    },
+}
+
+/// One `s p o .` pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriplePattern {
+    pub s: PatternTerm,
+    pub p: PatternTerm,
+    pub o: PatternTerm,
+}
+
+/// A FILTER expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterExpr {
+    IsLiteral(String),
+    IsIri(String),
+    Compare {
+        var: String,
+        op: CompareOp,
+        value: String,
+    },
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+    Not(Box<FilterExpr>),
+}
+
+/// Comparison operators in FILTER.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// Projected variable names; empty means `*` (all, in first-seen order).
+    pub vars: Vec<String>,
+    pub distinct: bool,
+    /// `SELECT (COUNT(...) AS ?alias)` aggregate projection.
+    pub aggregate: Option<CountAggregate>,
+    pub patterns: Vec<TriplePattern>,
+    /// `OPTIONAL { … }` groups (left-join semantics, evaluated after the
+    /// required patterns).
+    pub optionals: Vec<Vec<TriplePattern>>,
+    pub filters: Vec<FilterExpr>,
+    /// `ORDER BY (ASC|DESC)?(?var)`.
+    pub order_by: Option<(String, bool)>,
+    pub offset: Option<usize>,
+    pub limit: Option<usize>,
+}
+
+/// A `COUNT` aggregate: `COUNT(*)` (var `None`) or
+/// `COUNT([DISTINCT] ?var)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountAggregate {
+    pub distinct: bool,
+    pub var: Option<String>,
+    pub alias: String,
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+/// Parse a SELECT query.
+pub fn parse(input: &str) -> Result<SelectQuery, SparqlError> {
+    let mut p = Parser::new(input);
+    p.query()
+}
+
+struct Parser<'a> {
+    rest: &'a str,
+    prefixes: FxHashMap<String, String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            rest: input,
+            prefixes: FxHashMap::default(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            self.rest = self.rest.trim_start();
+            if let Some(after) = self.rest.strip_prefix('#') {
+                match after.find('\n') {
+                    Some(i) => self.rest = &after[i + 1..],
+                    None => self.rest = "",
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let len = kw.len();
+        if self.rest.len() >= len && self.rest[..len].eq_ignore_ascii_case(kw) {
+            let boundary_ok = self.rest[len..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_ascii_alphanumeric() && c != '_');
+            if boundary_ok {
+                self.rest = &self.rest[len..];
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_char(&mut self, c: char) -> bool {
+        self.skip_ws();
+        match self.rest.strip_prefix(c) {
+            Some(r) => {
+                self.rest = r;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn peek_char(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest.chars().next()
+    }
+
+    fn name(&mut self) -> String {
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '_' && c != '-')
+            .unwrap_or(self.rest.len());
+        let (name, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        name.to_string()
+    }
+
+    fn query(&mut self) -> Result<SelectQuery, SparqlError> {
+        while self.eat_keyword("PREFIX") {
+            self.skip_ws();
+            let pfx = self.name();
+            if !self.eat_char(':') {
+                return err("expected ':' in PREFIX");
+            }
+            if !self.eat_char('<') {
+                return err("expected '<' in PREFIX");
+            }
+            let Some(end) = self.rest.find('>') else {
+                return err("unterminated PREFIX IRI");
+            };
+            let iri = self.rest[..end].to_string();
+            self.rest = &self.rest[end + 1..];
+            self.prefixes.insert(pfx, iri);
+        }
+        if !self.eat_keyword("SELECT") {
+            return err("expected SELECT");
+        }
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut vars = Vec::new();
+        let mut star = false;
+        let mut aggregate = None;
+        if self.peek_char() == Some('(') {
+            // (COUNT([DISTINCT] * | ?var) AS ?alias)
+            self.eat_char('(');
+            if !self.eat_keyword("COUNT") {
+                return err("only COUNT aggregates are supported");
+            }
+            if !self.eat_char('(') {
+                return err("expected '(' after COUNT");
+            }
+            let agg_distinct = self.eat_keyword("DISTINCT");
+            let var = if self.eat_char('*') {
+                None
+            } else if self.eat_char('?') {
+                Some(self.name())
+            } else {
+                return err("expected '*' or '?var' in COUNT");
+            };
+            if !self.eat_char(')') {
+                return err("expected ')' closing COUNT");
+            }
+            if !self.eat_keyword("AS") || !self.eat_char('?') {
+                return err("expected 'AS ?alias' in aggregate");
+            }
+            let alias = self.name();
+            if !self.eat_char(')') {
+                return err("expected ')' closing aggregate projection");
+            }
+            aggregate = Some(CountAggregate {
+                distinct: agg_distinct,
+                var,
+                alias,
+            });
+        } else {
+            loop {
+                match self.peek_char() {
+                    Some('?') => {
+                        self.eat_char('?');
+                        vars.push(self.name());
+                    }
+                    Some('*') if vars.is_empty() => {
+                        self.eat_char('*');
+                        star = true;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            if vars.is_empty() && !star {
+                return err("SELECT needs variables or *");
+            }
+        }
+        if !self.eat_keyword("WHERE") {
+            return err("expected WHERE");
+        }
+        if !self.eat_char('{') {
+            return err("expected '{'");
+        }
+        let mut patterns = Vec::new();
+        let mut optionals: Vec<Vec<TriplePattern>> = Vec::new();
+        let mut filters = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat_char('}') {
+                break;
+            }
+            if self.rest.is_empty() {
+                return err("unterminated WHERE block");
+            }
+            if self.eat_keyword("OPTIONAL") {
+                if !self.eat_char('{') {
+                    return err("expected '{' after OPTIONAL");
+                }
+                let mut group = Vec::new();
+                loop {
+                    self.skip_ws();
+                    if self.eat_char('}') {
+                        break;
+                    }
+                    if self.rest.is_empty() {
+                        return err("unterminated OPTIONAL block");
+                    }
+                    let s = self.term()?;
+                    let p = self.term()?;
+                    let o = self.term()?;
+                    group.push(TriplePattern { s, p, o });
+                    self.eat_char('.');
+                }
+                if group.is_empty() {
+                    return err("empty OPTIONAL block");
+                }
+                optionals.push(group);
+                self.eat_char('.');
+                continue;
+            }
+            if self.eat_keyword("FILTER") {
+                if !self.eat_char('(') {
+                    return err("expected '(' after FILTER");
+                }
+                filters.push(self.filter_expr()?);
+                if !self.eat_char(')') {
+                    return err("expected ')' closing FILTER");
+                }
+                self.eat_char('.');
+                continue;
+            }
+            let s = self.term()?;
+            let p = self.term()?;
+            let o = self.term()?;
+            patterns.push(TriplePattern { s, p, o });
+            // Object lists: `?s :p ?o1, ?o2` and predicate lists with ';'.
+            loop {
+                if self.eat_char(',') {
+                    let o2 = self.term()?;
+                    patterns.push(TriplePattern {
+                        s: patterns.last().unwrap().s.clone(),
+                        p: patterns.last().unwrap().p.clone(),
+                        o: o2,
+                    });
+                } else if self.eat_char(';') {
+                    self.skip_ws();
+                    if matches!(self.peek_char(), Some('.') | Some('}')) {
+                        break;
+                    }
+                    let p2 = self.term()?;
+                    let o2 = self.term()?;
+                    patterns.push(TriplePattern {
+                        s: patterns.last().unwrap().s.clone(),
+                        p: p2,
+                        o: o2,
+                    });
+                } else {
+                    break;
+                }
+            }
+            self.eat_char('.');
+        }
+        // Solution modifiers in any order: ORDER BY, LIMIT, OFFSET.
+        let mut order_by = None;
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.eat_keyword("ORDER") {
+                if !self.eat_keyword("BY") {
+                    return err("expected BY after ORDER");
+                }
+                let descending = if self.eat_keyword("DESC") {
+                    if !self.eat_char('(') {
+                        return err("expected '(' after DESC");
+                    }
+                    true
+                } else if self.eat_keyword("ASC") {
+                    if !self.eat_char('(') {
+                        return err("expected '(' after ASC");
+                    }
+                    false
+                } else {
+                    false
+                };
+                let wrapped = descending || {
+                    // ASC( case consumed '(' above; plain `ORDER BY ?v` has none.
+                    false
+                };
+                if !self.eat_char('?') {
+                    return err("expected '?var' in ORDER BY");
+                }
+                let var = self.name();
+                if (wrapped || descending) && !self.eat_char(')') {
+                    return err("expected ')' closing ORDER BY direction");
+                }
+                order_by = Some((var, descending));
+            } else if self.eat_keyword("LIMIT") {
+                self.skip_ws();
+                let n = self.name();
+                limit = Some(n.parse().map_err(|_| SparqlError("bad LIMIT".into()))?);
+            } else if self.eat_keyword("OFFSET") {
+                self.skip_ws();
+                let n = self.name();
+                offset = Some(n.parse().map_err(|_| SparqlError("bad OFFSET".into()))?);
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if !self.rest.is_empty() {
+            return err(format!(
+                "trailing input: {}",
+                &self.rest[..self.rest.len().min(30)]
+            ));
+        }
+        Ok(SelectQuery {
+            vars,
+            distinct,
+            aggregate,
+            patterns,
+            optionals,
+            filters,
+            order_by,
+            offset,
+            limit,
+        })
+    }
+
+    fn term(&mut self) -> Result<PatternTerm, SparqlError> {
+        self.skip_ws();
+        match self.rest.chars().next() {
+            Some('?') => {
+                self.eat_char('?');
+                Ok(PatternTerm::Var(self.name()))
+            }
+            Some('<') => {
+                self.eat_char('<');
+                let Some(end) = self.rest.find('>') else {
+                    return err("unterminated IRI");
+                };
+                let iri = self.rest[..end].to_string();
+                self.rest = &self.rest[end + 1..];
+                Ok(PatternTerm::Iri(iri))
+            }
+            Some('"') => {
+                self.eat_char('"');
+                let Some(end) = self.rest.find('"') else {
+                    return err("unterminated literal");
+                };
+                let lexical = self.rest[..end].to_string();
+                self.rest = &self.rest[end + 1..];
+                let datatype = if self.rest.starts_with("^^") {
+                    self.rest = &self.rest[2..];
+                    match self.term()? {
+                        PatternTerm::Iri(iri) => Some(iri),
+                        _ => return err("datatype must be an IRI"),
+                    }
+                } else {
+                    None
+                };
+                Ok(PatternTerm::Literal { lexical, datatype })
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let n = self.name();
+                Ok(PatternTerm::Literal {
+                    lexical: n,
+                    datatype: Some(s3pg_rdf::vocab::xsd::INTEGER.into()),
+                })
+            }
+            Some(_) => {
+                let word = self.name();
+                if word == "a" {
+                    return Ok(PatternTerm::Iri(s3pg_rdf::vocab::rdf::TYPE.into()));
+                }
+                if self.rest.starts_with(':') {
+                    self.rest = &self.rest[1..];
+                    let local = self.name();
+                    match self.prefixes.get(&word) {
+                        Some(ns) => Ok(PatternTerm::Iri(format!("{ns}{local}"))),
+                        None => err(format!("undefined prefix '{word}:'")),
+                    }
+                } else {
+                    err(format!("unexpected token '{word}'"))
+                }
+            }
+            None => err("unexpected end of query"),
+        }
+    }
+
+    fn filter_expr(&mut self) -> Result<FilterExpr, SparqlError> {
+        let left = self.filter_atom()?;
+        self.skip_ws();
+        if self.rest.starts_with("&&") {
+            self.rest = &self.rest[2..];
+            let right = self.filter_expr()?;
+            return Ok(FilterExpr::And(Box::new(left), Box::new(right)));
+        }
+        if self.rest.starts_with("||") {
+            self.rest = &self.rest[2..];
+            let right = self.filter_expr()?;
+            return Ok(FilterExpr::Or(Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn filter_atom(&mut self) -> Result<FilterExpr, SparqlError> {
+        self.skip_ws();
+        if self.eat_char('!') {
+            return Ok(FilterExpr::Not(Box::new(self.filter_atom()?)));
+        }
+        // Parenthesized sub-expression.
+        if self.peek_char() == Some('(') {
+            self.eat_char('(');
+            let inner = self.filter_expr()?;
+            if !self.eat_char(')') {
+                return err("expected ')' closing grouped filter");
+            }
+            return Ok(inner);
+        }
+        if self.eat_keyword("isLiteral") {
+            if !self.eat_char('(') || !self.eat_char('?') {
+                return err("expected (?var after isLiteral");
+            }
+            let var = self.name();
+            if !self.eat_char(')') {
+                return err("expected ')'");
+            }
+            return Ok(FilterExpr::IsLiteral(var));
+        }
+        if self.eat_keyword("isIRI") || self.eat_keyword("isURI") {
+            if !self.eat_char('(') || !self.eat_char('?') {
+                return err("expected (?var after isIRI");
+            }
+            let var = self.name();
+            if !self.eat_char(')') {
+                return err("expected ')'");
+            }
+            return Ok(FilterExpr::IsIri(var));
+        }
+        if !self.eat_char('?') {
+            return err("expected variable in FILTER");
+        }
+        let var = self.name();
+        self.skip_ws();
+        let op = if self.rest.starts_with("!=") {
+            self.rest = &self.rest[2..];
+            CompareOp::Ne
+        } else if self.rest.starts_with(">=") {
+            self.rest = &self.rest[2..];
+            CompareOp::Ge
+        } else if self.rest.starts_with("<=") {
+            self.rest = &self.rest[2..];
+            CompareOp::Le
+        } else if let Some(r) = self.rest.strip_prefix('=') {
+            self.rest = r;
+            CompareOp::Eq
+        } else if let Some(r) = self.rest.strip_prefix('>') {
+            self.rest = r;
+            CompareOp::Gt
+        } else if let Some(r) = self.rest.strip_prefix('<') {
+            self.rest = r;
+            CompareOp::Lt
+        } else {
+            return err("expected comparison operator in FILTER");
+        };
+        self.skip_ws();
+        let value = if self.eat_char('"') {
+            let Some(end) = self.rest.find('"') else {
+                return err("unterminated FILTER literal");
+            };
+            let v = self.rest[..end].to_string();
+            self.rest = &self.rest[end + 1..];
+            v
+        } else {
+            self.name()
+        };
+        Ok(FilterExpr::Compare { var, op, value })
+    }
+}
+
+// ---- evaluation ------------------------------------------------------------
+
+/// Variable bindings produced by evaluation: projected variables in query
+/// order, each row one solution mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solutions {
+    /// Projected variable names.
+    pub vars: Vec<String>,
+    /// Rows aligned with `vars`; `None` is an unbound (OPTIONAL) value.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl Solutions {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Parse and evaluate `query` over `graph`.
+pub fn execute(graph: &Graph, query: &str) -> Result<Solutions, SparqlError> {
+    let q = parse(query)?;
+    evaluate(graph, &q)
+}
+
+/// Evaluate a parsed query over `graph`.
+
+#[derive(Clone, Copy)]
+enum Slot {
+    Var(usize),
+    Bound(Option<TermSlot>),
+}
+
+#[derive(Clone, Copy)]
+enum TermSlot {
+    T(Term),
+    P(Sym),
+}
+
+struct Compiled {
+    s: Slot,
+    p: Slot,
+    o: Slot,
+}
+
+enum ResolvedSlot {
+    Term(Option<Term>),
+    Pred(Option<Sym>),
+    Free(usize),
+    Never,
+}
+
+/// Compile pattern terms against the graph's interner; constants absent
+/// from the interner mean the pattern can never match.
+fn compile_patterns(
+    graph: &Graph,
+    patterns: &[TriplePattern],
+    var_index: &FxHashMap<String, usize>,
+) -> Result<Vec<Compiled>, SparqlError> {
+    let compile = |term: &PatternTerm, predicate_pos: bool| -> Result<Slot, SparqlError> {
+        Ok(match term {
+            PatternTerm::Var(name) => Slot::Var(var_index[name.as_str()]),
+            PatternTerm::Iri(iri) => match graph.interner().get(iri) {
+                Some(sym) => Slot::Bound(Some(if predicate_pos {
+                    TermSlot::P(sym)
+                } else {
+                    TermSlot::T(Term::Iri(sym))
+                })),
+                None => Slot::Bound(None),
+            },
+            PatternTerm::Literal { lexical, datatype } => {
+                let dt = datatype
+                    .clone()
+                    .unwrap_or_else(|| s3pg_rdf::vocab::xsd::STRING.to_string());
+                let lex = graph.interner().get(lexical);
+                let dts = graph.interner().get(&dt);
+                match (lex, dts) {
+                    (Some(lex), Some(dts)) => {
+                        Slot::Bound(Some(TermSlot::T(Term::Literal(s3pg_rdf::Literal {
+                            lexical: lex,
+                            datatype: dts,
+                            lang: None,
+                        }))))
+                    }
+                    _ => Slot::Bound(None),
+                }
+            }
+        })
+    };
+    patterns
+        .iter()
+        .map(|pat| {
+            Ok(Compiled {
+                s: compile(&pat.s, false)?,
+                p: compile(&pat.p, true)?,
+                o: compile(&pat.o, false)?,
+            })
+        })
+        .collect()
+}
+
+fn resolve_slot(slot: Slot, binding: &[Option<Term>]) -> ResolvedSlot {
+    match slot {
+        Slot::Var(i) => match binding[i] {
+            Some(t) => ResolvedSlot::Term(Some(t)),
+            None => ResolvedSlot::Free(i),
+        },
+        Slot::Bound(Some(TermSlot::T(t))) => ResolvedSlot::Term(Some(t)),
+        Slot::Bound(Some(TermSlot::P(p))) => ResolvedSlot::Pred(Some(p)),
+        Slot::Bound(None) => ResolvedSlot::Never,
+    }
+}
+
+/// Join a basic graph pattern group into the given binding rows, choosing
+/// the most selective remaining pattern at each step (greedy, estimated
+/// from the indexes under the first current binding).
+fn join_patterns(
+    graph: &Graph,
+    compiled: &[Compiled],
+    mut results: Vec<Vec<Option<Term>>>,
+) -> Vec<Vec<Option<Term>>> {
+    let mut remaining: Vec<usize> = (0..compiled.len()).collect();
+    while !remaining.is_empty() && !results.is_empty() {
+        let probe = results.first().cloned().unwrap_or_default();
+        let (pick_pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &pi)| {
+                let c = &compiled[pi];
+                let s = match resolve_slot(c.s, &probe) {
+                    ResolvedSlot::Term(t) => t,
+                    ResolvedSlot::Never => return (pos, 0),
+                    _ => None,
+                };
+                let p = match resolve_slot(c.p, &probe) {
+                    ResolvedSlot::Pred(p) => p,
+                    ResolvedSlot::Never => return (pos, 0),
+                    _ => None,
+                };
+                let o = match resolve_slot(c.o, &probe) {
+                    ResolvedSlot::Term(t) => t,
+                    ResolvedSlot::Never => return (pos, 0),
+                    _ => None,
+                };
+                (pos, graph.pattern_cardinality(s, p, o))
+            })
+            .min_by_key(|&(_, card)| card)
+            .unwrap();
+        let pattern_index = remaining.remove(pick_pos);
+        let c = &compiled[pattern_index];
+
+        let mut next: Vec<Vec<Option<Term>>> = Vec::new();
+        for binding in &results {
+            let (s, s_free) = match resolve_slot(c.s, binding) {
+                ResolvedSlot::Term(t) => (t, None),
+                ResolvedSlot::Free(i) => (None, Some(i)),
+                ResolvedSlot::Never => continue,
+                ResolvedSlot::Pred(_) => unreachable!(),
+            };
+            let (p, p_free) = match resolve_slot(c.p, binding) {
+                ResolvedSlot::Pred(p) => (p, None),
+                ResolvedSlot::Term(Some(Term::Iri(sym))) => (Some(sym), None),
+                ResolvedSlot::Term(_) => continue, // non-IRI bound as predicate
+                ResolvedSlot::Free(i) => (None, Some(i)),
+                ResolvedSlot::Never => continue,
+            };
+            let (o, o_free) = match resolve_slot(c.o, binding) {
+                ResolvedSlot::Term(t) => (t, None),
+                ResolvedSlot::Free(i) => (None, Some(i)),
+                ResolvedSlot::Never => continue,
+                ResolvedSlot::Pred(_) => unreachable!(),
+            };
+            for t in graph.match_pattern(s, p, o) {
+                let mut row = binding.clone();
+                if let Some(i) = s_free {
+                    row[i] = Some(t.s);
+                }
+                if let Some(i) = p_free {
+                    let pt = Term::Iri(t.p);
+                    if s_free == Some(i) && row[i] != Some(pt) {
+                        continue;
+                    }
+                    row[i] = Some(pt);
+                }
+                if let Some(i) = o_free {
+                    // Same variable may repeat within a pattern.
+                    if (s_free == Some(i) && row[i] != Some(t.o))
+                        || (p_free == Some(i) && row[i] != Some(t.o))
+                    {
+                        continue;
+                    }
+                    row[i] = Some(t.o);
+                }
+                next.push(row);
+            }
+        }
+        results = next;
+    }
+    results
+}
+
+/// Outcome of a query: solution rows, or an aggregate count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    Solutions(Solutions),
+    Count { alias: String, value: usize },
+}
+
+/// Parse and evaluate, supporting aggregate (`COUNT`) projections.
+pub fn execute_outcome(graph: &Graph, query: &str) -> Result<Outcome, SparqlError> {
+    let q = parse(query)?;
+    evaluate_outcome(graph, &q)
+}
+
+/// Evaluate a parsed query, rejecting aggregates (see [`evaluate_outcome`]).
+pub fn evaluate(graph: &Graph, query: &SelectQuery) -> Result<Solutions, SparqlError> {
+    match evaluate_outcome(graph, query)? {
+        Outcome::Solutions(s) => Ok(s),
+        Outcome::Count { .. } => err("aggregate query: use execute_outcome/evaluate_outcome"),
+    }
+}
+
+/// Evaluate a parsed query over `graph`, producing rows or a count.
+pub fn evaluate_outcome(graph: &Graph, query: &SelectQuery) -> Result<Outcome, SparqlError> {
+    // Collect variables in first-seen order, across required and optional
+    // patterns (optional-only variables may be projected and come out
+    // unbound).
+    let mut var_index: FxHashMap<String, usize> = FxHashMap::default();
+    let mut var_names: Vec<String> = Vec::new();
+    let register = |pats: &[TriplePattern],
+                    var_index: &mut FxHashMap<String, usize>,
+                    var_names: &mut Vec<String>| {
+        for pat in pats {
+            for term in [&pat.s, &pat.p, &pat.o] {
+                if let PatternTerm::Var(name) = term {
+                    if !var_index.contains_key(name) {
+                        var_index.insert(name.clone(), var_names.len());
+                        var_names.push(name.clone());
+                    }
+                }
+            }
+        }
+    };
+    register(&query.patterns, &mut var_index, &mut var_names);
+    for group in &query.optionals {
+        register(group, &mut var_index, &mut var_names);
+    }
+    let nvars = var_names.len();
+
+    let compiled = compile_patterns(graph, &query.patterns, &var_index)?;
+    let mut results: Vec<Vec<Option<Term>>> = vec![vec![None; nvars]];
+    results = join_patterns(graph, &compiled, results);
+
+    // OPTIONAL groups: left-join — rows that the group cannot extend are
+    // kept with the group's variables unbound.
+    for group in &query.optionals {
+        let compiled_group = compile_patterns(graph, group, &var_index)?;
+        let mut extended = Vec::with_capacity(results.len());
+        for row in results {
+            let sub = join_patterns(graph, &compiled_group, vec![row.clone()]);
+            if sub.is_empty() {
+                extended.push(row);
+            } else {
+                extended.extend(sub);
+            }
+        }
+        results = extended;
+    }
+
+    // FILTERs.
+    for filter in &query.filters {
+        results.retain(|row| eval_filter(graph, filter, &var_index, row));
+    }
+
+    // Aggregate projection.
+    if let Some(agg) = &query.aggregate {
+        let value = match &agg.var {
+            None => results.len(),
+            Some(var) => {
+                let Some(&i) = var_index.get(var.as_str()) else {
+                    return err(format!("COUNT over unbound variable ?{var}"));
+                };
+                if agg.distinct {
+                    let mut seen = s3pg_rdf::fxhash::FxHashSet::default();
+                    results
+                        .iter()
+                        .filter_map(|row| row[i])
+                        .filter(|t| seen.insert(*t))
+                        .count()
+                } else {
+                    results.iter().filter(|row| row[i].is_some()).count()
+                }
+            }
+        };
+        return Ok(Outcome::Count {
+            alias: agg.alias.clone(),
+            value,
+        });
+    }
+
+    // ORDER BY (before projection: the sort variable need not be projected).
+    if let Some((var, descending)) = &query.order_by {
+        let Some(&i) = var_index.get(var.as_str()) else {
+            return err(format!("ORDER BY unbound variable ?{var}"));
+        };
+        results.sort_by(|a, b| {
+            let ord = match (a[i], b[i]) {
+                (Some(x), Some(y)) => compare_terms(graph, x, y),
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less, // unbound sorts first
+                (Some(_), None) => std::cmp::Ordering::Greater,
+            };
+            if *descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+
+    // Projection.
+    let projected: Vec<String> = if query.vars.is_empty() {
+        var_names.clone()
+    } else {
+        query.vars.clone()
+    };
+    let mut proj_idx = Vec::with_capacity(projected.len());
+    for v in &projected {
+        match var_index.get(v.as_str()) {
+            Some(&i) => proj_idx.push(i),
+            None => return err(format!("projected variable ?{v} not used in pattern")),
+        }
+    }
+    let mut rows: Vec<Vec<Option<Term>>> = Vec::with_capacity(results.len());
+    for row in results {
+        rows.push(proj_idx.iter().map(|&i| row[i]).collect());
+    }
+    if query.distinct {
+        let mut seen = s3pg_rdf::fxhash::FxHashSet::default();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+    if let Some(offset) = query.offset {
+        rows.drain(..offset.min(rows.len()));
+    }
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+    Ok(Outcome::Solutions(Solutions {
+        vars: projected,
+        rows,
+    }))
+}
+
+/// SPARQL-ish term ordering: numeric when both lexical forms parse as
+/// numbers, lexicographic by resolved string otherwise.
+fn compare_terms(graph: &Graph, a: Term, b: Term) -> std::cmp::Ordering {
+    let render = |t: Term| match t {
+        Term::Iri(s) | Term::Blank(s) => graph.resolve(s).to_string(),
+        Term::Literal(l) => graph.resolve(l.lexical).to_string(),
+    };
+    let (x, y) = (render(a), render(b));
+    match (x.parse::<f64>(), y.parse::<f64>()) {
+        (Ok(nx), Ok(ny)) => nx.partial_cmp(&ny).unwrap_or(std::cmp::Ordering::Equal),
+        _ => x.cmp(&y),
+    }
+}
+
+fn eval_filter(
+    graph: &Graph,
+    filter: &FilterExpr,
+    var_index: &FxHashMap<String, usize>,
+    row: &[Option<Term>],
+) -> bool {
+    match filter {
+        FilterExpr::IsLiteral(v) => var_index
+            .get(v.as_str())
+            .and_then(|&i| row[i])
+            .is_some_and(|t| t.is_literal()),
+        FilterExpr::IsIri(v) => var_index
+            .get(v.as_str())
+            .and_then(|&i| row[i])
+            .is_some_and(|t| t.is_iri()),
+        FilterExpr::Compare { var, op, value } => {
+            let Some(term) = var_index.get(var.as_str()).and_then(|&i| row[i]) else {
+                return false;
+            };
+            let actual = match term {
+                Term::Iri(s) | Term::Blank(s) => graph.resolve(s).to_string(),
+                Term::Literal(l) => graph.resolve(l.lexical).to_string(),
+            };
+            // Numeric comparison when both sides parse as f64.
+            let result = match (actual.parse::<f64>(), value.parse::<f64>()) {
+                (Ok(a), Ok(b)) => a.partial_cmp(&b),
+                _ => Some(actual.as_str().cmp(value.as_str())),
+            };
+            let Some(ord) = result else { return false };
+            match op {
+                CompareOp::Eq => ord.is_eq(),
+                CompareOp::Ne => ord.is_ne(),
+                CompareOp::Lt => ord.is_lt(),
+                CompareOp::Le => ord.is_le(),
+                CompareOp::Gt => ord.is_gt(),
+                CompareOp::Ge => ord.is_ge(),
+            }
+        }
+        FilterExpr::And(a, b) => {
+            eval_filter(graph, a, var_index, row) && eval_filter(graph, b, var_index, row)
+        }
+        FilterExpr::Or(a, b) => {
+            eval_filter(graph, a, var_index, row) || eval_filter(graph, b, var_index, row)
+        }
+        FilterExpr::Not(a) => !eval_filter(graph, a, var_index, row),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3pg_rdf::parser::parse_turtle;
+
+    fn graph() -> Graph {
+        parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:bob a :Student ; :regNo "Bs12" ; :takesCourse :db, "Self Study" ; :age 24 .
+:carol a :Student ; :regNo "Bs13" ; :takesCourse :db ; :age 22 .
+:alice a :Professor ; :name "Alice" ; :worksFor :cs .
+:db a :Course ; :title "Databases" .
+:cs a :Department .
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_pattern_by_type() {
+        let sols = execute(
+            &graph(),
+            "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Student . }",
+        )
+        .unwrap();
+        assert_eq!(sols.len(), 2);
+        assert_eq!(sols.vars, vec!["s"]);
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let sols = execute(
+            &graph(),
+            "PREFIX ex: <http://ex/> SELECT ?s ?c WHERE { ?s a ex:Student . ?s ex:takesCourse ?c . }",
+        )
+        .unwrap();
+        // bob→db, bob→"Self Study", carol→db
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn bound_object_literal() {
+        let sols = execute(
+            &graph(),
+            r#"PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:regNo "Bs12" . }"#,
+        )
+        .unwrap();
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn filter_is_literal_and_is_iri() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?c WHERE { ?s ex:takesCourse ?c . FILTER(isLiteral(?c)) }";
+        assert_eq!(execute(&graph(), q).unwrap().len(), 1);
+        let q =
+            "PREFIX ex: <http://ex/> SELECT ?c WHERE { ?s ex:takesCourse ?c . FILTER(isIRI(?c)) }";
+        assert_eq!(execute(&graph(), q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn filter_numeric_comparison() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a . FILTER(?a > 23) }";
+        assert_eq!(execute(&graph(), q).unwrap().len(), 1);
+        let q = "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a . FILTER(?a >= 22) }";
+        assert_eq!(execute(&graph(), q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn filter_boolean_combinators() {
+        let q = r#"PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a . FILTER(?a > 21 && ?a < 23) }"#;
+        assert_eq!(execute(&graph(), q).unwrap().len(), 1);
+        let q = r#"PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a . FILTER(!(?a = 24)) }"#;
+        assert_eq!(execute(&graph(), q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let q = "PREFIX ex: <http://ex/> SELECT DISTINCT ?c WHERE { ?s ex:takesCourse ?c . FILTER(isIRI(?c)) }";
+        assert_eq!(execute(&graph(), q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Student . } LIMIT 1";
+        assert_eq!(execute(&graph(), q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn select_star_projects_all_vars() {
+        let q = "PREFIX ex: <http://ex/> SELECT * WHERE { ?s ex:takesCourse ?c . }";
+        let sols = execute(&graph(), q).unwrap();
+        assert_eq!(sols.vars, vec!["s", "c"]);
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn semicolon_predicate_lists() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Student ; ex:regNo ?r . }";
+        assert_eq!(execute(&graph(), q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_constants_yield_empty() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Wizard . }";
+        assert_eq!(execute(&graph(), q).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn triangle_join_uses_shared_vars() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?s ?d WHERE { ?s ex:worksFor ?d . ?d a ex:Department . }";
+        let sols = execute(&graph(), q).unwrap();
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(execute(&graph(), "SELECT WHERE { }").is_err());
+        assert!(execute(&graph(), "SELECT ?x { ?x a ex:Y }").is_err());
+        assert!(execute(
+            &graph(),
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a nope:Y . }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn projecting_unused_variable_is_an_error() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?nope WHERE { ?s a ex:Student . }";
+        assert!(execute(&graph(), q).is_err());
+    }
+
+    #[test]
+    fn optional_keeps_unextended_rows() {
+        // Only alice has a name; students have none.
+        let q = "PREFIX ex: <http://ex/> SELECT ?s ?n WHERE { ?s a ex:Student . OPTIONAL { ?s ex:name ?n } }";
+        let sols = execute(&graph(), q).unwrap();
+        assert_eq!(sols.len(), 2);
+        assert!(sols.rows.iter().all(|r| r[0].is_some()));
+        assert!(sols.rows.iter().all(|r| r[1].is_none()));
+    }
+
+    #[test]
+    fn optional_extends_when_possible() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?s ?w WHERE { ?s a ex:Professor . OPTIONAL { ?s ex:worksFor ?w } }";
+        let sols = execute(&graph(), q).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert!(sols.rows[0][1].is_some());
+    }
+
+    #[test]
+    fn optional_multiplies_matches() {
+        // takesCourse is multi-valued: the optional produces one row per value.
+        let q = "PREFIX ex: <http://ex/> SELECT ?s ?c WHERE { ?s a ex:Student . OPTIONAL { ?s ex:takesCourse ?c } }";
+        let sols = execute(&graph(), q).unwrap();
+        assert_eq!(sols.len(), 3); // bob×2, carol×1
+    }
+
+    #[test]
+    fn two_optional_groups_are_independent() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?s ?n ?a WHERE { ?s a ex:Student .                  OPTIONAL { ?s ex:name ?n } OPTIONAL { ?s ex:age ?a } }";
+        let sols = execute(&graph(), q).unwrap();
+        assert_eq!(sols.len(), 2);
+        assert!(sols.rows.iter().all(|r| r[1].is_none() && r[2].is_some()));
+    }
+
+    #[test]
+    fn empty_optional_is_rejected() {
+        assert!(execute(&graph(), "SELECT ?s WHERE { ?s ?p ?o . OPTIONAL { } }").is_err());
+    }
+
+    #[test]
+    fn count_star_aggregate() {
+        let out = execute_outcome(
+            &graph(),
+            "PREFIX ex: <http://ex/> SELECT (COUNT(*) AS ?c) WHERE { ?s a ex:Student . }",
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            Outcome::Count {
+                alias: "c".into(),
+                value: 2
+            }
+        );
+    }
+
+    #[test]
+    fn count_distinct_variable() {
+        let out = execute_outcome(
+            &graph(),
+            "PREFIX ex: <http://ex/> SELECT (COUNT(DISTINCT ?c) AS ?n) WHERE { ?s ex:takesCourse ?c . }",
+        )
+        .unwrap();
+        // db, "Self Study" → 2 distinct values over 3 rows.
+        assert_eq!(
+            out,
+            Outcome::Count {
+                alias: "n".into(),
+                value: 2
+            }
+        );
+    }
+
+    #[test]
+    fn evaluate_rejects_aggregates() {
+        let q = parse("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o . }").unwrap();
+        assert!(evaluate(&graph(), &q).is_err());
+    }
+
+    #[test]
+    fn order_by_ascending_and_descending() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?a WHERE { ?s ex:age ?a . } ORDER BY ?a";
+        let sols = execute(&graph(), q).unwrap();
+        let ages: Vec<String> = sols
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                Some(Term::Literal(l)) => graph().resolve(l.lexical).to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ages, vec!["22", "24"]);
+        let q = "PREFIX ex: <http://ex/> SELECT ?a WHERE { ?s ex:age ?a . } ORDER BY DESC(?a)";
+        let sols = execute(&graph(), q).unwrap();
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn offset_skips_rows() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?a WHERE { ?s ex:age ?a . } ORDER BY ?a OFFSET 1";
+        let sols = execute(&graph(), q).unwrap();
+        assert_eq!(sols.len(), 1);
+        let q = "PREFIX ex: <http://ex/> SELECT ?a WHERE { ?s ex:age ?a . } ORDER BY ?a LIMIT 1 OFFSET 1";
+        assert_eq!(execute(&graph(), q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn order_by_unbound_variable_errors() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Student . } ORDER BY ?nope";
+        assert!(execute(&graph(), q).is_err());
+    }
+
+    #[test]
+    fn variable_predicate() {
+        let q = "PREFIX ex: <http://ex/> SELECT DISTINCT ?p WHERE { <http://ex/bob> ?p ?o . }";
+        let sols = execute(&graph(), q).unwrap();
+        assert_eq!(sols.len(), 4); // rdf:type, regNo, takesCourse, age
+    }
+}

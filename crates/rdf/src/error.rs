@@ -1,0 +1,63 @@
+//! Error type for RDF parsing and graph operations.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A syntax error while parsing, with 1-based line number and message.
+    Syntax { line: usize, message: String },
+    /// An undefined prefix was used in a Turtle document.
+    UndefinedPrefix { line: usize, prefix: String },
+    /// An I/O-level failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl RdfError {
+    pub(crate) fn syntax(line: usize, message: impl Into<String>) -> Self {
+        RdfError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            RdfError::UndefinedPrefix { line, prefix } => {
+                write!(f, "undefined prefix '{prefix}:' on line {line}")
+            }
+            RdfError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+impl From<std::io::Error> for RdfError {
+    fn from(e: std::io::Error) -> Self {
+        RdfError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_number() {
+        let e = RdfError::syntax(7, "unexpected token");
+        assert_eq!(e.to_string(), "syntax error on line 7: unexpected token");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RdfError = io.into();
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,655 @@
+//! The indexed, set-semantics RDF triple store (Definition 2.1).
+//!
+//! A [`Graph`] owns its [`Interner`] and stores triples append-only with a
+//! tombstone set for deletion, plus three adjacency indexes (by subject, by
+//! predicate, by object) so that the pattern-matching primitives used by the
+//! SPARQL engine, the SHACL validator/extractor, and Algorithm 1 of the
+//! paper are all index lookups rather than scans.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::interner::{Interner, Sym};
+use crate::term::{Literal, Term};
+use crate::vocab;
+
+/// A single `<subject, predicate, object>` statement.
+///
+/// The predicate is stored as a bare [`Sym`] because predicates are always
+/// IRIs (Definition 2.1: `E ⊂ (I ∪ B) × I × (I ∪ B ∪ L)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub s: Term,
+    pub p: Sym,
+    pub o: Term,
+}
+
+/// An in-memory RDF graph with set semantics and SPO/P/O indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    interner: Interner,
+    triples: Vec<Triple>,
+    live: Vec<bool>,
+    set: FxHashSet<Triple>,
+    by_subject: FxHashMap<Term, Vec<u32>>,
+    by_predicate: FxHashMap<Sym, Vec<u32>>,
+    by_object: FxHashMap<Term, Vec<u32>>,
+    len: usize,
+    type_predicate: Option<Sym>,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a graph sized for roughly `triples` statements.
+    pub fn with_capacity(triples: usize) -> Self {
+        Self {
+            interner: Interner::with_capacity(triples / 2),
+            triples: Vec::with_capacity(triples),
+            live: Vec::with_capacity(triples),
+            set: FxHashSet::with_capacity_and_hasher(triples, Default::default()),
+            by_subject: FxHashMap::default(),
+            by_predicate: FxHashMap::default(),
+            by_object: FxHashMap::default(),
+            len: 0,
+            type_predicate: None,
+        }
+    }
+
+    // ---- interning -------------------------------------------------------
+
+    /// Intern an arbitrary string.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.interner.intern(s)
+    }
+
+    /// Resolve a symbol to its string.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Borrow the underlying interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Intern an IRI and wrap it as a [`Term`].
+    pub fn intern_iri(&mut self, iri: &str) -> Term {
+        Term::Iri(self.interner.intern(iri))
+    }
+
+    /// Intern a blank-node label and wrap it as a [`Term`].
+    pub fn intern_blank(&mut self, label: &str) -> Term {
+        Term::Blank(self.interner.intern(label))
+    }
+
+    /// Build a typed literal term.
+    pub fn typed_literal(&mut self, lexical: &str, datatype: &str) -> Term {
+        Term::Literal(Literal {
+            lexical: self.interner.intern(lexical),
+            datatype: self.interner.intern(datatype),
+            lang: None,
+        })
+    }
+
+    /// Build an `xsd:string` literal term.
+    pub fn string_literal(&mut self, lexical: &str) -> Term {
+        self.typed_literal(lexical, vocab::xsd::STRING)
+    }
+
+    /// Build an `xsd:integer` literal term.
+    pub fn integer_literal(&mut self, value: i64) -> Term {
+        self.typed_literal(&value.to_string(), vocab::xsd::INTEGER)
+    }
+
+    /// Build a language-tagged `rdf:langString` literal term.
+    pub fn lang_literal(&mut self, lexical: &str, lang: &str) -> Term {
+        Term::Literal(Literal {
+            lexical: self.interner.intern(lexical),
+            datatype: self.interner.intern(vocab::rdf::LANG_STRING),
+            lang: Some(self.interner.intern(lang)),
+        })
+    }
+
+    /// The interned `rdf:type` predicate symbol.
+    pub fn type_predicate(&mut self) -> Sym {
+        match self.type_predicate {
+            Some(p) => p,
+            None => {
+                let p = self.interner.intern(vocab::rdf::TYPE);
+                self.type_predicate = Some(p);
+                p
+            }
+        }
+    }
+
+    /// The `rdf:type` symbol if it has ever been interned (read-only variant).
+    pub fn type_predicate_opt(&self) -> Option<Sym> {
+        self.type_predicate
+            .or_else(|| self.interner.get(vocab::rdf::TYPE))
+    }
+
+    // ---- mutation --------------------------------------------------------
+
+    /// Insert a triple; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `s` is a literal, which Definition 2.1
+    /// forbids in subject position.
+    pub fn insert(&mut self, s: Term, p: impl IntoPredicate, o: Term) -> bool {
+        debug_assert!(s.is_resource(), "literal in subject position");
+        let p = p.into_predicate();
+        let t = Triple { s, p, o };
+        if !self.set.insert(t) {
+            return false;
+        }
+        let idx = u32::try_from(self.triples.len()).expect("graph exceeds u32::MAX triples");
+        self.triples.push(t);
+        self.live.push(true);
+        self.by_subject.entry(s).or_default().push(idx);
+        self.by_predicate.entry(p).or_default().push(idx);
+        self.by_object.entry(o).or_default().push(idx);
+        self.len += 1;
+        true
+    }
+
+    /// Convenience: insert a triple built from raw strings
+    /// (`object_iri` interned as an IRI).
+    pub fn insert_iri(&mut self, s: &str, p: &str, o: &str) -> bool {
+        let s = self.intern_iri(s);
+        let p = self.intern(p);
+        let o = self.intern_iri(o);
+        self.insert(s, p, o)
+    }
+
+    /// Convenience: insert an `rdf:type` triple from raw strings.
+    pub fn insert_type(&mut self, entity: &str, class: &str) -> bool {
+        let s = self.intern_iri(entity);
+        let p = self.type_predicate();
+        let o = self.intern_iri(class);
+        self.insert(s, p, o)
+    }
+
+    /// Remove a triple; returns `true` if it was present.
+    pub fn remove(&mut self, s: Term, p: impl IntoPredicate, o: Term) -> bool {
+        let p = p.into_predicate();
+        let t = Triple { s, p, o };
+        if !self.set.remove(&t) {
+            return false;
+        }
+        // Tombstone: find the live index via the (shortest) subject posting
+        // list. Index vectors keep the dead entry; iteration filters on
+        // `live`.
+        if let Some(postings) = self.by_subject.get(&s) {
+            for &idx in postings {
+                if self.live[idx as usize] && self.triples[idx as usize] == t {
+                    self.live[idx as usize] = false;
+                    self.len -= 1;
+                    return true;
+                }
+            }
+        }
+        unreachable!("triple present in set but absent from index");
+    }
+
+    /// Absorb all triples of `other` into `self`, re-interning symbols.
+    /// Returns the number of newly added triples.
+    pub fn absorb(&mut self, other: &Graph) -> usize {
+        let mut added = 0;
+        for t in other.triples() {
+            let s = self.import_term(other, t.s);
+            let p = self.import_sym(other, t.p);
+            let o = self.import_term(other, t.o);
+            if self.insert(s, p, o) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Re-intern a symbol from another graph's interner into this one.
+    pub fn import_sym(&mut self, other: &Graph, sym: Sym) -> Sym {
+        self.interner.intern(other.resolve(sym))
+    }
+
+    /// Re-intern a term from another graph's interner into this one.
+    pub fn import_term(&mut self, other: &Graph, term: Term) -> Term {
+        match term {
+            Term::Iri(s) => Term::Iri(self.import_sym(other, s)),
+            Term::Blank(s) => Term::Blank(self.import_sym(other, s)),
+            Term::Literal(l) => Term::Literal(Literal {
+                lexical: self.import_sym(other, l.lexical),
+                datatype: self.import_sym(other, l.datatype),
+                lang: l.lang.map(|t| self.import_sym(other, t)),
+            }),
+        }
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// Number of (live) triples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the graph has no triples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: Term, p: impl IntoPredicate, o: Term) -> bool {
+        let p = p.into_predicate();
+        self.set.contains(&Triple { s, p, o })
+    }
+
+    /// Iterate over all live triples in insertion order.
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.triples
+            .iter()
+            .zip(self.live.iter())
+            .filter_map(|(t, &alive)| alive.then_some(*t))
+    }
+
+    /// Match a triple pattern; `None` components are wildcards.
+    ///
+    /// Chooses the most selective available index (bound subject, then bound
+    /// object, then bound predicate, then full scan).
+    pub fn match_pattern(&self, s: Option<Term>, p: Option<Sym>, o: Option<Term>) -> Vec<Triple> {
+        let postings: Option<&Vec<u32>> = match (s, o, p) {
+            (Some(s), _, _) => Some(self.by_subject.get(&s).unwrap_or(&EMPTY_POSTINGS)),
+            (None, Some(o), _) => Some(self.by_object.get(&o).unwrap_or(&EMPTY_POSTINGS)),
+            (None, None, Some(p)) => Some(self.by_predicate.get(&p).unwrap_or(&EMPTY_POSTINGS)),
+            (None, None, None) => None,
+        };
+        let matches = |t: &Triple| {
+            s.is_none_or(|s| t.s == s) && p.is_none_or(|p| t.p == p) && o.is_none_or(|o| t.o == o)
+        };
+        match postings {
+            Some(list) => list
+                .iter()
+                .filter(|&&i| self.live[i as usize])
+                .map(|&i| self.triples[i as usize])
+                .filter(matches)
+                .collect(),
+            None => self.triples().collect(),
+        }
+    }
+
+    /// Reference implementation of [`Graph::match_pattern`] that ignores
+    /// the indexes and scans every live triple. Exists as the baseline for
+    /// the index ablation (`benches/ablation.rs` in the bench crate) and as
+    /// a differential-testing oracle; always returns the same multiset of
+    /// triples as the indexed path.
+    pub fn match_pattern_scan(
+        &self,
+        s: Option<Term>,
+        p: Option<Sym>,
+        o: Option<Term>,
+    ) -> Vec<Triple> {
+        self.triples()
+            .filter(|t| {
+                s.is_none_or(|s| t.s == s)
+                    && p.is_none_or(|p| t.p == p)
+                    && o.is_none_or(|o| t.o == o)
+            })
+            .collect()
+    }
+
+    /// Estimated number of candidate triples a pattern would scan; used by
+    /// the SPARQL engine for greedy join ordering.
+    pub fn pattern_cardinality(&self, s: Option<Term>, p: Option<Sym>, o: Option<Term>) -> usize {
+        match (s, o, p) {
+            (Some(s), _, _) => self.by_subject.get(&s).map_or(0, Vec::len),
+            (None, Some(o), _) => self.by_object.get(&o).map_or(0, Vec::len),
+            (None, None, Some(p)) => self.by_predicate.get(&p).map_or(0, Vec::len),
+            (None, None, None) => self.triples.len(),
+        }
+    }
+
+    /// All objects of `(s, p, ?)`.
+    pub fn objects(&self, s: Term, p: Sym) -> Vec<Term> {
+        self.match_pattern(Some(s), Some(p), None)
+            .into_iter()
+            .map(|t| t.o)
+            .collect()
+    }
+
+    /// All subjects of `(?, p, o)`.
+    pub fn subjects(&self, p: Sym, o: Term) -> Vec<Term> {
+        self.match_pattern(None, Some(p), Some(o))
+            .into_iter()
+            .map(|t| t.s)
+            .collect()
+    }
+
+    /// All `rdf:type` objects of `entity`.
+    pub fn types_of(&self, entity: Term) -> Vec<Term> {
+        match self.type_predicate_opt() {
+            Some(p) => self.objects(entity, p),
+            None => Vec::new(),
+        }
+    }
+
+    /// All entities declared `rdf:type class`.
+    pub fn instances_of(&self, class: Term) -> Vec<Term> {
+        match self.type_predicate_opt() {
+            Some(p) => self.subjects(p, class),
+            None => Vec::new(),
+        }
+    }
+
+    /// Distinct predicates present in the graph.
+    pub fn predicates(&self) -> Vec<Sym> {
+        let mut out: Vec<Sym> = self
+            .by_predicate
+            .iter()
+            .filter(|(_, v)| v.iter().any(|&i| self.live[i as usize]))
+            .map(|(&p, _)| p)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Distinct subjects present in the graph.
+    pub fn subjects_distinct(&self) -> Vec<Term> {
+        let mut out: Vec<Term> = self
+            .by_subject
+            .iter()
+            .filter(|(_, v)| v.iter().any(|&i| self.live[i as usize]))
+            .map(|(&s, _)| s)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Compute the transitive `rdfs:subClassOf` closure: for each class, the
+    /// set of all its (direct and indirect) superclasses.
+    ///
+    /// Needed by the shape semantics of Definition 2.3 ("instance of `t` or
+    /// of a subclass of `t`").
+    pub fn subclass_closure(&self) -> FxHashMap<Term, FxHashSet<Term>> {
+        let Some(sub) = self.interner.get(vocab::rdfs::SUB_CLASS_OF) else {
+            return FxHashMap::default();
+        };
+        let mut direct: FxHashMap<Term, Vec<Term>> = FxHashMap::default();
+        for t in self.match_pattern(None, Some(sub), None) {
+            direct.entry(t.s).or_default().push(t.o);
+        }
+        let mut closure: FxHashMap<Term, FxHashSet<Term>> = FxHashMap::default();
+        for &class in direct.keys() {
+            let mut seen = FxHashSet::default();
+            let mut stack = vec![class];
+            while let Some(c) = stack.pop() {
+                if let Some(supers) = direct.get(&c) {
+                    for &sup in supers {
+                        if seen.insert(sup) {
+                            stack.push(sup);
+                        }
+                    }
+                }
+            }
+            closure.insert(class, seen);
+        }
+        closure
+    }
+
+    /// Set difference: triples of `self` not present in `other`
+    /// (compared by resolved string value, not raw symbols).
+    pub fn difference(&self, other: &Graph) -> Graph {
+        let mut delta = Graph::new();
+        for t in self.triples() {
+            let s = delta.import_term(self, t.s);
+            let p = delta.import_sym(self, t.p);
+            let o = delta.import_term(self, t.o);
+            // Check membership in `other` by string value.
+            if !other.contains_resolved(self, t) {
+                delta.insert(s, p, o);
+            }
+        }
+        delta
+    }
+
+    /// Whether `other_triple` (a triple of `other_graph`) is present in
+    /// `self`, comparing by resolved strings.
+    pub fn contains_resolved(&self, other_graph: &Graph, other_triple: Triple) -> bool {
+        let Some(s) = self.lookup_term(other_graph, other_triple.s) else {
+            return false;
+        };
+        let Some(p) = self.interner.get(other_graph.resolve(other_triple.p)) else {
+            return false;
+        };
+        let Some(o) = self.lookup_term(other_graph, other_triple.o) else {
+            return false;
+        };
+        self.set.contains(&Triple { s, p, o })
+    }
+
+    fn lookup_term(&self, other: &Graph, term: Term) -> Option<Term> {
+        Some(match term {
+            Term::Iri(s) => Term::Iri(self.interner.get(other.resolve(s))?),
+            Term::Blank(s) => Term::Blank(self.interner.get(other.resolve(s))?),
+            Term::Literal(l) => Term::Literal(Literal {
+                lexical: self.interner.get(other.resolve(l.lexical))?,
+                datatype: self.interner.get(other.resolve(l.datatype))?,
+                lang: match l.lang {
+                    Some(t) => Some(self.interner.get(other.resolve(t))?),
+                    None => None,
+                },
+            }),
+        })
+    }
+
+    /// Graph isomorphism under string resolution (ignoring symbol identity).
+    /// Blank nodes are compared by label, which suffices for our
+    /// deterministic round-trip tests.
+    pub fn same_triples(&self, other: &Graph) -> bool {
+        self.len() == other.len() && self.triples().all(|t| other.contains_resolved(self, t))
+    }
+}
+
+static EMPTY_POSTINGS: Vec<u32> = Vec::new();
+
+/// Accepts either a bare predicate symbol or an IRI `Term` where a predicate
+/// is expected, so call sites can pass whichever they hold.
+pub trait IntoPredicate {
+    fn into_predicate(self) -> Sym;
+}
+
+impl IntoPredicate for Sym {
+    #[inline]
+    fn into_predicate(self) -> Sym {
+        self
+    }
+}
+
+impl IntoPredicate for Term {
+    #[inline]
+    fn into_predicate(self) -> Sym {
+        match self {
+            Term::Iri(s) => s,
+            _ => panic!("predicate must be an IRI"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        let mut g = Graph::new();
+        g.insert_type("http://ex/bob", "http://ex/Student");
+        g.insert_iri("http://ex/bob", "http://ex/advisedBy", "http://ex/alice");
+        let s = g.intern_iri("http://ex/bob");
+        let p = g.intern("http://ex/regNo");
+        let o = g.string_literal("Bs12");
+        g.insert(s, p, o);
+        g
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut g = Graph::new();
+        assert!(g.insert_iri("http://ex/a", "http://ex/p", "http://ex/b"));
+        assert!(!g.insert_iri("http://ex/a", "http://ex/p", "http://ex/b"));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let g = tiny();
+        assert_eq!(g.len(), 3);
+        let s = g.interner().get("http://ex/bob").map(Term::Iri).unwrap();
+        let p = g.interner().get(vocab::rdf::TYPE).unwrap();
+        let o = g
+            .interner()
+            .get("http://ex/Student")
+            .map(Term::Iri)
+            .unwrap();
+        assert!(g.contains(s, p, o));
+    }
+
+    #[test]
+    fn remove_then_reinsert() {
+        let mut g = Graph::new();
+        let s = g.intern_iri("http://ex/a");
+        let p = g.intern("http://ex/p");
+        let o = g.intern_iri("http://ex/b");
+        g.insert(s, p, o);
+        assert!(g.remove(s, p, o));
+        assert!(!g.remove(s, p, o));
+        assert_eq!(g.len(), 0);
+        assert!(!g.contains(s, p, o));
+        assert!(g.insert(s, p, o));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.triples().count(), 1);
+    }
+
+    #[test]
+    fn match_pattern_by_each_position() {
+        let g = tiny();
+        let bob = g.interner().get("http://ex/bob").map(Term::Iri).unwrap();
+        assert_eq!(g.match_pattern(Some(bob), None, None).len(), 3);
+        let type_p = g.interner().get(vocab::rdf::TYPE).unwrap();
+        assert_eq!(g.match_pattern(None, Some(type_p), None).len(), 1);
+        let alice = g.interner().get("http://ex/alice").map(Term::Iri).unwrap();
+        assert_eq!(g.match_pattern(None, None, Some(alice)).len(), 1);
+        assert_eq!(g.match_pattern(None, None, None).len(), 3);
+    }
+
+    #[test]
+    fn match_pattern_fully_bound() {
+        let g = tiny();
+        let bob = g.interner().get("http://ex/bob").map(Term::Iri).unwrap();
+        let adv = g.interner().get("http://ex/advisedBy").unwrap();
+        let alice = g.interner().get("http://ex/alice").map(Term::Iri).unwrap();
+        assert_eq!(g.match_pattern(Some(bob), Some(adv), Some(alice)).len(), 1);
+        assert_eq!(g.match_pattern(Some(alice), Some(adv), Some(bob)).len(), 0);
+    }
+
+    #[test]
+    fn objects_and_subjects() {
+        let g = tiny();
+        let bob = g.interner().get("http://ex/bob").map(Term::Iri).unwrap();
+        let reg = g.interner().get("http://ex/regNo").unwrap();
+        let objs = g.objects(bob, reg);
+        assert_eq!(objs.len(), 1);
+        assert!(objs[0].is_literal());
+        let adv = g.interner().get("http://ex/advisedBy").unwrap();
+        let alice = g.interner().get("http://ex/alice").map(Term::Iri).unwrap();
+        assert_eq!(g.subjects(adv, alice), vec![bob]);
+    }
+
+    #[test]
+    fn types_and_instances() {
+        let g = tiny();
+        let bob = g.interner().get("http://ex/bob").map(Term::Iri).unwrap();
+        let student = g
+            .interner()
+            .get("http://ex/Student")
+            .map(Term::Iri)
+            .unwrap();
+        assert_eq!(g.types_of(bob), vec![student]);
+        assert_eq!(g.instances_of(student), vec![bob]);
+    }
+
+    #[test]
+    fn absorb_reinterns_across_graphs() {
+        let mut g1 = tiny();
+        let mut g2 = Graph::new();
+        g2.insert_iri("http://ex/carol", "http://ex/advisedBy", "http://ex/alice");
+        // Different interners: symbols differ, strings matter.
+        let added = g1.absorb(&g2);
+        assert_eq!(added, 1);
+        assert_eq!(g1.len(), 4);
+        // Absorbing again adds nothing (set semantics by value).
+        assert_eq!(g1.absorb(&g2), 0);
+    }
+
+    #[test]
+    fn difference_and_same_triples() {
+        let g1 = tiny();
+        let mut g2 = tiny();
+        g2.insert_iri("http://ex/extra", "http://ex/p", "http://ex/x");
+        let delta = g2.difference(&g1);
+        assert_eq!(delta.len(), 1);
+        assert!(g1.difference(&g2).is_empty());
+        assert!(!g1.same_triples(&g2));
+        let mut g3 = Graph::new();
+        g3.absorb(&g1);
+        assert!(g1.same_triples(&g3));
+    }
+
+    #[test]
+    fn subclass_closure_is_transitive() {
+        let mut g = Graph::new();
+        g.insert_iri(
+            "http://ex/GS",
+            vocab::rdfs::SUB_CLASS_OF,
+            "http://ex/Student",
+        );
+        g.insert_iri(
+            "http://ex/Student",
+            vocab::rdfs::SUB_CLASS_OF,
+            "http://ex/Person",
+        );
+        let closure = g.subclass_closure();
+        let gs = g.interner().get("http://ex/GS").map(Term::Iri).unwrap();
+        let person = g.interner().get("http://ex/Person").map(Term::Iri).unwrap();
+        let student = g
+            .interner()
+            .get("http://ex/Student")
+            .map(Term::Iri)
+            .unwrap();
+        let supers = &closure[&gs];
+        assert!(supers.contains(&student));
+        assert!(supers.contains(&person));
+        assert_eq!(supers.len(), 2);
+    }
+
+    #[test]
+    fn predicates_lists_distinct_live() {
+        let mut g = tiny();
+        assert_eq!(g.predicates().len(), 3);
+        let bob = g.interner().get("http://ex/bob").map(Term::Iri).unwrap();
+        let reg = g.interner().get("http://ex/regNo").unwrap();
+        let lit = g.string_literal("Bs12");
+        g.remove(bob, reg, lit);
+        assert_eq!(g.predicates().len(), 2);
+    }
+
+    #[test]
+    fn pattern_cardinality_matches_index_sizes() {
+        let g = tiny();
+        let bob = g.interner().get("http://ex/bob").map(Term::Iri).unwrap();
+        assert_eq!(g.pattern_cardinality(Some(bob), None, None), 3);
+        assert_eq!(g.pattern_cardinality(None, None, None), 3);
+        let missing = Term::Iri(g.interner().get("http://ex/alice").unwrap());
+        assert_eq!(g.pattern_cardinality(None, None, Some(missing)), 1);
+    }
+}

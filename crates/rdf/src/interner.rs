@@ -1,0 +1,168 @@
+//! String interning.
+//!
+//! Every IRI, blank-node label, literal lexical form, datatype IRI, and
+//! language tag is interned once into an [`Interner`] and referred to by a
+//! 4-byte [`Sym`]. This makes [`crate::Term`] `Copy` and triple comparison an
+//! integer comparison, which is the main reason the two-pass data
+//! transformation of the paper (Algorithm 1) streams through hundreds of
+//! millions of triples within memory limits.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned string symbol. Only meaningful relative to the [`Interner`]
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub(crate) u32);
+
+impl Sym {
+    /// Raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a symbol from a raw index previously obtained from
+    /// [`Sym::index`]. The caller must guarantee the index belongs to the
+    /// same interner.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Sym(u32::try_from(index).expect("interner overflow: more than u32::MAX symbols"))
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Strings are stored once; lookups by string and by symbol are both O(1).
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: FxHashMap<Box<str>, Sym>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an interner sized for roughly `cap` distinct strings.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            strings: Vec::with_capacity(cap),
+            lookup: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Sym::from_index(self.strings.len());
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Look up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Total bytes of interned string data (used by dataset statistics).
+    pub fn string_bytes(&self) -> usize {
+        self.strings.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterate over all `(Sym, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym::from_index(i), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("http://example.org/a");
+        let b = i.intern("http://example.org/a");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut i = Interner::new();
+        let syms: Vec<Sym> = (0..100).map(|n| i.intern(&format!("s{n}"))).collect();
+        for (n, sym) in syms.iter().enumerate() {
+            assert_eq!(i.resolve(*sym), format!("s{n}"));
+        }
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn string_bytes_counts_data() {
+        let mut i = Interner::new();
+        i.intern("abcd");
+        i.intern("ef");
+        assert_eq!(i.string_bytes(), 6);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let pairs: Vec<_> = i.iter().map(|(s, t)| (s.index(), t.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

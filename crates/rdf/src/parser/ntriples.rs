@@ -1,0 +1,273 @@
+//! Streaming N-Triples parser.
+//!
+//! N-Triples is the serialization the paper's dumps (DBpedia, Bio2RDF CT)
+//! use; Algorithm 1 "reads F triple by triple to process the stream of
+//! triples", which this parser supports via [`parse_ntriples_into`] feeding a
+//! graph line by line without materialising intermediate structures.
+
+use crate::error::RdfError;
+use crate::graph::Graph;
+use crate::term::{unescape_literal, Literal, Term};
+use crate::vocab;
+
+/// Parse an entire N-Triples document into a fresh [`Graph`].
+pub fn parse_ntriples(input: &str) -> Result<Graph, RdfError> {
+    let mut g = Graph::new();
+    parse_ntriples_into(input, &mut g)?;
+    Ok(g)
+}
+
+/// Parse an N-Triples document, inserting triples into an existing graph.
+/// Returns the number of triples inserted (duplicates not counted).
+pub fn parse_ntriples_into(input: &str, graph: &mut Graph) -> Result<usize, RdfError> {
+    let mut added = 0;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (s, p, o) = parse_line(line, lineno + 1, graph)?;
+        if graph.insert(s, p, o) {
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+fn parse_line(line: &str, lineno: usize, g: &mut Graph) -> Result<(Term, Term, Term), RdfError> {
+    let mut cursor = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+        line: lineno,
+    };
+    let s = cursor.term(g)?;
+    if s.is_literal() {
+        return Err(RdfError::syntax(lineno, "literal in subject position"));
+    }
+    cursor.skip_ws();
+    let p = cursor.term(g)?;
+    if !p.is_iri() {
+        return Err(RdfError::syntax(lineno, "predicate must be an IRI"));
+    }
+    cursor.skip_ws();
+    let o = cursor.term(g)?;
+    cursor.skip_ws();
+    if !cursor.eat(b'.') {
+        return Err(RdfError::syntax(lineno, "expected '.' at end of statement"));
+    }
+    Ok((s, p, o))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] as char).is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn take_until(&mut self, delim: u8) -> Result<&'a str, RdfError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == delim {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| RdfError::syntax(self.line, "invalid UTF-8"))?;
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(RdfError::syntax(
+            self.line,
+            format!("unterminated token, expected '{}'", delim as char),
+        ))
+    }
+
+    fn term(&mut self, g: &mut Graph) -> Result<Term, RdfError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => {
+                self.pos += 1;
+                let iri = self.take_until(b'>')?;
+                Ok(g.intern_iri(iri))
+            }
+            Some(b'_') => {
+                self.pos += 1;
+                if !self.eat(b':') {
+                    return Err(RdfError::syntax(self.line, "expected ':' after '_'"));
+                }
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if (b as char).is_ascii_whitespace() || b == b'.' && self.at_statement_end() {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let label = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                Ok(g.intern_blank(label))
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                let lexical = self.quoted_string()?;
+                // Optional @lang or ^^<datatype>
+                if self.eat(b'@') {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if (b as char).is_ascii_alphanumeric() || b == b'-' {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let lang = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                    Ok(Term::Literal(Literal {
+                        lexical: g.intern(&lexical),
+                        datatype: g.intern(vocab::rdf::LANG_STRING),
+                        lang: Some(g.intern(lang)),
+                    }))
+                } else if self.eat(b'^') {
+                    if !self.eat(b'^') || !self.eat(b'<') {
+                        return Err(RdfError::syntax(self.line, "malformed datatype suffix"));
+                    }
+                    let dt = self.take_until(b'>')?;
+                    let dt = g.intern(dt);
+                    Ok(Term::Literal(Literal {
+                        lexical: g.intern(&lexical),
+                        datatype: dt,
+                        lang: None,
+                    }))
+                } else {
+                    Ok(g.string_literal(&lexical))
+                }
+            }
+            Some(other) => Err(RdfError::syntax(
+                self.line,
+                format!("unexpected character '{}'", other as char),
+            )),
+            None => Err(RdfError::syntax(self.line, "unexpected end of line")),
+        }
+    }
+
+    /// Read the remainder of a double-quoted string (opening quote already
+    /// consumed), handling backslash escapes.
+    fn quoted_string(&mut self) -> Result<String, RdfError> {
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| RdfError::syntax(self.line, "invalid UTF-8"))?;
+                    self.pos += 1;
+                    return Ok(unescape_literal(raw));
+                }
+                Some(b'\\') => {
+                    self.pos += 2; // skip escape pair
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(RdfError::syntax(self.line, "unterminated string literal")),
+            }
+        }
+    }
+
+    /// Whether the current `.` is the statement terminator (followed only by
+    /// whitespace or a comment) rather than part of a blank-node label.
+    fn at_statement_end(&self) -> bool {
+        self.bytes[self.pos + 1..]
+            .iter()
+            .all(|&b| (b as char).is_ascii_whitespace() || b == b'#')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_iri_triple() {
+        let g = parse_ntriples("<http://ex/a> <http://ex/p> <http://ex/b> .").unwrap();
+        assert_eq!(g.len(), 1);
+        let t = g.triples().next().unwrap();
+        assert!(t.s.is_iri() && t.o.is_iri());
+    }
+
+    #[test]
+    fn parses_literals_with_datatype_and_lang() {
+        let doc = r#"
+<http://ex/a> <http://ex/name> "Alice" .
+<http://ex/a> <http://ex/age> "30"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/a> <http://ex/label> "Alice"@en .
+"#;
+        let g = parse_ntriples(doc).unwrap();
+        assert_eq!(g.len(), 3);
+        let lits: Vec<Literal> = g.triples().filter_map(|t| t.o.as_literal()).collect();
+        assert_eq!(lits.len(), 3);
+        assert!(lits
+            .iter()
+            .any(|l| g.resolve(l.datatype) == vocab::xsd::INTEGER));
+        assert!(lits.iter().any(|l| l.lang.is_some()));
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let g = parse_ntriples("_:b0 <http://ex/p> _:b1 .").unwrap();
+        let t = g.triples().next().unwrap();
+        assert!(t.s.is_blank() && t.o.is_blank());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let doc = "# comment\n\n<http://ex/a> <http://ex/p> <http://ex/b> .\n# tail";
+        let g = parse_ntriples(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn escaped_quotes_inside_literal() {
+        let g = parse_ntriples(r#"<http://ex/a> <http://ex/p> "say \"hi\"\n" ."#).unwrap();
+        let lit = g.triples().next().unwrap().o.as_literal().unwrap();
+        assert_eq!(g.resolve(lit.lexical), "say \"hi\"\n");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_ntriples("<http://ex/a> <http://ex/p>").is_err());
+        assert!(parse_ntriples("\"lit\" <http://ex/p> <http://ex/o> .").is_err());
+        assert!(parse_ntriples("<http://ex/a> _:b <http://ex/o> .").is_err());
+        assert!(parse_ntriples("<http://ex/a> <http://ex/p> \"open .").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let doc = "<http://ex/a> <http://ex/p> <http://ex/b> .\nbroken";
+        let err = parse_ntriples(doc).unwrap_err();
+        match err {
+            RdfError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_lines_collapse() {
+        let doc = "<http://ex/a> <http://ex/p> <http://ex/b> .\n<http://ex/a> <http://ex/p> <http://ex/b> .";
+        let g = parse_ntriples(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+}

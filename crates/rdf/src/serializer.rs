@@ -1,0 +1,121 @@
+//! RDF serializers: N-Triples (canonical, round-trippable) and a compact
+//! Turtle-ish pretty printer for human inspection of small graphs.
+
+use crate::graph::Graph;
+use crate::term::Term;
+use crate::vocab;
+use std::fmt::Write as _;
+
+/// Serialize a graph as N-Triples, one statement per line, in insertion
+/// order. `parse_ntriples(to_ntriples(g))` reproduces `g` up to symbol
+/// identity (see `Graph::same_triples`).
+pub fn to_ntriples(graph: &Graph) -> String {
+    let mut out = String::new();
+    let interner = graph.interner();
+    for t in graph.triples() {
+        let _ = writeln!(
+            out,
+            "{} <{}> {} .",
+            t.s.display(interner),
+            interner.resolve(t.p),
+            t.o.display(interner),
+        );
+    }
+    out
+}
+
+/// Serialize a graph grouped by subject with abbreviated IRIs — lossy with
+/// respect to prefixes, intended for debugging and examples.
+pub fn to_pretty(graph: &Graph) -> String {
+    let mut out = String::new();
+    let mut subjects = graph.subjects_distinct();
+    subjects.sort_by_key(|s| match s {
+        Term::Iri(sym) | Term::Blank(sym) => graph.resolve(*sym).to_string(),
+        Term::Literal(l) => graph.resolve(l.lexical).to_string(),
+    });
+    for s in subjects {
+        let stmts = graph.match_pattern(Some(s), None, None);
+        if stmts.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{}", short(graph, s));
+        for t in &stmts {
+            let pred = vocab::abbreviate(graph.resolve(t.p));
+            let pred = if graph.resolve(t.p) == vocab::rdf::TYPE {
+                "a".to_string()
+            } else {
+                pred
+            };
+            let _ = writeln!(out, "    {} {} ;", pred, short(graph, t.o));
+        }
+        let _ = writeln!(out, "    .");
+    }
+    out
+}
+
+fn short(graph: &Graph, term: Term) -> String {
+    match term {
+        Term::Iri(s) => vocab::abbreviate(graph.resolve(s)),
+        Term::Blank(s) => format!("_:{}", graph.resolve(s)),
+        Term::Literal(_) => term.display(graph.interner()).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ntriples;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert_type("http://ex/bob", "http://ex/Student");
+        let s = g.intern_iri("http://ex/bob");
+        let p = g.intern("http://ex/regNo");
+        let o = g.string_literal("Bs12");
+        g.insert(s, p, o);
+        let p2 = g.intern("http://ex/age");
+        let o2 = g.integer_literal(24);
+        g.insert(s, p2, o2);
+        g
+    }
+
+    #[test]
+    fn ntriples_roundtrip() {
+        let g = sample();
+        let text = to_ntriples(&g);
+        let g2 = parse_ntriples(&text).unwrap();
+        assert!(g.same_triples(&g2));
+    }
+
+    #[test]
+    fn ntriples_roundtrip_with_special_chars() {
+        let mut g = Graph::new();
+        let s = g.intern_iri("http://ex/a");
+        let p = g.intern("http://ex/quote");
+        let o = g.string_literal("he said \"hi\"\nand left\\");
+        g.insert(s, p, o);
+        let g2 = parse_ntriples(&to_ntriples(&g)).unwrap();
+        assert!(g.same_triples(&g2));
+    }
+
+    #[test]
+    fn ntriples_roundtrip_with_lang_tags() {
+        let mut g = Graph::new();
+        let s = g.intern_iri("http://ex/a");
+        let p = g.intern("http://ex/label");
+        let o = g.lang_literal("hello", "en");
+        g.insert(s, p, o);
+        let g2 = parse_ntriples(&to_ntriples(&g)).unwrap();
+        assert!(g.same_triples(&g2));
+    }
+
+    #[test]
+    fn pretty_output_groups_by_subject() {
+        let g = sample();
+        let text = to_pretty(&g);
+        assert!(text.contains("a http://ex/Student"));
+        assert!(text.contains("\"Bs12\""));
+        // One subject block only.
+        assert_eq!(text.matches("    .").count(), 1);
+    }
+}

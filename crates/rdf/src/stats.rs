@@ -1,0 +1,135 @@
+//! Dataset statistics matching Table 2 of the paper
+//! ("Size and characteristics of the datasets").
+
+use crate::fxhash::FxHashSet;
+use crate::graph::Graph;
+use crate::term::Term;
+use crate::vocab;
+
+/// The per-dataset statistics the paper reports in Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetStats {
+    /// Number of triples.
+    pub triples: usize,
+    /// Distinct terms appearing in object position.
+    pub objects: usize,
+    /// Distinct terms appearing in subject position.
+    pub subjects: usize,
+    /// Distinct literal terms (in object position).
+    pub literals: usize,
+    /// Distinct entities with at least one `rdf:type` statement.
+    pub instances: usize,
+    /// Distinct classes (objects of `rdf:type` or subjects/objects of
+    /// `rdfs:subClassOf`).
+    pub classes: usize,
+    /// Distinct predicates.
+    pub properties: usize,
+    /// Serialized size in bytes (stand-in for the paper's "Size in GBs").
+    pub size_bytes: usize,
+}
+
+impl DatasetStats {
+    /// Compute the statistics of `graph` in a single pass over its triples.
+    pub fn of(graph: &Graph) -> Self {
+        let type_p = graph.type_predicate_opt();
+        let subclass_p = graph.interner().get(vocab::rdfs::SUB_CLASS_OF);
+        let mut subjects = FxHashSet::default();
+        let mut objects = FxHashSet::default();
+        let mut literals = FxHashSet::default();
+        let mut instances = FxHashSet::default();
+        let mut classes = FxHashSet::default();
+        let mut predicates = FxHashSet::default();
+        let mut size_bytes = 0usize;
+
+        let interner = graph.interner();
+        for t in graph.triples() {
+            subjects.insert(t.s);
+            objects.insert(t.o);
+            predicates.insert(t.p);
+            if t.o.is_literal() {
+                literals.insert(t.o);
+            }
+            if Some(t.p) == type_p {
+                instances.insert(t.s);
+                classes.insert(t.o);
+            }
+            if Some(t.p) == subclass_p {
+                classes.insert(t.s);
+                classes.insert(t.o);
+            }
+            size_bytes += term_bytes(interner, t.s) + interner.resolve(t.p).len() + 4 // "<>" + spaces
+                + term_bytes(interner, t.o)
+                + 3; // " .\n"
+        }
+
+        DatasetStats {
+            triples: graph.len(),
+            objects: objects.len(),
+            subjects: subjects.len(),
+            literals: literals.len(),
+            instances: instances.len(),
+            classes: classes.len(),
+            properties: predicates.len(),
+            size_bytes,
+        }
+    }
+}
+
+fn term_bytes(interner: &crate::interner::Interner, t: Term) -> usize {
+    match t {
+        Term::Iri(s) => interner.resolve(s).len() + 2,
+        Term::Blank(s) => interner.resolve(s).len() + 2,
+        Term::Literal(l) => {
+            interner.resolve(l.lexical).len()
+                + 2
+                + interner.resolve(l.datatype).len()
+                + l.lang.map_or(0, |t| interner.resolve(t).len() + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_small_graph() {
+        let mut g = Graph::new();
+        g.insert_type("http://ex/bob", "http://ex/Student");
+        g.insert_type("http://ex/alice", "http://ex/Professor");
+        g.insert_iri("http://ex/bob", "http://ex/advisedBy", "http://ex/alice");
+        let s = g.intern_iri("http://ex/bob");
+        let p = g.intern("http://ex/regNo");
+        let o = g.string_literal("Bs12");
+        g.insert(s, p, o);
+
+        let stats = DatasetStats::of(&g);
+        assert_eq!(stats.triples, 4);
+        assert_eq!(stats.subjects, 2); // bob, alice
+        assert_eq!(stats.objects, 4); // Student, Professor, alice, "Bs12"
+        assert_eq!(stats.literals, 1);
+        assert_eq!(stats.instances, 2);
+        assert_eq!(stats.classes, 2);
+        assert_eq!(stats.properties, 3); // rdf:type, advisedBy, regNo
+        assert!(stats.size_bytes > 0);
+    }
+
+    #[test]
+    fn subclass_subjects_count_as_classes() {
+        let mut g = Graph::new();
+        g.insert_iri(
+            "http://ex/GS",
+            vocab::rdfs::SUB_CLASS_OF,
+            "http://ex/Student",
+        );
+        let stats = DatasetStats::of(&g);
+        assert_eq!(stats.classes, 2);
+        assert_eq!(stats.instances, 0);
+    }
+
+    #[test]
+    fn empty_graph_is_all_zero() {
+        let stats = DatasetStats::of(&Graph::new());
+        assert_eq!(stats, DatasetStats::default());
+    }
+}

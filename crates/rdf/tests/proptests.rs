@@ -1,0 +1,166 @@
+//! Property-based tests for the RDF substrate: serializer/parser
+//! round-trips over arbitrary graphs, set semantics, and index/scan
+//! equivalence (the differential oracle for the index ablation).
+
+use proptest::prelude::*;
+use s3pg_rdf::parser::parse_ntriples;
+use s3pg_rdf::serializer::to_ntriples;
+use s3pg_rdf::{vocab, Graph, Term};
+
+/// A lexical form containing the characters that stress escaping.
+fn lexical_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~äöü€\\\\\"\n\t]{0,24}").unwrap()
+}
+
+fn iri_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("http://ex\\.org/[A-Za-z0-9_/]{1,16}").unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum ArbObject {
+    Iri(String),
+    Blank(String),
+    PlainLiteral(String),
+    TypedLiteral(String, u8),
+    LangLiteral(String, String),
+}
+
+fn object_strategy() -> impl Strategy<Value = ArbObject> {
+    prop_oneof![
+        iri_strategy().prop_map(ArbObject::Iri),
+        "[a-z][a-z0-9]{0,8}".prop_map(ArbObject::Blank),
+        lexical_strategy().prop_map(ArbObject::PlainLiteral),
+        (lexical_strategy(), 0u8..4).prop_map(|(l, d)| ArbObject::TypedLiteral(l, d)),
+        (
+            lexical_strategy(),
+            proptest::string::string_regex("[a-z]{2}(-[A-Z]{2})?").unwrap()
+        )
+            .prop_map(|(l, t)| ArbObject::LangLiteral(l, t)),
+    ]
+}
+
+fn datatype(ix: u8) -> &'static str {
+    match ix {
+        0 => vocab::xsd::INTEGER,
+        1 => vocab::xsd::DATE,
+        2 => vocab::xsd::G_YEAR,
+        _ => "http://custom.example.org/datatype",
+    }
+}
+
+fn triple_strategy() -> impl Strategy<Value = (String, String, ArbObject)> {
+    (iri_strategy(), iri_strategy(), object_strategy())
+}
+
+fn build_graph(triples: &[(String, String, ArbObject)]) -> Graph {
+    let mut g = Graph::new();
+    for (s, p, o) in triples {
+        let s = g.intern_iri(s);
+        let p = g.intern(p);
+        let o = match o {
+            ArbObject::Iri(iri) => g.intern_iri(iri),
+            ArbObject::Blank(label) => g.intern_blank(label),
+            ArbObject::PlainLiteral(lex) => g.string_literal(lex),
+            ArbObject::TypedLiteral(lex, d) => g.typed_literal(lex, datatype(*d)),
+            ArbObject::LangLiteral(lex, tag) => g.lang_literal(lex, tag),
+        };
+        g.insert(s, p, o);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// N-Triples serialization round-trips arbitrary graphs exactly.
+    #[test]
+    fn ntriples_roundtrip(triples in proptest::collection::vec(triple_strategy(), 0..40)) {
+        let g = build_graph(&triples);
+        let text = to_ntriples(&g);
+        let back = parse_ntriples(&text).unwrap();
+        prop_assert_eq!(back.len(), g.len());
+        prop_assert!(back.same_triples(&g));
+    }
+
+    /// Insertion is idempotent (set semantics) and `len` tracks it.
+    #[test]
+    fn set_semantics(triples in proptest::collection::vec(triple_strategy(), 0..30)) {
+        let g1 = build_graph(&triples);
+        let mut doubled = triples.clone();
+        doubled.extend(triples.iter().cloned());
+        let g2 = build_graph(&doubled);
+        prop_assert_eq!(g1.len(), g2.len());
+        prop_assert!(g1.same_triples(&g2));
+    }
+
+    /// The indexed pattern matcher agrees with the full-scan oracle for
+    /// every pattern shape.
+    #[test]
+    fn index_matches_scan(
+        triples in proptest::collection::vec(triple_strategy(), 1..30),
+        probe in 0usize..30,
+        mask in 0u8..8,
+    ) {
+        let g = build_graph(&triples);
+        let all: Vec<_> = g.triples().collect();
+        let t = all[probe % all.len()];
+        let s = (mask & 1 != 0).then_some(t.s);
+        let p = (mask & 2 != 0).then_some(t.p);
+        let o = (mask & 4 != 0).then_some(t.o);
+        let mut indexed = g.match_pattern(s, p, o);
+        let mut scanned = g.match_pattern_scan(s, p, o);
+        indexed.sort_unstable();
+        scanned.sort_unstable();
+        prop_assert_eq!(indexed, scanned);
+    }
+
+    /// Removal then re-insertion restores the graph.
+    #[test]
+    fn remove_reinsert(triples in proptest::collection::vec(triple_strategy(), 1..20), victim in 0usize..20) {
+        let mut g = build_graph(&triples);
+        let all: Vec<_> = g.triples().collect();
+        let t = all[victim % all.len()];
+        let before = g.len();
+        prop_assert!(g.remove(t.s, t.p, t.o));
+        prop_assert_eq!(g.len(), before - 1);
+        prop_assert!(!g.contains(t.s, t.p, t.o));
+        prop_assert!(g.insert(t.s, t.p, t.o));
+        prop_assert_eq!(g.len(), before);
+        // Indexes stay coherent after the tombstone round-trip.
+        prop_assert!(g.match_pattern(Some(t.s), Some(t.p), Some(t.o)).len() == 1);
+    }
+
+    /// `absorb` is idempotent and value-based.
+    #[test]
+    fn absorb_idempotent(
+        a in proptest::collection::vec(triple_strategy(), 0..15),
+        b in proptest::collection::vec(triple_strategy(), 0..15),
+    ) {
+        let ga = build_graph(&a);
+        let gb = build_graph(&b);
+        let mut merged = Graph::new();
+        merged.absorb(&ga);
+        merged.absorb(&gb);
+        let before = merged.len();
+        prop_assert_eq!(merged.absorb(&ga), 0);
+        prop_assert_eq!(merged.absorb(&gb), 0);
+        prop_assert_eq!(merged.len(), before);
+        // Every source triple is present.
+        for t in ga.triples() {
+            prop_assert!(merged.contains_resolved(&ga, t));
+        }
+    }
+}
+
+#[test]
+fn scan_and_index_agree_on_wildcard() {
+    let mut g = Graph::new();
+    g.insert_iri("http://ex/a", "http://ex/p", "http://ex/b");
+    g.insert_iri("http://ex/b", "http://ex/p", "http://ex/c");
+    let a = Term::Iri(g.interner().get("http://ex/a").unwrap());
+    assert_eq!(
+        g.match_pattern(Some(a), None, None),
+        g.match_pattern_scan(Some(a), None, None)
+    );
+    assert_eq!(g.match_pattern(None, None, None).len(), 2);
+}

@@ -1,0 +1,19 @@
+//! Command-line RDF → property-graph converter built on the S3PG library.
+//! See `s3pg::cli::USAGE` for options.
+
+fn main() {
+    let options = match s3pg::cli::parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match s3pg::cli::run(&options) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Implementation of the `s3pg-convert` command-line tool.
+//!
+//! ```text
+//! s3pg-convert --data graph.ttl [--shapes shapes.ttl] [--mode parsimonious]
+//!              [--out-dir out/] [--emit csv,ddl,yarspg,g2gml] [--validate]
+//! ```
+//!
+//! Reads an RDF graph (Turtle `.ttl` or N-Triples `.nt`), obtains a SHACL
+//! schema (from `--shapes`, or extracted from the data as the paper does
+//! with QSE), runs the S3PG transformation, and writes the requested
+//! artifacts. The logic lives here (unit-testable); the binary is a thin
+//! wrapper.
+
+use crate::g2gml::to_g2gml;
+use crate::inverse::recover_graph;
+use crate::mode::Mode;
+use crate::pipeline::{self, transform};
+use s3pg_pg::{csv, ddl, yarspg, PgStats};
+use s3pg_rdf::parser::{parse_ntriples, parse_turtle};
+use s3pg_rdf::Graph;
+use s3pg_shacl::parser::parse_shacl_turtle;
+use s3pg_shacl::{extract_shapes, validate, ShapeSchema};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    pub data: PathBuf,
+    pub shapes: Option<PathBuf>,
+    pub mode: Mode,
+    pub out_dir: PathBuf,
+    pub emit: Vec<Artifact>,
+    pub validate_input: bool,
+    pub verify_roundtrip: bool,
+}
+
+/// Output artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Artifact {
+    Csv,
+    Ddl,
+    YarsPg,
+    G2gml,
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: s3pg-convert --data FILE[.ttl|.nt] [--shapes FILE.ttl] \
+                         [--mode parsimonious|non-parsimonious] [--out-dir DIR] \
+                         [--emit csv,ddl,yarspg,g2gml] [--validate] [--verify-roundtrip]";
+
+/// Parse argv-style arguments (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut data = None;
+    let mut shapes = None;
+    let mut mode = Mode::Parsimonious;
+    let mut out_dir = PathBuf::from("s3pg-out");
+    let mut emit = vec![Artifact::Csv, Artifact::Ddl];
+    let mut validate_input = false;
+    let mut verify_roundtrip = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data" => data = Some(PathBuf::from(it.next().ok_or("--data needs a path")?)),
+            "--shapes" => shapes = Some(PathBuf::from(it.next().ok_or("--shapes needs a path")?)),
+            "--mode" => {
+                mode = match it.next().as_deref() {
+                    Some("parsimonious") => Mode::Parsimonious,
+                    Some("non-parsimonious") => Mode::NonParsimonious,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--out-dir" => out_dir = PathBuf::from(it.next().ok_or("--out-dir needs a path")?),
+            "--emit" => {
+                let list = it.next().ok_or("--emit needs a list")?;
+                emit = list
+                    .split(',')
+                    .map(|a| match a.trim() {
+                        "csv" => Ok(Artifact::Csv),
+                        "ddl" => Ok(Artifact::Ddl),
+                        "yarspg" => Ok(Artifact::YarsPg),
+                        "g2gml" => Ok(Artifact::G2gml),
+                        other => Err(format!("unknown artifact '{other}'")),
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--validate" => validate_input = true,
+            "--verify-roundtrip" => verify_roundtrip = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(Options {
+        data: data.ok_or(format!("--data is required\n{USAGE}"))?,
+        shapes,
+        mode,
+        out_dir,
+        emit,
+        validate_input,
+        verify_roundtrip,
+    })
+}
+
+/// Load an RDF graph by file extension.
+pub fn load_graph(path: &Path) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("nt") | Some("ntriples") => parse_ntriples(&text).map_err(|e| e.to_string()),
+        _ => parse_turtle(&text).map_err(|e| e.to_string()),
+    }
+}
+
+/// Run the conversion; returns the human-readable report.
+pub fn run(options: &Options) -> Result<String, String> {
+    let mut report = String::new();
+    let graph = load_graph(&options.data)?;
+    let _ = writeln!(report, "input: {} triples", graph.len());
+
+    let schema: ShapeSchema = match &options.shapes {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            parse_shacl_turtle(&text).map_err(|e| e.to_string())?
+        }
+        None => {
+            let s = extract_shapes(&graph);
+            let _ = writeln!(
+                report,
+                "shapes: extracted {} node shapes from the data",
+                s.len()
+            );
+            s
+        }
+    };
+
+    if options.validate_input {
+        let v = validate(&graph, &schema);
+        let _ = writeln!(
+            report,
+            "validation: {} ({} violations over {} checks)",
+            if v.conforms() {
+                "G ⊨ S_G"
+            } else {
+                "G ⊭ S_G"
+            },
+            v.violations.len(),
+            v.checked
+        );
+    }
+
+    let out = transform(&graph, &schema, options.mode);
+    let stats = PgStats::of(&out.pg);
+    let _ = writeln!(
+        report,
+        "transformed ({}): {} nodes, {} edges, {} rel types in {:?}",
+        options.mode.name(),
+        stats.nodes,
+        stats.edges,
+        stats.rel_types,
+        out.timings.total()
+    );
+    let _ = writeln!(
+        report,
+        "conformance: {}",
+        if out.conformance.conforms() {
+            "PG ⊨ S_PG"
+        } else {
+            "PG ⊭ S_PG"
+        }
+    );
+
+    std::fs::create_dir_all(&options.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", options.out_dir.display()))?;
+    for artifact in &options.emit {
+        match artifact {
+            Artifact::Csv => {
+                let exported = csv::export(&out.pg);
+                write_file(&options.out_dir.join("nodes.csv"), &exported.nodes)?;
+                write_file(
+                    &options.out_dir.join("relationships.csv"),
+                    &exported.relationships,
+                )?;
+                let _ = writeln!(report, "wrote nodes.csv, relationships.csv");
+            }
+            Artifact::Ddl => {
+                write_file(
+                    &options.out_dir.join("schema.pgs"),
+                    &ddl::to_ddl(&out.schema.pg_schema),
+                )?;
+                let _ = writeln!(report, "wrote schema.pgs");
+            }
+            Artifact::YarsPg => {
+                write_file(
+                    &options.out_dir.join("graph.yarspg"),
+                    &yarspg::to_yarspg(&out.pg),
+                )?;
+                let _ = writeln!(report, "wrote graph.yarspg");
+            }
+            Artifact::G2gml => {
+                write_file(
+                    &options.out_dir.join("mapping.g2gml"),
+                    &to_g2gml(&out.schema),
+                )?;
+                let _ = writeln!(report, "wrote mapping.g2gml");
+            }
+        }
+    }
+
+    if options.verify_roundtrip {
+        let recovered = recover_graph(&out.pg, &out.schema.mapping).map_err(|e| e.to_string())?;
+        let ok = recovered.same_triples(&graph);
+        let _ = writeln!(
+            report,
+            "round-trip: M(F_dt(G)) {} G ({} triples recovered)",
+            if ok { "=" } else { "≠" },
+            recovered.len()
+        );
+        if !ok {
+            return Err(format!("round-trip verification failed\n{report}"));
+        }
+        // Also exercise the load stage.
+        let (loaded, _) = pipeline::load(&out.pg);
+        let _ = writeln!(
+            report,
+            "load check: {} nodes / {} edges after CSV re-ingest",
+            loaded.node_count(),
+            loaded.edge_count()
+        );
+    }
+    Ok(report)
+}
+
+fn write_file(path: &Path, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Options, String> {
+        parse_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_minimal_args() {
+        let o = args(&["--data", "g.ttl"]).unwrap();
+        assert_eq!(o.data, PathBuf::from("g.ttl"));
+        assert_eq!(o.mode, Mode::Parsimonious);
+        assert_eq!(o.emit, vec![Artifact::Csv, Artifact::Ddl]);
+        assert!(!o.validate_input);
+    }
+
+    #[test]
+    fn parses_full_args() {
+        let o = args(&[
+            "--data",
+            "g.nt",
+            "--shapes",
+            "s.ttl",
+            "--mode",
+            "non-parsimonious",
+            "--out-dir",
+            "out",
+            "--emit",
+            "csv,yarspg,g2gml",
+            "--validate",
+            "--verify-roundtrip",
+        ])
+        .unwrap();
+        assert_eq!(o.mode, Mode::NonParsimonious);
+        assert_eq!(
+            o.emit,
+            vec![Artifact::Csv, Artifact::YarsPg, Artifact::G2gml]
+        );
+        assert!(o.validate_input && o.verify_roundtrip);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(args(&[]).is_err());
+        assert!(args(&["--data"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--mode", "fancy"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--emit", "png"]).is_err());
+        assert!(args(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_conversion_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("s3pg-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("input.ttl");
+        std::fs::write(
+            &data_path,
+            r#"
+@prefix : <http://ex/> .
+:bob a :Student ; :regNo "Bs12" ; :takesCourse :db, "Self Study" .
+:db a :Course ; :title "DB" .
+"#,
+        )
+        .unwrap();
+        let options = Options {
+            data: data_path,
+            shapes: None,
+            mode: Mode::Parsimonious,
+            out_dir: dir.join("out"),
+            emit: vec![
+                Artifact::Csv,
+                Artifact::Ddl,
+                Artifact::YarsPg,
+                Artifact::G2gml,
+            ],
+            validate_input: true,
+            verify_roundtrip: true,
+        };
+        let report = run(&options).unwrap();
+        assert!(report.contains("input: 6 triples"), "{report}");
+        assert!(report.contains("G ⊨ S_G"));
+        assert!(report.contains("PG ⊨ S_PG"));
+        assert!(report.contains("round-trip: M(F_dt(G)) = G"));
+        for f in [
+            "nodes.csv",
+            "relationships.csv",
+            "schema.pgs",
+            "graph.yarspg",
+            "mapping.g2gml",
+        ] {
+            assert!(dir.join("out").join(f).exists(), "missing {f}");
+        }
+        // The emitted artifacts parse back.
+        let ddl_text = std::fs::read_to_string(dir.join("out/schema.pgs")).unwrap();
+        assert!(s3pg_pg::parse_ddl(&ddl_text).is_ok());
+        let yars_text = std::fs::read_to_string(dir.join("out/graph.yarspg")).unwrap();
+        assert!(s3pg_pg::yarspg::from_yarspg(&yars_text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_graph_dispatches_on_extension() {
+        let dir = std::env::temp_dir().join(format!("s3pg-cli-ext-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let nt = dir.join("g.nt");
+        std::fs::write(&nt, "<http://ex/a> <http://ex/p> <http://ex/b> .\n").unwrap();
+        assert_eq!(load_graph(&nt).unwrap().len(), 1);
+        let ttl = dir.join("g.ttl");
+        std::fs::write(&ttl, "@prefix : <http://ex/> .\n:a :p :b .\n").unwrap();
+        assert_eq!(load_graph(&ttl).unwrap().len(), 1);
+        assert!(load_graph(&dir.join("missing.ttl")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,663 @@
+//! Data transformation `F_dt[F_st] : G → PG` — Algorithm 1 of the paper.
+//!
+//! The two-phase algorithm:
+//!
+//! 1. **Entities to PG nodes** (lines 4–14): stream the `rdf:type` triples
+//!    into the entity-type map `Ψ_ETD`, then create one PG node per entity
+//!    with one label per declared type and the entity IRI as a key/value
+//!    (`iri`) property.
+//! 2. **Properties to key/values and edges** (lines 15–31): stream the
+//!    remaining triples. If the object is a typed entity, create an edge
+//!    (lines 16–20). If the predicate is a single-type literal with
+//!    cardinality at most one and the mode is parsimonious, encode the value
+//!    as a key/value property (lines 21–23). Otherwise create a
+//!    literal-carrier node labelled by the value's datatype, store the value
+//!    under `ov`, and link it (lines 24–31).
+//!
+//! Data that falls outside the schema (unknown predicates, unexpected
+//! datatypes, untyped subjects) never loses information: the schema is
+//! *widened monotonically* on the fly (new carrier types, fallback edge
+//! types, the `Resource` type), so `PG ⊨ S_PG` is maintained.
+
+use crate::mapping::Handling;
+use crate::mode::Mode;
+use crate::schema_transform::{
+    ensure_carrier, ensure_entity_type, SchemaTransform, ANY_IRI_DATATYPE, RESOURCE_LABEL,
+    RESOURCE_TYPE,
+};
+use s3pg_pg::{EdgeType, NodeId, PropertyGraph, Value, IRI_KEY, VALUE_KEY};
+use s3pg_rdf::fxhash::FxHashMap;
+use s3pg_rdf::{vocab, Graph, Term};
+
+/// Key under which language tags of `rdf:langString` carrier nodes are kept.
+pub const LANG_KEY: &str = "lang";
+
+/// Mutable transformation state carried across incremental updates: the
+/// persistent part of `Ψ_ETD` (entity → node-type names).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransformState {
+    /// Entity reference (IRI or `_:label`) → node type names of its classes.
+    pub entity_types: FxHashMap<String, Vec<String>>,
+    /// The mode the data was transformed under.
+    pub mode: Mode,
+    /// Memo of already-verified (edge label → admitted target types), so
+    /// the monotone schema-widening check runs once per combination rather
+    /// than once per triple.
+    pub widen_cache: FxHashMap<String, s3pg_rdf::fxhash::FxHashSet<String>>,
+}
+
+/// Counters describing what one transformation pass produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransformCounters {
+    pub entity_nodes: usize,
+    pub carrier_nodes: usize,
+    pub edges: usize,
+    pub key_values: usize,
+    /// Triples whose predicate had no handling in the schema (fallback path).
+    pub fallback_triples: usize,
+}
+
+/// The result of a data transformation.
+#[derive(Debug, Clone)]
+pub struct DataTransform {
+    pub pg: PropertyGraph,
+    pub state: TransformState,
+    pub counters: TransformCounters,
+}
+
+/// Transform `graph` into a property graph under `transform`'s schema and
+/// mapping. The schema may be widened (monotonically) for out-of-schema
+/// data.
+pub fn transform_data(graph: &Graph, transform: &mut SchemaTransform, mode: Mode) -> DataTransform {
+    let mut pg = PropertyGraph::with_capacity(graph.len() / 2, graph.len());
+    let mut state = TransformState {
+        mode,
+        ..Default::default()
+    };
+    let mut counters = TransformCounters::default();
+    ingest(graph, transform, &mut pg, &mut state, &mut counters);
+    DataTransform {
+        pg,
+        state,
+        counters,
+    }
+}
+
+/// Run both phases of Algorithm 1 over `graph`, adding to an existing PG.
+/// This is exactly the incremental-addition path: calling it with a delta
+/// graph extends the output monotonically.
+pub fn ingest(
+    graph: &Graph,
+    transform: &mut SchemaTransform,
+    pg: &mut PropertyGraph,
+    state: &mut TransformState,
+    counters: &mut TransformCounters,
+) {
+    let type_p = graph.type_predicate_opt();
+
+    // ---- Phase 1: entities to PG nodes (lines 4–14) ----
+    if let Some(type_p) = type_p {
+        // Group type triples per entity first so multi-labelled nodes are
+        // created in one step.
+        let mut pending: FxHashMap<String, Vec<String>> = FxHashMap::default();
+        let mut order: Vec<String> = Vec::new();
+        for t in graph.match_pattern(None, Some(type_p), None) {
+            let Some(class_sym) = t.o.as_iri() else {
+                continue; // a literal "type" is not a class
+            };
+            let entity = entity_ref(graph, t.s);
+            let class_iri = graph.resolve(class_sym).to_string();
+            match pending.get_mut(&entity) {
+                Some(classes) => classes.push(class_iri),
+                None => {
+                    order.push(entity.clone());
+                    pending.insert(entity, vec![class_iri]);
+                }
+            }
+        }
+        for entity in order {
+            let classes = pending.remove(&entity).unwrap();
+            // Register the entity's types *before* materialising the node so
+            // the untyped-Resource fallback does not fire for typed entities.
+            let mut labels = Vec::with_capacity(classes.len());
+            for class_iri in &classes {
+                let (type_name, label) = transform.mapping.register_class(class_iri);
+                ensure_entity_type(&mut transform.pg_schema, &type_name, &label, class_iri);
+                let types = state.entity_types.entry(entity.clone()).or_default();
+                if !types.contains(&type_name) {
+                    types.push(type_name);
+                }
+                labels.push(label);
+            }
+            let node = ensure_entity_node(pg, transform, state, &entity, counters);
+            for label in labels {
+                pg.add_label(node, &label);
+            }
+        }
+    }
+
+    // ---- Phase 2: properties to key/values and edges (lines 15–31) ----
+    //
+    // Iterate per distinct subject so the node lookup and the subject's
+    // type list are resolved once per entity instead of once per triple.
+    for s_term in graph.subjects_distinct() {
+        let subject = entity_ref(graph, s_term);
+        let statements = graph.match_pattern(Some(s_term), None, None);
+        if statements.iter().all(|t| Some(t.p) == type_p) {
+            continue;
+        }
+        let s_node = ensure_entity_node(pg, transform, state, &subject, counters);
+        let subject_types: Vec<String> = state
+            .entity_types
+            .get(&subject)
+            .cloned()
+            .unwrap_or_default();
+
+        for t in statements {
+            if Some(t.p) == type_p {
+                continue;
+            }
+            let predicate = graph.resolve(t.p);
+            let handling = subject_types
+                .iter()
+                .find_map(|tn| transform.mapping.handling_for(tn, predicate).cloned());
+            let predicate = predicate.to_string();
+            if handling.is_none() {
+                counters.fallback_triples += 1;
+            }
+
+            // Line 16: object exists as a typed entity → edge.
+            let object_ref = t.o.is_resource().then(|| entity_ref(graph, t.o));
+            let object_is_entity = object_ref
+                .as_ref()
+                .is_some_and(|r| state.entity_types.contains_key(r));
+            if object_is_entity {
+                let object_ref = object_ref.unwrap();
+                let o_node = ensure_entity_node(pg, transform, state, &object_ref, counters);
+                let label = match &handling {
+                    Some(Handling::Edge { label }) => label.clone(),
+                    _ => transform.mapping.register_edge_label(&predicate),
+                };
+                let cached = {
+                    let targets = state
+                        .entity_types
+                        .get(&object_ref)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
+                    state
+                        .widen_cache
+                        .get(&label)
+                        .is_some_and(|ok| targets.iter().all(|t| ok.contains(t)))
+                };
+                if !cached {
+                    let targets = state
+                        .entity_types
+                        .get(&object_ref)
+                        .cloned()
+                        .unwrap_or_default();
+                    widen_edge_type(
+                        transform,
+                        &subject_types,
+                        &label,
+                        &predicate,
+                        targets.clone(),
+                    );
+                    let entry = state.widen_cache.entry(label.clone()).or_default();
+                    entry.extend(targets);
+                }
+                pg.add_edge(s_node, o_node, &label);
+                counters.edges += 1;
+                continue;
+            }
+
+            // Lines 21–23: parsimonious key/value for single-type literals.
+            if let Some(Handling::KeyValue { key, .. }) = &handling {
+                if let Some(lit) = t.o.as_literal() {
+                    if lit.lang.is_none() {
+                        let value =
+                            preserve_value(graph.resolve(lit.lexical), graph.resolve(lit.datatype));
+                        pg.push_prop(s_node, key, value);
+                        counters.key_values += 1;
+                        continue;
+                    }
+                    // Language-tagged values need the carrier path to keep
+                    // the tag — fall through.
+                }
+                // A non-literal object under a literal handling: the object
+                // is an IRI the schema did not anticipate — fall through to
+                // the lossless carrier path.
+            }
+
+            // Lines 24–31: carrier node.
+            let (datatype, value, lang) = describe_object(graph, t.o);
+            let (carrier_type, carrier_label) =
+                ensure_carrier(&mut transform.pg_schema, &mut transform.mapping, &datatype);
+            let label = match &handling {
+                Some(Handling::Edge { label }) => label.clone(),
+                _ => transform.mapping.register_edge_label(&predicate),
+            };
+            let cached = state
+                .widen_cache
+                .get(&label)
+                .is_some_and(|ok| ok.contains(&carrier_type));
+            if !cached {
+                widen_edge_type(
+                    transform,
+                    &subject_types,
+                    &label,
+                    &predicate,
+                    vec![carrier_type.clone()],
+                );
+                state
+                    .widen_cache
+                    .entry(label.clone())
+                    .or_default()
+                    .insert(carrier_type);
+            }
+            let o_node = pg.add_node([carrier_label.as_str()]);
+            pg.set_prop(o_node, VALUE_KEY, value);
+            if let Some(lang) = lang {
+                pg.set_prop(o_node, LANG_KEY, Value::String(lang));
+            }
+            pg.add_edge(s_node, o_node, &label);
+            counters.carrier_nodes += 1;
+            counters.edges += 1;
+        }
+    }
+}
+
+/// Reference string for an entity term: the IRI, or `_:label` for blanks.
+pub fn entity_ref(graph: &Graph, term: Term) -> String {
+    match term {
+        Term::Iri(s) => graph.resolve(s).to_string(),
+        Term::Blank(s) => format!("_:{}", graph.resolve(s)),
+        Term::Literal(_) => unreachable!("literals are not entities"),
+    }
+}
+
+/// Get or create the PG node for an entity. Entities first seen in subject
+/// position without any type get the `Resource` label (and type).
+fn ensure_entity_node(
+    pg: &mut PropertyGraph,
+    transform: &mut SchemaTransform,
+    state: &mut TransformState,
+    entity: &str,
+    counters: &mut TransformCounters,
+) -> NodeId {
+    if let Some(node) = pg.node_by_iri(entity) {
+        return node;
+    }
+    let node = if state.entity_types.contains_key(entity) {
+        pg.add_node(Vec::<&str>::new())
+    } else {
+        // Untyped entity: Resource fallback keeps PG ⊨ S_PG.
+        state
+            .entity_types
+            .insert(entity.to_string(), vec![RESOURCE_TYPE.to_string()]);
+        let _ = transform; // resourceType is always present in the schema
+        pg.add_node([RESOURCE_LABEL])
+    };
+    pg.set_prop(node, IRI_KEY, Value::String(entity.to_string()));
+    counters.entity_nodes += 1;
+    node
+}
+
+/// Convert an RDF literal to a PG value, keeping the exact lexical form:
+/// when the typed parse does not round-trip (e.g. `"042"^^xsd:integer`),
+/// the value is stored as a string so `M(F_dt(G)) = G` holds exactly.
+pub fn preserve_value(lexical: &str, datatype: &str) -> Value {
+    let v = Value::from_xsd(lexical, datatype);
+    if v.lexical() == lexical {
+        v
+    } else {
+        Value::String(lexical.to_string())
+    }
+}
+
+/// Datatype IRI, value, and optional language tag of an object term that is
+/// not a typed entity.
+fn describe_object(graph: &Graph, o: Term) -> (String, Value, Option<String>) {
+    match o {
+        Term::Literal(l) => {
+            let dt = graph.resolve(l.datatype).to_string();
+            let lex = graph.resolve(l.lexical);
+            let lang = l.lang.map(|t| graph.resolve(t).to_string());
+            let value = if lang.is_some() {
+                Value::String(lex.to_string())
+            } else {
+                preserve_value(lex, &dt)
+            };
+            (dt, value, lang)
+        }
+        Term::Iri(s) => (
+            ANY_IRI_DATATYPE.to_string(),
+            Value::String(graph.resolve(s).to_string()),
+            None,
+        ),
+        Term::Blank(s) => (
+            ANY_IRI_DATATYPE.to_string(),
+            Value::String(format!("_:{}", graph.resolve(s))),
+            None,
+        ),
+    }
+}
+
+/// Monotone schema widening: make sure an edge type with `label` exists for
+/// the subject's (first) type and that it admits the given targets.
+fn widen_edge_type(
+    transform: &mut SchemaTransform,
+    subject_types: &[String],
+    label: &str,
+    predicate: &str,
+    targets: Vec<String>,
+) {
+    // Prefer an edge type already declared for any of the subject's types
+    // (the common case: the schema transformation declared it on the shape
+    // that owns the property); only declare a fresh one when none exists.
+    let existing = subject_types
+        .iter()
+        .map(|tn| format!("{label}_{tn}"))
+        .find(|name| transform.pg_schema.edge_type(name).is_some());
+    match existing {
+        Some(name) => {
+            let et = transform.pg_schema.edge_type_mut(&name).unwrap();
+            for t in &targets {
+                et.add_target(t.clone());
+            }
+        }
+        None => {
+            let source = subject_types
+                .first()
+                .cloned()
+                .unwrap_or_else(|| RESOURCE_TYPE.to_string());
+            transform.pg_schema.add_edge_type(EdgeType {
+                name: format!("{label}_{source}"),
+                label: label.to_string(),
+                iri: Some(predicate.to_string()),
+                source,
+                targets: targets.clone(),
+            });
+        }
+    }
+    // PG-Keys counting this edge label must admit the new target types too,
+    // or previously valid nodes would spuriously violate their COUNT keys.
+    for key in transform.pg_schema.keys_mut() {
+        if key.edge_label == label && subject_types.contains(&key.for_type) {
+            for t in &targets {
+                if !key.target_types.contains(t) {
+                    key.target_types.push(t.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Re-exported for callers needing to classify literal datatypes.
+pub fn is_lang_string(datatype: &str) -> bool {
+    datatype == vocab::rdf::LANG_STRING
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_transform::transform_schema;
+    use s3pg_pg::conformance;
+    use s3pg_rdf::parser::parse_turtle;
+    use s3pg_shacl::parser::parse_shacl_turtle;
+
+    const SCHEMA: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://ex/> .
+@prefix shape: <http://ex/shape/> .
+
+shape:Person a sh:NodeShape ; sh:targetClass :Person ;
+    sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] .
+
+shape:Student a sh:NodeShape ; sh:targetClass :Student ;
+    sh:node shape:Person ;
+    sh:property [ sh:path :regNo ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] ;
+    sh:property [ sh:path :advisedBy ; sh:class :Professor ; sh:minCount 0 ] ;
+    sh:property [
+        sh:path :takesCourse ;
+        sh:or ( [ sh:class :Course ] [ sh:datatype xsd:string ] ) ;
+        sh:minCount 1 ] .
+
+shape:Professor a sh:NodeShape ; sh:targetClass :Professor ;
+    sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] .
+
+shape:Course a sh:NodeShape ; sh:targetClass :Course ;
+    sh:property [ sh:path :title ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] .
+"#;
+
+    const DATA: &str = r#"
+@prefix : <http://ex/> .
+:bob a :Person, :Student ; :name "Bob" ; :regNo "Bs12" ;
+     :advisedBy :alice ; :takesCourse :db, "Self Study" .
+:alice a :Person, :Professor ; :name "Alice" .
+:db a :Course ; :title "Databases" .
+"#;
+
+    fn setup(mode: Mode) -> (SchemaTransform, DataTransform) {
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let mut st = transform_schema(&shapes, mode);
+        let g = parse_turtle(DATA).unwrap();
+        let dt = transform_data(&g, &mut st, mode);
+        (st, dt)
+    }
+
+    #[test]
+    fn phase1_creates_multi_labelled_entity_nodes() {
+        let (_, dt) = setup(Mode::Parsimonious);
+        let bob = dt.pg.node_by_iri("http://ex/bob").unwrap();
+        let labels = dt.pg.labels_of(bob);
+        assert!(labels.contains(&"Person"));
+        assert!(labels.contains(&"Student"));
+        assert_eq!(
+            dt.pg.prop(bob, IRI_KEY),
+            Some(&Value::String("http://ex/bob".into()))
+        );
+    }
+
+    #[test]
+    fn parsimonious_literals_become_key_values() {
+        let (_, dt) = setup(Mode::Parsimonious);
+        let bob = dt.pg.node_by_iri("http://ex/bob").unwrap();
+        assert_eq!(dt.pg.prop(bob, "name"), Some(&Value::String("Bob".into())));
+        assert_eq!(
+            dt.pg.prop(bob, "regNo"),
+            Some(&Value::String("Bs12".into()))
+        );
+        assert!(dt.counters.key_values >= 3); // name×2, regNo
+    }
+
+    #[test]
+    fn entity_objects_become_edges() {
+        let (_, dt) = setup(Mode::Parsimonious);
+        let bob = dt.pg.node_by_iri("http://ex/bob").unwrap();
+        let alice = dt.pg.node_by_iri("http://ex/alice").unwrap();
+        assert!(dt.pg.has_edge(bob, alice, "advisedBy"));
+        let db = dt.pg.node_by_iri("http://ex/db").unwrap();
+        assert!(dt.pg.has_edge(bob, db, "takesCourse"));
+    }
+
+    #[test]
+    fn hetero_literal_values_become_carrier_nodes() {
+        let (_, dt) = setup(Mode::Parsimonious);
+        let bob = dt.pg.node_by_iri("http://ex/bob").unwrap();
+        // "Self Study" must live on a STRING carrier linked via takesCourse.
+        let carrier = dt
+            .pg
+            .out_edges(bob)
+            .iter()
+            .map(|&e| dt.pg.edge(e).dst)
+            .find(|&n| dt.pg.labels_of(n) == vec!["STRING"])
+            .expect("carrier node");
+        assert_eq!(
+            dt.pg.prop(carrier, VALUE_KEY),
+            Some(&Value::String("Self Study".into()))
+        );
+        assert_eq!(dt.counters.carrier_nodes, 1);
+    }
+
+    #[test]
+    fn transformed_graph_conforms_to_transformed_schema() {
+        let (st, dt) = setup(Mode::Parsimonious);
+        let report = conformance::check(&dt.pg, &st.pg_schema);
+        assert!(report.conforms(), "{:#?}", report.failures);
+    }
+
+    #[test]
+    fn non_parsimonious_has_no_data_key_values() {
+        let (st, dt) = setup(Mode::NonParsimonious);
+        let bob = dt.pg.node_by_iri("http://ex/bob").unwrap();
+        assert_eq!(dt.pg.prop(bob, "name"), None);
+        assert_eq!(dt.counters.key_values, 0);
+        // name values live on carriers instead.
+        assert!(dt.counters.carrier_nodes >= 4); // 2 names, regNo, Self Study
+        let report = conformance::check(&dt.pg, &st.pg_schema);
+        assert!(report.conforms(), "{:#?}", report.failures);
+    }
+
+    #[test]
+    fn non_parsimonious_creates_more_nodes_than_parsimonious() {
+        let (_, pars) = setup(Mode::Parsimonious);
+        let (_, non_pars) = setup(Mode::NonParsimonious);
+        assert!(non_pars.pg.node_count() > pars.pg.node_count());
+        assert!(non_pars.pg.edge_count() > pars.pg.edge_count());
+    }
+
+    #[test]
+    fn unknown_predicate_uses_lossless_fallback() {
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let mut st = transform_schema(&shapes, Mode::Parsimonious);
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:bob a :Person ; :name "Bob" ; :surprise "boo" .
+"#,
+        )
+        .unwrap();
+        let dt = transform_data(&g, &mut st, Mode::Parsimonious);
+        assert_eq!(dt.counters.fallback_triples, 1);
+        // The value is preserved on a carrier node.
+        let bob = dt.pg.node_by_iri("http://ex/bob").unwrap();
+        let edges = dt.pg.out_edges(bob);
+        assert!(edges
+            .iter()
+            .any(|&e| dt.pg.edge_labels_of(e).contains(&"surprise")));
+        // Schema was widened, so conformance still holds.
+        let report = conformance::check(&dt.pg, &st.pg_schema);
+        assert!(report.conforms(), "{:#?}", report.failures);
+    }
+
+    #[test]
+    fn untyped_subject_gets_resource_label() {
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let mut st = transform_schema(&shapes, Mode::Parsimonious);
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:mystery :name "Nobody" .
+"#,
+        )
+        .unwrap();
+        let dt = transform_data(&g, &mut st, Mode::Parsimonious);
+        let node = dt.pg.node_by_iri("http://ex/mystery").unwrap();
+        assert_eq!(dt.pg.labels_of(node), vec![RESOURCE_LABEL]);
+        let report = conformance::check(&dt.pg, &st.pg_schema);
+        assert!(report.conforms(), "{:#?}", report.failures);
+    }
+
+    #[test]
+    fn lang_tagged_literal_keeps_tag_on_carrier() {
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let mut st = transform_schema(&shapes, Mode::Parsimonious);
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:bob a :Person ; :name "Bob"@en .
+"#,
+        )
+        .unwrap();
+        let dt = transform_data(&g, &mut st, Mode::Parsimonious);
+        let bob = dt.pg.node_by_iri("http://ex/bob").unwrap();
+        // Not stored as a plain key/value: the tag would be lost.
+        assert_eq!(dt.pg.prop(bob, "name"), None);
+        let carrier = dt
+            .pg
+            .out_edges(bob)
+            .iter()
+            .map(|&e| dt.pg.edge(e).dst)
+            .next()
+            .unwrap();
+        assert_eq!(
+            dt.pg.prop(carrier, LANG_KEY),
+            Some(&Value::String("en".into()))
+        );
+        assert_eq!(
+            dt.pg.prop(carrier, VALUE_KEY),
+            Some(&Value::String("Bob".into()))
+        );
+    }
+
+    #[test]
+    fn non_canonical_lexical_forms_are_preserved() {
+        assert_eq!(
+            preserve_value("042", vocab::xsd::INTEGER),
+            Value::String("042".into())
+        );
+        assert_eq!(preserve_value("42", vocab::xsd::INTEGER), Value::Int(42));
+    }
+
+    #[test]
+    fn repeated_scalar_kv_values_accumulate_to_arrays() {
+        // Violating data (regNo twice) must not silently lose a value.
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let mut st = transform_schema(&shapes, Mode::Parsimonious);
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:bob a :Person ; :name "Bob", "Robert" .
+"#,
+        )
+        .unwrap();
+        let dt = transform_data(&g, &mut st, Mode::Parsimonious);
+        let bob = dt.pg.node_by_iri("http://ex/bob").unwrap();
+        match dt.pg.prop(bob, "name") {
+            Some(Value::List(items)) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+        // And the PG must NOT conform — mirroring G ⊭ S_G (Def. 3.3).
+        let report = conformance::check(&dt.pg, &st.pg_schema);
+        assert!(!report.conforms());
+    }
+
+    #[test]
+    fn blank_node_entities_are_supported() {
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let mut st = transform_schema(&shapes, Mode::Parsimonious);
+        let g = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+_:b a :Person ; :name "Anon" .
+"#,
+        )
+        .unwrap();
+        let dt = transform_data(&g, &mut st, Mode::Parsimonious);
+        let node = dt.pg.node_by_iri("_:b").unwrap();
+        assert!(dt.pg.labels_of(node).contains(&"Person"));
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let (_, dt) = setup(Mode::Parsimonious);
+        assert_eq!(dt.counters.entity_nodes, 3);
+        assert_eq!(dt.pg.node_count(), 3 + dt.counters.carrier_nodes);
+        assert_eq!(dt.pg.edge_count(), dt.counters.edges);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the S3PG transformation pipeline.
+
+use std::fmt;
+
+/// Errors raised by the transformation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum S3pgError {
+    /// Underlying RDF failure.
+    Rdf(s3pg_rdf::RdfError),
+    /// Underlying SHACL failure.
+    Shacl(String),
+    /// A query could not be translated by `F_qt`.
+    QueryTranslation(String),
+    /// Inverse mapping failure (should not occur on S3PG-produced graphs).
+    Inverse(String),
+}
+
+impl fmt::Display for S3pgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            S3pgError::Rdf(e) => write!(f, "RDF error: {e}"),
+            S3pgError::Shacl(msg) => write!(f, "SHACL error: {msg}"),
+            S3pgError::QueryTranslation(msg) => write!(f, "query translation error: {msg}"),
+            S3pgError::Inverse(msg) => write!(f, "inverse mapping error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for S3pgError {}
+
+impl From<s3pg_rdf::RdfError> for S3pgError {
+    fn from(e: s3pg_rdf::RdfError) -> Self {
+        S3pgError::Rdf(e)
+    }
+}
+
+impl From<s3pg_shacl::ShaclError> for S3pgError {
+    fn from(e: s3pg_shacl::ShaclError) -> Self {
+        S3pgError::Shacl(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_context() {
+        let e = S3pgError::QueryTranslation("unsupported".into());
+        assert!(e.to_string().contains("query translation"));
+    }
+}

@@ -1,0 +1,386 @@
+//! Monotone incremental updates (§4.2.1 and §5.4 of the paper).
+//!
+//! When the source RDF graph evolves, S3PG does not recompute the whole
+//! transformation: additions are ingested with the same two-phase algorithm
+//! restricted to the delta (`F_dt(G ∪ Δ) = F_dt(G) ∪ F_dt(Δ)`), and
+//! deletions remove exactly the PG elements the deleted triples produced.
+//! Schema changes only ever widen the PG schema (new types, new edge-type
+//! targets, widened cardinality keys), never invalidate existing data —
+//! which is the point of the non-parsimonious encoding.
+
+use crate::data_transform::{
+    entity_ref, ingest, preserve_value, TransformCounters, TransformState, LANG_KEY,
+};
+use crate::mapping::Handling;
+use crate::schema_transform::SchemaTransform;
+use s3pg_pg::{PropertyGraph, Value, VALUE_KEY};
+use s3pg_rdf::{Graph, Term};
+
+/// Apply an additions-only delta. Returns the counters for the delta pass.
+pub fn apply_additions(
+    pg: &mut PropertyGraph,
+    transform: &mut SchemaTransform,
+    state: &mut TransformState,
+    delta: &Graph,
+) -> TransformCounters {
+    let mut counters = TransformCounters::default();
+    ingest(delta, transform, pg, state, &mut counters);
+    counters
+}
+
+/// Apply a deletions-only delta: every triple in `removed` is assumed to
+/// have been part of the source graph. Returns the number of PG mutations.
+pub fn apply_deletions(
+    pg: &mut PropertyGraph,
+    transform: &SchemaTransform,
+    state: &mut TransformState,
+    removed: &Graph,
+) -> usize {
+    let type_p = removed.type_predicate_opt();
+    let mut changes = 0;
+
+    for t in removed.triples() {
+        let subject = entity_ref(removed, t.s);
+        let Some(s_node) = pg.node_by_iri(&subject) else {
+            continue;
+        };
+
+        // Deleting a type statement removes the label (the node itself stays
+        // while other statements may still refer to it).
+        if Some(t.p) == type_p {
+            if let Some(class_sym) = t.o.as_iri() {
+                let class_iri = removed.resolve(class_sym);
+                if let Some(label) = transform.mapping.label_of_class.get(class_iri) {
+                    if pg.remove_label(s_node, label) {
+                        changes += 1;
+                    }
+                    if let Some(type_name) = transform.mapping.type_of_class.get(class_iri) {
+                        if let Some(types) = state.entity_types.get_mut(&subject) {
+                            types.retain(|t| t != type_name);
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        let predicate = removed.resolve(t.p).to_string();
+        let subject_types = state
+            .entity_types
+            .get(&subject)
+            .cloned()
+            .unwrap_or_default();
+        let handling = subject_types
+            .iter()
+            .find_map(|tn| transform.mapping.handling_for(tn, &predicate).cloned());
+
+        // Entity-to-entity edge?
+        if t.o.is_resource() {
+            let object = entity_ref(removed, t.o);
+            if let Some(o_node) = pg.node_by_iri(&object) {
+                let label = match &handling {
+                    Some(Handling::Edge { label }) => label.clone(),
+                    _ => transform
+                        .mapping
+                        .edge_label_of_pred
+                        .get(&predicate)
+                        .cloned()
+                        .unwrap_or_else(|| predicate.clone()),
+                };
+                if pg.remove_edge(s_node, o_node, &label) {
+                    changes += 1;
+                    continue;
+                }
+            }
+        }
+
+        // Key/value property?
+        if let Some(Handling::KeyValue { key, .. }) = &handling {
+            if let Some(lit) = t.o.as_literal() {
+                if lit.lang.is_none() {
+                    let value =
+                        preserve_value(removed.resolve(lit.lexical), removed.resolve(lit.datatype));
+                    if pg.remove_prop_value(s_node, key, &value) {
+                        changes += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Carrier node: find the edge from s with the predicate's label to a
+        // carrier whose `ov` (and `lang`) matches, and remove the edge.
+        let label = match &handling {
+            Some(Handling::Edge { label }) => label.clone(),
+            _ => match transform.mapping.edge_label_of_pred.get(&predicate) {
+                Some(l) => l.clone(),
+                None => continue,
+            },
+        };
+        let expected = expected_carrier_value(removed, t.o);
+        let candidate = pg.out_edges(s_node).into_iter().find(|&e| {
+            let edge = pg.edge(e);
+            if !pg.edge_labels_of(e).contains(&label.as_str()) {
+                return false;
+            }
+            let (value, lang) = &expected;
+            pg.prop(edge.dst, VALUE_KEY) == Some(value)
+                && pg.prop(edge.dst, LANG_KEY).cloned()
+                    == lang.as_ref().map(|l| Value::String(l.clone()))
+        });
+        if let Some(e) = candidate {
+            let dst = pg.edge(e).dst;
+            let edge_removed = pg.remove_edge(s_node, dst, &label);
+            if edge_removed {
+                changes += 1;
+            }
+        }
+    }
+    changes
+}
+
+/// Apply a full update: deletions then additions, as §5.4 does when moving
+/// between two DBpedia snapshots.
+pub fn apply_delta(
+    pg: &mut PropertyGraph,
+    transform: &mut SchemaTransform,
+    state: &mut TransformState,
+    additions: &Graph,
+    deletions: &Graph,
+) -> (TransformCounters, usize) {
+    let removed = apply_deletions(pg, transform, state, deletions);
+    let counters = apply_additions(pg, transform, state, additions);
+    (counters, removed)
+}
+
+fn expected_carrier_value(graph: &Graph, o: Term) -> (Value, Option<String>) {
+    match o {
+        Term::Literal(l) => {
+            let lex = graph.resolve(l.lexical);
+            let lang = l.lang.map(|t| graph.resolve(t).to_string());
+            if lang.is_some() {
+                (Value::String(lex.to_string()), lang)
+            } else {
+                (preserve_value(lex, graph.resolve(l.datatype)), None)
+            }
+        }
+        Term::Iri(s) => (Value::String(graph.resolve(s).to_string()), None),
+        Term::Blank(s) => (Value::String(format!("_:{}", graph.resolve(s))), None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_transform::transform_data;
+    use crate::mode::Mode;
+    use crate::schema_transform::transform_schema;
+    use s3pg_rdf::parser::parse_turtle;
+    use s3pg_shacl::parser::parse_shacl_turtle;
+
+    const SCHEMA: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://ex/> .
+@prefix shape: <http://ex/shape/> .
+shape:Person a sh:NodeShape ; sh:targetClass :Person ;
+    sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] ;
+    sh:property [ sh:path :knows ; sh:class :Person ; sh:minCount 0 ] ;
+    sh:property [
+        sh:path :nick ;
+        sh:or ( [ sh:datatype xsd:string ] [ sh:datatype xsd:integer ] ) ] .
+"#;
+
+    const BASE: &str = r#"
+@prefix : <http://ex/> .
+:a a :Person ; :name "A" ; :knows :b ; :nick "ay" .
+:b a :Person ; :name "B" .
+"#;
+
+    fn setup(mode: Mode) -> (SchemaTransform, PropertyGraph, TransformState) {
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let mut st = transform_schema(&shapes, mode);
+        let g = parse_turtle(BASE).unwrap();
+        let dt = transform_data(&g, &mut st, mode);
+        (st, dt.pg, dt.state)
+    }
+
+    #[test]
+    fn additions_extend_without_recomputation() {
+        let (mut st, mut pg, mut state) = setup(Mode::Parsimonious);
+        let nodes_before = pg.node_count();
+        let delta = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:c a :Person ; :name "C" ; :knows :a .
+"#,
+        )
+        .unwrap();
+        let counters = apply_additions(&mut pg, &mut st, &mut state, &delta);
+        assert_eq!(counters.entity_nodes, 1);
+        assert_eq!(pg.node_count(), nodes_before + 1);
+        let c = pg.node_by_iri("http://ex/c").unwrap();
+        let a = pg.node_by_iri("http://ex/a").unwrap();
+        assert!(pg.has_edge(c, a, "knows"));
+    }
+
+    #[test]
+    fn incremental_equals_full_recomputation() {
+        // F_dt(S1 ∪ Δ) ≅ F_dt(S1) ∪ F_dt(Δ) — Definition 3.4.
+        let delta_text = r#"
+@prefix : <http://ex/> .
+:c a :Person ; :name "C" ; :knows :a ; :nick 7 .
+:a :knows :c .
+"#;
+        // Incremental path.
+        let (mut st1, mut pg1, mut state1) = setup(Mode::NonParsimonious);
+        let delta = parse_turtle(delta_text).unwrap();
+        apply_additions(&mut pg1, &mut st1, &mut state1, &delta);
+
+        // Full recomputation path.
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let mut st2 = transform_schema(&shapes, Mode::NonParsimonious);
+        let mut full = parse_turtle(BASE).unwrap();
+        full.absorb(&delta);
+        let dt2 = transform_data(&full, &mut st2, Mode::NonParsimonious);
+
+        assert_eq!(pg1.node_count(), dt2.pg.node_count());
+        assert_eq!(pg1.edge_count(), dt2.pg.edge_count());
+        assert_eq!(
+            pg1.relationship_type_count(),
+            dt2.pg.relationship_type_count()
+        );
+    }
+
+    #[test]
+    fn deleting_an_edge_triple() {
+        let (st, mut pg, mut state) = setup(Mode::Parsimonious);
+        let removed = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a :knows :b .
+"#,
+        )
+        .unwrap();
+        let n = apply_deletions(&mut pg, &st, &mut state, &removed);
+        assert_eq!(n, 1);
+        let a = pg.node_by_iri("http://ex/a").unwrap();
+        let b = pg.node_by_iri("http://ex/b").unwrap();
+        assert!(!pg.has_edge(a, b, "knows"));
+    }
+
+    #[test]
+    fn deleting_a_key_value_triple() {
+        let (st, mut pg, mut state) = setup(Mode::Parsimonious);
+        let removed = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a :name "A" .
+"#,
+        )
+        .unwrap();
+        assert_eq!(apply_deletions(&mut pg, &st, &mut state, &removed), 1);
+        let a = pg.node_by_iri("http://ex/a").unwrap();
+        assert_eq!(pg.prop(a, "name"), None);
+    }
+
+    #[test]
+    fn deleting_a_carrier_value_triple() {
+        let (st, mut pg, mut state) = setup(Mode::Parsimonious);
+        let edges_before = pg.edge_count();
+        let removed = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a :nick "ay" .
+"#,
+        )
+        .unwrap();
+        assert_eq!(apply_deletions(&mut pg, &st, &mut state, &removed), 1);
+        assert_eq!(pg.edge_count(), edges_before - 1);
+    }
+
+    #[test]
+    fn deleting_a_type_statement_drops_label() {
+        let (st, mut pg, mut state) = setup(Mode::Parsimonious);
+        let removed = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:b a :Person .
+"#,
+        )
+        .unwrap();
+        assert_eq!(apply_deletions(&mut pg, &st, &mut state, &removed), 1);
+        let b = pg.node_by_iri("http://ex/b").unwrap();
+        assert!(pg.labels_of(b).is_empty());
+        assert!(state.entity_types["http://ex/b"].is_empty());
+    }
+
+    #[test]
+    fn update_as_delete_then_add() {
+        let (mut st, mut pg, mut state) = setup(Mode::Parsimonious);
+        let deletions = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a :name "A" .
+"#,
+        )
+        .unwrap();
+        let additions = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a :name "A-prime" .
+"#,
+        )
+        .unwrap();
+        let (counters, removed) = apply_delta(&mut pg, &mut st, &mut state, &additions, &deletions);
+        assert_eq!(removed, 1);
+        assert_eq!(counters.key_values, 1);
+        let a = pg.node_by_iri("http://ex/a").unwrap();
+        assert_eq!(pg.prop(a, "name"), Some(&Value::String("A-prime".into())));
+    }
+
+    #[test]
+    fn deletion_of_absent_triple_is_noop() {
+        let (st, mut pg, mut state) = setup(Mode::Parsimonious);
+        let removed = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:a :knows :nobody .
+:ghost :name "boo" .
+"#,
+        )
+        .unwrap();
+        assert_eq!(apply_deletions(&mut pg, &st, &mut state, &removed), 0);
+    }
+
+    #[test]
+    fn schema_evolution_widens_monotonically() {
+        // nick was string-only in the data; an integer nick arrives later.
+        let (mut st, mut pg, mut state) = setup(Mode::NonParsimonious);
+        let targets_before = st
+            .pg_schema
+            .edge_types_by_label("nick")
+            .next()
+            .unwrap()
+            .targets
+            .len();
+        let delta = parse_turtle(
+            r#"
+@prefix : <http://ex/> .
+:b :nick 42 .
+"#,
+        )
+        .unwrap();
+        apply_additions(&mut pg, &mut st, &mut state, &delta);
+        let et = st.pg_schema.edge_types_by_label("nick").next().unwrap();
+        assert!(et.targets.len() >= targets_before);
+        assert!(et.targets.iter().any(|t| t == "integerType"));
+        // Old data untouched: the "ay" carrier is still reachable.
+        let a = pg.node_by_iri("http://ex/a").unwrap();
+        assert!(pg
+            .out_edges(a)
+            .iter()
+            .any(|&e| pg.edge_labels_of(e).contains(&"nick")));
+    }
+}

@@ -1,0 +1,41 @@
+//! Transformation modes (§4.1.1 / §4.2 of the paper).
+
+/// S3PG offers two alternatives for both schema and data transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// The *parsimonious* model: single-valued literal properties with
+    /// cardinality `[0..1]` or `[1..1]` (and homogeneous single-type
+    /// multi-valued literals) are encoded as key/value properties inside
+    /// nodes whenever possible. Best for graphs whose schema does not
+    /// change structurally.
+    #[default]
+    Parsimonious,
+    /// The *non-parsimonious* model: every property is modelled as an edge
+    /// to a (literal-carrier or entity) node, so later schema evolution —
+    /// e.g. a single-type property becoming multi-type — never requires
+    /// re-converting already-transformed data. This is the mode that makes
+    /// the transformation fully monotone under schema change.
+    NonParsimonious,
+}
+
+impl Mode {
+    /// Human-readable name as used in the paper's §5.4.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Parsimonious => "parsimonious",
+            Mode::NonParsimonious => "non-parsimonious",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_parsimonious() {
+        assert_eq!(Mode::default(), Mode::Parsimonious);
+        assert_eq!(Mode::Parsimonious.name(), "parsimonious");
+        assert_eq!(Mode::NonParsimonious.name(), "non-parsimonious");
+    }
+}

@@ -1,0 +1,491 @@
+//! Query translation `F_qt`: SPARQL → Cypher over the S3PG-transformed
+//! graph (§4.3 of the paper).
+//!
+//! The paper translates its evaluation queries manually, illustrating the
+//! S3PG target form with Q22:
+//!
+//! ```text
+//! SELECT ?e ?p WHERE { ?e a schema:ShoppingCenter ; dbp:address ?p . }
+//! ⇒
+//! MATCH (n:sch_ShoppingCenter)-[:dbp_address]->(tn)
+//! RETURN n.iri AS node_iri, COALESCE(tn.ov, tn.iri) AS tn_iri_or_value
+//! ```
+//!
+//! This module automates that translation for the BGP fragment used by the
+//! evaluation (type atoms, predicate atoms with variable or constant
+//! objects, `FILTER`s, `DISTINCT`, `LIMIT`). The mapping decides per
+//! predicate whether it became a key/value property, an edge, or — in
+//! graphs where a predicate is key/value on one class and an edge on
+//! another — both, in which case the translation is a `UNION ALL` over the
+//! encoding variants.
+
+use crate::error::S3pgError;
+use crate::mapping::Mapping;
+use s3pg_query::sparql::{CompareOp, FilterExpr, PatternTerm, SelectQuery};
+use s3pg_rdf::fxhash::FxHashMap;
+use s3pg_rdf::vocab;
+
+/// Translate a parsed SPARQL query into a Cypher query string.
+pub fn translate(query: &SelectQuery, mapping: &Mapping) -> Result<String, S3pgError> {
+    let mut variants = vec![Variant::default()];
+    let mut anon = 0usize;
+
+    for pattern in &query.patterns {
+        // Type atom: `?e a <Class>`.
+        if is_type_predicate(&pattern.p) {
+            let PatternTerm::Var(subject) = &pattern.s else {
+                return unsupported("type atom with non-variable subject");
+            };
+            let PatternTerm::Iri(class) = &pattern.o else {
+                return unsupported("type atom with non-IRI object");
+            };
+            let Some(label) = mapping.label_of_class.get(class) else {
+                return unsupported(format!("class <{class}> is not mapped"));
+            };
+            for v in &mut variants {
+                v.bind_node(subject);
+                v.match_parts
+                    .push(format!("({}:{})", var_name(subject), label));
+            }
+            continue;
+        }
+
+        let PatternTerm::Iri(predicate) = &pattern.p else {
+            return unsupported("variable predicates");
+        };
+        // Constant subjects become a synthesized variable constrained by IRI.
+        let (subject, subject_constraint) = match &pattern.s {
+            PatternTerm::Var(v) => (v.clone(), None),
+            PatternTerm::Iri(iri) => {
+                anon += 1;
+                let var = format!("s{anon}");
+                (var.clone(), Some((var, iri.clone())))
+            }
+            PatternTerm::Literal { .. } => {
+                return unsupported("literal subjects");
+            }
+        };
+        let subject = &subject;
+
+        let as_key = mapping.key_of_pred.get(predicate);
+        let as_edge = mapping.edge_label_of_pred.get(predicate);
+        if as_key.is_none() && as_edge.is_none() {
+            return unsupported(format!("predicate <{predicate}> is not mapped"));
+        }
+
+        let mut next: Vec<Variant> = Vec::new();
+        for variant in &variants {
+            if let Some(key) = as_key {
+                let mut v = variant.clone();
+                v.bind_node(subject);
+                v.match_parts.push(format!("({})", var_name(subject)));
+                if let Some((var, iri)) = &subject_constraint {
+                    v.wheres
+                        .push(format!("{}.iri = {}", var_name(var), cypher_string(iri)));
+                }
+                match &pattern.o {
+                    PatternTerm::Var(object) => {
+                        // Key/value properties may be arrays (multi-valued
+                        // literals): unwind to one row per value. UNWIND of
+                        // a missing property (NULL) yields no rows, which is
+                        // exactly the required-pattern semantics.
+                        v.unwinds
+                            .push((format!("{}.{}", var_name(subject), key), var_name(object)));
+                        v.bindings
+                            .insert(object.clone(), Binding::Prop(var_name(object)));
+                    }
+                    PatternTerm::Literal { lexical, .. } => {
+                        anon += 1;
+                        let u = format!("u{anon}");
+                        v.unwinds
+                            .push((format!("{}.{}", var_name(subject), key), u.clone()));
+                        v.post_wheres
+                            .push(format!("{u} = {}", cypher_string(lexical)));
+                    }
+                    PatternTerm::Iri(_) => {
+                        // IRIs are never stored as key/values; this variant
+                        // cannot match.
+                        continue;
+                    }
+                }
+                next.push(v);
+            }
+            if let Some(label) = as_edge {
+                let mut v = variant.clone();
+                v.bind_node(subject);
+                if let Some((var, iri)) = &subject_constraint {
+                    v.wheres
+                        .push(format!("{}.iri = {}", var_name(var), cypher_string(iri)));
+                }
+                match &pattern.o {
+                    PatternTerm::Var(object) => {
+                        v.bind_node(object);
+                        v.match_parts.push(format!(
+                            "({})-[:{}]->({})",
+                            var_name(subject),
+                            label,
+                            var_name(object)
+                        ));
+                    }
+                    PatternTerm::Literal { lexical, .. } => {
+                        anon += 1;
+                        let t = format!("t{anon}");
+                        v.match_parts
+                            .push(format!("({})-[:{}]->({t})", var_name(subject), label));
+                        v.wheres
+                            .push(format!("{t}.ov = {}", cypher_string(lexical)));
+                    }
+                    PatternTerm::Iri(iri) => {
+                        anon += 1;
+                        let t = format!("t{anon}");
+                        v.match_parts
+                            .push(format!("({})-[:{}]->({t})", var_name(subject), label));
+                        v.wheres.push(format!("{t}.iri = {}", cypher_string(iri)));
+                    }
+                }
+                next.push(v);
+            }
+        }
+        if next.is_empty() {
+            return unsupported("pattern matches no encoding variant");
+        }
+        variants = next;
+    }
+
+    // FILTERs. Conditions may reference unwound (array) values, which only
+    // exist after the UNWIND chain — route them accordingly.
+    for filter in &query.filters {
+        for v in &mut variants {
+            let clause = translate_filter(filter, v)?;
+            if v.unwinds.is_empty() {
+                v.wheres.push(clause);
+            } else {
+                v.post_wheres.push(clause);
+            }
+        }
+    }
+
+    // Projection.
+    if query.vars.is_empty() {
+        return unsupported("SELECT * (name the projected variables)");
+    }
+    let mut parts = Vec::with_capacity(variants.len());
+    for v in &variants {
+        let mut text = String::from("MATCH ");
+        text.push_str(&v.match_parts.join(", "));
+        if !v.wheres.is_empty() {
+            text.push_str(" WHERE ");
+            text.push_str(&v.wheres.join(" AND "));
+        }
+        for (expr, var) in &v.unwinds {
+            text.push_str(&format!(" UNWIND {expr} AS {var}"));
+        }
+        if !v.post_wheres.is_empty() {
+            text.push_str(" WHERE ");
+            text.push_str(&v.post_wheres.join(" AND "));
+        }
+        text.push_str(" RETURN ");
+        if query.distinct {
+            text.push_str("DISTINCT ");
+        }
+        let mut items = Vec::with_capacity(query.vars.len());
+        for var in &query.vars {
+            let rendered = v.render_var(var)?;
+            items.push(format!("{rendered} AS {}", sanitize_alias(var)));
+        }
+        text.push_str(&items.join(", "));
+        if let Some(limit) = query.limit {
+            text.push_str(&format!(" LIMIT {limit}"));
+        }
+        parts.push(text);
+    }
+    Ok(parts.join(" UNION ALL "))
+}
+
+/// Convenience: parse a SPARQL string and translate it.
+pub fn translate_str(sparql: &str, mapping: &Mapping) -> Result<String, S3pgError> {
+    let query = s3pg_query::sparql::parse(sparql)
+        .map_err(|e| S3pgError::QueryTranslation(e.to_string()))?;
+    translate(&query, mapping)
+}
+
+#[derive(Debug, Clone, Default)]
+struct Variant {
+    match_parts: Vec<String>,
+    wheres: Vec<String>,
+    /// `UNWIND <expr> AS <var>` clauses — key/value properties may hold
+    /// arrays, which must be unwound to one row per RDF triple.
+    unwinds: Vec<(String, String)>,
+    /// Conditions on unwound variables (emitted after the UNWIND chain).
+    post_wheres: Vec<String>,
+    bindings: FxHashMap<String, Binding>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Binding {
+    /// Bound to a PG node (entity or carrier).
+    Node,
+    /// Bound to a property expression.
+    Prop(String),
+}
+
+impl Variant {
+    fn bind_node(&mut self, var: &str) {
+        self.bindings
+            .entry(var.to_string())
+            .or_insert(Binding::Node);
+    }
+
+    /// How a SPARQL variable is rendered in RETURN/WHERE position: entity
+    /// and carrier nodes are `COALESCE(v.ov, v.iri)` (the paper's Q22
+    /// idiom), property bindings are their expression.
+    fn render_var(&self, var: &str) -> Result<String, S3pgError> {
+        match self.bindings.get(var) {
+            Some(Binding::Node) => {
+                let v = var_name(var);
+                Ok(format!("COALESCE({v}.ov, {v}.iri)"))
+            }
+            Some(Binding::Prop(expr)) => Ok(expr.clone()),
+            None => Err(S3pgError::QueryTranslation(format!(
+                "variable ?{var} is not bound by the pattern"
+            ))),
+        }
+    }
+}
+
+fn translate_filter(filter: &FilterExpr, v: &Variant) -> Result<String, S3pgError> {
+    Ok(match filter {
+        FilterExpr::IsLiteral(var) => match v.bindings.get(var) {
+            Some(Binding::Node) => format!("{}.ov IS NOT NULL", var_name(var)),
+            Some(Binding::Prop(expr)) => format!("{expr} IS NOT NULL"),
+            None => return unsupported(format!("filter on unbound ?{var}")),
+        },
+        FilterExpr::IsIri(var) => match v.bindings.get(var) {
+            Some(Binding::Node) => format!("{}.iri IS NOT NULL", var_name(var)),
+            // Key/value bindings are always literals.
+            Some(Binding::Prop(_)) => "FALSE = TRUE".to_string(),
+            None => return unsupported(format!("filter on unbound ?{var}")),
+        },
+        FilterExpr::Compare { var, op, value } => {
+            let lhs = match v.bindings.get(var) {
+                Some(Binding::Node) => {
+                    format!("COALESCE({}.ov, {}.iri)", var_name(var), var_name(var))
+                }
+                Some(Binding::Prop(expr)) => expr.clone(),
+                None => return unsupported(format!("filter on unbound ?{var}")),
+            };
+            let rhs = if value.parse::<f64>().is_ok() {
+                value.clone()
+            } else {
+                cypher_string(value)
+            };
+            format!("{lhs} {} {rhs}", cypher_op(*op))
+        }
+        FilterExpr::And(a, b) => format!(
+            "({} AND {})",
+            translate_filter(a, v)?,
+            translate_filter(b, v)?
+        ),
+        FilterExpr::Or(a, b) => format!(
+            "({} OR {})",
+            translate_filter(a, v)?,
+            translate_filter(b, v)?
+        ),
+        FilterExpr::Not(a) => format!("NOT ({})", translate_filter(a, v)?),
+    })
+}
+
+fn cypher_op(op: CompareOp) -> &'static str {
+    match op {
+        CompareOp::Eq => "=",
+        CompareOp::Ne => "<>",
+        CompareOp::Lt => "<",
+        CompareOp::Le => "<=",
+        CompareOp::Gt => ">",
+        CompareOp::Ge => ">=",
+    }
+}
+
+fn is_type_predicate(p: &PatternTerm) -> bool {
+    matches!(p, PatternTerm::Iri(iri) if iri == vocab::rdf::TYPE)
+}
+
+fn var_name(sparql_var: &str) -> String {
+    format!("v_{sparql_var}")
+}
+
+fn sanitize_alias(var: &str) -> String {
+    crate::mapping::sanitize(var)
+}
+
+fn cypher_string(s: &str) -> String {
+    format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'"))
+}
+
+fn unsupported<T>(msg: impl Into<String>) -> Result<T, S3pgError> {
+    Err(S3pgError::QueryTranslation(format!(
+        "unsupported construct: {}",
+        msg.into()
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_transform::transform_data;
+    use crate::mode::Mode;
+    use crate::schema_transform::transform_schema;
+    use s3pg_query::results::{accuracy, ResultSet};
+    use s3pg_query::{cypher, sparql};
+    use s3pg_rdf::parser::parse_turtle;
+    use s3pg_shacl::parser::parse_shacl_turtle;
+
+    const SCHEMA: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://ex/> .
+@prefix shape: <http://ex/shape/> .
+shape:Album a sh:NodeShape ; sh:targetClass :Album ;
+    sh:property [ sh:path :title ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] ;
+    sh:property [
+        sh:path :writer ;
+        sh:or ( [ sh:class :Person ] [ sh:datatype xsd:string ] ) ;
+        sh:minCount 1 ] .
+shape:Person a sh:NodeShape ; sh:targetClass :Person ;
+    sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] .
+"#;
+
+    const DATA: &str = r#"
+@prefix : <http://ex/> .
+:sunrise a :Album ; :title "California Sunrise" ;
+    :writer :billy, "Tofer Brown" .
+:other a :Album ; :title "Other" ; :writer "Solo Writer" .
+:billy a :Person ; :name "Billy Montana" .
+"#;
+
+    fn setup() -> (
+        s3pg_rdf::Graph,
+        s3pg_pg::PropertyGraph,
+        crate::mapping::Mapping,
+    ) {
+        let g = parse_turtle(DATA).unwrap();
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let mut st = transform_schema(&shapes, Mode::Parsimonious);
+        let dt = transform_data(&g, &mut st, Mode::Parsimonious);
+        (g, dt.pg, st.mapping)
+    }
+
+    fn check_equivalent(sparql_text: &str) {
+        let (g, pg, mapping) = setup();
+        let sols = sparql::execute(&g, sparql_text).unwrap();
+        let gt = ResultSet::from_sparql(&g, &sols);
+        let cypher_text = translate_str(sparql_text, &mapping).unwrap();
+        let rows = cypher::execute(&pg, &cypher_text).unwrap();
+        let observed = ResultSet::from_cypher(&rows);
+        assert!(
+            gt.same_as(&observed),
+            "results differ for:\n{sparql_text}\n→\n{cypher_text}\nGT {} vs observed {}",
+            gt.len(),
+            observed.len()
+        );
+        assert_eq!(accuracy(&gt, &observed), 100.0);
+    }
+
+    #[test]
+    fn hetero_property_query_is_complete() {
+        // The paper's Q22 shape: the multi-type hetero case that breaks the
+        // baselines.
+        check_equivalent(
+            "PREFIX ex: <http://ex/> SELECT ?e ?p WHERE { ?e a ex:Album . ?e ex:writer ?p . }",
+        );
+    }
+
+    #[test]
+    fn key_value_query() {
+        check_equivalent(
+            "PREFIX ex: <http://ex/> SELECT ?e ?t WHERE { ?e a ex:Album . ?e ex:title ?t . }",
+        );
+    }
+
+    #[test]
+    fn constant_literal_object() {
+        check_equivalent(r#"PREFIX ex: <http://ex/> SELECT ?e WHERE { ?e ex:title "Other" . }"#);
+    }
+
+    #[test]
+    fn constant_iri_object() {
+        check_equivalent(
+            "PREFIX ex: <http://ex/> SELECT ?e WHERE { ?e ex:writer <http://ex/billy> . }",
+        );
+    }
+
+    #[test]
+    fn filter_is_literal_and_is_iri() {
+        check_equivalent(
+            "PREFIX ex: <http://ex/> SELECT ?p WHERE { ?e ex:writer ?p . FILTER(isLiteral(?p)) }",
+        );
+        check_equivalent(
+            "PREFIX ex: <http://ex/> SELECT ?p WHERE { ?e ex:writer ?p . FILTER(isIRI(?p)) }",
+        );
+    }
+
+    #[test]
+    fn two_hop_query() {
+        check_equivalent(
+            "PREFIX ex: <http://ex/> SELECT ?e ?n WHERE { ?e ex:writer ?w . ?w ex:name ?n . }",
+        );
+    }
+
+    #[test]
+    fn distinct_and_limit_pass_through() {
+        let (_, _, mapping) = setup();
+        let text = translate_str(
+            "PREFIX ex: <http://ex/> SELECT DISTINCT ?e WHERE { ?e a ex:Album . ?e ex:writer ?p . } LIMIT 5",
+            &mapping,
+        )
+        .unwrap();
+        assert!(text.contains("DISTINCT"));
+        assert!(text.contains("LIMIT 5"));
+    }
+
+    #[test]
+    fn translated_text_uses_coalesce_idiom() {
+        let (_, _, mapping) = setup();
+        let text = translate_str(
+            "PREFIX ex: <http://ex/> SELECT ?e ?p WHERE { ?e a ex:Album . ?e ex:writer ?p . }",
+            &mapping,
+        )
+        .unwrap();
+        assert!(text.contains("COALESCE(v_p.ov, v_p.iri)"), "{text}");
+        assert!(text.contains("(v_e:Album)"), "{text}");
+    }
+
+    #[test]
+    fn constant_subject() {
+        check_equivalent(
+            "PREFIX ex: <http://ex/> SELECT ?w WHERE { <http://ex/sunrise> ex:writer ?w . }",
+        );
+        check_equivalent(
+            "PREFIX ex: <http://ex/> SELECT ?t WHERE { <http://ex/other> ex:title ?t . }",
+        );
+    }
+
+    #[test]
+    fn unmapped_predicate_is_an_error() {
+        let (_, _, mapping) = setup();
+        let result = translate_str(
+            "PREFIX ex: <http://ex/> SELECT ?e WHERE { ?e ex:unknown ?v . }",
+            &mapping,
+        );
+        assert!(matches!(result, Err(S3pgError::QueryTranslation(_))));
+    }
+
+    #[test]
+    fn variable_predicate_is_unsupported() {
+        let (_, _, mapping) = setup();
+        let result = translate_str("SELECT ?p WHERE { <http://ex/a> ?p ?v . }", &mapping);
+        assert!(result.is_err());
+    }
+}

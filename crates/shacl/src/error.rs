@@ -1,0 +1,40 @@
+//! Error type for SHACL parsing.
+
+use std::fmt;
+
+/// Errors produced when reading SHACL documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShaclError {
+    /// Underlying RDF parse failure.
+    Rdf(s3pg_rdf::RdfError),
+    /// The shapes graph is structurally malformed.
+    Malformed(String),
+}
+
+impl fmt::Display for ShaclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShaclError::Rdf(e) => write!(f, "RDF error: {e}"),
+            ShaclError::Malformed(msg) => write!(f, "malformed shapes graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShaclError {}
+
+impl From<s3pg_rdf::RdfError> for ShaclError {
+    fn from(e: s3pg_rdf::RdfError) -> Self {
+        ShaclError::Rdf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_wraps_message() {
+        let e = ShaclError::Malformed("no path".into());
+        assert!(e.to_string().contains("no path"));
+    }
+}

@@ -1,0 +1,34 @@
+//! SHACL shape schemas for the S3PG system.
+//!
+//! Implements the shape-schema formalism of Definition 2.2 of the paper:
+//! node shapes `⟨s, τ_s, Φ_s⟩` with property shapes `φ: ⟨τ_p, T_p, C_p⟩`,
+//! covering the full constraint taxonomy of Figure 3 (node kinds, single and
+//! multiple types, literal and non-literal targets, `sh:or` alternatives,
+//! min/max cardinalities, `sh:node` inheritance).
+//!
+//! The crate provides:
+//!
+//! * the [`schema`] model ([`ShapeSchema`], [`NodeShape`], [`PropertyShape`]),
+//! * a [`parser`] reading SHACL documents from RDF graphs (Turtle/N-Triples),
+//! * a [`serializer`] writing schemas back to Turtle (used by the inverse
+//!   mapping `N : S_PG → S_G` to witness information preservation),
+//! * a [`mod@validate`] module implementing the shape semantics of
+//!   Definition 2.3,
+//! * an [`extract`] module mining shapes from instance data, standing in for
+//!   the QSE extractor the paper uses to obtain schemas for DBpedia and
+//!   Bio2RDF,
+//! * [`stats`] matching Table 3 of the paper.
+
+pub mod error;
+pub mod extract;
+pub mod parser;
+pub mod schema;
+pub mod serializer;
+pub mod stats;
+pub mod validate;
+
+pub use error::ShaclError;
+pub use extract::{extract_shapes, ExtractConfig};
+pub use schema::{Cardinality, NodeShape, PropertyShape, PsCategory, ShapeSchema, TypeConstraint};
+pub use stats::SchemaStats;
+pub use validate::{validate, ValidationReport, Violation};

@@ -1,0 +1,113 @@
+//! Shape-schema statistics matching Table 3 of the paper
+//! ("SHACL Shapes Statistics").
+
+use crate::schema::{PsCategory, ShapeSchema};
+
+/// The per-schema statistics the paper reports in Table 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemaStats {
+    /// Number of node shapes (column "# of NS").
+    pub node_shapes: usize,
+    /// Number of property shapes (column "# of PS").
+    pub property_shapes: usize,
+    /// Property shapes with a single type alternative.
+    pub single_type: usize,
+    /// Property shapes with multiple alternatives.
+    pub multi_type: usize,
+    /// Single type, literal ("Single Type PS / Literals").
+    pub single_literal: usize,
+    /// Single type, non-literal.
+    pub single_non_literal: usize,
+    /// Multi-type homogeneous literal ("Multi Type Homo PS / Literals").
+    pub multi_homo_literal: usize,
+    /// Multi-type homogeneous non-literal.
+    pub multi_homo_non_literal: usize,
+    /// Multi-type heterogeneous ("Literals & Non-Literals").
+    pub multi_hetero: usize,
+}
+
+impl SchemaStats {
+    /// Compute statistics for `schema`.
+    pub fn of(schema: &ShapeSchema) -> Self {
+        let mut stats = SchemaStats {
+            node_shapes: schema.len(),
+            ..Default::default()
+        };
+        for shape in schema.shapes() {
+            for ps in &shape.properties {
+                stats.property_shapes += 1;
+                if ps.is_multi_type() {
+                    stats.multi_type += 1;
+                } else {
+                    stats.single_type += 1;
+                }
+                match ps.category() {
+                    PsCategory::SingleTypeLiteral => stats.single_literal += 1,
+                    PsCategory::SingleTypeNonLiteral => stats.single_non_literal += 1,
+                    PsCategory::MultiTypeHomoLiteral => stats.multi_homo_literal += 1,
+                    PsCategory::MultiTypeHomoNonLiteral => stats.multi_homo_non_literal += 1,
+                    PsCategory::MultiTypeHetero => stats.multi_hetero += 1,
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_shacl_turtle;
+
+    #[test]
+    fn counts_each_category() {
+        let doc = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://ex/> .
+@prefix shape: <http://ex/shape/> .
+
+shape:S a sh:NodeShape ;
+    sh:targetClass :S ;
+    sh:property [ sh:path :a ; sh:datatype xsd:string ] ;
+    sh:property [ sh:path :b ; sh:class :T ] ;
+    sh:property [ sh:path :c ; sh:or (
+        [ sh:datatype xsd:string ] [ sh:datatype xsd:date ] ) ] ;
+    sh:property [ sh:path :d ; sh:or (
+        [ sh:class :T ] [ sh:class :U ] ) ] ;
+    sh:property [ sh:path :e ; sh:or (
+        [ sh:datatype xsd:string ] [ sh:class :T ] ) ] .
+"#;
+        let schema = parse_shacl_turtle(doc).unwrap();
+        let stats = SchemaStats::of(&schema);
+        assert_eq!(stats.node_shapes, 1);
+        assert_eq!(stats.property_shapes, 5);
+        assert_eq!(stats.single_type, 2);
+        assert_eq!(stats.multi_type, 3);
+        assert_eq!(stats.single_literal, 1);
+        assert_eq!(stats.single_non_literal, 1);
+        assert_eq!(stats.multi_homo_literal, 1);
+        assert_eq!(stats.multi_homo_non_literal, 1);
+        assert_eq!(stats.multi_hetero, 1);
+    }
+
+    #[test]
+    fn empty_schema_is_zero() {
+        assert_eq!(SchemaStats::of(&ShapeSchema::new()), SchemaStats::default());
+    }
+
+    #[test]
+    fn single_plus_multi_equals_total() {
+        let doc = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://ex/> .
+@prefix shape: <http://ex/shape/> .
+shape:S a sh:NodeShape ; sh:targetClass :S ;
+    sh:property [ sh:path :a ; sh:datatype xsd:string ] ;
+    sh:property [ sh:path :b ; sh:or ( [ sh:class :T ] [ sh:class :U ] ) ] .
+"#;
+        let stats = SchemaStats::of(&parse_shacl_turtle(doc).unwrap());
+        assert_eq!(stats.single_type + stats.multi_type, stats.property_shapes);
+    }
+}

@@ -1,0 +1,103 @@
+//! DBpedia 2020/2022 emulation specs.
+//!
+//! The specs reproduce the *shape* of Tables 2–3 at a configurable scale:
+//!
+//! * DBpedia 2020: 427 classes, 12,354 property shapes (3,452 single-type /
+//!   8,902 multi-type; no heterogeneous shapes — the 2020 column of Table 3
+//!   reports 0 MT-Homo literals and 0 heterogeneous shapes),
+//! * DBpedia 2022: 775 classes, 622,237 property shapes, 62% single-type
+//!   literals, ~12% MT-Homo literals, ~5% MT-Homo non-literals, ~16%
+//!   heterogeneous.
+//!
+//! Class and property-shape counts are divided by `REDUCTION` and instance
+//! counts scale with the caller-supplied factor, preserving the category
+//! *ratios* that drive the experiments.
+
+use crate::spec::DatasetSpec;
+
+/// How much the class/property counts are divided down from the paper's
+/// values to keep laptop-scale defaults.
+pub const REDUCTION: usize = 50;
+
+/// DBpedia 2020 emulation (Table 3 row "DBpedia 2020").
+pub fn dbpedia2020(scale: f64) -> DatasetSpec {
+    // Paper: NS=426, PS=12,354: 5,337 ST-L, 2,069 ST-NL, 0 MT-Homo-L,
+    // 3,452 MT-Homo-NL, 0 hetero (plus inherited shape structure).
+    DatasetSpec {
+        name: "DBpedia2020".into(),
+        namespace: "http://dbpedia.org/2020/".into(),
+        classes: (426 / REDUCTION).max(4),
+        subclass_fraction: 0.3,
+        instances_per_class: 60,
+        single_literal: (5_337 / REDUCTION).max(4),
+        single_non_literal: (2_069 / REDUCTION).max(2),
+        mt_homo_literal: 0,
+        mt_homo_non_literal: (3_452 / REDUCTION).max(2),
+        mt_hetero: 0,
+        density: 0.85,
+        multi_value_p: 0.3,
+        seed: 2020,
+    }
+    .scaled(scale)
+}
+
+/// DBpedia 2022 emulation (Table 3 row "DBpedia 2022").
+pub fn dbpedia2022(scale: f64) -> DatasetSpec {
+    // Paper: NS=746, PS=622,237: 383,355 ST-L, 14,830 ST-NL, 75,129
+    // MT-Homo-L, 31,563 MT-Homo-NL, 100,043 hetero. Property counts are
+    // divided by a larger factor to stay proportional to class count.
+    const PS_REDUCTION: usize = 2_000;
+    DatasetSpec {
+        name: "DBpedia2022".into(),
+        namespace: "http://dbpedia.org/2022/".into(),
+        classes: (775 / REDUCTION).max(6),
+        subclass_fraction: 0.3,
+        instances_per_class: 90,
+        single_literal: (383_355 / PS_REDUCTION).max(8),
+        single_non_literal: (14_830 / PS_REDUCTION).max(2),
+        mt_homo_literal: (75_129 / PS_REDUCTION).max(4),
+        mt_homo_non_literal: (31_563 / PS_REDUCTION).max(2),
+        mt_hetero: (100_043 / PS_REDUCTION).max(6),
+        density: 0.85,
+        multi_value_p: 0.35,
+        seed: 2022,
+    }
+    .scaled(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::generate;
+    use s3pg_shacl::{extract_shapes, SchemaStats};
+
+    #[test]
+    fn dbpedia2020_has_no_hetero_shapes() {
+        let d = generate(&dbpedia2020(0.2));
+        let schema = extract_shapes(&d.graph);
+        let stats = SchemaStats::of(&schema);
+        assert_eq!(stats.multi_hetero, 0);
+        assert!(stats.multi_homo_non_literal > 0);
+    }
+
+    #[test]
+    fn dbpedia2022_category_ratios_match_table3_shape() {
+        let spec = dbpedia2022(0.2);
+        // Single-type literals dominate; hetero is the second-largest
+        // category — the property that makes DBpedia2022 the stress test.
+        assert!(spec.single_literal > spec.mt_hetero);
+        assert!(spec.mt_hetero > spec.mt_homo_non_literal);
+        assert!(spec.mt_homo_literal > spec.mt_homo_non_literal);
+        let d = generate(&spec);
+        let schema = extract_shapes(&d.graph);
+        let stats = SchemaStats::of(&schema);
+        assert!(stats.multi_hetero > 0);
+    }
+
+    #[test]
+    fn dbpedia2022_is_larger_than_2020() {
+        let d20 = generate(&dbpedia2020(0.2));
+        let d22 = generate(&dbpedia2022(0.2));
+        assert!(d22.graph.len() > d20.graph.len());
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic workload generators for the S3PG experiments.
+//!
+//! The paper evaluates on DBpedia 2020/2022 and Bio2RDF Clinical Trials —
+//! hundreds of millions of triples that are not available here. Per the
+//! substitution policy in `DESIGN.md`, this crate generates scaled synthetic
+//! graphs that reproduce the *published characteristics* of those datasets
+//! (Tables 2–3): the class/property counts and, crucially, the property-
+//! shape category mix (single-type, multi-type homogeneous literal /
+//! non-literal, heterogeneous), because the transformation algorithms'
+//! behaviour — what is lossy, how many nodes/edges are produced, what
+//! incremental updates cost — depends on that mix, not on entity names.
+//!
+//! * [`spec`] — the parametric generator.
+//! * [`university`] — the Figure 2 running example (LUBM-flavoured).
+//! * [`dbpedia`] / [`bio2rdf`] — specs matching the paper's datasets.
+//! * [`evolution`] — Δ-snapshot generation for the §5.4 monotonicity study.
+//! * [`queries`] — the four query categories of Tables 6–7.
+
+pub mod bio2rdf;
+pub mod dbpedia;
+pub mod evolution;
+pub mod queries;
+pub mod spec;
+pub mod university;
+
+pub use evolution::{evolve, Evolution};
+pub use queries::{generate_queries, QueryCategory, QuerySpec};
+pub use spec::{generate, DatasetMeta, DatasetSpec, GeneratedDataset, PropertyMeta};

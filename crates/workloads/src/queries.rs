@@ -1,0 +1,160 @@
+//! Query workload generator for the quality analysis (Tables 6–7).
+//!
+//! The paper divides its evaluation queries into four categories "based on
+//! the categorization of node shape constraints from Figure 3":
+//! single-type, multi-type homogeneous literal, multi-type homogeneous
+//! non-literal, and multi-type heterogeneous. Each generated query is the
+//! shape the paper illustrates with Q22:
+//!
+//! ```text
+//! SELECT ?e ?p WHERE { ?e a <Class> . ?e <predicate> ?p . }
+//! ```
+
+use crate::spec::DatasetMeta;
+use s3pg_shacl::PsCategory;
+
+/// The four query categories of Tables 6–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryCategory {
+    SingleType,
+    MultiTypeHomoLiteral,
+    MultiTypeHomoNonLiteral,
+    MultiTypeHetero,
+}
+
+impl QueryCategory {
+    /// All categories, in the paper's table order.
+    pub const ALL: [QueryCategory; 4] = [
+        QueryCategory::SingleType,
+        QueryCategory::MultiTypeHomoLiteral,
+        QueryCategory::MultiTypeHomoNonLiteral,
+        QueryCategory::MultiTypeHetero,
+    ];
+
+    /// Display name matching the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryCategory::SingleType => "Single Type",
+            QueryCategory::MultiTypeHomoLiteral => "MT-Homo (L)",
+            QueryCategory::MultiTypeHomoNonLiteral => "MT-Homo (NL)",
+            QueryCategory::MultiTypeHetero => "MT-Hetero (L+NL)",
+        }
+    }
+
+    fn matches(self, ps: PsCategory) -> bool {
+        matches!(
+            (self, ps),
+            (
+                QueryCategory::SingleType,
+                PsCategory::SingleTypeLiteral | PsCategory::SingleTypeNonLiteral
+            ) | (
+                QueryCategory::MultiTypeHomoLiteral,
+                PsCategory::MultiTypeHomoLiteral
+            ) | (
+                QueryCategory::MultiTypeHomoNonLiteral,
+                PsCategory::MultiTypeHomoNonLiteral
+            ) | (QueryCategory::MultiTypeHetero, PsCategory::MultiTypeHetero)
+        )
+    }
+}
+
+/// One generated benchmark query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Query id within its category (Q1, Q2, …).
+    pub id: usize,
+    pub category: QueryCategory,
+    /// The class the query targets.
+    pub class: String,
+    /// The predicate the query projects.
+    pub predicate: String,
+    /// The SPARQL text (ground-truth side).
+    pub sparql: String,
+}
+
+/// Generate up to `per_category` queries for each category present in the
+/// dataset.
+pub fn generate_queries(meta: &DatasetMeta, per_category: usize) -> Vec<QuerySpec> {
+    let mut out = Vec::new();
+    let mut id = 0;
+    for category in QueryCategory::ALL {
+        let mut count = 0;
+        for prop in &meta.properties {
+            if count >= per_category {
+                break;
+            }
+            if !category.matches(prop.category) {
+                continue;
+            }
+            id += 1;
+            count += 1;
+            out.push(QuerySpec {
+                id,
+                category,
+                class: prop.class.clone(),
+                predicate: prop.predicate.clone(),
+                sparql: format!(
+                    "SELECT ?e ?p WHERE {{ ?e a <{}> . ?e <{}> ?p . }}",
+                    prop.class, prop.predicate
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbpedia::dbpedia2022;
+    use crate::spec::generate;
+    use s3pg_query::sparql;
+
+    #[test]
+    fn queries_cover_all_categories() {
+        let d = generate(&dbpedia2022(0.1));
+        let queries = generate_queries(&d.meta, 3);
+        for category in QueryCategory::ALL {
+            assert!(
+                queries.iter().any(|q| q.category == category),
+                "missing {category:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_sparql_parses_and_returns_answers() {
+        let d = generate(&dbpedia2022(0.1));
+        let queries = generate_queries(&d.meta, 2);
+        for q in &queries {
+            let sols = sparql::execute(&d.graph, &q.sparql)
+                .unwrap_or_else(|e| panic!("query {} failed: {e}", q.id));
+            assert!(
+                !sols.is_empty(),
+                "query {} ({}) has no ground truth",
+                q.id,
+                q.sparql
+            );
+        }
+    }
+
+    #[test]
+    fn per_category_limit_respected() {
+        let d = generate(&dbpedia2022(0.1));
+        let queries = generate_queries(&d.meta, 2);
+        for category in QueryCategory::ALL {
+            assert!(queries.iter().filter(|q| q.category == category).count() <= 2);
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let d = generate(&dbpedia2022(0.1));
+        let queries = generate_queries(&d.meta, 3);
+        let ids: Vec<usize> = queries.iter().map(|q| q.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end system tests: the full experiment pipeline (generate →
+//! extract → transform → load → query → compare) reproduces the paper's
+//! qualitative findings at test scale.
+
+use s3pg_bench::experiments::{
+    accuracy_table, category_summary, figure6, monotonicity, table2, table3, table4, table5,
+    Dataset, Scale,
+};
+use s3pg_workloads::QueryCategory;
+
+const SCALE: Scale = Scale(0.12);
+
+#[test]
+fn table4_s3pg_is_competitive() {
+    let (table, rows) = table4(SCALE);
+    assert_eq!(table.len(), 9); // 3 datasets × 3 methods
+    for row in rows {
+        // The paper reports S3PG fastest overall; at our scale we assert
+        // the weaker, robust property: the same order of magnitude as the
+        // fastest method (no ×10 regression).
+        let fastest = row
+            .s3pg
+            .sum()
+            .min(row.rdf2pg.sum())
+            .min(row.neosem.sum())
+            .as_secs_f64();
+        assert!(
+            row.s3pg.sum().as_secs_f64() <= fastest * 10.0,
+            "{}: S3PG {:?} vs fastest {:.3}s",
+            row.dataset.name(),
+            row.s3pg.sum(),
+            fastest
+        );
+    }
+}
+
+#[test]
+fn table5_blowup_pattern_matches_paper() {
+    let (_, rows) = table5(SCALE);
+    for row in &rows {
+        // NeoSem and rdf2pg resource-node counts are close to each other;
+        // S3PG is larger wherever carrier nodes exist (DBpedia2022 has the
+        // most hetero/multi-type shapes, so the blow-up is largest there).
+        assert!(row.s3pg.nodes >= row.neosem.nodes, "{}", row.dataset.name());
+        assert!(
+            row.s3pg.rel_types >= row.neosem.rel_types,
+            "{}",
+            row.dataset.name()
+        );
+    }
+    let ratio = |d: Dataset, rows: &[s3pg_bench::experiments::Table5Row]| {
+        let r = rows.iter().find(|r| r.dataset == d).unwrap();
+        r.s3pg.nodes as f64 / r.neosem.nodes.max(1) as f64
+    };
+    assert!(
+        ratio(Dataset::DBpedia2022, &rows) > ratio(Dataset::DBpedia2020, &rows),
+        "DBpedia2022's multi-type-heavy schema must blow up more"
+    );
+}
+
+#[test]
+fn tables_6_and_7_reproduce_the_accuracy_pattern() {
+    for dataset in [Dataset::DBpedia2022, Dataset::Bio2RdfCt] {
+        let (_, rows) = accuracy_table(dataset, Scale(0.25), 4);
+        assert!(!rows.is_empty());
+        // S3PG: 100% everywhere.
+        for row in &rows {
+            assert_eq!(row.s3pg, 100.0, "{} Q{}", dataset.name(), row.query.id);
+        }
+        let summary = category_summary(&rows);
+        for (cat, s3pg, neosem, rdf2pg) in &summary {
+            assert_eq!(*s3pg, 100.0);
+            match cat {
+                // Homogeneous non-literal queries: all methods complete.
+                QueryCategory::MultiTypeHomoNonLiteral => {
+                    assert_eq!(*neosem, 100.0, "{}", dataset.name());
+                    assert_eq!(*rdf2pg, 100.0, "{}", dataset.name());
+                }
+                // Hetero queries: rdf2pg lossy; NeoSem between rdf2pg and
+                // S3PG, exactly the paper's ordering.
+                QueryCategory::MultiTypeHetero => {
+                    assert!(*rdf2pg < 100.0, "{} rdf2pg {rdf2pg}", dataset.name());
+                    assert!(neosem >= rdf2pg, "{}", dataset.name());
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn accuracy_loss_is_dramatic_for_rdf2pg_on_hetero() {
+    // "causing a loss of up to 70% of query answers" — the abstract's
+    // headline. At least one hetero query must lose a large share under
+    // rdf2pg.
+    let (_, rows) = accuracy_table(Dataset::DBpedia2022, Scale(0.3), 6);
+    let worst = rows
+        .iter()
+        .filter(|r| r.query.category == QueryCategory::MultiTypeHetero)
+        .map(|r| r.rdf2pg)
+        .fold(100.0f64, f64::min);
+    assert!(worst < 80.0, "worst rdf2pg hetero accuracy only {worst}%");
+}
+
+#[test]
+fn figure6_runtimes_are_measured_for_all_systems() {
+    let (table, rows) = figure6(Dataset::DBpedia2022, Scale(0.1), 2, 3);
+    assert!(!table.is_empty());
+    for row in rows {
+        assert!(row.sparql_us > 0.0);
+        assert!(row.s3pg_us > 0.0);
+        assert!(row.neosem_us > 0.0);
+        assert!(row.rdf2pg_us > 0.0);
+    }
+}
+
+#[test]
+fn monotonicity_reproduces_section_5_4() {
+    let (_, result) = monotonicity(Scale(0.3));
+    // The Δ path must beat full recomputation by a wide margin (the paper
+    // reports 70.87%; we assert a conservative floor).
+    assert!(
+        result.savings_pct() > 30.0,
+        "savings only {:.1}%",
+        result.savings_pct()
+    );
+    assert!(result.incremental_matches_full);
+}
+
+#[test]
+fn tables_2_and_3_render() {
+    let (t2, stats) = table2(SCALE);
+    assert!(t2.render().contains("# of triples"));
+    assert_eq!(stats.len(), 3);
+    let (t3, shapes) = table3(SCALE);
+    assert!(t3.render().contains("MT-Hetero"));
+    assert_eq!(shapes.len(), 3);
+}

@@ -1,0 +1,238 @@
+//! Monotonicity (Definition 3.4, Proposition 4.3):
+//! `F_dt(S1) ⊆ F_dt(S2)` for `S1 ⊆ S2`, and
+//! `F_dt(S2) ≅ F_dt(S1) ∪ F_dt(Δ)` — incremental application equals full
+//! recomputation, including under schema evolution.
+
+use proptest::prelude::*;
+use s3pg::incremental::{apply_additions, apply_delta};
+use s3pg::pipeline::transform;
+use s3pg::{transform_data, transform_schema, Mode};
+use s3pg_query::cypher;
+use s3pg_rdf::Graph;
+use s3pg_shacl::extract_shapes;
+use s3pg_workloads::dbpedia;
+use s3pg_workloads::evolution::{evolve, EvolutionSpec};
+use s3pg_workloads::spec::{generate, DatasetSpec};
+
+/// Compare two PGs structurally: node/edge/rel-type counts and the answers
+/// to a label-scan probe query.
+fn assert_equivalent(a: &s3pg_pg::PropertyGraph, b: &s3pg_pg::PropertyGraph, context: &str) {
+    assert_eq!(a.node_count(), b.node_count(), "{context}: node counts");
+    assert_eq!(a.edge_count(), b.edge_count(), "{context}: edge counts");
+    assert_eq!(
+        a.relationship_type_count(),
+        b.relationship_type_count(),
+        "{context}: rel types"
+    );
+}
+
+#[test]
+fn incremental_equals_full_on_additions() {
+    let spec = dbpedia::dbpedia2022(0.1);
+    let base = generate(&spec);
+    let shapes = extract_shapes(&base.graph);
+    let evo = evolve(
+        &base,
+        &spec,
+        &EvolutionSpec {
+            delete_fraction: 0.0,
+            update_fraction: 0.0,
+            ..Default::default()
+        },
+    );
+    let snapshot2 = evo.apply(&base.graph);
+
+    for mode in [Mode::Parsimonious, Mode::NonParsimonious] {
+        // Incremental path.
+        let out = transform(&base.graph, &shapes, mode);
+        let mut pg = out.pg;
+        let mut schema = out.schema;
+        let mut state = out.state;
+        apply_additions(&mut pg, &mut schema, &mut state, &evo.additions);
+
+        // Full path.
+        let shapes2 = extract_shapes(&snapshot2);
+        let mut schema_full = transform_schema(&shapes2, mode);
+        let full = transform_data(&snapshot2, &mut schema_full, mode);
+
+        assert_equivalent(&pg, &full.pg, &format!("additions, {mode:?}"));
+    }
+}
+
+#[test]
+fn incremental_equals_full_with_deletions_and_updates() {
+    let spec = dbpedia::dbpedia2022(0.1);
+    let base = generate(&spec);
+    let shapes = extract_shapes(&base.graph);
+    let evo = evolve(&base, &spec, &EvolutionSpec::default());
+    let snapshot2 = evo.apply(&base.graph);
+
+    let out = transform(&base.graph, &shapes, Mode::NonParsimonious);
+    let mut pg = out.pg;
+    let mut schema = out.schema;
+    let mut state = out.state;
+    apply_delta(
+        &mut pg,
+        &mut schema,
+        &mut state,
+        &evo.additions,
+        &evo.deletions,
+    );
+
+    let shapes2 = extract_shapes(&snapshot2);
+    let mut schema_full = transform_schema(&shapes2, Mode::NonParsimonious);
+    let full = transform_data(&snapshot2, &mut schema_full, Mode::NonParsimonious);
+
+    // Deleted entities' nodes remain (tombstoned edges, orphan nodes are
+    // kept), so edges — the data content — must match exactly; nodes may
+    // exceed the full path's count.
+    assert_eq!(pg.edge_count(), full.pg.edge_count(), "edges after delta");
+    assert!(pg.node_count() >= full.pg.node_count());
+}
+
+#[test]
+fn incremental_result_answers_queries_like_full() {
+    let spec = dbpedia::dbpedia2022(0.1);
+    let base = generate(&spec);
+    let shapes = extract_shapes(&base.graph);
+    let evo = evolve(&base, &spec, &EvolutionSpec::default());
+    let snapshot2 = evo.apply(&base.graph);
+
+    let out = transform(&base.graph, &shapes, Mode::NonParsimonious);
+    let mut pg = out.pg;
+    let mut schema = out.schema;
+    let mut state = out.state;
+    apply_delta(
+        &mut pg,
+        &mut schema,
+        &mut state,
+        &evo.additions,
+        &evo.deletions,
+    );
+
+    let shapes2 = extract_shapes(&snapshot2);
+    let full = transform(&snapshot2, &shapes2, Mode::NonParsimonious);
+
+    // Probe with label-scan + one-hop queries over a few classes.
+    for class in base.meta.classes.iter().take(3) {
+        let label = s3pg_rdf::vocab::local_name(class);
+        let q = format!("MATCH (n:{label}) RETURN n.iri");
+        let inc = cypher::execute(&pg, &q).unwrap();
+        let ful = cypher::execute(&full.pg, &q).unwrap();
+        assert_eq!(inc.len(), ful.len(), "label scan {label}");
+    }
+}
+
+#[test]
+fn monotone_growth_f_s1_subset_f_s2() {
+    // F_dt(S1) ⊆ F_dt(S2): every edge of the old PG (modulo deletions)
+    // appears in the new one. With additions only, counts strictly grow.
+    let spec = dbpedia::dbpedia2020(0.15);
+    let base = generate(&spec);
+    let shapes = extract_shapes(&base.graph);
+    let out1 = transform(&base.graph, &shapes, Mode::NonParsimonious);
+
+    let evo = evolve(
+        &base,
+        &spec,
+        &EvolutionSpec {
+            delete_fraction: 0.0,
+            update_fraction: 0.0,
+            ..Default::default()
+        },
+    );
+    let snapshot2 = evo.apply(&base.graph);
+    let shapes2 = extract_shapes(&snapshot2);
+    let out2 = transform(&snapshot2, &shapes2, Mode::NonParsimonious);
+    assert!(out2.pg.node_count() > out1.pg.node_count());
+    assert!(out2.pg.edge_count() > out1.pg.edge_count());
+}
+
+#[test]
+fn schema_monotone_under_type_widening() {
+    // A single-type property becoming multi-type must not invalidate
+    // previously transformed data in non-parsimonious mode (§4.1.1).
+    let mut base = Graph::new();
+    base.insert_type("http://ex/s1", "http://ex/Student");
+    {
+        let s = base.intern_iri("http://ex/s1");
+        let p = base.intern("http://ex/regNo");
+        let o = base.string_literal("Bs1");
+        base.insert(s, p, o);
+    }
+    let shapes = extract_shapes(&base);
+    let out = transform(&base, &shapes, Mode::NonParsimonious);
+    let mut pg = out.pg;
+    let mut schema = out.schema;
+    let mut state = out.state;
+    let edges_before = pg.edge_count();
+
+    // Delta: regNo values become integers too.
+    let mut delta = Graph::new();
+    delta.insert_type("http://ex/s2", "http://ex/Student");
+    {
+        let s = delta.intern_iri("http://ex/s2");
+        let p = delta.intern("http://ex/regNo");
+        let o = delta.integer_literal(42);
+        delta.insert(s, p, o);
+    }
+    apply_additions(&mut pg, &mut schema, &mut state, &delta);
+
+    // Old data untouched, new data added, edge type widened.
+    assert_eq!(pg.edge_count(), edges_before + 1);
+    let et = schema
+        .pg_schema
+        .edge_types_by_label("regNo")
+        .next()
+        .expect("regNo edge type");
+    assert!(et.targets.iter().any(|t| t == "stringType"));
+    assert!(et.targets.iter().any(|t| t == "integerType"));
+    // The widened graph still conforms.
+    assert!(s3pg_pg::conformance::check(&pg, &schema.pg_schema).conforms());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: for any generated base + additions-only delta,
+    /// incremental == full (node/edge counts).
+    #[test]
+    fn random_additions_are_monotone(seed in 0u64..1_000, delta_seed in 0u64..1_000) {
+        let spec = DatasetSpec {
+            name: "prop".into(),
+            namespace: "http://prop.test/".into(),
+            classes: 3,
+            subclass_fraction: 0.3,
+            instances_per_class: 10,
+            single_literal: 3,
+            single_non_literal: 2,
+            mt_homo_literal: 1,
+            mt_homo_non_literal: 1,
+            mt_hetero: 2,
+            density: 0.8,
+            multi_value_p: 0.4,
+            seed,
+        };
+        let base = generate(&spec);
+        let shapes = extract_shapes(&base.graph);
+        let evo = evolve(&base, &spec, &EvolutionSpec {
+            delete_fraction: 0.0,
+            update_fraction: 0.0,
+            add_fraction: 0.1,
+            seed: delta_seed,
+        });
+        let snapshot2 = evo.apply(&base.graph);
+
+        let out = transform(&base.graph, &shapes, Mode::NonParsimonious);
+        let mut pg = out.pg;
+        let mut schema = out.schema;
+        let mut state = out.state;
+        apply_additions(&mut pg, &mut schema, &mut state, &evo.additions);
+
+        let shapes2 = extract_shapes(&snapshot2);
+        let mut schema_full = transform_schema(&shapes2, Mode::NonParsimonious);
+        let full = transform_data(&snapshot2, &mut schema_full, Mode::NonParsimonious);
+        prop_assert_eq!(pg.node_count(), full.pg.node_count());
+        prop_assert_eq!(pg.edge_count(), full.pg.edge_count());
+    }
+}

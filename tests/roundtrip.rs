@@ -1,0 +1,147 @@
+//! Information preservation (Proposition 4.1) across the whole pipeline:
+//! `M(F_dt(G)) = G` and `N(F_st(S)) = S` on generated workloads, in both
+//! modes, including property-based tests over randomized datasets.
+
+use proptest::prelude::*;
+use s3pg::inverse::{recover_graph, recover_schema};
+use s3pg::pipeline::transform;
+use s3pg::Mode;
+use s3pg_shacl::extract_shapes;
+use s3pg_workloads::spec::{generate, DatasetSpec};
+use s3pg_workloads::university::{self, UniversitySpec};
+use s3pg_workloads::{bio2rdf, dbpedia};
+
+fn roundtrip_graph(graph: &s3pg_rdf::Graph, mode: Mode) {
+    let shapes = extract_shapes(graph);
+    let out = transform(graph, &shapes, mode);
+    let recovered = recover_graph(&out.pg, &out.schema.mapping).expect("inverse mapping");
+    assert_eq!(
+        recovered.len(),
+        graph.len(),
+        "recovered triple count differs ({} vs {}) in {mode:?}",
+        recovered.len(),
+        graph.len()
+    );
+    assert!(
+        recovered.same_triples(graph),
+        "recovered graph differs from source in {mode:?}"
+    );
+}
+
+#[test]
+fn university_roundtrips_in_both_modes() {
+    let graph = university::generate(&UniversitySpec::default());
+    roundtrip_graph(&graph, Mode::Parsimonious);
+    roundtrip_graph(&graph, Mode::NonParsimonious);
+}
+
+#[test]
+fn dbpedia2020_roundtrips() {
+    let dataset = generate(&dbpedia::dbpedia2020(0.2));
+    roundtrip_graph(&dataset.graph, Mode::Parsimonious);
+}
+
+#[test]
+fn dbpedia2022_roundtrips() {
+    let dataset = generate(&dbpedia::dbpedia2022(0.15));
+    roundtrip_graph(&dataset.graph, Mode::Parsimonious);
+    roundtrip_graph(&dataset.graph, Mode::NonParsimonious);
+}
+
+#[test]
+fn bio2rdf_roundtrips() {
+    let dataset = generate(&bio2rdf::bio2rdf_ct(0.15));
+    roundtrip_graph(&dataset.graph, Mode::Parsimonious);
+}
+
+#[test]
+fn schema_roundtrips_on_extracted_shapes() {
+    for spec in [dbpedia::dbpedia2020(0.15), bio2rdf::bio2rdf_ct(0.1)] {
+        let dataset = generate(&spec);
+        let shapes = extract_shapes(&dataset.graph);
+        for mode in [Mode::Parsimonious, Mode::NonParsimonious] {
+            let st = s3pg::transform_schema(&shapes, mode);
+            let recovered = recover_schema(&st);
+            assert_eq!(
+                recovered, shapes,
+                "N(F_st(S)) ≠ S for {} in {mode:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn csv_load_preserves_roundtrip() {
+    // The inverse must also work after the CSV bulk load stage.
+    let graph = university::generate(&UniversitySpec::default());
+    let shapes = extract_shapes(&graph);
+    let out = transform(&graph, &shapes, Mode::Parsimonious);
+    let (loaded, _) = s3pg::pipeline::load(&out.pg);
+    let recovered = recover_graph(&loaded, &out.schema.mapping).expect("inverse after load");
+    assert!(recovered.same_triples(&graph));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: any generated dataset round-trips exactly, whatever the
+    /// seed and category mix.
+    #[test]
+    fn random_datasets_roundtrip(
+        seed in 0u64..10_000,
+        classes in 2usize..6,
+        single_literal in 0usize..6,
+        single_non_literal in 0usize..4,
+        mt_homo_literal in 0usize..4,
+        mt_hetero in 0usize..4,
+    ) {
+        let spec = DatasetSpec {
+            name: "prop".into(),
+            namespace: "http://prop.test/".into(),
+            classes,
+            subclass_fraction: 0.3,
+            instances_per_class: 8,
+            single_literal,
+            single_non_literal,
+            mt_homo_literal,
+            mt_homo_non_literal: 1,
+            mt_hetero,
+            density: 0.8,
+            multi_value_p: 0.4,
+            seed,
+        };
+        let dataset = generate(&spec);
+        let shapes = extract_shapes(&dataset.graph);
+        for mode in [Mode::Parsimonious, Mode::NonParsimonious] {
+            let out = transform(&dataset.graph, &shapes, mode);
+            let recovered = recover_graph(&out.pg, &out.schema.mapping).unwrap();
+            prop_assert!(recovered.same_triples(&dataset.graph), "mode {mode:?} seed {seed}");
+        }
+    }
+
+    /// Property: schema transformation is invertible for any extracted
+    /// schema.
+    #[test]
+    fn random_schemas_roundtrip(seed in 0u64..10_000) {
+        let spec = DatasetSpec {
+            name: "prop".into(),
+            namespace: "http://prop.test/".into(),
+            classes: 4,
+            subclass_fraction: 0.4,
+            instances_per_class: 6,
+            single_literal: 3,
+            single_non_literal: 2,
+            mt_homo_literal: 2,
+            mt_homo_non_literal: 1,
+            mt_hetero: 2,
+            density: 0.9,
+            multi_value_p: 0.3,
+            seed,
+        };
+        let dataset = generate(&spec);
+        let shapes = extract_shapes(&dataset.graph);
+        let st = s3pg::transform_schema(&shapes, Mode::Parsimonious);
+        prop_assert_eq!(recover_schema(&st), shapes);
+    }
+}

@@ -1,0 +1,167 @@
+//! Semantics preservation (Definition 3.3, Proposition 4.2): a graph that
+//! satisfies its SHACL schema transforms into a PG that conforms to the
+//! transformed PG-Schema, and a violating graph transforms into a
+//! non-conforming PG. Plus query preservation (Definition 3.2) via `F_qt`.
+
+use s3pg::pipeline::transform;
+use s3pg::query_translate;
+use s3pg::Mode;
+use s3pg_query::results::{accuracy, ResultSet};
+use s3pg_query::{cypher, sparql};
+use s3pg_rdf::parser::parse_turtle;
+use s3pg_shacl::parser::parse_shacl_turtle;
+use s3pg_shacl::{extract_shapes, validate};
+use s3pg_workloads::queries::generate_queries;
+use s3pg_workloads::spec::generate;
+use s3pg_workloads::university::{self, UniversitySpec};
+use s3pg_workloads::{bio2rdf, dbpedia};
+
+#[test]
+fn valid_graphs_transform_to_conforming_pgs() {
+    for mode in [Mode::Parsimonious, Mode::NonParsimonious] {
+        for spec in [
+            dbpedia::dbpedia2020(0.15),
+            dbpedia::dbpedia2022(0.1),
+            bio2rdf::bio2rdf_ct(0.1),
+        ] {
+            let dataset = generate(&spec);
+            let shapes = extract_shapes(&dataset.graph);
+            // Premise: G ⊨ S_G (extraction guarantees it).
+            assert!(
+                validate(&dataset.graph, &shapes).conforms(),
+                "{}",
+                spec.name
+            );
+            let out = transform(&dataset.graph, &shapes, mode);
+            assert!(
+                out.conformance.conforms(),
+                "{} in {mode:?}: {:#?}",
+                spec.name,
+                &out.conformance.failures[..3.min(out.conformance.failures.len())]
+            );
+        }
+    }
+}
+
+#[test]
+fn violating_graph_transforms_to_non_conforming_pg() {
+    // Definition 3.3's second half: G ⊭ S_G ⟹ F_dt(G) ⊭ S_PG.
+    let shapes = parse_shacl_turtle(
+        r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://ex/> .
+@prefix shape: <http://ex/shape/> .
+shape:Person a sh:NodeShape ; sh:targetClass :Person ;
+    sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] .
+"#,
+    )
+    .unwrap();
+    // Two names: violates maxCount 1.
+    let bad = parse_turtle(
+        r#"
+@prefix : <http://ex/> .
+:p a :Person ; :name "One", "Two" .
+"#,
+    )
+    .unwrap();
+    assert!(!validate(&bad, &shapes).conforms());
+    let out = transform(&bad, &shapes, Mode::Parsimonious);
+    assert!(
+        !out.conformance.conforms(),
+        "violation must surface in the PG"
+    );
+
+    // And a conforming instance stays conforming.
+    let good = parse_turtle(
+        r#"
+@prefix : <http://ex/> .
+:p a :Person ; :name "One" .
+"#,
+    )
+    .unwrap();
+    assert!(validate(&good, &shapes).conforms());
+    let out = transform(&good, &shapes, Mode::Parsimonious);
+    assert!(out.conformance.conforms());
+}
+
+#[test]
+fn query_preservation_on_university() {
+    let graph = university::generate(&UniversitySpec::default());
+    let shapes = parse_shacl_turtle(university::shacl_schema()).unwrap();
+    let out = transform(&graph, &shapes, Mode::Parsimonious);
+
+    let queries = [
+        // Heterogeneous takesCourse — the paper's flagship case.
+        "PREFIX u: <http://university.example.org/> SELECT ?s ?c WHERE { ?s a u:Student . ?s u:takesCourse ?c . }",
+        // Key/value literal.
+        "PREFIX u: <http://university.example.org/> SELECT ?s ?r WHERE { ?s a u:Student . ?s u:regNo ?r . }",
+        // Multi-type non-literal.
+        "PREFIX u: <http://university.example.org/> SELECT ?s ?a WHERE { ?s a u:GraduateStudent . ?s u:advisedBy ?a . }",
+        // Single-type non-literal with two-hop join.
+        "PREFIX u: <http://university.example.org/> SELECT ?p ?d WHERE { ?p a u:Professor . ?p u:worksFor ?d . }",
+        // Multi-type homogeneous literal (dob: string | date | gYear).
+        "PREFIX u: <http://university.example.org/> SELECT ?p ?b WHERE { ?p a u:Professor . ?p u:dob ?b . }",
+    ];
+    for q in queries {
+        let sols = sparql::execute(&graph, q).unwrap();
+        let gt = ResultSet::from_sparql(&graph, &sols);
+        assert!(!gt.is_empty(), "no ground truth for {q}");
+        let translated = query_translate::translate_str(q, &out.schema.mapping).unwrap();
+        let rows = cypher::execute(&out.pg, &translated).unwrap();
+        let observed = ResultSet::from_cypher(&rows);
+        assert!(
+            gt.same_as(&observed),
+            "tr(⟦Q⟧_G) ≠ ⟦Q*⟧_PG for {q}\n→ {translated}\nGT {} vs {}",
+            gt.len(),
+            observed.len()
+        );
+    }
+}
+
+#[test]
+fn query_preservation_on_generated_workloads() {
+    for (spec, per_cat) in [
+        (dbpedia::dbpedia2022(0.15), 3),
+        (bio2rdf::bio2rdf_ct(0.1), 2),
+    ] {
+        let dataset = generate(&spec);
+        let shapes = extract_shapes(&dataset.graph);
+        let out = transform(&dataset.graph, &shapes, Mode::Parsimonious);
+        for q in generate_queries(&dataset.meta, per_cat) {
+            let sols = sparql::execute(&dataset.graph, &q.sparql).unwrap();
+            let gt = ResultSet::from_sparql(&dataset.graph, &sols);
+            let translated =
+                query_translate::translate_str(&q.sparql, &out.schema.mapping).unwrap();
+            let rows = cypher::execute(&out.pg, &translated).unwrap();
+            let acc = accuracy(&gt, &ResultSet::from_cypher(&rows));
+            assert_eq!(
+                acc, 100.0,
+                "{}: Q{} ({:?}) accuracy {acc}",
+                spec.name, q.id, q.category
+            );
+        }
+    }
+}
+
+#[test]
+fn query_preservation_in_non_parsimonious_mode() {
+    // The non-parsimonious encoding stores literals on carrier nodes, so
+    // every translated query goes through the edge variant.
+    let dataset = generate(&dbpedia::dbpedia2022(0.1));
+    let shapes = extract_shapes(&dataset.graph);
+    let out = transform(&dataset.graph, &shapes, Mode::NonParsimonious);
+    for q in generate_queries(&dataset.meta, 2) {
+        let sols = sparql::execute(&dataset.graph, &q.sparql).unwrap();
+        let gt = ResultSet::from_sparql(&dataset.graph, &sols);
+        let translated = query_translate::translate_str(&q.sparql, &out.schema.mapping).unwrap();
+        let rows = cypher::execute(&out.pg, &translated).unwrap();
+        assert_eq!(
+            accuracy(&gt, &ResultSet::from_cypher(&rows)),
+            100.0,
+            "Q{}",
+            q.id
+        );
+    }
+}
