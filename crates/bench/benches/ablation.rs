@@ -6,81 +6,64 @@
 //!    trade-off),
 //! 3. FxHash vs SipHash for the symbol-keyed hot maps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use s3pg::{transform_data, transform_schema, Mode};
 use s3pg_bench::experiments::Dataset;
+use s3pg_bench::timing::{bench, section};
 use s3pg_rdf::fxhash::FxHashMap;
 use s3pg_rdf::Term;
 use s3pg_shacl::extract_shapes;
 use s3pg_workloads::spec::generate;
 use std::collections::HashMap;
-use std::hint::black_box;
 
-fn bench_index_vs_scan(c: &mut Criterion) {
+fn bench_index_vs_scan() {
     let dataset = generate(&Dataset::DBpedia2022.spec(0.15));
     let graph = &dataset.graph;
     let type_p = graph.type_predicate_opt().unwrap();
     let class = dataset.meta.classes[0].as_str();
     let class_term = Term::Iri(graph.interner().get(class).unwrap());
 
-    let mut group = c.benchmark_group("ablation/index_vs_scan");
-    group.bench_function("indexed", |b| {
-        b.iter(|| black_box(graph.match_pattern(None, Some(type_p), Some(class_term))))
+    section("ablation/index_vs_scan");
+    bench("indexed", || {
+        graph.match_pattern(None, Some(type_p), Some(class_term))
     });
-    group.bench_function("full_scan", |b| {
-        b.iter(|| black_box(graph.match_pattern_scan(None, Some(type_p), Some(class_term))))
+    bench("full_scan", || {
+        graph.match_pattern_scan(None, Some(type_p), Some(class_term))
     });
-    group.finish();
 }
 
-fn bench_mode_ablation(c: &mut Criterion) {
+fn bench_mode_ablation() {
     let dataset = generate(&Dataset::DBpedia2022.spec(0.15));
     let shapes = extract_shapes(&dataset.graph);
-    let mut group = c.benchmark_group("ablation/transform_mode");
-    group.sample_size(10);
+    section("ablation/transform_mode");
     for mode in [Mode::Parsimonious, Mode::NonParsimonious] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode.name()),
-            &mode,
-            |b, &mode| {
-                b.iter(|| {
-                    let mut st = transform_schema(&shapes, mode);
-                    black_box(transform_data(&dataset.graph, &mut st, mode))
-                })
-            },
-        );
+        bench(mode.name(), || {
+            let mut st = transform_schema(&shapes, mode);
+            transform_data(&dataset.graph, &mut st, mode)
+        });
     }
-    group.finish();
 }
 
-fn bench_hasher_ablation(c: &mut Criterion) {
+fn bench_hasher_ablation() {
     let keys: Vec<u32> = (0..50_000).collect();
-    let mut group = c.benchmark_group("ablation/hasher");
-    group.bench_function("fxhash", |b| {
-        b.iter(|| {
-            let mut m: FxHashMap<u32, u32> = FxHashMap::default();
-            for &k in &keys {
-                m.insert(k, k);
-            }
-            black_box(m.len())
-        })
+    section("ablation/hasher");
+    bench("fxhash", || {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for &k in &keys {
+            m.insert(k, k);
+        }
+        m.len()
     });
-    group.bench_function("siphash", |b| {
-        b.iter(|| {
-            let mut m: HashMap<u32, u32> = HashMap::new();
-            for &k in &keys {
-                m.insert(k, k);
-            }
-            black_box(m.len())
-        })
+    bench("siphash", || {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        for &k in &keys {
+            m.insert(k, k);
+        }
+        m.len()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_index_vs_scan,
-    bench_mode_ablation,
-    bench_hasher_ablation
-);
-criterion_main!(benches);
+fn main() {
+    bench_index_vs_scan();
+    bench_mode_ablation();
+    bench_hasher_ablation();
+}

@@ -2,27 +2,19 @@
 //! category (ground-truth SPARQL + three Cypher evaluations + multiset
 //! comparison).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use s3pg_bench::experiments::{accuracy_context, evaluate_query, Dataset, Scale};
+use s3pg_bench::timing::{bench, section};
 use s3pg_workloads::generate_queries;
 use s3pg_workloads::QueryCategory;
-use std::hint::black_box;
 
-fn bench_accuracy(c: &mut Criterion) {
+fn main() {
     let cx = accuracy_context(Dataset::DBpedia2022, Scale(0.15));
     let queries = generate_queries(&cx.prepared.generated.meta, 1);
-    let mut group = c.benchmark_group("accuracy/evaluate_query");
-    group.sample_size(10);
+    section("accuracy/evaluate_query");
     for category in QueryCategory::ALL {
         let Some(q) = queries.iter().find(|q| q.category == category) else {
             continue;
         };
-        group.bench_with_input(BenchmarkId::from_parameter(category.name()), q, |b, q| {
-            b.iter(|| black_box(evaluate_query(&cx, q)))
-        });
+        bench(category.name(), || evaluate_query(&cx, q));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_accuracy);
-criterion_main!(benches);

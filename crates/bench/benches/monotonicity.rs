@@ -1,17 +1,16 @@
 //! §5.4 benchmark: full recomputation vs incremental Δ application, in
 //! both transformation modes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use s3pg::incremental;
 use s3pg::pipeline;
 use s3pg::Mode;
 use s3pg_bench::experiments::{Dataset, Scale};
+use s3pg_bench::timing::{bench, section};
 use s3pg_shacl::extract_shapes;
 use s3pg_workloads::evolution::{evolve, EvolutionSpec};
 use s3pg_workloads::spec::generate;
-use std::hint::black_box;
 
-fn bench_monotonicity(c: &mut Criterion) {
+fn main() {
     let spec = Dataset::DBpedia2022.spec(Scale(0.15).0);
     let base = generate(&spec);
     let shapes = extract_shapes(&base.graph);
@@ -20,45 +19,26 @@ fn bench_monotonicity(c: &mut Criterion) {
     let shapes2 = extract_shapes(&snapshot2);
     let non_pars = pipeline::transform(&base.graph, &shapes, Mode::NonParsimonious);
 
-    let mut group = c.benchmark_group("monotonicity");
-    group.sample_size(10);
-    group.bench_function("full_parsimonious_snapshot2", |b| {
-        b.iter(|| {
-            black_box(pipeline::transform(
-                &snapshot2,
-                &shapes2,
-                Mode::Parsimonious,
-            ))
-        })
+    section("monotonicity");
+    bench("full_parsimonious_snapshot2", || {
+        pipeline::transform(&snapshot2, &shapes2, Mode::Parsimonious)
     });
-    group.bench_function("full_non_parsimonious_snapshot2", |b| {
-        b.iter(|| {
-            black_box(pipeline::transform(
-                &snapshot2,
-                &shapes2,
-                Mode::NonParsimonious,
-            ))
-        })
+    bench("full_non_parsimonious_snapshot2", || {
+        pipeline::transform(&snapshot2, &shapes2, Mode::NonParsimonious)
     });
-    group.bench_function("incremental_delta_only", |b| {
-        b.iter(|| {
-            // The clone is part of neither the paper's full nor incremental
-            // path, but is required to keep iterations independent; it is
-            // orders of magnitude cheaper than the full transform.
-            let mut pg = non_pars.pg.clone();
-            let mut schema = non_pars.schema.clone();
-            let mut state = non_pars.state.clone();
-            black_box(incremental::apply_delta(
-                &mut pg,
-                &mut schema,
-                &mut state,
-                &evo.additions,
-                &evo.deletions,
-            ))
-        })
+    bench("incremental_delta_only", || {
+        // The clone is part of neither the paper's full nor incremental
+        // path, but is required to keep iterations independent; it is
+        // orders of magnitude cheaper than the full transform.
+        let mut pg = non_pars.pg.clone();
+        let mut schema = non_pars.schema.clone();
+        let mut state = non_pars.state.clone();
+        incremental::apply_delta(
+            &mut pg,
+            &mut schema,
+            &mut state,
+            &evo.additions,
+            &evo.deletions,
+        )
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_monotonicity);
-criterion_main!(benches);

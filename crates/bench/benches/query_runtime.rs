@@ -1,21 +1,20 @@
 //! Figure 6 benchmark: query runtime per category on the source RDF graph
 //! (SPARQL) and on the three transformed PGs (Cypher).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use s3pg::query_translate;
 use s3pg_baselines::NeoSemantics;
 use s3pg_bench::experiments::{accuracy_context, Dataset, Scale};
+use s3pg_bench::timing::{bench, section};
 use s3pg_query::{cypher, sparql};
 use s3pg_workloads::generate_queries;
 use s3pg_workloads::QueryCategory;
-use std::hint::black_box;
 
-fn bench_query_runtime(c: &mut Criterion) {
+fn main() {
     let cx = accuracy_context(Dataset::DBpedia2022, Scale(0.15));
     let graph = &cx.prepared.generated.graph;
     let queries = generate_queries(&cx.prepared.generated.meta, 1);
 
-    let mut group = c.benchmark_group("figure6");
+    section("figure6");
     for category in QueryCategory::ALL {
         let Some(q) = queries.iter().find(|q| q.category == category) else {
             continue;
@@ -28,29 +27,18 @@ fn bench_query_runtime(c: &mut Criterion) {
         let neo_q = cypher::parse(&NeoSemantics::query(Some(&q.class), &q.predicate)).unwrap();
         let r2p_q = cypher::parse(&cx.rdf2pg.query(Some(&q.class), &q.predicate)).unwrap();
 
-        group.bench_with_input(
-            BenchmarkId::new("sparql", category.name()),
-            &sparql_q,
-            |b, query| b.iter(|| black_box(sparql::evaluate(graph, query).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("s3pg", category.name()),
-            &s3pg_q,
-            |b, query| b.iter(|| black_box(cypher::evaluate(&cx.s3pg.pg, query).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("neosem", category.name()),
-            &neo_q,
-            |b, query| b.iter(|| black_box(cypher::evaluate(&cx.neosem.pg, query).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("rdf2pg", category.name()),
-            &r2p_q,
-            |b, query| b.iter(|| black_box(cypher::evaluate(&cx.rdf2pg.pg, query).unwrap())),
-        );
+        let name = category.name();
+        bench(&format!("sparql/{name}"), || {
+            sparql::evaluate(graph, &sparql_q).unwrap()
+        });
+        bench(&format!("s3pg/{name}"), || {
+            cypher::evaluate(&cx.s3pg.pg, &s3pg_q).unwrap()
+        });
+        bench(&format!("neosem/{name}"), || {
+            cypher::evaluate(&cx.neosem.pg, &neo_q).unwrap()
+        });
+        bench(&format!("rdf2pg/{name}"), || {
+            cypher::evaluate(&cx.rdf2pg.pg, &r2p_q).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_query_runtime);
-criterion_main!(benches);

@@ -2,42 +2,29 @@
 //! (design decision 3 in DESIGN.md): schema transformation cost per mode,
 //! and shape extraction cost (the QSE substrate).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use s3pg::{transform_schema, Mode};
 use s3pg_bench::experiments::{prepare, Dataset, Scale};
+use s3pg_bench::timing::{bench, section};
 use s3pg_shacl::extract_shapes;
-use std::hint::black_box;
 
 const SCALE: Scale = Scale(0.15);
 
-fn bench_schema_transform(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schema_transform");
+fn main() {
+    section("schema_transform");
     for dataset in Dataset::ALL {
         let prepared = prepare(dataset, SCALE);
         for mode in [Mode::Parsimonious, Mode::NonParsimonious] {
-            group.bench_with_input(
-                BenchmarkId::new(mode.name(), dataset.name()),
-                &prepared.shapes,
-                |b, shapes| b.iter(|| black_box(transform_schema(shapes, mode))),
-            );
+            bench(&format!("{}/{}", mode.name(), dataset.name()), || {
+                transform_schema(&prepared.shapes, mode)
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_shape_extraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("shape_extraction");
-    group.sample_size(10);
+    section("shape_extraction");
     for dataset in Dataset::ALL {
         let prepared = prepare(dataset, SCALE);
-        group.bench_with_input(
-            BenchmarkId::new("qse_like", dataset.name()),
-            &prepared.generated.graph,
-            |b, graph| b.iter(|| black_box(extract_shapes(graph))),
-        );
+        bench(&format!("qse_like/{}", dataset.name()), || {
+            extract_shapes(&prepared.generated.graph)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schema_transform, bench_shape_extraction);
-criterion_main!(benches);

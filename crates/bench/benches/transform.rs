@@ -1,51 +1,35 @@
 //! Table 4 benchmark: transformation + loading time of S3PG vs the two
-//! baselines on each emulated dataset.
+//! baselines on each emulated dataset, plus the parallel pipeline's
+//! thread-scaling curve on the largest one.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use s3pg::pipeline;
+use s3pg::pipeline::{self, PipelineConfig};
 use s3pg::Mode;
 use s3pg_baselines::{NeoSemantics, Rdf2Pg};
-use s3pg_bench::experiments::{prepare, Dataset, Scale};
-use std::hint::black_box;
+use s3pg_bench::experiments::{parallel_scaling, prepare, Dataset, Scale};
+use s3pg_bench::timing::{bench, section};
 
 const SCALE: Scale = Scale(0.15);
+/// Larger scale for the thread-scaling curve — parallelism needs enough
+/// triples per shard to amortize the fork/join overhead.
+const SCALING_SCALE: Scale = Scale(1.0);
 
-fn bench_transform(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4/transform");
-    group.sample_size(10);
+fn main() {
+    section("table4/transform");
     for dataset in Dataset::ALL {
         let prepared = prepare(dataset, SCALE);
         let graph = &prepared.generated.graph;
-        group.bench_with_input(
-            BenchmarkId::new("s3pg", dataset.name()),
-            graph,
-            |b, graph| {
-                b.iter(|| {
-                    black_box(pipeline::transform(
-                        graph,
-                        &prepared.shapes,
-                        Mode::Parsimonious,
-                    ))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("neosem", dataset.name()),
-            graph,
-            |b, graph| b.iter(|| black_box(NeoSemantics::transform(graph))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("rdf2pg", dataset.name()),
-            graph,
-            |b, graph| b.iter(|| black_box(Rdf2Pg::transform(graph))),
-        );
+        bench(&format!("s3pg/{}", dataset.name()), || {
+            pipeline::transform(graph, &prepared.shapes, Mode::Parsimonious)
+        });
+        bench(&format!("neosem/{}", dataset.name()), || {
+            NeoSemantics::transform(graph)
+        });
+        bench(&format!("rdf2pg/{}", dataset.name()), || {
+            Rdf2Pg::transform(graph)
+        });
     }
-    group.finish();
-}
 
-fn bench_load(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4/load");
-    group.sample_size(10);
+    section("table4/load");
     for dataset in [Dataset::DBpedia2020, Dataset::Bio2RdfCt] {
         let prepared = prepare(dataset, SCALE);
         let out = pipeline::transform(
@@ -53,14 +37,30 @@ fn bench_load(c: &mut Criterion) {
             &prepared.shapes,
             Mode::Parsimonious,
         );
-        group.bench_with_input(
-            BenchmarkId::new("csv_roundtrip", dataset.name()),
-            &out.pg,
-            |b, pg| b.iter(|| black_box(pipeline::load(pg))),
-        );
+        bench(&format!("csv_roundtrip/{}", dataset.name()), || {
+            pipeline::load(&out.pg)
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_transform, bench_load);
-criterion_main!(benches);
+    section("parallel/threads");
+    let prepared = prepare(Dataset::DBpedia2022, SCALING_SCALE);
+    let graph = &prepared.generated.graph;
+    for threads in [1, 2, 4, 8] {
+        bench(&format!("transform_with/{threads}t"), || {
+            pipeline::transform_with(
+                graph,
+                &prepared.shapes,
+                Mode::Parsimonious,
+                PipelineConfig { threads },
+            )
+        });
+    }
+
+    section("parallel/scaling_curve");
+    let (table, result) = parallel_scaling(Dataset::DBpedia2022, SCALING_SCALE, &[1, 2, 4, 8]);
+    println!("{}", table.render());
+    assert!(
+        result.isomorphic,
+        "parallel output diverged from sequential"
+    );
+}

@@ -1,0 +1,86 @@
+//! A minimal `Instant`-based micro-benchmark harness.
+//!
+//! The offline build cannot resolve Criterion, so the `benches/` targets are
+//! plain `harness = false` binaries driven by this module instead: warm up
+//! once, pick an iteration count that fills a ~300 ms measurement window,
+//! time every iteration with [`Instant`], and print mean/min per iteration.
+//! No statistics beyond that — these benches exist to rank alternatives
+//! (indexed vs scan, mode vs mode, S3PG vs baselines), not to detect
+//! sub-percent regressions.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Iteration bounds: at least 3 (min is meaningless on one sample), at most
+/// 1000 (cheap closures would otherwise spend all time in bookkeeping).
+const MIN_ITERS: usize = 3;
+const MAX_ITERS: usize = 1000;
+
+/// Measure `f`, printing one aligned report line. The closure's result is
+/// `black_box`ed so the optimizer cannot elide the measured work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up iteration doubles as the cost estimate.
+    let t0 = Instant::now();
+    black_box(f());
+    let est = t0.elapsed().max(Duration::from_nanos(1));
+
+    let iters = (MEASURE_TARGET.as_nanos() / est.as_nanos())
+        .clamp(MIN_ITERS as u128, MAX_ITERS as u128) as usize;
+
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        let dt = t.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / iters as u32;
+    println!(
+        "{name:<56} {:>12}/iter  (min {:>10}, {iters} iters)",
+        fmt_duration(mean),
+        fmt_duration(min)
+    );
+}
+
+/// Print a section header so grouped benches read like Criterion groups.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Render a duration with a unit that keeps 3–4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_picks_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.0 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0usize;
+        bench("noop", || calls += 1);
+        assert!(calls >= 1 + MIN_ITERS);
+    }
+}

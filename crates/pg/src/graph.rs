@@ -264,6 +264,81 @@ impl PropertyGraph {
         self.live_node_count
     }
 
+    // ---- bulk insertion --------------------------------------------------
+    //
+    // Symbol-level entry points for the parallel transform's merge step:
+    // workers emit operation buffers whose labels/keys are resolved to
+    // symbols once per worker, so applying an operation is pure integer
+    // work (no hashing, no string allocation).
+
+    /// Reserve capacity ahead of a bulk insertion of roughly `nodes` nodes
+    /// and `edges` edges.
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.nodes.reserve(nodes);
+        self.node_live.reserve(nodes);
+        self.out_edges.reserve(nodes);
+        self.in_edges.reserve(nodes);
+        self.edges.reserve(edges);
+        self.edge_live.reserve(edges);
+    }
+
+    /// Add a node carrying one pre-interned label; returns its id.
+    pub fn add_node_with_label_sym(&mut self, label: Sym) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.nodes.push(Node {
+            labels: vec![label],
+            props: Vec::new(),
+        });
+        self.node_live.push(true);
+        self.live_node_count += 1;
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        self.by_label.entry(label).or_default().push(id);
+        id
+    }
+
+    /// Add an edge whose label is already interned; returns its id.
+    pub fn add_edge_sym(&mut self, src: NodeId, dst: NodeId, label: Sym) -> EdgeId {
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("too many edges"));
+        self.edges.push(Edge {
+            src,
+            dst,
+            labels: vec![label],
+            props: Vec::new(),
+        });
+        self.edge_live.push(true);
+        self.live_edge_count += 1;
+        self.by_edge_label.entry(label).or_default().push(id);
+        self.out_edges[src.0 as usize].push(id);
+        self.in_edges[dst.0 as usize].push(id);
+        id
+    }
+
+    /// [`Self::set_prop`] with a pre-interned key. Maintains the unique IRI
+    /// index when `key` resolves to [`IRI_KEY`].
+    pub fn set_prop_sym(&mut self, node: NodeId, key: Sym, value: Value) {
+        if self.interner.resolve(key) == IRI_KEY {
+            self.iri_key = Some(key);
+            if let Value::String(iri) = &value {
+                self.by_iri.insert(iri.clone(), node);
+            }
+        }
+        let props = &mut self.nodes[node.0 as usize].props;
+        match props.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => props.push((key, value)),
+        }
+    }
+
+    /// [`Self::push_prop`] with a pre-interned key.
+    pub fn push_prop_sym(&mut self, node: NodeId, key: Sym, value: Value) {
+        let props = &mut self.nodes[node.0 as usize].props;
+        match props.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(value),
+            None => props.push((key, value)),
+        }
+    }
+
     // ---- edges -----------------------------------------------------------
 
     /// Add an edge `src -[label]-> dst`; returns its id.
@@ -568,6 +643,37 @@ mod tests {
         pg.set_edge_prop(e, "since", Value::Year(2020));
         assert_eq!(pg.edge_prop(e, "since"), Some(&Value::Year(2020)));
         assert_eq!(pg.edge_prop(e, "until"), None);
+    }
+
+    #[test]
+    fn sym_entry_points_match_string_entry_points() {
+        let mut pg = PropertyGraph::new();
+        let person = pg.intern("Person");
+        let knows = pg.intern("knows");
+        let iri = pg.intern(IRI_KEY);
+        let nick = pg.intern("nick");
+        pg.reserve(2, 1);
+        let a = pg.add_node_with_label_sym(person);
+        let b = pg.add_node_with_label_sym(person);
+        pg.set_prop_sym(a, iri, Value::String("http://ex/a".into()));
+        pg.push_prop_sym(a, nick, Value::String("x".into()));
+        pg.push_prop_sym(a, nick, Value::String("y".into()));
+        let e = pg.add_edge_sym(a, b, knows);
+
+        assert_eq!(pg.nodes_with_label("Person"), vec![a, b]);
+        // set_prop_sym on the iri key must maintain the unique IRI index.
+        assert_eq!(pg.node_by_iri("http://ex/a"), Some(a));
+        assert_eq!(
+            pg.prop(a, "nick"),
+            Some(&Value::List(vec![
+                Value::String("x".into()),
+                Value::String("y".into())
+            ]))
+        );
+        assert_eq!(pg.edges_with_label("knows"), vec![e]);
+        assert_eq!(pg.out_edges(a), vec![e]);
+        assert_eq!(pg.in_edges(b), vec![e]);
+        assert!(pg.has_edge(a, b, "knows"));
     }
 
     #[test]

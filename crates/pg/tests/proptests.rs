@@ -1,27 +1,71 @@
-//! Property-based tests for the PG substrate: CSV and YARS-PG round-trips
-//! over arbitrary property graphs, and conformance/value invariants.
+//! Randomized tests for the PG substrate: CSV and YARS-PG round-trips over
+//! arbitrary property graphs, and conformance/value invariants.
+//!
+//! Formerly proptest suites; now driven by the in-tree deterministic
+//! [`XorShiftRng`] so the offline build needs no external registry crates.
+//! Each `#[test]` loops over a fixed set of seeds; a failure message always
+//! includes the seed, which reproduces the case exactly.
 
-use proptest::prelude::*;
 use s3pg_pg::{csv, yarspg, NodeId, PropertyGraph, Value};
+use s3pg_rdf::rng::XorShiftRng;
 
-fn string_strategy() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~äöü;|=,\\[\\]\"'\\\\]{0,16}").unwrap()
+/// Strings containing the characters that stress the CSV/YARS-PG escapers:
+/// separators, quotes, brackets, backslashes, and non-ASCII.
+fn arb_string(rng: &mut XorShiftRng) -> String {
+    const EXTRA: &[char] = &['ä', 'ö', 'ü', ';', '|', '=', ',', '[', ']', '"', '\'', '\\'];
+    let len = rng.random_range(0..17usize);
+    (0..len)
+        .map(|_| {
+            if rng.random_bool(0.4) {
+                EXTRA[rng.random_range(0..EXTRA.len())]
+            } else {
+                rng.random_range(0x20u32..0x7f) as u8 as char
+            }
+        })
+        .collect()
 }
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    let scalar = prop_oneof![
-        string_strategy().prop_map(Value::String),
-        any::<i64>().prop_map(Value::Int),
-        (-1e9f64..1e9).prop_map(Value::Float),
-        any::<bool>().prop_map(Value::Bool),
-        (1900i32..2100).prop_map(Value::Year),
-        proptest::string::string_regex("20[0-9]{2}-[01][0-9]-[0-2][0-9]")
-            .unwrap()
-            .prop_map(Value::Date),
-    ];
-    scalar.clone().prop_recursive(1, 8, 4, move |inner| {
-        proptest::collection::vec(inner, 1..4).prop_map(Value::List)
-    })
+fn arb_scalar(rng: &mut XorShiftRng) -> Value {
+    match rng.random_range(0..6u8) {
+        0 => Value::String(arb_string(rng)),
+        1 => Value::Int(rng.random_range(i64::MIN..i64::MAX)),
+        2 => Value::Float(rng.random_range(-1_000_000_000i64..1_000_000_000) as f64 / 2.0),
+        3 => Value::Bool(rng.random_bool(0.5)),
+        4 => Value::Year(rng.random_range(1900..2100i32)),
+        _ => Value::Date(format!(
+            "20{:02}-{:02}-{:02}",
+            rng.random_range(0..100u32),
+            rng.random_range(0..20u32),
+            rng.random_range(0..30u32)
+        )),
+    }
+}
+
+/// Scalars, or one level of lists of scalars (arrays are flat in the model).
+fn arb_value(rng: &mut XorShiftRng) -> Value {
+    if rng.random_bool(0.2) {
+        let n = rng.random_range(1..4usize);
+        Value::List((0..n).map(|_| arb_scalar(rng)).collect())
+    } else {
+        arb_scalar(rng)
+    }
+}
+
+fn ident(rng: &mut XorShiftRng, first_upper: bool, max_tail: usize) -> String {
+    let mut s = String::new();
+    if first_upper && rng.random_bool(0.5) {
+        s.push(rng.random_range(b'A'..b'Z' + 1) as char);
+    } else {
+        s.push(rng.random_range(b'a'..b'z' + 1) as char);
+    }
+    for _ in 0..rng.random_range(0..max_tail + 1) {
+        match rng.random_range(0..4u8) {
+            0 => s.push(rng.random_range(b'0'..b'9' + 1) as char),
+            1 => s.push('_'),
+            _ => s.push(rng.random_range(b'a'..b'z' + 1) as char),
+        }
+    }
+    s
 }
 
 type Props = Vec<(String, Value)>;
@@ -32,31 +76,31 @@ struct ArbGraph {
     edges: Vec<(usize, usize, String, Props)>,
 }
 
-fn graph_strategy() -> impl Strategy<Value = ArbGraph> {
-    let label = || proptest::string::string_regex("[A-Za-z][A-Za-z0-9_]{0,8}").unwrap();
-    let key = || proptest::string::string_regex("[a-z][a-z0-9_]{0,8}").unwrap();
-    let node = (
-        proptest::collection::vec(label(), 0..3),
-        proptest::collection::vec((key(), value_strategy()), 0..4),
-    );
-    proptest::collection::vec(node, 1..12)
-        .prop_flat_map(move |nodes| {
-            let n = nodes.len();
-            let edge = (
-                0..n,
-                0..n,
-                proptest::string::string_regex("[a-z][a-zA-Z0-9_]{0,8}").unwrap(),
-                proptest::collection::vec(
-                    (
-                        proptest::string::string_regex("[a-z][a-z0-9_]{0,6}").unwrap(),
-                        value_strategy(),
-                    ),
-                    0..2,
-                ),
-            );
-            (Just(nodes), proptest::collection::vec(edge, 0..16))
+fn arb_graph(rng: &mut XorShiftRng) -> ArbGraph {
+    let n_nodes = rng.random_range(1..12usize);
+    let nodes: Vec<(Vec<String>, Props)> = (0..n_nodes)
+        .map(|_| {
+            let labels = (0..rng.random_range(0..3usize))
+                .map(|_| ident(rng, true, 8))
+                .collect();
+            let props = (0..rng.random_range(0..4usize))
+                .map(|_| (ident(rng, false, 8), arb_value(rng)))
+                .collect();
+            (labels, props)
         })
-        .prop_map(|(nodes, edges)| ArbGraph { nodes, edges })
+        .collect();
+    let edges = (0..rng.random_range(0..16usize))
+        .map(|_| {
+            let src = rng.random_range(0..n_nodes);
+            let dst = rng.random_range(0..n_nodes);
+            let label = ident(rng, false, 8);
+            let props = (0..rng.random_range(0..2usize))
+                .map(|_| (ident(rng, false, 6), arb_value(rng)))
+                .collect();
+            (src, dst, label, props)
+        })
+        .collect();
+    ArbGraph { nodes, edges }
 }
 
 fn build(arb: &ArbGraph) -> PropertyGraph {
@@ -131,68 +175,74 @@ fn graphs_equal(a: &PropertyGraph, b: &PropertyGraph) -> bool {
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// CSV bulk export/import round-trips arbitrary graphs exactly.
-    #[test]
-    fn csv_roundtrip(arb in graph_strategy()) {
-        let pg = build(&arb);
+/// CSV bulk export/import round-trips arbitrary graphs exactly.
+#[test]
+fn csv_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let pg = build(&arb_graph(&mut rng));
         let back = csv::import(&csv::export(&pg)).unwrap();
-        prop_assert!(graphs_equal(&pg, &back));
+        assert!(graphs_equal(&pg, &back), "seed {seed}");
     }
+}
 
-    /// YARS-PG serialization round-trips arbitrary graphs exactly.
-    #[test]
-    fn yarspg_roundtrip(arb in graph_strategy()) {
-        let pg = build(&arb);
+/// YARS-PG serialization round-trips arbitrary graphs exactly.
+#[test]
+fn yarspg_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(1_000 + seed);
+        let pg = build(&arb_graph(&mut rng));
         let back = yarspg::from_yarspg(&yarspg::to_yarspg(&pg)).unwrap();
-        prop_assert!(graphs_equal(&pg, &back));
+        assert!(graphs_equal(&pg, &back), "seed {seed}");
     }
+}
 
-    /// `push_prop` after N pushes yields either a scalar (N=1) or a list of
-    /// exactly N values.
-    #[test]
-    fn push_prop_accumulates(values in proptest::collection::vec(value_strategy(), 1..6)) {
+/// `push_prop` after N pushes yields either a scalar (N=1) or a list of
+/// exactly N values.
+#[test]
+fn push_prop_accumulates() {
+    for seed in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(2_000 + seed);
         // Lists inside lists are not produced by push (arrays are flat), so
         // only push scalars.
-        let scalars: Vec<Value> = values
-            .into_iter()
-            .map(|v| match v {
-                Value::List(mut items) => items.pop().unwrap(),
-                other => other,
-            })
-            .collect();
+        let n = rng.random_range(1..6usize);
+        let scalars: Vec<Value> = (0..n).map(|_| arb_scalar(&mut rng)).collect();
         let mut pg = PropertyGraph::new();
-        let n = pg.add_node(["T"]);
+        let node = pg.add_node(["T"]);
         for v in &scalars {
-            pg.push_prop(n, "k", v.clone());
+            pg.push_prop(node, "k", v.clone());
         }
-        match pg.prop(n, "k").unwrap() {
-            Value::List(items) => prop_assert_eq!(items.len(), scalars.len()),
-            _ => prop_assert_eq!(scalars.len(), 1),
+        match pg.prop(node, "k").unwrap() {
+            Value::List(items) => assert_eq!(items.len(), scalars.len(), "seed {seed}"),
+            _ => assert_eq!(scalars.len(), 1, "seed {seed}"),
         }
     }
+}
 
-    /// Edge tombstones never corrupt adjacency: removing an edge leaves all
-    /// other edges reachable and counts consistent.
-    #[test]
-    fn edge_removal_consistency(arb in graph_strategy(), victim in 0usize..16) {
-        let mut pg = build(&arb);
+/// Edge tombstones never corrupt adjacency: removing an edge leaves all
+/// other edges reachable and counts consistent.
+#[test]
+fn edge_removal_consistency() {
+    for seed in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(3_000 + seed);
+        let mut pg = build(&arb_graph(&mut rng));
+        let victim = rng.random_range(0..16usize);
         if pg.edge_count() == 0 {
-            return Ok(());
+            continue;
         }
         let edges: Vec<_> = pg.edge_ids().collect();
         let e = edges[victim % edges.len()];
         let edge = pg.edge(e).clone();
         let label = pg.edge_labels_of(e)[0].to_string();
         let before = pg.edge_count();
-        prop_assert!(pg.remove_edge(edge.src, edge.dst, &label));
-        prop_assert_eq!(pg.edge_count(), before - 1);
-        prop_assert!(!pg.edge_is_live(e));
+        assert!(pg.remove_edge(edge.src, edge.dst, &label), "seed {seed}");
+        assert_eq!(pg.edge_count(), before - 1, "seed {seed}");
+        assert!(!pg.edge_is_live(e), "seed {seed}");
         let out_sum: usize = pg.node_ids().map(|n| pg.out_edges(n).len()).sum();
-        prop_assert_eq!(out_sum, pg.edge_count());
+        assert_eq!(out_sum, pg.edge_count(), "seed {seed}");
         let in_sum: usize = pg.node_ids().map(|n| pg.in_edges(n).len()).sum();
-        prop_assert_eq!(in_sum, pg.edge_count());
+        assert_eq!(in_sum, pg.edge_count(), "seed {seed}");
     }
 }

@@ -2,10 +2,14 @@
 //! (greedy join ordering over indexes) must agree with a naive reference
 //! evaluator (nested loops over full scans) on arbitrary graphs and
 //! basic graph patterns.
+//!
+//! Formerly a proptest suite; now driven by the in-tree deterministic
+//! [`XorShiftRng`] so the offline build needs no external registry crates.
+//! Each case is reproducible from the seed in its failure message.
 
-use proptest::prelude::*;
 use s3pg_query::sparql::{self, PatternTerm, SelectQuery, TriplePattern};
 use s3pg_rdf::fxhash::FxHashMap;
+use s3pg_rdf::rng::XorShiftRng;
 use s3pg_rdf::{Graph, Term};
 
 // ---- naive reference evaluator ---------------------------------------------
@@ -53,9 +57,7 @@ fn bind(
                 graph.resolve(l.lexical) == lexical
                     && l.lang.is_none()
                     && graph.resolve(l.datatype)
-                        == datatype
-                            .as_deref()
-                            .unwrap_or(s3pg_rdf::vocab::xsd::STRING)
+                        == datatype.as_deref().unwrap_or(s3pg_rdf::vocab::xsd::STRING)
             }
             _ => false,
         },
@@ -66,8 +68,17 @@ fn bind(
 
 /// A tiny closed world so patterns actually join: 4 subjects, 3 predicates,
 /// 4 objects (2 IRIs shared with subjects, 2 literals).
-fn graph_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
-    proptest::collection::vec((0u8..4, 0u8..3, 0u8..6), 1..24)
+fn arb_triples(rng: &mut XorShiftRng) -> Vec<(u8, u8, u8)> {
+    let n = rng.random_range(1..24usize);
+    (0..n)
+        .map(|_| {
+            (
+                rng.random_range(0..4u8),
+                rng.random_range(0..3u8),
+                rng.random_range(0..6u8),
+            )
+        })
+        .collect()
 }
 
 fn build_graph(triples: &[(u8, u8, u8)]) -> Graph {
@@ -85,30 +96,30 @@ fn build_graph(triples: &[(u8, u8, u8)]) -> Graph {
     g
 }
 
-/// Random pattern term: a variable from a small pool or a constant from the
-/// closed world.
-fn term_strategy(var_pool: &'static [&'static str]) -> impl Strategy<Value = PatternTerm> {
-    prop_oneof![
-        3 => (0..var_pool.len()).prop_map(move |i| PatternTerm::Var(var_pool[i].to_string())),
-        1 => (0u8..4).prop_map(|i| PatternTerm::Iri(format!("http://d/e{i}"))),
-        1 => (0u8..2).prop_map(|i| PatternTerm::Literal {
-            lexical: format!("lit{i}"),
+/// Random pattern term: a variable from a small pool (weight 3) or a
+/// constant from the closed world (weights 1 + 1).
+fn arb_term(rng: &mut XorShiftRng, var_pool: &[&str]) -> PatternTerm {
+    match rng.random_range(0..5u8) {
+        0..=2 => PatternTerm::Var(var_pool[rng.random_range(0..var_pool.len())].to_string()),
+        3 => PatternTerm::Iri(format!("http://d/e{}", rng.random_range(0..4u8))),
+        _ => PatternTerm::Literal {
+            lexical: format!("lit{}", rng.random_range(0..2u8)),
             datatype: None,
-        }),
-    ]
+        },
+    }
 }
 
-fn pattern_strategy() -> impl Strategy<Value = TriplePattern> {
-    static SUBJECT_VARS: &[&str] = &["a", "b", "c"];
-    (
-        term_strategy(SUBJECT_VARS),
-        prop_oneof![
-            3 => (0..3usize).prop_map(|i| PatternTerm::Iri(format!("http://d/p{i}"))),
-            1 => Just(PatternTerm::Var("p".to_string())),
-        ],
-        term_strategy(SUBJECT_VARS),
-    )
-        .prop_map(|(s, p, o)| TriplePattern { s, p, o })
+fn arb_pattern(rng: &mut XorShiftRng) -> TriplePattern {
+    const SUBJECT_VARS: &[&str] = &["a", "b", "c"];
+    let s = arb_term(rng, SUBJECT_VARS);
+    // Predicate: a constant (weight 3) or the `p` variable (weight 1).
+    let p = if rng.random_range(0..4u8) < 3 {
+        PatternTerm::Iri(format!("http://d/p{}", rng.random_range(0..3usize)))
+    } else {
+        PatternTerm::Var("p".to_string())
+    };
+    let o = arb_term(rng, SUBJECT_VARS);
+    TriplePattern { s, p, o }
 }
 
 fn query_from(patterns: Vec<TriplePattern>) -> SelectQuery {
@@ -136,7 +147,11 @@ fn query_from(patterns: Vec<TriplePattern>) -> SelectQuery {
     }
 }
 
-fn canonical(graph: &Graph, vars: &[String], rows: Vec<FxHashMap<String, Term>>) -> Vec<Vec<String>> {
+fn canonical(
+    graph: &Graph,
+    vars: &[String],
+    rows: Vec<FxHashMap<String, Term>>,
+) -> Vec<Vec<String>> {
     let mut out: Vec<Vec<String>> = rows
         .into_iter()
         .map(|row| {
@@ -157,24 +172,24 @@ fn render(graph: &Graph, t: Option<Term>) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// The engine's solutions equal the naive evaluator's on any BGP — a
+/// subject-position literal is the only rejection case (the naive evaluator
+/// never produces it, the engine pre-filters it identically because literals
+/// cannot occur as subjects in the store).
+#[test]
+fn engine_matches_naive() {
+    for seed in 0..96u64 {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let triples = arb_triples(&mut rng);
+        let n_patterns = rng.random_range(1..4usize);
+        let patterns: Vec<TriplePattern> = (0..n_patterns).map(|_| arb_pattern(&mut rng)).collect();
 
-    /// The engine's solutions equal the naive evaluator's on any BGP —
-    /// a subject-position literal is the only rejection case (the naive
-    /// evaluator never produces it, the engine pre-filters it identically
-    /// because literals cannot occur as subjects in the store).
-    #[test]
-    fn engine_matches_naive(
-        triples in graph_strategy(),
-        patterns in proptest::collection::vec(pattern_strategy(), 1..4),
-    ) {
         let graph = build_graph(&triples);
         let query = query_from(patterns.clone());
         if query.vars.is_empty() {
             // Fully-ground patterns project nothing; skip (the parser
             // requires projected variables).
-            return Ok(());
+            continue;
         }
 
         let engine = sparql::evaluate(&graph, &query).unwrap();
@@ -191,7 +206,7 @@ proptest! {
         let naive = naive_solve(&graph, &patterns);
         let naive_rows = canonical(&graph, &query.vars, naive);
 
-        prop_assert_eq!(engine_rows, naive_rows);
+        assert_eq!(engine_rows, naive_rows, "seed {seed}");
     }
 }
 

@@ -101,6 +101,21 @@ impl Interner {
         self.strings.iter().map(|s| s.len()).sum()
     }
 
+    /// Merge every string of `other` into `self` and return the remap table:
+    /// entry `i` is the symbol in `self` for the string `other` interned as
+    /// symbol index `i`.
+    ///
+    /// This is the merge step of the parallel parser: each worker interns
+    /// into a private interner, and the deltas are folded into the global
+    /// interner with exactly one hash lookup per *distinct* worker string.
+    pub fn merge_map(&mut self, other: &Interner) -> Vec<Sym> {
+        let mut map = Vec::with_capacity(other.strings.len());
+        for s in &other.strings {
+            map.push(self.intern(s));
+        }
+        map
+    }
+
     /// Iterate over all `(Sym, &str)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
         self.strings
@@ -155,6 +170,23 @@ mod tests {
         i.intern("abcd");
         i.intern("ef");
         assert_eq!(i.string_bytes(), 6);
+    }
+
+    #[test]
+    fn merge_map_translates_symbols() {
+        let mut global = Interner::new();
+        let shared = global.intern("shared");
+        let mut worker = Interner::new();
+        let w_new = worker.intern("worker-only");
+        let w_shared = worker.intern("shared");
+        let map = global.merge_map(&worker);
+        assert_eq!(map.len(), worker.len());
+        assert_eq!(map[w_shared.index()], shared);
+        assert_eq!(global.resolve(map[w_new.index()]), "worker-only");
+        // Merging again is idempotent: no new symbols appear.
+        let before = global.len();
+        global.merge_map(&worker);
+        assert_eq!(global.len(), before);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * streaming [N-Triples](parser::ntriples) and a practical
 //!   [Turtle subset](parser::turtle) parser plus serializers,
 //! * the RDF/RDFS/XSD/SHACL [vocabulary](vocab) used throughout the system,
-//! * dataset [statistics](stats) matching Table 2 of the paper.
+//! * dataset [statistics](stats) matching Table 2 of the paper,
+//! * a dependency-free deterministic [xorshift generator](rng) powering the
+//!   workload generators and randomized test suites in an offline build.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@ pub mod fxhash;
 pub mod graph;
 pub mod interner;
 pub mod parser;
+pub mod rng;
 pub mod serializer;
 pub mod stats;
 pub mod term;

@@ -1,19 +1,65 @@
-//! Property-based tests for the RDF substrate: serializer/parser
-//! round-trips over arbitrary graphs, set semantics, and index/scan
-//! equivalence (the differential oracle for the index ablation).
+//! Randomized tests for the RDF substrate: serializer/parser round-trips
+//! over arbitrary graphs, set semantics, and index/scan equivalence (the
+//! differential oracle for the index ablation).
+//!
+//! Formerly proptest suites; now driven by the in-tree deterministic
+//! [`XorShiftRng`] so the offline build needs no external registry crates.
+//! Each `#[test]` loops over a fixed set of seeds; a failure message always
+//! includes the seed, which reproduces the case exactly.
 
-use proptest::prelude::*;
 use s3pg_rdf::parser::parse_ntriples;
+use s3pg_rdf::rng::XorShiftRng;
 use s3pg_rdf::serializer::to_ntriples;
 use s3pg_rdf::{vocab, Graph, Term};
 
-/// A lexical form containing the characters that stress escaping.
-fn lexical_strategy() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~äöü€\\\\\"\n\t]{0,24}").unwrap()
+/// Characters that stress literal escaping: printable ASCII plus non-ASCII
+/// and the escape-sensitive backslash/quote/newline/tab.
+fn lexical(rng: &mut XorShiftRng) -> String {
+    const EXTRA: &[char] = &['ä', 'ö', 'ü', '€', '\\', '"', '\n', '\t'];
+    let len = rng.random_range(0..25usize);
+    (0..len)
+        .map(|_| {
+            if rng.random_bool(0.25) {
+                EXTRA[rng.random_range(0..EXTRA.len())]
+            } else {
+                rng.random_range(0x20u32..0x7f) as u8 as char
+            }
+        })
+        .collect()
 }
 
-fn iri_strategy() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("http://ex\\.org/[A-Za-z0-9_/]{1,16}").unwrap()
+fn iri(rng: &mut XorShiftRng) -> String {
+    const POOL: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_/";
+    let len = rng.random_range(1..17usize);
+    let local: String = (0..len)
+        .map(|_| POOL[rng.random_range(0..POOL.len())] as char)
+        .collect();
+    format!("http://ex.org/{local}")
+}
+
+fn blank_label(rng: &mut XorShiftRng) -> String {
+    let mut s = String::new();
+    s.push(rng.random_range(b'a'..b'z' + 1) as char);
+    for _ in 0..rng.random_range(0..9usize) {
+        if rng.random_bool(0.3) {
+            s.push(rng.random_range(b'0'..b'9' + 1) as char);
+        } else {
+            s.push(rng.random_range(b'a'..b'z' + 1) as char);
+        }
+    }
+    s
+}
+
+fn lang_tag(rng: &mut XorShiftRng) -> String {
+    let mut s = String::new();
+    s.push(rng.random_range(b'a'..b'z' + 1) as char);
+    s.push(rng.random_range(b'a'..b'z' + 1) as char);
+    if rng.random_bool(0.5) {
+        s.push('-');
+        s.push(rng.random_range(b'A'..b'Z' + 1) as char);
+        s.push(rng.random_range(b'A'..b'Z' + 1) as char);
+    }
+    s
 }
 
 #[derive(Debug, Clone)]
@@ -25,18 +71,18 @@ enum ArbObject {
     LangLiteral(String, String),
 }
 
-fn object_strategy() -> impl Strategy<Value = ArbObject> {
-    prop_oneof![
-        iri_strategy().prop_map(ArbObject::Iri),
-        "[a-z][a-z0-9]{0,8}".prop_map(ArbObject::Blank),
-        lexical_strategy().prop_map(ArbObject::PlainLiteral),
-        (lexical_strategy(), 0u8..4).prop_map(|(l, d)| ArbObject::TypedLiteral(l, d)),
-        (
-            lexical_strategy(),
-            proptest::string::string_regex("[a-z]{2}(-[A-Z]{2})?").unwrap()
-        )
-            .prop_map(|(l, t)| ArbObject::LangLiteral(l, t)),
-    ]
+fn arb_object(rng: &mut XorShiftRng) -> ArbObject {
+    match rng.random_range(0..5u8) {
+        0 => ArbObject::Iri(iri(rng)),
+        1 => ArbObject::Blank(blank_label(rng)),
+        2 => ArbObject::PlainLiteral(lexical(rng)),
+        3 => ArbObject::TypedLiteral(lexical(rng), rng.random_range(0..4u8)),
+        _ => {
+            let lex = lexical(rng);
+            let tag = lang_tag(rng);
+            ArbObject::LangLiteral(lex, tag)
+        }
+    }
 }
 
 fn datatype(ix: u8) -> &'static str {
@@ -48,8 +94,11 @@ fn datatype(ix: u8) -> &'static str {
     }
 }
 
-fn triple_strategy() -> impl Strategy<Value = (String, String, ArbObject)> {
-    (iri_strategy(), iri_strategy(), object_strategy())
+fn arb_triples(rng: &mut XorShiftRng, min: usize, max: usize) -> Vec<(String, String, ArbObject)> {
+    let n = rng.random_range(min..max);
+    (0..n)
+        .map(|_| (iri(rng), iri(rng), arb_object(rng)))
+        .collect()
 }
 
 fn build_graph(triples: &[(String, String, ArbObject)]) -> Graph {
@@ -69,85 +118,105 @@ fn build_graph(triples: &[(String, String, ArbObject)]) -> Graph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// N-Triples serialization round-trips arbitrary graphs exactly.
-    #[test]
-    fn ntriples_roundtrip(triples in proptest::collection::vec(triple_strategy(), 0..40)) {
+/// N-Triples serialization round-trips arbitrary graphs exactly.
+#[test]
+fn ntriples_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let triples = arb_triples(&mut rng, 0, 40);
         let g = build_graph(&triples);
         let text = to_ntriples(&g);
         let back = parse_ntriples(&text).unwrap();
-        prop_assert_eq!(back.len(), g.len());
-        prop_assert!(back.same_triples(&g));
+        assert_eq!(back.len(), g.len(), "seed {seed}");
+        assert!(back.same_triples(&g), "seed {seed}");
     }
+}
 
-    /// Insertion is idempotent (set semantics) and `len` tracks it.
-    #[test]
-    fn set_semantics(triples in proptest::collection::vec(triple_strategy(), 0..30)) {
+/// Insertion is idempotent (set semantics) and `len` tracks it.
+#[test]
+fn set_semantics() {
+    for seed in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(1_000 + seed);
+        let triples = arb_triples(&mut rng, 0, 30);
         let g1 = build_graph(&triples);
         let mut doubled = triples.clone();
         doubled.extend(triples.iter().cloned());
         let g2 = build_graph(&doubled);
-        prop_assert_eq!(g1.len(), g2.len());
-        prop_assert!(g1.same_triples(&g2));
+        assert_eq!(g1.len(), g2.len(), "seed {seed}");
+        assert!(g1.same_triples(&g2), "seed {seed}");
     }
+}
 
-    /// The indexed pattern matcher agrees with the full-scan oracle for
-    /// every pattern shape.
-    #[test]
-    fn index_matches_scan(
-        triples in proptest::collection::vec(triple_strategy(), 1..30),
-        probe in 0usize..30,
-        mask in 0u8..8,
-    ) {
+/// The indexed pattern matcher agrees with the full-scan oracle for every
+/// pattern shape (all 8 bound/unbound masks over s/p/o).
+#[test]
+fn index_matches_scan() {
+    for seed in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(2_000 + seed);
+        let triples = arb_triples(&mut rng, 1, 30);
+        let probe = rng.random_range(0..30usize);
         let g = build_graph(&triples);
         let all: Vec<_> = g.triples().collect();
         let t = all[probe % all.len()];
-        let s = (mask & 1 != 0).then_some(t.s);
-        let p = (mask & 2 != 0).then_some(t.p);
-        let o = (mask & 4 != 0).then_some(t.o);
-        let mut indexed = g.match_pattern(s, p, o);
-        let mut scanned = g.match_pattern_scan(s, p, o);
-        indexed.sort_unstable();
-        scanned.sort_unstable();
-        prop_assert_eq!(indexed, scanned);
+        for mask in 0u8..8 {
+            let s = (mask & 1 != 0).then_some(t.s);
+            let p = (mask & 2 != 0).then_some(t.p);
+            let o = (mask & 4 != 0).then_some(t.o);
+            let mut indexed = g.match_pattern(s, p, o);
+            let mut scanned = g.match_pattern_scan(s, p, o);
+            indexed.sort_unstable();
+            scanned.sort_unstable();
+            assert_eq!(indexed, scanned, "seed {seed} mask {mask}");
+        }
     }
+}
 
-    /// Removal then re-insertion restores the graph.
-    #[test]
-    fn remove_reinsert(triples in proptest::collection::vec(triple_strategy(), 1..20), victim in 0usize..20) {
+/// Removal then re-insertion restores the graph.
+#[test]
+fn remove_reinsert() {
+    for seed in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(3_000 + seed);
+        let triples = arb_triples(&mut rng, 1, 20);
+        let victim = rng.random_range(0..20usize);
         let mut g = build_graph(&triples);
         let all: Vec<_> = g.triples().collect();
         let t = all[victim % all.len()];
         let before = g.len();
-        prop_assert!(g.remove(t.s, t.p, t.o));
-        prop_assert_eq!(g.len(), before - 1);
-        prop_assert!(!g.contains(t.s, t.p, t.o));
-        prop_assert!(g.insert(t.s, t.p, t.o));
-        prop_assert_eq!(g.len(), before);
+        assert!(g.remove(t.s, t.p, t.o), "seed {seed}");
+        assert_eq!(g.len(), before - 1, "seed {seed}");
+        assert!(!g.contains(t.s, t.p, t.o), "seed {seed}");
+        assert!(g.insert(t.s, t.p, t.o), "seed {seed}");
+        assert_eq!(g.len(), before, "seed {seed}");
         // Indexes stay coherent after the tombstone round-trip.
-        prop_assert!(g.match_pattern(Some(t.s), Some(t.p), Some(t.o)).len() == 1);
+        assert_eq!(
+            g.match_pattern(Some(t.s), Some(t.p), Some(t.o)).len(),
+            1,
+            "seed {seed}"
+        );
     }
+}
 
-    /// `absorb` is idempotent and value-based.
-    #[test]
-    fn absorb_idempotent(
-        a in proptest::collection::vec(triple_strategy(), 0..15),
-        b in proptest::collection::vec(triple_strategy(), 0..15),
-    ) {
+/// `absorb` is idempotent and value-based.
+#[test]
+fn absorb_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(4_000 + seed);
+        let a = arb_triples(&mut rng, 0, 15);
+        let b = arb_triples(&mut rng, 0, 15);
         let ga = build_graph(&a);
         let gb = build_graph(&b);
         let mut merged = Graph::new();
         merged.absorb(&ga);
         merged.absorb(&gb);
         let before = merged.len();
-        prop_assert_eq!(merged.absorb(&ga), 0);
-        prop_assert_eq!(merged.absorb(&gb), 0);
-        prop_assert_eq!(merged.len(), before);
+        assert_eq!(merged.absorb(&ga), 0, "seed {seed}");
+        assert_eq!(merged.absorb(&gb), 0, "seed {seed}");
+        assert_eq!(merged.len(), before, "seed {seed}");
         // Every source triple is present.
         for t in ga.triples() {
-            prop_assert!(merged.contains_resolved(&ga, t));
+            assert!(merged.contains_resolved(&ga, t), "seed {seed}");
         }
     }
 }

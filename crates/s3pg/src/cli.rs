@@ -3,6 +3,7 @@
 //! ```text
 //! s3pg-convert --data graph.ttl [--shapes shapes.ttl] [--mode parsimonious]
 //!              [--out-dir out/] [--emit csv,ddl,yarspg,g2gml] [--validate]
+//!              [--threads N] [--metrics]
 //! ```
 //!
 //! Reads an RDF graph (Turtle `.ttl` or N-Triples `.nt`), obtains a SHACL
@@ -13,10 +14,11 @@
 
 use crate::g2gml::to_g2gml;
 use crate::inverse::recover_graph;
+use crate::metrics::PhaseSpan;
 use crate::mode::Mode;
-use crate::pipeline::{self, transform};
+use crate::pipeline::{self, transform_with, PipelineConfig};
 use s3pg_pg::{csv, ddl, yarspg, PgStats};
-use s3pg_rdf::parser::{parse_ntriples, parse_turtle};
+use s3pg_rdf::parser::{parse_ntriples, parse_ntriples_parallel, parse_turtle};
 use s3pg_rdf::Graph;
 use s3pg_shacl::parser::parse_shacl_turtle;
 use s3pg_shacl::{extract_shapes, validate, ShapeSchema};
@@ -33,6 +35,10 @@ pub struct Options {
     pub emit: Vec<Artifact>,
     pub validate_input: bool,
     pub verify_roundtrip: bool,
+    /// Worker threads for the parallel parse + transform (1 = sequential).
+    pub threads: usize,
+    /// Append the per-phase metrics report to the output.
+    pub show_metrics: bool,
 }
 
 /// Output artifacts.
@@ -47,7 +53,8 @@ pub enum Artifact {
 /// Usage text.
 pub const USAGE: &str = "usage: s3pg-convert --data FILE[.ttl|.nt] [--shapes FILE.ttl] \
                          [--mode parsimonious|non-parsimonious] [--out-dir DIR] \
-                         [--emit csv,ddl,yarspg,g2gml] [--validate] [--verify-roundtrip]";
+                         [--emit csv,ddl,yarspg,g2gml] [--validate] [--verify-roundtrip] \
+                         [--threads N] [--metrics]";
 
 /// Parse argv-style arguments (without the program name).
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -58,6 +65,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     let mut emit = vec![Artifact::Csv, Artifact::Ddl];
     let mut validate_input = false;
     let mut verify_roundtrip = false;
+    let mut threads = 1usize;
+    let mut show_metrics = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -87,6 +96,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             }
             "--validate" => validate_input = true,
             "--verify-roundtrip" => verify_roundtrip = true,
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                threads = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--threads needs a positive integer, got '{n}'"))?;
+            }
+            "--metrics" => show_metrics = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -99,14 +117,26 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         emit,
         validate_input,
         verify_roundtrip,
+        threads,
+        show_metrics,
     })
 }
 
 /// Load an RDF graph by file extension.
 pub fn load_graph(path: &Path) -> Result<Graph, String> {
+    load_graph_with(path, 1)
+}
+
+/// Load an RDF graph by file extension, parsing N-Triples with `threads`
+/// workers (Turtle parsing is always sequential — its prefix state is a
+/// document-wide stream).
+pub fn load_graph_with(path: &Path, threads: usize) -> Result<Graph, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     match path.extension().and_then(|e| e.to_str()) {
+        Some("nt") | Some("ntriples") if threads > 1 => {
+            parse_ntriples_parallel(&text, threads).map_err(|e| e.to_string())
+        }
         Some("nt") | Some("ntriples") => parse_ntriples(&text).map_err(|e| e.to_string()),
         _ => parse_turtle(&text).map_err(|e| e.to_string()),
     }
@@ -115,7 +145,9 @@ pub fn load_graph(path: &Path) -> Result<Graph, String> {
 /// Run the conversion; returns the human-readable report.
 pub fn run(options: &Options) -> Result<String, String> {
     let mut report = String::new();
-    let graph = load_graph(&options.data)?;
+    let parse_start = std::time::Instant::now();
+    let graph = load_graph_with(&options.data, options.threads)?;
+    let parse_time = parse_start.elapsed();
     let _ = writeln!(report, "input: {} triples", graph.len());
 
     let schema: ShapeSchema = match &options.shapes {
@@ -150,7 +182,14 @@ pub fn run(options: &Options) -> Result<String, String> {
         );
     }
 
-    let out = transform(&graph, &schema, options.mode);
+    let out = transform_with(
+        &graph,
+        &schema,
+        options.mode,
+        PipelineConfig {
+            threads: options.threads,
+        },
+    );
     let stats = PgStats::of(&out.pg);
     let _ = writeln!(
         report,
@@ -170,6 +209,30 @@ pub fn run(options: &Options) -> Result<String, String> {
             "PG ⊭ S_PG"
         }
     );
+    for failure in out.conformance.failures.iter().take(5) {
+        let _ = writeln!(report, "  non-conformance: {failure}");
+    }
+    if out.conformance.failures.len() > 5 {
+        let _ = writeln!(
+            report,
+            "  … and {} more failures",
+            out.conformance.failures.len() - 5
+        );
+    }
+
+    if options.show_metrics {
+        let mut metrics = out.metrics.clone();
+        metrics.phases.insert(
+            0,
+            PhaseSpan {
+                name: "parse",
+                wall: parse_time,
+                items: graph.len() as u64,
+                unit: "triples",
+            },
+        );
+        let _ = writeln!(report, "{}", metrics.report());
+    }
 
     std::fs::create_dir_all(&options.out_dir)
         .map_err(|e| format!("cannot create {}: {e}", options.out_dir.display()))?;
@@ -251,6 +314,8 @@ mod tests {
         assert_eq!(o.mode, Mode::Parsimonious);
         assert_eq!(o.emit, vec![Artifact::Csv, Artifact::Ddl]);
         assert!(!o.validate_input);
+        assert_eq!(o.threads, 1);
+        assert!(!o.show_metrics);
     }
 
     #[test]
@@ -268,6 +333,9 @@ mod tests {
             "csv,yarspg,g2gml",
             "--validate",
             "--verify-roundtrip",
+            "--threads",
+            "8",
+            "--metrics",
         ])
         .unwrap();
         assert_eq!(o.mode, Mode::NonParsimonious);
@@ -276,6 +344,8 @@ mod tests {
             vec![Artifact::Csv, Artifact::YarsPg, Artifact::G2gml]
         );
         assert!(o.validate_input && o.verify_roundtrip);
+        assert_eq!(o.threads, 8);
+        assert!(o.show_metrics);
     }
 
     #[test]
@@ -285,6 +355,9 @@ mod tests {
         assert!(args(&["--data", "g.ttl", "--mode", "fancy"]).is_err());
         assert!(args(&["--data", "g.ttl", "--emit", "png"]).is_err());
         assert!(args(&["--frobnicate"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--threads"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--threads", "0"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--threads", "four"]).is_err());
     }
 
     #[test]
@@ -314,12 +387,16 @@ mod tests {
             ],
             validate_input: true,
             verify_roundtrip: true,
+            threads: 2,
+            show_metrics: true,
         };
         let report = run(&options).unwrap();
         assert!(report.contains("input: 6 triples"), "{report}");
         assert!(report.contains("G ⊨ S_G"));
         assert!(report.contains("PG ⊨ S_PG"));
         assert!(report.contains("round-trip: M(F_dt(G)) = G"));
+        assert!(report.contains("parse"), "{report}");
+        assert!(report.contains("shard skew"), "{report}");
         for f in [
             "nodes.csv",
             "relationships.csv",

@@ -5,7 +5,10 @@
 //! 1. **Entities to PG nodes** (lines 4–14): stream the `rdf:type` triples
 //!    into the entity-type map `Ψ_ETD`, then create one PG node per entity
 //!    with one label per declared type and the entity IRI as a key/value
-//!    (`iri`) property.
+//!    (`iri`) property. Untyped subjects get their `Resource` fallback node
+//!    in this phase too, so that entity-ness is frozen before phase 2 —
+//!    the invariant the sharded parallel pipeline
+//!    ([`crate::parallel`]) relies on.
 //! 2. **Properties to key/values and edges** (lines 15–31): stream the
 //!    remaining triples. If the object is a typed entity, create an edge
 //!    (lines 16–20). If the predicate is a single-type literal with
@@ -40,10 +43,24 @@ pub struct TransformState {
     pub entity_types: FxHashMap<String, Vec<String>>,
     /// The mode the data was transformed under.
     pub mode: Mode,
-    /// Memo of already-verified (edge label → admitted target types), so
-    /// the monotone schema-widening check runs once per combination rather
-    /// than once per triple.
+    /// Memo of already-verified widenings: key
+    /// ([`widen_cache_key`]: subject types + edge label) → admitted target
+    /// types, so the monotone schema-widening check runs once per
+    /// combination rather than once per triple. The subject types are part
+    /// of the key because [`widen_edge_type`] creates edge types per
+    /// source type — a label-only memo would skip source types it has
+    /// never widened.
     pub widen_cache: FxHashMap<String, s3pg_rdf::fxhash::FxHashSet<String>>,
+}
+
+/// Key of [`TransformState::widen_cache`]: the subject's type names plus
+/// the edge label, the exact inputs [`widen_edge_type`] dispatches on
+/// (besides the targets, which form the cached set).
+pub(crate) fn widen_cache_key(subject_types: &[String], label: &str) -> String {
+    let mut key = subject_types.join(",");
+    key.push('|');
+    key.push_str(label);
+    key
 }
 
 /// Counters describing what one transformation pass produced.
@@ -93,9 +110,26 @@ pub fn ingest(
     state: &mut TransformState,
     counters: &mut TransformCounters,
 ) {
+    ingest_phase1(graph, transform, pg, state, counters);
+    ingest_phase2(graph, transform, pg, state, counters);
+}
+
+/// Phase 1 of Algorithm 1 (lines 4–14): materialise one PG node per entity.
+///
+/// All entity nodes — typed entities *and* untyped subjects (which get the
+/// `Resource` fallback) — are created here, before any property is
+/// processed. After this phase, `state.entity_types` and the set of entity
+/// nodes are frozen for the rest of the pass, which is what allows phase 2
+/// to run sharded across threads with a read-only view.
+pub(crate) fn ingest_phase1(
+    graph: &Graph,
+    transform: &mut SchemaTransform,
+    pg: &mut PropertyGraph,
+    state: &mut TransformState,
+    counters: &mut TransformCounters,
+) {
     let type_p = graph.type_predicate_opt();
 
-    // ---- Phase 1: entities to PG nodes (lines 4–14) ----
     if let Some(type_p) = type_p {
         // Group type triples per entity first so multi-labelled nodes are
         // created in one step.
@@ -136,8 +170,36 @@ pub fn ingest(
         }
     }
 
-    // ---- Phase 2: properties to key/values and edges (lines 15–31) ----
-    //
+    // Untyped subjects with at least one data statement get their
+    // `Resource` node now, so that "is the object a typed entity?" in
+    // phase 2 no longer depends on subject processing order.
+    for s_term in graph.subjects_distinct() {
+        let subject = entity_ref(graph, s_term);
+        if state.entity_types.contains_key(&subject) {
+            continue;
+        }
+        let has_data = graph
+            .match_pattern(Some(s_term), None, None)
+            .iter()
+            .any(|t| Some(t.p) != type_p);
+        if has_data {
+            ensure_entity_node(pg, transform, state, &subject, counters);
+        }
+    }
+}
+
+/// Phase 2 of Algorithm 1 (lines 15–31): properties to key/values, edges,
+/// and literal-carrier nodes. Requires [`ingest_phase1`] to have run for
+/// this graph (every entity node exists; `state.entity_types` is final).
+pub(crate) fn ingest_phase2(
+    graph: &Graph,
+    transform: &mut SchemaTransform,
+    pg: &mut PropertyGraph,
+    state: &mut TransformState,
+    counters: &mut TransformCounters,
+) {
+    let type_p = graph.type_predicate_opt();
+
     // Iterate per distinct subject so the node lookup and the subject's
     // type list are resolved once per entity instead of once per triple.
     for s_term in graph.subjects_distinct() {
@@ -178,6 +240,7 @@ pub fn ingest(
                     Some(Handling::Edge { label }) => label.clone(),
                     _ => transform.mapping.register_edge_label(&predicate),
                 };
+                let cache_key = widen_cache_key(&subject_types, &label);
                 let cached = {
                     let targets = state
                         .entity_types
@@ -186,7 +249,7 @@ pub fn ingest(
                         .unwrap_or(&[]);
                     state
                         .widen_cache
-                        .get(&label)
+                        .get(&cache_key)
                         .is_some_and(|ok| targets.iter().all(|t| ok.contains(t)))
                 };
                 if !cached {
@@ -202,7 +265,7 @@ pub fn ingest(
                         &predicate,
                         targets.clone(),
                     );
-                    let entry = state.widen_cache.entry(label.clone()).or_default();
+                    let entry = state.widen_cache.entry(cache_key).or_default();
                     entry.extend(targets);
                 }
                 pg.add_edge(s_node, o_node, &label);
@@ -236,9 +299,10 @@ pub fn ingest(
                 Some(Handling::Edge { label }) => label.clone(),
                 _ => transform.mapping.register_edge_label(&predicate),
             };
+            let cache_key = widen_cache_key(&subject_types, &label);
             let cached = state
                 .widen_cache
-                .get(&label)
+                .get(&cache_key)
                 .is_some_and(|ok| ok.contains(&carrier_type));
             if !cached {
                 widen_edge_type(
@@ -250,7 +314,7 @@ pub fn ingest(
                 );
                 state
                     .widen_cache
-                    .entry(label.clone())
+                    .entry(cache_key)
                     .or_default()
                     .insert(carrier_type);
             }
@@ -277,7 +341,7 @@ pub fn entity_ref(graph: &Graph, term: Term) -> String {
 
 /// Get or create the PG node for an entity. Entities first seen in subject
 /// position without any type get the `Resource` label (and type).
-fn ensure_entity_node(
+pub(crate) fn ensure_entity_node(
     pg: &mut PropertyGraph,
     transform: &mut SchemaTransform,
     state: &mut TransformState,
@@ -316,7 +380,7 @@ pub fn preserve_value(lexical: &str, datatype: &str) -> Value {
 
 /// Datatype IRI, value, and optional language tag of an object term that is
 /// not a typed entity.
-fn describe_object(graph: &Graph, o: Term) -> (String, Value, Option<String>) {
+pub(crate) fn describe_object(graph: &Graph, o: Term) -> (String, Value, Option<String>) {
     match o {
         Term::Literal(l) => {
             let dt = graph.resolve(l.datatype).to_string();
@@ -344,7 +408,7 @@ fn describe_object(graph: &Graph, o: Term) -> (String, Value, Option<String>) {
 
 /// Monotone schema widening: make sure an edge type with `label` exists for
 /// the subject's (first) type and that it admits the given targets.
-fn widen_edge_type(
+pub(crate) fn widen_edge_type(
     transform: &mut SchemaTransform,
     subject_types: &[String],
     label: &str,

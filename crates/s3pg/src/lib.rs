@@ -14,7 +14,11 @@
 //!   `N : S_PG → S_G` witnessing information preservation (Prop. 4.1).
 //! * [`query_translate`] — `F_qt`, SPARQL → Cypher over the transformed
 //!   graph (§4.3).
-//! * [`pipeline`] — end-to-end convenience API with stage timings.
+//! * [`pipeline`] — end-to-end convenience API with stage timings; the
+//!   parallel entry point [`pipeline::transform_with`] shards both phases
+//!   of Algorithm 1 across scoped threads.
+//! * [`metrics`] — per-phase wall-clock spans, throughput, and shard-skew
+//!   reporting for the (parallel) pipeline.
 //!
 //! ```
 //! use s3pg::{pipeline::transform, Mode};
@@ -45,8 +49,10 @@ pub mod g2gml;
 pub mod incremental;
 pub mod inverse;
 pub mod mapping;
+pub mod metrics;
 pub mod mode;
 pub mod optimize;
+pub mod parallel;
 pub mod pipeline;
 pub mod query_translate;
 pub mod schema_transform;

@@ -1,0 +1,257 @@
+//! Per-phase pipeline metrics: wall-clock spans, throughput, and shard
+//! balance for the parallel transformation.
+//!
+//! The parallel pipeline (parse → `F_st` → phase 1 → phase 2 →
+//! conformance) reports one [`PhaseSpan`] per phase, measured with
+//! [`std::time::Instant`] around each stage. Work done inside the sharded
+//! phases is tallied through [`AtomicCounters`], which workers update with
+//! relaxed atomics so the counts need no locks and survive any worker
+//! interleaving. Shard balance is summarized as *skew* — the ratio of the
+//! largest shard to the mean shard — because a hash-sharded pipeline's
+//! wall-clock is bounded by its fullest shard.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One timed pipeline phase: name, wall-clock, and how many items it
+/// processed (for throughput).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    pub name: &'static str,
+    pub wall: Duration,
+    /// Items processed (triples, nodes, edges — see the phase name).
+    pub items: u64,
+    /// Unit of `items`, for the report ("triples", "nodes", ...).
+    pub unit: &'static str,
+}
+
+impl PhaseSpan {
+    /// Items per second, or 0 if the span was too short to measure.
+    pub fn per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.items as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Metrics of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineMetrics {
+    /// Worker threads the sharded phases ran with (1 = sequential).
+    pub threads: usize,
+    /// Timed phases in execution order.
+    pub phases: Vec<PhaseSpan>,
+    /// Phase-2 statements processed per shard (empty when sequential).
+    pub shard_triples: Vec<u64>,
+}
+
+impl PipelineMetrics {
+    /// Create metrics for a run with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        PipelineMetrics {
+            threads: threads.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Record a completed phase.
+    pub fn record(&mut self, name: &'static str, wall: Duration, items: u64, unit: &'static str) {
+        self.phases.push(PhaseSpan {
+            name,
+            wall,
+            items,
+            unit,
+        });
+    }
+
+    /// Look up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSpan> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Sum of all recorded phase wall-clocks.
+    pub fn total_wall(&self) -> Duration {
+        self.phases.iter().map(|p| p.wall).sum()
+    }
+
+    /// Largest shard over mean shard (1.0 = perfectly balanced; 1.0 also
+    /// when the run was sequential or processed nothing).
+    pub fn shard_skew(&self) -> f64 {
+        let max = self.shard_triples.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.shard_triples.iter().sum();
+        if max == 0 {
+            return 1.0;
+        }
+        let mean = sum as f64 / self.shard_triples.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Human-readable multi-line report.
+    pub fn report(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for PipelineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pipeline metrics ({} thread(s))", self.threads)?;
+        for p in &self.phases {
+            write!(f, "  {:<18} {:>12}", p.name, format_duration(p.wall))?;
+            if p.items > 0 {
+                write!(
+                    f,
+                    "  {:>10} {:<8} {:>10}/s",
+                    p.items,
+                    p.unit,
+                    format_rate(p.per_second())
+                )?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "  {:<18} {:>12}",
+            "total",
+            format_duration(self.total_wall())
+        )?;
+        if !self.shard_triples.is_empty() {
+            let max = self.shard_triples.iter().copied().max().unwrap_or(0);
+            writeln!(
+                f,
+                "  shard skew {:.2} (max {} statements over {} shards)",
+                self.shard_skew(),
+                max,
+                self.shard_triples.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+fn format_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+/// Lock-free counters the sharded workers update while streaming triples.
+///
+/// All updates use relaxed ordering: the counts are statistics, ordered
+/// against the workers' lifetime by the `thread::scope` join, not by the
+/// atomics themselves.
+#[derive(Debug, Default)]
+pub struct AtomicCounters {
+    pub triples: AtomicU64,
+    pub edges: AtomicU64,
+    pub key_values: AtomicU64,
+    pub carrier_nodes: AtomicU64,
+}
+
+impl AtomicCounters {
+    /// Add to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            triples: self.triples.load(Ordering::Relaxed),
+            edges: self.edges.load(Ordering::Relaxed),
+            key_values: self.key_values.load(Ordering::Relaxed),
+            carrier_nodes: self.carrier_nodes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`AtomicCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub triples: u64,
+    pub edges: u64,
+    pub key_values: u64,
+    pub carrier_nodes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_of_balanced_shards_is_one() {
+        let mut m = PipelineMetrics::new(4);
+        m.shard_triples = vec![100, 100, 100, 100];
+        assert!((m.shard_skew() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_reflects_imbalance() {
+        let mut m = PipelineMetrics::new(2);
+        m.shard_triples = vec![300, 100];
+        assert!((m.shard_skew() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_defaults_to_one_when_empty() {
+        assert_eq!(PipelineMetrics::new(1).shard_skew(), 1.0);
+        let mut m = PipelineMetrics::new(2);
+        m.shard_triples = vec![0, 0];
+        assert_eq!(m.shard_skew(), 1.0);
+    }
+
+    #[test]
+    fn report_includes_phases_and_throughput() {
+        let mut m = PipelineMetrics::new(8);
+        m.record("parse", Duration::from_millis(100), 1_000_000, "triples");
+        m.record("phase2_edges", Duration::from_millis(50), 0, "triples");
+        m.shard_triples = vec![10, 20];
+        let report = m.report();
+        assert!(report.contains("8 thread(s)"), "{report}");
+        assert!(report.contains("parse"), "{report}");
+        assert!(report.contains("triples"), "{report}");
+        assert!(report.contains("shard skew"), "{report}");
+        assert!(m.phase("parse").is_some());
+        assert!(m.phase("missing").is_none());
+        assert!(m.total_wall() >= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn atomic_counters_accumulate_across_threads() {
+        let counters = AtomicCounters::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        AtomicCounters::add(&counters.triples, 1);
+                    }
+                    AtomicCounters::add(&counters.edges, 7);
+                });
+            }
+        });
+        let snap = counters.snapshot();
+        assert_eq!(snap.triples, 4000);
+        assert_eq!(snap.edges, 28);
+    }
+}

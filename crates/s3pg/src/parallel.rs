@@ -1,0 +1,718 @@
+//! Sharded parallel execution of Algorithm 1 using `std::thread::scope`.
+//!
+//! Both phases of the data transformation shard work by **subject-term
+//! hash**, so every statement of a given subject is handled by exactly one
+//! worker and no two workers ever touch the same entity node:
+//!
+//! 1. **Phase 1** (entities → nodes): workers group the `rdf:type` triples
+//!    of their shard and resolve all strings in parallel; the
+//!    registration of classes and the actual node materialisation — which
+//!    assign global `NodeId`s and mutate the shared mapping — then run
+//!    sequentially over the per-shard groups. A second parallel sweep
+//!    finds untyped subjects for the `Resource` fallback.
+//! 2. **Phase 2** (properties → key/values, edges, carriers): the mapping,
+//!    the entity-type map, and the node set are frozen after phase 1, so
+//!    workers process their subject shard with a fully read-only view,
+//!    emitting *operation buffers* (edges, key/values, carrier nodes,
+//!    schema-widening requests) with worker-local label/key/datatype
+//!    tables. The buffers are applied sequentially in shard order; labels
+//!    and keys are interned once per shard table entry, so the apply step
+//!    is pure integer work through the property graph's `*_sym` bulk
+//!    entry points.
+//!
+//! The parallel output is isomorphic to the sequential one: identical
+//! node/edge/property counts and conformance, though `NodeId` assignment
+//! (and collision-suffixed fresh names) can differ because shard order
+//! replaces global subject order. Workers report progress through the
+//! relaxed [`AtomicCounters`] of [`crate::metrics`], and per-shard
+//! statement counts feed the shard-skew metric.
+
+use crate::data_transform::{
+    describe_object, ensure_entity_node, entity_ref, ingest_phase1, ingest_phase2, preserve_value,
+    widen_cache_key, widen_edge_type, DataTransform, TransformCounters, TransformState, LANG_KEY,
+};
+use crate::mapping::Handling;
+use crate::metrics::{AtomicCounters, PipelineMetrics};
+use crate::mode::Mode;
+use crate::schema_transform::{ensure_carrier, ensure_entity_type, SchemaTransform};
+use s3pg_pg::{NodeId, PropertyGraph, Value, VALUE_KEY};
+use s3pg_rdf::fxhash::{FxHashMap, FxHashSet};
+use s3pg_rdf::{Graph, Sym, Term};
+use std::time::Instant;
+
+/// Transform `graph` with `threads` workers, recording per-phase spans and
+/// shard statistics into `metrics`. With `threads <= 1` this runs the
+/// sequential [`crate::data_transform::transform_data`] path (still timed
+/// per phase).
+pub fn transform_data_with(
+    graph: &Graph,
+    transform: &mut SchemaTransform,
+    mode: Mode,
+    threads: usize,
+    metrics: &mut PipelineMetrics,
+) -> DataTransform {
+    let threads = threads.max(1);
+    let mut pg = PropertyGraph::with_capacity(graph.len() / 2, graph.len());
+    let mut state = TransformState {
+        mode,
+        ..Default::default()
+    };
+    let mut counters = TransformCounters::default();
+
+    if threads == 1 {
+        let t0 = Instant::now();
+        ingest_phase1(graph, transform, &mut pg, &mut state, &mut counters);
+        metrics.record(
+            "phase1_nodes",
+            t0.elapsed(),
+            counters.entity_nodes as u64,
+            "nodes",
+        );
+        let t1 = Instant::now();
+        ingest_phase2(graph, transform, &mut pg, &mut state, &mut counters);
+        metrics.record(
+            "phase2_props",
+            t1.elapsed(),
+            (counters.edges + counters.key_values) as u64,
+            "items",
+        );
+    } else {
+        ingest_parallel(
+            graph,
+            transform,
+            &mut pg,
+            &mut state,
+            &mut counters,
+            threads,
+            metrics,
+        );
+    }
+
+    DataTransform {
+        pg,
+        state,
+        counters,
+    }
+}
+
+/// Shard index for a subject term: a multiplicative hash of its interned
+/// symbol (stable within one graph), with the term kind mixed in so blank
+/// nodes and IRIs sharing a symbol index do not collide systematically.
+fn shard_of(term: Term, shards: usize) -> usize {
+    let seed = match term {
+        Term::Iri(s) => (s.index() as u64) << 1,
+        Term::Blank(s) => ((s.index() as u64) << 1) | 1,
+        Term::Literal(_) => unreachable!("literal in subject position"),
+    };
+    ((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize) % shards
+}
+
+/// Worker-local reference to an edge label that may not be registered yet.
+enum LabelRef {
+    /// Label known from the schema mapping (`Handling::Edge`).
+    Known(String),
+    /// No handling: the label must be derived from this predicate by the
+    /// (sequential) apply step via `register_edge_label`.
+    FallbackPredicate(String),
+}
+
+/// A widening target that may only be resolvable at apply time.
+enum WidenTarget {
+    /// A node type name from the frozen entity-type map.
+    Type(String),
+    /// The carrier type for datatype-table entry `i` (its name is
+    /// allocated by `ensure_carrier` during apply).
+    CarrierOf(u32),
+}
+
+/// A deduplicated schema-widening request.
+struct WidenOp {
+    label: u32,
+    predicate: String,
+    subject_types: Vec<String>,
+    targets: Vec<WidenTarget>,
+}
+
+/// One fully-resolved phase-2 effect, referencing worker-local tables.
+enum Op {
+    Edge {
+        src: NodeId,
+        dst: NodeId,
+        label: u32,
+    },
+    KeyValue {
+        node: NodeId,
+        key: u32,
+        value: Value,
+    },
+    Carrier {
+        src: NodeId,
+        label: u32,
+        datatype: u32,
+        value: Value,
+        lang: Option<String>,
+    },
+}
+
+/// Everything a phase-2 worker produced for its shard.
+struct ShardOutput {
+    ops: Vec<Op>,
+    labels: Vec<LabelRef>,
+    keys: Vec<String>,
+    datatypes: Vec<String>,
+    widens: Vec<WidenOp>,
+    counters: TransformCounters,
+    statements: u64,
+}
+
+/// Key of the worker-local widen-dedup cache. Carrier targets are keyed by
+/// datatype-table index because their type name is not yet known.
+#[derive(PartialEq, Eq, Hash)]
+enum WidenKey {
+    Type(String),
+    Carrier(u32),
+}
+
+fn ingest_parallel(
+    graph: &Graph,
+    transform: &mut SchemaTransform,
+    pg: &mut PropertyGraph,
+    state: &mut TransformState,
+    counters: &mut TransformCounters,
+    threads: usize,
+    metrics: &mut PipelineMetrics,
+) {
+    let type_p = graph.type_predicate_opt();
+
+    // ---- Phase 1a: sharded grouping of type triples ----------------------
+    let t0 = Instant::now();
+    let groups: Vec<(Vec<String>, FxHashMap<String, Vec<String>>)> = match type_p {
+        Some(type_p) => {
+            let type_triples = graph.match_pattern(None, Some(type_p), None);
+            let type_triples = &type_triples;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut pending: FxHashMap<String, Vec<String>> = FxHashMap::default();
+                            let mut order: Vec<String> = Vec::new();
+                            for t in type_triples.iter().filter(|t| shard_of(t.s, threads) == w) {
+                                let Some(class_sym) = t.o.as_iri() else {
+                                    continue;
+                                };
+                                let entity = entity_ref(graph, t.s);
+                                let class_iri = graph.resolve(class_sym).to_string();
+                                match pending.get_mut(&entity) {
+                                    Some(classes) => classes.push(class_iri),
+                                    None => {
+                                        order.push(entity.clone());
+                                        pending.insert(entity, vec![class_iri]);
+                                    }
+                                }
+                            }
+                            (order, pending)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("phase-1 worker panicked"))
+                    .collect()
+            })
+        }
+        None => Vec::new(),
+    };
+
+    // ---- Phase 1b: sequential registration + node materialisation --------
+    // Class registration and NodeId assignment mutate shared structures;
+    // applying the pre-grouped shards keeps this a tight loop.
+    for (order, mut pending) in groups {
+        for entity in order {
+            let classes = pending.remove(&entity).unwrap();
+            let mut labels = Vec::with_capacity(classes.len());
+            for class_iri in &classes {
+                let (type_name, label) = transform.mapping.register_class(class_iri);
+                ensure_entity_type(&mut transform.pg_schema, &type_name, &label, class_iri);
+                let types = state.entity_types.entry(entity.clone()).or_default();
+                if !types.contains(&type_name) {
+                    types.push(type_name);
+                }
+                labels.push(label);
+            }
+            let node = ensure_entity_node(pg, transform, state, &entity, counters);
+            for label in labels {
+                pg.add_label(node, &label);
+            }
+        }
+    }
+
+    // ---- Phase 1c: Resource fallback for untyped subjects ----------------
+    // Detection (string resolution + statement scan) runs sharded against
+    // the now-frozen entity-type map; materialisation stays sequential.
+    let subjects = graph.subjects_distinct();
+    let mut shards: Vec<Vec<Term>> = vec![Vec::new(); threads];
+    for &s_term in &subjects {
+        shards[shard_of(s_term, threads)].push(s_term);
+    }
+    let untyped: Vec<Vec<String>> = {
+        let entity_types = &state.entity_types;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut found = Vec::new();
+                        for &s_term in shard {
+                            let subject = entity_ref(graph, s_term);
+                            if entity_types.contains_key(&subject) {
+                                continue;
+                            }
+                            let has_data = graph
+                                .match_pattern(Some(s_term), None, None)
+                                .iter()
+                                .any(|t| Some(t.p) != type_p);
+                            if has_data {
+                                found.push(subject);
+                            }
+                        }
+                        found
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("phase-1 worker panicked"))
+                .collect()
+        })
+    };
+    for refs in untyped {
+        for subject in refs {
+            ensure_entity_node(pg, transform, state, &subject, counters);
+        }
+    }
+    metrics.record(
+        "phase1_nodes",
+        t0.elapsed(),
+        counters.entity_nodes as u64,
+        "nodes",
+    );
+
+    // ---- Phase 2: sharded property processing ----------------------------
+    let t1 = Instant::now();
+    let atomic = AtomicCounters::default();
+    let outputs: Vec<ShardOutput> = {
+        let transform = &*transform;
+        let state = &*state;
+        let pg = &*pg;
+        let atomic = &atomic;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        run_shard(graph, transform, state, pg, shard, type_p, atomic)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("phase-2 worker panicked"))
+                .collect()
+        })
+    };
+
+    metrics.shard_triples = outputs.iter().map(|o| o.statements).collect();
+    let processed: u64 = atomic.snapshot().triples;
+    for output in outputs {
+        apply_shard(output, transform, pg, state, counters);
+    }
+    metrics.record("phase2_props", t1.elapsed(), processed, "triples");
+}
+
+/// Phase-2 worker: stream one subject shard against the frozen transform
+/// state, emitting an operation buffer. Pure reads on all shared data.
+fn run_shard(
+    graph: &Graph,
+    transform: &SchemaTransform,
+    state: &TransformState,
+    pg: &PropertyGraph,
+    shard: &[Term],
+    type_p: Option<Sym>,
+    atomic: &AtomicCounters,
+) -> ShardOutput {
+    let mut out = ShardOutput {
+        ops: Vec::new(),
+        labels: Vec::new(),
+        keys: Vec::new(),
+        datatypes: Vec::new(),
+        widens: Vec::new(),
+        counters: TransformCounters::default(),
+        statements: 0,
+    };
+    let mut known_labels: FxHashMap<String, u32> = FxHashMap::default();
+    let mut fallback_labels: FxHashMap<String, u32> = FxHashMap::default();
+    let mut keys: FxHashMap<String, u32> = FxHashMap::default();
+    let mut datatypes: FxHashMap<String, u32> = FxHashMap::default();
+    // Worker-local widen memo, nested (label, subject-types key) like the
+    // global `TransformState::widen_cache`.
+    let mut widen_cache: FxHashMap<u32, FxHashMap<String, FxHashSet<WidenKey>>> =
+        FxHashMap::default();
+
+    for &s_term in shard {
+        let subject = entity_ref(graph, s_term);
+        let statements = graph.match_pattern(Some(s_term), None, None);
+        if statements.iter().all(|t| Some(t.p) == type_p) {
+            continue;
+        }
+        let s_node = pg
+            .node_by_iri(&subject)
+            .expect("phase 1 materialised every subject node");
+        let subject_types: Vec<String> = state
+            .entity_types
+            .get(&subject)
+            .cloned()
+            .unwrap_or_default();
+        let types_key = subject_types.join(",");
+        let mut subject_statements = 0u64;
+
+        for t in &statements {
+            if Some(t.p) == type_p {
+                continue;
+            }
+            subject_statements += 1;
+            let predicate = graph.resolve(t.p);
+            let handling = subject_types
+                .iter()
+                .find_map(|tn| transform.mapping.handling_for(tn, predicate).cloned());
+            if handling.is_none() {
+                out.counters.fallback_triples += 1;
+            }
+            let label_of = |out: &mut ShardOutput,
+                            known: &mut FxHashMap<String, u32>,
+                            fallback: &mut FxHashMap<String, u32>|
+             -> u32 {
+                match &handling {
+                    Some(Handling::Edge { label }) => {
+                        *known.entry(label.clone()).or_insert_with(|| {
+                            out.labels.push(LabelRef::Known(label.clone()));
+                            (out.labels.len() - 1) as u32
+                        })
+                    }
+                    _ => *fallback.entry(predicate.to_string()).or_insert_with(|| {
+                        out.labels
+                            .push(LabelRef::FallbackPredicate(predicate.to_string()));
+                        (out.labels.len() - 1) as u32
+                    }),
+                }
+            };
+
+            // Object is a typed entity → edge (Algorithm 1, line 16).
+            let object_ref = t.o.is_resource().then(|| entity_ref(graph, t.o));
+            let object_is_entity = object_ref
+                .as_ref()
+                .is_some_and(|r| state.entity_types.contains_key(r));
+            if object_is_entity {
+                let object_ref = object_ref.unwrap();
+                let o_node = pg
+                    .node_by_iri(&object_ref)
+                    .expect("phase 1 materialised every entity node");
+                let label = label_of(&mut out, &mut known_labels, &mut fallback_labels);
+                let targets = state
+                    .entity_types
+                    .get(&object_ref)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                let cached = widen_cache
+                    .get(&label)
+                    .and_then(|per_types| per_types.get(&types_key))
+                    .is_some_and(|ok| {
+                        targets
+                            .iter()
+                            .all(|t| ok.contains(&WidenKey::Type(t.clone())))
+                    });
+                if !cached {
+                    out.widens.push(WidenOp {
+                        label,
+                        predicate: predicate.to_string(),
+                        subject_types: subject_types.clone(),
+                        targets: targets
+                            .iter()
+                            .map(|t| WidenTarget::Type(t.clone()))
+                            .collect(),
+                    });
+                    let entry = widen_cache
+                        .entry(label)
+                        .or_default()
+                        .entry(types_key.clone())
+                        .or_default();
+                    entry.extend(targets.iter().map(|t| WidenKey::Type(t.clone())));
+                }
+                out.ops.push(Op::Edge {
+                    src: s_node,
+                    dst: o_node,
+                    label,
+                });
+                out.counters.edges += 1;
+                continue;
+            }
+
+            // Parsimonious key/value (lines 21–23).
+            if let Some(Handling::KeyValue { key, .. }) = &handling {
+                if let Some(lit) = t.o.as_literal() {
+                    if lit.lang.is_none() {
+                        let value =
+                            preserve_value(graph.resolve(lit.lexical), graph.resolve(lit.datatype));
+                        let key = *keys.entry(key.clone()).or_insert_with(|| {
+                            out.keys.push(key.clone());
+                            (out.keys.len() - 1) as u32
+                        });
+                        out.ops.push(Op::KeyValue {
+                            node: s_node,
+                            key,
+                            value,
+                        });
+                        out.counters.key_values += 1;
+                        continue;
+                    }
+                }
+            }
+
+            // Carrier node (lines 24–31).
+            let (datatype, value, lang) = describe_object(graph, t.o);
+            let dt = *datatypes.entry(datatype.clone()).or_insert_with(|| {
+                out.datatypes.push(datatype.clone());
+                (out.datatypes.len() - 1) as u32
+            });
+            let label = label_of(&mut out, &mut known_labels, &mut fallback_labels);
+            let cached = widen_cache
+                .get(&label)
+                .and_then(|per_types| per_types.get(&types_key))
+                .is_some_and(|ok| ok.contains(&WidenKey::Carrier(dt)));
+            if !cached {
+                out.widens.push(WidenOp {
+                    label,
+                    predicate: predicate.to_string(),
+                    subject_types: subject_types.clone(),
+                    targets: vec![WidenTarget::CarrierOf(dt)],
+                });
+                widen_cache
+                    .entry(label)
+                    .or_default()
+                    .entry(types_key.clone())
+                    .or_default()
+                    .insert(WidenKey::Carrier(dt));
+            }
+            out.ops.push(Op::Carrier {
+                src: s_node,
+                label,
+                datatype: dt,
+                value,
+                lang,
+            });
+            out.counters.carrier_nodes += 1;
+            out.counters.edges += 1;
+        }
+        out.statements += subject_statements;
+        AtomicCounters::add(&atomic.triples, subject_statements);
+    }
+    AtomicCounters::add(&atomic.edges, out.counters.edges as u64);
+    AtomicCounters::add(&atomic.key_values, out.counters.key_values as u64);
+    AtomicCounters::add(&atomic.carrier_nodes, out.counters.carrier_nodes as u64);
+    out
+}
+
+/// Apply one shard's operation buffer. Label/key/datatype tables are
+/// resolved (registered + interned) once each; the op loop then runs on
+/// symbols and `NodeId`s only.
+fn apply_shard(
+    output: ShardOutput,
+    transform: &mut SchemaTransform,
+    pg: &mut PropertyGraph,
+    state: &mut TransformState,
+    counters: &mut TransformCounters,
+) {
+    // Edge labels: register fallbacks, intern everything once.
+    let labels: Vec<(String, Sym)> = output
+        .labels
+        .into_iter()
+        .map(|label_ref| {
+            let name = match label_ref {
+                LabelRef::Known(label) => label,
+                LabelRef::FallbackPredicate(pred) => transform.mapping.register_edge_label(&pred),
+            };
+            let sym = pg.intern(&name);
+            (name, sym)
+        })
+        .collect();
+    let keys: Vec<Sym> = output.keys.iter().map(|k| pg.intern(k)).collect();
+    // Carrier datatypes: widen the schema with the carrier type, intern the
+    // carrier label.
+    let datatypes: Vec<(String, Sym)> = output
+        .datatypes
+        .iter()
+        .map(|dt| {
+            let (carrier_type, carrier_label) =
+                ensure_carrier(&mut transform.pg_schema, &mut transform.mapping, dt);
+            (carrier_type, pg.intern(&carrier_label))
+        })
+        .collect();
+
+    // Widening: same memoised monotone widening as the sequential path,
+    // applied in shard order.
+    for widen in output.widens {
+        let (label, _) = &labels[widen.label as usize];
+        let targets: Vec<String> = widen
+            .targets
+            .iter()
+            .map(|t| match t {
+                WidenTarget::Type(name) => name.clone(),
+                WidenTarget::CarrierOf(dt) => datatypes[*dt as usize].0.clone(),
+            })
+            .collect();
+        let cache_key = widen_cache_key(&widen.subject_types, label);
+        let cached = state
+            .widen_cache
+            .get(&cache_key)
+            .is_some_and(|ok| targets.iter().all(|t| ok.contains(t)));
+        if !cached {
+            widen_edge_type(
+                transform,
+                &widen.subject_types,
+                label,
+                &widen.predicate,
+                targets.clone(),
+            );
+            state
+                .widen_cache
+                .entry(cache_key)
+                .or_default()
+                .extend(targets);
+        }
+    }
+
+    let value_key = pg.intern(VALUE_KEY);
+    let lang_key = pg.intern(LANG_KEY);
+    let carriers = output
+        .ops
+        .iter()
+        .filter(|op| matches!(op, Op::Carrier { .. }))
+        .count();
+    pg.reserve(carriers, output.counters.edges);
+    for op in output.ops {
+        match op {
+            Op::Edge { src, dst, label } => {
+                pg.add_edge_sym(src, dst, labels[label as usize].1);
+            }
+            Op::KeyValue { node, key, value } => {
+                pg.push_prop_sym(node, keys[key as usize], value);
+            }
+            Op::Carrier {
+                src,
+                label,
+                datatype,
+                value,
+                lang,
+            } => {
+                let o_node = pg.add_node_with_label_sym(datatypes[datatype as usize].1);
+                pg.set_prop_sym(o_node, value_key, value);
+                if let Some(lang) = lang {
+                    pg.set_prop_sym(o_node, lang_key, Value::String(lang));
+                }
+                pg.add_edge_sym(src, o_node, labels[label as usize].1);
+            }
+        }
+    }
+
+    counters.entity_nodes += output.counters.entity_nodes;
+    counters.carrier_nodes += output.counters.carrier_nodes;
+    counters.edges += output.counters.edges;
+    counters.key_values += output.counters.key_values;
+    counters.fallback_triples += output.counters.fallback_triples;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_transform::transform_schema;
+    use s3pg_pg::conformance;
+    use s3pg_rdf::parser::parse_turtle;
+    use s3pg_shacl::parser::parse_shacl_turtle;
+
+    const SCHEMA: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://ex/> .
+@prefix shape: <http://ex/shape/> .
+
+shape:Person a sh:NodeShape ; sh:targetClass :Person ;
+    sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] ;
+    sh:property [ sh:path :knows ; sh:class :Person ; sh:minCount 0 ] .
+"#;
+
+    fn dataset() -> String {
+        let mut data = String::from("@prefix : <http://ex/> .\n");
+        for i in 0..200 {
+            data.push_str(&format!(":p{i} a :Person ; :name \"Person {i}\" .\n"));
+            data.push_str(&format!(":p{i} :knows :p{} .\n", (i * 7 + 3) % 200));
+            if i % 5 == 0 {
+                data.push_str(&format!(":p{i} :age \"{}\"^^xsd:integer .\n", 20 + i % 50));
+                data.push_str("@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n");
+            }
+            if i % 11 == 0 {
+                // Untyped subject referencing a typed entity and vice versa.
+                data.push_str(&format!(":anon{i} :knows :p{i} .\n"));
+                data.push_str(&format!(":p{i} :knows :anon{i} .\n"));
+            }
+            if i % 13 == 0 {
+                data.push_str(&format!(":p{i} :label \"étiquette {i}\"@fr .\n"));
+            }
+        }
+        data
+    }
+
+    fn counts(pg: &PropertyGraph) -> (usize, usize, usize) {
+        let node_props: usize = pg.node_ids().map(|n| pg.node(n).props.len()).sum();
+        (pg.node_count(), pg.edge_count(), node_props)
+    }
+
+    #[test]
+    fn parallel_is_isomorphic_to_sequential() {
+        let shapes = parse_shacl_turtle(SCHEMA).unwrap();
+        let g = parse_turtle(&dataset()).unwrap();
+        for mode in [Mode::Parsimonious, Mode::NonParsimonious] {
+            let mut st_seq = transform_schema(&shapes, mode);
+            let mut m_seq = PipelineMetrics::new(1);
+            let seq = transform_data_with(&g, &mut st_seq, mode, 1, &mut m_seq);
+            assert!(
+                conformance::check(&seq.pg, &st_seq.pg_schema).conforms(),
+                "{mode:?} sequential"
+            );
+            for threads in [2, 3, 8] {
+                let mut st_par = transform_schema(&shapes, mode);
+                let mut m_par = PipelineMetrics::new(threads);
+                let par = transform_data_with(&g, &mut st_par, mode, threads, &mut m_par);
+                assert_eq!(counts(&par.pg), counts(&seq.pg), "{mode:?} t={threads}");
+                assert_eq!(par.counters, seq.counters, "{mode:?} t={threads}");
+                assert!(
+                    conformance::check(&par.pg, &st_par.pg_schema).conforms(),
+                    "{mode:?} t={threads}"
+                );
+                assert_eq!(m_par.shard_triples.len(), threads);
+                assert!(m_par.phase("phase1_nodes").is_some());
+                assert!(m_par.phase("phase2_props").is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let mut g = Graph::new();
+        for i in 0..64 {
+            let s = g.intern_iri(&format!("http://ex/s{i}"));
+            let first = shard_of(s, 7);
+            assert!(first < 7);
+            assert_eq!(shard_of(s, 7), first);
+        }
+    }
+}

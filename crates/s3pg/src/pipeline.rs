@@ -6,8 +6,10 @@
 //! exporting the transformed graph to CSV and re-ingesting it with all
 //! indexes rebuilt.
 
-use crate::data_transform::{transform_data, TransformCounters, TransformState};
+use crate::data_transform::{TransformCounters, TransformState};
+use crate::metrics::PipelineMetrics;
 use crate::mode::Mode;
+use crate::parallel::transform_data_with;
 use crate::schema_transform::{transform_schema, SchemaTransform};
 use s3pg_pg::conformance::{self, ConformanceReport};
 use s3pg_pg::csv;
@@ -32,6 +34,20 @@ impl StageTimings {
     }
 }
 
+/// How to run the pipeline: worker-thread count for the sharded phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Worker threads for parsing-independent transform phases. `1` runs
+    /// the sequential reference path.
+    pub threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { threads: 1 }
+    }
+}
+
 /// The result of the full pipeline.
 #[derive(Debug, Clone)]
 pub struct TransformOutput {
@@ -47,19 +63,45 @@ pub struct TransformOutput {
     pub conformance: ConformanceReport,
     /// Stage timings.
     pub timings: StageTimings,
+    /// Per-phase spans, throughput, and shard statistics.
+    pub metrics: PipelineMetrics,
 }
 
-/// Run `F_st` then `F_dt` and check conformance.
+/// Run `F_st` then `F_dt` and check conformance (sequential reference
+/// path; see [`transform_with`] for the parallel pipeline).
 pub fn transform(graph: &Graph, shapes: &ShapeSchema, mode: Mode) -> TransformOutput {
+    transform_with(graph, shapes, mode, PipelineConfig::default())
+}
+
+/// Run `F_st` then `F_dt` — sharded over `config.threads` workers — and
+/// check conformance. Phase spans (`schema_transform`, `phase1_nodes`,
+/// `phase2_props`, `conformance`) land in [`TransformOutput::metrics`].
+pub fn transform_with(
+    graph: &Graph,
+    shapes: &ShapeSchema,
+    mode: Mode,
+    config: PipelineConfig,
+) -> TransformOutput {
+    let mut metrics = PipelineMetrics::new(config.threads);
+
     let t0 = Instant::now();
     let mut schema = transform_schema(shapes, mode);
     let schema_time = t0.elapsed();
+    metrics.record("schema_transform", schema_time, 0, "");
 
     let t1 = Instant::now();
-    let data = transform_data(graph, &mut schema, mode);
+    let data = transform_data_with(graph, &mut schema, mode, config.threads, &mut metrics);
     let data_time = t1.elapsed();
 
+    let t2 = Instant::now();
     let conformance = conformance::check(&data.pg, &schema.pg_schema);
+    metrics.record(
+        "conformance",
+        t2.elapsed(),
+        data.pg.node_count() as u64,
+        "nodes",
+    );
+
     TransformOutput {
         pg: data.pg,
         schema,
@@ -70,6 +112,7 @@ pub fn transform(graph: &Graph, shapes: &ShapeSchema, mode: Mode) -> TransformOu
             schema_transform: schema_time,
             data_transform: data_time,
         },
+        metrics,
     }
 }
 
@@ -145,5 +188,26 @@ shape:Course a sh:NodeShape ; sh:targetClass :Course ;
             let out = transform(&g, &s, mode);
             assert!(out.conformance.conforms(), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn transform_with_reports_metrics_and_matches_sequential() {
+        let (g, s) = inputs();
+        let seq = transform(&g, &s, Mode::Parsimonious);
+        let par = transform_with(&g, &s, Mode::Parsimonious, PipelineConfig { threads: 4 });
+        assert_eq!(par.pg.node_count(), seq.pg.node_count());
+        assert_eq!(par.pg.edge_count(), seq.pg.edge_count());
+        assert!(par.conformance.conforms());
+        for phase in [
+            "schema_transform",
+            "phase1_nodes",
+            "phase2_props",
+            "conformance",
+        ] {
+            assert!(par.metrics.phase(phase).is_some(), "missing {phase}");
+        }
+        assert_eq!(par.metrics.threads, 4);
+        assert_eq!(par.metrics.shard_triples.len(), 4);
+        assert!(par.metrics.report().contains("shard skew"));
     }
 }

@@ -139,10 +139,16 @@ fn transform_property(
     mode: Mode,
     declare: bool,
 ) {
+    // `rdf:langString` never qualifies for the key/value rule: the data
+    // transformation always routes language-tagged values through carrier
+    // nodes (the tag has nowhere to live in a plain property), so declaring
+    // a required key here would leave every instance non-conforming.
     let parsimonious_kv = mode == Mode::Parsimonious
         && !ps.alternatives.is_empty()
         && ps.alternatives.iter().all(TypeConstraint::is_literal)
-        && ps.alternatives.len() == 1;
+        && ps.alternatives.len() == 1
+        && !matches!(&ps.alternatives[0], TypeConstraint::Datatype(dt)
+            if crate::data_transform::is_lang_string(dt));
 
     if parsimonious_kv {
         // Single-type literal → key/value property per Table 1.

@@ -191,12 +191,11 @@ fn describe_value(
 ) -> Vec<TypeConstraint> {
     match value {
         Term::Literal(l) => {
+            // `rdf:langString` is kept distinct from `xsd:string`: the
+            // transformation must carrier-node language-tagged values to
+            // preserve their tags, so collapsing the two here would declare
+            // a key/value property the data pass can never satisfy.
             let dt = graph.resolve(l.datatype);
-            let dt = if dt == vocab::rdf::LANG_STRING {
-                vocab::xsd::STRING
-            } else {
-                dt
-            };
             vec![TypeConstraint::Datatype(dt.to_string())]
         }
         Term::Iri(_) | Term::Blank(_) => match entity_types.get(&value) {

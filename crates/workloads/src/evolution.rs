@@ -8,8 +8,7 @@
 //! modelled as delete+add pairs on object values.
 
 use crate::spec::{DatasetSpec, GeneratedDataset};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use s3pg_rdf::rng::XorShiftRng;
 use s3pg_rdf::{Graph, Term};
 
 /// Fractions of the base graph affected by the paper's DBpedia Δ.
@@ -66,7 +65,7 @@ pub fn evolve(
     base_spec: &DatasetSpec,
     evo: &EvolutionSpec,
 ) -> Evolution {
-    let mut rng = StdRng::seed_from_u64(evo.seed);
+    let mut rng = XorShiftRng::seed_from_u64(evo.seed);
     let graph = &dataset.graph;
     let type_p = graph.type_predicate_opt();
 
@@ -78,7 +77,7 @@ pub fn evolve(
     let n_delete = (graph.len() as f64 * evo.delete_fraction) as usize;
     let n_update = (graph.len() as f64 * evo.update_fraction) as usize;
     let mut picked = s3pg_rdf::fxhash::FxHashSet::default();
-    let sample = |rng: &mut StdRng, picked: &mut s3pg_rdf::fxhash::FxHashSet<usize>| {
+    let sample = |rng: &mut XorShiftRng, picked: &mut s3pg_rdf::fxhash::FxHashSet<usize>| {
         if non_type.is_empty() {
             return None;
         }

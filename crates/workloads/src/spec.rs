@@ -1,7 +1,6 @@
 //! The parametric dataset generator.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use s3pg_rdf::rng::XorShiftRng;
 use s3pg_rdf::{vocab, Graph, Term};
 use s3pg_shacl::PsCategory;
 
@@ -101,7 +100,7 @@ const LITERAL_DATATYPE_POOL: &[&str] = &[
 
 /// Generate a dataset from a spec. Deterministic in the seed.
 pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = XorShiftRng::seed_from_u64(spec.seed);
     let ns = &spec.namespace;
     let mut graph = Graph::with_capacity(
         spec.classes
@@ -152,7 +151,7 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     };
 
     let emit_literal = |graph: &mut Graph,
-                        rng: &mut StdRng,
+                        rng: &mut XorShiftRng,
                         subject: &str,
                         predicate: &str,
                         datatype: &str,

@@ -3,8 +3,7 @@
 //! heterogeneous `takesCourse` (course entity or plain title string) and
 //! multi-type `advisedBy` properties.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use s3pg_rdf::rng::XorShiftRng;
 use s3pg_rdf::{vocab, Graph};
 
 /// Namespace of the university vocabulary.
@@ -38,7 +37,7 @@ fn iri(local: &str) -> String {
 
 /// Generate the university graph.
 pub fn generate(spec: &UniversitySpec) -> Graph {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = XorShiftRng::seed_from_u64(spec.seed);
     let mut g = Graph::new();
 
     // Class hierarchy: GraduateStudent ⊑ Student ⊑ Person;

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything must pass before a change lands.
+# Fully offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "tier-1 OK"

@@ -3,11 +3,11 @@
 //! `F_dt(S2) ≅ F_dt(S1) ∪ F_dt(Δ)` — incremental application equals full
 //! recomputation, including under schema evolution.
 
-use proptest::prelude::*;
 use s3pg::incremental::{apply_additions, apply_delta};
 use s3pg::pipeline::transform;
 use s3pg::{transform_data, transform_schema, Mode};
 use s3pg_query::cypher;
+use s3pg_rdf::rng::XorShiftRng;
 use s3pg_rdf::Graph;
 use s3pg_shacl::extract_shapes;
 use s3pg_workloads::dbpedia;
@@ -191,13 +191,15 @@ fn schema_monotone_under_type_widening() {
     assert!(s3pg_pg::conformance::check(&pg, &schema.pg_schema).conforms());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Property: for any generated base + additions-only delta,
-    /// incremental == full (node/edge counts).
-    #[test]
-    fn random_additions_are_monotone(seed in 0u64..1_000, delta_seed in 0u64..1_000) {
+/// Property: for any generated base + additions-only delta,
+/// incremental == full (node/edge counts). Randomized over 8 seeds via the
+/// in-tree deterministic RNG.
+#[test]
+fn random_additions_are_monotone() {
+    for case in 0..8u64 {
+        let mut rng = XorShiftRng::seed_from_u64(case);
+        let seed = rng.random_range(0..1_000u64);
+        let delta_seed = rng.random_range(0..1_000u64);
         let spec = DatasetSpec {
             name: "prop".into(),
             namespace: "http://prop.test/".into(),
@@ -215,12 +217,16 @@ proptest! {
         };
         let base = generate(&spec);
         let shapes = extract_shapes(&base.graph);
-        let evo = evolve(&base, &spec, &EvolutionSpec {
-            delete_fraction: 0.0,
-            update_fraction: 0.0,
-            add_fraction: 0.1,
-            seed: delta_seed,
-        });
+        let evo = evolve(
+            &base,
+            &spec,
+            &EvolutionSpec {
+                delete_fraction: 0.0,
+                update_fraction: 0.0,
+                add_fraction: 0.1,
+                seed: delta_seed,
+            },
+        );
         let snapshot2 = evo.apply(&base.graph);
 
         let out = transform(&base.graph, &shapes, Mode::NonParsimonious);
@@ -232,7 +238,15 @@ proptest! {
         let shapes2 = extract_shapes(&snapshot2);
         let mut schema_full = transform_schema(&shapes2, Mode::NonParsimonious);
         let full = transform_data(&snapshot2, &mut schema_full, Mode::NonParsimonious);
-        prop_assert_eq!(pg.node_count(), full.pg.node_count());
-        prop_assert_eq!(pg.edge_count(), full.pg.edge_count());
+        assert_eq!(
+            pg.node_count(),
+            full.pg.node_count(),
+            "case {case} seed {seed} delta {delta_seed}"
+        );
+        assert_eq!(
+            pg.edge_count(),
+            full.pg.edge_count(),
+            "case {case} seed {seed} delta {delta_seed}"
+        );
     }
 }

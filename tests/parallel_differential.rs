@@ -1,0 +1,78 @@
+//! Differential test: the sharded parallel pipeline must be isomorphic to
+//! the sequential reference on real workloads — identical node, edge, and
+//! node-property counts, identical transform counters, and a conforming
+//! output (`PG ⊨ S_PG`) — in both parsimonious and non-parsimonious modes.
+//!
+//! Node identifiers and collision-suffixed names may differ between the
+//! two executions; the counts-plus-conformance criterion is the
+//! isomorphism check used throughout the test suite.
+
+use s3pg::pipeline::{transform, transform_with, PipelineConfig};
+use s3pg::Mode;
+use s3pg_pg::PropertyGraph;
+use s3pg_rdf::Graph;
+use s3pg_shacl::parser::parse_shacl_turtle;
+use s3pg_shacl::{extract_shapes, ShapeSchema};
+use s3pg_workloads::dbpedia;
+use s3pg_workloads::evolution::{self, EvolutionSpec};
+use s3pg_workloads::spec::generate;
+use s3pg_workloads::university::{self, UniversitySpec};
+
+const THREADS: [usize; 2] = [4, 8];
+
+fn counts(pg: &PropertyGraph) -> (usize, usize, usize) {
+    let node_props: usize = pg.node_ids().map(|n| pg.node(n).props.len()).sum();
+    (pg.node_count(), pg.edge_count(), node_props)
+}
+
+fn assert_isomorphic(graph: &Graph, shapes: &ShapeSchema, label: &str) {
+    for mode in [Mode::Parsimonious, Mode::NonParsimonious] {
+        let seq = transform(graph, shapes, mode);
+        assert!(
+            seq.conformance.conforms(),
+            "{label} {mode:?} sequential: {:?}",
+            seq.conformance.failures
+        );
+        for threads in THREADS {
+            let par = transform_with(graph, shapes, mode, PipelineConfig { threads });
+            assert_eq!(
+                counts(&par.pg),
+                counts(&seq.pg),
+                "{label} {mode:?} {threads} threads: counts diverged"
+            );
+            assert_eq!(
+                par.counters, seq.counters,
+                "{label} {mode:?} {threads} threads: counters diverged"
+            );
+            assert!(
+                par.conformance.conforms(),
+                "{label} {mode:?} {threads} threads: {:?}",
+                par.conformance.failures
+            );
+            assert_eq!(par.metrics.shard_triples.len(), threads);
+        }
+    }
+}
+
+#[test]
+fn university_workload_parallel_matches_sequential() {
+    let graph = university::generate(&UniversitySpec {
+        departments: 4,
+        professors: 25,
+        students: 150,
+        courses: 40,
+        seed: 11,
+    });
+    let shapes = parse_shacl_turtle(university::shacl_schema()).expect("university schema");
+    assert_isomorphic(&graph, &shapes, "university");
+}
+
+#[test]
+fn evolution_workload_parallel_matches_sequential() {
+    let spec = dbpedia::dbpedia2022(0.25);
+    let base = generate(&spec);
+    let evo = evolution::evolve(&base, &spec, &EvolutionSpec::default());
+    let snapshot2 = evo.apply(&base.graph);
+    let shapes = extract_shapes(&snapshot2);
+    assert_isomorphic(&snapshot2, &shapes, "evolution snapshot2");
+}

@@ -1,11 +1,12 @@
 //! Information preservation (Proposition 4.1) across the whole pipeline:
 //! `M(F_dt(G)) = G` and `N(F_st(S)) = S` on generated workloads, in both
-//! modes, including property-based tests over randomized datasets.
+//! modes, including randomized tests over generated datasets (driven by the
+//! in-tree deterministic RNG; each case reproduces from its seed).
 
-use proptest::prelude::*;
 use s3pg::inverse::{recover_graph, recover_schema};
 use s3pg::pipeline::transform;
 use s3pg::Mode;
+use s3pg_rdf::rng::XorShiftRng;
 use s3pg_shacl::extract_shapes;
 use s3pg_workloads::spec::{generate, DatasetSpec};
 use s3pg_workloads::university::{self, UniversitySpec};
@@ -82,31 +83,24 @@ fn csv_load_preserves_roundtrip() {
     assert!(recovered.same_triples(&graph));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Property: any generated dataset round-trips exactly, whatever the
-    /// seed and category mix.
-    #[test]
-    fn random_datasets_roundtrip(
-        seed in 0u64..10_000,
-        classes in 2usize..6,
-        single_literal in 0usize..6,
-        single_non_literal in 0usize..4,
-        mt_homo_literal in 0usize..4,
-        mt_hetero in 0usize..4,
-    ) {
+/// Property: any generated dataset round-trips exactly, whatever the seed
+/// and category mix.
+#[test]
+fn random_datasets_roundtrip() {
+    for case in 0..12u64 {
+        let mut rng = XorShiftRng::seed_from_u64(case);
+        let seed = rng.random_range(0..10_000u64);
         let spec = DatasetSpec {
             name: "prop".into(),
             namespace: "http://prop.test/".into(),
-            classes,
+            classes: rng.random_range(2..6usize),
             subclass_fraction: 0.3,
             instances_per_class: 8,
-            single_literal,
-            single_non_literal,
-            mt_homo_literal,
+            single_literal: rng.random_range(0..6usize),
+            single_non_literal: rng.random_range(0..4usize),
+            mt_homo_literal: rng.random_range(0..4usize),
             mt_homo_non_literal: 1,
-            mt_hetero,
+            mt_hetero: rng.random_range(0..4usize),
             density: 0.8,
             multi_value_p: 0.4,
             seed,
@@ -116,14 +110,20 @@ proptest! {
         for mode in [Mode::Parsimonious, Mode::NonParsimonious] {
             let out = transform(&dataset.graph, &shapes, mode);
             let recovered = recover_graph(&out.pg, &out.schema.mapping).unwrap();
-            prop_assert!(recovered.same_triples(&dataset.graph), "mode {mode:?} seed {seed}");
+            assert!(
+                recovered.same_triples(&dataset.graph),
+                "mode {mode:?} case {case} seed {seed}"
+            );
         }
     }
+}
 
-    /// Property: schema transformation is invertible for any extracted
-    /// schema.
-    #[test]
-    fn random_schemas_roundtrip(seed in 0u64..10_000) {
+/// Property: schema transformation is invertible for any extracted schema.
+#[test]
+fn random_schemas_roundtrip() {
+    for case in 0..12u64 {
+        let mut rng = XorShiftRng::seed_from_u64(1_000 + case);
+        let seed = rng.random_range(0..10_000u64);
         let spec = DatasetSpec {
             name: "prop".into(),
             namespace: "http://prop.test/".into(),
@@ -142,6 +142,6 @@ proptest! {
         let dataset = generate(&spec);
         let shapes = extract_shapes(&dataset.graph);
         let st = s3pg::transform_schema(&shapes, Mode::Parsimonious);
-        prop_assert_eq!(recover_schema(&st), shapes);
+        assert_eq!(recover_schema(&st), shapes, "case {case} seed {seed}");
     }
 }
