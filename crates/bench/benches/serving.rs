@@ -1,0 +1,83 @@
+//! Serving-subsystem benchmark: throughput and client-observed latency
+//! percentiles of `s3pg-serve` under the mixed differential workload, as
+//! the number of concurrent connections grows.
+//!
+//! Each point starts a fresh in-process server on an ephemeral port,
+//! drives the full loadgen (every response differentially checked against
+//! the in-process engines), and reports the aggregate curve. A mismatch
+//! anywhere aborts the benchmark — the numbers are only meaningful for a
+//! correct server.
+
+use s3pg::Mode;
+use s3pg_bench::report::{fmt_duration, Table};
+use s3pg_bench::serving::{demo_data_turtle, demo_shapes_turtle, run_loadgen, LoadConfig};
+use s3pg_bench::timing::section;
+use s3pg_rdf::parser::parse_turtle;
+use s3pg_server::server::{serve, ServerConfig};
+use s3pg_server::store::GraphStore;
+use s3pg_shacl::parser::parse_shacl_turtle;
+
+fn main() {
+    section("serving");
+    let mut table = Table::new(
+        "s3pg-serve: mixed read/update differential load (20 rounds/conn)",
+        &[
+            "connections",
+            "requests",
+            "wall",
+            "req/s",
+            "p50",
+            "p99",
+            "update p99",
+            "mismatches",
+        ],
+    );
+    for connections in [1usize, 2, 4, 8] {
+        let rdf = parse_turtle(demo_data_turtle()).unwrap();
+        let shapes = parse_shacl_turtle(demo_shapes_turtle()).unwrap();
+        let store = GraphStore::new(rdf, &shapes, Mode::Parsimonious, 1);
+        let handle = serve(
+            "127.0.0.1:0",
+            store,
+            ServerConfig {
+                workers: connections + 2,
+                queue_capacity: 64,
+            },
+        )
+        .expect("bind ephemeral port");
+
+        let report = run_loadgen(
+            &handle.addr.to_string(),
+            demo_data_turtle(),
+            demo_shapes_turtle(),
+            Mode::Parsimonious,
+            LoadConfig {
+                connections,
+                rounds: 20,
+                seed: 42,
+            },
+        )
+        .expect("loadgen run");
+        assert!(
+            report.mismatches.is_empty(),
+            "differential mismatches under load: {:?}",
+            report.mismatches
+        );
+        assert!(report.conforms, "post-run PG must conform to S_PG");
+
+        table.row(vec![
+            connections.to_string(),
+            report.requests.to_string(),
+            fmt_duration(report.wall),
+            format!("{:.0}", report.throughput()),
+            fmt_duration(report.quantile(0.50)),
+            fmt_duration(report.quantile(0.99)),
+            fmt_duration(report.endpoint_quantile("update", 0.99)),
+            report.mismatches.len().to_string(),
+        ]);
+
+        handle.shutdown();
+        handle.join();
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,144 @@
+//! Differential load generator for `s3pg-serve`.
+//!
+//! Drives N concurrent connections of mixed Cypher/SPARQL reads and
+//! N-Triples delta writes against a running server and checks **every**
+//! response against direct in-process engine calls (see
+//! `s3pg_bench::serving`). The server must have been started from the
+//! demo documents this tool writes with `--write-demo`:
+//!
+//! ```text
+//! loadgen --write-demo /tmp/demo
+//! s3pg-serve --data /tmp/demo/data.ttl --shapes /tmp/demo/shapes.ttl \
+//!            --addr 127.0.0.1:7878 --workers 16 &
+//! loadgen --addr 127.0.0.1:7878 --connections 8 --rounds 20 --metrics
+//! ```
+//!
+//! Exit codes: 0 clean (zero mismatches), 1 mismatches or runtime error,
+//! 2 bad flags. Note `s3pg-serve --workers` must be at least the number of
+//! loadgen connections: connections are persistent and each occupies a
+//! worker while open.
+
+use s3pg::Mode;
+use s3pg_bench::serving::{demo_data_turtle, demo_shapes_turtle, run_loadgen, LoadConfig};
+use s3pg_server::client::Client;
+use s3pg_server::protocol::{Request, Response};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: loadgen --addr HOST:PORT [--connections N] [--rounds N] \
+                     [--seed N] [--mode parsimonious|non-parsimonious] [--metrics] \
+                     [--shutdown]\n       loadgen --write-demo DIR";
+
+struct Args {
+    addr: Option<String>,
+    config: LoadConfig,
+    mode: Mode,
+    metrics: bool,
+    shutdown: bool,
+    write_demo: Option<PathBuf>,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut out = Args {
+        addr: None,
+        config: LoadConfig::default(),
+        mode: Mode::Parsimonious,
+        metrics: false,
+        shutdown: false,
+        write_demo: None,
+    };
+    let positive = |flag: &str, value: Option<String>| -> Result<usize, String> {
+        let v = value.ok_or(format!("{flag} needs a count"))?;
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("{flag} needs a positive integer, got '{v}'"))
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = Some(it.next().ok_or("--addr needs HOST:PORT")?),
+            "--connections" => out.config.connections = positive("--connections", it.next())?,
+            "--rounds" => out.config.rounds = positive("--rounds", it.next())?,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                out.config.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed needs an unsigned integer, got '{v}'"))?;
+            }
+            "--mode" => {
+                out.mode = match it.next().as_deref() {
+                    Some("parsimonious") => Mode::Parsimonious,
+                    Some("non-parsimonious") => Mode::NonParsimonious,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--metrics" => out.metrics = true,
+            "--shutdown" => out.shutdown = true,
+            "--write-demo" => {
+                out.write_demo = Some(PathBuf::from(it.next().ok_or("--write-demo needs a dir")?))
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    if out.addr.is_none() && out.write_demo.is_none() {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+    Ok(out)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    if let Some(dir) = &args.write_demo {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        std::fs::write(dir.join("data.ttl"), demo_data_turtle())
+            .map_err(|e| format!("cannot write demo data: {e}"))?;
+        std::fs::write(dir.join("shapes.ttl"), demo_shapes_turtle())
+            .map_err(|e| format!("cannot write demo shapes: {e}"))?;
+        println!(
+            "wrote {} and {}",
+            dir.join("data.ttl").display(),
+            dir.join("shapes.ttl").display()
+        );
+        if args.addr.is_none() {
+            return Ok(true);
+        }
+    }
+    let addr = args.addr.as_deref().expect("checked in parse_args");
+    let report = run_loadgen(
+        addr,
+        demo_data_turtle(),
+        demo_shapes_turtle(),
+        args.mode,
+        args.config,
+    )?;
+    print!("{}", report.render(args.metrics));
+    if args.shutdown {
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        match client.call(&Request::Shutdown).map_err(|e| e.to_string())? {
+            Response::ShuttingDown => println!("server shutting down"),
+            other => return Err(format!("unexpected shutdown response: {other:?}")),
+        }
+    }
+    Ok(report.mismatches.is_empty() && report.conforms)
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => {}
+        Ok(false) => {
+            eprintln!("loadgen: differential check FAILED");
+            std::process::exit(1);
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

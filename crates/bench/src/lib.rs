@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod serving;
 pub mod timing;
 
 pub use experiments::{Dataset, Scale};

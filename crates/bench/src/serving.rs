@@ -1,0 +1,558 @@
+//! Differential load generation against a running `s3pg-serve` instance.
+//!
+//! The loadgen drives N concurrent connections of mixed traffic — Cypher
+//! reads, SPARQL reads, and monotonic N-Triples update writes — and
+//! *differentially checks every server response* against direct in-process
+//! engine calls over a per-connection replica:
+//!
+//! * each connection writes only subjects in its own namespace
+//!   (`http://load.example.org/c{i}/…`), so its replica (base graph + its
+//!   own deltas, maintained through the same [`s3pg::incremental`] path
+//!   the server uses) predicts its scoped reads exactly, independent of
+//!   what the other connections are doing concurrently;
+//! * reads over base-graph entities are stable under everyone's monotone
+//!   namespaced additions, so they are checked against the replica too;
+//! * after all connections finish (a barrier), a global read phase checks
+//!   full-graph queries against a replica holding *all* deltas, and the
+//!   server must report a conforming PG.
+//!
+//! Any response that disagrees with the in-process engines is recorded as
+//! a mismatch; a clean run proves the serving path returns exactly what
+//! the engines return, under concurrency, while the graph evolves.
+
+use s3pg::incremental::apply_ntriples_delta;
+use s3pg::pipeline::transform;
+use s3pg::Mode;
+use s3pg_query::{cypher, sparql, ResultSet};
+use s3pg_rdf::parser::{parse_ntriples, parse_turtle};
+use s3pg_rdf::rng::XorShiftRng;
+use s3pg_rdf::Graph;
+use s3pg_server::client::Client;
+use s3pg_server::protocol::{EndpointReport, ErrorKind, Request, Response};
+use s3pg_shacl::parser::parse_shacl_turtle;
+use s3pg_shacl::ShapeSchema;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The demo universe the loadgen's synthesized traffic speaks: a `Person`
+/// class with a required `name` and optional `knows` edges. Servers under
+/// differential load must be started from exactly this base state.
+pub fn demo_data_turtle() -> &'static str {
+    r#"@prefix : <http://ex/> .
+:a a :Person ; :name "A" ; :knows :b .
+:b a :Person ; :name "B" ; :knows :c .
+:c a :Person ; :name "C" .
+"#
+}
+
+/// SHACL shapes for [`demo_data_turtle`].
+pub fn demo_shapes_turtle() -> &'static str {
+    r#"@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://ex/> .
+<http://ex/shape/Person> a sh:NodeShape ; sh:targetClass :Person ;
+    sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] ;
+    sh:property [ sh:path :knows ; sh:class :Person ; sh:minCount 0 ] .
+"#
+}
+
+/// Loadgen parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Update+read rounds each connection performs.
+    pub rounds: usize,
+    /// RNG seed (traffic interleaving within a connection).
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 8,
+            rounds: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// One recorded latency sample.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    endpoint: &'static str,
+    latency: Duration,
+}
+
+/// Aggregated outcome of a loadgen run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Server responses checked (every one of them differentially).
+    pub requests: u64,
+    /// Human-readable descriptions of every differential mismatch.
+    pub mismatches: Vec<String>,
+    /// Whether the server reported `PG ⊨ S_PG` after the run.
+    pub conforms: bool,
+    /// Wall-clock of the concurrent phase.
+    pub wall: Duration,
+    /// Client-side latency samples, per endpoint.
+    latencies: Vec<Sample>,
+    /// The server's own per-endpoint metrics (fetched post-run).
+    pub server_metrics: Vec<(String, EndpointReport)>,
+}
+
+impl LoadReport {
+    /// Requests per second over the concurrent phase.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.as_secs_f64() > 0.0 {
+            self.requests as f64 / self.wall.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Client-observed latency quantile (exact, over all endpoints).
+    pub fn quantile(&self, q: f64) -> Duration {
+        let mut all: Vec<Duration> = self.latencies.iter().map(|s| s.latency).collect();
+        if all.is_empty() {
+            return Duration::ZERO;
+        }
+        all.sort();
+        let rank = ((q.clamp(0.0, 1.0) * all.len() as f64).ceil() as usize).max(1) - 1;
+        all[rank.min(all.len() - 1)]
+    }
+
+    /// Client-observed latency quantile for one endpoint.
+    pub fn endpoint_quantile(&self, endpoint: &str, q: f64) -> Duration {
+        let mut samples: Vec<Duration> = self
+            .latencies
+            .iter()
+            .filter(|s| s.endpoint == endpoint)
+            .map(|s| s.latency)
+            .collect();
+        if samples.is_empty() {
+            return Duration::ZERO;
+        }
+        samples.sort();
+        let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize).max(1) - 1;
+        samples[rank.min(samples.len() - 1)]
+    }
+
+    /// Render the run as a human-readable report.
+    pub fn render(&self, show_server_metrics: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loadgen: {} requests in {:?} ({:.0} req/s), {} mismatches, PG {} S_PG",
+            self.requests,
+            self.wall,
+            self.throughput(),
+            self.mismatches.len(),
+            if self.conforms { "⊨" } else { "⊭" },
+        );
+        let _ = writeln!(
+            out,
+            "client latency: p50 {:?}, p99 {:?}",
+            self.quantile(0.50),
+            self.quantile(0.99)
+        );
+        for m in self.mismatches.iter().take(10) {
+            let _ = writeln!(out, "  MISMATCH: {m}");
+        }
+        if show_server_metrics {
+            let _ = writeln!(out, "server metrics (per endpoint):");
+            for (name, r) in &self.server_metrics {
+                if r.requests > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  {:<9} {:>7} requests {:>5} errors  p50 {:>8}µs  p99 {:>8}µs",
+                        name, r.requests, r.errors, r.p50_micros, r.p99_micros
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A per-connection differential replica: the same base state the server
+/// started from, advanced by this connection's own deltas through the same
+/// incremental path.
+struct Replica {
+    rdf: Graph,
+    out: s3pg::pipeline::TransformOutput,
+}
+
+impl Replica {
+    fn new(base: &Graph, shapes: &ShapeSchema, mode: Mode) -> Replica {
+        Replica {
+            rdf: base.clone(),
+            out: transform(base, shapes, mode),
+        }
+    }
+
+    fn apply(&mut self, additions: &str) {
+        let outcome = apply_ntriples_delta(
+            &mut self.out.pg,
+            &mut self.out.schema,
+            &mut self.out.state,
+            additions,
+            "",
+        )
+        .expect("loadgen generates well-formed deltas");
+        self.rdf.absorb(&outcome.additions);
+    }
+}
+
+/// The name value connection `c` writes in round `r` — unique per
+/// (connection, round), so scoped queries have deterministic answers.
+fn marker(c: usize, r: usize) -> String {
+    format!("load-c{c}-r{r}")
+}
+
+fn delta_for(c: usize, r: usize, rng: &mut XorShiftRng) -> String {
+    let iri = format!("http://load.example.org/c{c}/p{r}");
+    let mut nt = format!(
+        "<{iri}> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+         <{iri}> <http://ex/name> \"{}\" .\n",
+        marker(c, r)
+    );
+    // Mix in edges: to a base person, and sometimes to an earlier subject
+    // of the same connection.
+    nt.push_str(&format!(
+        "<{iri}> <http://ex/knows> <http://ex/{}> .\n",
+        ["a", "b", "c"][rng.choose_index(3).unwrap()]
+    ));
+    if r > 0 && rng.random_bool(0.5) {
+        let back = rng.choose_index(r).unwrap();
+        nt.push_str(&format!(
+            "<{iri}> <http://ex/knows> <http://load.example.org/c{c}/p{back}> .\n"
+        ));
+    }
+    nt
+}
+
+/// Check one server response against the in-process engines; returns a
+/// description of the disagreement, if any.
+fn check_cypher(replica: &Replica, query: &str, response: &Response) -> Option<String> {
+    let expected = cypher::execute(&replica.out.pg, query);
+    match (response, expected) {
+        (Response::Cypher { rows, .. }, Ok(local)) => {
+            let server_set = ResultSet::from_rendered_rows(rows.clone());
+            let local_set = ResultSet::from_cypher(&local);
+            (!server_set.same_as(&local_set)).then(|| {
+                format!(
+                    "cypher {query:?}: server {} rows vs engine {} rows",
+                    server_set.len(),
+                    local_set.len()
+                )
+            })
+        }
+        (Response::Error(e), Err(_)) if e.kind == ErrorKind::Query => None,
+        (got, expected) => Some(format!(
+            "cypher {query:?}: server {got:?} vs engine {:?}",
+            expected.map(|r| r.rows.len())
+        )),
+    }
+}
+
+fn check_sparql(replica: &Replica, query: &str, response: &Response) -> Option<String> {
+    let expected = sparql::execute(&replica.rdf, query);
+    match (response, expected) {
+        (Response::Sparql { rows, .. }, Ok(local)) => {
+            let server_set = ResultSet::from_rendered_rows(rows.clone());
+            let local_set = ResultSet::from_sparql(&replica.rdf, &local);
+            (!server_set.same_as(&local_set)).then(|| {
+                format!(
+                    "sparql {query:?}: server {} rows vs engine {} rows",
+                    server_set.len(),
+                    local_set.len()
+                )
+            })
+        }
+        (Response::Error(e), Err(_)) if e.kind == ErrorKind::Query => None,
+        (got, expected) => Some(format!(
+            "sparql {query:?}: server {got:?} vs engine {:?}",
+            expected.map(|s| s.rows.len())
+        )),
+    }
+}
+
+/// Run the mixed differential workload against `addr`. The server must
+/// have been started from `base_turtle`/`shapes_turtle` in `mode`.
+pub fn run_loadgen(
+    addr: &str,
+    base_turtle: &str,
+    shapes_turtle: &str,
+    mode: Mode,
+    config: LoadConfig,
+) -> Result<LoadReport, String> {
+    let base = parse_turtle(base_turtle).map_err(|e| e.to_string())?;
+    let shapes = parse_shacl_turtle(shapes_turtle).map_err(|e| e.to_string())?;
+
+    let mismatches: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+    let request_count = std::sync::atomic::AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for c in 0..config.connections {
+            let base = &base;
+            let shapes = &shapes;
+            let mismatches = &mismatches;
+            let samples = &samples;
+            let request_count = &request_count;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut replica = Replica::new(base, shapes, mode);
+                let mut rng = XorShiftRng::seed_from_u64(config.seed ^ ((c as u64) << 32));
+                let mut local_samples = Vec::new();
+                let mut local_mismatches = Vec::new();
+                let timed_call = |client: &mut Client,
+                                  request: &Request,
+                                  out: &mut Vec<Sample>|
+                 -> Result<Response, String> {
+                    let t = Instant::now();
+                    let response = client.call(request).map_err(|e| e.to_string())?;
+                    out.push(Sample {
+                        endpoint: request.endpoint(),
+                        latency: t.elapsed(),
+                    });
+                    request_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Ok(response)
+                };
+                for r in 0..config.rounds {
+                    // Write: a namespaced monotonic delta.
+                    let delta = delta_for(c, r, &mut rng);
+                    let response = timed_call(
+                        &mut client,
+                        &Request::Update {
+                            additions: delta.clone(),
+                            deletions: String::new(),
+                        },
+                        &mut local_samples,
+                    )?;
+                    match response {
+                        Response::Update { conforms, .. } => {
+                            replica.apply(&delta);
+                            if !conforms {
+                                local_mismatches
+                                    .push(format!("update c{c}r{r}: PG no longer conforms"));
+                            }
+                        }
+                        other => local_mismatches
+                            .push(format!("update c{c}r{r}: unexpected response {other:?}")),
+                    }
+
+                    // Scoped Cypher read: this connection's latest marker.
+                    let query = format!(
+                        "MATCH (p:Person) WHERE p.name = \"{}\" RETURN p.name",
+                        marker(c, rng.choose_index(r + 1).unwrap())
+                    );
+                    let response = timed_call(
+                        &mut client,
+                        &Request::Cypher {
+                            query: query.clone(),
+                        },
+                        &mut local_samples,
+                    )?;
+                    if let Some(m) = check_cypher(&replica, &query, &response) {
+                        local_mismatches.push(format!("c{c}r{r}: {m}"));
+                    }
+
+                    // Scoped SPARQL read: a subject this connection wrote.
+                    let probe = rng.choose_index(r + 1).unwrap();
+                    let query = format!(
+                        "SELECT ?n ?k WHERE {{ <http://load.example.org/c{c}/p{probe}> \
+                         <http://ex/name> ?n . \
+                         <http://load.example.org/c{c}/p{probe}> <http://ex/knows> ?k }}"
+                    );
+                    let response = timed_call(
+                        &mut client,
+                        &Request::Sparql {
+                            query: query.clone(),
+                        },
+                        &mut local_samples,
+                    )?;
+                    if let Some(m) = check_sparql(&replica, &query, &response) {
+                        local_mismatches.push(format!("c{c}r{r}: {m}"));
+                    }
+
+                    // Base-graph read: stable under everyone's namespaced
+                    // monotone additions.
+                    if rng.random_bool(0.5) {
+                        let query = "MATCH (p:Person) WHERE p.name = \"B\" \
+                                     RETURN p.name"
+                            .to_string();
+                        let response = timed_call(
+                            &mut client,
+                            &Request::Cypher {
+                                query: query.clone(),
+                            },
+                            &mut local_samples,
+                        )?;
+                        if let Some(m) = check_cypher(&replica, &query, &response) {
+                            local_mismatches.push(format!("c{c}r{r}: {m}"));
+                        }
+                    }
+
+                    // Occasionally: a malformed query must come back as a
+                    // typed error on both sides, and must not kill the
+                    // connection.
+                    if rng.random_bool(0.15) {
+                        let query = "MATCH (p:Person RETURN".to_string();
+                        let response = timed_call(
+                            &mut client,
+                            &Request::Cypher {
+                                query: query.clone(),
+                            },
+                            &mut local_samples,
+                        )?;
+                        if let Some(m) = check_cypher(&replica, &query, &response) {
+                            local_mismatches.push(format!("c{c}r{r}: {m}"));
+                        }
+                    }
+                }
+                samples.lock().unwrap().extend(local_samples);
+                mismatches.lock().unwrap().extend(local_mismatches);
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| "loadgen thread panicked".to_string())??;
+        }
+        Ok(())
+    })?;
+    let wall = start.elapsed();
+
+    // ---- Global phase: all writers are done; check full-graph queries
+    // against a replica holding every delta. ----
+    let mut global = Replica::new(&base, &shapes, mode);
+    for c in 0..config.connections {
+        let mut rng = XorShiftRng::seed_from_u64(config.seed ^ ((c as u64) << 32));
+        for r in 0..config.rounds {
+            let delta = delta_for(c, r, &mut rng);
+            global.apply(&delta);
+            // Re-consume the RNG draws the reads made, keeping the
+            // generator in lockstep with the connection's sequence.
+            let _ = rng.choose_index(r + 1);
+            let _ = rng.choose_index(r + 1);
+            let _ = rng.random_bool(0.5);
+            let _ = rng.random_bool(0.15);
+        }
+    }
+
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut mismatches = mismatches.into_inner().unwrap();
+    let mut final_requests = 0u64;
+    for query in [
+        "MATCH (p:Person) RETURN p.name".to_string(),
+        "MATCH (p:Person)-[:knows]->(q:Person) WHERE q.name = \"A\" RETURN p.name".to_string(),
+    ] {
+        let response = client
+            .call(&Request::Cypher {
+                query: query.clone(),
+            })
+            .map_err(|e| e.to_string())?;
+        final_requests += 1;
+        if let Some(m) = check_cypher(&global, &query, &response) {
+            mismatches.push(format!("global: {m}"));
+        }
+    }
+    let query = "SELECT ?s WHERE { ?s <http://ex/knows> <http://ex/b> }".to_string();
+    let response = client
+        .call(&Request::Sparql {
+            query: query.clone(),
+        })
+        .map_err(|e| e.to_string())?;
+    final_requests += 1;
+    if let Some(m) = check_sparql(&global, &query, &response) {
+        mismatches.push(format!("global: {m}"));
+    }
+
+    // Post-run conformance + server-side metrics.
+    let conforms = match client.call(&Request::Stats).map_err(|e| e.to_string())? {
+        Response::Stats {
+            conforms, nodes, ..
+        } => {
+            final_requests += 1;
+            let expected_nodes = global.out.pg.node_count() as u64;
+            if nodes != expected_nodes {
+                mismatches.push(format!(
+                    "global: server has {nodes} nodes, replica {expected_nodes}"
+                ));
+            }
+            conforms
+        }
+        other => {
+            mismatches.push(format!("stats: unexpected response {other:?}"));
+            false
+        }
+    };
+    let server_metrics = match client.call(&Request::Metrics).map_err(|e| e.to_string())? {
+        Response::Metrics { endpoints } => {
+            final_requests += 1;
+            endpoints
+        }
+        other => {
+            mismatches.push(format!("metrics: unexpected response {other:?}"));
+            Vec::new()
+        }
+    };
+
+    Ok(LoadReport {
+        requests: request_count.into_inner() + final_requests,
+        mismatches,
+        conforms,
+        wall,
+        latencies: samples.into_inner().unwrap(),
+        server_metrics,
+    })
+}
+
+/// Parse the N-Triples delta documents the loadgen emits — exposed so the
+/// incremental property tests can reuse the generator as a workload source.
+pub fn parse_delta(nt: &str) -> Graph {
+    parse_ntriples(nt).expect("loadgen deltas are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_well_formed_and_deterministic() {
+        let mut rng1 = XorShiftRng::seed_from_u64(7);
+        let mut rng2 = XorShiftRng::seed_from_u64(7);
+        for r in 0..10 {
+            let d1 = delta_for(3, r, &mut rng1);
+            let d2 = delta_for(3, r, &mut rng2);
+            assert_eq!(d1, d2);
+            assert!(parse_delta(&d1).len() >= 3);
+        }
+    }
+
+    #[test]
+    fn demo_documents_parse() {
+        let g = parse_turtle(demo_data_turtle()).unwrap();
+        assert_eq!(g.len(), 8);
+        let s = parse_shacl_turtle(demo_shapes_turtle()).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn replica_applies_deltas_through_the_incremental_path() {
+        let base = parse_turtle(demo_data_turtle()).unwrap();
+        let shapes = parse_shacl_turtle(demo_shapes_turtle()).unwrap();
+        let mut replica = Replica::new(&base, &shapes, Mode::Parsimonious);
+        let nodes = replica.out.pg.node_count();
+        let mut rng = XorShiftRng::seed_from_u64(1);
+        replica.apply(&delta_for(0, 0, &mut rng));
+        assert_eq!(replica.out.pg.node_count(), nodes + 1);
+        assert!(replica.rdf.len() > base.len());
+    }
+}

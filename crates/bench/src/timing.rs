@@ -81,6 +81,6 @@ mod tests {
     fn bench_runs_the_closure() {
         let mut calls = 0usize;
         bench("noop", || calls += 1);
-        assert!(calls >= 1 + MIN_ITERS);
+        assert!(calls > MIN_ITERS);
     }
 }

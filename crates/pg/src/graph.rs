@@ -138,6 +138,16 @@ impl PropertyGraph {
         if let Some(Value::String(iri)) = self.prop(id, IRI_KEY).cloned() {
             self.by_iri.remove(&iri);
         }
+        // Purge the label postings too: in a long-lived graph (the serving
+        // write path removes repaired carrier nodes on every delta),
+        // tombstones would otherwise accumulate unboundedly and every
+        // label scan would pay to skip them.
+        let labels = self.nodes[id.0 as usize].labels.clone();
+        for sym in labels {
+            if let Some(postings) = self.by_label.get_mut(&sym) {
+                postings.retain(|&n| n != id);
+            }
+        }
         true
     }
 
@@ -574,6 +584,18 @@ mod tests {
         pg.add_label(bob, "Person"); // duplicate ignored
         assert_eq!(pg.labels_of(bob).len(), 3);
         assert_eq!(pg.nodes_with_label("Person").len(), 2);
+    }
+
+    #[test]
+    fn remove_node_purges_label_postings() {
+        let mut pg = PropertyGraph::new();
+        let a = pg.add_node(["STRING"]);
+        let b = pg.add_node(["STRING"]);
+        assert!(pg.remove_node(a));
+        let sym = pg.interner.get("STRING").unwrap();
+        assert_eq!(pg.by_label[&sym], vec![b]);
+        assert_eq!(pg.nodes_with_label("STRING"), vec![b]);
+        assert!(!pg.remove_node(a)); // already dead
     }
 
     #[test]

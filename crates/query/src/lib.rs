@@ -21,4 +21,4 @@ pub mod cypher;
 pub mod results;
 pub mod sparql;
 
-pub use results::{accuracy, ResultSet};
+pub use results::{accuracy, render_term, render_value, ResultSet};

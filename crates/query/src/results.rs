@@ -48,6 +48,20 @@ impl ResultSet {
         ResultSet { rows }
     }
 
+    /// Build a result set from already-rendered rows (e.g. rows decoded
+    /// from the `s3pg-serve` wire protocol). Rows are normalized into the
+    /// same sorted multiset representation as the engine-side constructors,
+    /// so wire results compare exactly against direct engine calls.
+    pub fn from_rendered_rows(mut rows: Vec<Vec<Option<String>>>) -> Self {
+        rows.sort();
+        ResultSet { rows }
+    }
+
+    /// The normalized (sorted) rows.
+    pub fn rows(&self) -> &[Vec<Option<String>>] {
+        &self.rows
+    }
+
     /// Convert Cypher rows.
     pub fn from_cypher(rows: &Rows) -> Self {
         let mut rows: Vec<Vec<Option<String>>> = rows
@@ -83,7 +97,11 @@ impl ResultSet {
     }
 }
 
-fn render_term(graph: &Graph, term: Term) -> String {
+/// Render one SPARQL term in the Cypher value domain (`tr(µ)` of
+/// Definition 3.2): IRIs and blank-node ids become strings, literals their
+/// typed-value rendering. Public so servers can serialize solutions in the
+/// exact representation [`ResultSet`] compares with.
+pub fn render_term(graph: &Graph, term: Term) -> String {
     match term {
         Term::Iri(s) => graph.resolve(s).to_string(),
         Term::Blank(s) => format!("_:{}", graph.resolve(s)),
@@ -96,7 +114,8 @@ fn render_term(graph: &Graph, term: Term) -> String {
     }
 }
 
-fn render_value(value: &Value) -> String {
+/// Render one Cypher value the way [`ResultSet`] does.
+pub fn render_value(value: &Value) -> String {
     value.to_string()
 }
 

@@ -251,7 +251,7 @@ impl<'a> Cursor<'a> {
                     let raw = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| RdfError::syntax(self.line, "invalid UTF-8"))?;
                     self.pos += 1;
-                    return Ok(unescape_literal(raw));
+                    return unescape_literal(raw).map_err(|e| RdfError::syntax(self.line, e));
                 }
                 Some(b'\\') => {
                     self.pos += 2; // skip escape pair

@@ -277,7 +277,8 @@ fn lex_string(bytes: &[u8], mut pos: usize, line: usize) -> Result<(String, usiz
             Some(b'"') => {
                 let raw = std::str::from_utf8(&bytes[start..pos])
                     .map_err(|_| RdfError::syntax(line, "invalid UTF-8 in string"))?;
-                return Ok((unescape_literal(raw), pos + 1));
+                let unescaped = unescape_literal(raw).map_err(|e| RdfError::syntax(line, e))?;
+                return Ok((unescaped, pos + 1));
             }
             Some(b'\\') => pos += 2,
             Some(_) => pos += 1,

@@ -132,8 +132,11 @@ pub fn escape_literal(s: &str) -> String {
     out
 }
 
-/// Unescape an N-Triples literal lexical form.
-pub fn unescape_literal(s: &str) -> String {
+/// Unescape an N-Triples literal lexical form. Rejects malformed escapes
+/// (unknown escape characters, truncated or non-hex `\uXXXX`/`\UXXXXXXXX`
+/// sequences, surrogate code points) with a message — the grammar only
+/// admits `ECHAR` (`\t \b \n \r \f \" \' \\`) and `UCHAR`.
+pub fn unescape_literal(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -143,30 +146,29 @@ pub fn unescape_literal(s: &str) -> String {
         }
         match chars.next() {
             Some('"') => out.push('"'),
+            Some('\'') => out.push('\''),
             Some('\\') => out.push('\\'),
             Some('n') => out.push('\n'),
             Some('r') => out.push('\r'),
             Some('t') => out.push('\t'),
-            Some('u') => {
-                let hex: String = chars.by_ref().take(4).collect();
-                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
-                    out.push(c);
+            Some('b') => out.push('\u{0008}'),
+            Some('f') => out.push('\u{000C}'),
+            Some(esc @ ('u' | 'U')) => {
+                let want = if esc == 'u' { 4 } else { 8 };
+                let hex: String = chars.by_ref().take(want).collect();
+                if hex.len() < want {
+                    return Err(format!("truncated \\{esc} escape '\\{esc}{hex}'"));
+                }
+                match u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => return Err(format!("invalid \\{esc} escape '\\{esc}{hex}'")),
                 }
             }
-            Some('U') => {
-                let hex: String = chars.by_ref().take(8).collect();
-                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
-                    out.push(c);
-                }
-            }
-            Some(other) => {
-                out.push('\\');
-                out.push(other);
-            }
-            None => out.push('\\'),
+            Some(other) => return Err(format!("unknown escape '\\{other}'")),
+            None => return Err("dangling '\\' at end of literal".to_string()),
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -235,12 +237,22 @@ mod tests {
     #[test]
     fn escape_roundtrip() {
         let raw = "line1\nline2\t\"quoted\" back\\slash";
-        assert_eq!(unescape_literal(&escape_literal(raw)), raw);
+        assert_eq!(unescape_literal(&escape_literal(raw)).unwrap(), raw);
     }
 
     #[test]
     fn unescape_unicode() {
-        assert_eq!(unescape_literal(r"A"), "A");
-        assert_eq!(unescape_literal(r"\U0001F600"), "\u{1F600}");
+        assert_eq!(unescape_literal(r"A").unwrap(), "A");
+        assert_eq!(unescape_literal(r"\U0001F600").unwrap(), "\u{1F600}");
+        assert_eq!(unescape_literal(r"\b\f\'").unwrap(), "\u{0008}\u{000C}'");
+    }
+
+    #[test]
+    fn malformed_escapes_are_rejected() {
+        assert!(unescape_literal(r"\q").is_err());
+        assert!(unescape_literal(r"\u12").is_err());
+        assert!(unescape_literal(r"\uZZZZ").is_err());
+        assert!(unescape_literal(r"\UDC00DC00").is_err());
+        assert!(unescape_literal("broken\\").is_err());
     }
 }

@@ -1,5 +1,10 @@
 //! Command-line RDF → property-graph converter built on the S3PG library.
 //! See `s3pg::cli::USAGE` for options.
+//!
+//! Exit codes: 0 success, 1 runtime error (unreadable or malformed input),
+//! 2 bad flags, 3 internal panic. Malformed N-Triples/Turtle/SHACL and bad
+//! flags are always reported as typed error lines on stderr — never an
+//! unwind across the process boundary.
 
 fn main() {
     let options = match s3pg::cli::parse_args(std::env::args().skip(1)) {
@@ -9,11 +14,17 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match s3pg::cli::run(&options) {
+    // Backstop: a bug in the library must still produce a clean error line
+    // and exit code for scripted callers.
+    let run = std::panic::catch_unwind(move || match s3pg::cli::run(&options) {
         Ok(report) => print!("{report}"),
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(1);
         }
+    });
+    if run.is_err() {
+        eprintln!("error: internal converter panic (this is a bug)");
+        std::process::exit(3);
     }
 }

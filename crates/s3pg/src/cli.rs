@@ -361,6 +361,56 @@ mod tests {
     }
 
     #[test]
+    fn malformed_inputs_are_typed_errors_not_panics() {
+        let dir = std::env::temp_dir().join(format!("s3pg-cli-malformed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_with = |data: &Path, shapes: Option<&Path>| {
+            run(&Options {
+                data: data.to_path_buf(),
+                shapes: shapes.map(Path::to_path_buf),
+                mode: Mode::Parsimonious,
+                out_dir: dir.join("out"),
+                emit: vec![Artifact::Csv],
+                validate_input: false,
+                verify_roundtrip: false,
+                threads: 1,
+                show_metrics: false,
+            })
+        };
+
+        // Unreadable input.
+        assert!(run_with(&dir.join("missing.ttl"), None)
+            .unwrap_err()
+            .contains("cannot read"));
+
+        // Malformed N-Triples: unterminated IRI, stray tokens, bad escape.
+        for (name, text) in [
+            ("bad1.nt", "<http://ex/a <http://ex/p> <http://ex/b> .\n"),
+            ("bad2.nt", "<http://ex/a> <http://ex/p> \"x\" extra .\n"),
+            ("bad3.nt", "<http://ex/a> <http://ex/p> \"\\q\" .\n"),
+            ("bad4.nt", "no triples here\n"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, text).unwrap();
+            assert!(run_with(&path, None).is_err(), "{name} must be rejected");
+        }
+
+        // Malformed Turtle.
+        let ttl = dir.join("bad.ttl");
+        std::fs::write(&ttl, "@prefix : <http://ex/> .\n:a :p ; .\n:b :q\n").unwrap();
+        assert!(run_with(&ttl, None).is_err());
+
+        // Malformed SHACL shapes document alongside valid data.
+        let data = dir.join("ok.ttl");
+        std::fs::write(&data, "@prefix : <http://ex/> .\n:a a :T .\n").unwrap();
+        let shapes = dir.join("bad-shapes.ttl");
+        std::fs::write(&shapes, "@prefix sh: <oops\n").unwrap();
+        assert!(run_with(&data, Some(&shapes)).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn end_to_end_conversion_in_tempdir() {
         let dir = std::env::temp_dir().join(format!("s3pg-cli-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();

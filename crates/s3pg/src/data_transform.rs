@@ -35,12 +35,34 @@ use s3pg_rdf::{vocab, Graph, Term};
 /// Key under which language tags of `rdf:langString` carrier nodes are kept.
 pub const LANG_KEY: &str = "lang";
 
+/// A carrier node standing in for a resource object whose entity was
+/// unknown when its triple was ingested — a *forward reference* across
+/// deltas. If the entity materialises in a later delta, the carrier is
+/// replaced with a real edge (see [`repair_pending_refs`]), which is what
+/// keeps `F_dt(G ∪ Δ) = F_dt(G) ∪ F_dt(Δ)` exact regardless of how a
+/// workload is split into deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingRef {
+    /// The subject node the carrier hangs off.
+    pub src: NodeId,
+    /// The edge label of the carrier edge.
+    pub label: String,
+    /// The source predicate (drives schema widening on repair).
+    pub predicate: String,
+    /// The placeholder carrier node.
+    pub carrier: NodeId,
+}
+
 /// Mutable transformation state carried across incremental updates: the
 /// persistent part of `Ψ_ETD` (entity → node-type names).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TransformState {
     /// Entity reference (IRI or `_:label`) → node type names of its classes.
     pub entity_types: FxHashMap<String, Vec<String>>,
+    /// Resource objects currently represented by placeholder carriers,
+    /// keyed by entity reference: repaired into real edges if/when the
+    /// entity arrives in a later delta.
+    pub pending_refs: FxHashMap<String, Vec<PendingRef>>,
     /// The mode the data was transformed under.
     pub mode: Mode,
     /// Memo of already-verified widenings: key
@@ -326,6 +348,21 @@ pub(crate) fn ingest_phase2(
             pg.add_edge(s_node, o_node, &label);
             counters.carrier_nodes += 1;
             counters.edges += 1;
+            // A carrier-ized *resource* object is a forward reference: if
+            // its entity arrives in a later delta, the carrier must become
+            // a real edge.
+            if let Some(object_ref) = object_ref {
+                state
+                    .pending_refs
+                    .entry(object_ref)
+                    .or_default()
+                    .push(PendingRef {
+                        src: s_node,
+                        label: label.clone(),
+                        predicate: predicate.clone(),
+                        carrier: o_node,
+                    });
+            }
         }
     }
 }
@@ -355,15 +392,58 @@ pub(crate) fn ensure_entity_node(
         pg.add_node(Vec::<&str>::new())
     } else {
         // Untyped entity: Resource fallback keeps PG ⊨ S_PG.
+        // (resourceType is always present in the schema.)
         state
             .entity_types
             .insert(entity.to_string(), vec![RESOURCE_TYPE.to_string()]);
-        let _ = transform; // resourceType is always present in the schema
         pg.add_node([RESOURCE_LABEL])
     };
     pg.set_prop(node, IRI_KEY, Value::String(entity.to_string()));
     counters.entity_nodes += 1;
+    repair_pending_refs(pg, transform, state, entity, node);
     node
+}
+
+/// Replace carrier placeholders recorded for `entity` (triples that
+/// referenced it before any of its own statements had arrived) with real
+/// edges to its freshly materialised node, widening the edge types with the
+/// entity's node types. Invoked whenever an entity node materialises, so
+/// deltas may forward-reference entities of later deltas and the PG still
+/// converges to the one-shot transform.
+pub(crate) fn repair_pending_refs(
+    pg: &mut PropertyGraph,
+    transform: &mut SchemaTransform,
+    state: &mut TransformState,
+    entity: &str,
+    node: NodeId,
+) {
+    let Some(refs) = state.pending_refs.remove(entity) else {
+        return;
+    };
+    let targets = state.entity_types.get(entity).cloned().unwrap_or_default();
+    for r in refs {
+        // The carrier or its edge may have been deleted since it was
+        // recorded; repair only what still stands.
+        if !pg.node_is_live(r.carrier) || !pg.remove_edge(r.src, r.carrier, &r.label) {
+            continue;
+        }
+        pg.remove_node(r.carrier);
+        pg.add_edge(r.src, node, &r.label);
+        let subject_types = pg
+            .prop(r.src, IRI_KEY)
+            .and_then(|v| match v {
+                Value::String(iri) => state.entity_types.get(iri).cloned(),
+                _ => None,
+            })
+            .unwrap_or_default();
+        widen_edge_type(
+            transform,
+            &subject_types,
+            &r.label,
+            &r.predicate,
+            targets.clone(),
+        );
+    }
 }
 
 /// Convert an RDF literal to a PG value, keeping the exact lexical form:

@@ -11,9 +11,11 @@
 use crate::data_transform::{
     entity_ref, ingest, preserve_value, TransformCounters, TransformState, LANG_KEY,
 };
+use crate::error::S3pgError;
 use crate::mapping::Handling;
 use crate::schema_transform::SchemaTransform;
 use s3pg_pg::{PropertyGraph, Value, VALUE_KEY};
+use s3pg_rdf::parser::parse_ntriples;
 use s3pg_rdf::{Graph, Term};
 
 /// Apply an additions-only delta. Returns the counters for the delta pass.
@@ -151,6 +153,53 @@ pub fn apply_delta(
     let removed = apply_deletions(pg, transform, state, deletions);
     let counters = apply_additions(pg, transform, state, additions);
     (counters, removed)
+}
+
+/// What [`apply_ntriples_delta`] did: the delta pass counters, the number
+/// of PG mutations the deletions caused, and the parsed delta graphs (so a
+/// caller maintaining the source RDF graph can absorb/remove the same
+/// triples without re-parsing).
+#[derive(Debug, Clone)]
+pub struct DeltaOutcome {
+    pub counters: TransformCounters,
+    pub removed: usize,
+    pub additions: Graph,
+    pub deletions: Graph,
+}
+
+/// Parse `additions` and `deletions` as N-Triples documents and apply them
+/// as one delta (deletions first, like [`apply_delta`]). Empty strings are
+/// empty deltas. Fails with a typed error — never a panic — on malformed
+/// N-Triples, leaving the PG untouched.
+///
+/// This is the wire-facing entry point the `s3pg-serve` write path uses:
+/// both documents are parsed and validated *before* any mutation, so a bad
+/// frame cannot leave the store half-updated.
+pub fn apply_ntriples_delta(
+    pg: &mut PropertyGraph,
+    transform: &mut SchemaTransform,
+    state: &mut TransformState,
+    additions: &str,
+    deletions: &str,
+) -> Result<DeltaOutcome, S3pgError> {
+    let add_graph = parse_ntriples(additions)?;
+    let del_graph = parse_ntriples(deletions)?;
+    let removed = if !del_graph.is_empty() {
+        apply_deletions(pg, transform, state, &del_graph)
+    } else {
+        0
+    };
+    let counters = if !add_graph.is_empty() {
+        apply_additions(pg, transform, state, &add_graph)
+    } else {
+        TransformCounters::default()
+    };
+    Ok(DeltaOutcome {
+        counters,
+        removed,
+        additions: add_graph,
+        deletions: del_graph,
+    })
 }
 
 fn expected_carrier_value(graph: &Graph, o: Term) -> (Value, Option<String>) {
@@ -338,6 +387,50 @@ shape:Person a sh:NodeShape ; sh:targetClass :Person ;
         assert_eq!(counters.key_values, 1);
         let a = pg.node_by_iri("http://ex/a").unwrap();
         assert_eq!(pg.prop(a, "name"), Some(&Value::String("A-prime".into())));
+    }
+
+    #[test]
+    fn ntriples_delta_applies_both_directions() {
+        let (mut st, mut pg, mut state) = setup(Mode::Parsimonious);
+        let adds = "<http://ex/c> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+                    <http://ex/c> <http://ex/name> \"C\" .\n";
+        let dels = "<http://ex/a> <http://ex/knows> <http://ex/b> .\n";
+        let outcome = apply_ntriples_delta(&mut pg, &mut st, &mut state, adds, dels).unwrap();
+        assert_eq!(outcome.counters.entity_nodes, 1);
+        assert_eq!(outcome.removed, 1);
+        assert_eq!(outcome.additions.len(), 2);
+        assert_eq!(outcome.deletions.len(), 1);
+        let c = pg.node_by_iri("http://ex/c").unwrap();
+        assert_eq!(pg.prop(c, "name"), Some(&Value::String("C".into())));
+    }
+
+    #[test]
+    fn malformed_ntriples_delta_is_a_typed_error() {
+        let (mut st, mut pg, mut state) = setup(Mode::Parsimonious);
+        let nodes_before = pg.node_count();
+        let err = apply_ntriples_delta(
+            &mut pg,
+            &mut st,
+            &mut state,
+            "<http://ex/c> <http://ex/name \"unterminated .",
+            "",
+        )
+        .unwrap_err();
+        assert!(matches!(err, S3pgError::Rdf(_)), "{err:?}");
+        // Bad additions alongside good deletions must leave the PG as-is.
+        let err = apply_ntriples_delta(
+            &mut pg,
+            &mut st,
+            &mut state,
+            "not ntriples at all",
+            "<http://ex/a> <http://ex/knows> <http://ex/b> .\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, S3pgError::Rdf(_)), "{err:?}");
+        assert_eq!(pg.node_count(), nodes_before);
+        let a = pg.node_by_iri("http://ex/a").unwrap();
+        let b = pg.node_by_iri("http://ex/b").unwrap();
+        assert!(pg.has_edge(a, b, "knows"), "deletion must not have applied");
     }
 
     #[test]

@@ -195,6 +195,150 @@ pub struct CounterSnapshot {
     pub carrier_nodes: u64,
 }
 
+/// Number of log₂ microsecond buckets in a [`LatencyHistogram`].
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` µs; bucket 0 additionally absorbs
+/// sub-microsecond samples and the last bucket absorbs everything ≥ ~35
+/// minutes, so no sample is ever dropped.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A lock-free log-scale latency histogram.
+///
+/// Serving workers record durations with relaxed atomics (the samples are
+/// statistics, not synchronisation), and quantiles are answered from the
+/// bucket counts with at most a 2× relative error — plenty for p50/p99
+/// reporting. The histogram never allocates after construction.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        LatencySnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    pub buckets: [u64; LATENCY_BUCKETS],
+    pub count: u64,
+    pub sum_micros: u64,
+}
+
+impl LatencySnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds: the geometric
+    /// midpoint of the bucket holding the `⌈q·count⌉`-th sample, or `None`
+    /// when the histogram is empty.
+    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)): 2^i · √2.
+                let lo = 1u64 << i;
+                return Some((lo as f64 * std::f64::consts::SQRT_2) as u64);
+            }
+        }
+        None
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Request/error counters plus a latency histogram for one served endpoint.
+///
+/// This is the per-endpoint unit the `s3pg-serve` subsystem aggregates:
+/// workers bump it lock-free on every request; the `metrics` endpoint
+/// reports a [`EndpointSnapshot`] per registered endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    pub requests: AtomicU64,
+    pub errors: AtomicU64,
+    pub latency: LatencyHistogram,
+}
+
+impl EndpointMetrics {
+    /// Create zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed request.
+    pub fn observe(&self, latency: Duration, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(latency);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        let latency = self.latency.snapshot();
+        EndpointSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            p50_micros: latency.quantile_micros(0.50).unwrap_or(0),
+            p99_micros: latency.quantile_micros(0.99).unwrap_or(0),
+            mean_micros: latency.mean_micros(),
+        }
+    }
+}
+
+/// A point-in-time copy of one endpoint's [`EndpointMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointSnapshot {
+    pub requests: u64,
+    pub errors: u64,
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+    pub mean_micros: u64,
+}
+
+impl fmt::Display for EndpointSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests, {} errors, p50 {}µs, p99 {}µs, mean {}µs",
+            self.requests, self.errors, self.p50_micros, self.p99_micros, self.mean_micros
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +379,63 @@ mod tests {
         assert!(m.phase("parse").is_some());
         assert!(m.phase("missing").is_none());
         assert!(m.total_wall() >= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        // 99 fast samples around 100µs, one slow outlier around 100ms.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(100));
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        let p50 = s.quantile_micros(0.50).unwrap();
+        let p99 = s.quantile_micros(0.99).unwrap();
+        let p100 = s.quantile_micros(1.0).unwrap();
+        // Log-bucketed: within 2× of the true values.
+        assert!((50..=200).contains(&p50), "p50 = {p50}");
+        assert!((50..=200).contains(&p99), "p99 = {p99}");
+        assert!((50_000..=200_000).contains(&p100), "p100 = {p100}");
+        assert!(s.mean_micros() >= 100);
+    }
+
+    #[test]
+    fn latency_histogram_handles_extremes() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(1 << 40));
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert!(s.quantile_micros(0.0).is_some());
+        assert_eq!(
+            LatencyHistogram::new().snapshot().quantile_micros(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn endpoint_metrics_count_requests_and_errors() {
+        let m = EndpointMetrics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..100 {
+                        m.observe(Duration::from_micros(10), i % 10 != 0);
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.requests, 400);
+        assert_eq!(s.errors, 40);
+        assert!(s.p50_micros > 0 && s.p99_micros >= s.p50_micros);
+        let text = s.to_string();
+        assert!(
+            text.contains("400 requests") && text.contains("p99"),
+            "{text}"
+        );
     }
 
     #[test]

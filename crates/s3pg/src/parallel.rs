@@ -29,7 +29,8 @@
 
 use crate::data_transform::{
     describe_object, ensure_entity_node, entity_ref, ingest_phase1, ingest_phase2, preserve_value,
-    widen_cache_key, widen_edge_type, DataTransform, TransformCounters, TransformState, LANG_KEY,
+    widen_cache_key, widen_edge_type, DataTransform, PendingRef, TransformCounters, TransformState,
+    LANG_KEY,
 };
 use crate::mapping::Handling;
 use crate::metrics::{AtomicCounters, PipelineMetrics};
@@ -151,6 +152,10 @@ enum Op {
         datatype: u32,
         value: Value,
         lang: Option<String>,
+        /// `Some((object entity ref, predicate))` when the carrier stands
+        /// in for a resource object — recorded as a pending forward
+        /// reference so a later delta can repair it into a real edge.
+        pending: Option<(String, String)>,
     },
 }
 
@@ -173,6 +178,10 @@ enum WidenKey {
     Carrier(u32),
 }
 
+/// Per-shard phase-1 output: entity materialisation order plus the classes
+/// grouped per entity.
+type ShardGroups = (Vec<String>, FxHashMap<String, Vec<String>>);
+
 fn ingest_parallel(
     graph: &Graph,
     transform: &mut SchemaTransform,
@@ -186,7 +195,7 @@ fn ingest_parallel(
 
     // ---- Phase 1a: sharded grouping of type triples ----------------------
     let t0 = Instant::now();
-    let groups: Vec<(Vec<String>, FxHashMap<String, Vec<String>>)> = match type_p {
+    let groups: Vec<ShardGroups> = match type_p {
         Some(type_p) => {
             let type_triples = graph.match_pattern(None, Some(type_p), None);
             let type_triples = &type_triples;
@@ -508,6 +517,7 @@ fn run_shard(
                 datatype: dt,
                 value,
                 lang,
+                pending: object_ref.map(|r| (r, predicate.to_string())),
             });
             out.counters.carrier_nodes += 1;
             out.counters.edges += 1;
@@ -612,6 +622,7 @@ fn apply_shard(
                 datatype,
                 value,
                 lang,
+                pending,
             } => {
                 let o_node = pg.add_node_with_label_sym(datatypes[datatype as usize].1);
                 pg.set_prop_sym(o_node, value_key, value);
@@ -619,6 +630,18 @@ fn apply_shard(
                     pg.set_prop_sym(o_node, lang_key, Value::String(lang));
                 }
                 pg.add_edge_sym(src, o_node, labels[label as usize].1);
+                if let Some((object_ref, predicate)) = pending {
+                    state
+                        .pending_refs
+                        .entry(object_ref)
+                        .or_default()
+                        .push(PendingRef {
+                            src,
+                            label: labels[label as usize].0.clone(),
+                            predicate,
+                            carrier: o_node,
+                        });
+                }
             }
         }
     }

@@ -5,6 +5,12 @@
 //! `F_st` + `F_dt`, and [`load`] simulates the DBMS bulk-loading stage by
 //! exporting the transformed graph to CSV and re-ingesting it with all
 //! indexes rebuilt.
+//!
+//! A [`TransformOutput`] is not only a batch result: its `pg`, `schema`,
+//! and `state` together are the live handle that [`crate::incremental`]
+//! (and, on top of it, the `s3pg-server` serving subsystem) keeps
+//! mutating as deltas arrive — one-shot and incrementally-maintained
+//! outputs stay isomorphic.
 
 use crate::data_transform::{TransformCounters, TransformState};
 use crate::metrics::PipelineMetrics;
@@ -55,7 +61,9 @@ pub struct TransformOutput {
     pub pg: PropertyGraph,
     /// The transformed schema plus name mapping (`F_st`'s output pair).
     pub schema: SchemaTransform,
-    /// Mutable state for incremental updates.
+    /// Mutable state for incremental updates: entity-type table, carrier
+    /// bookkeeping, and pending forward references awaiting repair
+    /// (`PendingRef`) — required by [`crate::incremental`].
     pub state: TransformState,
     /// What the data pass produced.
     pub counters: TransformCounters,

@@ -1,0 +1,73 @@
+//! The `s3pg-serve` binary: load an RDF graph (+ optional SHACL shapes),
+//! transform it, and serve Cypher/SPARQL reads and N-Triples deltas over
+//! the line-delimited JSON protocol. See `s3pg_server::cli::USAGE`.
+//!
+//! Exits gracefully on SIGINT/SIGTERM or a client `shutdown` request:
+//! in-flight requests drain before the process ends. All startup failures
+//! (bad flags, unreadable/malformed inputs) are reported as typed errors
+//! on stderr with a non-zero exit code — never a panic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main thread.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Hand-rolled libc binding: the hermetic build has no `libc` crate, and
+    // std exposes no signal API. The handler only stores to an atomic,
+    // which is async-signal-safe.
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn main() {
+    let options = match s3pg_server::cli::parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    // A bug anywhere below must still produce a clean error line and exit
+    // code instead of an unwind across the process boundary.
+    let run = std::panic::catch_unwind(move || {
+        let (handle, report) = match s3pg_server::cli::start(&options) {
+            Ok(started) => started,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        };
+        println!("{report}");
+        install_signal_handlers();
+        while !handle.is_shutting_down() {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                eprintln!("signal received, draining…");
+                handle.shutdown();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        handle.join();
+        println!("shutdown complete");
+    });
+    if run.is_err() {
+        eprintln!("error: internal server panic (this is a bug)");
+        std::process::exit(3);
+    }
+}

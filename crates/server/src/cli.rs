@@ -1,0 +1,180 @@
+//! Argument parsing and startup for the `s3pg-serve` binary. The logic
+//! lives here (unit-testable); the binary is a thin wrapper.
+
+use crate::server::{serve, ServerConfig, ServerHandle};
+use crate::store::GraphStore;
+use s3pg::Mode;
+use s3pg_shacl::parser::parse_shacl_turtle;
+use s3pg_shacl::{extract_shapes, ShapeSchema};
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    pub data: PathBuf,
+    pub shapes: Option<PathBuf>,
+    pub mode: Mode,
+    /// Bind address; port 0 picks an ephemeral port (printed on startup).
+    pub addr: String,
+    pub workers: usize,
+    pub queue_capacity: usize,
+    /// Threads for the startup transform only.
+    pub threads: usize,
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: s3pg-serve --data FILE[.ttl|.nt] [--shapes FILE.ttl] \
+                         [--mode parsimonious|non-parsimonious] [--addr HOST:PORT] \
+                         [--workers N] [--queue N] [--threads N]";
+
+/// Parse argv-style arguments (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut data = None;
+    let mut shapes = None;
+    let mut mode = Mode::Parsimonious;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers = 4usize;
+    let mut queue_capacity = 64usize;
+    let mut threads = 1usize;
+
+    let positive = |flag: &str, value: Option<String>| -> Result<usize, String> {
+        let v = value.ok_or(format!("{flag} needs a count"))?;
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("{flag} needs a positive integer, got '{v}'"))
+    };
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data" => data = Some(PathBuf::from(it.next().ok_or("--data needs a path")?)),
+            "--shapes" => shapes = Some(PathBuf::from(it.next().ok_or("--shapes needs a path")?)),
+            "--mode" => {
+                mode = match it.next().as_deref() {
+                    Some("parsimonious") => Mode::Parsimonious,
+                    Some("non-parsimonious") => Mode::NonParsimonious,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?,
+            "--workers" => workers = positive("--workers", it.next())?,
+            "--queue" => queue_capacity = positive("--queue", it.next())?,
+            "--threads" => threads = positive("--threads", it.next())?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(Options {
+        data: data.ok_or(format!("--data is required\n{USAGE}"))?,
+        shapes,
+        mode,
+        addr,
+        workers,
+        queue_capacity,
+        threads,
+    })
+}
+
+/// Load inputs, build the store, and start serving. Returns the running
+/// server and a one-line startup report.
+pub fn start(options: &Options) -> Result<(ServerHandle, String), String> {
+    let graph = s3pg::cli::load_graph_with(&options.data, options.threads)?;
+    let shapes: ShapeSchema = match &options.shapes {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            parse_shacl_turtle(&text).map_err(|e| e.to_string())?
+        }
+        None => extract_shapes(&graph),
+    };
+    let triples = graph.len();
+    let store = GraphStore::new(graph, &shapes, options.mode, options.threads);
+    let snapshot = store.snapshot();
+    let report_base = format!(
+        "serving {} triples as {} nodes / {} edges ({}, PG {} S_PG)",
+        triples,
+        snapshot.pg.node_count(),
+        snapshot.pg.edge_count(),
+        options.mode.name(),
+        if snapshot.conforms { "⊨" } else { "⊭" },
+    );
+    let handle = serve(
+        &options.addr,
+        store,
+        ServerConfig {
+            workers: options.workers,
+            queue_capacity: options.queue_capacity,
+        },
+    )
+    .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    let report = format!(
+        "{report_base}\nlistening on {} ({} workers, queue {})",
+        handle.addr, options.workers, options.queue_capacity
+    );
+    Ok((handle, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Options, String> {
+        parse_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_minimal_args() {
+        let o = args(&["--data", "g.ttl"]).unwrap();
+        assert_eq!(o.data, PathBuf::from("g.ttl"));
+        assert_eq!(o.mode, Mode::Parsimonious);
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        assert_eq!((o.workers, o.queue_capacity, o.threads), (4, 64, 1));
+    }
+
+    #[test]
+    fn parses_full_args() {
+        let o = args(&[
+            "--data",
+            "g.nt",
+            "--shapes",
+            "s.ttl",
+            "--mode",
+            "non-parsimonious",
+            "--addr",
+            "0.0.0.0:0",
+            "--workers",
+            "8",
+            "--queue",
+            "2",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(o.mode, Mode::NonParsimonious);
+        assert_eq!(o.addr, "0.0.0.0:0");
+        assert_eq!((o.workers, o.queue_capacity, o.threads), (8, 2, 4));
+        assert_eq!(o.shapes, Some(PathBuf::from("s.ttl")));
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(args(&[]).is_err());
+        assert!(args(&["--data"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--mode", "chaotic"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--workers", "0"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--queue", "-3"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--flag"]).is_err());
+        assert!(args(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn start_reports_missing_data_as_error() {
+        let o = args(&["--data", "/nonexistent/graph.ttl", "--addr", "127.0.0.1:0"]).unwrap();
+        let err = match start(&o) {
+            Err(err) => err,
+            Ok(_) => panic!("start must fail on a missing data file"),
+        };
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # `s3pg-serve` — a concurrent graph-serving subsystem
+//!
+//! Serves the transformed property graph *and* the source RDF store over
+//! one std-only multi-threaded TCP server, turning the batch pipeline into
+//! the unified RDF+PG serving scenario the paper's incremental result
+//! (§4.2.1) enables: Cypher and SPARQL reads answer from immutable
+//! snapshots while N-Triples deltas stream through the monotonic update
+//! path — no re-transformation, no downtime.
+//!
+//! * [`json`] — dependency-free JSON for the wire protocol.
+//! * [`protocol`] — line-delimited JSON requests/responses with *typed*
+//!   error frames (`bad_request`, `parse`, `query`, `overloaded`,
+//!   `shutting_down`, `internal`).
+//! * [`store`] — `RwLock`-published `Arc` snapshots for lock-free reads;
+//!   a mutex-serialized writer applying deltas via [`s3pg::incremental`].
+//! * [`server`] — fixed worker pool, bounded accept queue with load
+//!   shedding, per-endpoint request/error/latency metrics built on
+//!   [`s3pg::metrics`], graceful drain on `shutdown`/signal.
+//! * [`client`] — blocking typed client (loadgen and tests).
+//! * [`cli`] — argument parsing/startup for the `s3pg-serve` binary.
+//!
+//! ```no_run
+//! use s3pg_server::{server, store::GraphStore, client::Client, protocol::Request};
+//! use s3pg::Mode;
+//!
+//! let rdf = s3pg_rdf::parser::parse_turtle("…").unwrap();
+//! let shapes = s3pg_shacl::extract_shapes(&rdf);
+//! let store = GraphStore::new(rdf, &shapes, Mode::Parsimonious, 1);
+//! let handle = server::serve("127.0.0.1:0", store, Default::default()).unwrap();
+//! let mut client = Client::connect(&handle.addr.to_string()).unwrap();
+//! let pong = client.call(&Request::Ping).unwrap();
+//! ```
+
+pub mod cli;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use protocol::{ErrorKind, Request, Response};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use store::GraphStore;

@@ -1,0 +1,584 @@
+//! The `s3pg-serve` wire protocol: one JSON object per line, in both
+//! directions.
+//!
+//! Requests name an endpoint in `"op"`; responses always carry `"ok"`.
+//! Every failure is a *typed* error frame — `{"ok":false,"error":{"kind":
+//! ..., "message": ...}}` — so clients can tell a malformed query
+//! (`"query"`) from a saturated server (`"overloaded"`) from a server that
+//! is draining for shutdown (`"shutting_down"`) without string matching.
+//!
+//! ```text
+//! → {"op":"cypher","query":"MATCH (n:Person) RETURN n.name"}
+//! ← {"ok":true,"columns":["n.name"],"rows":[["Ada"],["Bob"]]}
+//! → {"op":"update","additions":"<http://ex/c> <http://ex/name> \"C\" .\n"}
+//! ← {"ok":true,"added_nodes":0,"added_edges":0,"added_properties":1,
+//!    "removed":0,"conforms":true}
+//! ```
+
+use crate::json::{self, Json};
+use std::fmt;
+
+/// A client request: one endpoint invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a Cypher query against the current PG snapshot.
+    Cypher { query: String },
+    /// Run a SPARQL query against the current RDF snapshot.
+    Sparql { query: String },
+    /// Apply an N-Triples delta (additions and/or deletions) through the
+    /// monotonic incremental-update path.
+    Update {
+        additions: String,
+        deletions: String,
+    },
+    /// Snapshot statistics: node/edge/triple counts and conformance.
+    Stats,
+    /// Per-endpoint request/error counters and latency percentiles.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful shutdown: drain in-flight requests, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The endpoint name used for metrics and the `"op"` field.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::Cypher { .. } => "cypher",
+            Request::Sparql { .. } => "sparql",
+            Request::Update { .. } => "update",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Endpoints a server tracks metrics for, in reporting order.
+    /// `"invalid"` accounts for frames that never parsed into a request.
+    pub const ENDPOINTS: [&'static str; 8] = [
+        "cypher", "sparql", "update", "stats", "metrics", "ping", "shutdown", "invalid",
+    ];
+
+    /// Decode one request line. Returns a typed [`ErrorFrame`] (kind
+    /// `bad_request`) on malformed JSON or an unknown/missing `op`.
+    pub fn decode(line: &str) -> Result<Request, ErrorFrame> {
+        let bad = |message: String| ErrorFrame {
+            kind: ErrorKind::BadRequest,
+            message,
+        };
+        let value = json::parse(line.trim()).map_err(|e| bad(e.to_string()))?;
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string field \"op\"".to_string()))?;
+        let field = |name: &str| -> Result<String, ErrorFrame> {
+            value
+                .get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("op \"{op}\" needs a string field \"{name}\"")))
+        };
+        let optional = |name: &str| {
+            value
+                .get(name)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        match op {
+            "cypher" => Ok(Request::Cypher {
+                query: field("query")?,
+            }),
+            "sparql" => Ok(Request::Sparql {
+                query: field("query")?,
+            }),
+            "update" => {
+                let additions = optional("additions");
+                let deletions = optional("deletions");
+                if additions.is_empty() && deletions.is_empty() {
+                    return Err(bad(
+                        "op \"update\" needs \"additions\" and/or \"deletions\"".to_string(),
+                    ));
+                }
+                Ok(Request::Update {
+                    additions,
+                    deletions,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(bad(format!("unknown op {other:?}"))),
+        }
+    }
+
+    /// Encode this request as one protocol line (no newline).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Request::Cypher { query } => {
+                Json::obj([("op", "cypher".into()), ("query", query.as_str().into())])
+            }
+            Request::Sparql { query } => {
+                Json::obj([("op", "sparql".into()), ("query", query.as_str().into())])
+            }
+            Request::Update {
+                additions,
+                deletions,
+            } => Json::obj([
+                ("op", "update".into()),
+                ("additions", additions.as_str().into()),
+                ("deletions", deletions.as_str().into()),
+            ]),
+            Request::Stats => Json::obj([("op", "stats".into())]),
+            Request::Metrics => Json::obj([("op", "metrics".into())]),
+            Request::Ping => Json::obj([("op", "ping".into())]),
+            Request::Shutdown => Json::obj([("op", "shutdown".into())]),
+        };
+        json.to_line()
+    }
+}
+
+/// Typed error categories of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame was not valid JSON / not a known request shape.
+    BadRequest,
+    /// The request payload failed to parse (bad N-Triples delta).
+    Parse,
+    /// The query was rejected by the Cypher/SPARQL engine.
+    Query,
+    /// The accept queue is full; the connection was shed.
+    Overloaded,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// A bug: the handler panicked or hit an unexpected state.
+    Internal,
+}
+
+impl ErrorKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Query => "query",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    pub fn parse_kind(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "bad_request" => ErrorKind::BadRequest,
+            "parse" => ErrorKind::Parse,
+            "query" => ErrorKind::Query,
+            "overloaded" => ErrorKind::Overloaded,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// An error response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    pub kind: ErrorKind,
+    pub message: String,
+}
+
+impl fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+/// Per-endpoint metrics as reported over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointReport {
+    pub requests: u64,
+    pub errors: u64,
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+}
+
+/// A server response: one success shape per endpoint, or a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Cypher result rows (values rendered in the `tr(µ)` domain).
+    Cypher {
+        columns: Vec<String>,
+        rows: Vec<Vec<Option<String>>>,
+    },
+    /// SPARQL result rows (terms rendered in the `tr(µ)` domain).
+    Sparql {
+        vars: Vec<String>,
+        rows: Vec<Vec<Option<String>>>,
+    },
+    /// Outcome of an applied delta.
+    Update {
+        added_nodes: u64,
+        added_edges: u64,
+        added_properties: u64,
+        removed: u64,
+        conforms: bool,
+    },
+    Stats {
+        nodes: u64,
+        edges: u64,
+        triples: u64,
+        conforms: bool,
+    },
+    Metrics {
+        endpoints: Vec<(String, EndpointReport)>,
+    },
+    Pong,
+    /// Acknowledgement that the server is draining for exit.
+    ShuttingDown,
+    Error(ErrorFrame),
+}
+
+impl Response {
+    /// Whether this is a success frame.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Error(_))
+    }
+
+    /// Encode as one protocol line (no newline).
+    pub fn encode(&self) -> String {
+        let rows_json = |rows: &[Vec<Option<String>>]| {
+            Json::Arr(
+                rows.iter()
+                    .map(|row| {
+                        Json::Arr(
+                            row.iter()
+                                .map(|cell| match cell {
+                                    Some(s) => Json::Str(s.clone()),
+                                    None => Json::Null,
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let strings =
+            |items: &[String]| Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect());
+        let json = match self {
+            Response::Cypher { columns, rows } => Json::obj([
+                ("ok", true.into()),
+                ("columns", strings(columns)),
+                ("rows", rows_json(rows)),
+            ]),
+            Response::Sparql { vars, rows } => Json::obj([
+                ("ok", true.into()),
+                ("vars", strings(vars)),
+                ("rows", rows_json(rows)),
+            ]),
+            Response::Update {
+                added_nodes,
+                added_edges,
+                added_properties,
+                removed,
+                conforms,
+            } => Json::obj([
+                ("ok", true.into()),
+                ("added_nodes", (*added_nodes).into()),
+                ("added_edges", (*added_edges).into()),
+                ("added_properties", (*added_properties).into()),
+                ("removed", (*removed).into()),
+                ("conforms", (*conforms).into()),
+            ]),
+            Response::Stats {
+                nodes,
+                edges,
+                triples,
+                conforms,
+            } => Json::obj([
+                ("ok", true.into()),
+                ("nodes", (*nodes).into()),
+                ("edges", (*edges).into()),
+                ("triples", (*triples).into()),
+                ("conforms", (*conforms).into()),
+            ]),
+            Response::Metrics { endpoints } => Json::obj([
+                ("ok", true.into()),
+                (
+                    "endpoints",
+                    Json::Obj(
+                        endpoints
+                            .iter()
+                            .map(|(name, r)| {
+                                (
+                                    name.clone(),
+                                    Json::obj([
+                                        ("requests", r.requests.into()),
+                                        ("errors", r.errors.into()),
+                                        ("p50_micros", r.p50_micros.into()),
+                                        ("p99_micros", r.p99_micros.into()),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Pong => Json::obj([("ok", true.into()), ("pong", true.into())]),
+            Response::ShuttingDown => {
+                Json::obj([("ok", true.into()), ("shutting_down", true.into())])
+            }
+            Response::Error(e) => Json::obj([
+                ("ok", false.into()),
+                (
+                    "error",
+                    Json::obj([
+                        ("kind", e.kind.as_str().into()),
+                        ("message", e.message.as_str().into()),
+                    ]),
+                ),
+            ]),
+        };
+        json.to_line()
+    }
+
+    /// Decode one response line. The success shape is inferred from the
+    /// fields present (each endpoint has a distinct marker field).
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let value = json::parse(line.trim()).map_err(|e| e.to_string())?;
+        let ok = value
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or("missing \"ok\" field")?;
+        if !ok {
+            let error = value.get("error").ok_or("error frame without \"error\"")?;
+            let kind = error
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(ErrorKind::parse_kind)
+                .ok_or("error frame with unknown kind")?;
+            let message = error
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            return Ok(Response::Error(ErrorFrame { kind, message }));
+        }
+        let rows_of = |v: &Json| -> Result<Vec<Vec<Option<String>>>, String> {
+            v.as_array()
+                .ok_or("\"rows\" must be an array")?
+                .iter()
+                .map(|row| {
+                    row.as_array()
+                        .ok_or_else(|| "row must be an array".to_string())?
+                        .iter()
+                        .map(|cell| match cell {
+                            Json::Null => Ok(None),
+                            Json::Str(s) => Ok(Some(s.clone())),
+                            _ => Err("cell must be string or null".to_string()),
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let strings_of = |v: &Json| -> Result<Vec<String>, String> {
+            v.as_array()
+                .ok_or("expected an array of strings")?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "expected a string".to_string())
+                })
+                .collect()
+        };
+        let num = |v: &Json, name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field \"{name}\""))
+        };
+        if let Some(columns) = value.get("columns") {
+            Ok(Response::Cypher {
+                columns: strings_of(columns)?,
+                rows: rows_of(value.get("rows").ok_or("missing \"rows\"")?)?,
+            })
+        } else if let Some(vars) = value.get("vars") {
+            Ok(Response::Sparql {
+                vars: strings_of(vars)?,
+                rows: rows_of(value.get("rows").ok_or("missing \"rows\"")?)?,
+            })
+        } else if value.get("added_nodes").is_some() {
+            Ok(Response::Update {
+                added_nodes: num(&value, "added_nodes")?,
+                added_edges: num(&value, "added_edges")?,
+                added_properties: num(&value, "added_properties")?,
+                removed: num(&value, "removed")?,
+                conforms: value
+                    .get("conforms")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing \"conforms\"")?,
+            })
+        } else if value.get("triples").is_some() {
+            Ok(Response::Stats {
+                nodes: num(&value, "nodes")?,
+                edges: num(&value, "edges")?,
+                triples: num(&value, "triples")?,
+                conforms: value
+                    .get("conforms")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing \"conforms\"")?,
+            })
+        } else if let Some(endpoints) = value.get("endpoints") {
+            let Json::Obj(fields) = endpoints else {
+                return Err("\"endpoints\" must be an object".to_string());
+            };
+            let endpoints = fields
+                .iter()
+                .map(|(name, v)| {
+                    Ok((
+                        name.clone(),
+                        EndpointReport {
+                            requests: num(v, "requests")?,
+                            errors: num(v, "errors")?,
+                            p50_micros: num(v, "p50_micros")?,
+                            p99_micros: num(v, "p99_micros")?,
+                        },
+                    ))
+                })
+                .collect::<Result<_, String>>()?;
+            Ok(Response::Metrics { endpoints })
+        } else if value.get("pong").is_some() {
+            Ok(Response::Pong)
+        } else if value.get("shutting_down").is_some() {
+            Ok(Response::ShuttingDown)
+        } else {
+            Err("unrecognized response shape".to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for request in [
+            Request::Cypher {
+                query: "MATCH (n) RETURN n".to_string(),
+            },
+            Request::Sparql {
+                query: "SELECT * WHERE { ?s ?p ?o }".to_string(),
+            },
+            Request::Update {
+                additions: "<http://ex/a> <http://ex/p> \"line\\nbreak\" .\n".to_string(),
+                deletions: String::new(),
+            },
+            Request::Stats,
+            Request::Metrics,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let line = request.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::decode(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for response in [
+            Response::Cypher {
+                columns: vec!["a".into(), "b".into()],
+                rows: vec![
+                    vec![Some("x".into()), None],
+                    vec![Some("y".into()), Some("z".into())],
+                ],
+            },
+            Response::Sparql {
+                vars: vec!["s".into()],
+                rows: vec![vec![Some("http://ex/a".into())]],
+            },
+            Response::Update {
+                added_nodes: 1,
+                added_edges: 2,
+                added_properties: 3,
+                removed: 0,
+                conforms: true,
+            },
+            Response::Stats {
+                nodes: 10,
+                edges: 20,
+                triples: 30,
+                conforms: false,
+            },
+            Response::Metrics {
+                endpoints: vec![(
+                    "cypher".to_string(),
+                    EndpointReport {
+                        requests: 5,
+                        errors: 1,
+                        p50_micros: 90,
+                        p99_micros: 1500,
+                    },
+                )],
+            },
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Error(ErrorFrame {
+                kind: ErrorKind::Overloaded,
+                message: "accept queue full".to_string(),
+            }),
+        ] {
+            let line = response.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Response::decode(&line).unwrap(), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_become_typed_errors() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"op":42}"#,
+            r#"{"op":"fly"}"#,
+            r#"{"op":"cypher"}"#,
+            r#"{"op":"update"}"#,
+            r#"{"op":"update","additions":7}"#,
+        ] {
+            let e = Request::decode(bad).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_kind_strings_are_stable() {
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::Parse,
+            ErrorKind::Query,
+            ErrorKind::Overloaded,
+            ErrorKind::ShuttingDown,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::parse_kind(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorKind::parse_kind("nope"), None);
+    }
+
+    #[test]
+    fn update_with_only_deletions_is_valid() {
+        let r = Request::decode(r#"{"op":"update","deletions":"<a> <b> <c> ."}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Update {
+                additions: String::new(),
+                deletions: "<a> <b> <c> .".to_string()
+            }
+        );
+    }
+}

@@ -1,0 +1,432 @@
+//! The concurrent TCP server: fixed worker pool, bounded accept queue,
+//! load shedding, per-endpoint metrics, graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One *acceptor* thread polls a non-blocking [`TcpListener`]. Accepted
+//! connections go into a bounded queue; when the queue is full the
+//! acceptor *sheds load* — it writes one typed `overloaded` error frame
+//! and closes the connection, so a saturated server degrades with explicit
+//! rejections instead of unbounded queueing or hangs. A fixed pool of
+//! *worker* threads pops connections and serves them to completion
+//! (line-delimited JSON, one request per line, one response per line).
+//!
+//! ## Read/write paths
+//!
+//! Workers answer `cypher`/`sparql` against an immutable
+//! [`GraphStore`] snapshot (no lock held while the query runs) and route
+//! `update` frames through the store's serialized monotonic write path.
+//! Handler panics are caught per request and surfaced as typed `internal`
+//! error frames — one bad request can never take down the server.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request (or [`ServerHandle::shutdown`], or the binary's
+//! signal handler) flips a shared flag. The acceptor stops accepting,
+//! workers finish the request in flight on their current connection, any
+//! queued-but-unserved connections receive a typed `shutting_down` frame,
+//! and [`ServerHandle::join`] returns once every thread has exited.
+
+use crate::protocol::{EndpointReport, ErrorFrame, ErrorKind, Request, Response};
+use crate::store::GraphStore;
+use s3pg::metrics::EndpointMetrics;
+use s3pg::S3pgError;
+use s3pg_query::{cypher, render_term, render_value, sparql};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before the server
+    /// starts shedding load.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How often the acceptor polls the nonblocking listener. Much tighter
+/// than [`POLL_INTERVAL`]: this bounds the latency of a connection's
+/// *first* request (accept → queue → worker pickup), which would
+/// otherwise show up as a multi-millisecond p99 artifact under load.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Per-endpoint metrics, in [`Request::ENDPOINTS`] order.
+pub struct MetricsRegistry {
+    endpoints: Vec<(&'static str, EndpointMetrics)>,
+}
+
+impl MetricsRegistry {
+    fn new() -> Self {
+        MetricsRegistry {
+            endpoints: Request::ENDPOINTS
+                .iter()
+                .map(|&name| (name, EndpointMetrics::new()))
+                .collect(),
+        }
+    }
+
+    fn of(&self, endpoint: &str) -> &EndpointMetrics {
+        // The registry is fixed at construction; unknown names account to
+        // the `invalid` bucket rather than panicking.
+        self.endpoints
+            .iter()
+            .find(|(name, _)| *name == endpoint)
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| &self.endpoints[self.endpoints.len() - 1].1)
+    }
+
+    /// Wire-protocol report of every endpoint.
+    pub fn report(&self) -> Vec<(String, EndpointReport)> {
+        self.endpoints
+            .iter()
+            .map(|(name, m)| {
+                let s = m.snapshot();
+                (
+                    name.to_string(),
+                    EndpointReport {
+                        requests: s.requests,
+                        errors: s.errors,
+                        p50_micros: s.p50_micros,
+                        p99_micros: s.p99_micros,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+struct Shared {
+    store: GraphStore,
+    metrics: MetricsRegistry,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_signal: Condvar,
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Request graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_signal.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until every server thread has exited.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Point-in-time metrics report (same data as the `metrics` endpoint).
+    pub fn metrics(&self) -> Vec<(String, EndpointReport)> {
+        self.shared.metrics.report()
+    }
+}
+
+/// Bind `addr` and start serving `store`. Returns once the listener is
+/// bound and all threads are running.
+pub fn serve(addr: &str, store: GraphStore, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        store,
+        metrics: MetricsRegistry::new(),
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_signal: Condvar::new(),
+    });
+
+    let workers = config.workers.max(1);
+    let capacity = config.queue_capacity.max(1);
+    let mut threads = Vec::with_capacity(workers + 1);
+
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&listener, &shared, capacity)
+        }));
+    }
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, capacity: usize) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if queue.len() >= capacity {
+                    drop(queue);
+                    shed(stream, ErrorKind::Overloaded, "accept queue full");
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.queue_signal.notify_one();
+                }
+            }
+            Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Drain: connections accepted but never served get a typed goodbye.
+    let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    while let Some(stream) = queue.pop_front() {
+        shed(stream, ErrorKind::ShuttingDown, "server is shutting down");
+    }
+    shared.queue_signal.notify_all();
+}
+
+/// Reject a connection with one typed error frame. Best-effort: the peer
+/// may already be gone.
+fn shed(mut stream: TcpStream, kind: ErrorKind, message: &str) {
+    let frame = Response::Error(ErrorFrame {
+        kind,
+        message: message.to_string(),
+    });
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = writeln!(stream, "{}", frame.encode());
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_signal
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = q;
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(stream, shared),
+            None => return,
+        }
+    }
+}
+
+/// Serve one connection until EOF, a fatal I/O error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // Responses are single short frames: without TCP_NODELAY, Nagle plus
+    // the client's delayed ACK turns every request into a ~40ms round
+    // trip.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            shed_open(&mut writer);
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    // Timed out mid-line; keep accumulating.
+                    continue;
+                }
+                if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let (response, endpoint) = respond(&line, shared);
+                line.clear();
+                let is_shutdown_ack = matches!(response, Response::ShuttingDown);
+                if writeln!(writer, "{}", response.encode()).is_err() {
+                    return;
+                }
+                if is_shutdown_ack {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.queue_signal.notify_all();
+                    return;
+                }
+                if endpoint == "shutdown" {
+                    return;
+                }
+            }
+            // Read timeout: loop to re-check the shutdown flag. Partial
+            // data already read stays appended to `line`.
+            Err(e) if matches!(e.kind(), IoErrorKind::WouldBlock | IoErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn shed_open(writer: &mut TcpStream) {
+    let frame = Response::Error(ErrorFrame {
+        kind: ErrorKind::ShuttingDown,
+        message: "server is shutting down".to_string(),
+    });
+    let _ = writeln!(writer, "{}", frame.encode());
+}
+
+/// Decode, dispatch, and meter one request line.
+fn respond(line: &str, shared: &Shared) -> (Response, &'static str) {
+    let start = Instant::now();
+    let (response, endpoint) = match Request::decode(line) {
+        Ok(request) => {
+            let endpoint = request.endpoint();
+            // A panicking handler must not unwind through the worker: turn
+            // it into a typed internal error and keep serving.
+            let response = catch_unwind(AssertUnwindSafe(|| dispatch(&request, shared)))
+                .unwrap_or_else(|panic| {
+                    Response::Error(ErrorFrame {
+                        kind: ErrorKind::Internal,
+                        message: format!("handler panicked: {}", panic_message(&panic)),
+                    })
+                });
+            (response, endpoint)
+        }
+        Err(frame) => (Response::Error(frame), "invalid"),
+    };
+    shared
+        .metrics
+        .of(endpoint)
+        .observe(start.elapsed(), response.is_ok());
+    (response, endpoint)
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("unknown panic")
+}
+
+fn dispatch(request: &Request, shared: &Shared) -> Response {
+    match request {
+        Request::Cypher { query } => {
+            let snap = shared.store.snapshot();
+            match cypher::execute(&snap.pg, query) {
+                Ok(rows) => Response::Cypher {
+                    columns: rows.columns.clone(),
+                    rows: rows
+                        .rows
+                        .iter()
+                        .map(|row| row.iter().map(|v| v.as_ref().map(render_value)).collect())
+                        .collect(),
+                },
+                Err(e) => Response::Error(ErrorFrame {
+                    kind: ErrorKind::Query,
+                    message: e.to_string(),
+                }),
+            }
+        }
+        Request::Sparql { query } => {
+            let snap = shared.store.snapshot();
+            match sparql::execute(&snap.rdf, query) {
+                Ok(solutions) => Response::Sparql {
+                    vars: solutions.vars.clone(),
+                    rows: solutions
+                        .rows
+                        .iter()
+                        .map(|row| {
+                            row.iter()
+                                .map(|t| t.map(|t| render_term(&snap.rdf, t)))
+                                .collect()
+                        })
+                        .collect(),
+                },
+                Err(e) => Response::Error(ErrorFrame {
+                    kind: ErrorKind::Query,
+                    message: e.to_string(),
+                }),
+            }
+        }
+        Request::Update {
+            additions,
+            deletions,
+        } => match shared.store.apply_update(additions, deletions) {
+            Ok(summary) => Response::Update {
+                added_nodes: summary.added_nodes,
+                added_edges: summary.added_edges,
+                added_properties: summary.added_properties,
+                removed: summary.removed,
+                conforms: summary.conforms,
+            },
+            Err(e @ S3pgError::Rdf(_)) => Response::Error(ErrorFrame {
+                kind: ErrorKind::Parse,
+                message: e.to_string(),
+            }),
+            Err(e) => Response::Error(ErrorFrame {
+                kind: ErrorKind::Internal,
+                message: e.to_string(),
+            }),
+        },
+        Request::Stats => {
+            let snap = shared.store.snapshot();
+            Response::Stats {
+                nodes: snap.pg.node_count() as u64,
+                edges: snap.pg.edge_count() as u64,
+                triples: snap.rdf.len() as u64,
+                conforms: snap.conforms,
+            }
+        }
+        Request::Metrics => Response::Metrics {
+            endpoints: shared.metrics.report(),
+        },
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}

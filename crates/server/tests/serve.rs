@@ -1,0 +1,337 @@
+//! End-to-end tests of the serving subsystem over real TCP connections:
+//! reads, live monotonic updates, typed error frames on malformed input,
+//! load shedding at saturation, and graceful shutdown drain.
+
+use s3pg::Mode;
+use s3pg_rdf::parser::parse_turtle;
+use s3pg_server::client::{Client, ClientError};
+use s3pg_server::protocol::{ErrorKind, Request, Response};
+use s3pg_server::server::{serve, ServerConfig, ServerHandle};
+use s3pg_server::store::GraphStore;
+use s3pg_shacl::parser::parse_shacl_turtle;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const SHAPES: &str = r#"
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://ex/> .
+<http://ex/shape/Person> a sh:NodeShape ; sh:targetClass :Person ;
+    sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                  sh:minCount 1 ; sh:maxCount 1 ] ;
+    sh:property [ sh:path :knows ; sh:class :Person ; sh:minCount 0 ] .
+"#;
+
+const DATA: &str = r#"
+@prefix : <http://ex/> .
+:a a :Person ; :name "A" ; :knows :b .
+:b a :Person ; :name "B" .
+"#;
+
+fn start_server(config: ServerConfig) -> ServerHandle {
+    let rdf = parse_turtle(DATA).unwrap();
+    let shapes = parse_shacl_turtle(SHAPES).unwrap();
+    let store = GraphStore::new(rdf, &shapes, Mode::Parsimonious, 1);
+    serve("127.0.0.1:0", store, config).unwrap()
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(&handle.addr.to_string()).unwrap()
+}
+
+#[test]
+fn serves_reads_updates_and_metrics_over_tcp() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+
+    // Cypher read.
+    let response = client
+        .call(&Request::Cypher {
+            query: "MATCH (p:Person) RETURN p.name".to_string(),
+        })
+        .unwrap();
+    let Response::Cypher { columns, mut rows } = response else {
+        panic!("expected cypher rows");
+    };
+    assert_eq!(columns, vec!["p.name"]);
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![vec![Some("A".to_string())], vec![Some("B".to_string())]]
+    );
+
+    // SPARQL read over the same logical state.
+    let response = client
+        .call(&Request::Sparql {
+            query: "PREFIX ex: <http://ex/> SELECT ?n WHERE { ?s ex:name ?n }".to_string(),
+        })
+        .unwrap();
+    let Response::Sparql { vars, rows } = response else {
+        panic!("expected sparql rows");
+    };
+    assert_eq!(vars, vec!["n"]);
+    assert_eq!(rows.len(), 2);
+
+    // Monotonic live update…
+    let response = client
+        .call(&Request::Update {
+            additions:
+                "<http://ex/c> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+                 <http://ex/c> <http://ex/name> \"C\" .\n\
+                 <http://ex/c> <http://ex/knows> <http://ex/a> .\n"
+                    .to_string(),
+            deletions: String::new(),
+        })
+        .unwrap();
+    assert_eq!(
+        response,
+        Response::Update {
+            added_nodes: 1,
+            added_edges: 1,
+            added_properties: 1,
+            removed: 0,
+            conforms: true
+        }
+    );
+
+    // …visible to reads issued after the ack, on both engines.
+    let response = client
+        .call(&Request::Cypher {
+            query: "MATCH (p:Person) RETURN p.name".to_string(),
+        })
+        .unwrap();
+    let Response::Cypher { rows, .. } = response else {
+        panic!("expected cypher rows");
+    };
+    assert_eq!(rows.len(), 3);
+    let response = client.call(&Request::Stats).unwrap();
+    let Response::Stats {
+        nodes,
+        triples,
+        conforms,
+        ..
+    } = response
+    else {
+        panic!("expected stats");
+    };
+    assert_eq!(nodes, 3);
+    assert_eq!(triples, 8);
+    assert!(conforms);
+
+    // Metrics report every endpoint with counts and percentiles.
+    let response = client.call(&Request::Metrics).unwrap();
+    let Response::Metrics { endpoints } = response else {
+        panic!("expected metrics");
+    };
+    let get = |name: &str| {
+        endpoints
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+            .unwrap()
+    };
+    assert_eq!(get("ping").requests, 1);
+    assert_eq!(get("cypher").requests, 2);
+    assert_eq!(get("sparql").requests, 1);
+    assert_eq!(get("update").requests, 1);
+    assert_eq!(get("cypher").errors, 0);
+    assert!(get("update").p99_micros >= get("update").p50_micros);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn malformed_input_yields_typed_errors_not_panics() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    // Garbage frame.
+    let Response::Error(e) = client.call_raw("this is not json").unwrap() else {
+        panic!("expected error frame");
+    };
+    assert_eq!(e.kind, ErrorKind::BadRequest);
+
+    // Unknown op.
+    let Response::Error(e) = client.call_raw(r#"{"op":"explode"}"#).unwrap() else {
+        panic!("expected error frame");
+    };
+    assert_eq!(e.kind, ErrorKind::BadRequest);
+
+    // Bad Cypher.
+    let Response::Error(e) = client
+        .call(&Request::Cypher {
+            query: "MATCH (((".to_string(),
+        })
+        .unwrap()
+    else {
+        panic!("expected error frame");
+    };
+    assert_eq!(e.kind, ErrorKind::Query);
+
+    // Bad SPARQL.
+    let Response::Error(e) = client
+        .call(&Request::Sparql {
+            query: "SELECT WHERE {".to_string(),
+        })
+        .unwrap()
+    else {
+        panic!("expected error frame");
+    };
+    assert_eq!(e.kind, ErrorKind::Query);
+
+    // Bad N-Triples delta.
+    let Response::Error(e) = client
+        .call(&Request::Update {
+            additions: "<unterminated <garbage>".to_string(),
+            deletions: String::new(),
+        })
+        .unwrap()
+    else {
+        panic!("expected error frame");
+    };
+    assert_eq!(e.kind, ErrorKind::Parse);
+
+    // The connection survived all of it.
+    assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+
+    // And the metrics recorded the failures.
+    let Response::Metrics { endpoints } = client.call(&Request::Metrics).unwrap() else {
+        panic!("expected metrics");
+    };
+    let invalid = endpoints.iter().find(|(n, _)| n == "invalid").unwrap().1;
+    assert_eq!(invalid.requests, 2);
+    assert_eq!(invalid.errors, 2);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn sheds_load_with_typed_rejection_when_saturated() {
+    // One worker, queue of one: the third concurrent connection must be
+    // rejected immediately with an `overloaded` frame.
+    let handle = start_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+    });
+
+    // Occupy the only worker: a connected client that sends nothing.
+    let busy = connect(&handle);
+    std::thread::sleep(Duration::from_millis(200)); // let the worker claim it
+                                                    // Fill the queue.
+    let _queued = connect(&handle);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // This one must be shed.
+    let mut rejected = connect(&handle);
+    let response = rejected.read_response().unwrap();
+    let Response::Error(e) = response else {
+        panic!("expected overloaded rejection, got {response:?}");
+    };
+    assert_eq!(e.kind, ErrorKind::Overloaded);
+
+    // Releasing the worker lets the queued connection proceed.
+    drop(busy);
+    let mut queued = _queued;
+    assert_eq!(queued.call(&Request::Ping).unwrap(), Response::Pong);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_command_drains_and_exits() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    // Another connection sitting idle mid-session must not wedge shutdown.
+    let _idle = connect(&handle);
+
+    assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+    assert_eq!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    );
+
+    let addr = handle.addr;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    handle.join();
+    assert!(Instant::now() < deadline, "join hung past the deadline");
+
+    // The listener is gone: new connections are refused (or at least no
+    // longer served).
+    std::thread::sleep(Duration::from_millis(50));
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut late = Client::from_stream(stream).unwrap();
+        match late.call(&Request::Ping) {
+            Err(ClientError::Closed) | Err(ClientError::Io(_)) => {}
+            Ok(Response::Error(e)) => assert_eq!(e.kind, ErrorKind::ShuttingDown),
+            other => panic!("post-shutdown connection was served: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_see_consistent_monotonic_state() {
+    let handle = start_server(ServerConfig {
+        workers: 8,
+        queue_capacity: 64,
+    });
+    let addr = handle.addr.to_string();
+    let clients = 8;
+    let rounds = 10;
+
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                for i in 0..rounds {
+                    let iri = format!("http://ex/c{c}x{i}");
+                    let additions = format!(
+                        "<{iri}> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+                         <{iri}> <{p}> \"c{c}x{i}\" .\n",
+                        p = "http://ex/name"
+                    );
+                    let response = client
+                        .call(&Request::Update {
+                            additions,
+                            deletions: String::new(),
+                        })
+                        .unwrap();
+                    let Response::Update { conforms, .. } = response else {
+                        panic!("expected update ack");
+                    };
+                    assert!(conforms);
+                    // Read-your-writes through the snapshot swap.
+                    let response = client
+                        .call(&Request::Sparql {
+                            query: format!(
+                                "SELECT ?n WHERE {{ <{iri}> <http://ex/name> ?n }}"
+                            ),
+                        })
+                        .unwrap();
+                    let Response::Sparql { rows, .. } = response else {
+                        panic!("expected sparql rows");
+                    };
+                    assert_eq!(rows, vec![vec![Some(format!("c{c}x{i}"))]]);
+                }
+            });
+        }
+    });
+
+    let mut client = connect(&handle);
+    let Response::Stats {
+        nodes, conforms, ..
+    } = client.call(&Request::Stats).unwrap()
+    else {
+        panic!("expected stats");
+    };
+    assert_eq!(nodes, 2 + (clients * rounds) as u64);
+    assert!(conforms);
+
+    handle.shutdown();
+    handle.join();
+}

@@ -13,4 +13,7 @@ cargo test -q
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
 echo "tier-1 OK"
