@@ -42,6 +42,7 @@ fn main() {
             ServerConfig {
                 workers: connections + 2,
                 queue_capacity: 64,
+                ..ServerConfig::default()
             },
         )
         .expect("bind ephemeral port");

@@ -28,7 +28,7 @@ use s3pg_rdf::parser::{parse_ntriples, parse_turtle};
 use s3pg_rdf::rng::XorShiftRng;
 use s3pg_rdf::Graph;
 use s3pg_server::client::Client;
-use s3pg_server::protocol::{EndpointReport, ErrorKind, Request, Response};
+use s3pg_server::protocol::{ErrorKind, Request, Response};
 use s3pg_shacl::parser::parse_shacl_turtle;
 use s3pg_shacl::ShapeSchema;
 use std::sync::Mutex;
@@ -98,8 +98,9 @@ pub struct LoadReport {
     pub wall: Duration,
     /// Client-side latency samples, per endpoint.
     latencies: Vec<Sample>,
-    /// The server's own per-endpoint metrics (fetched post-run).
-    pub server_metrics: Vec<(String, EndpointReport)>,
+    /// The server's Prometheus-style metrics exposition (fetched post-run,
+    /// after all checked traffic, so request counters cover the whole run).
+    pub exposition: String,
 }
 
 impl LoadReport {
@@ -121,6 +122,15 @@ impl LoadReport {
         all.sort();
         let rank = ((q.clamp(0.0, 1.0) * all.len() as f64).ceil() as usize).max(1) - 1;
         all[rank.min(all.len() - 1)]
+    }
+
+    /// A sample from the server's exposition, by exact series name.
+    pub fn server_sample(&self, name: &str) -> Option<f64> {
+        s3pg_obs::parse_exposition(&self.exposition)
+            .ok()?
+            .into_iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
     }
 
     /// Client-observed latency quantile for one endpoint.
@@ -163,15 +173,39 @@ impl LoadReport {
         }
         if show_server_metrics {
             let _ = writeln!(out, "server metrics (per endpoint):");
-            for (name, r) in &self.server_metrics {
-                if r.requests > 0 {
+            let samples = s3pg_obs::parse_exposition(&self.exposition).unwrap_or_default();
+            let value = |name: String| {
+                samples
+                    .iter()
+                    .find(|s| s.name == name)
+                    .map(|s| s.value)
+                    .unwrap_or(0.0)
+            };
+            for endpoint in Request::ENDPOINTS {
+                let requests = value(format!("s3pg_requests_total{{endpoint=\"{endpoint}\"}}"));
+                if requests > 0.0 {
+                    let errors = value(format!(
+                        "s3pg_request_errors_total{{endpoint=\"{endpoint}\"}}"
+                    ));
+                    let p50 = value(format!(
+                        "s3pg_request_latency_microseconds{{endpoint=\"{endpoint}\",quantile=\"0.5\"}}"
+                    ));
+                    let p99 = value(format!(
+                        "s3pg_request_latency_microseconds{{endpoint=\"{endpoint}\",quantile=\"0.99\"}}"
+                    ));
                     let _ = writeln!(
                         out,
-                        "  {:<9} {:>7} requests {:>5} errors  p50 {:>8}µs  p99 {:>8}µs",
-                        name, r.requests, r.errors, r.p50_micros, r.p99_micros
+                        "  {endpoint:<9} {requests:>7.0} requests {errors:>5.0} errors  \
+                         p50 {p50:>8.0}µs  p99 {p99:>8.0}µs",
                     );
                 }
             }
+            let mem = value("s3pg_mem_total_bytes".to_string());
+            let _ = writeln!(
+                out,
+                "  snapshot footprint: {}",
+                s3pg_obs::mem::format_bytes(mem as usize)
+            );
         }
         out
     }
@@ -493,24 +527,69 @@ pub fn run_loadgen(
             false
         }
     };
-    let server_metrics = match client.call(&Request::Metrics).map_err(|e| e.to_string())? {
-        Response::Metrics { endpoints } => {
+    // Health probe: liveness plus uptime, metered like any endpoint.
+    match client.call(&Request::Health).map_err(|e| e.to_string())? {
+        Response::Health { .. } => final_requests += 1,
+        other => {
             final_requests += 1;
-            endpoints
+            mismatches.push(format!("health: unexpected response {other:?}"));
+        }
+    }
+
+    // Metrics: the exposition must be well-formed, and the server's
+    // per-endpoint request counters must cover everything this client
+    // sent. (The metrics request itself is metered only after it is
+    // answered, so it is excluded from its own tally.)
+    let latencies = samples.into_inner().unwrap();
+    let mut tally: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for s in &latencies {
+        *tally.entry(s.endpoint).or_default() += 1;
+    }
+    *tally.entry("cypher").or_default() += 2;
+    *tally.entry("sparql").or_default() += 1;
+    *tally.entry("stats").or_default() += 1;
+    *tally.entry("health").or_default() += 1;
+    let exposition = match client.call(&Request::Metrics).map_err(|e| e.to_string())? {
+        Response::Metrics { exposition } => {
+            final_requests += 1;
+            exposition
         }
         other => {
             mismatches.push(format!("metrics: unexpected response {other:?}"));
-            Vec::new()
+            String::new()
         }
     };
+    if !exposition.is_empty() {
+        match s3pg_obs::parse_exposition(&exposition) {
+            Ok(parsed) => {
+                for (endpoint, sent) in &tally {
+                    let name = format!("s3pg_requests_total{{endpoint=\"{endpoint}\"}}");
+                    let counted = parsed
+                        .iter()
+                        .find(|s| s.name == name)
+                        .map(|s| s.value as u64)
+                        .unwrap_or(0);
+                    // `<` rather than `!=`: another client may be driving
+                    // the same server, but it can never *uncount* ours.
+                    if counted < *sent {
+                        mismatches.push(format!(
+                            "metrics: server counted {counted} {endpoint} requests, \
+                             this client sent {sent}"
+                        ));
+                    }
+                }
+            }
+            Err(e) => mismatches.push(format!("metrics: exposition did not parse: {e}")),
+        }
+    }
 
     Ok(LoadReport {
         requests: request_count.into_inner() + final_requests,
         mismatches,
         conforms,
         wall,
-        latencies: samples.into_inner().unwrap(),
-        server_metrics,
+        latencies,
+        exposition,
     })
 }
 

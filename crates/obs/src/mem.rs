@@ -1,0 +1,83 @@
+//! Deep-size estimation helpers for memory accounting gauges.
+//!
+//! The store crates implement `deep_size_bytes()` for their structures
+//! (interner, triple indexes, property graph) out of these building
+//! blocks. The estimates count owned heap allocations at their
+//! *capacity* (what the allocator handed out, not just what is filled)
+//! plus the inline size of the root value, so the gauges track resident
+//! footprint rather than logical content size. Hash-map overhead is
+//! approximated with the control-byte-per-slot layout used by
+//! SwissTable-style maps, which is what the workspace's FxHashMap
+//! aliases resolve to.
+
+/// Heap bytes owned by a `Vec`: capacity × element size. Excludes any
+/// heap the elements themselves own — add that separately.
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Heap bytes owned by a `String`: its capacity.
+pub fn string_bytes(s: &str) -> usize {
+    s.len()
+}
+
+/// Heap bytes of a `Box<str>`.
+pub fn boxed_str_bytes(s: &str) -> usize {
+    s.len()
+}
+
+/// Approximate heap bytes of a hash map with `capacity` slots for
+/// `(K, V)` entries: one entry plus one control byte per slot.
+pub fn map_bytes<K, V>(capacity: usize) -> usize {
+    capacity * (std::mem::size_of::<(K, V)>() + 1)
+}
+
+/// Approximate heap bytes of a hash set with `capacity` slots of `T`.
+pub fn set_bytes<T>(capacity: usize) -> usize {
+    capacity * (std::mem::size_of::<T>() + 1)
+}
+
+/// Render a byte count for humans: `1234` → `"1.2 KiB"`.
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_bytes_tracks_capacity_not_len() {
+        let mut v: Vec<u64> = Vec::with_capacity(100);
+        v.push(1);
+        assert_eq!(vec_bytes(&v), 100 * 8);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(vec_bytes(&empty), 0);
+    }
+
+    #[test]
+    fn map_bytes_counts_entries_and_control_bytes() {
+        assert_eq!(map_bytes::<u32, u32>(8), 8 * (8 + 1));
+        assert_eq!(set_bytes::<u64>(16), 16 * 9);
+    }
+
+    #[test]
+    fn format_bytes_picks_readable_units() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(999), "999 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024), "5.0 MiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
+}

@@ -274,6 +274,48 @@ impl PropertyGraph {
         self.live_node_count
     }
 
+    /// Estimated resident heap footprint of the store: the interner, node
+    /// and edge arrays (with their per-element label/property storage),
+    /// tombstone vectors, adjacency lists, and the label and IRI indexes.
+    /// Feeds the `s3pg_mem_pg_bytes` gauge.
+    pub fn deep_size_bytes(&self) -> usize {
+        use s3pg_obs::mem::{map_bytes, vec_bytes};
+        let record = |labels: &Vec<Sym>, props: &Vec<(Sym, Value)>| {
+            vec_bytes(labels)
+                + vec_bytes(props)
+                + props
+                    .iter()
+                    .map(|(_, v)| v.heap_size_bytes())
+                    .sum::<usize>()
+        };
+        let adjacency = |lists: &Vec<Vec<EdgeId>>| {
+            vec_bytes(lists) + lists.iter().map(vec_bytes).sum::<usize>()
+        };
+        self.interner.deep_size_bytes()
+            + vec_bytes(&self.nodes)
+            + self
+                .nodes
+                .iter()
+                .map(|n| record(&n.labels, &n.props))
+                .sum::<usize>()
+            + vec_bytes(&self.edges)
+            + self
+                .edges
+                .iter()
+                .map(|e| record(&e.labels, &e.props))
+                .sum::<usize>()
+            + vec_bytes(&self.node_live)
+            + vec_bytes(&self.edge_live)
+            + adjacency(&self.out_edges)
+            + adjacency(&self.in_edges)
+            + map_bytes::<Sym, Vec<NodeId>>(self.by_label.capacity())
+            + self.by_label.values().map(vec_bytes).sum::<usize>()
+            + map_bytes::<Sym, Vec<EdgeId>>(self.by_edge_label.capacity())
+            + self.by_edge_label.values().map(vec_bytes).sum::<usize>()
+            + map_bytes::<String, NodeId>(self.by_iri.capacity())
+            + self.by_iri.keys().map(|k| k.capacity()).sum::<usize>()
+    }
+
     // ---- bulk insertion --------------------------------------------------
     //
     // Symbol-level entry points for the parallel transform's merge step:
@@ -574,6 +616,19 @@ mod tests {
         pg.add_edge(bob, alice, "advisedBy");
         pg.add_edge(alice, d1, "worksFor");
         (pg, bob, alice, d1)
+    }
+
+    #[test]
+    fn deep_size_counts_records_and_indexes() {
+        let (pg, ..) = figure2c();
+        let size = pg.deep_size_bytes();
+        assert!(size >= pg.interner().deep_size_bytes());
+        let mut bigger = pg.clone();
+        for n in 0..100 {
+            let id = bigger.add_node(["Person"]);
+            bigger.set_prop(id, IRI_KEY, Value::String(format!("http://ex/p{n}")));
+        }
+        assert!(bigger.deep_size_bytes() > size);
     }
 
     #[test]

@@ -217,6 +217,20 @@ impl Value {
         }
     }
 
+    /// Heap bytes owned by this value (beyond its inline enum size):
+    /// string capacities and, recursively, list storage. Feeds the
+    /// property-graph memory gauges.
+    pub fn heap_size_bytes(&self) -> usize {
+        match self {
+            Value::String(s) | Value::Date(s) | Value::DateTime(s) => s.capacity(),
+            Value::Int(_) | Value::Float(_) | Value::Bool(_) | Value::Year(_) => 0,
+            Value::List(items) => {
+                items.capacity() * std::mem::size_of::<Value>()
+                    + items.iter().map(Value::heap_size_bytes).sum::<usize>()
+            }
+        }
+    }
+
     /// Push a value into this one, turning a scalar into a two-element list.
     /// This is how the NeoSemantics baseline accumulates multi-valued
     /// properties into arrays.

@@ -801,9 +801,15 @@ impl Rows {
     }
 }
 
-/// Parse and evaluate `query` over `pg`.
+/// Parse and evaluate `query` over `pg`. When a trace is active on this
+/// thread (the server's request span), the plan and evaluation stages
+/// record `query_plan` / `query_eval` child spans.
 pub fn execute(pg: &PropertyGraph, query: &str) -> Result<Rows, CypherError> {
-    let q = parse(query)?;
+    let q = {
+        let _span = s3pg_obs::tracer().span_here("query_plan");
+        parse(query)?
+    };
+    let _span = s3pg_obs::tracer().span_here("query_eval");
     evaluate(pg, &q)
 }
 

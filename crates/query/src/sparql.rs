@@ -589,9 +589,15 @@ impl Solutions {
     }
 }
 
-/// Parse and evaluate `query` over `graph`.
+/// Parse and evaluate `query` over `graph`. When a trace is active on
+/// this thread (the server's request span), the plan and evaluation
+/// stages record `query_plan` / `query_eval` child spans.
 pub fn execute(graph: &Graph, query: &str) -> Result<Solutions, SparqlError> {
-    let q = parse(query)?;
+    let q = {
+        let _span = s3pg_obs::tracer().span_here("query_plan");
+        parse(query)?
+    };
+    let _span = s3pg_obs::tracer().span_here("query_eval");
     evaluate(graph, &q)
 }
 

@@ -272,6 +272,26 @@ impl Graph {
         self.len == 0
     }
 
+    /// Estimated resident heap footprint of the store: the interner, the
+    /// triple log and tombstone vector, the membership set, and all three
+    /// adjacency indexes with their postings lists. Feeds the
+    /// `s3pg_mem_rdf_bytes` gauge.
+    pub fn deep_size_bytes(&self) -> usize {
+        use s3pg_obs::mem::{map_bytes, set_bytes, vec_bytes};
+        let postings = |index: &FxHashMap<Term, Vec<u32>>| {
+            map_bytes::<Term, Vec<u32>>(index.capacity())
+                + index.values().map(vec_bytes).sum::<usize>()
+        };
+        self.interner.deep_size_bytes()
+            + vec_bytes(&self.triples)
+            + vec_bytes(&self.live)
+            + set_bytes::<Triple>(self.set.capacity())
+            + postings(&self.by_subject)
+            + postings(&self.by_object)
+            + map_bytes::<Sym, Vec<u32>>(self.by_predicate.capacity())
+            + self.by_predicate.values().map(vec_bytes).sum::<usize>()
+    }
+
     /// Membership test.
     pub fn contains(&self, s: Term, p: impl IntoPredicate, o: Term) -> bool {
         let p = p.into_predicate();
@@ -521,6 +541,22 @@ mod tests {
         let o = g.string_literal("Bs12");
         g.insert(s, p, o);
         g
+    }
+
+    #[test]
+    fn deep_size_covers_interner_and_indexes() {
+        let g = tiny();
+        let size = g.deep_size_bytes();
+        assert!(size >= g.interner().deep_size_bytes());
+        let mut bigger = g.clone();
+        for n in 0..100 {
+            bigger.insert_iri(
+                &format!("http://ex/s{n}"),
+                "http://ex/p",
+                &format!("http://ex/o{n}"),
+            );
+        }
+        assert!(bigger.deep_size_bytes() > size);
     }
 
     #[test]

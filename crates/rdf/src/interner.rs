@@ -101,6 +101,16 @@ impl Interner {
         self.strings.iter().map(|s| s.len()).sum()
     }
 
+    /// Estimated resident heap footprint: both copies of the string data
+    /// (symbol table and lookup keys), the symbol-table vector, and the
+    /// lookup map's slot array. Feeds the `s3pg_mem_*` gauges.
+    pub fn deep_size_bytes(&self) -> usize {
+        let string_data = self.string_bytes();
+        s3pg_obs::mem::vec_bytes(&self.strings)
+            + s3pg_obs::mem::map_bytes::<Box<str>, Sym>(self.lookup.capacity())
+            + 2 * string_data
+    }
+
     /// Merge every string of `other` into `self` and return the remap table:
     /// entry `i` is the symbol in `self` for the string `other` interned as
     /// symbol index `i`.
@@ -170,6 +180,19 @@ mod tests {
         i.intern("abcd");
         i.intern("ef");
         assert_eq!(i.string_bytes(), 6);
+    }
+
+    #[test]
+    fn deep_size_grows_with_content() {
+        let mut i = Interner::new();
+        assert_eq!(i.deep_size_bytes(), 0);
+        i.intern("http://example.org/quite-a-long-iri");
+        let small = i.deep_size_bytes();
+        assert!(small >= 2 * i.string_bytes());
+        for n in 0..100 {
+            i.intern(&format!("http://example.org/entity/{n}"));
+        }
+        assert!(i.deep_size_bytes() > small);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::g2gml::to_g2gml;
 use crate::inverse::recover_graph;
-use crate::metrics::PhaseSpan;
+use crate::metrics::{PhaseSpan, PipelineMetrics};
 use crate::mode::Mode;
 use crate::pipeline::{self, transform_with, PipelineConfig};
 use s3pg_pg::{csv, ddl, yarspg, PgStats};
@@ -37,8 +37,11 @@ pub struct Options {
     pub verify_roundtrip: bool,
     /// Worker threads for the parallel parse + transform (1 = sequential).
     pub threads: usize,
-    /// Append the per-phase metrics report to the output.
+    /// Append the per-phase metrics report to the output (and write a
+    /// machine-readable `metrics.json` next to the artifacts).
     pub show_metrics: bool,
+    /// Record the run's span tree and write it as JSONL to this path.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Output artifacts.
@@ -54,7 +57,7 @@ pub enum Artifact {
 pub const USAGE: &str = "usage: s3pg-convert --data FILE[.ttl|.nt] [--shapes FILE.ttl] \
                          [--mode parsimonious|non-parsimonious] [--out-dir DIR] \
                          [--emit csv,ddl,yarspg,g2gml] [--validate] [--verify-roundtrip] \
-                         [--threads N] [--metrics]";
+                         [--threads N] [--metrics] [--trace-out FILE.jsonl]";
 
 /// Parse argv-style arguments (without the program name).
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -67,6 +70,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     let mut verify_roundtrip = false;
     let mut threads = 1usize;
     let mut show_metrics = false;
+    let mut trace_out = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -105,6 +109,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                     .ok_or(format!("--threads needs a positive integer, got '{n}'"))?;
             }
             "--metrics" => show_metrics = true,
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?))
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -119,6 +126,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         verify_roundtrip,
         threads,
         show_metrics,
+        trace_out,
     })
 }
 
@@ -144,9 +152,19 @@ pub fn load_graph_with(path: &Path, threads: usize) -> Result<Graph, String> {
 
 /// Run the conversion; returns the human-readable report.
 pub fn run(options: &Options) -> Result<String, String> {
+    let tracer = s3pg_obs::tracer();
+    let trace = options.trace_out.as_ref().map(|_| {
+        tracer.set_enabled(true);
+        tracer.new_trace()
+    });
+    let root_span = trace.map(|t| tracer.span(t, "convert"));
+
     let mut report = String::new();
     let parse_start = std::time::Instant::now();
-    let graph = load_graph_with(&options.data, options.threads)?;
+    let graph = {
+        let _span = tracer.span_here("parse");
+        load_graph_with(&options.data, options.threads)?
+    };
     let parse_time = parse_start.elapsed();
     let _ = writeln!(report, "input: {} triples", graph.len());
 
@@ -182,14 +200,17 @@ pub fn run(options: &Options) -> Result<String, String> {
         );
     }
 
-    let out = transform_with(
-        &graph,
-        &schema,
-        options.mode,
-        PipelineConfig {
-            threads: options.threads,
-        },
-    );
+    let out = {
+        let _span = tracer.span_here("transform");
+        transform_with(
+            &graph,
+            &schema,
+            options.mode,
+            PipelineConfig {
+                threads: options.threads,
+            },
+        )
+    };
     let stats = PgStats::of(&out.pg);
     let _ = writeln!(
         report,
@@ -220,7 +241,7 @@ pub fn run(options: &Options) -> Result<String, String> {
         );
     }
 
-    if options.show_metrics {
+    let metrics_with_parse: Option<PipelineMetrics> = options.show_metrics.then(|| {
         let mut metrics = out.metrics.clone();
         metrics.phases.insert(
             0,
@@ -231,11 +252,21 @@ pub fn run(options: &Options) -> Result<String, String> {
                 unit: "triples",
             },
         );
+        metrics
+    });
+    if let Some(metrics) = &metrics_with_parse {
         let _ = writeln!(report, "{}", metrics.report());
     }
 
     std::fs::create_dir_all(&options.out_dir)
         .map_err(|e| format!("cannot create {}: {e}", options.out_dir.display()))?;
+    if let Some(metrics) = &metrics_with_parse {
+        let mut json = metrics.to_json();
+        json.push('\n');
+        write_file(&options.out_dir.join("metrics.json"), &json)?;
+        let _ = writeln!(report, "wrote metrics.json");
+    }
+    let emit_span = tracer.span_here("emit");
     for artifact in &options.emit {
         match artifact {
             Artifact::Csv => {
@@ -270,6 +301,7 @@ pub fn run(options: &Options) -> Result<String, String> {
             }
         }
     }
+    drop(emit_span);
 
     if options.verify_roundtrip {
         let recovered = recover_graph(&out.pg, &out.schema.mapping).map_err(|e| e.to_string())?;
@@ -291,6 +323,13 @@ pub fn run(options: &Options) -> Result<String, String> {
             loaded.node_count(),
             loaded.edge_count()
         );
+    }
+
+    // End the root span before export so the trace is balanced on disk.
+    drop(root_span);
+    if let (Some(trace), Some(path)) = (trace, options.trace_out.as_ref()) {
+        write_file(path, &tracer.export_jsonl(trace))?;
+        let _ = writeln!(report, "wrote trace to {}", path.display());
     }
     Ok(report)
 }
@@ -316,6 +355,7 @@ mod tests {
         assert!(!o.validate_input);
         assert_eq!(o.threads, 1);
         assert!(!o.show_metrics);
+        assert_eq!(o.trace_out, None);
     }
 
     #[test]
@@ -336,6 +376,8 @@ mod tests {
             "--threads",
             "8",
             "--metrics",
+            "--trace-out",
+            "trace.jsonl",
         ])
         .unwrap();
         assert_eq!(o.mode, Mode::NonParsimonious);
@@ -346,6 +388,7 @@ mod tests {
         assert!(o.validate_input && o.verify_roundtrip);
         assert_eq!(o.threads, 8);
         assert!(o.show_metrics);
+        assert_eq!(o.trace_out, Some(PathBuf::from("trace.jsonl")));
     }
 
     #[test]
@@ -358,6 +401,7 @@ mod tests {
         assert!(args(&["--data", "g.ttl", "--threads"]).is_err());
         assert!(args(&["--data", "g.ttl", "--threads", "0"]).is_err());
         assert!(args(&["--data", "g.ttl", "--threads", "four"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--trace-out"]).is_err());
     }
 
     #[test]
@@ -375,6 +419,7 @@ mod tests {
                 verify_roundtrip: false,
                 threads: 1,
                 show_metrics: false,
+                trace_out: None,
             })
         };
 
@@ -439,6 +484,7 @@ mod tests {
             verify_roundtrip: true,
             threads: 2,
             show_metrics: true,
+            trace_out: Some(dir.join("out/trace.jsonl")),
         };
         let report = run(&options).unwrap();
         assert!(report.contains("input: 6 triples"), "{report}");
@@ -447,14 +493,50 @@ mod tests {
         assert!(report.contains("round-trip: M(F_dt(G)) = G"));
         assert!(report.contains("parse"), "{report}");
         assert!(report.contains("shard skew"), "{report}");
+        assert!(report.contains("wrote metrics.json"), "{report}");
         for f in [
             "nodes.csv",
             "relationships.csv",
             "schema.pgs",
             "graph.yarspg",
             "mapping.g2gml",
+            "metrics.json",
+            "trace.jsonl",
         ] {
             assert!(dir.join("out").join(f).exists(), "missing {f}");
+        }
+        // The metrics JSON covers every phase including the inserted parse.
+        let json = std::fs::read_to_string(dir.join("out/metrics.json")).unwrap();
+        for phase in [
+            "parse",
+            "schema_transform",
+            "phase1_nodes",
+            "phase2_props",
+            "conformance",
+        ] {
+            assert!(json.contains(&format!("\"name\":\"{phase}\"")), "{json}");
+        }
+        assert!(json.contains("\"shard_skew\":"), "{json}");
+        // The trace JSONL is balanced and covers the whole span taxonomy.
+        let trace = std::fs::read_to_string(dir.join("out/trace.jsonl")).unwrap();
+        let lines: Vec<&str> = trace.lines().collect();
+        assert!(lines.len() >= 2, "{trace}");
+        assert_eq!(lines.len() % 2, 0, "unbalanced trace:\n{trace}");
+        for name in [
+            "convert",
+            "parse",
+            "transform",
+            "schema_transform",
+            "phase1_nodes",
+            "phase2_props",
+            "shard",
+            "conformance",
+            "emit",
+        ] {
+            assert!(
+                trace.contains(&format!("\"name\":\"{name}\"")),
+                "missing span {name}:\n{trace}"
+            );
         }
         // The emitted artifacts parse back.
         let ddl_text = std::fs::read_to_string(dir.join("out/schema.pgs")).unwrap();

@@ -182,8 +182,12 @@ pub fn apply_ntriples_delta(
     additions: &str,
     deletions: &str,
 ) -> Result<DeltaOutcome, S3pgError> {
-    let add_graph = parse_ntriples(additions)?;
+    let add_graph = {
+        let _span = s3pg_obs::tracer().span_here("parse_delta");
+        parse_ntriples(additions)?
+    };
     let del_graph = parse_ntriples(deletions)?;
+    let _span = s3pg_obs::tracer().span_here("apply_delta");
     let removed = if !del_graph.is_empty() {
         apply_deletions(pg, transform, state, &del_graph)
     } else {

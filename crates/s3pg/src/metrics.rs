@@ -3,15 +3,23 @@
 //!
 //! The parallel pipeline (parse → `F_st` → phase 1 → phase 2 →
 //! conformance) reports one [`PhaseSpan`] per phase, measured with
-//! [`std::time::Instant`] around each stage. Work done inside the sharded
-//! phases is tallied through [`AtomicCounters`], which workers update with
-//! relaxed atomics so the counts need no locks and survive any worker
-//! interleaving. Shard balance is summarized as *skew* — the ratio of the
-//! largest shard to the mean shard — because a hash-sharded pipeline's
-//! wall-clock is bounded by its fullest shard.
+//! [`std::time::Instant`] around each stage. Shard balance is summarized
+//! as *skew* — the ratio of the largest shard to the mean shard — because
+//! a hash-sharded pipeline's wall-clock is bounded by its fullest shard.
+//!
+//! This module renders the per-run report two ways: the human-readable
+//! [`PipelineMetrics::report`] and the machine-readable
+//! [`PipelineMetrics::to_json`] consumed by `scripts/run-experiments`.
+//! [`PipelineMetrics::export_to`] additionally publishes the same numbers
+//! as gauges on an [`s3pg_obs::Registry`], which is how a long-lived
+//! `s3pg-serve` exposes its initial-transform cost over the `metrics`
+//! endpoint. The general-purpose primitives that used to live here —
+//! atomic counters, latency histograms, endpoint metrics — are now the
+//! `s3pg-obs` crate's [`s3pg_obs::Counter`]/[`s3pg_obs::Histogram`],
+//! shared by every layer.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// One timed pipeline phase: name, wall-clock, and how many items it
@@ -94,6 +102,62 @@ impl PipelineMetrics {
     pub fn report(&self) -> String {
         self.to_string()
     }
+
+    /// Machine-readable JSON summary: per-phase wall/items/throughput,
+    /// shard statement counts, and skew. One object, no trailing newline;
+    /// consumed by `scripts/run-experiments` and the CI obs smoke step.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(s, "\"threads\":{},\"phases\":[", self.threads);
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"wall_micros\":{},\"items\":{},\"unit\":\"{}\",\"per_second\":{:.1}}}",
+                p.name,
+                p.wall.as_micros(),
+                p.items,
+                p.unit,
+                p.per_second()
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"total_wall_micros\":{},\"shard_triples\":[",
+            self.total_wall().as_micros()
+        );
+        for (i, n) in self.shard_triples.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{n}");
+        }
+        let _ = write!(s, "],\"shard_skew\":{:.4}}}", self.shard_skew());
+        s
+    }
+
+    /// Publish this run's numbers as gauges on `registry`:
+    /// `s3pg_phase_wall_microseconds{phase=…}`, `s3pg_phase_items{phase=…}`,
+    /// `s3pg_pipeline_threads`, and `s3pg_shard_skew`.
+    pub fn export_to(&self, registry: &s3pg_obs::Registry) {
+        for p in &self.phases {
+            registry
+                .gauge(&format!(
+                    "s3pg_phase_wall_microseconds{{phase=\"{}\"}}",
+                    p.name
+                ))
+                .set_u64(u64::try_from(p.wall.as_micros()).unwrap_or(u64::MAX));
+            registry
+                .gauge(&format!("s3pg_phase_items{{phase=\"{}\"}}", p.name))
+                .set_u64(p.items);
+        }
+        registry
+            .gauge("s3pg_pipeline_threads")
+            .set_u64(self.threads as u64);
+        registry.gauge("s3pg_shard_skew").set(self.shard_skew());
+    }
 }
 
 impl fmt::Display for PipelineMetrics {
@@ -155,190 +219,6 @@ fn format_rate(r: f64) -> String {
     }
 }
 
-/// Lock-free counters the sharded workers update while streaming triples.
-///
-/// All updates use relaxed ordering: the counts are statistics, ordered
-/// against the workers' lifetime by the `thread::scope` join, not by the
-/// atomics themselves.
-#[derive(Debug, Default)]
-pub struct AtomicCounters {
-    pub triples: AtomicU64,
-    pub edges: AtomicU64,
-    pub key_values: AtomicU64,
-    pub carrier_nodes: AtomicU64,
-}
-
-impl AtomicCounters {
-    /// Add to a counter.
-    #[inline]
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Snapshot all counters.
-    pub fn snapshot(&self) -> CounterSnapshot {
-        CounterSnapshot {
-            triples: self.triples.load(Ordering::Relaxed),
-            edges: self.edges.load(Ordering::Relaxed),
-            key_values: self.key_values.load(Ordering::Relaxed),
-            carrier_nodes: self.carrier_nodes.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A point-in-time copy of [`AtomicCounters`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CounterSnapshot {
-    pub triples: u64,
-    pub edges: u64,
-    pub key_values: u64,
-    pub carrier_nodes: u64,
-}
-
-/// Number of log₂ microsecond buckets in a [`LatencyHistogram`].
-///
-/// Bucket `i` covers `[2^i, 2^(i+1))` µs; bucket 0 additionally absorbs
-/// sub-microsecond samples and the last bucket absorbs everything ≥ ~35
-/// minutes, so no sample is ever dropped.
-pub const LATENCY_BUCKETS: usize = 32;
-
-/// A lock-free log-scale latency histogram.
-///
-/// Serving workers record durations with relaxed atomics (the samples are
-/// statistics, not synchronisation), and quantiles are answered from the
-/// bucket counts with at most a 2× relative error — plenty for p50/p99
-/// reporting. The histogram never allocates after construction.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// Create an empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one sample.
-    pub fn record(&self, d: Duration) {
-        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
-        let idx = (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    /// Point-in-time copy of the histogram.
-    pub fn snapshot(&self) -> LatencySnapshot {
-        let mut buckets = [0u64; LATENCY_BUCKETS];
-        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
-            *dst = src.load(Ordering::Relaxed);
-        }
-        LatencySnapshot {
-            buckets,
-            count: self.count.load(Ordering::Relaxed),
-            sum_micros: self.sum_micros.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A point-in-time copy of a [`LatencyHistogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LatencySnapshot {
-    pub buckets: [u64; LATENCY_BUCKETS],
-    pub count: u64,
-    pub sum_micros: u64,
-}
-
-impl LatencySnapshot {
-    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds: the geometric
-    /// midpoint of the bucket holding the `⌈q·count⌉`-th sample, or `None`
-    /// when the histogram is empty.
-    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Geometric midpoint of [2^i, 2^(i+1)): 2^i · √2.
-                let lo = 1u64 << i;
-                return Some((lo as f64 * std::f64::consts::SQRT_2) as u64);
-            }
-        }
-        None
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_micros(&self) -> u64 {
-        self.sum_micros.checked_div(self.count).unwrap_or(0)
-    }
-}
-
-/// Request/error counters plus a latency histogram for one served endpoint.
-///
-/// This is the per-endpoint unit the `s3pg-serve` subsystem aggregates:
-/// workers bump it lock-free on every request; the `metrics` endpoint
-/// reports a [`EndpointSnapshot`] per registered endpoint.
-#[derive(Debug, Default)]
-pub struct EndpointMetrics {
-    pub requests: AtomicU64,
-    pub errors: AtomicU64,
-    pub latency: LatencyHistogram,
-}
-
-impl EndpointMetrics {
-    /// Create zeroed metrics.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one completed request.
-    pub fn observe(&self, latency: Duration, ok: bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        if !ok {
-            self.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        self.latency.record(latency);
-    }
-
-    /// Point-in-time copy.
-    pub fn snapshot(&self) -> EndpointSnapshot {
-        let latency = self.latency.snapshot();
-        EndpointSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            p50_micros: latency.quantile_micros(0.50).unwrap_or(0),
-            p99_micros: latency.quantile_micros(0.99).unwrap_or(0),
-            mean_micros: latency.mean_micros(),
-        }
-    }
-}
-
-/// A point-in-time copy of one endpoint's [`EndpointMetrics`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct EndpointSnapshot {
-    pub requests: u64,
-    pub errors: u64,
-    pub p50_micros: u64,
-    pub p99_micros: u64,
-    pub mean_micros: u64,
-}
-
-impl fmt::Display for EndpointSnapshot {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} requests, {} errors, p50 {}µs, p99 {}µs, mean {}µs",
-            self.requests, self.errors, self.p50_micros, self.p99_micros, self.mean_micros
-        )
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,77 +262,45 @@ mod tests {
     }
 
     #[test]
-    fn latency_histogram_quantiles_bracket_samples() {
-        let h = LatencyHistogram::new();
-        // 99 fast samples around 100µs, one slow outlier around 100ms.
-        for _ in 0..99 {
-            h.record(Duration::from_micros(100));
-        }
-        h.record(Duration::from_millis(100));
-        let s = h.snapshot();
-        assert_eq!(s.count, 100);
-        let p50 = s.quantile_micros(0.50).unwrap();
-        let p99 = s.quantile_micros(0.99).unwrap();
-        let p100 = s.quantile_micros(1.0).unwrap();
-        // Log-bucketed: within 2× of the true values.
-        assert!((50..=200).contains(&p50), "p50 = {p50}");
-        assert!((50..=200).contains(&p99), "p99 = {p99}");
-        assert!((50_000..=200_000).contains(&p100), "p100 = {p100}");
-        assert!(s.mean_micros() >= 100);
+    fn json_summary_is_complete_and_parseable() {
+        let mut m = PipelineMetrics::new(2);
+        m.record("parse", Duration::from_millis(10), 500, "triples");
+        m.record("phase2_props", Duration::from_millis(5), 250, "triples");
+        m.shard_triples = vec![150, 100];
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"threads\":2"), "{json}");
+        assert!(json.contains("\"name\":\"parse\""), "{json}");
+        assert!(json.contains("\"wall_micros\":10000"), "{json}");
+        assert!(json.contains("\"items\":500"), "{json}");
+        assert!(json.contains("\"per_second\":50000.0"), "{json}");
+        assert!(json.contains("\"shard_triples\":[150,100]"), "{json}");
+        assert!(json.contains("\"shard_skew\":1.2000"), "{json}");
+        assert!(json.contains("\"total_wall_micros\":15000"), "{json}");
     }
 
     #[test]
-    fn latency_histogram_handles_extremes() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_secs(1 << 40));
-        let s = h.snapshot();
-        assert_eq!(s.count, 2);
-        assert!(s.quantile_micros(0.0).is_some());
+    fn registry_export_publishes_phase_gauges() {
+        let mut m = PipelineMetrics::new(4);
+        m.record("phase1_nodes", Duration::from_millis(3), 42, "nodes");
+        m.shard_triples = vec![30, 10];
+        let registry = s3pg_obs::Registry::new();
+        m.export_to(&registry);
+        let text = registry.expose();
+        let samples = s3pg_obs::parse_exposition(&text).unwrap();
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+                .value
+        };
         assert_eq!(
-            LatencyHistogram::new().snapshot().quantile_micros(0.5),
-            None
+            get("s3pg_phase_wall_microseconds{phase=\"phase1_nodes\"}"),
+            3000.0
         );
-    }
-
-    #[test]
-    fn endpoint_metrics_count_requests_and_errors() {
-        let m = EndpointMetrics::new();
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                scope.spawn(|| {
-                    for i in 0..100 {
-                        m.observe(Duration::from_micros(10), i % 10 != 0);
-                    }
-                });
-            }
-        });
-        let s = m.snapshot();
-        assert_eq!(s.requests, 400);
-        assert_eq!(s.errors, 40);
-        assert!(s.p50_micros > 0 && s.p99_micros >= s.p50_micros);
-        let text = s.to_string();
-        assert!(
-            text.contains("400 requests") && text.contains("p99"),
-            "{text}"
-        );
-    }
-
-    #[test]
-    fn atomic_counters_accumulate_across_threads() {
-        let counters = AtomicCounters::default();
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                scope.spawn(|| {
-                    for _ in 0..1000 {
-                        AtomicCounters::add(&counters.triples, 1);
-                    }
-                    AtomicCounters::add(&counters.edges, 7);
-                });
-            }
-        });
-        let snap = counters.snapshot();
-        assert_eq!(snap.triples, 4000);
-        assert_eq!(snap.edges, 28);
+        assert_eq!(get("s3pg_phase_items{phase=\"phase1_nodes\"}"), 42.0);
+        assert_eq!(get("s3pg_pipeline_threads"), 4.0);
+        assert_eq!(get("s3pg_shard_skew"), 1.5);
     }
 }

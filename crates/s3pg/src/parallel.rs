@@ -23,9 +23,11 @@
 //! The parallel output is isomorphic to the sequential one: identical
 //! node/edge/property counts and conformance, though `NodeId` assignment
 //! (and collision-suffixed fresh names) can differ because shard order
-//! replaces global subject order. Workers report progress through the
-//! relaxed [`AtomicCounters`] of [`crate::metrics`], and per-shard
-//! statement counts feed the shard-skew metric.
+//! replaces global subject order. Workers report progress through relaxed
+//! [`s3pg_obs::Counter`]s, and per-shard statement counts feed the
+//! shard-skew metric. When a trace is active (the caller opened a span on
+//! this thread), each phase records a span and every phase-2 worker
+//! records a `shard` span parented under it.
 
 use crate::data_transform::{
     describe_object, ensure_entity_node, entity_ref, ingest_phase1, ingest_phase2, preserve_value,
@@ -33,9 +35,10 @@ use crate::data_transform::{
     LANG_KEY,
 };
 use crate::mapping::Handling;
-use crate::metrics::{AtomicCounters, PipelineMetrics};
+use crate::metrics::PipelineMetrics;
 use crate::mode::Mode;
 use crate::schema_transform::{ensure_carrier, ensure_entity_type, SchemaTransform};
+use s3pg_obs::{tracer, Counter};
 use s3pg_pg::{NodeId, PropertyGraph, Value, VALUE_KEY};
 use s3pg_rdf::fxhash::{FxHashMap, FxHashSet};
 use s3pg_rdf::{Graph, Sym, Term};
@@ -62,7 +65,10 @@ pub fn transform_data_with(
 
     if threads == 1 {
         let t0 = Instant::now();
-        ingest_phase1(graph, transform, &mut pg, &mut state, &mut counters);
+        {
+            let _span = tracer().span_here("phase1_nodes");
+            ingest_phase1(graph, transform, &mut pg, &mut state, &mut counters);
+        }
         metrics.record(
             "phase1_nodes",
             t0.elapsed(),
@@ -70,7 +76,10 @@ pub fn transform_data_with(
             "nodes",
         );
         let t1 = Instant::now();
-        ingest_phase2(graph, transform, &mut pg, &mut state, &mut counters);
+        {
+            let _span = tracer().span_here("phase2_props");
+            ingest_phase2(graph, transform, &mut pg, &mut state, &mut counters);
+        }
         metrics.record(
             "phase2_props",
             t1.elapsed(),
@@ -195,6 +204,7 @@ fn ingest_parallel(
 
     // ---- Phase 1a: sharded grouping of type triples ----------------------
     let t0 = Instant::now();
+    let phase1_span = tracer().span_here("phase1_nodes");
     let groups: Vec<ShardGroups> = match type_p {
         Some(type_p) => {
             let type_triples = graph.match_pattern(None, Some(type_p), None);
@@ -299,6 +309,7 @@ fn ingest_parallel(
             ensure_entity_node(pg, transform, state, &subject, counters);
         }
     }
+    drop(phase1_span);
     metrics.record(
         "phase1_nodes",
         t0.elapsed(),
@@ -308,7 +319,9 @@ fn ingest_parallel(
 
     // ---- Phase 2: sharded property processing ----------------------------
     let t1 = Instant::now();
-    let atomic = AtomicCounters::default();
+    let phase2_span = tracer().span_here("phase2_props");
+    let shard_parent = phase2_span.handle();
+    let atomic = ShardCounters::default();
     let outputs: Vec<ShardOutput> = {
         let transform = &*transform;
         let state = &*state;
@@ -319,6 +332,8 @@ fn ingest_parallel(
                 .iter()
                 .map(|shard| {
                     scope.spawn(move || {
+                        let _span =
+                            shard_parent.map(|parent| tracer().span_under(&parent, "shard"));
                         run_shard(graph, transform, state, pg, shard, type_p, atomic)
                     })
                 })
@@ -331,11 +346,23 @@ fn ingest_parallel(
     };
 
     metrics.shard_triples = outputs.iter().map(|o| o.statements).collect();
-    let processed: u64 = atomic.snapshot().triples;
+    let processed: u64 = atomic.triples.get();
     for output in outputs {
         apply_shard(output, transform, pg, state, counters);
     }
+    drop(phase2_span);
     metrics.record("phase2_props", t1.elapsed(), processed, "triples");
+}
+
+/// Lock-free tallies the phase-2 workers bump while streaming their
+/// shards. Purely statistical: ordered against the workers' lifetime by
+/// the `thread::scope` join, not by the counters themselves.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    triples: Counter,
+    edges: Counter,
+    key_values: Counter,
+    carrier_nodes: Counter,
 }
 
 /// Phase-2 worker: stream one subject shard against the frozen transform
@@ -347,7 +374,7 @@ fn run_shard(
     pg: &PropertyGraph,
     shard: &[Term],
     type_p: Option<Sym>,
-    atomic: &AtomicCounters,
+    atomic: &ShardCounters,
 ) -> ShardOutput {
     let mut out = ShardOutput {
         ops: Vec::new(),
@@ -523,11 +550,11 @@ fn run_shard(
             out.counters.edges += 1;
         }
         out.statements += subject_statements;
-        AtomicCounters::add(&atomic.triples, subject_statements);
+        atomic.triples.add(subject_statements);
     }
-    AtomicCounters::add(&atomic.edges, out.counters.edges as u64);
-    AtomicCounters::add(&atomic.key_values, out.counters.key_values as u64);
-    AtomicCounters::add(&atomic.carrier_nodes, out.counters.carrier_nodes as u64);
+    atomic.edges.add(out.counters.edges as u64);
+    atomic.key_values.add(out.counters.key_values as u64);
+    atomic.carrier_nodes.add(out.counters.carrier_nodes as u64);
     out
 }
 

@@ -93,7 +93,10 @@ pub fn transform_with(
     let mut metrics = PipelineMetrics::new(config.threads);
 
     let t0 = Instant::now();
-    let mut schema = transform_schema(shapes, mode);
+    let mut schema = {
+        let _span = s3pg_obs::tracer().span_here("schema_transform");
+        transform_schema(shapes, mode)
+    };
     let schema_time = t0.elapsed();
     metrics.record("schema_transform", schema_time, 0, "");
 
@@ -102,7 +105,10 @@ pub fn transform_with(
     let data_time = t1.elapsed();
 
     let t2 = Instant::now();
-    let conformance = conformance::check(&data.pg, &schema.pg_schema);
+    let conformance = {
+        let _span = s3pg_obs::tracer().span_here("conformance");
+        conformance::check(&data.pg, &schema.pg_schema)
+    };
     metrics.record(
         "conformance",
         t2.elapsed(),

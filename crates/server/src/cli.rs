@@ -20,12 +20,15 @@ pub struct Options {
     pub queue_capacity: usize,
     /// Threads for the startup transform only.
     pub threads: usize,
+    /// Slow-query log threshold in milliseconds (`None` disables the log,
+    /// `0` logs every request).
+    pub slow_query_ms: Option<u64>,
 }
 
 /// Usage text.
 pub const USAGE: &str = "usage: s3pg-serve --data FILE[.ttl|.nt] [--shapes FILE.ttl] \
                          [--mode parsimonious|non-parsimonious] [--addr HOST:PORT] \
-                         [--workers N] [--queue N] [--threads N]";
+                         [--workers N] [--queue N] [--threads N] [--slow-query-ms MS]";
 
 /// Parse argv-style arguments (without the program name).
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -36,6 +39,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     let mut workers = 4usize;
     let mut queue_capacity = 64usize;
     let mut threads = 1usize;
+    let mut slow_query_ms = None;
 
     let positive = |flag: &str, value: Option<String>| -> Result<usize, String> {
         let v = value.ok_or(format!("{flag} needs a count"))?;
@@ -61,6 +65,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             "--workers" => workers = positive("--workers", it.next())?,
             "--queue" => queue_capacity = positive("--queue", it.next())?,
             "--threads" => threads = positive("--threads", it.next())?,
+            "--slow-query-ms" => {
+                let v = it.next().ok_or("--slow-query-ms needs a count")?;
+                slow_query_ms = Some(v.parse::<u64>().map_err(|_| {
+                    format!("--slow-query-ms needs a non-negative integer, got '{v}'")
+                })?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -73,6 +83,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         workers,
         queue_capacity,
         threads,
+        slow_query_ms,
     })
 }
 
@@ -105,6 +116,7 @@ pub fn start(options: &Options) -> Result<(ServerHandle, String), String> {
         ServerConfig {
             workers: options.workers,
             queue_capacity: options.queue_capacity,
+            slow_query_threshold: options.slow_query_ms.map(std::time::Duration::from_millis),
         },
     )
     .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
@@ -130,6 +142,7 @@ mod tests {
         assert_eq!(o.mode, Mode::Parsimonious);
         assert_eq!(o.addr, "127.0.0.1:7878");
         assert_eq!((o.workers, o.queue_capacity, o.threads), (4, 64, 1));
+        assert_eq!(o.slow_query_ms, None);
     }
 
     #[test]
@@ -149,12 +162,15 @@ mod tests {
             "2",
             "--threads",
             "4",
+            "--slow-query-ms",
+            "250",
         ])
         .unwrap();
         assert_eq!(o.mode, Mode::NonParsimonious);
         assert_eq!(o.addr, "0.0.0.0:0");
         assert_eq!((o.workers, o.queue_capacity, o.threads), (8, 2, 4));
         assert_eq!(o.shapes, Some(PathBuf::from("s.ttl")));
+        assert_eq!(o.slow_query_ms, Some(250));
     }
 
     #[test]
@@ -164,6 +180,8 @@ mod tests {
         assert!(args(&["--data", "g.ttl", "--mode", "chaotic"]).is_err());
         assert!(args(&["--data", "g.ttl", "--workers", "0"]).is_err());
         assert!(args(&["--data", "g.ttl", "--queue", "-3"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--slow-query-ms"]).is_err());
+        assert!(args(&["--data", "g.ttl", "--slow-query-ms", "fast"]).is_err());
         assert!(args(&["--data", "g.ttl", "--flag"]).is_err());
         assert!(args(&["--help"]).is_err());
     }

@@ -14,8 +14,9 @@
 //! * [`store`] — `RwLock`-published `Arc` snapshots for lock-free reads;
 //!   a mutex-serialized writer applying deltas via [`s3pg::incremental`].
 //! * [`server`] — fixed worker pool, bounded accept queue with load
-//!   shedding, per-endpoint request/error/latency metrics built on
-//!   [`s3pg::metrics`], graceful drain on `shutdown`/signal.
+//!   shedding, per-endpoint request/error/latency metrics and per-request
+//!   trace spans built on [`s3pg_obs`], a slow-query log, graceful drain
+//!   on `shutdown`/signal.
 //! * [`client`] — blocking typed client (loadgen and tests).
 //! * [`cli`] — argument parsing/startup for the `s3pg-serve` binary.
 //!
@@ -40,5 +41,5 @@ pub mod store;
 
 pub use client::Client;
 pub use protocol::{ErrorKind, Request, Response};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ServerConfig, ServerHandle, SlowQuery};
 pub use store::GraphStore;

@@ -18,6 +18,10 @@
 use crate::json::{self, Json};
 use std::fmt;
 
+/// How many trace events a `trace` request tails when the client does not
+/// say how many it wants.
+pub const DEFAULT_TRACE_LIMIT: u64 = 256;
+
 /// A client request: one endpoint invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -31,10 +35,16 @@ pub enum Request {
         additions: String,
         deletions: String,
     },
-    /// Snapshot statistics: node/edge/triple counts and conformance.
+    /// Snapshot statistics: node/edge/triple counts, conformance, and
+    /// resident memory footprint.
     Stats,
-    /// Per-endpoint request/error counters and latency percentiles.
+    /// Prometheus-style text exposition of every registered metric.
     Metrics,
+    /// Liveness probe with uptime (cheap, no store access).
+    Health,
+    /// Tail of the server's span ring: the most recent `limit` trace
+    /// events as JSONL lines.
+    Trace { limit: u64 },
     /// Liveness probe.
     Ping,
     /// Begin graceful shutdown: drain in-flight requests, then exit.
@@ -50,6 +60,8 @@ impl Request {
             Request::Update { .. } => "update",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Health => "health",
+            Request::Trace { .. } => "trace",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
         }
@@ -57,8 +69,9 @@ impl Request {
 
     /// Endpoints a server tracks metrics for, in reporting order.
     /// `"invalid"` accounts for frames that never parsed into a request.
-    pub const ENDPOINTS: [&'static str; 8] = [
-        "cypher", "sparql", "update", "stats", "metrics", "ping", "shutdown", "invalid",
+    pub const ENDPOINTS: [&'static str; 10] = [
+        "cypher", "sparql", "update", "stats", "metrics", "health", "trace", "ping", "shutdown",
+        "invalid",
     ];
 
     /// Decode one request line. Returns a typed [`ErrorFrame`] (kind
@@ -109,6 +122,13 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "health" => Ok(Request::Health),
+            "trace" => Ok(Request::Trace {
+                limit: value
+                    .get("limit")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(DEFAULT_TRACE_LIMIT),
+            }),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!("unknown op {other:?}"))),
@@ -134,6 +154,10 @@ impl Request {
             ]),
             Request::Stats => Json::obj([("op", "stats".into())]),
             Request::Metrics => Json::obj([("op", "metrics".into())]),
+            Request::Health => Json::obj([("op", "health".into())]),
+            Request::Trace { limit } => {
+                Json::obj([("op", "trace".into()), ("limit", (*limit).into())])
+            }
             Request::Ping => Json::obj([("op", "ping".into())]),
             Request::Shutdown => Json::obj([("op", "shutdown".into())]),
         };
@@ -196,15 +220,6 @@ impl fmt::Display for ErrorFrame {
     }
 }
 
-/// Per-endpoint metrics as reported over the wire.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct EndpointReport {
-    pub requests: u64,
-    pub errors: u64,
-    pub p50_micros: u64,
-    pub p99_micros: u64,
-}
-
 /// A server response: one success shape per endpoint, or a typed error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -231,9 +246,21 @@ pub enum Response {
         edges: u64,
         triples: u64,
         conforms: bool,
+        /// Estimated resident footprint of the served snapshot in bytes
+        /// (RDF store + PG store, deep-size accounting).
+        mem_bytes: u64,
     },
+    /// Prometheus-style text exposition of every registered metric.
     Metrics {
-        endpoints: Vec<(String, EndpointReport)>,
+        exposition: String,
+    },
+    /// Liveness with server uptime; never touches the store locks.
+    Health {
+        uptime_micros: u64,
+    },
+    /// Tail of the server's trace ring: JSONL event lines, oldest first.
+    Trace {
+        events: Vec<String>,
     },
     Pong,
     /// Acknowledgement that the server is draining for exit.
@@ -297,35 +324,27 @@ impl Response {
                 edges,
                 triples,
                 conforms,
+                mem_bytes,
             } => Json::obj([
                 ("ok", true.into()),
                 ("nodes", (*nodes).into()),
                 ("edges", (*edges).into()),
                 ("triples", (*triples).into()),
                 ("conforms", (*conforms).into()),
+                ("mem_bytes", (*mem_bytes).into()),
             ]),
-            Response::Metrics { endpoints } => Json::obj([
+            Response::Metrics { exposition } => Json::obj([
                 ("ok", true.into()),
-                (
-                    "endpoints",
-                    Json::Obj(
-                        endpoints
-                            .iter()
-                            .map(|(name, r)| {
-                                (
-                                    name.clone(),
-                                    Json::obj([
-                                        ("requests", r.requests.into()),
-                                        ("errors", r.errors.into()),
-                                        ("p50_micros", r.p50_micros.into()),
-                                        ("p99_micros", r.p99_micros.into()),
-                                    ]),
-                                )
-                            })
-                            .collect(),
-                    ),
-                ),
+                ("exposition", exposition.as_str().into()),
             ]),
+            Response::Health { uptime_micros } => Json::obj([
+                ("ok", true.into()),
+                ("healthy", true.into()),
+                ("uptime_micros", (*uptime_micros).into()),
+            ]),
+            Response::Trace { events } => {
+                Json::obj([("ok", true.into()), ("events", strings(events))])
+            }
             Response::Pong => Json::obj([("ok", true.into()), ("pong", true.into())]),
             Response::ShuttingDown => {
                 Json::obj([("ok", true.into()), ("shutting_down", true.into())])
@@ -429,26 +448,23 @@ impl Response {
                     .get("conforms")
                     .and_then(Json::as_bool)
                     .ok_or("missing \"conforms\"")?,
+                mem_bytes: num(&value, "mem_bytes")?,
             })
-        } else if let Some(endpoints) = value.get("endpoints") {
-            let Json::Obj(fields) = endpoints else {
-                return Err("\"endpoints\" must be an object".to_string());
-            };
-            let endpoints = fields
-                .iter()
-                .map(|(name, v)| {
-                    Ok((
-                        name.clone(),
-                        EndpointReport {
-                            requests: num(v, "requests")?,
-                            errors: num(v, "errors")?,
-                            p50_micros: num(v, "p50_micros")?,
-                            p99_micros: num(v, "p99_micros")?,
-                        },
-                    ))
-                })
-                .collect::<Result<_, String>>()?;
-            Ok(Response::Metrics { endpoints })
+        } else if let Some(exposition) = value.get("exposition") {
+            Ok(Response::Metrics {
+                exposition: exposition
+                    .as_str()
+                    .ok_or("\"exposition\" must be a string")?
+                    .to_string(),
+            })
+        } else if value.get("healthy").is_some() {
+            Ok(Response::Health {
+                uptime_micros: num(&value, "uptime_micros")?,
+            })
+        } else if let Some(events) = value.get("events") {
+            Ok(Response::Trace {
+                events: strings_of(events)?,
+            })
         } else if value.get("pong").is_some() {
             Ok(Response::Pong)
         } else if value.get("shutting_down").is_some() {
@@ -478,6 +494,8 @@ mod tests {
             },
             Request::Stats,
             Request::Metrics,
+            Request::Health,
+            Request::Trace { limit: 64 },
             Request::Ping,
             Request::Shutdown,
         ] {
@@ -513,17 +531,19 @@ mod tests {
                 edges: 20,
                 triples: 30,
                 conforms: false,
+                mem_bytes: 4096,
             },
             Response::Metrics {
-                endpoints: vec![(
-                    "cypher".to_string(),
-                    EndpointReport {
-                        requests: 5,
-                        errors: 1,
-                        p50_micros: 90,
-                        p99_micros: 1500,
-                    },
-                )],
+                exposition: "# TYPE s3pg_requests_total counter\ns3pg_requests_total{endpoint=\"cypher\"} 5\n".to_string(),
+            },
+            Response::Health { uptime_micros: 1234 },
+            Response::Trace {
+                events: vec![
+                    r#"{"trace":1,"span":1,"parent":0,"name":"request","ev":"begin","t_us":10}"#
+                        .to_string(),
+                    r#"{"trace":1,"span":1,"parent":0,"name":"request","ev":"end","t_us":42}"#
+                        .to_string(),
+                ],
             },
             Response::Pong,
             Response::ShuttingDown,
@@ -568,6 +588,20 @@ mod tests {
             assert_eq!(ErrorKind::parse_kind(kind.as_str()), Some(kind));
         }
         assert_eq!(ErrorKind::parse_kind("nope"), None);
+    }
+
+    #[test]
+    fn trace_limit_defaults_when_omitted() {
+        assert_eq!(
+            Request::decode(r#"{"op":"trace"}"#).unwrap(),
+            Request::Trace {
+                limit: DEFAULT_TRACE_LIMIT
+            }
+        );
+        assert_eq!(
+            Request::decode(r#"{"op":"trace","limit":8}"#).unwrap(),
+            Request::Trace { limit: 8 }
+        );
     }
 
     #[test]

@@ -27,10 +27,10 @@
 //! queued-but-unserved connections receive a typed `shutting_down` frame,
 //! and [`ServerHandle::join`] returns once every thread has exited.
 
-use crate::protocol::{EndpointReport, ErrorFrame, ErrorKind, Request, Response};
+use crate::protocol::{ErrorFrame, ErrorKind, Request, Response};
 use crate::store::GraphStore;
-use s3pg::metrics::EndpointMetrics;
 use s3pg::S3pgError;
+use s3pg_obs::{tracer, Counter, Histogram, Registry};
 use s3pg_query::{cypher, render_term, render_value, sparql};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
@@ -49,6 +49,10 @@ pub struct ServerConfig {
     /// Accepted connections that may wait for a worker before the server
     /// starts shedding load.
     pub queue_capacity: usize,
+    /// Requests slower than this land in the slow-query log (endpoint,
+    /// query text, per-stage timings, rows returned). `None` disables the
+    /// log; `Some(Duration::ZERO)` logs every request.
+    pub slow_query_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -56,9 +60,13 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             queue_capacity: 64,
+            slow_query_threshold: None,
         }
     }
 }
+
+/// How many entries the slow-query log retains (oldest evicted first).
+const SLOW_QUERY_CAPACITY: usize = 128;
 
 /// How often blocked threads re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
@@ -69,24 +77,44 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// otherwise show up as a multi-millisecond p99 artifact under load.
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
-/// Per-endpoint metrics, in [`Request::ENDPOINTS`] order.
-pub struct MetricsRegistry {
-    endpoints: Vec<(&'static str, EndpointMetrics)>,
+/// Obs handles for one endpoint, resolved once at startup so the hot
+/// path never touches the registry's name maps.
+struct EndpointHandles {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<Histogram>,
 }
 
-impl MetricsRegistry {
-    fn new() -> Self {
-        MetricsRegistry {
+/// Per-endpoint metric handles, in [`Request::ENDPOINTS`] order, backed
+/// by the store's [`Registry`].
+struct ServerMetrics {
+    endpoints: Vec<(&'static str, EndpointHandles)>,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry) -> Self {
+        ServerMetrics {
             endpoints: Request::ENDPOINTS
                 .iter()
-                .map(|&name| (name, EndpointMetrics::new()))
+                .map(|&name| {
+                    let series = |family: &str| format!("{family}{{endpoint=\"{name}\"}}");
+                    (
+                        name,
+                        EndpointHandles {
+                            requests: registry.counter(&series("s3pg_requests_total")),
+                            errors: registry.counter(&series("s3pg_request_errors_total")),
+                            latency: registry
+                                .histogram(&series("s3pg_request_latency_microseconds")),
+                        },
+                    )
+                })
                 .collect(),
         }
     }
 
-    fn of(&self, endpoint: &str) -> &EndpointMetrics {
-        // The registry is fixed at construction; unknown names account to
-        // the `invalid` bucket rather than panicking.
+    fn of(&self, endpoint: &str) -> &EndpointHandles {
+        // The handle set is fixed at construction; unknown names account
+        // to the `invalid` bucket rather than panicking.
         self.endpoints
             .iter()
             .find(|(name, _)| *name == endpoint)
@@ -94,29 +122,38 @@ impl MetricsRegistry {
             .unwrap_or_else(|| &self.endpoints[self.endpoints.len() - 1].1)
     }
 
-    /// Wire-protocol report of every endpoint.
-    pub fn report(&self) -> Vec<(String, EndpointReport)> {
-        self.endpoints
-            .iter()
-            .map(|(name, m)| {
-                let s = m.snapshot();
-                (
-                    name.to_string(),
-                    EndpointReport {
-                        requests: s.requests,
-                        errors: s.errors,
-                        p50_micros: s.p50_micros,
-                        p99_micros: s.p99_micros,
-                    },
-                )
-            })
-            .collect()
+    fn observe(&self, endpoint: &str, elapsed: Duration, ok: bool) {
+        let handles = self.of(endpoint);
+        handles.requests.inc();
+        if !ok {
+            handles.errors.inc();
+        }
+        handles.latency.record(elapsed);
     }
+}
+
+/// One entry of the slow-query log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    pub endpoint: &'static str,
+    /// The query text for `cypher`/`sparql`, a size summary for `update`,
+    /// empty for bodyless endpoints.
+    pub query: String,
+    /// Result rows returned (query endpoints only).
+    pub rows: u64,
+    pub total_micros: u64,
+    pub decode_micros: u64,
+    pub execute_micros: u64,
+    pub serialize_micros: u64,
 }
 
 struct Shared {
     store: GraphStore,
-    metrics: MetricsRegistry,
+    metrics: ServerMetrics,
+    registry: Arc<Registry>,
+    started: Instant,
+    slow_query_threshold: Option<Duration>,
+    slow_queries: Mutex<VecDeque<SlowQuery>>,
     shutdown: AtomicBool,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_signal: Condvar,
@@ -150,9 +187,27 @@ impl ServerHandle {
         }
     }
 
-    /// Point-in-time metrics report (same data as the `metrics` endpoint).
-    pub fn metrics(&self) -> Vec<(String, EndpointReport)> {
-        self.shared.metrics.report()
+    /// Point-in-time Prometheus-style exposition (same text as the
+    /// `metrics` endpoint).
+    pub fn metrics_exposition(&self) -> String {
+        self.shared.registry.expose()
+    }
+
+    /// The store's metrics registry (endpoint + memory series).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// The current slow-query log, oldest first (empty when no threshold
+    /// is configured or nothing crossed it).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared
+            .slow_queries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
     }
 }
 
@@ -163,9 +218,17 @@ pub fn serve(addr: &str, store: GraphStore, config: ServerConfig) -> std::io::Re
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    // Enable the process tracer so every request records a span tree the
+    // `trace` endpoint can tail.
+    tracer().set_enabled(true);
+    let registry = Arc::clone(store.registry());
     let shared = Arc::new(Shared {
+        metrics: ServerMetrics::new(&registry),
+        registry,
         store,
-        metrics: MetricsRegistry::new(),
+        started: Instant::now(),
+        slow_query_threshold: config.slow_query_threshold,
+        slow_queries: Mutex::new(VecDeque::new()),
         shutdown: AtomicBool::new(false),
         queue: Mutex::new(VecDeque::new()),
         queue_signal: Condvar::new(),
@@ -289,18 +352,17 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     line.clear();
                     continue;
                 }
-                let (response, endpoint) = respond(&line, shared);
+                let reply = respond(&line, shared);
                 line.clear();
-                let is_shutdown_ack = matches!(response, Response::ShuttingDown);
-                if writeln!(writer, "{}", response.encode()).is_err() {
+                if writeln!(writer, "{}", reply.encoded).is_err() {
                     return;
                 }
-                if is_shutdown_ack {
+                if reply.shutdown_ack {
                     shared.shutdown.store(true, Ordering::SeqCst);
                     shared.queue_signal.notify_all();
                     return;
                 }
-                if endpoint == "shutdown" {
+                if reply.endpoint == "shutdown" {
                     return;
                 }
             }
@@ -320,30 +382,126 @@ fn shed_open(writer: &mut TcpStream) {
     let _ = writeln!(writer, "{}", frame.encode());
 }
 
-/// Decode, dispatch, and meter one request line.
-fn respond(line: &str, shared: &Shared) -> (Response, &'static str) {
+/// One fully processed request line, ready to write back.
+struct Reply {
+    encoded: String,
+    endpoint: &'static str,
+    shutdown_ack: bool,
+}
+
+/// Decode, dispatch, serialize, and meter one request line. Each request
+/// gets its own trace with a `request` → `decode`/`execute`/`serialize`
+/// span tree, and the same stage boundaries feed the slow-query log.
+fn respond(line: &str, shared: &Shared) -> Reply {
+    let tracer = tracer();
+    let request_span = tracer.span(tracer.new_trace(), "request");
     let start = Instant::now();
-    let (response, endpoint) = match Request::decode(line) {
+    let decoded = {
+        let _span = tracer.span_here("decode");
+        Request::decode(line)
+    };
+    let decoded_at = Instant::now();
+    let (response, endpoint, query) = match decoded {
         Ok(request) => {
             let endpoint = request.endpoint();
+            // Query text is only kept when the slow-query log could want
+            // it; the fast path never clones the body.
+            let query = if shared.slow_query_threshold.is_some() {
+                query_text(&request)
+            } else {
+                String::new()
+            };
             // A panicking handler must not unwind through the worker: turn
             // it into a typed internal error and keep serving.
-            let response = catch_unwind(AssertUnwindSafe(|| dispatch(&request, shared)))
-                .unwrap_or_else(|panic| {
-                    Response::Error(ErrorFrame {
-                        kind: ErrorKind::Internal,
-                        message: format!("handler panicked: {}", panic_message(&panic)),
-                    })
-                });
-            (response, endpoint)
+            let response = {
+                let _span = tracer.span_here("execute");
+                catch_unwind(AssertUnwindSafe(|| dispatch(&request, shared))).unwrap_or_else(
+                    |panic| {
+                        Response::Error(ErrorFrame {
+                            kind: ErrorKind::Internal,
+                            message: format!("handler panicked: {}", panic_message(&panic)),
+                        })
+                    },
+                )
+            };
+            (response, endpoint, query)
         }
-        Err(frame) => (Response::Error(frame), "invalid"),
+        Err(frame) => (Response::Error(frame), "invalid", String::new()),
     };
-    shared
-        .metrics
-        .of(endpoint)
-        .observe(start.elapsed(), response.is_ok());
-    (response, endpoint)
+    let executed_at = Instant::now();
+    let encoded = {
+        let _span = tracer.span_here("serialize");
+        response.encode()
+    };
+    let serialized_at = Instant::now();
+    drop(request_span);
+    let total = serialized_at - start;
+    shared.metrics.observe(endpoint, total, response.is_ok());
+    if let Some(threshold) = shared.slow_query_threshold {
+        if total >= threshold {
+            record_slow_query(
+                shared,
+                SlowQuery {
+                    endpoint,
+                    query,
+                    rows: rows_returned(&response),
+                    total_micros: total.as_micros() as u64,
+                    decode_micros: (decoded_at - start).as_micros() as u64,
+                    execute_micros: (executed_at - decoded_at).as_micros() as u64,
+                    serialize_micros: (serialized_at - executed_at).as_micros() as u64,
+                },
+            );
+        }
+    }
+    Reply {
+        encoded,
+        endpoint,
+        shutdown_ack: matches!(response, Response::ShuttingDown),
+    }
+}
+
+/// What the slow-query log shows as the request body.
+fn query_text(request: &Request) -> String {
+    match request {
+        Request::Cypher { query } | Request::Sparql { query } => query.clone(),
+        Request::Update {
+            additions,
+            deletions,
+        } => format!(
+            "update(+{} bytes, -{} bytes)",
+            additions.len(),
+            deletions.len()
+        ),
+        _ => String::new(),
+    }
+}
+
+fn rows_returned(response: &Response) -> u64 {
+    match response {
+        Response::Cypher { rows, .. } | Response::Sparql { rows, .. } => rows.len() as u64,
+        _ => 0,
+    }
+}
+
+fn record_slow_query(shared: &Shared, entry: SlowQuery) {
+    eprintln!(
+        "slow-query endpoint={} total_us={} decode_us={} execute_us={} serialize_us={} rows={} query={:?}",
+        entry.endpoint,
+        entry.total_micros,
+        entry.decode_micros,
+        entry.execute_micros,
+        entry.serialize_micros,
+        entry.rows,
+        entry.query,
+    );
+    let mut log = shared
+        .slow_queries
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if log.len() >= SLOW_QUERY_CAPACITY {
+        log.pop_front();
+    }
+    log.push_back(entry);
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
@@ -421,10 +579,21 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
                 edges: snap.pg.edge_count() as u64,
                 triples: snap.rdf.len() as u64,
                 conforms: snap.conforms,
+                mem_bytes: snap.mem_bytes,
             }
         }
         Request::Metrics => Response::Metrics {
-            endpoints: shared.metrics.report(),
+            exposition: shared.registry.expose(),
+        },
+        Request::Health => Response::Health {
+            uptime_micros: shared.started.elapsed().as_micros() as u64,
+        },
+        Request::Trace { limit } => Response::Trace {
+            events: tracer()
+                .tail((*limit).min(u32::MAX as u64) as usize)
+                .iter()
+                .map(|e| e.to_json())
+                .collect(),
         },
         Request::Ping => Response::Pong,
         Request::Shutdown => Response::ShuttingDown,

@@ -27,6 +27,7 @@ use s3pg::incremental::apply_ntriples_delta;
 use s3pg::pipeline::{transform_with, PipelineConfig};
 use s3pg::schema_transform::SchemaTransform;
 use s3pg::{Mode, S3pgError};
+use s3pg_obs::Registry;
 use s3pg_pg::conformance;
 use s3pg_pg::PropertyGraph;
 use s3pg_rdf::Graph;
@@ -42,6 +43,9 @@ pub struct Snapshot {
     pub pg: PropertyGraph,
     /// Whether `PG ⊨ S_PG` held when this snapshot was published.
     pub conforms: bool,
+    /// Estimated resident footprint of this snapshot in bytes (deep size
+    /// of the RDF store plus the PG store, including index capacity).
+    pub mem_bytes: u64,
 }
 
 /// What an applied delta changed.
@@ -68,6 +72,39 @@ struct Master {
 pub struct GraphStore {
     snapshot: RwLock<Arc<Snapshot>>,
     master: Mutex<Master>,
+    /// Per-store metrics: memory gauges, snapshot sizes, update counter.
+    /// The server shares this registry for its endpoint metrics, so one
+    /// exposition covers both layers.
+    registry: Arc<Registry>,
+}
+
+/// Build a snapshot and publish its memory/size gauges to `registry`.
+fn publish(registry: &Registry, rdf: Graph, pg: PropertyGraph, conforms: bool) -> Arc<Snapshot> {
+    let rdf_bytes = rdf.deep_size_bytes() as u64;
+    let pg_bytes = pg.deep_size_bytes() as u64;
+    registry.gauge("s3pg_mem_rdf_bytes").set_u64(rdf_bytes);
+    registry.gauge("s3pg_mem_pg_bytes").set_u64(pg_bytes);
+    registry
+        .gauge("s3pg_mem_total_bytes")
+        .set_u64(rdf_bytes + pg_bytes);
+    registry
+        .gauge("s3pg_snapshot_triples")
+        .set_u64(rdf.len() as u64);
+    registry
+        .gauge("s3pg_snapshot_nodes")
+        .set_u64(pg.node_count() as u64);
+    registry
+        .gauge("s3pg_snapshot_edges")
+        .set_u64(pg.edge_count() as u64);
+    registry
+        .gauge("s3pg_snapshot_conforms")
+        .set_u64(u64::from(conforms));
+    Arc::new(Snapshot {
+        rdf,
+        pg,
+        conforms,
+        mem_bytes: rdf_bytes + pg_bytes,
+    })
 }
 
 impl GraphStore {
@@ -76,11 +113,13 @@ impl GraphStore {
     /// updates go through the incremental path.
     pub fn new(rdf: Graph, shapes: &ShapeSchema, mode: Mode, threads: usize) -> GraphStore {
         let out = transform_with(&rdf, shapes, mode, PipelineConfig { threads });
-        let snapshot = Arc::new(Snapshot {
-            rdf: rdf.clone(),
-            pg: out.pg.clone(),
-            conforms: out.conformance.conforms(),
-        });
+        let registry = Arc::new(Registry::new());
+        let snapshot = publish(
+            &registry,
+            rdf.clone(),
+            out.pg.clone(),
+            out.conformance.conforms(),
+        );
         GraphStore {
             snapshot: RwLock::new(snapshot),
             master: Mutex::new(Master {
@@ -89,7 +128,13 @@ impl GraphStore {
                 schema: out.schema,
                 state: out.state,
             }),
+            registry,
         }
+    }
+
+    /// The store's metrics registry (shared with the serving layer).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Current snapshot. Constant-time: one read-lock acquisition and one
@@ -142,11 +187,13 @@ impl GraphStore {
             conforms: conformance.conforms(),
         };
 
-        let next = Arc::new(Snapshot {
-            rdf: master.rdf.clone(),
-            pg: master.pg.clone(),
-            conforms: summary.conforms,
-        });
+        self.registry.counter("s3pg_updates_applied_total").inc();
+        let next = publish(
+            &self.registry,
+            master.rdf.clone(),
+            master.pg.clone(),
+            summary.conforms,
+        );
         // Publish while still holding the master lock, so snapshots are
         // swapped in the same order updates were applied.
         *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = next;
@@ -235,6 +282,37 @@ mod tests {
         let after = store.snapshot();
         assert_eq!(before.pg.node_count(), after.pg.node_count());
         assert_eq!(before.rdf.len(), after.rdf.len());
+    }
+
+    #[test]
+    fn snapshot_reports_memory_and_gauges() {
+        let store = store();
+        let before = store.snapshot();
+        assert!(before.mem_bytes > 0);
+        let text = store.registry().expose();
+        for family in [
+            "s3pg_mem_rdf_bytes",
+            "s3pg_mem_pg_bytes",
+            "s3pg_mem_total_bytes",
+            "s3pg_snapshot_nodes",
+            "s3pg_snapshot_edges",
+            "s3pg_snapshot_triples",
+        ] {
+            assert!(text.contains(family), "{family} missing from:\n{text}");
+        }
+        store
+            .apply_update(
+                "<http://ex/c> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+                 <http://ex/c> <http://ex/name> \"C\" .\n",
+                "",
+            )
+            .unwrap();
+        let after = store.snapshot();
+        assert!(after.mem_bytes >= before.mem_bytes);
+        assert_eq!(
+            store.registry().counter("s3pg_updates_applied_total").get(),
+            1
+        );
     }
 
     #[test]

@@ -111,6 +111,7 @@ fn serves_reads_updates_and_metrics_over_tcp() {
         nodes,
         triples,
         conforms,
+        mem_bytes,
         ..
     } = response
     else {
@@ -119,25 +120,32 @@ fn serves_reads_updates_and_metrics_over_tcp() {
     assert_eq!(nodes, 3);
     assert_eq!(triples, 8);
     assert!(conforms);
+    assert!(mem_bytes > 0);
 
-    // Metrics report every endpoint with counts and percentiles.
+    // Metrics: a well-formed Prometheus-style exposition with request
+    // counters and memory gauges.
     let response = client.call(&Request::Metrics).unwrap();
-    let Response::Metrics { endpoints } = response else {
+    let Response::Metrics { exposition } = response else {
         panic!("expected metrics");
     };
-    let get = |name: &str| {
-        endpoints
+    let samples = s3pg_obs::parse_exposition(&exposition).unwrap();
+    let sample = |name: &str| {
+        samples
             .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, r)| *r)
-            .unwrap()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from exposition:\n{exposition}"))
+            .value
     };
-    assert_eq!(get("ping").requests, 1);
-    assert_eq!(get("cypher").requests, 2);
-    assert_eq!(get("sparql").requests, 1);
-    assert_eq!(get("update").requests, 1);
-    assert_eq!(get("cypher").errors, 0);
-    assert!(get("update").p99_micros >= get("update").p50_micros);
+    assert_eq!(sample("s3pg_requests_total{endpoint=\"ping\"}"), 1.0);
+    assert_eq!(sample("s3pg_requests_total{endpoint=\"cypher\"}"), 2.0);
+    assert_eq!(sample("s3pg_requests_total{endpoint=\"sparql\"}"), 1.0);
+    assert_eq!(sample("s3pg_requests_total{endpoint=\"update\"}"), 1.0);
+    assert_eq!(
+        sample("s3pg_request_errors_total{endpoint=\"cypher\"}"),
+        0.0
+    );
+    assert!(sample("s3pg_mem_total_bytes") > 0.0);
+    assert_eq!(sample("s3pg_snapshot_nodes"), 3.0);
 
     handle.shutdown();
     handle.join();
@@ -198,12 +206,22 @@ fn malformed_input_yields_typed_errors_not_panics() {
     assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
 
     // And the metrics recorded the failures.
-    let Response::Metrics { endpoints } = client.call(&Request::Metrics).unwrap() else {
+    let Response::Metrics { exposition } = client.call(&Request::Metrics).unwrap() else {
         panic!("expected metrics");
     };
-    let invalid = endpoints.iter().find(|(n, _)| n == "invalid").unwrap().1;
-    assert_eq!(invalid.requests, 2);
-    assert_eq!(invalid.errors, 2);
+    let samples = s3pg_obs::parse_exposition(&exposition).unwrap();
+    let sample = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from exposition:\n{exposition}"))
+            .value
+    };
+    assert_eq!(sample("s3pg_requests_total{endpoint=\"invalid\"}"), 2.0);
+    assert_eq!(
+        sample("s3pg_request_errors_total{endpoint=\"invalid\"}"),
+        2.0
+    );
 
     handle.shutdown();
     handle.join();
@@ -216,6 +234,7 @@ fn sheds_load_with_typed_rejection_when_saturated() {
     let handle = start_server(ServerConfig {
         workers: 1,
         queue_capacity: 1,
+        ..ServerConfig::default()
     });
 
     // Occupy the only worker: a connected client that sends nothing.
@@ -278,6 +297,7 @@ fn concurrent_clients_see_consistent_monotonic_state() {
     let handle = start_server(ServerConfig {
         workers: 8,
         queue_capacity: 64,
+        ..ServerConfig::default()
     });
     let addr = handle.addr.to_string();
     let clients = 8;

@@ -19,7 +19,7 @@ echo "== write demo dataset =="
 
 echo "== start s3pg-serve on an ephemeral port =="
 "$SERVE" --data "$DEMO_DIR/data.ttl" --shapes "$DEMO_DIR/shapes.ttl" \
-         --addr 127.0.0.1:0 --workers 8 >"$SERVER_LOG" 2>&1 &
+         --addr 127.0.0.1:0 --workers 8 --slow-query-ms 0 >"$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
 
 ADDR=""
@@ -32,7 +32,10 @@ done
 [ -n "$ADDR" ] || { cat "$SERVER_LOG"; echo "server never reported its address"; exit 1; }
 echo "server is listening on $ADDR"
 
-echo "== differential loadgen (reads + deltas) and protocol shutdown =="
+echo "== differential loadgen (reads + deltas + metrics/health checks) and protocol shutdown =="
+# The loadgen differentially checks every response, asserts the metrics
+# exposition is well-formed, and verifies the server's request counters
+# cover the client's own tally.
 "$LOADGEN" --addr "$ADDR" --connections 2 --rounds 3 --metrics --shutdown
 
 echo "== wait for the server to drain and exit =="
@@ -47,5 +50,10 @@ if kill -0 "$SERVER_PID" 2>/dev/null; then
 fi
 wait "$SERVER_PID"
 grep -q "shutdown complete" "$SERVER_LOG" || { cat "$SERVER_LOG"; echo "missing clean-shutdown line"; exit 1; }
+
+echo "== slow-query log (threshold 0 logs every request) =="
+grep -q "slow-query endpoint=cypher" "$SERVER_LOG" \
+    || { cat "$SERVER_LOG"; echo "missing slow-query log lines"; exit 1; }
+grep "slow-query" "$SERVER_LOG" | head -3
 
 echo "serve smoke OK"

@@ -1,0 +1,245 @@
+//! Integration tests for the unified observability layer: the server's
+//! `metrics`/`health`/`stats`/`trace` endpoints, the slow-query log, and
+//! span-tree validity of the traces both the pipeline and the serving
+//! path record.
+
+use s3pg::pipeline::{transform_with, PipelineConfig};
+use s3pg::Mode;
+use s3pg_bench::serving::{demo_data_turtle, demo_shapes_turtle};
+use s3pg_obs::{parse_exposition, tracer, validate_span_tree, EventKind};
+use s3pg_rdf::parser::parse_turtle;
+use s3pg_server::client::Client;
+use s3pg_server::protocol::{Request, Response};
+use s3pg_server::server::{serve, ServerConfig, ServerHandle};
+use s3pg_server::store::GraphStore;
+use s3pg_shacl::parser::parse_shacl_turtle;
+use std::time::Duration;
+
+fn start_server(config: ServerConfig) -> ServerHandle {
+    let rdf = parse_turtle(demo_data_turtle()).unwrap();
+    let shapes = parse_shacl_turtle(demo_shapes_turtle()).unwrap();
+    let store = GraphStore::new(rdf, &shapes, Mode::Parsimonious, 1);
+    serve("127.0.0.1:0", store, config).unwrap()
+}
+
+#[test]
+fn metrics_endpoint_exposes_counters_and_memory_gauges() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = Client::connect(&handle.addr.to_string()).unwrap();
+
+    // Drive a known request mix before asking for metrics.
+    for _ in 0..3 {
+        client.call(&Request::Ping).unwrap();
+    }
+    client
+        .call(&Request::Cypher {
+            query: "MATCH (p:Person) RETURN p.name".to_string(),
+        })
+        .unwrap();
+    client.call(&Request::Stats).unwrap();
+
+    let Response::Metrics { exposition } = client.call(&Request::Metrics).unwrap() else {
+        panic!("expected metrics response");
+    };
+    // Every line of the exposition is well-formed Prometheus text.
+    let samples = parse_exposition(&exposition).unwrap();
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from exposition:\n{exposition}"))
+            .value
+    };
+    // Request counters match the client's own tally exactly (fresh server,
+    // single client; the metrics request is metered only after encoding).
+    assert_eq!(get("s3pg_requests_total{endpoint=\"ping\"}"), 3.0);
+    assert_eq!(get("s3pg_requests_total{endpoint=\"cypher\"}"), 1.0);
+    assert_eq!(get("s3pg_requests_total{endpoint=\"stats\"}"), 1.0);
+    assert_eq!(get("s3pg_requests_total{endpoint=\"metrics\"}"), 0.0);
+    assert_eq!(get("s3pg_request_errors_total{endpoint=\"cypher\"}"), 0.0);
+    // Latency summaries carry counts and quantiles.
+    assert_eq!(
+        get("s3pg_request_latency_microseconds_count{endpoint=\"ping\"}"),
+        3.0
+    );
+    // Memory accounting gauges are published with the snapshot.
+    assert!(get("s3pg_mem_rdf_bytes") > 0.0);
+    assert!(get("s3pg_mem_pg_bytes") > 0.0);
+    assert_eq!(
+        get("s3pg_mem_total_bytes"),
+        get("s3pg_mem_rdf_bytes") + get("s3pg_mem_pg_bytes")
+    );
+    assert_eq!(get("s3pg_snapshot_nodes"), 3.0);
+    assert_eq!(get("s3pg_snapshot_conforms"), 1.0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn health_and_stats_report_uptime_and_footprint() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = Client::connect(&handle.addr.to_string()).unwrap();
+
+    let Response::Health { uptime_micros } = client.call(&Request::Health).unwrap() else {
+        panic!("expected health response");
+    };
+    std::thread::sleep(Duration::from_millis(5));
+    let Response::Health {
+        uptime_micros: later,
+    } = client.call(&Request::Health).unwrap()
+    else {
+        panic!("expected health response");
+    };
+    assert!(later > uptime_micros, "uptime must advance");
+
+    let Response::Stats {
+        nodes,
+        edges,
+        triples,
+        conforms,
+        mem_bytes,
+    } = client.call(&Request::Stats).unwrap()
+    else {
+        panic!("expected stats response");
+    };
+    assert_eq!((nodes, edges, triples), (3, 2, 8));
+    assert!(conforms);
+    assert!(mem_bytes > 0);
+
+    // The snapshot's accounted footprint grows with the graph.
+    client
+        .call(&Request::Update {
+            additions:
+                "<http://ex/d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+                 <http://ex/d> <http://ex/name> \"D\" .\n"
+                    .to_string(),
+            deletions: String::new(),
+        })
+        .unwrap();
+    let Response::Stats {
+        mem_bytes: after, ..
+    } = client.call(&Request::Stats).unwrap()
+    else {
+        panic!("expected stats response");
+    };
+    assert!(after >= mem_bytes);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn trace_endpoint_tails_request_span_trees() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = Client::connect(&handle.addr.to_string()).unwrap();
+
+    client.call(&Request::Ping).unwrap();
+    client
+        .call(&Request::Sparql {
+            query: "SELECT ?s WHERE { ?s <http://ex/name> ?n }".to_string(),
+        })
+        .unwrap();
+
+    let Response::Trace { events } = client.call(&Request::Trace { limit: 4096 }).unwrap() else {
+        panic!("expected trace response");
+    };
+    assert!(!events.is_empty(), "the ring must hold request spans");
+    // Every tailed line is a JSON object with the span fields; request
+    // stages appear with the expected names.
+    for line in &events {
+        let value = s3pg_server::json::parse(line).unwrap();
+        for field in ["trace", "span", "parent", "t_us"] {
+            assert!(value.get(field).is_some(), "{field} missing in {line}");
+        }
+        let ev = value.get("ev").and_then(s3pg_server::json::Json::as_str);
+        assert!(matches!(ev, Some("begin") | Some("end")), "{line}");
+    }
+    for name in ["\"request\"", "\"decode\"", "\"execute\"", "\"serialize\""] {
+        assert!(
+            events.iter().any(|l| l.contains(name)),
+            "{name} missing from tail: {events:#?}"
+        );
+    }
+    // Query endpoints nest engine spans under `execute`.
+    assert!(events.iter().any(|l| l.contains("\"query_plan\"")));
+    assert!(events.iter().any(|l| l.contains("\"query_eval\"")));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn slow_query_log_records_stage_timings_and_rows() {
+    // Threshold zero: every request is a slow query.
+    let handle = start_server(ServerConfig {
+        slow_query_threshold: Some(Duration::ZERO),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&handle.addr.to_string()).unwrap();
+
+    let query = "MATCH (p:Person) RETURN p.name".to_string();
+    client
+        .call(&Request::Cypher {
+            query: query.clone(),
+        })
+        .unwrap();
+    client.call(&Request::Ping).unwrap();
+
+    let log = handle.slow_queries();
+    assert_eq!(log.len(), 2);
+    let slow = &log[0];
+    assert_eq!(slow.endpoint, "cypher");
+    assert_eq!(slow.query, query);
+    assert_eq!(slow.rows, 3);
+    assert!(
+        slow.total_micros >= slow.decode_micros + slow.execute_micros + slow.serialize_micros,
+        "stage timings must not exceed the total: {slow:?}"
+    );
+    assert_eq!(log[1].endpoint, "ping");
+    assert_eq!(log[1].rows, 0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn pipeline_trace_forms_a_valid_span_tree() {
+    let rdf = parse_turtle(demo_data_turtle()).unwrap();
+    let shapes = parse_shacl_turtle(demo_shapes_turtle()).unwrap();
+
+    let tracer = tracer();
+    tracer.set_enabled(true);
+    let trace = tracer.new_trace();
+    {
+        let _root = tracer.span(trace, "convert");
+        let out = transform_with(
+            &rdf,
+            &shapes,
+            Mode::Parsimonious,
+            PipelineConfig { threads: 2 },
+        );
+        assert!(out.conformance.conforms());
+    }
+
+    let events = tracer.events_for(trace);
+    validate_span_tree(&events).unwrap();
+    assert_eq!(events.len() % 2, 0);
+    let begins: Vec<&str> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Begin)
+        .map(|e| e.name)
+        .collect();
+    for name in [
+        "convert",
+        "schema_transform",
+        "phase1_nodes",
+        "phase2_props",
+        "shard",
+        "conformance",
+    ] {
+        assert!(begins.contains(&name), "{name} missing from {begins:?}");
+    }
+    // Two parallel shards, each its own child span of phase2.
+    assert_eq!(begins.iter().filter(|n| **n == "shard").count(), 2);
+}

@@ -22,6 +22,7 @@ fn start_demo_server(workers: usize, mode: Mode) -> ServerHandle {
         ServerConfig {
             workers,
             queue_capacity: 64,
+            ..ServerConfig::default()
         },
     )
     .unwrap()
@@ -56,21 +57,28 @@ fn eight_connections_of_mixed_traffic_with_zero_mismatches() {
     // latency percentiles for every exercised endpoint.
     let get = |name: &str| {
         report
-            .server_metrics
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, r)| *r)
-            .unwrap_or_else(|| panic!("endpoint {name} missing from metrics"))
+            .server_sample(name)
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
     };
-    assert_eq!(get("update").requests, 8 * 15);
-    assert_eq!(get("update").errors, 0);
-    assert!(get("cypher").requests >= 8 * 15);
-    assert!(get("sparql").requests >= 8 * 15);
+    assert_eq!(
+        get("s3pg_requests_total{endpoint=\"update\"}"),
+        (8 * 15) as f64
+    );
+    assert_eq!(get("s3pg_request_errors_total{endpoint=\"update\"}"), 0.0);
+    assert!(get("s3pg_requests_total{endpoint=\"cypher\"}") >= (8 * 15) as f64);
+    assert!(get("s3pg_requests_total{endpoint=\"sparql\"}") >= (8 * 15) as f64);
     for endpoint in ["update", "cypher", "sparql"] {
-        let r = get(endpoint);
-        assert!(r.p50_micros > 0, "{endpoint} p50 missing");
-        assert!(r.p99_micros >= r.p50_micros, "{endpoint} p99 < p50");
+        let p50 = get(&format!(
+            "s3pg_request_latency_microseconds{{endpoint=\"{endpoint}\",quantile=\"0.5\"}}"
+        ));
+        let p99 = get(&format!(
+            "s3pg_request_latency_microseconds{{endpoint=\"{endpoint}\",quantile=\"0.99\"}}"
+        ));
+        assert!(p50 > 0.0, "{endpoint} p50 missing");
+        assert!(p99 >= p50, "{endpoint} p99 < p50");
     }
+    // Memory accounting rides along in the same exposition.
+    assert!(get("s3pg_mem_total_bytes") > 0.0);
 
     handle.shutdown();
     handle.join();
