@@ -19,20 +19,23 @@
 //! worker while open.
 
 use s3pg::Mode;
-use s3pg_bench::serving::{demo_data_turtle, demo_shapes_turtle, run_loadgen, LoadConfig};
+use s3pg_bench::serving::{
+    demo_data_turtle, demo_shapes_turtle, plan_cache_probe, run_loadgen, LoadConfig,
+};
 use s3pg_server::client::Client;
 use s3pg_server::protocol::{Request, Response};
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: loadgen --addr HOST:PORT [--connections N] [--rounds N] \
                      [--seed N] [--mode parsimonious|non-parsimonious] [--metrics] \
-                     [--shutdown]\n       loadgen --write-demo DIR";
+                     [--plan-cache-probe] [--shutdown]\n       loadgen --write-demo DIR";
 
 struct Args {
     addr: Option<String>,
     config: LoadConfig,
     mode: Mode,
     metrics: bool,
+    plan_cache_probe: bool,
     shutdown: bool,
     write_demo: Option<PathBuf>,
 }
@@ -43,6 +46,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         config: LoadConfig::default(),
         mode: Mode::Parsimonious,
         metrics: false,
+        plan_cache_probe: false,
         shutdown: false,
         write_demo: None,
     };
@@ -73,6 +77,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
                 }
             }
             "--metrics" => out.metrics = true,
+            "--plan-cache-probe" => out.plan_cache_probe = true,
             "--shutdown" => out.shutdown = true,
             "--write-demo" => {
                 out.write_demo = Some(PathBuf::from(it.next().ok_or("--write-demo needs a dir")?))
@@ -112,6 +117,10 @@ fn run(args: &Args) -> Result<bool, String> {
         args.config,
     )?;
     print!("{}", report.render(args.metrics));
+    if args.plan_cache_probe {
+        plan_cache_probe(addr)?;
+        println!("plan-cache probe OK: repeat query skipped the query_plan span");
+    }
     if args.shutdown {
         let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
         match client.call(&Request::Shutdown).map_err(|e| e.to_string())? {

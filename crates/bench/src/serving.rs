@@ -536,6 +536,27 @@ pub fn run_loadgen(
         }
     }
 
+    // ---- Plan-cache exercise: one fixed query text, many issues. The
+    // first issue may miss; every later one must hit the server's plan
+    // cache (the exposition check below asserts hit rate > 0.9 across the
+    // whole run). Sized so exercise hits alone outvote the worst-case
+    // miss count — every other query text in the run is distinct at most
+    // once per (connection, round). Responses stay differentially checked.
+    let cache_query = "MATCH (p:Person) WHERE p.name = \"B\" RETURN p.name".to_string();
+    let cache_repeats = 10 * (2 * config.connections * config.rounds + 8) as u64;
+    for i in 0..cache_repeats {
+        let response = client
+            .call(&Request::Cypher {
+                query: cache_query.clone(),
+            })
+            .map_err(|e| e.to_string())?;
+        final_requests += 1;
+        if let Some(m) = check_cypher(&global, &cache_query, &response) {
+            mismatches.push(format!("cache-exercise #{i}: {m}"));
+            break; // one disagreement would repeat thousands of times
+        }
+    }
+
     // Metrics: the exposition must be well-formed, and the server's
     // per-endpoint request counters must cover everything this client
     // sent. (The metrics request itself is metered only after it is
@@ -545,7 +566,7 @@ pub fn run_loadgen(
     for s in &latencies {
         *tally.entry(s.endpoint).or_default() += 1;
     }
-    *tally.entry("cypher").or_default() += 2;
+    *tally.entry("cypher").or_default() += 2 + cache_repeats;
     *tally.entry("sparql").or_default() += 1;
     *tally.entry("stats").or_default() += 1;
     *tally.entry("health").or_default() += 1;
@@ -578,6 +599,34 @@ pub fn run_loadgen(
                         ));
                     }
                 }
+                let value = |name: &str| {
+                    parsed
+                        .iter()
+                        .find(|s| s.name == name)
+                        .map(|s| s.value)
+                        .unwrap_or(0.0)
+                };
+                // The plan cache must be doing its job: on this repeat-heavy
+                // workload more than 9 in 10 query lookups hit.
+                let hits = value("s3pg_plan_cache_hit");
+                let misses = value("s3pg_plan_cache_miss");
+                if hits + misses <= 0.0 {
+                    mismatches.push("metrics: plan-cache counters missing or zero".to_string());
+                } else {
+                    let rate = hits / (hits + misses);
+                    if rate <= 0.9 {
+                        mismatches.push(format!(
+                            "metrics: plan-cache hit rate {rate:.3} ≤ 0.9 \
+                             ({hits:.0} hits, {misses:.0} misses)"
+                        ));
+                    }
+                }
+                // The property-value index is accounted for in the memory
+                // gauges (the demo graph has indexed name properties).
+                if value("s3pg_mem_pg_prop_index_bytes") <= 0.0 {
+                    mismatches
+                        .push("metrics: s3pg_mem_pg_prop_index_bytes missing or zero".to_string());
+                }
             }
             Err(e) => mismatches.push(format!("metrics: exposition did not parse: {e}")),
         }
@@ -597,6 +646,75 @@ pub fn run_loadgen(
 /// incremental property tests can reuse the generator as a workload source.
 pub fn parse_delta(nt: &str) -> Graph {
     parse_ntriples(nt).expect("loadgen deltas are well-formed")
+}
+
+/// Issue a never-seen query twice and assert — via the server's trace
+/// endpoint — that only the *first* issue paid for planning: its trace
+/// contains a `query_plan` span, the repeat's trace does not (the plan
+/// cache serves the parsed AST and plan without touching the planner).
+pub fn plan_cache_probe(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    // A query text no other traffic uses, so the first issue must miss.
+    let query = "MATCH (p:Person) WHERE p.name = \"plan-cache-probe\" RETURN p.name";
+    for issue in 0..2 {
+        match client
+            .call(&Request::Cypher {
+                query: query.to_string(),
+            })
+            .map_err(|e| e.to_string())?
+        {
+            Response::Cypher { .. } => {}
+            other => return Err(format!("probe issue {issue}: unexpected {other:?}")),
+        }
+    }
+    let events = match client
+        .call(&Request::Trace { limit: 4096 })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Trace { events } => events,
+        other => return Err(format!("trace fetch: unexpected {other:?}")),
+    };
+    // Decode (trace id, span name, kind) out of the JSONL tail; events are
+    // oldest-first, so the last two `query_eval` begins are our two issues
+    // (nothing else talks to the server while the probe runs).
+    use s3pg_server::json::{self, Json};
+    let mut eval_traces: Vec<u64> = Vec::new();
+    let mut plan_traces: Vec<u64> = Vec::new();
+    for (i, line) in events.iter().enumerate() {
+        let value = json::parse(line).map_err(|e| format!("trace event {i}: {e}"))?;
+        let (Some(trace), Some(name), Some(ev)) = (
+            value.get("trace").and_then(Json::as_u64),
+            value.get("name").and_then(Json::as_str),
+            value.get("ev").and_then(Json::as_str),
+        ) else {
+            return Err(format!("trace event {i}: missing trace/name/ev: {line}"));
+        };
+        if ev == "begin" {
+            match name {
+                "query_eval" => eval_traces.push(trace),
+                "query_plan" => plan_traces.push(trace),
+                _ => {}
+            }
+        }
+    }
+    let [first, second] = eval_traces.last_chunk::<2>().ok_or(format!(
+        "trace tail holds {} query_eval spans, need 2",
+        eval_traces.len()
+    ))?;
+    if first == second {
+        return Err(format!("probe issues share trace {first}"));
+    }
+    if !plan_traces.contains(first) {
+        return Err(format!(
+            "first issue (trace {first}) shows no query_plan span — cache miss did not plan?"
+        ));
+    }
+    if plan_traces.contains(second) {
+        return Err(format!(
+            "repeat issue (trace {second}) replanned: query_plan span present, plan cache missed"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -18,9 +18,40 @@ const MEASURE_TARGET: Duration = Duration::from_millis(300);
 const MIN_ITERS: usize = 3;
 const MAX_ITERS: usize = 1000;
 
-/// Measure `f`, printing one aligned report line. The closure's result is
-/// `black_box`ed so the optimizer cannot elide the measured work.
-pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+/// Per-iteration latency distribution collected by [`bench_samples`].
+#[derive(Debug, Clone, Copy)]
+pub struct Samples {
+    pub iters: usize,
+    pub mean: Duration,
+    pub min: Duration,
+    pub p50: Duration,
+    pub p99: Duration,
+}
+
+impl Samples {
+    /// Exact quantiles over every recorded iteration.
+    fn from_durations(mut samples: Vec<Duration>) -> Samples {
+        samples.sort();
+        let iters = samples.len();
+        let total: Duration = samples.iter().sum();
+        let rank = |q: f64| {
+            let r = ((q * iters as f64).ceil() as usize).max(1) - 1;
+            samples[r.min(iters - 1)]
+        };
+        Samples {
+            iters,
+            mean: total / iters as u32,
+            min: samples[0],
+            p50: rank(0.50),
+            p99: rank(0.99),
+        }
+    }
+}
+
+/// Warm up, size the iteration count to the measurement window, and time
+/// every iteration. The closure's result is `black_box`ed so the optimizer
+/// cannot elide the measured work.
+fn measure<R>(f: &mut impl FnMut() -> R) -> Samples {
     // Warm-up iteration doubles as the cost estimate.
     let t0 = Instant::now();
     black_box(f());
@@ -29,21 +60,39 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
     let iters = (MEASURE_TARGET.as_nanos() / est.as_nanos())
         .clamp(MIN_ITERS as u128, MAX_ITERS as u128) as usize;
 
-    let mut total = Duration::ZERO;
-    let mut min = Duration::MAX;
+    let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t = Instant::now();
         black_box(f());
-        let dt = t.elapsed();
-        total += dt;
-        min = min.min(dt);
+        samples.push(t.elapsed());
     }
-    let mean = total / iters as u32;
+    Samples::from_durations(samples)
+}
+
+/// Measure `f`, printing one aligned report line.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let s = measure(&mut f);
     println!(
-        "{name:<56} {:>12}/iter  (min {:>10}, {iters} iters)",
-        fmt_duration(mean),
-        fmt_duration(min)
+        "{name:<56} {:>12}/iter  (min {:>10}, {} iters)",
+        fmt_duration(s.mean),
+        fmt_duration(s.min),
+        s.iters
     );
+}
+
+/// Like [`bench`], but returns the full latency distribution (exact
+/// p50/p99 over the collected iterations) for machine-readable reports
+/// such as `BENCH_query.json`.
+pub fn bench_samples<R>(name: &str, mut f: impl FnMut() -> R) -> Samples {
+    let s = measure(&mut f);
+    println!(
+        "{name:<56} {:>12}/iter  (p50 {:>10}, p99 {:>10}, {} iters)",
+        fmt_duration(s.mean),
+        fmt_duration(s.p50),
+        fmt_duration(s.p99),
+        s.iters
+    );
+    s
 }
 
 /// Print a section header so grouped benches read like Criterion groups.
@@ -82,5 +131,12 @@ mod tests {
         let mut calls = 0usize;
         bench("noop", || calls += 1);
         assert!(calls > MIN_ITERS);
+    }
+
+    #[test]
+    fn samples_report_ordered_quantiles() {
+        let s = bench_samples("noop", || std::hint::black_box(1 + 1));
+        assert!(s.iters >= MIN_ITERS);
+        assert!(s.min <= s.p50 && s.p50 <= s.p99);
     }
 }

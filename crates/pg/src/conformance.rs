@@ -176,14 +176,13 @@ fn check_key(
         return;
     };
     // Nodes of the FOR type: those carrying its primary label and conforming.
-    for node in pg.nodes_with_label(&for_type.label) {
+    for &node in pg.nodes_with_label(&for_type.label) {
         if !node_conforms(pg, schema, node, for_type) {
             continue;
         }
         let count = pg
             .out_edges(node)
-            .iter()
-            .filter(|&&e| {
+            .filter(|&e| {
                 let edge = pg.edge(e);
                 pg.edge_labels_of(e).contains(&key.edge_label.as_str())
                     && key.target_types.iter().any(|t| {

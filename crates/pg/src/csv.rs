@@ -363,7 +363,7 @@ mod tests {
             ]))
         );
         assert_eq!(back.labels_of(bob), vec!["Person", "Student"]);
-        let e = back.out_edges(bob)[0];
+        let e = back.out_edges(bob).next().unwrap();
         assert_eq!(back.edge_prop(e, "since"), Some(&Value::Year(2021)));
     }
 

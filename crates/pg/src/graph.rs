@@ -6,10 +6,13 @@
 //! properties. Labels and keys are interned.
 //!
 //! The store maintains the indexes the transformation and the Cypher engine
-//! need: nodes by label, edges by label, in/out adjacency, and a unique
+//! need: nodes by label, edges by label, in/out adjacency, a unique
 //! index over the `iri` property — S3PG stores each RDF entity's IRI as a
 //! node property (Figure 2c), and Algorithm 1's second phase resolves
-//! subjects/objects through this index.
+//! subjects/objects through this index — and a `(label, key, value)` hash
+//! index over scalar node properties that backs equality-predicate pushdown
+//! in the Cypher planner. Every property mutator maintains the value index,
+//! so the incremental transformation keeps it consistent for free.
 
 use crate::value::Value;
 use s3pg_rdf::fxhash::FxHashMap;
@@ -62,6 +65,11 @@ pub struct PropertyGraph {
     in_edges: Vec<Vec<EdgeId>>,
     by_iri: FxHashMap<String, NodeId>,
     iri_key: Option<Sym>,
+    /// `(label, key) → value → nodes` over scalar property values. Lists are
+    /// never indexed: Cypher equality compares a list to a scalar as
+    /// "incomparable", so an equality probe can never select a list-valued
+    /// property. Buckets hold only live nodes (removal deindexes).
+    prop_index: FxHashMap<(Sym, Sym), FxHashMap<Value, Vec<NodeId>>>,
 }
 
 impl PropertyGraph {
@@ -144,6 +152,7 @@ impl PropertyGraph {
         // label scan would pay to skip them.
         let labels = self.nodes[id.0 as usize].labels.clone();
         for sym in labels {
+            self.deindex_props_for_label(id, sym);
             if let Some(postings) = self.by_label.get_mut(&sym) {
                 postings.retain(|&n| n != id);
             }
@@ -158,12 +167,21 @@ impl PropertyGraph {
     }
 
     /// Add a label to an existing node (λ is a set: duplicates are ignored).
+    /// The node's scalar properties become reachable under the new label in
+    /// the property value index.
     pub fn add_label(&mut self, node: NodeId, label: &str) {
         let sym = self.interner.intern(label);
         let n = &mut self.nodes[node.0 as usize];
         if !n.labels.contains(&sym) {
             n.labels.push(sym);
-            self.by_label.entry(sym).or_default().push(node);
+            // Keep postings id-sorted even when a node is relabelled after
+            // later nodes joined the bucket: the query engines rely on
+            // label scans and index probes enumerating in the same order.
+            let postings = self.by_label.entry(sym).or_default();
+            if let Err(pos) = postings.binary_search(&node) {
+                postings.insert(pos, node);
+            }
+            self.index_props_for_label(node, sym);
         }
     }
 
@@ -180,6 +198,7 @@ impl PropertyGraph {
         if let Some(postings) = self.by_label.get_mut(&sym) {
             postings.retain(|&id| id != node);
         }
+        self.deindex_props_for_label(node, sym);
         true
     }
 
@@ -187,28 +206,14 @@ impl PropertyGraph {
     /// Setting the [`IRI_KEY`] maintains the unique IRI index.
     pub fn set_prop(&mut self, node: NodeId, key: &str, value: Value) {
         let sym = self.interner.intern(key);
-        if key == IRI_KEY {
-            self.iri_key = Some(sym);
-            if let Value::String(iri) = &value {
-                self.by_iri.insert(iri.clone(), node);
-            }
-        }
-        let props = &mut self.nodes[node.0 as usize].props;
-        match props.iter_mut().find(|(k, _)| *k == sym) {
-            Some((_, v)) => *v = value,
-            None => props.push((sym, value)),
-        }
+        self.set_prop_sym(node, sym, value);
     }
 
     /// Accumulate a value into a node property: absent → scalar; present →
     /// array append (NeoSemantics-style multi-value handling).
     pub fn push_prop(&mut self, node: NodeId, key: &str, value: Value) {
         let sym = self.interner.intern(key);
-        let props = &mut self.nodes[node.0 as usize].props;
-        match props.iter_mut().find(|(k, _)| *k == sym) {
-            Some((_, v)) => v.push(value),
-            None => props.push((sym, value)),
-        }
+        self.push_prop_sym(node, sym, value);
     }
 
     /// Read a node property by key name.
@@ -243,18 +248,15 @@ impl PropertyGraph {
         }
     }
 
-    /// All live node ids carrying `label`.
-    pub fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+    /// All live node ids carrying `label`, in insertion (id) order. The
+    /// postings are purged on node/label removal, so the bucket contains
+    /// only live nodes and is borrowed directly — no per-call allocation.
+    pub fn nodes_with_label(&self, label: &str) -> &[NodeId] {
         self.interner
             .get(label)
             .and_then(|sym| self.by_label.get(&sym))
-            .map(|v| {
-                v.iter()
-                    .copied()
-                    .filter(|&n| self.node_live[n.0 as usize])
-                    .collect()
-            })
-            .unwrap_or_default()
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Find the node representing an RDF entity via the unique `iri` index.
@@ -314,6 +316,7 @@ impl PropertyGraph {
             + self.by_edge_label.values().map(vec_bytes).sum::<usize>()
             + map_bytes::<String, NodeId>(self.by_iri.capacity())
             + self.by_iri.keys().map(|k| k.capacity()).sum::<usize>()
+            + self.prop_index_size_bytes()
     }
 
     // ---- bulk insertion --------------------------------------------------
@@ -367,7 +370,8 @@ impl PropertyGraph {
     }
 
     /// [`Self::set_prop`] with a pre-interned key. Maintains the unique IRI
-    /// index when `key` resolves to [`IRI_KEY`].
+    /// index when `key` resolves to [`IRI_KEY`], and the property value
+    /// index for scalar values.
     pub fn set_prop_sym(&mut self, node: NodeId, key: Sym, value: Value) {
         if self.interner.resolve(key) == IRI_KEY {
             self.iri_key = Some(key);
@@ -375,6 +379,15 @@ impl PropertyGraph {
                 self.by_iri.insert(iri.clone(), node);
             }
         }
+        let old = self.nodes[node.0 as usize]
+            .props
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone());
+        if let Some(old) = &old {
+            self.deindex_prop(node, key, old);
+        }
+        self.index_prop(node, key, &value);
         let props = &mut self.nodes[node.0 as usize].props;
         match props.iter_mut().find(|(k, _)| *k == key) {
             Some((_, v)) => *v = value,
@@ -382,13 +395,154 @@ impl PropertyGraph {
         }
     }
 
-    /// [`Self::push_prop`] with a pre-interned key.
+    /// [`Self::push_prop`] with a pre-interned key. The scalar → list
+    /// transition removes the old scalar from the property value index
+    /// (lists are not indexed).
     pub fn push_prop_sym(&mut self, node: NodeId, key: Sym, value: Value) {
-        let props = &mut self.nodes[node.0 as usize].props;
-        match props.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, v)) => v.push(value),
-            None => props.push((key, value)),
+        let pos = self.nodes[node.0 as usize]
+            .props
+            .iter()
+            .position(|(k, _)| *k == key);
+        match pos {
+            Some(pos) => {
+                let old = self.nodes[node.0 as usize].props[pos].1.clone();
+                self.deindex_prop(node, key, &old);
+                self.nodes[node.0 as usize].props[pos].1.push(value);
+            }
+            None => {
+                self.index_prop(node, key, &value);
+                self.nodes[node.0 as usize].props.push((key, value));
+            }
         }
+    }
+
+    // ---- property value index --------------------------------------------
+
+    /// Add one `(label, key) → value → node` posting, id-sorted so probe
+    /// enumeration matches label-scan order. No-op for lists.
+    fn index_entry(&mut self, label: Sym, key: Sym, value: &Value, node: NodeId) {
+        if matches!(value, Value::List(_)) {
+            return;
+        }
+        let bucket = self
+            .prop_index
+            .entry((label, key))
+            .or_default()
+            .entry(value.clone())
+            .or_default();
+        if let Err(pos) = bucket.binary_search(&node) {
+            bucket.insert(pos, node);
+        }
+    }
+
+    /// Remove one `(label, key) → value → node` posting, dropping the value
+    /// bucket when it empties so removal churn cannot accumulate.
+    fn deindex_entry(&mut self, label: Sym, key: Sym, value: &Value, node: NodeId) {
+        if matches!(value, Value::List(_)) {
+            return;
+        }
+        if let Some(by_value) = self.prop_index.get_mut(&(label, key)) {
+            if let Some(bucket) = by_value.get_mut(value) {
+                bucket.retain(|&n| n != node);
+                if bucket.is_empty() {
+                    by_value.remove(value);
+                }
+            }
+        }
+    }
+
+    /// Index a scalar value under every label the node currently carries.
+    fn index_prop(&mut self, node: NodeId, key: Sym, value: &Value) {
+        if matches!(value, Value::List(_)) {
+            return;
+        }
+        for i in 0..self.nodes[node.0 as usize].labels.len() {
+            let label = self.nodes[node.0 as usize].labels[i];
+            self.index_entry(label, key, value, node);
+        }
+    }
+
+    /// Remove a scalar value from the index under every current label.
+    fn deindex_prop(&mut self, node: NodeId, key: Sym, value: &Value) {
+        if matches!(value, Value::List(_)) {
+            return;
+        }
+        for i in 0..self.nodes[node.0 as usize].labels.len() {
+            let label = self.nodes[node.0 as usize].labels[i];
+            self.deindex_entry(label, key, value, node);
+        }
+    }
+
+    /// Index all of a node's scalar properties under one label (label was
+    /// just added to the node).
+    fn index_props_for_label(&mut self, node: NodeId, label: Sym) {
+        for i in 0..self.nodes[node.0 as usize].props.len() {
+            let (key, value) = self.nodes[node.0 as usize].props[i].clone();
+            self.index_entry(label, key, &value, node);
+        }
+    }
+
+    /// Remove all of a node's scalar properties from the index under one
+    /// label (label removal / node removal).
+    fn deindex_props_for_label(&mut self, node: NodeId, label: Sym) {
+        for i in 0..self.nodes[node.0 as usize].props.len() {
+            let (key, value) = self.nodes[node.0 as usize].props[i].clone();
+            self.deindex_entry(label, key, &value, node);
+        }
+    }
+
+    /// Live nodes carrying `label` whose scalar property `key` equals
+    /// `value`, answered from the `(label, key, value)` hash index in O(1)
+    /// plus the bucket size. Buckets are unordered — callers needing
+    /// deterministic enumeration sort the slice themselves.
+    pub fn nodes_with_label_prop(&self, label: &str, key: &str, value: &Value) -> &[NodeId] {
+        let (Some(l), Some(k)) = (self.interner.get(label), self.interner.get(key)) else {
+            return &[];
+        };
+        self.prop_index
+            .get(&(l, k))
+            .and_then(|by_value| by_value.get(value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Exact number of live nodes carrying `label` — O(1), since label
+    /// postings are purged on removal. The planner's primary cardinality
+    /// statistic.
+    pub fn label_cardinality(&self, label: &str) -> usize {
+        self.interner
+            .get(label)
+            .and_then(|sym| self.by_label.get(&sym))
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
+
+    /// Number of live edges carrying `label`. Edge postings keep tombstones,
+    /// so this filters — still one bucket walk, not an edge-set scan.
+    pub fn edge_label_cardinality(&self, label: &str) -> usize {
+        self.interner
+            .get(label)
+            .and_then(|sym| self.by_edge_label.get(&sym))
+            .map(|v| v.iter().filter(|&&e| self.edge_live[e.0 as usize]).count())
+            .unwrap_or(0)
+    }
+
+    /// Estimated heap footprint of the property value index alone. Feeds
+    /// the `s3pg_mem_pg_prop_index_bytes` gauge.
+    pub fn prop_index_size_bytes(&self) -> usize {
+        use s3pg_obs::mem::{map_bytes, vec_bytes};
+        map_bytes::<(Sym, Sym), FxHashMap<Value, Vec<NodeId>>>(self.prop_index.capacity())
+            + self
+                .prop_index
+                .values()
+                .map(|by_value| {
+                    map_bytes::<Value, Vec<NodeId>>(by_value.capacity())
+                        + by_value
+                            .iter()
+                            .map(|(v, bucket)| v.heap_size_bytes() + vec_bytes(bucket))
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
     }
 
     // ---- edges -----------------------------------------------------------
@@ -456,7 +610,9 @@ impl PropertyGraph {
         let sym = self.interner.get(key)?;
         let props = &mut self.nodes[node.0 as usize].props;
         let pos = props.iter().position(|(k, _)| *k == sym)?;
-        Some(props.remove(pos).1)
+        let value = props.remove(pos).1;
+        self.deindex_prop(node, sym, &value);
+        Some(value)
     }
 
     /// Remove one occurrence of `value` from a node property: scalars are
@@ -466,33 +622,46 @@ impl PropertyGraph {
         let Some(sym) = self.interner.get(key) else {
             return false;
         };
-        let props = &mut self.nodes[node.0 as usize].props;
-        let Some(pos) = props.iter().position(|(k, _)| *k == sym) else {
-            return false;
-        };
-        match &mut props[pos].1 {
-            Value::List(items) => {
-                let Some(i) = items.iter().position(|v| v == value) else {
-                    return false;
-                };
-                items.remove(i);
-                if items.len() == 1 {
-                    let last = items.pop().unwrap();
-                    props[pos].1 = last;
-                } else if items.is_empty() {
-                    props.remove(pos);
+        // Mutate the record first, then reconcile the value index: a removed
+        // scalar is deindexed; a list collapsing to one element becomes a
+        // scalar and enters the index.
+        let mut deindexed: Option<Value> = None;
+        let mut indexed: Option<Value> = None;
+        {
+            let props = &mut self.nodes[node.0 as usize].props;
+            let Some(pos) = props.iter().position(|(k, _)| *k == sym) else {
+                return false;
+            };
+            match &mut props[pos].1 {
+                Value::List(items) => {
+                    let Some(i) = items.iter().position(|v| v == value) else {
+                        return false;
+                    };
+                    items.remove(i);
+                    if items.len() == 1 {
+                        let last = items.pop().unwrap();
+                        props[pos].1 = last.clone();
+                        indexed = Some(last);
+                    } else if items.is_empty() {
+                        props.remove(pos);
+                    }
                 }
-                true
-            }
-            scalar => {
-                if scalar == value {
-                    props.remove(pos);
-                    true
-                } else {
-                    false
+                scalar => {
+                    if scalar == value {
+                        deindexed = Some(props.remove(pos).1);
+                    } else {
+                        return false;
+                    }
                 }
             }
         }
+        if let Some(v) = deindexed {
+            self.deindex_prop(node, sym, &v);
+        }
+        if let Some(v) = indexed {
+            self.index_prop(node, sym, &v);
+        }
+        true
     }
 
     /// Set a property on an edge.
@@ -543,22 +712,21 @@ impl PropertyGraph {
             .unwrap_or_default()
     }
 
-    /// Live outgoing edges of a node.
-    pub fn out_edges(&self, node: NodeId) -> Vec<EdgeId> {
+    /// Live outgoing edges of a node. Borrowing iterator over the adjacency
+    /// list — no per-call allocation; this runs in the innermost match loop.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
         self.out_edges[node.0 as usize]
             .iter()
             .copied()
-            .filter(|&e| self.edge_live[e.0 as usize])
-            .collect()
+            .filter(move |&e| self.edge_live[e.0 as usize])
     }
 
-    /// Live incoming edges of a node.
-    pub fn in_edges(&self, node: NodeId) -> Vec<EdgeId> {
+    /// Live incoming edges of a node, as a borrowing iterator.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
         self.in_edges[node.0 as usize]
             .iter()
             .copied()
-            .filter(|&e| self.edge_live[e.0 as usize])
-            .collect()
+            .filter(move |&e| self.edge_live[e.0 as usize])
     }
 
     /// All live edge ids.
@@ -685,11 +853,11 @@ mod tests {
     #[test]
     fn adjacency_indexes() {
         let (pg, bob, alice, d1) = figure2c();
-        assert_eq!(pg.out_edges(bob).len(), 1);
-        assert_eq!(pg.in_edges(alice).len(), 1);
-        assert_eq!(pg.out_edges(alice).len(), 1);
-        assert_eq!(pg.in_edges(d1).len(), 1);
-        let e = pg.edge(pg.out_edges(bob)[0]);
+        assert_eq!(pg.out_edges(bob).count(), 1);
+        assert_eq!(pg.in_edges(alice).count(), 1);
+        assert_eq!(pg.out_edges(alice).count(), 1);
+        assert_eq!(pg.in_edges(d1).count(), 1);
+        let e = pg.edge(pg.out_edges(bob).next().unwrap());
         assert_eq!(e.src, bob);
         assert_eq!(e.dst, alice);
     }
@@ -748,9 +916,125 @@ mod tests {
             ]))
         );
         assert_eq!(pg.edges_with_label("knows"), vec![e]);
-        assert_eq!(pg.out_edges(a), vec![e]);
-        assert_eq!(pg.in_edges(b), vec![e]);
+        assert!(pg.out_edges(a).eq([e]));
+        assert!(pg.in_edges(b).eq([e]));
         assert!(pg.has_edge(a, b, "knows"));
+    }
+
+    #[test]
+    fn prop_index_answers_equality_probes() {
+        let (pg, bob, alice, _) = figure2c();
+        assert_eq!(
+            pg.nodes_with_label_prop("Person", "name", &Value::String("Alice".into())),
+            &[alice]
+        );
+        // Reachable under every label the node carries.
+        assert_eq!(
+            pg.nodes_with_label_prop("Professor", "name", &Value::String("Alice".into())),
+            &[alice]
+        );
+        assert_eq!(
+            pg.nodes_with_label_prop("Person", "regNo", &Value::String("Bs12".into())),
+            &[bob]
+        );
+        // Misses: wrong value, wrong label, unknown key.
+        assert!(pg
+            .nodes_with_label_prop("Person", "name", &Value::String("Bob".into()))
+            .is_empty());
+        assert!(pg
+            .nodes_with_label_prop("Department", "regNo", &Value::String("Bs12".into()))
+            .is_empty());
+        assert!(pg
+            .nodes_with_label_prop("Person", "missing", &Value::Int(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn prop_index_follows_set_remove_and_relabel() {
+        let (mut pg, bob, ..) = figure2c();
+        let probe = |pg: &PropertyGraph, v: &str| {
+            pg.nodes_with_label_prop("Person", "regNo", &Value::String(v.into()))
+                .to_vec()
+        };
+        // set_prop replaces: the old value leaves the index.
+        pg.set_prop(bob, "regNo", Value::String("Bs99".into()));
+        assert!(probe(&pg, "Bs12").is_empty());
+        assert_eq!(probe(&pg, "Bs99"), vec![bob]);
+        // remove_prop deindexes.
+        pg.remove_prop(bob, "regNo");
+        assert!(probe(&pg, "Bs99").is_empty());
+        // add_label indexes existing props under the new label; remove_label
+        // takes them back out.
+        pg.set_prop(bob, "regNo", Value::String("Bs99".into()));
+        pg.add_label(bob, "Alum");
+        assert_eq!(
+            pg.nodes_with_label_prop("Alum", "regNo", &Value::String("Bs99".into())),
+            &[bob]
+        );
+        pg.remove_label(bob, "Alum");
+        assert!(pg
+            .nodes_with_label_prop("Alum", "regNo", &Value::String("Bs99".into()))
+            .is_empty());
+    }
+
+    #[test]
+    fn prop_index_skips_lists_and_tracks_collapse() {
+        let mut pg = PropertyGraph::new();
+        let n = pg.add_node(["Person"]);
+        let probe = |pg: &PropertyGraph, v: &str| {
+            pg.nodes_with_label_prop("Person", "nick", &Value::String(v.into()))
+                .to_vec()
+        };
+        pg.push_prop(n, "nick", Value::String("bobby".into()));
+        assert_eq!(probe(&pg, "bobby"), vec![n]); // scalar: indexed
+        pg.push_prop(n, "nick", Value::String("rob".into()));
+        // Now a list: neither element is an equality match.
+        assert!(probe(&pg, "bobby").is_empty());
+        assert!(probe(&pg, "rob").is_empty());
+        // Removing one occurrence collapses back to an indexed scalar.
+        assert!(pg.remove_prop_value(n, "nick", &Value::String("rob".into())));
+        assert_eq!(probe(&pg, "bobby"), vec![n]);
+        assert!(pg.remove_prop_value(n, "nick", &Value::String("bobby".into())));
+        assert!(probe(&pg, "bobby").is_empty());
+    }
+
+    #[test]
+    fn prop_index_purged_on_node_removal() {
+        let mut pg = PropertyGraph::new();
+        let a = pg.add_node(["Person"]);
+        pg.set_prop(a, "name", Value::String("A".into()));
+        let b = pg.add_node(["Person"]);
+        pg.set_prop(b, "name", Value::String("A".into()));
+        assert_eq!(
+            pg.nodes_with_label_prop("Person", "name", &Value::String("A".into())),
+            &[a, b]
+        );
+        assert!(pg.remove_node(a));
+        assert_eq!(
+            pg.nodes_with_label_prop("Person", "name", &Value::String("A".into())),
+            &[b]
+        );
+    }
+
+    #[test]
+    fn cardinality_statistics() {
+        let (mut pg, bob, alice, _) = figure2c();
+        assert_eq!(pg.label_cardinality("Person"), 2);
+        assert_eq!(pg.label_cardinality("Department"), 1);
+        assert_eq!(pg.label_cardinality("nothing"), 0);
+        assert_eq!(pg.edge_label_cardinality("advisedBy"), 1);
+        let e = pg.add_edge(bob, alice, "advisedBy");
+        assert_eq!(pg.edge_label_cardinality("advisedBy"), 2);
+        pg.remove_edge_by_id(e);
+        assert_eq!(pg.edge_label_cardinality("advisedBy"), 1);
+        assert_eq!(pg.edge_label_cardinality("nothing"), 0);
+    }
+
+    #[test]
+    fn prop_index_counted_in_deep_size() {
+        let (pg, ..) = figure2c();
+        assert!(pg.prop_index_size_bytes() > 0);
+        assert!(pg.deep_size_bytes() > pg.prop_index_size_bytes());
     }
 
     #[test]

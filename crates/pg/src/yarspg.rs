@@ -410,7 +410,7 @@ mod tests {
                 Value::String("rob".into())
             ]))
         );
-        let e = back.out_edges(bob)[0];
+        let e = back.out_edges(bob).next().unwrap();
         assert_eq!(back.edge_prop(e, "weight"), Some(&Value::Int(1)));
     }
 

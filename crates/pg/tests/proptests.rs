@@ -240,9 +240,9 @@ fn edge_removal_consistency() {
         assert!(pg.remove_edge(edge.src, edge.dst, &label), "seed {seed}");
         assert_eq!(pg.edge_count(), before - 1, "seed {seed}");
         assert!(!pg.edge_is_live(e), "seed {seed}");
-        let out_sum: usize = pg.node_ids().map(|n| pg.out_edges(n).len()).sum();
+        let out_sum: usize = pg.node_ids().map(|n| pg.out_edges(n).count()).sum();
         assert_eq!(out_sum, pg.edge_count(), "seed {seed}");
-        let in_sum: usize = pg.node_ids().map(|n| pg.in_edges(n).len()).sum();
+        let in_sum: usize = pg.node_ids().map(|n| pg.in_edges(n).count()).sum();
         assert_eq!(in_sum, pg.edge_count(), "seed {seed}");
     }
 }

@@ -144,6 +144,221 @@ pub struct CypherQuery {
     pub parts: Vec<SingleQuery>,
 }
 
+// ---- planning --------------------------------------------------------------
+
+/// One equality-predicate pushdown: the start binding of a pattern is
+/// enumerated from the `(label, key, value)` property index instead of a
+/// label scan. The predicate itself stays in the WHERE clause — the probe
+/// only has to produce a superset of the matching nodes, so cross-type
+/// numeric equality (`Int`/`Float`/`Year`) is handled by probing every
+/// equivalent key representation.
+#[derive(Debug, Clone, PartialEq)]
+struct Probe {
+    label: String,
+    key: String,
+    /// Index keys whose union covers every scalar the predicate can equal.
+    keys: Vec<Value>,
+}
+
+/// Execution plan for one [`SingleQuery`].
+#[derive(Debug, Clone, PartialEq, Default)]
+struct SinglePlan {
+    /// Pattern execution order: indices into `SingleQuery::patterns`,
+    /// greedily arranged by estimated start cardinality (bound-variable
+    /// anchors first, mirroring the SPARQL `join_patterns` order).
+    order: Vec<usize>,
+    /// Per pattern (aligned with `SingleQuery::patterns`): index probe for
+    /// the start binding, when a `WHERE var.key = literal` conjunct applies.
+    probes: Vec<Option<Probe>>,
+    /// Per pattern (aligned with `SingleQuery::patterns`): evaluate the
+    /// pattern *backwards* — its single hop ends in a variable bound by an
+    /// earlier pattern, so anchoring at that node and walking the opposite
+    /// adjacency list is O(degree) instead of a start-bucket scan per row.
+    reversed: Vec<bool>,
+    /// Per pattern (aligned with `SingleQuery::patterns`): the start
+    /// cardinality estimate at selection time — 0 for a bound anchor, 1
+    /// for a reversed pattern, otherwise the probe/bucket size. Feeds the
+    /// parallel-engagement work estimate.
+    cost: Vec<usize>,
+}
+
+/// A cardinality-ordered execution plan: one [`SinglePlan`] per UNION ALL
+/// part. Plans depend on the graph's statistics, so a cached plan is only
+/// valid for the snapshot it was computed against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CypherPlan {
+    plans: Vec<SinglePlan>,
+}
+
+/// Compute an execution plan for a parsed query against `pg`'s current
+/// cardinality statistics and indexes.
+pub fn plan(pg: &PropertyGraph, query: &CypherQuery) -> CypherPlan {
+    CypherPlan {
+        plans: query
+            .parts
+            .iter()
+            .map(|part| plan_single(pg, part))
+            .collect(),
+    }
+}
+
+/// Collect top-level conjuncts of the form `var.key = literal` (either
+/// operand order). OR / NOT subtrees contribute nothing.
+fn collect_eq_predicates<'a>(expr: &'a Expr, out: &mut Vec<(&'a str, &'a str, &'a Value)>) {
+    match expr {
+        Expr::And(a, b) => {
+            collect_eq_predicates(a, out);
+            collect_eq_predicates(b, out);
+        }
+        Expr::Cmp(CmpOp::Eq, l, r) => match (&**l, &**r) {
+            (Expr::Prop(var, key), Expr::Lit(v)) | (Expr::Lit(v), Expr::Prop(var, key)) => {
+                out.push((var, key, v))
+            }
+            _ => {}
+        },
+        _ => {}
+    }
+}
+
+/// Every index key a scalar equal (under [`compare`]) to `lit` can be
+/// stored as. `None` means the literal has no safely enumerable key set
+/// (huge integral floats map to many `Int`s) — no pushdown then.
+fn equivalent_index_keys(lit: &Value) -> Option<Vec<Value>> {
+    const EXACT_F64_INT: f64 = 9_007_199_254_740_992.0; // 2^53
+    let mut keys = vec![lit.clone()];
+    match lit {
+        Value::Int(i) => {
+            keys.push(Value::Float(*i as f64));
+            if *i == 0 {
+                keys.push(Value::Float(-0.0));
+            }
+            if let Ok(y) = i32::try_from(*i) {
+                keys.push(Value::Year(y));
+            }
+        }
+        Value::Float(f) => {
+            if *f == 0.0 {
+                keys.push(Value::Float(-f));
+            }
+            if f.fract() == 0.0 && f.abs() < EXACT_F64_INT {
+                let i = *f as i64;
+                keys.push(Value::Int(i));
+                if let Ok(y) = i32::try_from(i) {
+                    keys.push(Value::Year(y));
+                }
+            } else if f.fract() == 0.0 {
+                // Several Int values round to this float; a probe could miss
+                // one, so leave the predicate to the scan + filter.
+                return None;
+            }
+        }
+        Value::Year(y) => keys.push(Value::Int(*y as i64)),
+        Value::List(_) => return None, // equality with a list never holds
+        _ => {}
+    }
+    Some(keys)
+}
+
+fn plan_single(pg: &PropertyGraph, q: &SingleQuery) -> SinglePlan {
+    let mut eq: Vec<(&str, &str, &Value)> = Vec::new();
+    if let Some(where_clause) = &q.where_clause {
+        collect_eq_predicates(where_clause, &mut eq);
+    }
+    let probes: Vec<Option<Probe>> = q
+        .patterns
+        .iter()
+        .map(|p| {
+            let var = p.start.var.as_deref()?;
+            // The (label, key, value) index needs a label to probe under.
+            let label = p.start.labels.first()?;
+            eq.iter()
+                .find(|(v, _, _)| *v == var)
+                .and_then(|(_, key, value)| {
+                    Some(Probe {
+                        label: label.clone(),
+                        key: (*key).to_string(),
+                        keys: equivalent_index_keys(value)?,
+                    })
+                })
+        })
+        .collect();
+
+    // Greedy order by estimated start cardinality; a pattern whose start
+    // variable is already bound anchors in O(degree) and goes first. A
+    // single-hop pattern whose *end* variable is bound (a value join like
+    // `MATCH (a:X)-[:r]->(v) MATCH (b:Y)-[:r2]->(v)`) can anchor at the
+    // bound end and walk the reverse adjacency list — also O(degree), so it
+    // ranks just above bound-start anchors.
+    let mut bound: FxHashSet<&str> = FxHashSet::default();
+    let mut remaining: Vec<usize> = (0..q.patterns.len()).collect();
+    let mut order = Vec::with_capacity(remaining.len());
+    let mut reversed = vec![false; q.patterns.len()];
+    let mut cost = vec![0usize; q.patterns.len()];
+    while !remaining.is_empty() {
+        let (pos, est, rev) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &pi)| {
+                let p = &q.patterns[pi];
+                let start_bound = p.start.var.as_deref().is_some_and(|v| bound.contains(v));
+                if start_bound {
+                    return (pos, 0, false);
+                }
+                if reversible(p, &bound) {
+                    return (pos, 1, true);
+                }
+                let est = if let Some(probe) = &probes[pi] {
+                    probe
+                        .keys
+                        .iter()
+                        .map(|k| pg.nodes_with_label_prop(&probe.label, &probe.key, k).len())
+                        .sum()
+                } else if let Some(label) = p.start.labels.first() {
+                    pg.label_cardinality(label)
+                } else {
+                    pg.node_count()
+                };
+                (pos, est.max(2), false)
+            })
+            .min_by_key(|&(_, est, _)| est)
+            .unwrap();
+        let pi = remaining.remove(pos);
+        reversed[pi] = rev;
+        cost[pi] = est;
+        for var in pattern_vars(&q.patterns[pi]) {
+            bound.insert(var);
+        }
+        order.push(pi);
+    }
+    SinglePlan {
+        order,
+        probes,
+        reversed,
+        cost,
+    }
+}
+
+/// Whether a pattern can be evaluated end-to-start: exactly one hop, start
+/// variable not yet bound, end variable already bound by an earlier pattern.
+fn reversible(p: &PathPattern, bound: &FxHashSet<&str>) -> bool {
+    p.hops.len() == 1
+        && !p.start.var.as_deref().is_some_and(|v| bound.contains(v))
+        && p.hops[0]
+            .1
+            .var
+            .as_deref()
+            .is_some_and(|v| bound.contains(v))
+}
+
+/// All variable names a path pattern binds (start, relationships, hops).
+fn pattern_vars(p: &PathPattern) -> impl Iterator<Item = &str> {
+    p.start.var.as_deref().into_iter().chain(
+        p.hops
+            .iter()
+            .flat_map(|(rel, node)| rel.var.as_deref().into_iter().chain(node.var.as_deref())),
+    )
+}
+
 // ---- lexer -----------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
@@ -801,24 +1016,54 @@ impl Rows {
     }
 }
 
-/// Parse and evaluate `query` over `pg`. When a trace is active on this
-/// thread (the server's request span), the plan and evaluation stages
-/// record `query_plan` / `query_eval` child spans.
+/// Parse, plan, and evaluate `query` over `pg`. When a trace is active on
+/// this thread (the server's request span), the plan and evaluation stages
+/// record `query_plan` / `query_eval` child spans — the server's plan
+/// cache skips the `query_plan` stage entirely on a hit.
 pub fn execute(pg: &PropertyGraph, query: &str) -> Result<Rows, CypherError> {
-    let q = {
+    let (q, p) = {
         let _span = s3pg_obs::tracer().span_here("query_plan");
-        parse(query)?
+        let q = parse(query)?;
+        let p = plan(pg, &q);
+        (q, p)
     };
     let _span = s3pg_obs::tracer().span_here("query_eval");
-    evaluate(pg, &q)
+    evaluate_planned(pg, &q, &p, 1)
 }
 
-/// Evaluate a parsed query over `pg`.
+/// Evaluate a parsed query over `pg`: plans (pattern ordering + equality
+/// pushdown) and runs single-threaded.
 pub fn evaluate(pg: &PropertyGraph, query: &CypherQuery) -> Result<Rows, CypherError> {
+    evaluate_threads(pg, query, 1)
+}
+
+/// Evaluate a parsed query with up to `threads` workers. The first
+/// pattern's candidate bindings are partitioned across a scoped worker set
+/// and the per-chunk rows merged in chunk order, so the result is
+/// byte-identical to the single-threaded evaluation.
+pub fn evaluate_threads(
+    pg: &PropertyGraph,
+    query: &CypherQuery,
+    threads: usize,
+) -> Result<Rows, CypherError> {
+    let p = plan(pg, query);
+    evaluate_planned(pg, query, &p, threads)
+}
+
+/// Evaluate a parsed query under a precomputed plan (the server's cached
+/// hot path). `plan` must have been computed from this `query`.
+pub fn evaluate_planned(
+    pg: &PropertyGraph,
+    query: &CypherQuery,
+    plan: &CypherPlan,
+    threads: usize,
+) -> Result<Rows, CypherError> {
+    debug_assert_eq!(plan.plans.len(), query.parts.len());
     let mut columns: Vec<String> = Vec::new();
     let mut all_rows: Vec<Vec<Option<Value>>> = Vec::new();
     for (i, part) in query.parts.iter().enumerate() {
-        let part_rows = evaluate_single(pg, part)?;
+        let rows = expand_patterns_planned(pg, part, &plan.plans[i], threads)?;
+        let part_rows = finish_single(pg, part, rows)?;
         if i == 0 {
             columns = part_rows.columns;
         }
@@ -830,19 +1075,130 @@ pub fn evaluate(pg: &PropertyGraph, query: &CypherQuery) -> Result<Rows, CypherE
     })
 }
 
-fn evaluate_single(pg: &PropertyGraph, q: &SingleQuery) -> Result<Rows, CypherError> {
+/// The pre-planner baseline: evaluate with MATCH patterns in written order
+/// and label-scan candidate enumeration only (no index pushdown, no
+/// reordering, single-threaded). Kept as the reference for differential
+/// tests and the scan-vs-indexed benchmark.
+pub fn evaluate_scan(pg: &PropertyGraph, query: &CypherQuery) -> Result<Rows, CypherError> {
+    let mut columns: Vec<String> = Vec::new();
+    let mut all_rows: Vec<Vec<Option<Value>>> = Vec::new();
+    for (i, part) in query.parts.iter().enumerate() {
+        let mut rows: Vec<Row> = vec![Row::default()];
+        for pattern in &part.patterns {
+            rows = expand_path(pg, pattern, None, rows)?;
+            if rows.is_empty() {
+                break;
+            }
+        }
+        let part_rows = finish_single(pg, part, rows)?;
+        if i == 0 {
+            columns = part_rows.columns;
+        }
+        all_rows.extend(part_rows.rows);
+    }
+    Ok(Rows {
+        columns,
+        rows: all_rows,
+    })
+}
+
+/// Smallest estimated total work — first-pattern candidates × per-row
+/// cost of the remaining patterns — worth spawning workers for. Scoped
+/// thread spawn costs tens of microseconds per worker, more than a small
+/// query's entire runtime, so parallelism engages only when the plan's
+/// own cardinality estimates predict enough work to amortize it.
+pub(crate) const PARALLEL_MIN_WORK: usize = 4096;
+
+/// Expand the required MATCH patterns in planned order. With `threads > 1`
+/// and enough start candidates, the first pattern's candidates are split
+/// into contiguous chunks, each expanded through the whole pattern chain by
+/// a scoped worker; concatenating per-chunk rows in chunk order reproduces
+/// the sequential row order exactly.
+fn expand_patterns_planned(
+    pg: &PropertyGraph,
+    q: &SingleQuery,
+    sp: &SinglePlan,
+    threads: usize,
+) -> Result<Vec<Row>, CypherError> {
+    if threads > 1 {
+        if let Some(&first) = sp.order.first() {
+            let pattern = &q.patterns[first];
+            let candidates = start_candidates(pg, &pattern.start, sp.probes[first].as_ref());
+            let candidates = candidates.as_slice();
+            // Estimated per-row cost of everything after the first pattern:
+            // bound anchors and reversed patterns are O(degree) (counted 1),
+            // forward-unbound patterns rescan their bucket per row.
+            let per_row: usize = 1 + sp.order[1..]
+                .iter()
+                .map(|&pi| sp.cost[pi].max(1))
+                .sum::<usize>();
+            let work = candidates.len().saturating_mul(per_row);
+            if candidates.len() >= threads * 4 && work >= PARALLEL_MIN_WORK {
+                let rest = &sp.order[1..];
+                let chunk_size = candidates.len().div_ceil(threads);
+                let outcomes: Vec<Result<Vec<Row>, CypherError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = candidates
+                        .chunks(chunk_size)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                let seed = seed_rows(pg, &pattern.start, chunk, Row::default());
+                                let mut rows = expand_hops(pg, pattern, seed)?;
+                                for &pi in rest {
+                                    if rows.is_empty() {
+                                        break;
+                                    }
+                                    rows = if sp.reversed[pi] {
+                                        expand_path_reversed(pg, &q.patterns[pi], rows)?
+                                    } else {
+                                        expand_path(
+                                            pg,
+                                            &q.patterns[pi],
+                                            sp.probes[pi].as_ref(),
+                                            rows,
+                                        )?
+                                    };
+                                }
+                                Ok(rows)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("cypher worker panicked"))
+                        .collect()
+                });
+                let mut merged = Vec::new();
+                for outcome in outcomes {
+                    merged.extend(outcome?);
+                }
+                return Ok(merged);
+            }
+        }
+    }
     let mut rows: Vec<Row> = vec![Row::default()];
-    for pattern in &q.patterns {
-        rows = expand_path(pg, pattern, rows)?;
+    for &pi in &sp.order {
+        rows = if sp.reversed[pi] {
+            expand_path_reversed(pg, &q.patterns[pi], rows)?
+        } else {
+            expand_path(pg, &q.patterns[pi], sp.probes[pi].as_ref(), rows)?
+        };
         if rows.is_empty() {
             break;
         }
     }
+    Ok(rows)
+}
+
+/// Everything after required-pattern expansion: OPTIONAL MATCH left-joins,
+/// WHERE, UNWIND, projection/aggregation, DISTINCT, ORDER BY, SKIP, LIMIT.
+/// Shared by the planned and the baseline scan paths.
+fn finish_single(pg: &PropertyGraph, q: &SingleQuery, rows: Vec<Row>) -> Result<Rows, CypherError> {
+    let mut rows = rows;
     // OPTIONAL MATCH: left-join semantics per pattern.
     for pattern in &q.optional_patterns {
         let mut extended = Vec::with_capacity(rows.len());
         for row in rows {
-            let sub = expand_path(pg, pattern, vec![row.clone()])?;
+            let sub = expand_path(pg, pattern, None, vec![row.clone()])?;
             if sub.is_empty() {
                 extended.push(row);
             } else {
@@ -1016,9 +1372,142 @@ fn aggregate_rows(pg: &PropertyGraph, q: &SingleQuery, rows: &[Row]) -> Vec<Vec<
         .collect()
 }
 
+/// Start-binding candidates for an unbound pattern start: index probe if
+/// planned, else label scan, else every live node. Probe results are
+/// merged id-sorted, matching label-posting order, so indexed enumeration
+/// visits nodes in the same order a label scan would.
+enum Candidates<'a> {
+    Borrowed(&'a [NodeId]),
+    Owned(Vec<NodeId>),
+}
+
+impl Candidates<'_> {
+    fn as_slice(&self) -> &[NodeId] {
+        match self {
+            Candidates::Borrowed(s) => s,
+            Candidates::Owned(v) => v,
+        }
+    }
+}
+
+fn start_candidates<'a>(
+    pg: &'a PropertyGraph,
+    start: &NodePattern,
+    probe: Option<&Probe>,
+) -> Candidates<'a> {
+    if let Some(probe) = probe {
+        let mut out: Vec<NodeId> = Vec::new();
+        for key in &probe.keys {
+            out.extend_from_slice(pg.nodes_with_label_prop(&probe.label, &probe.key, key));
+        }
+        out.sort_unstable();
+        out.dedup();
+        return Candidates::Owned(out);
+    }
+    match start.labels.first() {
+        Some(label) => Candidates::Borrowed(pg.nodes_with_label(label)),
+        None => Candidates::Owned(pg.node_ids().collect()),
+    }
+}
+
+/// Extend `row` with a start binding for every matching candidate.
+fn seed_rows(pg: &PropertyGraph, start: &NodePattern, candidates: &[NodeId], row: Row) -> Vec<Row> {
+    let mut out = Vec::new();
+    for &n in candidates {
+        if node_matches(pg, n, start) {
+            let mut r = row.clone();
+            if let Some(v) = &start.var {
+                r.insert(v.clone(), Binding::Node(n));
+            }
+            // Track the anonymous position for subsequent hops.
+            r.insert("\u{0}anchor".into(), Binding::Node(n));
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Evaluate a single-hop pattern anchored at its already-bound *end* node:
+/// walk the opposite adjacency list and bind matching start nodes. Produces
+/// the same row multiset as the forward expansion — one row per qualifying
+/// edge — but follows the end node's adjacency order instead of
+/// start-bucket id order, so within-pattern row order may differ. Chosen by
+/// the planner for value joins (`MATCH (a:X)-[:r]->(v) MATCH (b:Y)-[:s]->(v)`),
+/// where the forward expansion would rescan the full `Y` bucket per row.
+fn expand_path_reversed(
+    pg: &PropertyGraph,
+    pattern: &PathPattern,
+    rows: Vec<Row>,
+) -> Result<Vec<Row>, CypherError> {
+    let (rel, end) = &pattern.hops[0];
+    let end_var = end
+        .var
+        .as_deref()
+        .expect("reversed pattern has an end variable");
+    let mut out: Vec<Row> = Vec::new();
+    for row in rows {
+        let anchor = match row.get(end_var) {
+            Some(Binding::Node(n)) => *n,
+            // A non-node binding never matches a node pattern; the forward
+            // path would filter every candidate, so produce no rows.
+            Some(_) => continue,
+            // Defensive: the planner only reverses patterns whose end
+            // variable is bound by an earlier pattern, but fall back to the
+            // forward expansion rather than miscompute.
+            None => {
+                out.extend(expand_path(pg, pattern, None, vec![row])?);
+                continue;
+            }
+        };
+        if !node_matches(pg, anchor, end) {
+            continue;
+        }
+        let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
+        let mut collect = |edges: &mut dyn Iterator<Item = EdgeId>, incoming: bool| {
+            for e in edges {
+                let edge = pg.edge(e);
+                let label_ok = rel.labels.is_empty()
+                    || pg
+                        .edge_labels_of(e)
+                        .iter()
+                        .any(|l| rel.labels.iter().any(|rl| rl == l));
+                if label_ok {
+                    let other = if incoming { edge.src } else { edge.dst };
+                    candidates.push((e, other));
+                }
+            }
+        };
+        // The hop direction is written relative to the start node; anchored
+        // at the end we walk the opposite adjacency list.
+        match rel.direction {
+            Direction::Out => collect(&mut pg.in_edges(anchor), true),
+            Direction::In => collect(&mut pg.out_edges(anchor), false),
+            Direction::Undirected => {
+                collect(&mut pg.out_edges(anchor), false);
+                collect(&mut pg.in_edges(anchor), true);
+            }
+        }
+        for (e, start_node) in candidates {
+            if !node_matches(pg, start_node, &pattern.start) {
+                continue;
+            }
+            let mut r = row.clone();
+            if let Some(v) = &rel.var {
+                r.insert(v.clone(), Binding::Edge(e));
+            }
+            if let Some(v) = &pattern.start.var {
+                r.insert(v.clone(), Binding::Node(start_node));
+            }
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
 fn expand_path(
     pg: &PropertyGraph,
     pattern: &PathPattern,
+    probe: Option<&Probe>,
     rows: Vec<Row>,
 ) -> Result<Vec<Row>, CypherError> {
     // Bind the start node.
@@ -1038,25 +1527,21 @@ fn expand_path(
                 }
             }
             None => {
-                let candidates: Vec<NodeId> = match pattern.start.labels.first() {
-                    Some(label) => pg.nodes_with_label(label).to_vec(),
-                    None => pg.node_ids().collect(),
-                };
-                for n in candidates {
-                    if node_matches(pg, n, &pattern.start) {
-                        let mut r = row.clone();
-                        if let Some(v) = &pattern.start.var {
-                            r.insert(v.clone(), Binding::Node(n));
-                        }
-                        // Track the anonymous position for subsequent hops.
-                        r.insert("\u{0}anchor".into(), Binding::Node(n));
-                        current.push(r);
-                    }
-                }
+                let candidates = start_candidates(pg, &pattern.start, probe);
+                current.extend(seed_rows(pg, &pattern.start, candidates.as_slice(), row));
             }
         }
     }
+    expand_hops(pg, pattern, current)
+}
 
+/// Walk a pattern's hops from the seeded anchor rows, binding relationships
+/// and target nodes via adjacency expansion.
+fn expand_hops(
+    pg: &PropertyGraph,
+    pattern: &PathPattern,
+    mut current: Vec<Row>,
+) -> Result<Vec<Row>, CypherError> {
     for (rel, node) in &pattern.hops {
         let mut next: Vec<Row> = Vec::new();
         for row in &current {
@@ -1064,8 +1549,8 @@ fn expand_path(
                 continue;
             };
             let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
-            let mut collect = |edges: &[EdgeId], outgoing: bool| {
-                for &e in edges {
+            let mut collect = |edges: &mut dyn Iterator<Item = EdgeId>, outgoing: bool| {
+                for e in edges {
                     let edge = pg.edge(e);
                     let label_ok = rel.labels.is_empty()
                         || pg
@@ -1079,11 +1564,11 @@ fn expand_path(
                 }
             };
             match rel.direction {
-                Direction::Out => collect(&pg.out_edges(anchor), true),
-                Direction::In => collect(&pg.in_edges(anchor), false),
+                Direction::Out => collect(&mut pg.out_edges(anchor), true),
+                Direction::In => collect(&mut pg.in_edges(anchor), false),
                 Direction::Undirected => {
-                    collect(&pg.out_edges(anchor), true);
-                    collect(&pg.in_edges(anchor), false);
+                    collect(&mut pg.out_edges(anchor), true);
+                    collect(&mut pg.in_edges(anchor), false);
                 }
             }
             for (e, target) in candidates {
@@ -1236,6 +1721,71 @@ mod tests {
         let rows = execute(&graph(), "MATCH (n:Student) RETURN n.regNo").unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows.columns, vec!["n.regNo"]);
+    }
+
+    /// Render rows order-independently for multiset comparison: planned
+    /// reverse anchoring may emit within-pattern rows in adjacency order
+    /// rather than start-bucket order.
+    fn sorted_rows(rows: &Rows) -> Vec<String> {
+        let mut out: Vec<String> = rows.rows.iter().map(|r| format!("{r:?}")).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn planner_reverses_value_join() {
+        let pg = graph();
+        let q = parse(
+            "MATCH (a:Student)-[:takesCourse]->(v) MATCH (b:Person)-[:takesCourse]->(v) \
+             RETURN a.iri, b.iri",
+        )
+        .unwrap();
+        let p = plan(&pg, &q);
+        // Student (2) ranks below Person (3), so the Person pattern runs
+        // second — with `v` bound it anchors reversed.
+        assert_eq!(p.plans[0].order, vec![0, 1]);
+        assert_eq!(p.plans[0].reversed, vec![false, true]);
+        let planned = evaluate(&pg, &q).unwrap();
+        let scan = evaluate_scan(&pg, &q).unwrap();
+        assert_eq!(planned.len(), 5);
+        assert_eq!(sorted_rows(&planned), sorted_rows(&scan));
+        // Parallel merge must reproduce the sequential planned order exactly.
+        assert_eq!(planned, evaluate_threads(&pg, &q, 4).unwrap());
+    }
+
+    #[test]
+    fn reversed_in_and_undirected_directions_match_scan() {
+        let mut pg = PropertyGraph::new();
+        let s1 = pg.add_node(["Student"]);
+        pg.set_prop(s1, IRI_KEY, Value::String("http://ex/s1".into()));
+        let s2 = pg.add_node(["Student"]);
+        pg.set_prop(s2, IRI_KEY, Value::String("http://ex/s2".into()));
+        let course = pg.add_node(["Course"]);
+        let prof = pg.add_node(["Person"]);
+        pg.set_prop(prof, IRI_KEY, Value::String("http://ex/p".into()));
+        pg.add_edge(s1, course, "takesCourse");
+        pg.add_edge(s2, course, "takesCourse");
+        pg.add_edge(course, prof, "taughtBy");
+        for text in [
+            // In-direction second pattern: reversed walks v's out-edges.
+            "MATCH (a:Student)-[:takesCourse]->(v) MATCH (b:Person)<-[:taughtBy]-(v) \
+             RETURN a.iri, b.iri",
+            // Undirected second pattern: reversed walks both lists.
+            "MATCH (a:Student)-[:takesCourse]->(v) MATCH (b)-[:takesCourse]-(v) \
+             RETURN a.iri, b.iri",
+        ] {
+            let q = parse(text).unwrap();
+            let p = plan(&pg, &q);
+            assert!(
+                p.plans[0].reversed.contains(&true),
+                "expected a reversed pattern for {text}"
+            );
+            let planned = evaluate(&pg, &q).unwrap();
+            let scan = evaluate_scan(&pg, &q).unwrap();
+            assert!(!planned.is_empty(), "no rows for {text}");
+            assert_eq!(sorted_rows(&planned), sorted_rows(&scan), "{text}");
+            assert_eq!(planned, evaluate_threads(&pg, &q, 4).unwrap(), "{text}");
+        }
     }
 
     #[test]

@@ -689,42 +689,181 @@ fn resolve_slot(slot: Slot, binding: &[Option<Term>]) -> ResolvedSlot {
     }
 }
 
-/// Join a basic graph pattern group into the given binding rows, choosing
-/// the most selective remaining pattern at each step (greedy, estimated
-/// from the indexes under the first current binding).
-fn join_patterns(
-    graph: &Graph,
-    compiled: &[Compiled],
-    mut results: Vec<Vec<Option<Term>>>,
-) -> Vec<Vec<Option<Term>>> {
+/// Compute a full greedy join order up front: at each step pick the
+/// remaining pattern with the smallest index-estimated cardinality under
+/// the initial probe binding, preferring patterns that join on a variable
+/// an earlier-ordered pattern already binds. Deciding the whole order
+/// before execution keeps it identical between the sequential and the
+/// partitioned parallel evaluation.
+fn order_patterns(graph: &Graph, compiled: &[Compiled], probe: &[Option<Term>]) -> Vec<usize> {
+    let slot_var = |slot: Slot| match slot {
+        Slot::Var(i) => Some(i),
+        Slot::Bound(_) => None,
+    };
+    let mut bound: Vec<bool> = probe.iter().map(Option::is_some).collect();
     let mut remaining: Vec<usize> = (0..compiled.len()).collect();
-    while !remaining.is_empty() && !results.is_empty() {
-        let probe = results.first().cloned().unwrap_or_default();
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
         let (pick_pos, _) = remaining
             .iter()
             .enumerate()
             .map(|(pos, &pi)| {
                 let c = &compiled[pi];
-                let s = match resolve_slot(c.s, &probe) {
+                let s = match resolve_slot(c.s, probe) {
                     ResolvedSlot::Term(t) => t,
-                    ResolvedSlot::Never => return (pos, 0),
+                    ResolvedSlot::Never => return (pos, (0, 0)),
                     _ => None,
                 };
-                let p = match resolve_slot(c.p, &probe) {
+                let p = match resolve_slot(c.p, probe) {
                     ResolvedSlot::Pred(p) => p,
-                    ResolvedSlot::Never => return (pos, 0),
+                    ResolvedSlot::Never => return (pos, (0, 0)),
                     _ => None,
                 };
-                let o = match resolve_slot(c.o, &probe) {
+                let o = match resolve_slot(c.o, probe) {
                     ResolvedSlot::Term(t) => t,
-                    ResolvedSlot::Never => return (pos, 0),
+                    ResolvedSlot::Never => return (pos, (0, 0)),
                     _ => None,
                 };
-                (pos, graph.pattern_cardinality(s, p, o))
+                let joins_bound = [c.s, c.p, c.o]
+                    .into_iter()
+                    .filter_map(slot_var)
+                    .any(|i| bound[i]);
+                (
+                    pos,
+                    (
+                        usize::from(!joins_bound),
+                        graph.pattern_cardinality(s, p, o),
+                    ),
+                )
             })
-            .min_by_key(|&(_, card)| card)
+            .min_by_key(|&(_, key)| key)
             .unwrap();
-        let pattern_index = remaining.remove(pick_pos);
+        let pi = remaining.remove(pick_pos);
+        for slot in [compiled[pi].s, compiled[pi].p, compiled[pi].o] {
+            if let Some(i) = slot_var(slot) {
+                bound[i] = true;
+            }
+        }
+        order.push(pi);
+    }
+    order
+}
+
+/// Join a basic graph pattern group into the given binding rows in the
+/// greedy order chosen by [`order_patterns`].
+fn join_patterns(
+    graph: &Graph,
+    compiled: &[Compiled],
+    results: Vec<Vec<Option<Term>>>,
+) -> Vec<Vec<Option<Term>>> {
+    let Some(probe) = results.first().cloned() else {
+        return results;
+    };
+    let order = order_patterns(graph, compiled, &probe);
+    join_in_order(graph, compiled, &order, results)
+}
+
+/// Join with up to `threads` workers: the first ordered pattern expands
+/// sequentially, then its result rows are split into contiguous chunks and
+/// each chunk joins the remaining patterns on its own scoped worker. Rows
+/// merge back in chunk order — byte-identical to the sequential join.
+fn join_patterns_threads(
+    graph: &Graph,
+    compiled: &[Compiled],
+    results: Vec<Vec<Option<Term>>>,
+    threads: usize,
+) -> Vec<Vec<Option<Term>>> {
+    let Some(probe) = results.first().cloned() else {
+        return results;
+    };
+    let order = order_patterns(graph, compiled, &probe);
+    if threads <= 1 || order.len() < 2 {
+        return join_in_order(graph, compiled, &order, results);
+    }
+    let first_rows = join_in_order(graph, compiled, &order[..1], results);
+    // Same work floor as the Cypher path: scoped spawn costs tens of
+    // microseconds per worker — more than a small join's entire runtime —
+    // so workers engage only when row count × estimated per-row cost of
+    // the remaining patterns clears the threshold. Patterns joining an
+    // already-bound variable are cheap probes (counted 1); unconstrained
+    // patterns cost their index-estimated cardinality per row.
+    let slot_var = |slot: Slot| match slot {
+        Slot::Var(i) => Some(i),
+        Slot::Bound(_) => None,
+    };
+    let mut est_bound: Vec<bool> = probe.iter().map(Option::is_some).collect();
+    for slot in [
+        compiled[order[0]].s,
+        compiled[order[0]].p,
+        compiled[order[0]].o,
+    ] {
+        if let Some(i) = slot_var(slot) {
+            est_bound[i] = true;
+        }
+    }
+    let mut per_row = 1usize;
+    for &pi in &order[1..] {
+        let c = &compiled[pi];
+        let joins_bound = [c.s, c.p, c.o]
+            .into_iter()
+            .filter_map(slot_var)
+            .any(|i| est_bound[i]);
+        let cost = if joins_bound {
+            1
+        } else {
+            let term = |slot: Slot| match resolve_slot(slot, &probe) {
+                ResolvedSlot::Term(t) => t,
+                _ => None,
+            };
+            let pred = |slot: Slot| match resolve_slot(slot, &probe) {
+                ResolvedSlot::Pred(p) => p,
+                _ => None,
+            };
+            let never = [c.s, c.p, c.o]
+                .into_iter()
+                .any(|slot| matches!(resolve_slot(slot, &probe), ResolvedSlot::Never));
+            if never {
+                0
+            } else {
+                graph.pattern_cardinality(term(c.s), pred(c.p), term(c.o))
+            }
+        };
+        per_row = per_row.saturating_add(cost);
+        for slot in [c.s, c.p, c.o] {
+            if let Some(i) = slot_var(slot) {
+                est_bound[i] = true;
+            }
+        }
+    }
+    if first_rows.len() < threads * 4
+        || first_rows.len().saturating_mul(per_row) < crate::cypher::PARALLEL_MIN_WORK
+    {
+        return join_in_order(graph, compiled, &order[1..], first_rows);
+    }
+    let rest = &order[1..];
+    let chunk_size = first_rows.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = first_rows
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || join_in_order(graph, compiled, rest, chunk.to_vec())))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sparql worker panicked"))
+            .collect()
+    })
+}
+
+fn join_in_order(
+    graph: &Graph,
+    compiled: &[Compiled],
+    order: &[usize],
+    mut results: Vec<Vec<Option<Term>>>,
+) -> Vec<Vec<Option<Term>>> {
+    for &pattern_index in order {
+        if results.is_empty() {
+            break;
+        }
         let c = &compiled[pattern_index];
 
         let mut next: Vec<Vec<Option<Term>>> = Vec::new();
@@ -792,7 +931,18 @@ pub fn execute_outcome(graph: &Graph, query: &str) -> Result<Outcome, SparqlErro
 
 /// Evaluate a parsed query, rejecting aggregates (see [`evaluate_outcome`]).
 pub fn evaluate(graph: &Graph, query: &SelectQuery) -> Result<Solutions, SparqlError> {
-    match evaluate_outcome(graph, query)? {
+    evaluate_threads(graph, query, 1)
+}
+
+/// [`evaluate`] with up to `threads` scoped workers joining the required
+/// pattern group. Rows merge in partition order, so the solutions are
+/// byte-identical to the single-threaded evaluation.
+pub fn evaluate_threads(
+    graph: &Graph,
+    query: &SelectQuery,
+    threads: usize,
+) -> Result<Solutions, SparqlError> {
+    match evaluate_outcome_threads(graph, query, threads)? {
         Outcome::Solutions(s) => Ok(s),
         Outcome::Count { .. } => err("aggregate query: use execute_outcome/evaluate_outcome"),
     }
@@ -800,6 +950,15 @@ pub fn evaluate(graph: &Graph, query: &SelectQuery) -> Result<Solutions, SparqlE
 
 /// Evaluate a parsed query over `graph`, producing rows or a count.
 pub fn evaluate_outcome(graph: &Graph, query: &SelectQuery) -> Result<Outcome, SparqlError> {
+    evaluate_outcome_threads(graph, query, 1)
+}
+
+/// [`evaluate_outcome`] with up to `threads` scoped workers.
+pub fn evaluate_outcome_threads(
+    graph: &Graph,
+    query: &SelectQuery,
+    threads: usize,
+) -> Result<Outcome, SparqlError> {
     // Collect variables in first-seen order, across required and optional
     // patterns (optional-only variables may be projected and come out
     // unbound).
@@ -827,7 +986,7 @@ pub fn evaluate_outcome(graph: &Graph, query: &SelectQuery) -> Result<Outcome, S
 
     let compiled = compile_patterns(graph, &query.patterns, &var_index)?;
     let mut results: Vec<Vec<Option<Term>>> = vec![vec![None; nvars]];
-    results = join_patterns(graph, &compiled, results);
+    results = join_patterns_threads(graph, &compiled, results, threads);
 
     // OPTIONAL groups: left-join — rows that the group cannot extend are
     // kept with the group's variables unbound.

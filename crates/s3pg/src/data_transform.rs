@@ -637,8 +637,7 @@ shape:Course a sh:NodeShape ; sh:targetClass :Course ;
         let carrier = dt
             .pg
             .out_edges(bob)
-            .iter()
-            .map(|&e| dt.pg.edge(e).dst)
+            .map(|e| dt.pg.edge(e).dst)
             .find(|&n| dt.pg.labels_of(n) == vec!["STRING"])
             .expect("carrier node");
         assert_eq!(
@@ -690,10 +689,10 @@ shape:Course a sh:NodeShape ; sh:targetClass :Course ;
         assert_eq!(dt.counters.fallback_triples, 1);
         // The value is preserved on a carrier node.
         let bob = dt.pg.node_by_iri("http://ex/bob").unwrap();
-        let edges = dt.pg.out_edges(bob);
-        assert!(edges
-            .iter()
-            .any(|&e| dt.pg.edge_labels_of(e).contains(&"surprise")));
+        assert!(dt
+            .pg
+            .out_edges(bob)
+            .any(|e| dt.pg.edge_labels_of(e).contains(&"surprise")));
         // Schema was widened, so conformance still holds.
         let report = conformance::check(&dt.pg, &st.pg_schema);
         assert!(report.conforms(), "{:#?}", report.failures);
@@ -735,8 +734,7 @@ shape:Course a sh:NodeShape ; sh:targetClass :Course ;
         let carrier = dt
             .pg
             .out_edges(bob)
-            .iter()
-            .map(|&e| dt.pg.edge(e).dst)
+            .map(|e| dt.pg.edge(e).dst)
             .next()
             .unwrap();
         assert_eq!(

@@ -120,7 +120,7 @@ pub fn apply_deletions(
             },
         };
         let expected = expected_carrier_value(removed, t.o);
-        let candidate = pg.out_edges(s_node).into_iter().find(|&e| {
+        let candidate = pg.out_edges(s_node).find(|&e| {
             let edge = pg.edge(e);
             if !pg.edge_labels_of(e).contains(&label.as_str()) {
                 return false;
@@ -477,7 +477,6 @@ shape:Person a sh:NodeShape ; sh:targetClass :Person ;
         let a = pg.node_by_iri("http://ex/a").unwrap();
         assert!(pg
             .out_edges(a)
-            .iter()
-            .any(|&e| pg.edge_labels_of(e).contains(&"nick")));
+            .any(|e| pg.edge_labels_of(e).contains(&"nick")));
     }
 }

@@ -73,7 +73,7 @@ pub fn parsimonize(pg: &mut PropertyGraph, transform: &mut SchemaTransform) -> P
             let mut datatypes: Vec<String> = Vec::new();
             let mut eligible = true;
             for &(_, carrier) in &edges {
-                if pg.in_edges(carrier).len() != 1 || pg.prop(carrier, LANG_KEY).is_some() {
+                if pg.in_edges(carrier).count() != 1 || pg.prop(carrier, LANG_KEY).is_some() {
                     eligible = false;
                     break;
                 }
@@ -260,8 +260,7 @@ mod tests {
         // takesCourse still has its hetero carrier edge + entity edge.
         assert!(pg
             .out_edges(bob)
-            .iter()
-            .any(|&e| pg.edge_labels_of(e).contains(&"takesCourse")));
+            .any(|e| pg.edge_labels_of(e).contains(&"takesCourse")));
     }
 
     #[test]

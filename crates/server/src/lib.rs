@@ -13,6 +13,8 @@
 //!   `shutting_down`, `internal`).
 //! * [`store`] — `RwLock`-published `Arc` snapshots for lock-free reads;
 //!   a mutex-serialized writer applying deltas via [`s3pg::incremental`].
+//! * [`plan_cache`] — normalized-text → parsed AST + epoch-tagged query
+//!   plan; repeat queries skip parse and planning entirely.
 //! * [`server`] — fixed worker pool, bounded accept queue with load
 //!   shedding, per-endpoint request/error/latency metrics and per-request
 //!   trace spans built on [`s3pg_obs`], a slow-query log, graceful drain
@@ -35,6 +37,7 @@
 pub mod cli;
 pub mod client;
 pub mod json;
+pub mod plan_cache;
 pub mod protocol;
 pub mod server;
 pub mod store;

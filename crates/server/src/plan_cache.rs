@@ -1,0 +1,228 @@
+//! Server-side query plan cache.
+//!
+//! Serving workloads repeat a small set of query shapes over and over, so
+//! the per-request parse + plan cost is pure overhead after the first
+//! issue. The cache keys on *normalized query text* (whitespace collapsed,
+//! endpoint-prefixed so a Cypher and a SPARQL query can never collide) and
+//! stores the parsed AST — including parse *errors*, so a repeatedly
+//! malformed query doesn't re-run the parser either.
+//!
+//! Cypher entries additionally carry the cardinality-based
+//! [`CypherPlan`], which depends on the graph's statistics and is
+//! therefore tagged with the snapshot **epoch** it was computed against
+//! (see [`crate::store::Snapshot::epoch`]). When an update publishes a new
+//! snapshot the epoch advances and the next lookup replans from the cached
+//! AST — much cheaper than a reparse, and counted separately
+//! (`s3pg_plan_cache_replan`) so stale-plan churn is visible. SPARQL
+//! orders its patterns inside evaluation (the ordering is a pure function
+//! of the graph probed at run time), so its entries cache only the AST.
+//!
+//! A hit skips the `query_plan` span entirely: repeat queries show
+//! `request → execute → query_eval` with no planning child, which
+//! `serve_smoke.sh` asserts. Hit/miss land on the shared registry as
+//! `s3pg_plan_cache_hit` / `s3pg_plan_cache_miss`.
+
+use s3pg_obs::{Counter, Registry};
+use s3pg_pg::PropertyGraph;
+use s3pg_query::cypher::{self, CypherPlan, CypherQuery};
+use s3pg_query::sparql::SelectQuery;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Entries retained before the cache flushes itself. Serving workloads
+/// have a few dozen distinct query shapes; the bound only guards against
+/// an adversarial stream of unique texts growing memory without limit.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// One cached query: the parse outcome for its endpoint.
+pub enum CachedEntry {
+    /// A Cypher query (or its parse error message, verbatim).
+    Cypher(Result<CachedCypher, String>),
+    /// A SPARQL query (or its parse error message, verbatim).
+    Sparql(Result<Arc<SelectQuery>, String>),
+}
+
+/// A parsed Cypher query plus its epoch-tagged plan.
+pub struct CachedCypher {
+    pub ast: Arc<CypherQuery>,
+    /// `(epoch, plan)` the plan was computed against. Replaced (not
+    /// accumulated) when the snapshot epoch moves on.
+    plan: Mutex<(u64, Arc<CypherPlan>)>,
+}
+
+impl CachedCypher {
+    pub fn new(ast: Arc<CypherQuery>, epoch: u64, plan: Arc<CypherPlan>) -> CachedCypher {
+        CachedCypher {
+            ast,
+            plan: Mutex::new((epoch, plan)),
+        }
+    }
+
+    /// The plan for `epoch`, replanning from the cached AST if the cached
+    /// one was computed against an older snapshot.
+    pub fn plan_for(&self, pg: &PropertyGraph, epoch: u64, replans: &Counter) -> Arc<CypherPlan> {
+        let mut guard = self.plan.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.0 != epoch {
+            replans.inc();
+            *guard = (epoch, Arc::new(cypher::plan(pg, &self.ast)));
+        }
+        Arc::clone(&guard.1)
+    }
+}
+
+/// Normalized-text → parsed-entry map shared by all server workers.
+pub struct PlanCache {
+    entries: Mutex<HashMap<String, Arc<CachedEntry>>>,
+    capacity: usize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    replans: Arc<Counter>,
+}
+
+impl PlanCache {
+    /// A cache whose hit/miss/replan counters live on `registry`.
+    pub fn new(registry: &Registry) -> PlanCache {
+        PlanCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: DEFAULT_CAPACITY,
+            hits: registry.counter("s3pg_plan_cache_hit"),
+            misses: registry.counter("s3pg_plan_cache_miss"),
+            replans: registry.counter("s3pg_plan_cache_replan"),
+        }
+    }
+
+    /// The cache key: endpoint-prefixed, whitespace-normalized query text.
+    /// Collapsing runs of whitespace makes trivially reformatted queries
+    /// (extra spaces, newlines) share one entry; no deeper canonicalization
+    /// is attempted.
+    pub fn key(endpoint: &str, query: &str) -> String {
+        let mut key = String::with_capacity(endpoint.len() + 1 + query.len());
+        key.push_str(endpoint);
+        key.push('\u{0}');
+        let mut first = true;
+        for word in query.split_whitespace() {
+            if !first {
+                key.push(' ');
+            }
+            key.push_str(word);
+            first = false;
+        }
+        key
+    }
+
+    /// Look up a query. `Some` counts a hit, `None` a miss — the caller
+    /// is expected to parse/plan and [`insert`](PlanCache::insert).
+    pub fn lookup(&self, endpoint: &str, query: &str) -> Option<Arc<CachedEntry>> {
+        let key = PlanCache::key(endpoint, query);
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match entries.get(&key) {
+            Some(entry) => {
+                self.hits.inc();
+                Some(Arc::clone(entry))
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Insert the parse outcome for a query. At capacity the whole map is
+    /// flushed — O(1) amortized, and correct because entries are pure
+    /// functions of the text (plans re-validate via their epoch anyway).
+    pub fn insert(&self, endpoint: &str, query: &str, entry: Arc<CachedEntry>) {
+        let key = PlanCache::key(endpoint, query);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.len() >= self.capacity && !entries.contains_key(&key) {
+            entries.clear();
+        }
+        entries.insert(key, entry);
+    }
+
+    /// Counter handle for epoch-mismatch replans (used by
+    /// [`CachedCypher::plan_for`]).
+    pub fn replan_counter(&self) -> &Counter {
+        &self.replans
+    }
+
+    /// Cached entry count (tests/introspection).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> (Arc<Registry>, PlanCache) {
+        let registry = Arc::new(Registry::new());
+        let cache = PlanCache::new(&registry);
+        (registry, cache)
+    }
+
+    #[test]
+    fn key_normalizes_whitespace_and_separates_endpoints() {
+        assert_eq!(
+            PlanCache::key("cypher", "MATCH  (n)\n RETURN n"),
+            "cypher\u{0}MATCH (n) RETURN n"
+        );
+        assert_ne!(
+            PlanCache::key("cypher", "MATCH (n) RETURN n"),
+            PlanCache::key("sparql", "MATCH (n) RETURN n")
+        );
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let (registry, cache) = cache();
+        assert!(cache.lookup("cypher", "MATCH (n) RETURN n").is_none());
+        cache.insert(
+            "cypher",
+            "MATCH (n) RETURN n",
+            Arc::new(CachedEntry::Cypher(Err("nope".into()))),
+        );
+        // Differently spaced text resolves to the same entry.
+        assert!(cache.lookup("cypher", "MATCH  (n)  RETURN  n").is_some());
+        assert_eq!(registry.counter("s3pg_plan_cache_hit").get(), 1);
+        assert_eq!(registry.counter("s3pg_plan_cache_miss").get(), 1);
+    }
+
+    #[test]
+    fn epoch_mismatch_replans_from_ast() {
+        let (registry, cache) = cache();
+        let pg = PropertyGraph::new();
+        let ast = Arc::new(cypher::parse("MATCH (n:Person) RETURN n").unwrap());
+        let plan = Arc::new(cypher::plan(&pg, &ast));
+        let cached = CachedCypher::new(Arc::clone(&ast), 0, plan);
+        cached.plan_for(&pg, 0, cache.replan_counter());
+        assert_eq!(registry.counter("s3pg_plan_cache_replan").get(), 0);
+        cached.plan_for(&pg, 1, cache.replan_counter());
+        cached.plan_for(&pg, 1, cache.replan_counter());
+        assert_eq!(registry.counter("s3pg_plan_cache_replan").get(), 1);
+    }
+
+    #[test]
+    fn capacity_flushes_instead_of_growing() {
+        let (_registry, cache) = cache();
+        for i in 0..DEFAULT_CAPACITY {
+            cache.insert(
+                "cypher",
+                &format!("MATCH (n{i}) RETURN n{i}"),
+                Arc::new(CachedEntry::Cypher(Err("x".into()))),
+            );
+        }
+        assert_eq!(cache.len(), DEFAULT_CAPACITY);
+        cache.insert(
+            "cypher",
+            "MATCH (overflow) RETURN overflow",
+            Arc::new(CachedEntry::Cypher(Err("x".into()))),
+        );
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -27,6 +27,7 @@
 //! queued-but-unserved connections receive a typed `shutting_down` frame,
 //! and [`ServerHandle::join`] returns once every thread has exited.
 
+use crate::plan_cache::{CachedCypher, CachedEntry, PlanCache};
 use crate::protocol::{ErrorFrame, ErrorKind, Request, Response};
 use crate::store::GraphStore;
 use s3pg::S3pgError;
@@ -150,6 +151,7 @@ pub struct SlowQuery {
 struct Shared {
     store: GraphStore,
     metrics: ServerMetrics,
+    plan_cache: PlanCache,
     registry: Arc<Registry>,
     started: Instant,
     slow_query_threshold: Option<Duration>,
@@ -224,6 +226,7 @@ pub fn serve(addr: &str, store: GraphStore, config: ServerConfig) -> std::io::Re
     let registry = Arc::clone(store.registry());
     let shared = Arc::new(Shared {
         metrics: ServerMetrics::new(&registry),
+        plan_cache: PlanCache::new(&registry),
         registry,
         store,
         started: Instant::now(),
@@ -516,7 +519,43 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
     match request {
         Request::Cypher { query } => {
             let snap = shared.store.snapshot();
-            match cypher::execute(&snap.pg, query) {
+            // Plan-cache hit: no reparse, no `query_plan` span. Miss:
+            // parse + plan under one `query_plan` span, then cache the
+            // outcome (parse errors included) for the next issue.
+            let entry = shared
+                .plan_cache
+                .lookup("cypher", query)
+                .unwrap_or_else(|| {
+                    let _span = tracer().span_here("query_plan");
+                    let entry = Arc::new(CachedEntry::Cypher(match cypher::parse(query) {
+                        Ok(ast) => {
+                            let ast = Arc::new(ast);
+                            let plan = Arc::new(cypher::plan(&snap.pg, &ast));
+                            Ok(CachedCypher::new(ast, snap.epoch, plan))
+                        }
+                        Err(e) => Err(e.to_string()),
+                    }));
+                    shared
+                        .plan_cache
+                        .insert("cypher", query, Arc::clone(&entry));
+                    entry
+                });
+            let cached = match &*entry {
+                CachedEntry::Cypher(Ok(cached)) => cached,
+                CachedEntry::Cypher(Err(message)) | CachedEntry::Sparql(Err(message)) => {
+                    return Response::Error(ErrorFrame {
+                        kind: ErrorKind::Query,
+                        message: message.clone(),
+                    })
+                }
+                CachedEntry::Sparql(Ok(_)) => unreachable!("endpoint-prefixed cache key"),
+            };
+            let plan = cached.plan_for(&snap.pg, snap.epoch, shared.plan_cache.replan_counter());
+            let result = {
+                let _span = tracer().span_here("query_eval");
+                cypher::evaluate_planned(&snap.pg, &cached.ast, &plan, 1)
+            };
+            match result {
                 Ok(rows) => Response::Cypher {
                     columns: rows.columns.clone(),
                     rows: rows
@@ -533,7 +572,35 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
         }
         Request::Sparql { query } => {
             let snap = shared.store.snapshot();
-            match sparql::execute(&snap.rdf, query) {
+            let entry = shared
+                .plan_cache
+                .lookup("sparql", query)
+                .unwrap_or_else(|| {
+                    let _span = tracer().span_here("query_plan");
+                    let entry = Arc::new(CachedEntry::Sparql(match sparql::parse(query) {
+                        Ok(ast) => Ok(Arc::new(ast)),
+                        Err(e) => Err(e.to_string()),
+                    }));
+                    shared
+                        .plan_cache
+                        .insert("sparql", query, Arc::clone(&entry));
+                    entry
+                });
+            let ast = match &*entry {
+                CachedEntry::Sparql(Ok(ast)) => ast,
+                CachedEntry::Sparql(Err(message)) | CachedEntry::Cypher(Err(message)) => {
+                    return Response::Error(ErrorFrame {
+                        kind: ErrorKind::Query,
+                        message: message.clone(),
+                    })
+                }
+                CachedEntry::Cypher(Ok(_)) => unreachable!("endpoint-prefixed cache key"),
+            };
+            let result = {
+                let _span = tracer().span_here("query_eval");
+                sparql::evaluate(&snap.rdf, ast)
+            };
+            match result {
                 Ok(solutions) => Response::Sparql {
                     vars: solutions.vars.clone(),
                     rows: solutions

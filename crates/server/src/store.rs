@@ -32,6 +32,7 @@ use s3pg_pg::conformance;
 use s3pg_pg::PropertyGraph;
 use s3pg_rdf::Graph;
 use s3pg_shacl::ShapeSchema;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// An immutable point-in-time view served to readers.
@@ -46,6 +47,12 @@ pub struct Snapshot {
     /// Estimated resident footprint of this snapshot in bytes (deep size
     /// of the RDF store plus the PG store, including index capacity).
     pub mem_bytes: u64,
+    /// Monotone publication counter: 0 for the startup snapshot, +1 per
+    /// applied update. The server's plan cache tags each cached query plan
+    /// with the epoch it was computed against; an epoch mismatch means the
+    /// graph (and so its cardinality statistics) changed and the plan is
+    /// recomputed from the cached AST.
+    pub epoch: u64,
 }
 
 /// What an applied delta changed.
@@ -72,6 +79,9 @@ struct Master {
 pub struct GraphStore {
     snapshot: RwLock<Arc<Snapshot>>,
     master: Mutex<Master>,
+    /// Next snapshot's epoch (the startup snapshot is 0). Bumped under the
+    /// master lock, so epochs are published in apply order.
+    epoch: AtomicU64,
     /// Per-store metrics: memory gauges, snapshot sizes, update counter.
     /// The server shares this registry for its endpoint metrics, so one
     /// exposition covers both layers.
@@ -79,11 +89,20 @@ pub struct GraphStore {
 }
 
 /// Build a snapshot and publish its memory/size gauges to `registry`.
-fn publish(registry: &Registry, rdf: Graph, pg: PropertyGraph, conforms: bool) -> Arc<Snapshot> {
+fn publish(
+    registry: &Registry,
+    rdf: Graph,
+    pg: PropertyGraph,
+    conforms: bool,
+    epoch: u64,
+) -> Arc<Snapshot> {
     let rdf_bytes = rdf.deep_size_bytes() as u64;
     let pg_bytes = pg.deep_size_bytes() as u64;
     registry.gauge("s3pg_mem_rdf_bytes").set_u64(rdf_bytes);
     registry.gauge("s3pg_mem_pg_bytes").set_u64(pg_bytes);
+    registry
+        .gauge("s3pg_mem_pg_prop_index_bytes")
+        .set_u64(pg.prop_index_size_bytes() as u64);
     registry
         .gauge("s3pg_mem_total_bytes")
         .set_u64(rdf_bytes + pg_bytes);
@@ -104,6 +123,7 @@ fn publish(registry: &Registry, rdf: Graph, pg: PropertyGraph, conforms: bool) -
         pg,
         conforms,
         mem_bytes: rdf_bytes + pg_bytes,
+        epoch,
     })
 }
 
@@ -119,6 +139,7 @@ impl GraphStore {
             rdf.clone(),
             out.pg.clone(),
             out.conformance.conforms(),
+            0,
         );
         GraphStore {
             snapshot: RwLock::new(snapshot),
@@ -128,6 +149,7 @@ impl GraphStore {
                 schema: out.schema,
                 state: out.state,
             }),
+            epoch: AtomicU64::new(1),
             registry,
         }
     }
@@ -193,6 +215,7 @@ impl GraphStore {
             master.rdf.clone(),
             master.pg.clone(),
             summary.conforms,
+            self.epoch.fetch_add(1, Ordering::SeqCst),
         );
         // Publish while still holding the master lock, so snapshots are
         // swapped in the same order updates were applied.

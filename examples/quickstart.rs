@@ -72,8 +72,7 @@ fn main() {
         "bob's out-edges:  {:?}",
         out.pg
             .out_edges(bob)
-            .iter()
-            .map(|&e| out.pg.edge_labels_of(e)[0].to_string())
+            .map(|e| out.pg.edge_labels_of(e)[0].to_string())
             .collect::<Vec<_>>()
     );
 

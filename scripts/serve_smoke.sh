@@ -34,9 +34,11 @@ echo "server is listening on $ADDR"
 
 echo "== differential loadgen (reads + deltas + metrics/health checks) and protocol shutdown =="
 # The loadgen differentially checks every response, asserts the metrics
-# exposition is well-formed, and verifies the server's request counters
-# cover the client's own tally.
-"$LOADGEN" --addr "$ADDR" --connections 2 --rounds 3 --metrics --shutdown
+# exposition is well-formed (including a plan-cache hit rate > 0.9),
+# verifies the server's request counters cover the client's own tally,
+# and — via --plan-cache-probe — fetches the trace endpoint to assert a
+# repeated query carries no query_plan span (the plan cache answered).
+"$LOADGEN" --addr "$ADDR" --connections 2 --rounds 3 --metrics --plan-cache-probe --shutdown
 
 echo "== wait for the server to drain and exit =="
 for _ in $(seq 1 100); do
