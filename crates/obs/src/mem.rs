@@ -26,6 +26,12 @@ pub fn boxed_str_bytes(s: &str) -> usize {
     s.len()
 }
 
+/// Heap bytes owned by a `Box<[T]>`: length × element size (boxed slices
+/// have no spare capacity). Excludes element-owned heap.
+pub fn boxed_slice_bytes<T>(s: &[T]) -> usize {
+    std::mem::size_of_val(s)
+}
+
 /// Approximate heap bytes of a hash map with `capacity` slots for
 /// `(K, V)` entries: one entry plus one control byte per slot.
 pub fn map_bytes<K, V>(capacity: usize) -> usize {

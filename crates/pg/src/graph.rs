@@ -762,6 +762,80 @@ impl PropertyGraph {
             }
         })
     }
+
+    /// Build the read-optimized [`CompactGraph`](crate::compact::CompactGraph)
+    /// form of this graph: tombstones compacted away, adjacency in CSR
+    /// layout, string property values dictionary-encoded.
+    pub fn freeze(&self) -> crate::compact::CompactGraph {
+        crate::compact::CompactGraph::freeze(self)
+    }
+}
+
+impl crate::read::PgRead for PropertyGraph {
+    fn node_count(&self) -> usize {
+        self.live_node_count
+    }
+
+    fn edge_count(&self) -> usize {
+        self.live_edge_count
+    }
+
+    fn all_node_ids(&self) -> Vec<NodeId> {
+        self.node_ids().collect()
+    }
+
+    fn nodes_with_label(&self, label: &str) -> &[NodeId] {
+        PropertyGraph::nodes_with_label(self, label)
+    }
+
+    fn label_cardinality(&self, label: &str) -> usize {
+        PropertyGraph::label_cardinality(self, label)
+    }
+
+    fn nodes_with_label_prop(&self, label: &str, key: &str, value: &Value) -> &[NodeId] {
+        PropertyGraph::nodes_with_label_prop(self, label, key, value)
+    }
+
+    fn has_label(&self, id: NodeId, label: &str) -> bool {
+        PropertyGraph::has_label(self, id, label)
+    }
+
+    fn prop_value(&self, id: NodeId, key: &str) -> Option<Value> {
+        self.prop(id, key).cloned()
+    }
+
+    fn edge_prop_value(&self, id: EdgeId, key: &str) -> Option<Value> {
+        self.edge_prop(id, key).cloned()
+    }
+
+    fn edge_endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[id.0 as usize];
+        (e.src, e.dst)
+    }
+
+    fn edge_has_any_label(&self, id: EdgeId, labels: &[String]) -> bool {
+        if labels.is_empty() {
+            return true;
+        }
+        let e = &self.edges[id.0 as usize];
+        labels.iter().any(|l| {
+            self.interner
+                .get(l)
+                .is_some_and(|sym| e.labels.contains(&sym))
+        })
+    }
+
+    fn out_adjacency(&self, id: NodeId) -> &[EdgeId] {
+        &self.out_edges[id.0 as usize]
+    }
+
+    fn in_adjacency(&self, id: NodeId) -> &[EdgeId] {
+        &self.in_edges[id.0 as usize]
+    }
+
+    fn edge_live(&self, id: EdgeId) -> bool {
+        self.edge_live[id.0 as usize]
+    }
 }
 
 #[cfg(test)]

@@ -17,19 +17,23 @@
 //!   Neo4j loading stage of the paper's Table 4,
 //! * [`stats`] computes the Table 5 statistics.
 
+pub mod compact;
 pub mod conformance;
 pub mod csv;
 pub mod ddl;
 pub mod ddl_parse;
 pub mod graph;
+pub mod read;
 pub mod schema;
 pub mod stats;
 pub mod value;
 pub mod yarspg;
 
+pub use compact::{CValue, CompactGraph};
 pub use conformance::{check, ConformanceReport, NonConformance};
 pub use ddl_parse::parse_ddl;
 pub use graph::{Edge, EdgeId, Node, NodeId, PropertyGraph, IRI_KEY, VALUE_KEY};
+pub use read::PgRead;
 pub use schema::{CountKey, EdgeType, NodeType, NodeTypeKind, PgSchema, PropertySpec};
 pub use stats::PgStats;
 pub use value::{ContentType, Value};

@@ -1,0 +1,74 @@
+//! Read-side storage abstraction over property-graph representations.
+//!
+//! The Cypher engine (and the SPARQL-over-PG path that translates into it)
+//! is generic over [`PgRead`], so planned, sequential, and parallel
+//! evaluation run unchanged over either the mutable [`PropertyGraph`]
+//! (`crates/pg/src/graph.rs`) or the frozen, read-optimized
+//! [`CompactGraph`](crate::compact::CompactGraph). The trait is shaped so
+//! both implementations answer from slices with no per-call allocation:
+//!
+//! * adjacency is exposed as raw `&[EdgeId]` rows plus an [`edge_live`]
+//!   predicate — the mutable graph's rows contain tombstones that callers
+//!   skip, while the compact form returns contiguous CSR rows where every
+//!   edge is live (the predicate is constant `true`);
+//! * label membership tests take label *sets* ([`edge_has_any_label`]) so
+//!   inner match loops never materialize per-edge label vectors;
+//! * property reads return owned [`Value`]s, matching the `.cloned()` cost
+//!   the engine already paid — the compact form decodes from its dictionary
+//!   on the fly.
+//!
+//! [`edge_live`]: PgRead::edge_live
+//! [`edge_has_any_label`]: PgRead::edge_has_any_label
+
+use crate::graph::{EdgeId, NodeId};
+use crate::value::Value;
+
+/// Read-only access to a property graph, sufficient for query planning and
+/// evaluation. `Sync` so parallel evaluation can share the graph across
+/// scoped worker threads.
+pub trait PgRead: Sync {
+    /// Number of live nodes.
+    fn node_count(&self) -> usize;
+
+    /// Number of live edges.
+    fn edge_count(&self) -> usize;
+
+    /// All live node ids, in id order.
+    fn all_node_ids(&self) -> Vec<NodeId>;
+
+    /// Live node ids carrying `label`, in id order.
+    fn nodes_with_label(&self, label: &str) -> &[NodeId];
+
+    /// Exact number of live nodes carrying `label` (planner statistic).
+    fn label_cardinality(&self, label: &str) -> usize;
+
+    /// Live nodes carrying `label` whose scalar property `key` equals
+    /// `value` — the equality-pushdown index probe.
+    fn nodes_with_label_prop(&self, label: &str, key: &str, value: &Value) -> &[NodeId];
+
+    /// Whether a node carries a label.
+    fn has_label(&self, id: NodeId, label: &str) -> bool;
+
+    /// A node property, decoded to an owned value.
+    fn prop_value(&self, id: NodeId, key: &str) -> Option<Value>;
+
+    /// An edge property, decoded to an owned value.
+    fn edge_prop_value(&self, id: EdgeId, key: &str) -> Option<Value>;
+
+    /// Source and destination of an edge.
+    fn edge_endpoints(&self, id: EdgeId) -> (NodeId, NodeId);
+
+    /// Whether the edge carries at least one of `labels`; an empty set
+    /// matches every edge (an unlabelled relationship pattern).
+    fn edge_has_any_label(&self, id: EdgeId, labels: &[String]) -> bool;
+
+    /// The raw outgoing adjacency row of a node. May contain tombstoned
+    /// edges — callers must filter with [`PgRead::edge_live`].
+    fn out_adjacency(&self, id: NodeId) -> &[EdgeId];
+
+    /// The raw incoming adjacency row of a node (see [`PgRead::out_adjacency`]).
+    fn in_adjacency(&self, id: NodeId) -> &[EdgeId];
+
+    /// Whether an edge id from an adjacency row refers to a live edge.
+    fn edge_live(&self, id: EdgeId) -> bool;
+}

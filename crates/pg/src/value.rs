@@ -145,29 +145,24 @@ impl std::hash::Hash for Value {
 impl Value {
     /// Convert an RDF literal (lexical form + datatype IRI) into a value,
     /// falling back to `String` when the lexical form does not parse.
+    /// Typed parses borrow `lexical`; exactly one `String` is allocated,
+    /// and only on the lexical arms (Date/DateTime/String) or the shared
+    /// fallback path.
     pub fn from_xsd(lexical: &str, datatype: &str) -> Value {
-        match ContentType::from_xsd(datatype) {
-            ContentType::Int => lexical
-                .parse()
-                .map(Value::Int)
-                .unwrap_or_else(|_| Value::String(lexical.to_string())),
-            ContentType::Float => lexical
-                .parse()
-                .map(Value::Float)
-                .unwrap_or_else(|_| Value::String(lexical.to_string())),
+        let parsed = match ContentType::from_xsd(datatype) {
+            ContentType::Int => lexical.parse().ok().map(Value::Int),
+            ContentType::Float => lexical.parse().ok().map(Value::Float),
             ContentType::Bool => match lexical {
-                "true" | "1" => Value::Bool(true),
-                "false" | "0" => Value::Bool(false),
-                _ => Value::String(lexical.to_string()),
+                "true" | "1" => Some(Value::Bool(true)),
+                "false" | "0" => Some(Value::Bool(false)),
+                _ => None,
             },
-            ContentType::Date => Value::Date(lexical.to_string()),
-            ContentType::DateTime => Value::DateTime(lexical.to_string()),
-            ContentType::Year => lexical
-                .parse()
-                .map(Value::Year)
-                .unwrap_or_else(|_| Value::String(lexical.to_string())),
-            ContentType::String | ContentType::Any => Value::String(lexical.to_string()),
-        }
+            ContentType::Date => Some(Value::Date(lexical.to_string())),
+            ContentType::DateTime => Some(Value::DateTime(lexical.to_string())),
+            ContentType::Year => lexical.parse().ok().map(Value::Year),
+            ContentType::String | ContentType::Any => None,
+        };
+        parsed.unwrap_or_else(|| Value::String(lexical.to_string()))
     }
 
     /// The content type of this value. Lists report the element type

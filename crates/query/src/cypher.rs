@@ -25,7 +25,7 @@
 //! `IS NULL` / `IS NOT NULL`. NULL propagates as in Cypher; `UNWIND` of
 //! NULL produces no rows.
 
-use s3pg_pg::{EdgeId, NodeId, PropertyGraph, Value};
+use s3pg_pg::{EdgeId, NodeId, PgRead, Value};
 use s3pg_rdf::fxhash::{FxHashMap, FxHashSet};
 use std::fmt;
 
@@ -191,8 +191,10 @@ pub struct CypherPlan {
 }
 
 /// Compute an execution plan for a parsed query against `pg`'s current
-/// cardinality statistics and indexes.
-pub fn plan(pg: &PropertyGraph, query: &CypherQuery) -> CypherPlan {
+/// cardinality statistics and indexes. Generic over the storage
+/// representation: the mutable and compact forms expose identical
+/// statistics, so one plan is valid for both.
+pub fn plan<G: PgRead>(pg: &G, query: &CypherQuery) -> CypherPlan {
     CypherPlan {
         plans: query
             .parts
@@ -259,7 +261,7 @@ fn equivalent_index_keys(lit: &Value) -> Option<Vec<Value>> {
     Some(keys)
 }
 
-fn plan_single(pg: &PropertyGraph, q: &SingleQuery) -> SinglePlan {
+fn plan_single<G: PgRead>(pg: &G, q: &SingleQuery) -> SinglePlan {
     let mut eq: Vec<(&str, &str, &Value)> = Vec::new();
     if let Some(where_clause) = &q.where_clause {
         collect_eq_predicates(where_clause, &mut eq);
@@ -1020,7 +1022,7 @@ impl Rows {
 /// this thread (the server's request span), the plan and evaluation stages
 /// record `query_plan` / `query_eval` child spans — the server's plan
 /// cache skips the `query_plan` stage entirely on a hit.
-pub fn execute(pg: &PropertyGraph, query: &str) -> Result<Rows, CypherError> {
+pub fn execute<G: PgRead>(pg: &G, query: &str) -> Result<Rows, CypherError> {
     let (q, p) = {
         let _span = s3pg_obs::tracer().span_here("query_plan");
         let q = parse(query)?;
@@ -1033,7 +1035,7 @@ pub fn execute(pg: &PropertyGraph, query: &str) -> Result<Rows, CypherError> {
 
 /// Evaluate a parsed query over `pg`: plans (pattern ordering + equality
 /// pushdown) and runs single-threaded.
-pub fn evaluate(pg: &PropertyGraph, query: &CypherQuery) -> Result<Rows, CypherError> {
+pub fn evaluate<G: PgRead>(pg: &G, query: &CypherQuery) -> Result<Rows, CypherError> {
     evaluate_threads(pg, query, 1)
 }
 
@@ -1041,8 +1043,8 @@ pub fn evaluate(pg: &PropertyGraph, query: &CypherQuery) -> Result<Rows, CypherE
 /// pattern's candidate bindings are partitioned across a scoped worker set
 /// and the per-chunk rows merged in chunk order, so the result is
 /// byte-identical to the single-threaded evaluation.
-pub fn evaluate_threads(
-    pg: &PropertyGraph,
+pub fn evaluate_threads<G: PgRead>(
+    pg: &G,
     query: &CypherQuery,
     threads: usize,
 ) -> Result<Rows, CypherError> {
@@ -1052,8 +1054,8 @@ pub fn evaluate_threads(
 
 /// Evaluate a parsed query under a precomputed plan (the server's cached
 /// hot path). `plan` must have been computed from this `query`.
-pub fn evaluate_planned(
-    pg: &PropertyGraph,
+pub fn evaluate_planned<G: PgRead>(
+    pg: &G,
     query: &CypherQuery,
     plan: &CypherPlan,
     threads: usize,
@@ -1079,7 +1081,7 @@ pub fn evaluate_planned(
 /// and label-scan candidate enumeration only (no index pushdown, no
 /// reordering, single-threaded). Kept as the reference for differential
 /// tests and the scan-vs-indexed benchmark.
-pub fn evaluate_scan(pg: &PropertyGraph, query: &CypherQuery) -> Result<Rows, CypherError> {
+pub fn evaluate_scan<G: PgRead>(pg: &G, query: &CypherQuery) -> Result<Rows, CypherError> {
     let mut columns: Vec<String> = Vec::new();
     let mut all_rows: Vec<Vec<Option<Value>>> = Vec::new();
     for (i, part) in query.parts.iter().enumerate() {
@@ -1114,8 +1116,8 @@ pub(crate) const PARALLEL_MIN_WORK: usize = 4096;
 /// into contiguous chunks, each expanded through the whole pattern chain by
 /// a scoped worker; concatenating per-chunk rows in chunk order reproduces
 /// the sequential row order exactly.
-fn expand_patterns_planned(
-    pg: &PropertyGraph,
+fn expand_patterns_planned<G: PgRead>(
+    pg: &G,
     q: &SingleQuery,
     sp: &SinglePlan,
     threads: usize,
@@ -1192,7 +1194,7 @@ fn expand_patterns_planned(
 /// Everything after required-pattern expansion: OPTIONAL MATCH left-joins,
 /// WHERE, UNWIND, projection/aggregation, DISTINCT, ORDER BY, SKIP, LIMIT.
 /// Shared by the planned and the baseline scan paths.
-fn finish_single(pg: &PropertyGraph, q: &SingleQuery, rows: Vec<Row>) -> Result<Rows, CypherError> {
+fn finish_single<G: PgRead>(pg: &G, q: &SingleQuery, rows: Vec<Row>) -> Result<Rows, CypherError> {
     let mut rows = rows;
     // OPTIONAL MATCH: left-join semantics per pattern.
     for pattern in &q.optional_patterns {
@@ -1290,7 +1292,7 @@ fn finish_single(pg: &PropertyGraph, q: &SingleQuery, rows: Vec<Row>) -> Result<
 /// Cypher's implicit grouping: non-aggregated RETURN items form the group
 /// key; each `count` aggregates within its group. `count(expr)` skips NULLs;
 /// `count(DISTINCT expr)` counts distinct non-NULL values.
-fn aggregate_rows(pg: &PropertyGraph, q: &SingleQuery, rows: &[Row]) -> Vec<Vec<Option<Value>>> {
+fn aggregate_rows<G: PgRead>(pg: &G, q: &SingleQuery, rows: &[Row]) -> Vec<Vec<Option<Value>>> {
     use std::collections::BTreeMap;
     // Group key: rendered non-aggregate values in item order.
     struct Group {
@@ -1390,8 +1392,8 @@ impl Candidates<'_> {
     }
 }
 
-fn start_candidates<'a>(
-    pg: &'a PropertyGraph,
+fn start_candidates<'a, G: PgRead>(
+    pg: &'a G,
     start: &NodePattern,
     probe: Option<&Probe>,
 ) -> Candidates<'a> {
@@ -1406,12 +1408,12 @@ fn start_candidates<'a>(
     }
     match start.labels.first() {
         Some(label) => Candidates::Borrowed(pg.nodes_with_label(label)),
-        None => Candidates::Owned(pg.node_ids().collect()),
+        None => Candidates::Owned(pg.all_node_ids()),
     }
 }
 
 /// Extend `row` with a start binding for every matching candidate.
-fn seed_rows(pg: &PropertyGraph, start: &NodePattern, candidates: &[NodeId], row: Row) -> Vec<Row> {
+fn seed_rows<G: PgRead>(pg: &G, start: &NodePattern, candidates: &[NodeId], row: Row) -> Vec<Row> {
     let mut out = Vec::new();
     for &n in candidates {
         if node_matches(pg, n, start) {
@@ -1434,8 +1436,8 @@ fn seed_rows(pg: &PropertyGraph, start: &NodePattern, candidates: &[NodeId], row
 /// start-bucket id order, so within-pattern row order may differ. Chosen by
 /// the planner for value joins (`MATCH (a:X)-[:r]->(v) MATCH (b:Y)-[:s]->(v)`),
 /// where the forward expansion would rescan the full `Y` bucket per row.
-fn expand_path_reversed(
-    pg: &PropertyGraph,
+fn expand_path_reversed<G: PgRead>(
+    pg: &G,
     pattern: &PathPattern,
     rows: Vec<Row>,
 ) -> Result<Vec<Row>, CypherError> {
@@ -1463,16 +1465,14 @@ fn expand_path_reversed(
             continue;
         }
         let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
-        let mut collect = |edges: &mut dyn Iterator<Item = EdgeId>, incoming: bool| {
-            for e in edges {
-                let edge = pg.edge(e);
-                let label_ok = rel.labels.is_empty()
-                    || pg
-                        .edge_labels_of(e)
-                        .iter()
-                        .any(|l| rel.labels.iter().any(|rl| rl == l));
-                if label_ok {
-                    let other = if incoming { edge.src } else { edge.dst };
+        let mut collect = |edges: &[EdgeId], incoming: bool| {
+            for &e in edges {
+                if !pg.edge_live(e) {
+                    continue;
+                }
+                if pg.edge_has_any_label(e, &rel.labels) {
+                    let (src, dst) = pg.edge_endpoints(e);
+                    let other = if incoming { src } else { dst };
                     candidates.push((e, other));
                 }
             }
@@ -1480,11 +1480,11 @@ fn expand_path_reversed(
         // The hop direction is written relative to the start node; anchored
         // at the end we walk the opposite adjacency list.
         match rel.direction {
-            Direction::Out => collect(&mut pg.in_edges(anchor), true),
-            Direction::In => collect(&mut pg.out_edges(anchor), false),
+            Direction::Out => collect(pg.in_adjacency(anchor), true),
+            Direction::In => collect(pg.out_adjacency(anchor), false),
             Direction::Undirected => {
-                collect(&mut pg.out_edges(anchor), false);
-                collect(&mut pg.in_edges(anchor), true);
+                collect(pg.out_adjacency(anchor), false);
+                collect(pg.in_adjacency(anchor), true);
             }
         }
         for (e, start_node) in candidates {
@@ -1504,8 +1504,8 @@ fn expand_path_reversed(
     Ok(out)
 }
 
-fn expand_path(
-    pg: &PropertyGraph,
+fn expand_path<G: PgRead>(
+    pg: &G,
     pattern: &PathPattern,
     probe: Option<&Probe>,
     rows: Vec<Row>,
@@ -1537,8 +1537,8 @@ fn expand_path(
 
 /// Walk a pattern's hops from the seeded anchor rows, binding relationships
 /// and target nodes via adjacency expansion.
-fn expand_hops(
-    pg: &PropertyGraph,
+fn expand_hops<G: PgRead>(
+    pg: &G,
     pattern: &PathPattern,
     mut current: Vec<Row>,
 ) -> Result<Vec<Row>, CypherError> {
@@ -1549,26 +1549,24 @@ fn expand_hops(
                 continue;
             };
             let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
-            let mut collect = |edges: &mut dyn Iterator<Item = EdgeId>, outgoing: bool| {
-                for e in edges {
-                    let edge = pg.edge(e);
-                    let label_ok = rel.labels.is_empty()
-                        || pg
-                            .edge_labels_of(e)
-                            .iter()
-                            .any(|l| rel.labels.iter().any(|rl| rl == l));
-                    if label_ok {
-                        let other = if outgoing { edge.dst } else { edge.src };
+            let mut collect = |edges: &[EdgeId], outgoing: bool| {
+                for &e in edges {
+                    if !pg.edge_live(e) {
+                        continue;
+                    }
+                    if pg.edge_has_any_label(e, &rel.labels) {
+                        let (src, dst) = pg.edge_endpoints(e);
+                        let other = if outgoing { dst } else { src };
                         candidates.push((e, other));
                     }
                 }
             };
             match rel.direction {
-                Direction::Out => collect(&mut pg.out_edges(anchor), true),
-                Direction::In => collect(&mut pg.in_edges(anchor), false),
+                Direction::Out => collect(pg.out_adjacency(anchor), true),
+                Direction::In => collect(pg.in_adjacency(anchor), false),
                 Direction::Undirected => {
-                    collect(&mut pg.out_edges(anchor), true);
-                    collect(&mut pg.in_edges(anchor), false);
+                    collect(pg.out_adjacency(anchor), true);
+                    collect(pg.in_adjacency(anchor), false);
                 }
             }
             for (e, target) in candidates {
@@ -1605,11 +1603,11 @@ fn expand_hops(
     Ok(current)
 }
 
-fn node_matches(pg: &PropertyGraph, node: NodeId, pattern: &NodePattern) -> bool {
+fn node_matches<G: PgRead>(pg: &G, node: NodeId, pattern: &NodePattern) -> bool {
     pattern.labels.iter().all(|l| pg.has_label(node, l))
 }
 
-fn eval(pg: &PropertyGraph, expr: &Expr, row: &Row) -> Option<Value> {
+fn eval<G: PgRead>(pg: &G, expr: &Expr, row: &Row) -> Option<Value> {
     match expr {
         Expr::Null => None,
         Expr::Lit(v) => Some(v.clone()),
@@ -1618,8 +1616,8 @@ fn eval(pg: &PropertyGraph, expr: &Expr, row: &Row) -> Option<Value> {
             Binding::Node(_) | Binding::Edge(_) => None,
         },
         Expr::Prop(var, key) => match row.get(var)? {
-            Binding::Node(n) => pg.prop(*n, key).cloned(),
-            Binding::Edge(e) => pg.edge_prop(*e, key).cloned(),
+            Binding::Node(n) => pg.prop_value(*n, key),
+            Binding::Edge(e) => pg.edge_prop_value(*e, key),
             Binding::Val(_) => None,
         },
         Expr::Coalesce(args) => args.iter().find_map(|a| eval(pg, a, row)),
@@ -1680,7 +1678,7 @@ fn compare(l: &Value, r: &Value) -> Option<std::cmp::Ordering> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use s3pg_pg::IRI_KEY;
+    use s3pg_pg::{PropertyGraph, IRI_KEY};
 
     fn graph() -> PropertyGraph {
         let mut pg = PropertyGraph::new();

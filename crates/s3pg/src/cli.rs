@@ -3,7 +3,7 @@
 //! ```text
 //! s3pg-convert --data graph.ttl [--shapes shapes.ttl] [--mode parsimonious]
 //!              [--out-dir out/] [--emit csv,ddl,yarspg,g2gml] [--validate]
-//!              [--threads N] [--metrics]
+//!              [--threads N] [--metrics] [--stats]
 //! ```
 //!
 //! Reads an RDF graph (Turtle `.ttl` or N-Triples `.nt`), obtains a SHACL
@@ -40,6 +40,10 @@ pub struct Options {
     /// Append the per-phase metrics report to the output (and write a
     /// machine-readable `metrics.json` next to the artifacts).
     pub show_metrics: bool,
+    /// Freeze the transformed PG into its compact form and report the
+    /// dictionary hit rate and compact/mutable byte ratio; the freeze is
+    /// timed as a `compact` pipeline phase.
+    pub show_stats: bool,
     /// Record the run's span tree and write it as JSONL to this path.
     pub trace_out: Option<PathBuf>,
 }
@@ -57,7 +61,7 @@ pub enum Artifact {
 pub const USAGE: &str = "usage: s3pg-convert --data FILE[.ttl|.nt] [--shapes FILE.ttl] \
                          [--mode parsimonious|non-parsimonious] [--out-dir DIR] \
                          [--emit csv,ddl,yarspg,g2gml] [--validate] [--verify-roundtrip] \
-                         [--threads N] [--metrics] [--trace-out FILE.jsonl]";
+                         [--threads N] [--metrics] [--stats] [--trace-out FILE.jsonl]";
 
 /// Parse argv-style arguments (without the program name).
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -70,6 +74,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     let mut verify_roundtrip = false;
     let mut threads = 1usize;
     let mut show_metrics = false;
+    let mut show_stats = false;
     let mut trace_out = None;
 
     let mut it = args.into_iter();
@@ -109,6 +114,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                     .ok_or(format!("--threads needs a positive integer, got '{n}'"))?;
             }
             "--metrics" => show_metrics = true,
+            "--stats" => show_stats = true,
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?))
             }
@@ -126,6 +132,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         verify_roundtrip,
         threads,
         show_metrics,
+        show_stats,
         trace_out,
     })
 }
@@ -241,6 +248,29 @@ pub fn run(options: &Options) -> Result<String, String> {
         );
     }
 
+    let compacted = options.show_stats.then(|| {
+        let _span = tracer.span_here("compact");
+        let started = std::time::Instant::now();
+        let compact = out.pg.freeze();
+        (compact, started.elapsed())
+    });
+    if let Some((compact, wall)) = &compacted {
+        let mutable_bytes = out.pg.deep_size_bytes();
+        let compact_bytes = compact.deep_size_bytes();
+        let _ = writeln!(
+            report,
+            "compact: {compact_bytes} bytes vs {mutable_bytes} mutable ({:.2}x), frozen in {wall:?}",
+            compact_bytes as f64 / mutable_bytes.max(1) as f64,
+        );
+        let _ = writeln!(
+            report,
+            "dictionary: {} entries, {} bytes, {:.1}% hit rate",
+            compact.dict_len(),
+            compact.dict_size_bytes(),
+            compact.dict_hit_rate() * 100.0,
+        );
+    }
+
     let metrics_with_parse: Option<PipelineMetrics> = options.show_metrics.then(|| {
         let mut metrics = out.metrics.clone();
         metrics.phases.insert(
@@ -252,6 +282,14 @@ pub fn run(options: &Options) -> Result<String, String> {
                 unit: "triples",
             },
         );
+        if let Some((_, wall)) = &compacted {
+            metrics.phases.push(PhaseSpan {
+                name: "compact",
+                wall: *wall,
+                items: (stats.nodes + stats.edges) as u64,
+                unit: "elements",
+            });
+        }
         metrics
     });
     if let Some(metrics) = &metrics_with_parse {
@@ -355,6 +393,7 @@ mod tests {
         assert!(!o.validate_input);
         assert_eq!(o.threads, 1);
         assert!(!o.show_metrics);
+        assert!(!o.show_stats);
         assert_eq!(o.trace_out, None);
     }
 
@@ -376,6 +415,7 @@ mod tests {
             "--threads",
             "8",
             "--metrics",
+            "--stats",
             "--trace-out",
             "trace.jsonl",
         ])
@@ -388,6 +428,7 @@ mod tests {
         assert!(o.validate_input && o.verify_roundtrip);
         assert_eq!(o.threads, 8);
         assert!(o.show_metrics);
+        assert!(o.show_stats);
         assert_eq!(o.trace_out, Some(PathBuf::from("trace.jsonl")));
     }
 
@@ -419,6 +460,7 @@ mod tests {
                 verify_roundtrip: false,
                 threads: 1,
                 show_metrics: false,
+                show_stats: false,
                 trace_out: None,
             })
         };
@@ -484,6 +526,7 @@ mod tests {
             verify_roundtrip: true,
             threads: 2,
             show_metrics: true,
+            show_stats: true,
             trace_out: Some(dir.join("out/trace.jsonl")),
         };
         let report = run(&options).unwrap();
@@ -494,6 +537,8 @@ mod tests {
         assert!(report.contains("parse"), "{report}");
         assert!(report.contains("shard skew"), "{report}");
         assert!(report.contains("wrote metrics.json"), "{report}");
+        assert!(report.contains("compact: "), "{report}");
+        assert!(report.contains("% hit rate"), "{report}");
         for f in [
             "nodes.csv",
             "relationships.csv",
@@ -513,6 +558,7 @@ mod tests {
             "phase1_nodes",
             "phase2_props",
             "conformance",
+            "compact",
         ] {
             assert!(json.contains(&format!("\"name\":\"{phase}\"")), "{json}");
         }
@@ -531,6 +577,7 @@ mod tests {
             "phase2_props",
             "shard",
             "conformance",
+            "compact",
             "emit",
         ] {
             assert!(

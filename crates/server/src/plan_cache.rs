@@ -23,7 +23,7 @@
 //! `s3pg_plan_cache_hit` / `s3pg_plan_cache_miss`.
 
 use s3pg_obs::{Counter, Registry};
-use s3pg_pg::PropertyGraph;
+use s3pg_pg::PgRead;
 use s3pg_query::cypher::{self, CypherPlan, CypherQuery};
 use s3pg_query::sparql::SelectQuery;
 use std::collections::HashMap;
@@ -59,8 +59,11 @@ impl CachedCypher {
     }
 
     /// The plan for `epoch`, replanning from the cached AST if the cached
-    /// one was computed against an older snapshot.
-    pub fn plan_for(&self, pg: &PropertyGraph, epoch: u64, replans: &Counter) -> Arc<CypherPlan> {
+    /// one was computed against an older snapshot. Generic over the graph
+    /// representation: plans are a pure function of cardinality statistics,
+    /// which the mutable and compact forms of one snapshot share — so a
+    /// plan computed against either serves both under the same epoch.
+    pub fn plan_for<G: PgRead>(&self, pg: &G, epoch: u64, replans: &Counter) -> Arc<CypherPlan> {
         let mut guard = self.plan.lock().unwrap_or_else(|e| e.into_inner());
         if guard.0 != epoch {
             replans.inc();
@@ -159,6 +162,7 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use s3pg_pg::PropertyGraph;
 
     fn cache() -> (Arc<Registry>, PlanCache) {
         let registry = Arc::new(Registry::new());

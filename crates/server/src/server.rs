@@ -530,7 +530,13 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
                     let entry = Arc::new(CachedEntry::Cypher(match cypher::parse(query) {
                         Ok(ast) => {
                             let ast = Arc::new(ast);
-                            let plan = Arc::new(cypher::plan(&snap.pg, &ast));
+                            // Plan against whichever representation the
+                            // evaluation below will use; the statistics
+                            // (and so the plan) are identical either way.
+                            let plan = Arc::new(match snap.compact() {
+                                Some(compact) => cypher::plan(compact.as_ref(), &ast),
+                                None => cypher::plan(&snap.pg, &ast),
+                            });
                             Ok(CachedCypher::new(ast, snap.epoch, plan))
                         }
                         Err(e) => Err(e.to_string()),
@@ -550,10 +556,21 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
                 }
                 CachedEntry::Sparql(Ok(_)) => unreachable!("endpoint-prefixed cache key"),
             };
-            let plan = cached.plan_for(&snap.pg, snap.epoch, shared.plan_cache.replan_counter());
-            let result = {
-                let _span = tracer().span_here("query_eval");
-                cypher::evaluate_planned(&snap.pg, &cached.ast, &plan, 1)
+            // Serve from the read-optimized compact form when background
+            // compaction has landed it; fall back to the mutable PG in the
+            // window right after an update.
+            let replans = shared.plan_cache.replan_counter();
+            let result = match snap.compact() {
+                Some(compact) => {
+                    let plan = cached.plan_for(compact.as_ref(), snap.epoch, replans);
+                    let _span = tracer().span_here("query_eval");
+                    cypher::evaluate_planned(compact.as_ref(), &cached.ast, &plan, 1)
+                }
+                None => {
+                    let plan = cached.plan_for(&snap.pg, snap.epoch, replans);
+                    let _span = tracer().span_here("query_eval");
+                    cypher::evaluate_planned(&snap.pg, &cached.ast, &plan, 1)
+                }
             };
             match result {
                 Ok(rows) => Response::Cypher {

@@ -21,6 +21,22 @@
 //! O(|G|) — the right trade for a read-mostly serving workload, since it
 //! keeps the read path completely wait-free; a copy-on-write store is the
 //! obvious next step when update volume grows.
+//!
+//! ## Background compaction
+//!
+//! Each published snapshot is additionally *frozen* into a read-optimized
+//! [`CompactGraph`] (CSR adjacency + graph-wide value dictionary) that the
+//! Cypher read path prefers when present. The startup snapshot freezes
+//! synchronously — the server never serves its initial graph from the
+//! mutable form. Updates publish the mutable snapshot immediately (an
+//! acknowledged update is visible to the very next read) and compact on a
+//! detached background thread; the compact form lands in the snapshot's
+//! [`OnceLock`] in place, so readers that grabbed the snapshot before
+//! compaction finished simply keep using the mutable PG, and no second
+//! snapshot swap (or epoch bump) is needed — plans are computed from
+//! cardinality statistics that are identical across both representations,
+//! so one epoch covers both. A compaction whose snapshot was already
+//! superseded by a newer update is skipped.
 
 use s3pg::data_transform::TransformState;
 use s3pg::incremental::apply_ntriples_delta;
@@ -29,11 +45,12 @@ use s3pg::schema_transform::SchemaTransform;
 use s3pg::{Mode, S3pgError};
 use s3pg_obs::Registry;
 use s3pg_pg::conformance;
-use s3pg_pg::PropertyGraph;
+use s3pg_pg::{CompactGraph, PropertyGraph};
 use s3pg_rdf::Graph;
 use s3pg_shacl::ShapeSchema;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 /// An immutable point-in-time view served to readers.
 #[derive(Debug)]
@@ -53,6 +70,18 @@ pub struct Snapshot {
     /// graph (and so its cardinality statistics) changed and the plan is
     /// recomputed from the cached AST.
     pub epoch: u64,
+    /// The read-optimized frozen form of [`pg`](Snapshot::pg), filled by
+    /// background compaction after publication (synchronously for the
+    /// startup snapshot). Empty only in the window between an update's
+    /// publication and its compaction finishing.
+    compact: OnceLock<Arc<CompactGraph>>,
+}
+
+impl Snapshot {
+    /// The compact form, once background compaction has landed it.
+    pub fn compact(&self) -> Option<&Arc<CompactGraph>> {
+        self.compact.get()
+    }
 }
 
 /// What an applied delta changed.
@@ -77,7 +106,9 @@ struct Master {
 
 /// Concurrently readable, serially updatable graph store.
 pub struct GraphStore {
-    snapshot: RwLock<Arc<Snapshot>>,
+    /// `Arc` so detached compaction threads can re-check which snapshot is
+    /// current without borrowing the store.
+    snapshot: Arc<RwLock<Arc<Snapshot>>>,
     master: Mutex<Master>,
     /// Next snapshot's epoch (the startup snapshot is 0). Bumped under the
     /// master lock, so epochs are published in apply order.
@@ -124,7 +155,31 @@ fn publish(
         conforms,
         mem_bytes: rdf_bytes + pg_bytes,
         epoch,
+        compact: OnceLock::new(),
     })
+}
+
+/// Freeze `snap.pg` into its compact form, publish the compaction gauges,
+/// and land the result in the snapshot's `OnceLock`.
+fn compact_into(registry: &Registry, snap: &Snapshot) {
+    let started = Instant::now();
+    let compact = Arc::new(snap.pg.freeze());
+    registry
+        .gauge("s3pg_compaction_wall_microseconds")
+        .set_u64(started.elapsed().as_micros() as u64);
+    registry
+        .gauge("s3pg_mem_pg_compact_bytes")
+        .set_u64(compact.deep_size_bytes() as u64);
+    registry
+        .gauge("s3pg_pg_dict_entries")
+        .set_u64(compact.dict_len() as u64);
+    registry
+        .gauge("s3pg_mem_pg_dict_bytes")
+        .set_u64(compact.dict_size_bytes() as u64);
+    registry.counter("s3pg_compactions_total").inc();
+    // `set` can only lose a race against another compaction of the same
+    // snapshot, which `apply_update` never spawns; ignore the result.
+    let _ = snap.compact.set(compact);
 }
 
 impl GraphStore {
@@ -141,8 +196,10 @@ impl GraphStore {
             out.conformance.conforms(),
             0,
         );
+        // Synchronous: the startup graph is served compact from request 1.
+        compact_into(&registry, &snapshot);
         GraphStore {
-            snapshot: RwLock::new(snapshot),
+            snapshot: Arc::new(RwLock::new(snapshot)),
             master: Mutex::new(Master {
                 rdf,
                 pg: out.pg,
@@ -219,7 +276,23 @@ impl GraphStore {
         );
         // Publish while still holding the master lock, so snapshots are
         // swapped in the same order updates were applied.
-        *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = next;
+        *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = Arc::clone(&next);
+
+        // Compact off the write path: the update is acknowledged (and
+        // readable) now; the frozen form lands in `next.compact` whenever
+        // the detached thread finishes. Skipped if a newer snapshot was
+        // published in the meantime — that one spawns its own compaction.
+        let registry = Arc::clone(&self.registry);
+        let current = Arc::clone(&self.snapshot);
+        std::thread::spawn(move || {
+            let still_current = {
+                let guard = current.read().unwrap_or_else(|e| e.into_inner());
+                Arc::ptr_eq(&guard, &next)
+            };
+            if still_current {
+                compact_into(&registry, &next);
+            }
+        });
         Ok(summary)
     }
 }
@@ -336,6 +409,49 @@ mod tests {
             store.registry().counter("s3pg_updates_applied_total").get(),
             1
         );
+    }
+
+    #[test]
+    fn snapshots_carry_compact_forms() {
+        use s3pg_pg::PgRead;
+        let store = store();
+        // The startup snapshot compacts synchronously.
+        let snap = store.snapshot();
+        let compact = snap.compact().expect("startup snapshot is compacted");
+        assert_eq!(compact.node_count(), 2);
+        assert_eq!(compact.edge_count(), 1);
+        let text = store.registry().expose();
+        for family in [
+            "s3pg_mem_pg_compact_bytes",
+            "s3pg_pg_dict_entries",
+            "s3pg_mem_pg_dict_bytes",
+            "s3pg_compaction_wall_microseconds",
+        ] {
+            assert!(text.contains(family), "{family} missing from:\n{text}");
+        }
+        // Updates compact in the background: the new snapshot is readable
+        // immediately and its compact form lands shortly after.
+        store
+            .apply_update(
+                "<http://ex/c> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n\
+                 <http://ex/c> <http://ex/name> \"C\" .\n",
+                "",
+            )
+            .unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        let compacted = loop {
+            let snap = store.snapshot();
+            if let Some(compact) = snap.compact() {
+                break Arc::clone(compact);
+            }
+            assert!(
+                Instant::now() < deadline,
+                "background compaction never landed"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        };
+        assert_eq!(compacted.node_count(), 3);
+        assert!(store.registry().counter("s3pg_compactions_total").get() >= 2);
     }
 
     #[test]

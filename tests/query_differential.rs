@@ -344,6 +344,112 @@ fn property_index_consistent_after_removals() {
     assert_index_matches_scan(&pg, &history, "after re-adds");
 }
 
+/// Interleaved direct adds, tombstone-heavy removals, and incremental
+/// delta batches: the `(label, key, value)` index must keep answering
+/// exactly like a full scan at every step, and removal rounds must
+/// *reclaim* index memory — `prop_index_size_bytes` cannot grow
+/// monotonically across removals (empty value buckets are dropped, so a
+/// tombstone-heavy round always ends below the round's peak).
+#[test]
+fn property_index_survives_interleaved_adds_removals_and_deltas() {
+    let generated = workload();
+    let shapes = extract_shapes(&generated.graph);
+
+    // Entity-granular delta batches, as the serving write path delivers.
+    let mut rng = XorShiftRng::seed_from_u64(0xBEEF);
+    let batches = 3usize;
+    let mut deltas: Vec<Graph> = (0..batches).map(|_| Graph::new()).collect();
+    for s_term in generated.graph.subjects_distinct() {
+        let k = rng.choose_index(batches).unwrap();
+        let batch = &mut deltas[k];
+        for t in generated.graph.match_pattern(Some(s_term), None, None) {
+            let s = batch.import_term(&generated.graph, t.s);
+            let p = batch.import_sym(&generated.graph, t.p);
+            let o = batch.import_term(&generated.graph, t.o);
+            batch.insert(s, p, o);
+        }
+    }
+
+    let empty = Graph::new();
+    let out = transform(&empty, &shapes, Mode::Parsimonious);
+    let (mut pg, mut schema, mut state) = (out.pg, out.schema, out.state);
+    let mut history = BTreeMap::new();
+    for (round, delta) in deltas.iter().enumerate() {
+        // Incremental-delta batch (may leave forward-reference placeholders
+        // that a later round upgrades).
+        apply_additions(&mut pg, &mut schema, &mut state, delta);
+
+        // Direct adds: a burst of scratch nodes with unique and shared
+        // values, linked pairwise so their removal also tombstones edges.
+        let added: Vec<NodeId> = (0..40)
+            .map(|i| {
+                let id = pg.add_node(["Scratch"]);
+                pg.set_prop(id, "round", Value::Int(round as i64));
+                pg.set_prop(id, "tag", Value::String(format!("r{round}n{i}")));
+                id
+            })
+            .collect();
+        for pair in added.chunks(2) {
+            if let [a, b] = pair {
+                pg.add_edge(*a, *b, "scratch_link");
+            }
+        }
+        record_history(&pg, &mut history);
+        assert_index_matches_scan(&pg, &history, &format!("round {round}: after adds"));
+        let peak = pg.prop_index_size_bytes();
+
+        // Tombstone-heavy removals: every scratch node from this round,
+        // a random slice of properties and labels, a third of the edges.
+        for id in added {
+            pg.remove_node(id);
+        }
+        let ids: Vec<NodeId> = pg.node_ids().collect();
+        for id in ids {
+            match rng.choose_index(6).unwrap() {
+                0 => {
+                    if let Some((key, _)) = pg.node(id).props.first() {
+                        let key = pg.resolve(*key).to_string();
+                        pg.remove_prop(id, &key);
+                    }
+                }
+                1 => {
+                    if let Some(label) = pg.labels_of(id).first().map(|l| l.to_string()) {
+                        pg.remove_label(id, &label);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let edge_ids: Vec<_> = pg.edge_ids().collect();
+        for (j, id) in edge_ids.into_iter().enumerate() {
+            if j % 3 == 0 {
+                pg.remove_edge_by_id(id);
+            }
+        }
+        assert_index_matches_scan(&pg, &history, &format!("round {round}: after removals"));
+        let after = pg.prop_index_size_bytes();
+        assert!(
+            after < peak,
+            "round {round}: removals must reclaim index bytes ({after} >= {peak})"
+        );
+    }
+
+    // A final tombstone-heavy pass over everything that's left.
+    let peak = pg.prop_index_size_bytes();
+    let ids: Vec<NodeId> = pg.node_ids().collect();
+    for (j, id) in ids.into_iter().enumerate() {
+        if j % 2 == 0 {
+            pg.remove_node(id);
+        }
+    }
+    assert_index_matches_scan(&pg, &history, "after final removals");
+    let end = pg.prop_index_size_bytes();
+    assert!(
+        end < peak,
+        "final removals must reclaim index bytes ({end} >= {peak})"
+    );
+}
+
 #[test]
 fn property_index_consistent_after_incremental_deltas() {
     let generated = workload();
