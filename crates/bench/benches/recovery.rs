@@ -1,0 +1,195 @@
+//! Restart-path benchmark: cold start vs WAL tail replay vs checkpoint
+//! load, emitting a machine-readable `BENCH_recovery.json`.
+//!
+//! ```text
+//! cargo bench --bench recovery -- [--scale F] [--updates N] [--out BENCH_recovery.json]
+//! ```
+//!
+//! Three restart scenarios over the same durable state:
+//!
+//! * **cold start** — no WAL history: parse `--data`, full transform.
+//! * **tail replay** — N logged updates, no checkpoint: cold start plus
+//!   a coalesced replay of the whole log.
+//! * **checkpoint restart** — a checkpoint covering all N: parse the
+//!   checkpoint's N-Triples, transform, adopt its compact snapshot,
+//!   replay nothing.
+//!
+//! The gap between the last two is what `--checkpoint-every` buys.
+
+use s3pg::Mode;
+use s3pg_bench::experiments::Dataset;
+use s3pg_bench::timing::{fmt_duration, section};
+use s3pg_obs::Registry;
+use s3pg_rdf::serializer::to_ntriples;
+use s3pg_server::recovery::{recover, RecoveryConfig};
+use s3pg_wal::WalOptions;
+use s3pg_workloads::spec::generate;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Restarts per scenario; the minimum is reported (the IO cache is warm
+/// after the first pass, matching a supervised restart-under-load).
+const RUNS: usize = 3;
+
+fn recover_timed(cfg: &RecoveryConfig) -> (Duration, Arc<s3pg_server::GraphStore>) {
+    let mut best: Option<(Duration, Arc<s3pg_server::GraphStore>)> = None;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        let recovered = recover(cfg, Arc::new(Registry::new())).expect("recovery failed");
+        let elapsed = t.elapsed();
+        if best.as_ref().is_none_or(|(d, _)| elapsed < *d) {
+            best = Some((elapsed, recovered.store));
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let mut scale = 0.15f64;
+    let mut updates = 200usize;
+    let mut out_path = "BENCH_recovery.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                if let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) {
+                    scale = v;
+                }
+            }
+            "--updates" => {
+                if let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    updates = v;
+                }
+            }
+            "--out" => {
+                if let Some(v) = it.next() {
+                    out_path = v;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("s3pg-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let dataset = generate(&Dataset::DBpedia2022.spec(scale));
+    let base_triples = dataset.graph.len();
+    let data = dir.join("base.nt");
+    std::fs::write(&data, to_ntriples(&dataset.graph)).unwrap();
+
+    let cfg = |wal_dir: Option<PathBuf>| RecoveryConfig {
+        data: data.clone(),
+        shapes: None,
+        mode: Mode::Parsimonious,
+        threads: 1,
+        wal_dir,
+        wal_options: WalOptions {
+            fsync_ms: 0,
+            ..WalOptions::default()
+        },
+    };
+    let wal_dir = dir.join("wal");
+
+    section("recovery/cold_start");
+    let (cold, store) = recover_timed(&cfg(Some(wal_dir.clone())));
+    println!("cold start (no WAL history): {}", fmt_duration(cold));
+
+    // Build the durable history: `updates` small additions.
+    for i in 0..updates {
+        store
+            .apply_update(
+                &format!(
+                    "<http://bench/extra{i}> <http://bench/name> \"extra {i}\" .\n\
+                     <http://bench/extra{i}> <http://bench/rank> \
+                     \"{i}\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+                ),
+                "",
+            )
+            .expect("update failed");
+    }
+    store.sync_wal().unwrap();
+    drop(store);
+
+    section("recovery/tail_replay");
+    let (tail_replay, store) = recover_timed(&cfg(Some(wal_dir.clone())));
+    println!(
+        "restart replaying {updates} WAL records: {}",
+        fmt_duration(tail_replay)
+    );
+
+    section("recovery/checkpoint");
+    let t = Instant::now();
+    let checkpoint_seq = store.checkpoint().expect("checkpoint failed");
+    let checkpoint_write = t.elapsed();
+    println!(
+        "checkpoint written at seq {:?} in {}",
+        checkpoint_seq,
+        fmt_duration(checkpoint_write)
+    );
+    drop(store);
+
+    let (checkpoint_restart, _store) = recover_timed(&cfg(Some(wal_dir)));
+    println!(
+        "restart from checkpoint (no replay): {}",
+        fmt_duration(checkpoint_restart)
+    );
+    println!(
+        "checkpoint restart is {:.2}x the cold start, tail replay {:.2}x",
+        checkpoint_restart.as_secs_f64() / cold.as_secs_f64().max(1e-9),
+        tail_replay.as_secs_f64() / cold.as_secs_f64().max(1e-9),
+    );
+
+    write_report(
+        Path::new(&out_path),
+        scale,
+        base_triples,
+        updates,
+        cold,
+        tail_replay,
+        checkpoint_write,
+        checkpoint_restart,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_report(
+    out: &Path,
+    scale: f64,
+    base_triples: usize,
+    updates: usize,
+    cold: Duration,
+    tail_replay: Duration,
+    checkpoint_write: Duration,
+    checkpoint_restart: Duration,
+) {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"dataset\": \"DBpedia2022\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"base_triples\": {base_triples},");
+    let _ = writeln!(json, "  \"wal_records\": {updates},");
+    let _ = writeln!(json, "  \"cold_start_us\": {},", cold.as_micros());
+    let _ = writeln!(
+        json,
+        "  \"tail_replay_restart_us\": {},",
+        tail_replay.as_micros()
+    );
+    let _ = writeln!(
+        json,
+        "  \"checkpoint_write_us\": {},",
+        checkpoint_write.as_micros()
+    );
+    let _ = writeln!(
+        json,
+        "  \"checkpoint_restart_us\": {}",
+        checkpoint_restart.as_micros()
+    );
+    json.push_str("}\n");
+    std::fs::write(out, &json).unwrap();
+    println!("\nwrote {}", out.display());
+}

@@ -80,7 +80,7 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
     );
 }
 
-/// Like [`bench`], but returns the full latency distribution (exact
+/// Like [`bench()`], but returns the full latency distribution (exact
 /// p50/p99 over the collected iterations) for machine-readable reports
 /// such as `BENCH_query.json`.
 pub fn bench_samples<R>(name: &str, mut f: impl FnMut() -> R) -> Samples {

@@ -73,11 +73,12 @@ impl CValue {
 /// probes stay O(1) through an open-addressed slot array holding 4-byte
 /// indexes into the string table instead of owned keys.
 #[derive(Debug, Clone)]
-struct FrozenDict {
-    strings: Box<[Box<str>]>,
+pub(crate) struct FrozenDict {
+    pub(crate) strings: Box<[Box<str>]>,
     /// Open-addressing hash slots at ≤50% load: `index + 1` into
     /// `strings`, with 0 marking an empty slot. Power-of-two length.
-    slots: Box<[u32]>,
+    /// Rebuildable from `strings` alone, so snapshots never persist it.
+    pub(crate) slots: Box<[u32]>,
 }
 
 /// FxHash of a dictionary string. The multiplicative scheme concentrates
@@ -91,7 +92,24 @@ fn dict_hash(s: &str) -> u64 {
 
 /// One equality-index entry: a `(label, key, value)` triple mapped to its
 /// range in the shared postings array.
-type EqEntry = ((Sym, Sym, CValue), (u32, u32));
+pub(crate) type EqEntry = ((Sym, Sym, CValue), (u32, u32));
+
+/// Build the open-addressed probe slots over a frozen equality index.
+/// Shared by [`PropertyGraph::freeze`] and the snapshot codec, which
+/// persists only the entries and rebuilds the slots on load.
+pub(crate) fn build_eq_slots(eq_index: &[EqEntry]) -> Box<[u32]> {
+    let slot_count = (eq_index.len() * 2).next_power_of_two();
+    let mask = slot_count - 1;
+    let mut eq_slots = vec![0u32; if eq_index.is_empty() { 0 } else { slot_count }];
+    for (i, (key, _)) in eq_index.iter().enumerate() {
+        let mut at = (eq_key_hash(key) >> 32) as usize & mask;
+        while eq_slots[at] != 0 {
+            at = (at + 1) & mask;
+        }
+        eq_slots[at] = i as u32 + 1;
+    }
+    eq_slots.into_boxed_slice()
+}
 
 /// FxHash of an equality-index key, for the same top-bits slot scheme.
 fn eq_key_hash(key: &(Sym, Sym, CValue)) -> u64 {
@@ -103,7 +121,12 @@ fn eq_key_hash(key: &(Sym, Sym, CValue)) -> u64 {
 
 impl FrozenDict {
     fn from_interner(interner: &Interner) -> FrozenDict {
-        let strings: Vec<Box<str>> = interner.iter().map(|(_, s)| s.into()).collect();
+        FrozenDict::from_strings(interner.iter().map(|(_, s)| s.into()).collect())
+    }
+
+    /// Build a dictionary from its string table alone, recomputing the
+    /// probe slots. The snapshot codec persists only the strings.
+    pub(crate) fn from_strings(strings: Vec<Box<str>>) -> FrozenDict {
         let slot_count = (strings.len() * 2).next_power_of_two();
         let mask = slot_count - 1;
         let mut slots = vec![0u32; if strings.is_empty() { 0 } else { slot_count }];
@@ -164,44 +187,44 @@ impl FrozenDict {
 pub struct CompactGraph {
     /// Label/key dictionary, frozen from the source graph's interner so
     /// `Sym`s stored in the columnar arrays keep their meaning.
-    keys: FrozenDict,
+    pub(crate) keys: FrozenDict,
     /// Graph-wide dictionary over string property values.
-    dict: FrozenDict,
+    pub(crate) dict: FrozenDict,
     /// Total string-value encodes performed during freeze; together with
     /// `dict.len()` this yields the dictionary hit rate.
-    dict_encodes: u64,
+    pub(crate) dict_encodes: u64,
 
     // Columnar node storage: `offsets[i]..offsets[i+1]` is node i's row.
-    node_label_offsets: Vec<u32>,
-    node_labels: Vec<Sym>,
-    node_prop_offsets: Vec<u32>,
-    node_props: Vec<(Sym, CValue)>,
+    pub(crate) node_label_offsets: Vec<u32>,
+    pub(crate) node_labels: Vec<Sym>,
+    pub(crate) node_prop_offsets: Vec<u32>,
+    pub(crate) node_props: Vec<(Sym, CValue)>,
 
     // Columnar edge storage.
-    edge_endpoints: Vec<(NodeId, NodeId)>,
-    edge_label_offsets: Vec<u32>,
-    edge_labels: Vec<Sym>,
-    edge_prop_offsets: Vec<u32>,
-    edge_props: Vec<(Sym, CValue)>,
+    pub(crate) edge_endpoints: Vec<(NodeId, NodeId)>,
+    pub(crate) edge_label_offsets: Vec<u32>,
+    pub(crate) edge_labels: Vec<Sym>,
+    pub(crate) edge_prop_offsets: Vec<u32>,
+    pub(crate) edge_props: Vec<(Sym, CValue)>,
 
     // CSR adjacency, rows sorted by (primary edge label, edge id).
-    out_offsets: Vec<u32>,
-    out_csr: Vec<EdgeId>,
-    in_offsets: Vec<u32>,
-    in_csr: Vec<EdgeId>,
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_csr: Vec<EdgeId>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_csr: Vec<EdgeId>,
 
     // Label index: ranges into one flat, id-sorted postings array.
-    by_label: FxHashMap<Sym, (u32, u32)>,
-    by_label_postings: Vec<NodeId>,
+    pub(crate) by_label: FxHashMap<Sym, (u32, u32)>,
+    pub(crate) by_label_postings: Vec<NodeId>,
 
     // Equality index over scalar properties: `(label, key, value)` ranges
     // into one flat, id-sorted postings array. Entries are key-sorted,
     // probed O(1) through an open-addressed slot array (`index + 1`,
     // 0 = empty) — the key set is frozen, so a flat array plus 4-byte
     // slots beats a hash table of owned keys without losing probe speed.
-    eq_index: Box<[EqEntry]>,
-    eq_slots: Box<[u32]>,
-    eq_postings: Vec<NodeId>,
+    pub(crate) eq_index: Box<[EqEntry]>,
+    pub(crate) eq_slots: Box<[u32]>,
+    pub(crate) eq_postings: Vec<NodeId>,
 }
 
 /// Encode a mutable-graph value into the dictionary, counting every string
@@ -355,16 +378,7 @@ impl CompactGraph {
             eq_index.push((key, (start, eq_postings.len() as u32)));
         }
         eq_index.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        let slot_count = (eq_index.len() * 2).next_power_of_two();
-        let mask = slot_count - 1;
-        let mut eq_slots = vec![0u32; if eq_index.is_empty() { 0 } else { slot_count }];
-        for (i, (key, _)) in eq_index.iter().enumerate() {
-            let mut at = (eq_key_hash(key) >> 32) as usize & mask;
-            while eq_slots[at] != 0 {
-                at = (at + 1) & mask;
-            }
-            eq_slots[at] = i as u32 + 1;
-        }
+        let eq_slots = build_eq_slots(&eq_index);
 
         CompactGraph {
             keys: FrozenDict::from_interner(pg.interner()),
@@ -386,7 +400,7 @@ impl CompactGraph {
             by_label,
             by_label_postings,
             eq_index: eq_index.into_boxed_slice(),
-            eq_slots: eq_slots.into_boxed_slice(),
+            eq_slots,
             eq_postings,
         }
     }

@@ -15,7 +15,11 @@
 //! * [`ddl`] renders schemas in the Figure 5 DDL style,
 //! * [`csv`] bulk-exports and re-ingests graphs, standing in for the
 //!   Neo4j loading stage of the paper's Table 4,
-//! * [`stats`] computes the Table 5 statistics.
+//! * [`stats`] computes the Table 5 statistics,
+//! * [`compact`] freezes a graph into the read-optimized [`CompactGraph`]
+//!   snapshot the server's hot path serves from, and [`snapshot`] gives
+//!   that frozen form a checksummed binary serialization so durability
+//!   checkpoints can reload it without re-freezing.
 
 pub mod compact;
 pub mod conformance;
@@ -25,6 +29,7 @@ pub mod ddl_parse;
 pub mod graph;
 pub mod read;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod value;
 pub mod yarspg;

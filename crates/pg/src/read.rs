@@ -2,8 +2,8 @@
 //!
 //! The Cypher engine (and the SPARQL-over-PG path that translates into it)
 //! is generic over [`PgRead`], so planned, sequential, and parallel
-//! evaluation run unchanged over either the mutable [`PropertyGraph`]
-//! (`crates/pg/src/graph.rs`) or the frozen, read-optimized
+//! evaluation run unchanged over either the mutable
+//! [`PropertyGraph`](crate::graph::PropertyGraph) or the frozen, read-optimized
 //! [`CompactGraph`](crate::compact::CompactGraph). The trait is shaped so
 //! both implementations answer from slices with no per-call allocation:
 //!

@@ -182,7 +182,7 @@ struct SinglePlan {
     cost: Vec<usize>,
 }
 
-/// A cardinality-ordered execution plan: one [`SinglePlan`] per UNION ALL
+/// A cardinality-ordered execution plan: one `SinglePlan` per UNION ALL
 /// part. Plans depend on the graph's statistics, so a cached plan is only
 /// valid for the snapshot it was computed against.
 #[derive(Debug, Clone, PartialEq)]

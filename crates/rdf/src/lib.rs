@@ -13,7 +13,9 @@
 //! * the RDF/RDFS/XSD/SHACL [vocabulary](vocab) used throughout the system,
 //! * dataset [statistics](stats) matching Table 2 of the paper,
 //! * a dependency-free deterministic [xorshift generator](rng) powering the
-//!   workload generators and randomized test suites in an offline build.
+//!   workload generators and randomized test suites in an offline build,
+//! * compile-time-tabled [CRC-32 checksums](crc32) framing the durability
+//!   layer's write-ahead-log records and checkpoint files.
 //!
 //! # Example
 //!
@@ -29,6 +31,7 @@
 //! assert!(g.contains(alice, knows, bob));
 //! ```
 
+pub mod crc32;
 pub mod error;
 pub mod fxhash;
 pub mod graph;

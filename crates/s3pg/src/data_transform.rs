@@ -38,7 +38,7 @@ pub const LANG_KEY: &str = "lang";
 /// A carrier node standing in for a resource object whose entity was
 /// unknown when its triple was ingested — a *forward reference* across
 /// deltas. If the entity materialises in a later delta, the carrier is
-/// replaced with a real edge (see [`repair_pending_refs`]), which is what
+/// replaced with a real edge (see `repair_pending_refs`), which is what
 /// keeps `F_dt(G ∪ Δ) = F_dt(G) ∪ F_dt(Δ)` exact regardless of how a
 /// workload is split into deltas.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,10 +66,10 @@ pub struct TransformState {
     /// The mode the data was transformed under.
     pub mode: Mode,
     /// Memo of already-verified widenings: key
-    /// ([`widen_cache_key`]: subject types + edge label) → admitted target
+    /// (`widen_cache_key`: subject types + edge label) → admitted target
     /// types, so the monotone schema-widening check runs once per
     /// combination rather than once per triple. The subject types are part
-    /// of the key because [`widen_edge_type`] creates edge types per
+    /// of the key because `widen_edge_type` creates edge types per
     /// source type — a label-only memo would skip source types it has
     /// never widened.
     pub widen_cache: FxHashMap<String, s3pg_rdf::fxhash::FxHashSet<String>>,

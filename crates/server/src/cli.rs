@@ -1,12 +1,21 @@
 //! Argument parsing and startup for the `s3pg-serve` binary. The logic
 //! lives here (unit-testable); the binary is a thin wrapper.
+//!
+//! Startup order matters for durability: the listener binds *first* (so
+//! health checks and metrics answer immediately, with a typed
+//! `recovering` error for graph requests), then [`crate::recovery`]
+//! rebuilds the store from checkpoint + WAL tail, then the store is
+//! installed and the checkpointer/replicator threads start.
 
-use crate::server::{serve, ServerConfig, ServerHandle};
+use crate::recovery::{recover, RecoveryConfig};
+use crate::server::{serve_deferred, ServerConfig, ServerHandle, ShutdownWatcher};
 use crate::store::GraphStore;
 use s3pg::Mode;
-use s3pg_shacl::parser::parse_shacl_turtle;
-use s3pg_shacl::{extract_shapes, ShapeSchema};
+use s3pg_obs::Registry;
+use s3pg_wal::WalOptions;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,12 +32,25 @@ pub struct Options {
     /// Slow-query log threshold in milliseconds (`None` disables the log,
     /// `0` logs every request).
     pub slow_query_ms: Option<u64>,
+    /// Directory for the write-ahead log and checkpoints. `None` serves
+    /// ephemerally: updates are lost on restart.
+    pub wal_dir: Option<PathBuf>,
+    /// Write a checkpoint every this many applied records.
+    pub checkpoint_every: u64,
+    /// Group-commit dally window in milliseconds (0 = flush immediately).
+    pub fsync_ms: u64,
+    /// Flush without dallying once this many commits are pending.
+    pub fsync_batch: u64,
+    /// Run as a read-only replica of this primary (`HOST:PORT`).
+    pub replica_of: Option<String>,
 }
 
 /// Usage text.
 pub const USAGE: &str = "usage: s3pg-serve --data FILE[.ttl|.nt] [--shapes FILE.ttl] \
                          [--mode parsimonious|non-parsimonious] [--addr HOST:PORT] \
-                         [--workers N] [--queue N] [--threads N] [--slow-query-ms MS]";
+                         [--workers N] [--queue N] [--threads N] [--slow-query-ms MS] \
+                         [--wal-dir DIR] [--checkpoint-every N] [--fsync-ms MS] \
+                         [--fsync-batch N] [--replica-of HOST:PORT]";
 
 /// Parse argv-style arguments (without the program name).
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -40,6 +62,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     let mut queue_capacity = 64usize;
     let mut threads = 1usize;
     let mut slow_query_ms = None;
+    let mut wal_dir = None;
+    let mut checkpoint_every = 512u64;
+    let mut fsync_ms = WalOptions::default().fsync_ms;
+    let mut fsync_batch = WalOptions::default().fsync_batch;
+    let mut replica_of = None;
 
     let positive = |flag: &str, value: Option<String>| -> Result<usize, String> {
         let v = value.ok_or(format!("{flag} needs a count"))?;
@@ -47,6 +74,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             .ok()
             .filter(|&n| n >= 1)
             .ok_or(format!("{flag} needs a positive integer, got '{v}'"))
+    };
+    let non_negative = |flag: &str, value: Option<String>| -> Result<u64, String> {
+        let v = value.ok_or(format!("{flag} needs a count"))?;
+        v.parse::<u64>()
+            .map_err(|_| format!("{flag} needs a non-negative integer, got '{v}'"))
     };
 
     let mut it = args.into_iter();
@@ -66,11 +98,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             "--queue" => queue_capacity = positive("--queue", it.next())?,
             "--threads" => threads = positive("--threads", it.next())?,
             "--slow-query-ms" => {
-                let v = it.next().ok_or("--slow-query-ms needs a count")?;
-                slow_query_ms = Some(v.parse::<u64>().map_err(|_| {
-                    format!("--slow-query-ms needs a non-negative integer, got '{v}'")
-                })?);
+                slow_query_ms = Some(non_negative("--slow-query-ms", it.next())?);
             }
+            "--wal-dir" => {
+                wal_dir = Some(PathBuf::from(it.next().ok_or("--wal-dir needs a path")?))
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = positive("--checkpoint-every", it.next())? as u64;
+            }
+            "--fsync-ms" => fsync_ms = non_negative("--fsync-ms", it.next())?,
+            "--fsync-batch" => fsync_batch = positive("--fsync-batch", it.next())? as u64,
+            "--replica-of" => replica_of = Some(it.next().ok_or("--replica-of needs HOST:PORT")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -84,47 +122,124 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         queue_capacity,
         threads,
         slow_query_ms,
+        wal_dir,
+        checkpoint_every,
+        fsync_ms,
+        fsync_batch,
+        replica_of,
     })
 }
 
-/// Load inputs, build the store, and start serving. Returns the running
-/// server and a one-line startup report.
+/// How often the checkpointer re-checks the applied-records threshold.
+const CHECKPOINT_POLL: Duration = Duration::from_millis(200);
+
+/// Load inputs, recover the store, and start serving. Returns the
+/// running server and a human-readable startup report.
 pub fn start(options: &Options) -> Result<(ServerHandle, String), String> {
-    let graph = s3pg::cli::load_graph_with(&options.data, options.threads)?;
-    let shapes: ShapeSchema = match &options.shapes {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            parse_shacl_turtle(&text).map_err(|e| e.to_string())?
-        }
-        None => extract_shapes(&graph),
+    let registry = Arc::new(Registry::new());
+    let config = ServerConfig {
+        workers: options.workers,
+        queue_capacity: options.queue_capacity,
+        slow_query_threshold: options.slow_query_ms.map(Duration::from_millis),
     };
-    let triples = graph.len();
-    let store = GraphStore::new(graph, &shapes, options.mode, options.threads);
+    // Bind before recovery: a long WAL replay keeps the port reachable
+    // (health/metrics answer; graph requests get `recovering`).
+    let (mut handle, installer) = serve_deferred(&options.addr, config, Arc::clone(&registry))
+        .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+
+    let recovered = match recover(
+        &RecoveryConfig {
+            data: options.data.clone(),
+            shapes: options.shapes.clone(),
+            mode: options.mode,
+            threads: options.threads,
+            wal_dir: options.wal_dir.clone(),
+            wal_options: WalOptions {
+                fsync_ms: options.fsync_ms,
+                fsync_batch: options.fsync_batch,
+                ..WalOptions::default()
+            },
+        },
+        Arc::clone(&registry),
+    ) {
+        Ok(recovered) => recovered,
+        Err(e) => {
+            handle.shutdown();
+            handle.join();
+            return Err(e);
+        }
+    };
+    let store = recovered.store;
     let snapshot = store.snapshot();
-    let report_base = format!(
+    let replica = options.replica_of.is_some();
+    installer.install(Arc::clone(&store), replica);
+
+    if store.wal().is_some() {
+        handle.adopt_thread(spawn_checkpointer(
+            Arc::clone(&store),
+            options.checkpoint_every,
+            handle.shutdown_watcher(),
+        ));
+    }
+    if let Some(primary) = &options.replica_of {
+        let store = Arc::clone(&store);
+        let primary = primary.clone();
+        let watcher = handle.shutdown_watcher();
+        handle.adopt_thread(
+            std::thread::Builder::new()
+                .name("s3pg-replicator".to_string())
+                .spawn(move || crate::replica::run(store, primary, watcher))
+                .map_err(|e| format!("cannot spawn replicator: {e}"))?,
+        );
+    }
+
+    let mut report = format!(
         "serving {} triples as {} nodes / {} edges ({}, PG {} S_PG)",
-        triples,
+        snapshot.rdf.len(),
         snapshot.pg.node_count(),
         snapshot.pg.edge_count(),
         options.mode.name(),
         if snapshot.conforms { "⊨" } else { "⊭" },
     );
-    let handle = serve(
-        &options.addr,
-        store,
-        ServerConfig {
-            workers: options.workers,
-            queue_capacity: options.queue_capacity,
-            slow_query_threshold: options.slow_query_ms.map(std::time::Duration::from_millis),
-        },
-    )
-    .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
-    let report = format!(
-        "{report_base}\nlistening on {} ({} workers, queue {})",
+    for line in &recovered.report {
+        report.push('\n');
+        report.push_str(line);
+    }
+    if let Some(primary) = &options.replica_of {
+        report.push_str(&format!("\nread-only replica of {primary}"));
+    }
+    report.push_str(&format!(
+        "\nlistening on {} ({} workers, queue {})",
         handle.addr, options.workers, options.queue_capacity
-    );
+    ));
     Ok((handle, report))
+}
+
+/// Checkpoint once `checkpoint_every` records have been applied past the
+/// last checkpoint. Runs until shutdown; a failed checkpoint logs and
+/// retries on the next threshold crossing (the WAL alone is still a
+/// complete recovery story, just a slower one).
+fn spawn_checkpointer(
+    store: Arc<GraphStore>,
+    checkpoint_every: u64,
+    watcher: ShutdownWatcher,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("s3pg-checkpointer".to_string())
+        .spawn(move || {
+            while !watcher.is_shutdown() {
+                std::thread::sleep(CHECKPOINT_POLL);
+                let behind = store.applied_seq().saturating_sub(store.checkpoint_seq());
+                if behind >= checkpoint_every {
+                    match store.checkpoint() {
+                        Ok(Some(seq)) => eprintln!("checkpoint written at seq {seq}"),
+                        Ok(None) => {}
+                        Err(e) => eprintln!("checkpoint failed (will retry): {e}"),
+                    }
+                }
+            }
+        })
+        .expect("spawn checkpointer")
 }
 
 #[cfg(test)]

@@ -7,18 +7,30 @@
 //! snapshots while N-Triples deltas stream through the monotonic update
 //! path — no re-transformation, no downtime.
 //!
+//! With `--wal-dir` the server is also *durable*: every acknowledged
+//! update is fsynced to a write-ahead log of N-Triples deltas
+//! ([`s3pg_wal`]) before the ack, periodic checkpoints bound restart
+//! time, and read replicas (`--replica-of`) follow the primary's
+//! committed log — all riding on the same monotonicity property
+//! (F(G∪Δ) = F(G)∪F(Δ)) that powers the incremental update path.
+//!
 //! * [`json`] — dependency-free JSON for the wire protocol.
 //! * [`protocol`] — line-delimited JSON requests/responses with *typed*
 //!   error frames (`bad_request`, `parse`, `query`, `overloaded`,
-//!   `shutting_down`, `internal`).
+//!   `shutting_down`, `internal`, `recovering`, `read_only`).
 //! * [`store`] — `RwLock`-published `Arc` snapshots for lock-free reads;
-//!   a mutex-serialized writer applying deltas via [`s3pg::incremental`].
+//!   a mutex-serialized writer applying deltas via [`s3pg::incremental`],
+//!   logging each applied delta to the WAL and group-committing outside
+//!   the write lock.
 //! * [`plan_cache`] — normalized-text → parsed AST + epoch-tagged query
 //!   plan; repeat queries skip parse and planning entirely.
 //! * [`server`] — fixed worker pool, bounded accept queue with load
 //!   shedding, per-endpoint request/error/latency metrics and per-request
 //!   trace spans built on [`s3pg_obs`], a slow-query log, graceful drain
-//!   on `shutdown`/signal.
+//!   on `shutdown`/signal, deferred store install (typed `recovering`
+//!   frames while the WAL replays), and the `replicate`/`wal` endpoints.
+//! * [`recovery`] — boot-time checkpoint load + WAL tail replay.
+//! * [`replica`] — the read replica's pull-and-apply loop.
 //! * [`client`] — blocking typed client (loadgen and tests).
 //! * [`cli`] — argument parsing/startup for the `s3pg-serve` binary.
 //!
@@ -39,10 +51,12 @@ pub mod client;
 pub mod json;
 pub mod plan_cache;
 pub mod protocol;
+pub mod recovery;
+pub mod replica;
 pub mod server;
 pub mod store;
 
 pub use client::Client;
 pub use protocol::{ErrorKind, Request, Response};
-pub use server::{serve, ServerConfig, ServerHandle, SlowQuery};
+pub use server::{serve, serve_deferred, ServerConfig, ServerHandle, SlowQuery, StoreInstaller};
 pub use store::GraphStore;

@@ -49,7 +49,19 @@ pub enum Request {
     Ping,
     /// Begin graceful shutdown: drain in-flight requests, then exit.
     Shutdown,
+    /// Stream committed WAL records with sequence numbers strictly after
+    /// `from`, at most `max` of them. This is the replication feed: a
+    /// replica polls it and applies the records through the incremental
+    /// path.
+    Replicate { from: u64, max: u64 },
+    /// Durability status: role, WAL watermarks, checkpoint coverage, and
+    /// (on a replica) replication progress.
+    WalStatus,
 }
+
+/// How many records one `replicate` response carries when the client does
+/// not say how many it wants.
+pub const DEFAULT_REPLICATE_MAX: u64 = 512;
 
 impl Request {
     /// The endpoint name used for metrics and the `"op"` field.
@@ -64,13 +76,25 @@ impl Request {
             Request::Trace { .. } => "trace",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
+            Request::Replicate { .. } => "replicate",
+            Request::WalStatus => "wal",
         }
     }
 
     /// Endpoints a server tracks metrics for, in reporting order.
     /// `"invalid"` accounts for frames that never parsed into a request.
-    pub const ENDPOINTS: [&'static str; 10] = [
-        "cypher", "sparql", "update", "stats", "metrics", "health", "trace", "ping", "shutdown",
+    pub const ENDPOINTS: [&'static str; 12] = [
+        "cypher",
+        "sparql",
+        "update",
+        "stats",
+        "metrics",
+        "health",
+        "trace",
+        "ping",
+        "shutdown",
+        "replicate",
+        "wal",
         "invalid",
     ];
 
@@ -131,6 +155,14 @@ impl Request {
             }),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
+            "replicate" => Ok(Request::Replicate {
+                from: value.get("from").and_then(Json::as_u64).unwrap_or(0),
+                max: value
+                    .get("max")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(DEFAULT_REPLICATE_MAX),
+            }),
+            "wal" => Ok(Request::WalStatus),
             other => Err(bad(format!("unknown op {other:?}"))),
         }
     }
@@ -160,6 +192,12 @@ impl Request {
             }
             Request::Ping => Json::obj([("op", "ping".into())]),
             Request::Shutdown => Json::obj([("op", "shutdown".into())]),
+            Request::Replicate { from, max } => Json::obj([
+                ("op", "replicate".into()),
+                ("from", (*from).into()),
+                ("max", (*max).into()),
+            ]),
+            Request::WalStatus => Json::obj([("op", "wal".into())]),
         };
         json.to_line()
     }
@@ -178,6 +216,12 @@ pub enum ErrorKind {
     Overloaded,
     /// The server is draining for shutdown.
     ShuttingDown,
+    /// The server is up but still replaying its checkpoint and WAL tail;
+    /// retry shortly. Distinct from `internal` so clients and load
+    /// balancers can treat boot replay as a transient, expected state.
+    Recovering,
+    /// The server is a read replica: writes must go to the primary.
+    ReadOnly,
     /// A bug: the handler panicked or hit an unexpected state.
     Internal,
 }
@@ -190,6 +234,8 @@ impl ErrorKind {
             ErrorKind::Query => "query",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Recovering => "recovering",
+            ErrorKind::ReadOnly => "read_only",
             ErrorKind::Internal => "internal",
         }
     }
@@ -201,6 +247,8 @@ impl ErrorKind {
             "query" => ErrorKind::Query,
             "overloaded" => ErrorKind::Overloaded,
             "shutting_down" => ErrorKind::ShuttingDown,
+            "recovering" => ErrorKind::Recovering,
+            "read_only" => ErrorKind::ReadOnly,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -265,7 +313,38 @@ pub enum Response {
     Pong,
     /// Acknowledgement that the server is draining for exit.
     ShuttingDown,
+    /// A batch of committed WAL records for a replica, plus the primary's
+    /// newest sequence number so the replica can gauge its lag.
+    Replicate {
+        records: Vec<ReplicaRecord>,
+        last_seq: u64,
+    },
+    /// Durability status frame.
+    WalStatus {
+        /// `"primary"`, `"replica"`, or `"ephemeral"` (no WAL configured).
+        role: String,
+        /// Newest sequence number appended to the local WAL.
+        last_seq: u64,
+        /// Newest sequence number known durable on local disk.
+        durable_seq: u64,
+        /// Total bytes across live WAL segments.
+        wal_bytes: u64,
+        /// Sequence number covered by the newest on-disk checkpoint
+        /// (0 = none yet).
+        checkpoint_seq: u64,
+        /// Newest sequence number applied to the served graph. On a
+        /// replica this trails the primary's `last_seq` by the lag.
+        applied_seq: u64,
+    },
     Error(ErrorFrame),
+}
+
+/// One WAL record on the wire, inside a [`Response::Replicate`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaRecord {
+    pub seq: u64,
+    pub additions: String,
+    pub deletions: String,
 }
 
 impl Response {
@@ -349,6 +428,41 @@ impl Response {
             Response::ShuttingDown => {
                 Json::obj([("ok", true.into()), ("shutting_down", true.into())])
             }
+            Response::Replicate { records, last_seq } => Json::obj([
+                ("ok", true.into()),
+                (
+                    "records",
+                    Json::Arr(
+                        records
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("seq", r.seq.into()),
+                                    ("additions", r.additions.as_str().into()),
+                                    ("deletions", r.deletions.as_str().into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("last_seq", (*last_seq).into()),
+            ]),
+            Response::WalStatus {
+                role,
+                last_seq,
+                durable_seq,
+                wal_bytes,
+                checkpoint_seq,
+                applied_seq,
+            } => Json::obj([
+                ("ok", true.into()),
+                ("role", role.as_str().into()),
+                ("last_seq", (*last_seq).into()),
+                ("durable_seq", (*durable_seq).into()),
+                ("wal_bytes", (*wal_bytes).into()),
+                ("checkpoint_seq", (*checkpoint_seq).into()),
+                ("applied_seq", (*applied_seq).into()),
+            ]),
             Response::Error(e) => Json::obj([
                 ("ok", false.into()),
                 (
@@ -469,6 +583,44 @@ impl Response {
             Ok(Response::Pong)
         } else if value.get("shutting_down").is_some() {
             Ok(Response::ShuttingDown)
+        } else if let Some(records) = value.get("records") {
+            let records = records
+                .as_array()
+                .ok_or("\"records\" must be an array")?
+                .iter()
+                .map(|r| -> Result<ReplicaRecord, String> {
+                    let text = |name: &str| -> Result<String, String> {
+                        r.get(name)
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("record missing \"{name}\""))
+                    };
+                    Ok(ReplicaRecord {
+                        seq: r
+                            .get("seq")
+                            .and_then(Json::as_u64)
+                            .ok_or("record missing \"seq\"")?,
+                        additions: text("additions")?,
+                        deletions: text("deletions")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Response::Replicate {
+                records,
+                last_seq: num(&value, "last_seq")?,
+            })
+        } else if let Some(role) = value.get("role") {
+            Ok(Response::WalStatus {
+                role: role
+                    .as_str()
+                    .ok_or("\"role\" must be a string")?
+                    .to_string(),
+                last_seq: num(&value, "last_seq")?,
+                durable_seq: num(&value, "durable_seq")?,
+                wal_bytes: num(&value, "wal_bytes")?,
+                checkpoint_seq: num(&value, "checkpoint_seq")?,
+                applied_seq: num(&value, "applied_seq")?,
+            })
         } else {
             Err("unrecognized response shape".to_string())
         }
@@ -498,6 +650,8 @@ mod tests {
             Request::Trace { limit: 64 },
             Request::Ping,
             Request::Shutdown,
+            Request::Replicate { from: 41, max: 16 },
+            Request::WalStatus,
         ] {
             let line = request.encode();
             assert!(!line.contains('\n'), "{line}");
@@ -547,9 +701,44 @@ mod tests {
             },
             Response::Pong,
             Response::ShuttingDown,
+            Response::Replicate {
+                records: vec![
+                    ReplicaRecord {
+                        seq: 7,
+                        additions: "<http://ex/a> <http://ex/p> \"v\" .\n".to_string(),
+                        deletions: String::new(),
+                    },
+                    ReplicaRecord {
+                        seq: 8,
+                        additions: String::new(),
+                        deletions: "<http://ex/a> <http://ex/p> \"v\" .\n".to_string(),
+                    },
+                ],
+                last_seq: 12,
+            },
+            Response::Replicate {
+                records: Vec::new(),
+                last_seq: 0,
+            },
+            Response::WalStatus {
+                role: "primary".to_string(),
+                last_seq: 42,
+                durable_seq: 40,
+                wal_bytes: 8192,
+                checkpoint_seq: 30,
+                applied_seq: 42,
+            },
             Response::Error(ErrorFrame {
                 kind: ErrorKind::Overloaded,
                 message: "accept queue full".to_string(),
+            }),
+            Response::Error(ErrorFrame {
+                kind: ErrorKind::Recovering,
+                message: "replaying checkpoint and WAL tail".to_string(),
+            }),
+            Response::Error(ErrorFrame {
+                kind: ErrorKind::ReadOnly,
+                message: "writes must go to the primary".to_string(),
             }),
         ] {
             let line = response.encode();
@@ -583,6 +772,8 @@ mod tests {
             ErrorKind::Query,
             ErrorKind::Overloaded,
             ErrorKind::ShuttingDown,
+            ErrorKind::Recovering,
+            ErrorKind::ReadOnly,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::parse_kind(kind.as_str()), Some(kind));
@@ -601,6 +792,21 @@ mod tests {
         assert_eq!(
             Request::decode(r#"{"op":"trace","limit":8}"#).unwrap(),
             Request::Trace { limit: 8 }
+        );
+    }
+
+    #[test]
+    fn replicate_defaults_when_fields_omitted() {
+        assert_eq!(
+            Request::decode(r#"{"op":"replicate"}"#).unwrap(),
+            Request::Replicate {
+                from: 0,
+                max: DEFAULT_REPLICATE_MAX
+            }
+        );
+        assert_eq!(
+            Request::decode(r#"{"op":"replicate","from":9,"max":3}"#).unwrap(),
+            Request::Replicate { from: 9, max: 3 }
         );
     }
 

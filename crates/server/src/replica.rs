@@ -1,0 +1,121 @@
+//! The replica's pull loop: poll the primary's `replicate` endpoint,
+//! apply each committed record through the incremental path.
+//!
+//! Replication needs no new machinery beyond the WAL itself because the
+//! transformation is monotone (§4.2.1): a replica that applies the
+//! primary's committed records *in sequence order* converges to exactly
+//! the primary's graph — F(G ∪ Δ) = F(G) ∪ F(Δ) means replaying the
+//! delta stream is equivalent to re-transforming the union. The primary
+//! only ever streams records at or below its durable (fsynced) sequence
+//! number, so a replica can never get ahead of what the primary would
+//! recover to after a crash.
+//!
+//! The loop is deliberately dumb: connect, poll from `applied_seq`,
+//! apply, repeat. A full batch re-polls immediately (catch-up); an empty
+//! one sleeps. Connection errors back off and reconnect — a replica
+//! outliving a primary restart resynchronizes on its own.
+
+use crate::client::Client;
+use crate::protocol::{Request, Response};
+use crate::server::ShutdownWatcher;
+use crate::store::GraphStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the loop sleeps when it is caught up with the primary.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+/// Backoff after a connection or protocol error.
+const ERROR_BACKOFF: Duration = Duration::from_millis(500);
+/// Records requested per poll.
+const BATCH: u64 = 512;
+
+/// Run the pull loop until shutdown. Applies records via
+/// [`GraphStore::apply_replicated`] (preserving the primary's sequence
+/// numbers) and flushes the local WAL once per applied batch — the
+/// primary holds the durable copy, so per-record fsyncs would buy
+/// nothing.
+pub fn run(store: Arc<GraphStore>, primary: String, watcher: ShutdownWatcher) {
+    let registry = Arc::clone(store.registry());
+    let lag = registry.gauge("s3pg_replica_lag_records");
+    let applied_total = registry.counter("s3pg_replica_records_applied_total");
+    let errors = registry.counter("s3pg_replica_poll_errors_total");
+
+    let mut client: Option<Client> = None;
+    while !watcher.is_shutdown() {
+        let conn = match &mut client {
+            Some(c) => c,
+            None => match Client::connect(&primary) {
+                Ok(c) => client.insert(c),
+                Err(e) => {
+                    errors.inc();
+                    eprintln!("replica: cannot reach primary {primary}: {e}");
+                    sleep_interruptibly(ERROR_BACKOFF, &watcher);
+                    continue;
+                }
+            },
+        };
+        let from = store.applied_seq();
+        let response = conn.call(&Request::Replicate { from, max: BATCH });
+        match response {
+            Ok(Response::Replicate { records, last_seq }) => {
+                let full_batch = records.len() as u64 == BATCH;
+                let mut applied = 0u64;
+                for record in &records {
+                    match store.apply_replicated(record.seq, &record.additions, &record.deletions) {
+                        Ok(_) => applied += 1,
+                        Err(e) => {
+                            // A record the primary validated and logged
+                            // cannot fail to parse — divergence here means
+                            // the streams are incompatible. Stop applying.
+                            errors.inc();
+                            eprintln!("replica: record seq {} failed to apply: {e}", record.seq);
+                            break;
+                        }
+                    }
+                }
+                if applied > 0 {
+                    applied_total.add(applied);
+                    if let Err(e) = store.sync_wal() {
+                        eprintln!("replica: local WAL flush failed: {e}");
+                    }
+                }
+                lag.set_u64(last_seq.saturating_sub(store.applied_seq()));
+                if !full_batch {
+                    sleep_interruptibly(IDLE_POLL, &watcher);
+                }
+            }
+            Ok(Response::Error(frame)) => {
+                // `recovering` while the primary replays its own WAL is
+                // routine; anything else is worth the log line.
+                errors.inc();
+                if frame.kind != crate::protocol::ErrorKind::Recovering {
+                    eprintln!("replica: primary rejected poll: {}", frame.message);
+                }
+                sleep_interruptibly(ERROR_BACKOFF, &watcher);
+            }
+            Ok(other) => {
+                errors.inc();
+                eprintln!("replica: unexpected frame from primary: {other:?}");
+                client = None;
+                sleep_interruptibly(ERROR_BACKOFF, &watcher);
+            }
+            Err(e) => {
+                errors.inc();
+                eprintln!("replica: poll failed: {e}");
+                client = None;
+                sleep_interruptibly(ERROR_BACKOFF, &watcher);
+            }
+        }
+    }
+}
+
+/// Sleep in short slices so shutdown is never delayed by a backoff.
+fn sleep_interruptibly(total: Duration, watcher: &ShutdownWatcher) {
+    let slice = Duration::from_millis(25);
+    let mut remaining = total;
+    while remaining > Duration::ZERO && !watcher.is_shutdown() {
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}

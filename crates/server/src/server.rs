@@ -38,7 +38,7 @@ use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -148,8 +148,19 @@ pub struct SlowQuery {
     pub serialize_micros: u64,
 }
 
+/// The installed store plus its serving role.
+struct ServingState {
+    store: Arc<GraphStore>,
+    /// Replicas reject `update` frames with a typed `read_only` error;
+    /// their state advances only through the replication loop.
+    replica: bool,
+}
+
 struct Shared {
-    store: GraphStore,
+    /// Empty while the binary is still recovering (loading a checkpoint,
+    /// replaying the WAL tail); requests that need graph state get a typed
+    /// `recovering` error until [`StoreInstaller::install`] fills it.
+    serving: OnceLock<ServingState>,
     metrics: ServerMetrics,
     plan_cache: PlanCache,
     registry: Arc<Registry>,
@@ -182,10 +193,33 @@ impl ServerHandle {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Block until every server thread has exited.
+    /// A cheap watcher auxiliary threads (checkpointer, replicator) poll
+    /// to learn the server is going down.
+    pub fn shutdown_watcher(&self) -> ShutdownWatcher {
+        ShutdownWatcher {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Adopt an auxiliary thread so [`ServerHandle::join`] waits for it.
+    /// The thread must exit once [`ShutdownWatcher::is_shutdown`] turns
+    /// true.
+    pub fn adopt_thread(&mut self, handle: JoinHandle<()>) {
+        self.threads.push(handle);
+    }
+
+    /// Block until every server thread has exited, then flush the WAL
+    /// tail. The final fsync means a *clean* shutdown leaves nothing for
+    /// the next boot to lose: every acknowledged update is on disk even
+    /// if its group-commit window was still open when shutdown began.
     pub fn join(self) {
         for t in self.threads {
             let _ = t.join();
+        }
+        if let Some(state) = self.shared.serving.get() {
+            if let Err(e) = state.store.sync_wal() {
+                eprintln!("shutdown WAL flush failed: {e}");
+            }
         }
     }
 
@@ -213,9 +247,54 @@ impl ServerHandle {
     }
 }
 
+/// Lets threads outside the server watch for shutdown.
+pub struct ShutdownWatcher {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownWatcher {
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// One-shot handle that makes a recovered store live. Until
+/// [`StoreInstaller::install`] is called, the already-listening server
+/// answers `ping`/`health`/`metrics`/`shutdown` but returns a typed
+/// `recovering` error for anything that needs graph state.
+pub struct StoreInstaller {
+    shared: Arc<Shared>,
+}
+
+impl StoreInstaller {
+    /// Install the store and start serving it. `replica` makes the server
+    /// read-only: `update` frames are rejected with a typed `read_only`
+    /// error.
+    pub fn install(self, store: Arc<GraphStore>, replica: bool) {
+        let _ = self.shared.serving.set(ServingState { store, replica });
+    }
+}
+
 /// Bind `addr` and start serving `store`. Returns once the listener is
 /// bound and all threads are running.
 pub fn serve(addr: &str, store: GraphStore, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let registry = Arc::clone(store.registry());
+    let (handle, installer) = serve_deferred(addr, config, registry)?;
+    installer.install(Arc::new(store), false);
+    Ok(handle)
+}
+
+/// Bind `addr` and start the listener/worker threads *before* a store
+/// exists. This is how the binary boots durably: the port is reachable
+/// (and answers health checks with a typed `recovering` error) while the
+/// checkpoint loads and the WAL tail replays, then the recovered store is
+/// made live through the returned [`StoreInstaller`].
+pub fn serve_deferred(
+    addr: &str,
+    config: ServerConfig,
+    registry: Arc<Registry>,
+) -> std::io::Result<(ServerHandle, StoreInstaller)> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -223,12 +302,11 @@ pub fn serve(addr: &str, store: GraphStore, config: ServerConfig) -> std::io::Re
     // Enable the process tracer so every request records a span tree the
     // `trace` endpoint can tail.
     tracer().set_enabled(true);
-    let registry = Arc::clone(store.registry());
     let shared = Arc::new(Shared {
+        serving: OnceLock::new(),
         metrics: ServerMetrics::new(&registry),
         plan_cache: PlanCache::new(&registry),
         registry,
-        store,
         started: Instant::now(),
         slow_query_threshold: config.slow_query_threshold,
         slow_queries: Mutex::new(VecDeque::new()),
@@ -252,11 +330,17 @@ pub fn serve(addr: &str, store: GraphStore, config: ServerConfig) -> std::io::Re
         threads.push(std::thread::spawn(move || worker_loop(&shared)));
     }
 
-    Ok(ServerHandle {
-        addr: local,
-        shared,
-        threads,
-    })
+    let installer = StoreInstaller {
+        shared: Arc::clone(&shared),
+    };
+    Ok((
+        ServerHandle {
+            addr: local,
+            shared,
+            threads,
+        },
+        installer,
+    ))
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared, capacity: usize) {
@@ -516,9 +600,35 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
 }
 
 fn dispatch(request: &Request, shared: &Shared) -> Response {
+    // Endpoints that don't need graph state work even while the store is
+    // still recovering — health checks and metrics scrapes must succeed
+    // during a long WAL replay.
+    match request {
+        Request::Metrics => {
+            return Response::Metrics {
+                exposition: shared.registry.expose(),
+            }
+        }
+        Request::Health => {
+            return Response::Health {
+                uptime_micros: shared.started.elapsed().as_micros() as u64,
+            }
+        }
+        Request::Ping => return Response::Pong,
+        Request::Shutdown => return Response::ShuttingDown,
+        _ => {}
+    }
+    let Some(serving) = shared.serving.get() else {
+        return Response::Error(ErrorFrame {
+            kind: ErrorKind::Recovering,
+            message: "store is recovering (checkpoint load / WAL replay); retry shortly"
+                .to_string(),
+        });
+    };
+    let store = serving.store.as_ref();
     match request {
         Request::Cypher { query } => {
-            let snap = shared.store.snapshot();
+            let snap = store.snapshot();
             // Plan-cache hit: no reparse, no `query_plan` span. Miss:
             // parse + plan under one `query_plan` span, then cache the
             // outcome (parse errors included) for the next issue.
@@ -588,7 +698,7 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
             }
         }
         Request::Sparql { query } => {
-            let snap = shared.store.snapshot();
+            let snap = store.snapshot();
             let entry = shared
                 .plan_cache
                 .lookup("sparql", query)
@@ -639,25 +749,33 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
         Request::Update {
             additions,
             deletions,
-        } => match shared.store.apply_update(additions, deletions) {
-            Ok(summary) => Response::Update {
-                added_nodes: summary.added_nodes,
-                added_edges: summary.added_edges,
-                added_properties: summary.added_properties,
-                removed: summary.removed,
-                conforms: summary.conforms,
-            },
-            Err(e @ S3pgError::Rdf(_)) => Response::Error(ErrorFrame {
-                kind: ErrorKind::Parse,
-                message: e.to_string(),
-            }),
-            Err(e) => Response::Error(ErrorFrame {
-                kind: ErrorKind::Internal,
-                message: e.to_string(),
-            }),
-        },
+        } => {
+            if serving.replica {
+                return Response::Error(ErrorFrame {
+                    kind: ErrorKind::ReadOnly,
+                    message: "this server is a replica; send updates to the primary".to_string(),
+                });
+            }
+            match store.apply_update(additions, deletions) {
+                Ok(summary) => Response::Update {
+                    added_nodes: summary.added_nodes,
+                    added_edges: summary.added_edges,
+                    added_properties: summary.added_properties,
+                    removed: summary.removed,
+                    conforms: summary.conforms,
+                },
+                Err(e @ S3pgError::Rdf(_)) => Response::Error(ErrorFrame {
+                    kind: ErrorKind::Parse,
+                    message: e.to_string(),
+                }),
+                Err(e) => Response::Error(ErrorFrame {
+                    kind: ErrorKind::Internal,
+                    message: e.to_string(),
+                }),
+            }
+        }
         Request::Stats => {
-            let snap = shared.store.snapshot();
+            let snap = store.snapshot();
             Response::Stats {
                 nodes: snap.pg.node_count() as u64,
                 edges: snap.pg.edge_count() as u64,
@@ -666,12 +784,52 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
                 mem_bytes: snap.mem_bytes,
             }
         }
-        Request::Metrics => Response::Metrics {
-            exposition: shared.registry.expose(),
+        Request::Replicate { from, max } => match store.wal() {
+            // Only committed (fsynced) records are streamed: a replica
+            // must never apply a record the primary could lose in a crash.
+            Some(wal) => match wal.read_since(*from, (*max).min(4096) as usize) {
+                Ok(records) => Response::Replicate {
+                    records: records
+                        .into_iter()
+                        .map(|r| crate::protocol::ReplicaRecord {
+                            seq: r.seq,
+                            additions: r.additions,
+                            deletions: r.deletions,
+                        })
+                        .collect(),
+                    last_seq: wal.last_seq(),
+                },
+                Err(e) => Response::Error(ErrorFrame {
+                    kind: ErrorKind::Internal,
+                    message: format!("WAL read failed: {e}"),
+                }),
+            },
+            None => Response::Error(ErrorFrame {
+                kind: ErrorKind::ReadOnly,
+                message: "this server has no WAL to replicate from (no --wal-dir)".to_string(),
+            }),
         },
-        Request::Health => Response::Health {
-            uptime_micros: shared.started.elapsed().as_micros() as u64,
-        },
+        Request::WalStatus => {
+            let role = if serving.replica {
+                "replica"
+            } else if store.wal().is_some() {
+                "primary"
+            } else {
+                "ephemeral"
+            };
+            let (last_seq, durable_seq, wal_bytes) = match store.wal() {
+                Some(wal) => (wal.last_seq(), wal.durable_seq(), wal.total_bytes()),
+                None => (0, 0, 0),
+            };
+            Response::WalStatus {
+                role: role.to_string(),
+                last_seq,
+                durable_seq,
+                wal_bytes,
+                checkpoint_seq: store.checkpoint_seq(),
+                applied_seq: store.applied_seq(),
+            }
+        }
         Request::Trace { limit } => Response::Trace {
             events: tracer()
                 .tail((*limit).min(u32::MAX as u64) as usize)
@@ -679,7 +837,9 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
                 .map(|e| e.to_json())
                 .collect(),
         },
-        Request::Ping => Response::Pong,
-        Request::Shutdown => Response::ShuttingDown,
+        // Handled in the recovery-independent prefix above.
+        Request::Metrics | Request::Health | Request::Ping | Request::Shutdown => {
+            unreachable!("stateless endpoints answered before store lookup")
+        }
     }
 }

@@ -46,8 +46,10 @@ use s3pg::{Mode, S3pgError};
 use s3pg_obs::Registry;
 use s3pg_pg::conformance;
 use s3pg_pg::{CompactGraph, PropertyGraph};
+use s3pg_rdf::serializer::to_ntriples;
 use s3pg_rdf::Graph;
 use s3pg_shacl::ShapeSchema;
+use s3pg_wal::{Wal, WalError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
@@ -70,6 +72,9 @@ pub struct Snapshot {
     /// graph (and so its cardinality statistics) changed and the plan is
     /// recomputed from the cached AST.
     pub epoch: u64,
+    /// WAL sequence number this snapshot reflects: every logged record
+    /// with `seq <=` this is folded in. Stays 0 on a store without a WAL.
+    pub seq: u64,
     /// The read-optimized frozen form of [`pg`](Snapshot::pg), filled by
     /// background compaction after publication (synchronously for the
     /// startup snapshot). Empty only in the window between an update's
@@ -117,6 +122,35 @@ pub struct GraphStore {
     /// The server shares this registry for its endpoint metrics, so one
     /// exposition covers both layers.
     registry: Arc<Registry>,
+    /// The write-ahead log, when the store is durable. Appends happen
+    /// under the master lock (so WAL order is apply order); the fsync
+    /// rendezvous in [`Wal::commit`] happens *after* the lock is released,
+    /// which is what lets concurrent writers share one flush.
+    wal: Option<Arc<Wal>>,
+    /// Newest WAL sequence number folded into the served graph. Written
+    /// under the master lock, read lock-free by status endpoints.
+    applied_seq: AtomicU64,
+    /// Sequence number covered by the newest on-disk checkpoint (0 = none).
+    checkpoint_seq: AtomicU64,
+}
+
+/// The writer-side state a recovered (or freshly transformed) graph hands
+/// to [`GraphStore::from_parts`].
+pub struct StoreParts {
+    pub rdf: Graph,
+    pub pg: PropertyGraph,
+    pub schema: SchemaTransform,
+    pub state: TransformState,
+}
+
+/// Terminate the process: the in-memory graph has mutated but the WAL
+/// could not record (or flush) the delta, so serving on would hand out
+/// acknowledgements the log cannot honour after a restart. An abort (not
+/// a panic) because the server catches handler panics per request — a
+/// divergence this fundamental must not be survivable.
+fn fail_stop(message: &str) -> ! {
+    eprintln!("fatal: {message}");
+    std::process::abort();
 }
 
 /// Build a snapshot and publish its memory/size gauges to `registry`.
@@ -126,6 +160,7 @@ fn publish(
     pg: PropertyGraph,
     conforms: bool,
     epoch: u64,
+    seq: u64,
 ) -> Arc<Snapshot> {
     let rdf_bytes = rdf.deep_size_bytes() as u64;
     let pg_bytes = pg.deep_size_bytes() as u64;
@@ -149,12 +184,14 @@ fn publish(
     registry
         .gauge("s3pg_snapshot_conforms")
         .set_u64(u64::from(conforms));
+    registry.gauge("s3pg_applied_seq").set_u64(seq);
     Arc::new(Snapshot {
         rdf,
         pg,
         conforms,
         mem_bytes: rdf_bytes + pg_bytes,
         epoch,
+        seq,
         compact: OnceLock::new(),
     })
 }
@@ -183,31 +220,76 @@ fn compact_into(registry: &Registry, snap: &Snapshot) {
 }
 
 impl GraphStore {
-    /// Transform `rdf` under `shapes` and serve the result. `threads`
-    /// parallelizes the one-shot startup transform only; steady-state
-    /// updates go through the incremental path.
+    /// Transform `rdf` under `shapes` and serve the result, without a WAL
+    /// (an ephemeral store: tests, benchmarks, `--wal-dir`-less serving).
+    /// `threads` parallelizes the one-shot startup transform only;
+    /// steady-state updates go through the incremental path.
     pub fn new(rdf: Graph, shapes: &ShapeSchema, mode: Mode, threads: usize) -> GraphStore {
         let out = transform_with(&rdf, shapes, mode, PipelineConfig { threads });
-        let registry = Arc::new(Registry::new());
-        let snapshot = publish(
-            &registry,
-            rdf.clone(),
-            out.pg.clone(),
-            out.conformance.conforms(),
-            0,
-        );
-        // Synchronous: the startup graph is served compact from request 1.
-        compact_into(&registry, &snapshot);
-        GraphStore {
-            snapshot: Arc::new(RwLock::new(snapshot)),
-            master: Mutex::new(Master {
+        GraphStore::from_parts(
+            StoreParts {
                 rdf,
                 pg: out.pg,
                 schema: out.schema,
                 state: out.state,
+            },
+            Arc::new(Registry::new()),
+            None,
+            0,
+            None,
+        )
+    }
+
+    /// Serve an already-built master state — the recovery path's
+    /// constructor. `applied_seq` is the newest WAL sequence number folded
+    /// into `parts` (0 for a fresh graph); `prebuilt_compact` short-cuts
+    /// the synchronous startup freeze when a checkpoint supplied a frozen
+    /// form that is still exact (no WAL tail was replayed on top of it).
+    pub fn from_parts(
+        parts: StoreParts,
+        registry: Arc<Registry>,
+        wal: Option<Arc<Wal>>,
+        applied_seq: u64,
+        prebuilt_compact: Option<Arc<CompactGraph>>,
+    ) -> GraphStore {
+        let StoreParts {
+            rdf,
+            pg,
+            schema,
+            state,
+        } = parts;
+        let conforms = conformance::check(&pg, &schema.pg_schema).conforms();
+        let snapshot = publish(&registry, rdf.clone(), pg.clone(), conforms, 0, applied_seq);
+        // The startup graph is served compact from request 1: adopt the
+        // checkpoint's frozen form when exact, else freeze synchronously.
+        match prebuilt_compact {
+            Some(compact) => {
+                registry
+                    .gauge("s3pg_mem_pg_compact_bytes")
+                    .set_u64(compact.deep_size_bytes() as u64);
+                registry
+                    .gauge("s3pg_pg_dict_entries")
+                    .set_u64(compact.dict_len() as u64);
+                registry
+                    .gauge("s3pg_mem_pg_dict_bytes")
+                    .set_u64(compact.dict_size_bytes() as u64);
+                let _ = snapshot.compact.set(compact);
+            }
+            None => compact_into(&registry, &snapshot),
+        }
+        GraphStore {
+            snapshot: Arc::new(RwLock::new(snapshot)),
+            master: Mutex::new(Master {
+                rdf,
+                pg,
+                schema,
+                state,
             }),
             epoch: AtomicU64::new(1),
             registry,
+            wal,
+            applied_seq: AtomicU64::new(applied_seq),
+            checkpoint_seq: AtomicU64::new(0),
         }
     }
 
@@ -229,6 +311,13 @@ impl GraphStore {
     /// new snapshot. Serialized across callers; concurrent reads keep
     /// running on the previous snapshot until the swap.
     ///
+    /// On a durable store the delta is appended to the WAL in apply order
+    /// and this call blocks on the group-commit fsync **after** releasing
+    /// the write lock — the next writer appends while this one's flush is
+    /// in flight, so one `fdatasync` acknowledges a whole batch. The ack
+    /// therefore implies durability; visibility happens at the snapshot
+    /// swap, fractionally earlier.
+    ///
     /// On a malformed delta the typed error is returned and **no state
     /// changes**: both documents are parsed before any mutation.
     pub fn apply_update(
@@ -236,6 +325,40 @@ impl GraphStore {
         additions: &str,
         deletions: &str,
     ) -> Result<UpdateSummary, S3pgError> {
+        let (summary, commit_seq) = self.apply_and_publish(additions, deletions, None)?;
+        if let (Some(wal), Some(seq)) = (&self.wal, commit_seq) {
+            // Durability gate, outside the master lock. A failed fsync
+            // means the ack cannot be honoured — fail stop rather than
+            // acknowledge a write the log may not replay.
+            if let Err(e) = wal.commit(seq) {
+                fail_stop(&format!(
+                    "WAL commit failed, cannot acknowledge update: {e}"
+                ));
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Apply a record replicated from a primary, preserving the primary's
+    /// sequence number. Durability is batched by the caller (one
+    /// [`GraphStore::sync_wal`] per poll round-trip), not per record —
+    /// the primary already holds the durable copy.
+    pub fn apply_replicated(
+        &self,
+        seq: u64,
+        additions: &str,
+        deletions: &str,
+    ) -> Result<UpdateSummary, S3pgError> {
+        let (summary, _) = self.apply_and_publish(additions, deletions, Some(seq))?;
+        Ok(summary)
+    }
+
+    fn apply_and_publish(
+        &self,
+        additions: &str,
+        deletions: &str,
+        exact_seq: Option<u64>,
+    ) -> Result<(UpdateSummary, Option<u64>), S3pgError> {
         let mut guard = self.master.lock().unwrap_or_else(|e| e.into_inner());
         let master = &mut *guard;
         let outcome = apply_ntriples_delta(
@@ -256,6 +379,30 @@ impl GraphStore {
         }
         master.rdf.absorb(&outcome.additions);
 
+        // Log under the master lock: WAL order is exactly apply order, so
+        // replaying the log is replaying history. The delta was validated
+        // above, so only valid records are ever logged. An append failure
+        // after mutation would desynchronize log and state — fail stop.
+        let commit_seq = match &self.wal {
+            Some(wal) => {
+                let append = match exact_seq {
+                    Some(seq) => wal.append_exact(seq, additions, deletions).map(|()| seq),
+                    None => wal.append(additions, deletions),
+                };
+                match append {
+                    Ok(seq) => Some(seq),
+                    Err(e) => fail_stop(&format!("WAL append failed after mutation: {e}")),
+                }
+            }
+            None => None,
+        };
+        // A WAL-less replica still tracks the primary's sequence numbers;
+        // that is what its replication loop polls from.
+        let visible_seq = commit_seq.or(exact_seq);
+        if let Some(seq) = visible_seq {
+            self.applied_seq.store(seq, Ordering::SeqCst);
+        }
+
         let conformance = conformance::check(&master.pg, &master.schema.pg_schema);
         let summary = UpdateSummary {
             added_nodes: outcome.counters.entity_nodes as u64
@@ -273,6 +420,7 @@ impl GraphStore {
             master.pg.clone(),
             summary.conforms,
             self.epoch.fetch_add(1, Ordering::SeqCst),
+            visible_seq.unwrap_or(0),
         );
         // Publish while still holding the master lock, so snapshots are
         // swapped in the same order updates were applied.
@@ -293,7 +441,79 @@ impl GraphStore {
                 compact_into(&registry, &next);
             }
         });
-        Ok(summary)
+        Ok((summary, commit_seq))
+    }
+
+    /// The write-ahead log, when this store is durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Newest WAL sequence number folded into the served graph.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq.load(Ordering::SeqCst)
+    }
+
+    /// Sequence number covered by the newest on-disk checkpoint (0 = none).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq.load(Ordering::SeqCst)
+    }
+
+    /// Note a checkpoint written (or loaded) at `seq` for status frames.
+    pub fn note_checkpoint(&self, seq: u64) {
+        self.checkpoint_seq.store(seq, Ordering::SeqCst);
+        self.registry.gauge("s3pg_checkpoint_seq").set_u64(seq);
+    }
+
+    /// Flush the WAL tail to disk. A no-op on an ephemeral store. Called
+    /// at shutdown (so a clean exit leaves no tail to replay) and after a
+    /// replica applies a poll batch.
+    pub fn sync_wal(&self) -> Result<(), WalError> {
+        match &self.wal {
+            Some(wal) => wal.sync_all(),
+            None => Ok(()),
+        }
+    }
+
+    /// Write a checkpoint covering everything applied so far: serialize
+    /// the source RDF graph (and the current snapshot's frozen compact
+    /// form, when it has landed) next to the WAL, then prune segments the
+    /// checkpoint covers. Returns the covered sequence number, or `None`
+    /// on an ephemeral store or when nothing changed since the last
+    /// checkpoint.
+    ///
+    /// Holds the master lock while serializing the RDF graph so the text
+    /// and the sequence number agree; writers queue behind it for that
+    /// window (reads are unaffected).
+    pub fn checkpoint(&self) -> Result<Option<u64>, WalError> {
+        let Some(wal) = &self.wal else {
+            return Ok(None);
+        };
+        let started = Instant::now();
+        let (seq, rdf_text, compact) = {
+            let guard = self.master.lock().unwrap_or_else(|e| e.into_inner());
+            let seq = self.applied_seq.load(Ordering::SeqCst);
+            if seq == self.checkpoint_seq.load(Ordering::SeqCst) && seq != 0 {
+                return Ok(None);
+            }
+            let rdf_text = to_ntriples(&guard.rdf);
+            // Under the master lock the current snapshot IS the master
+            // state; its compact form may or may not have landed yet.
+            let compact = self.snapshot().compact().cloned();
+            (seq, rdf_text, compact)
+        };
+        // Everything the checkpoint covers must be durable before the
+        // covered segments become prunable.
+        wal.sync_all()?;
+        wal.rotate()?;
+        s3pg_wal::write_checkpoint(wal.dir(), seq, &rdf_text, compact.as_deref())?;
+        wal.prune_through(seq)?;
+        self.note_checkpoint(seq);
+        self.registry
+            .histogram("s3pg_checkpoint_wall_microseconds")
+            .record_micros(started.elapsed().as_micros() as u64);
+        self.registry.counter("s3pg_checkpoints_total").inc();
+        Ok(Some(seq))
     }
 }
 

@@ -16,4 +16,7 @@ cargo fmt --check
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "tier-1 OK"
