@@ -222,6 +222,11 @@ pub enum ErrorKind {
     Recovering,
     /// The server is a read replica: writes must go to the primary.
     ReadOnly,
+    /// A `replicate` cursor predates the primary's oldest retained WAL
+    /// record (a checkpoint pruned past it). The stream cannot be served
+    /// without a hole, so the replica must be re-seeded from a fresh
+    /// copy of the primary's state instead of silently skipping records.
+    ReseedRequired,
     /// A bug: the handler panicked or hit an unexpected state.
     Internal,
 }
@@ -236,6 +241,7 @@ impl ErrorKind {
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Recovering => "recovering",
             ErrorKind::ReadOnly => "read_only",
+            ErrorKind::ReseedRequired => "reseed_required",
             ErrorKind::Internal => "internal",
         }
     }
@@ -249,6 +255,7 @@ impl ErrorKind {
             "shutting_down" => ErrorKind::ShuttingDown,
             "recovering" => ErrorKind::Recovering,
             "read_only" => ErrorKind::ReadOnly,
+            "reseed_required" => ErrorKind::ReseedRequired,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -774,6 +781,7 @@ mod tests {
             ErrorKind::ShuttingDown,
             ErrorKind::Recovering,
             ErrorKind::ReadOnly,
+            ErrorKind::ReseedRequired,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::parse_kind(kind.as_str()), Some(kind));

@@ -148,6 +148,21 @@ fn recover_durable(
         ));
     }
 
+    // A checkpoint at seq N implies the WAL once reached N. If the log
+    // now ends below that (segments deleted, partial restore), a fresh
+    // tail would hand new updates sequence numbers 1..N that the *next*
+    // restart filters out as already covered by the checkpoint —
+    // acknowledged writes would silently vanish. Refuse to boot instead.
+    if base_seq > 0 && wal.last_seq() < base_seq {
+        return Err(format!(
+            "WAL behind checkpoint: checkpoint covers through seq {base_seq} but the WAL \
+             ends at seq {} — the WAL directory was emptied or restored incompletely. \
+             Restore the missing WAL segments, or remove the checkpoint directories to \
+             cold-start from --data with a fresh log.",
+            wal.last_seq()
+        ));
+    }
+
     // Only the tail past the checkpoint replays. A gap would mean records
     // the checkpoint doesn't cover were pruned — unrecoverable, so fail
     // loudly rather than serve a silently incomplete graph.
@@ -286,6 +301,45 @@ mod tests {
         // Nothing replays: the checkpoint covered every record.
         assert!(second.report.iter().any(|l| l.contains("checkpoint seq=5")));
         assert!(!second.report.iter().any(|l| l.contains("replayed")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emptied_wal_beside_a_checkpoint_is_fatal() {
+        let dir = temp_dir("emptied");
+        let data = dir.join("base.nt");
+        std::fs::write(&data, BASE).unwrap();
+        let cfg = config(&dir, &data);
+
+        let first = recover(&cfg, Arc::new(Registry::new())).unwrap();
+        for i in 0..3 {
+            first
+                .store
+                .apply_update(
+                    &format!("<http://ex/n{i}> <http://ex/name> \"N{i}\" .\n"),
+                    "",
+                )
+                .unwrap();
+        }
+        assert_eq!(first.store.checkpoint().unwrap(), Some(3));
+        drop(first);
+
+        // Operator error: every WAL segment deleted, checkpoints kept. A
+        // fresh log would restart numbering at 1 and the *next* boot
+        // would filter those records as already covered by seq 3.
+        let wal_dir = cfg.wal_dir.clone().unwrap();
+        for entry in std::fs::read_dir(&wal_dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "seg") {
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+
+        let err = match recover(&cfg, Arc::new(Registry::new())) {
+            Err(err) => err,
+            Ok(_) => panic!("an emptied WAL beside a checkpoint must fail recovery"),
+        };
+        assert!(err.contains("WAL behind checkpoint"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

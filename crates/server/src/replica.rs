@@ -14,9 +14,19 @@
 //! apply, repeat. A full batch re-polls immediately (catch-up); an empty
 //! one sleeps. Connection errors back off and reconnect — a replica
 //! outliving a primary restart resynchronizes on its own.
+//!
+//! The one thing the loop is *not* casual about is sequence gaps. The
+//! convergence argument only holds for a contiguous stream, so every
+//! batch is verified to start at `applied_seq + 1` and run gap-free
+//! before anything is applied. A gap — or a typed `reseed_required`
+//! frame from a primary whose checkpoint pruned past our cursor — stops
+//! replication outright: the loop logs what happened, raises the
+//! `s3pg_replica_reseed_required` gauge, and returns, leaving the
+//! already-converged snapshot serving reads. Silently skipping records
+//! would serve a permanently diverged graph while reporting zero lag.
 
 use crate::client::Client;
-use crate::protocol::{Request, Response};
+use crate::protocol::{ErrorKind, Request, Response};
 use crate::server::ShutdownWatcher;
 use crate::store::GraphStore;
 use std::sync::Arc;
@@ -39,6 +49,21 @@ pub fn run(store: Arc<GraphStore>, primary: String, watcher: ShutdownWatcher) {
     let lag = registry.gauge("s3pg_replica_lag_records");
     let applied_total = registry.counter("s3pg_replica_records_applied_total");
     let errors = registry.counter("s3pg_replica_poll_errors_total");
+    let reseed_required = registry.gauge("s3pg_replica_reseed_required");
+    reseed_required.set_u64(0);
+
+    // Stop replicating, loudly and permanently: the stream cannot be
+    // applied without divergence. The store keeps serving its last
+    // converged snapshot; an operator must re-seed (wipe this replica's
+    // WAL dir and restart it from a fresh copy of the primary's state).
+    let refuse = |why: &str| {
+        reseed_required.set_u64(1);
+        eprintln!(
+            "replica: REPLICATION STOPPED — {why}. This replica must be re-seeded: \
+             wipe its --wal-dir and restart it against a current copy of the \
+             primary's state. Reads continue from the last converged snapshot."
+        );
+    };
 
     let mut client: Option<Client> = None;
     while !watcher.is_shutdown() {
@@ -58,8 +83,27 @@ pub fn run(store: Arc<GraphStore>, primary: String, watcher: ShutdownWatcher) {
         let response = conn.call(&Request::Replicate { from, max: BATCH });
         match response {
             Ok(Response::Replicate { records, last_seq }) => {
+                // The batch must be exactly the next run of sequence
+                // numbers. `read_since` reads whatever segments survive
+                // on the primary, so a checkpoint pruning past our
+                // cursor (or records lost to an emptied primary WAL)
+                // would otherwise be applied as if nothing were missing.
+                let gap = (from + 1..)
+                    .zip(records.iter())
+                    .find(|(expected, record)| record.seq != *expected)
+                    .map(|(expected, record)| (expected, record.seq));
+                if let Some((want, got)) = gap {
+                    errors.inc();
+                    refuse(&format!(
+                        "primary {primary} returned seq {got} where {want} was expected \
+                         (records {want}..{} are missing)",
+                        got - 1
+                    ));
+                    return;
+                }
                 let full_batch = records.len() as u64 == BATCH;
                 let mut applied = 0u64;
+                let mut apply_failed = false;
                 for record in &records {
                     match store.apply_replicated(record.seq, &record.additions, &record.deletions) {
                         Ok(_) => applied += 1,
@@ -68,6 +112,7 @@ pub fn run(store: Arc<GraphStore>, primary: String, watcher: ShutdownWatcher) {
                             // cannot fail to parse — divergence here means
                             // the streams are incompatible. Stop applying.
                             errors.inc();
+                            apply_failed = true;
                             eprintln!("replica: record seq {} failed to apply: {e}", record.seq);
                             break;
                         }
@@ -80,15 +125,28 @@ pub fn run(store: Arc<GraphStore>, primary: String, watcher: ShutdownWatcher) {
                     }
                 }
                 lag.set_u64(last_seq.saturating_sub(store.applied_seq()));
-                if !full_batch {
+                if apply_failed {
+                    // Back off even on a full batch: re-polling
+                    // immediately would refetch and refail the same
+                    // record in a hot loop.
+                    sleep_interruptibly(ERROR_BACKOFF, &watcher);
+                } else if !full_batch {
                     sleep_interruptibly(IDLE_POLL, &watcher);
                 }
+            }
+            Ok(Response::Error(frame)) if frame.kind == ErrorKind::ReseedRequired => {
+                errors.inc();
+                refuse(&format!(
+                    "primary {primary} refused our cursor: {}",
+                    frame.message
+                ));
+                return;
             }
             Ok(Response::Error(frame)) => {
                 // `recovering` while the primary replays its own WAL is
                 // routine; anything else is worth the log line.
                 errors.inc();
-                if frame.kind != crate::protocol::ErrorKind::Recovering {
+                if frame.kind != ErrorKind::Recovering {
                     eprintln!("replica: primary rejected poll: {}", frame.message);
                 }
                 sleep_interruptibly(ERROR_BACKOFF, &watcher);

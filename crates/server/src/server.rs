@@ -787,23 +787,50 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
         Request::Replicate { from, max } => match store.wal() {
             // Only committed (fsynced) records are streamed: a replica
             // must never apply a record the primary could lose in a crash.
-            Some(wal) => match wal.read_since(*from, (*max).min(4096) as usize) {
-                Ok(records) => Response::Replicate {
-                    records: records
-                        .into_iter()
-                        .map(|r| crate::protocol::ReplicaRecord {
-                            seq: r.seq,
-                            additions: r.additions,
-                            deletions: r.deletions,
-                        })
-                        .collect(),
-                    last_seq: wal.last_seq(),
-                },
-                Err(e) => Response::Error(ErrorFrame {
-                    kind: ErrorKind::Internal,
-                    message: format!("WAL read failed: {e}"),
-                }),
-            },
+            Some(wal) => {
+                // A cursor below the oldest retained record would make
+                // `read_since` silently start past the hole the pruning
+                // checkpoint left; refuse with a typed frame so the
+                // replica knows it must be re-seeded, not retried.
+                match wal.oldest_retained_seq() {
+                    Ok(oldest) if from + 1 < oldest => {
+                        return Response::Error(ErrorFrame {
+                            kind: ErrorKind::ReseedRequired,
+                            message: format!(
+                                "records {}..{} were pruned by a checkpoint (oldest retained \
+                                 is {oldest}); re-seed this replica from a fresh copy of the \
+                                 primary's state",
+                                from + 1,
+                                oldest - 1
+                            ),
+                        });
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        return Response::Error(ErrorFrame {
+                            kind: ErrorKind::Internal,
+                            message: format!("WAL scan failed: {e}"),
+                        });
+                    }
+                }
+                match wal.read_since(*from, (*max).min(4096) as usize) {
+                    Ok(records) => Response::Replicate {
+                        records: records
+                            .into_iter()
+                            .map(|r| crate::protocol::ReplicaRecord {
+                                seq: r.seq,
+                                additions: r.additions,
+                                deletions: r.deletions,
+                            })
+                            .collect(),
+                        last_seq: wal.last_seq(),
+                    },
+                    Err(e) => Response::Error(ErrorFrame {
+                        kind: ErrorKind::Internal,
+                        message: format!("WAL read failed: {e}"),
+                    }),
+                }
+            }
             None => Response::Error(ErrorFrame {
                 kind: ErrorKind::ReadOnly,
                 message: "this server has no WAL to replicate from (no --wal-dir)".to_string(),

@@ -270,6 +270,66 @@ fn checkpointed_restart_recovers_including_deletions() {
 }
 
 #[test]
+fn stale_cursor_after_prune_gets_reseed_required() {
+    let dir = temp_dir("reseed");
+    let data = dir.join("base.nt");
+    std::fs::write(&data, BASE).unwrap();
+    let data = data.to_str().unwrap();
+    let wal = dir.join("wal");
+    let wal = wal.to_str().unwrap();
+
+    let mut primary = Server::spawn(&[
+        "--data",
+        data,
+        "--wal-dir",
+        wal,
+        "--checkpoint-every",
+        "8",
+        "--fsync-ms",
+        "0",
+    ]);
+    let mut client = primary.client();
+    for i in 0..20 {
+        client
+            .call(&Request::Update {
+                additions: addition(i),
+                deletions: String::new(),
+            })
+            .unwrap();
+    }
+
+    // Once the checkpointer prunes the covered segments, a replica whose
+    // cursor predates the oldest retained record must be told to re-seed
+    // — never silently handed a stream with the pruned records missing.
+    wait_until(
+        "a pruning checkpoint to refuse the stale cursor",
+        Duration::from_secs(10),
+        || {
+            matches!(
+                client.call(&Request::Replicate { from: 0, max: 512 }).unwrap(),
+                Response::Error(frame) if frame.kind == ErrorKind::ReseedRequired
+            )
+        },
+    );
+
+    // A cursor at (or past) the pruning point is still served normally.
+    let (_, _, durable, _) = wal_status(&mut client);
+    let caught_up = client
+        .call(&Request::Replicate {
+            from: durable,
+            max: 512,
+        })
+        .unwrap();
+    let Response::Replicate { records, .. } = caught_up else {
+        panic!("a caught-up cursor must still be served, got {caught_up:?}");
+    };
+    assert!(records.is_empty());
+
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn replica_catches_up_and_rejects_writes() {
     let dir = temp_dir("replica");
     let data = dir.join("base.nt");

@@ -69,6 +69,13 @@ pub enum WalError {
     /// A segment other than the newest has a torn or corrupt frame, or
     /// sequence numbers are not contiguous across segments.
     Corrupt(String),
+    /// A group-commit fsync failed earlier; the log refuses all further
+    /// commits and replication reads. An fsync error consumes the
+    /// kernel's dirty-page error state, so a retry could spuriously
+    /// succeed and acknowledge a write that was in fact lost — once a
+    /// flush fails, the only safe course is a restart and recovery from
+    /// what is verifiably on disk.
+    Poisoned(String),
 }
 
 impl std::fmt::Display for WalError {
@@ -76,6 +83,9 @@ impl std::fmt::Display for WalError {
         match self {
             WalError::Io(e) => write!(f, "wal i/o error: {e}"),
             WalError::Corrupt(m) => write!(f, "wal corrupt: {m}"),
+            WalError::Poisoned(m) => {
+                write!(f, "wal poisoned by an earlier fsync failure: {m}")
+            }
         }
     }
 }
@@ -110,6 +120,11 @@ struct SyncState {
     durable_seq: u64,
     /// Whether a leader is currently flushing.
     leader_active: bool,
+    /// Set when a group-commit fsync fails, and never cleared: every
+    /// later commit and replication read fails with
+    /// [`WalError::Poisoned`] instead of re-flushing a file whose error
+    /// state the failed fsync already consumed.
+    poisoned: Option<String>,
 }
 
 /// Metric handles, resolved once at open.
@@ -299,6 +314,7 @@ impl Wal {
             sync: Mutex::new(SyncState {
                 durable_seq: last_seq,
                 leader_active: false,
+                poisoned: None,
             }),
             synced: Condvar::new(),
             total_bytes: AtomicU64::new(total_bytes),
@@ -376,6 +392,9 @@ impl Wal {
     pub fn commit(&self, seq: u64) -> Result<(), WalError> {
         let mut sync = self.sync.lock().unwrap();
         loop {
+            if let Some(m) = &sync.poisoned {
+                return Err(WalError::Poisoned(m.clone()));
+            }
             if sync.durable_seq >= seq {
                 return Ok(());
             }
@@ -424,7 +443,14 @@ impl Wal {
                 self.metrics.durable_seq.set_u64(flushed_seq);
                 Ok(())
             }
-            (Err(e), _) => Err(WalError::Io(e)),
+            (Err(e), _) => {
+                // Sticky: the failed fsync consumed the kernel's error
+                // state, so a retry by the next leader could "succeed"
+                // without the lost pages ever reaching disk. Fail every
+                // future commit instead of electing another leader.
+                sync.poisoned = Some(e.to_string());
+                Err(WalError::Io(e))
+            }
         };
         self.synced.notify_all();
         result
@@ -445,7 +471,15 @@ impl Wal {
     /// watermark. This is the replication feed: a replica never sees a
     /// record the primary could still lose.
     pub fn read_since(&self, from: u64, max: usize) -> Result<Vec<Record>, WalError> {
-        let durable = self.sync.lock().unwrap().durable_seq;
+        let durable = {
+            let sync = self.sync.lock().unwrap();
+            // A poisoned log must not feed replicas either: durable_seq
+            // stopped being trustworthy at the failed flush.
+            if let Some(m) = &sync.poisoned {
+                return Err(WalError::Poisoned(m.clone()));
+            }
+            sync.durable_seq
+        };
         if from >= durable || max == 0 {
             return Ok(Vec::new());
         }
@@ -466,18 +500,25 @@ impl Wal {
                 }
             }
             let mut buf = Vec::new();
-            // Hold the writer lock while reading the live tail segment so
-            // we never observe a half-written frame.
-            let is_tail = {
+            // For the live tail, capture the complete-frame length under
+            // the writer lock, then read *outside* it: `segment_len` is
+            // only advanced after a frame's `write_all` returns, so every
+            // byte below it is a whole frame, and bytes past it (a write
+            // racing this read) are simply not taken. Reading a 64 MiB
+            // tail must not stall appends — append runs under the store's
+            // master lock, so a lagging replica would otherwise block
+            // every update.
+            let tail_limit = {
                 let w = self.writer.lock().unwrap();
-                let is_tail = w.first_seq == first;
-                if is_tail {
+                (w.first_seq == first).then_some(w.segment_len)
+            };
+            match tail_limit {
+                Some(limit) => {
+                    File::open(path)?.take(limit).read_to_end(&mut buf)?;
+                }
+                None => {
                     File::open(path)?.read_to_end(&mut buf)?;
                 }
-                is_tail
-            };
-            if !is_tail {
-                File::open(path)?.read_to_end(&mut buf)?;
             }
             let (records, _) = decode_all(&buf)
                 .map_err(|e| WalError::Corrupt(format!("{}: {e}", path.display())))?;
@@ -553,6 +594,24 @@ impl Wal {
             self.metrics.bytes.set_u64(total);
         }
         Ok(removed_bytes)
+    }
+
+    /// Sequence number of the first record still on disk — the oldest
+    /// live segment's name. Records below this were pruned by a
+    /// checkpoint: a replication cursor at less than `oldest − 1` asks
+    /// for records that no longer exist, and that replica must be
+    /// re-seeded rather than silently served a stream with a hole in it.
+    pub fn oldest_retained_seq(&self) -> Result<u64, WalError> {
+        let mut oldest: Option<u64> = None;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(first) = entry.file_name().to_str().and_then(parse_segment_name) {
+                oldest = Some(oldest.map_or(first, |o| o.min(first)));
+            }
+        }
+        // A log always has a tail segment; an empty directory can only
+        // mean it was created this instant, where everything is retained.
+        Ok(oldest.unwrap_or(1))
     }
 
     /// Highest sequence number appended (not necessarily durable yet).
@@ -779,6 +838,65 @@ mod tests {
         let (wal2, rec) = Wal::open(&dir, opts(), &Registry::new()).unwrap();
         assert_eq!(wal2.last_seq(), 12);
         assert!(rec.records.is_empty() || rec.records.first().unwrap().seq > 12);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oldest_retained_tracks_pruning() {
+        let dir = tmpdir("oldest");
+        let (wal, _) = Wal::open(&dir, opts(), &Registry::new()).unwrap();
+        assert_eq!(wal.oldest_retained_seq().unwrap(), 1);
+        for i in 1..=12u64 {
+            wal.append(&format!("<http://ex/n{i}> <http://ex/p> \"{i}\" .\n"), "")
+                .unwrap();
+        }
+        wal.sync_all().unwrap();
+        wal.rotate().unwrap();
+        wal.prune_through(12).unwrap();
+        let oldest = wal.oldest_retained_seq().unwrap();
+        assert!(oldest > 1, "pruning must advance the floor, got {oldest}");
+        // A cursor just below the floor minus one can no longer be served
+        // contiguously; one at the floor minus one can.
+        assert!(wal.read_since(oldest - 1, 100).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_log_refuses_commits_and_reads() {
+        let dir = tmpdir("poison");
+        let (wal, _) = Wal::open(&dir, opts(), &Registry::new()).unwrap();
+        let seq = wal
+            .append("<http://ex/a> <http://ex/p> \"1\" .\n", "")
+            .unwrap();
+        wal.commit(seq).unwrap();
+        // Simulate a failed group-commit fsync: the error must be sticky.
+        wal.sync.lock().unwrap().poisoned = Some("injected fsync failure".to_string());
+        let seq = wal
+            .append("<http://ex/b> <http://ex/p> \"2\" .\n", "")
+            .unwrap();
+        assert!(matches!(wal.commit(seq), Err(WalError::Poisoned(_))));
+        assert!(matches!(wal.sync_all(), Err(WalError::Poisoned(_))));
+        assert!(matches!(wal.read_since(0, 100), Err(WalError::Poisoned(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_since_tail_ignores_bytes_past_the_captured_length() {
+        let dir = tmpdir("tail-limit");
+        let (wal, _) = Wal::open(&dir, opts(), &Registry::new()).unwrap();
+        wal.append("<http://ex/a> <http://ex/p> \"1\" .\n", "")
+            .unwrap();
+        wal.commit(1).unwrap();
+        // A half-written frame past segment_len (a racing append) must
+        // not corrupt the replication read.
+        {
+            let w = wal.writer.lock().unwrap();
+            let mut f = OpenOptions::new().append(true).open(&w.path).unwrap();
+            f.write_all(&[0x20, 0x00, 0x00, 0x00, 0xAA]).unwrap();
+        }
+        let got = wal.read_since(0, 100).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 
