@@ -1,0 +1,347 @@
+//! Scripted Bolt client probing a running `s3pg-serve` Bolt listener.
+//!
+//! The probe speaks the real wire protocol through [`s3pg_bolt`] — TCP
+//! handshake, version negotiation, HELLO, parameterized RUN/PULL — and
+//! differentially checks every answer against the JSON listener of the
+//! same server: columns, rows, row order, and error *text* must be
+//! identical, because both listeners funnel through one store, one plan
+//! cache, and one parameter pipeline. It then verifies the listener's
+//! robustness contract: a malformed handshake closes without an answer, a
+//! version mismatch answers all-zeros, an oversized chunked message gets
+//! a typed FAILURE (never a hang or an OOM), and RUN before HELLO gets a
+//! typed FAILURE. The server must have been started from the loadgen demo
+//! documents (`loadgen --write-demo`).
+//!
+//! ```text
+//! s3pg-serve --data demo/data.ttl --shapes demo/shapes.ttl \
+//!            --addr 127.0.0.1:7878 --bolt-addr 127.0.0.1:7687 &
+//! bolt_probe --bolt-addr 127.0.0.1:7687 --json-addr 127.0.0.1:7878
+//! ```
+//!
+//! Exit codes: 0 all checks passed, 1 a check failed or a connection
+//! error, 2 bad flags.
+
+use s3pg_bolt::handshake;
+use s3pg_bolt::message::{self, ClientMessage, ServerMessage};
+use s3pg_bolt::packstream::Value;
+use s3pg_bolt::{frame, DEFAULT_MAX_MESSAGE_BYTES};
+use s3pg_server::client::Client;
+use s3pg_server::json::Json;
+use s3pg_server::protocol::{Request, Response};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const USAGE: &str = "usage: bolt_probe --bolt-addr HOST:PORT --json-addr HOST:PORT";
+
+/// The differential workload: parameterized and plain queries over the
+/// loadgen demo universe, including one binding that matches nothing.
+const QUERIES: &[(&str, &[(&str, &str)])] = &[
+    ("MATCH (p:Person) RETURN p.name", &[]),
+    (
+        "MATCH (p:Person) WHERE p.name = $name RETURN p.name",
+        &[("name", "A")],
+    ),
+    (
+        "MATCH (p:Person) WHERE p.name = $name RETURN p.name",
+        &[("name", "nobody")],
+    ),
+    (
+        "MATCH (p:Person)-[:knows]->(q:Person) WHERE p.name = $who RETURN q.name",
+        &[("who", "A")],
+    ),
+];
+
+/// A minimal blocking Bolt client over one TCP session.
+struct BoltProbe {
+    stream: TcpStream,
+}
+
+type Rows = Vec<Vec<Option<String>>>;
+
+impl BoltProbe {
+    fn connect(addr: &str) -> Result<BoltProbe, String> {
+        let mut stream = dial(addr)?;
+        let version = handshake::client_handshake(&mut stream)
+            .map_err(|e| format!("handshake: {e}"))?
+            .ok_or("server rejected every proposed Bolt version")?;
+        if version.major != 5 {
+            return Err(format!("expected a Bolt 5.x negotiation, got {version}"));
+        }
+        let mut probe = BoltProbe { stream };
+        let answer = probe.call(ClientMessage::Hello(vec![(
+            "user_agent".into(),
+            Value::String("s3pg-bolt-probe/0".into()),
+        )]))?;
+        match answer {
+            ServerMessage::Success(meta) if meta.iter().any(|(k, _)| k == "server") => Ok(probe),
+            other => Err(format!(
+                "HELLO must succeed with server meta, got {other:?}"
+            )),
+        }
+    }
+
+    fn send(&mut self, message: ClientMessage) -> Result<(), String> {
+        let payload = message::encode_client(&message);
+        frame::write_message(&mut self.stream, &payload).map_err(|e| format!("send: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<ServerMessage, String> {
+        let payload = frame::read_message(&mut self.stream, DEFAULT_MAX_MESSAGE_BYTES)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("server closed mid-conversation")?;
+        message::decode_server(&payload).map_err(|e| format!("decode: {e}"))
+    }
+
+    fn call(&mut self, message: ClientMessage) -> Result<ServerMessage, String> {
+        self.send(message)?;
+        self.recv()
+    }
+
+    /// RUN + PULL(-1): `Ok(Ok((fields, rows)))` on success, `Ok(Err(text))`
+    /// on a query FAILURE (after which the session is RESET), `Err` on a
+    /// protocol-level problem.
+    #[allow(clippy::type_complexity)]
+    fn run(
+        &mut self,
+        query: &str,
+        bindings: &[(&str, &str)],
+    ) -> Result<Result<(Vec<String>, Rows), String>, String> {
+        let parameters = bindings
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::String(v.to_string())))
+            .collect();
+        let answer = self.call(ClientMessage::Run {
+            query: query.to_string(),
+            parameters,
+            extra: Vec::new(),
+        })?;
+        let fields = match answer {
+            ServerMessage::Success(meta) => {
+                let Some(Value::List(fields)) = meta
+                    .iter()
+                    .find(|(k, _)| k == "fields")
+                    .map(|(_, v)| v.clone())
+                else {
+                    return Err(format!("RUN success must carry fields, got {meta:?}"));
+                };
+                fields
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or(format!("non-string field in {fields:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            ServerMessage::Failure { message, .. } => match self.call(ClientMessage::Reset)? {
+                ServerMessage::Success(_) => return Ok(Err(message)),
+                other => return Err(format!("RESET must succeed, got {other:?}")),
+            },
+            other => return Err(format!("unexpected RUN answer {other:?}")),
+        };
+        self.send(ClientMessage::Pull(vec![("n".into(), Value::Int(-1))]))?;
+        let mut rows = Vec::new();
+        loop {
+            match self.recv()? {
+                ServerMessage::Record(values) => rows.push(
+                    values
+                        .into_iter()
+                        .map(|v| match v {
+                            Value::Null => Ok(None),
+                            Value::String(s) => Ok(Some(s)),
+                            other => Err(format!("rows are strings or null, got {other:?}")),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+                ServerMessage::Success(_) => break,
+                other => return Err(format!("unexpected PULL answer {other:?}")),
+            }
+        }
+        Ok(Ok((fields, rows)))
+    }
+}
+
+fn dial(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+/// One query through both listeners; answers must be identical.
+fn check_agreement(
+    json: &mut Client,
+    bolt: &mut BoltProbe,
+    query: &str,
+    bindings: &[(&str, &str)],
+) -> Result<(), String> {
+    let params: Vec<(String, Json)> = bindings
+        .iter()
+        .map(|(k, v)| (k.to_string(), Json::Str(v.to_string())))
+        .collect();
+    let json_answer = json
+        .call(&Request::Cypher {
+            query: query.to_string(),
+            params,
+        })
+        .map_err(|e| format!("json call: {e}"))?;
+    let bolt_answer = bolt.run(query, bindings)?;
+    match (json_answer, bolt_answer) {
+        (Response::Cypher { columns, rows }, Ok((fields, bolt_rows))) => {
+            if columns != fields {
+                return Err(format!(
+                    "columns diverge for {query:?}: json {columns:?} vs bolt {fields:?}"
+                ));
+            }
+            if rows != bolt_rows {
+                return Err(format!(
+                    "rows diverge for {query:?}: json {rows:?} vs bolt {bolt_rows:?}"
+                ));
+            }
+            println!("  agree on {query:?} {bindings:?}: {} rows", rows.len());
+        }
+        (Response::Error(frame), Err(message)) => {
+            if frame.message != message {
+                return Err(format!(
+                    "error text diverges for {query:?}: json {:?} vs bolt {message:?}",
+                    frame.message
+                ));
+            }
+            println!("  agree on {query:?}: typed error {message:?}");
+        }
+        (json_answer, bolt_answer) => {
+            return Err(format!(
+                "listeners disagree for {query:?}: json={json_answer:?} bolt={bolt_answer:?}"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// The robustness contract: malformed peers get deterministic, typed
+/// treatment — never a hang.
+fn check_robustness(bolt_addr: &str) -> Result<(), String> {
+    // Garbage instead of the magic: close without a version answer.
+    let mut stream = dial(bolt_addr)?;
+    stream.write_all(&[0u8; 20]).map_err(|e| e.to_string())?;
+    let mut sink = Vec::new();
+    let n = stream.read_to_end(&mut sink).map_err(|e| e.to_string())?;
+    if n != 0 {
+        return Err(format!("bad magic still got {n} answer bytes"));
+    }
+    println!("  bad handshake magic: closed with no answer");
+
+    // No version overlap: all-zeros answer, then close.
+    let mut stream = dial(bolt_addr)?;
+    let mut wire = handshake::MAGIC.to_vec();
+    wire.extend_from_slice(&[0, 0, 0, 3]); // Bolt 3.0 only
+    wire.extend_from_slice(&[0u8; 12]);
+    stream.write_all(&wire).map_err(|e| e.to_string())?;
+    let mut answer = [0u8; 4];
+    stream.read_exact(&mut answer).map_err(|e| e.to_string())?;
+    if answer != [0, 0, 0, 0] {
+        return Err(format!("version mismatch answered {answer:?}, not zeros"));
+    }
+    println!("  unsupported version: all-zeros answer");
+
+    // A message chunked past the reassembly limit: typed FAILURE, close.
+    let mut probe = BoltProbe::connect(bolt_addr)?;
+    let chunk = vec![0u8; frame::MAX_CHUNK];
+    for _ in 0..(DEFAULT_MAX_MESSAGE_BYTES / frame::MAX_CHUNK + 2) {
+        if probe
+            .stream
+            .write_all(&(frame::MAX_CHUNK as u16).to_be_bytes())
+            .and_then(|()| probe.stream.write_all(&chunk))
+            .is_err()
+        {
+            break; // server already closed its end; the FAILURE is queued
+        }
+    }
+    match probe.recv()? {
+        ServerMessage::Failure { code, message } if message.contains("limit") => {
+            println!("  oversized message: {code} ({message})");
+        }
+        other => {
+            return Err(format!(
+                "oversized message got {other:?}, not a typed limit"
+            ))
+        }
+    }
+
+    // RUN before HELLO: typed FAILURE.
+    let mut stream = dial(bolt_addr)?;
+    handshake::client_handshake(&mut stream)
+        .map_err(|e| e.to_string())?
+        .ok_or("robustness handshake rejected")?;
+    let payload = message::encode_client(&ClientMessage::Run {
+        query: "RETURN 1".into(),
+        parameters: vec![],
+        extra: vec![],
+    });
+    frame::write_message(&mut stream, &payload).map_err(|e| e.to_string())?;
+    let failed = frame::read_message(&mut stream, DEFAULT_MAX_MESSAGE_BYTES)
+        .map_err(|e| e.to_string())?
+        .ok_or("RUN before HELLO closed without a FAILURE")?;
+    match message::decode_server(&failed).map_err(|e| e.to_string())? {
+        ServerMessage::Failure { code, message } if message.contains("expected HELLO") => {
+            println!("  RUN before HELLO: {code} ({message})");
+        }
+        other => return Err(format!("RUN before HELLO got {other:?}")),
+    }
+    Ok(())
+}
+
+fn run(bolt_addr: &str, json_addr: &str) -> Result<(), String> {
+    let mut json = Client::connect(json_addr).map_err(|e| format!("json connect: {e}"))?;
+    let mut bolt = BoltProbe::connect(bolt_addr)?;
+    println!("== differential: Bolt RUN/PULL vs JSON cypher ==");
+    for (query, bindings) in QUERIES {
+        check_agreement(&mut json, &mut bolt, query, bindings)?;
+    }
+    // Shared validation: the same typed message on both listeners.
+    for bindings in [&[][..], &[("name", "A"), ("typo", "x")][..]] {
+        check_agreement(
+            &mut json,
+            &mut bolt,
+            "MATCH (p:Person) WHERE p.name = $name RETURN p.name",
+            bindings,
+        )?;
+    }
+    bolt.send(ClientMessage::Goodbye)?;
+    println!("== robustness: malformed peers ==");
+    check_robustness(bolt_addr)?;
+    Ok(())
+}
+
+fn main() {
+    let mut bolt_addr = None;
+    let mut json_addr = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bolt-addr" => bolt_addr = it.next(),
+            "--json-addr" => json_addr = it.next(),
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(bolt_addr), Some(json_addr)) = (bolt_addr, json_addr) else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    match run(&bolt_addr, &json_addr) {
+        Ok(()) => println!("bolt probe OK"),
+        Err(msg) => {
+            eprintln!("bolt probe FAILED: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

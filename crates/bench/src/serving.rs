@@ -19,6 +19,13 @@
 //! Any response that disagrees with the in-process engines is recorded as
 //! a mismatch; a clean run proves the serving path returns exactly what
 //! the engines return, under concurrency, while the graph evolves.
+//!
+//! After the global phase, two post-run sweeps exercise the plan cache
+//! from both sides: a *literal* sweep of distinct query texts that must
+//! all miss, then a *parameterized* sweep of one fixed text over many
+//! `$name` bindings that must plan once and hit thereafter (>95%), with
+//! every parameterized answer checked against the engine's own
+//! parameterized evaluation and against the literal answers.
 
 use s3pg::incremental::apply_ntriples_delta;
 use s3pg::pipeline::transform;
@@ -28,6 +35,7 @@ use s3pg_rdf::parser::{parse_ntriples, parse_turtle};
 use s3pg_rdf::rng::XorShiftRng;
 use s3pg_rdf::Graph;
 use s3pg_server::client::Client;
+use s3pg_server::json::Json;
 use s3pg_server::protocol::{ErrorKind, Request, Response};
 use s3pg_shacl::parser::parse_shacl_turtle;
 use s3pg_shacl::ShapeSchema;
@@ -246,6 +254,11 @@ fn marker(c: usize, r: usize) -> String {
     format!("load-c{c}-r{r}")
 }
 
+/// Fresh values each post-run plan-cache sweep issues — large enough that
+/// the parameterized form's single planning miss stays well under 5% of
+/// its phase even at the smallest loadgen configuration.
+const PARAM_SWEEP: usize = 64;
+
 fn delta_for(c: usize, r: usize, rng: &mut XorShiftRng) -> String {
     let iri = format!("http://load.example.org/c{c}/p{r}");
     let mut nt = format!(
@@ -271,7 +284,23 @@ fn delta_for(c: usize, r: usize, rng: &mut XorShiftRng) -> String {
 /// Check one server response against the in-process engines; returns a
 /// description of the disagreement, if any.
 fn check_cypher(replica: &Replica, query: &str, response: &Response) -> Option<String> {
-    let expected = cypher::execute(&replica.out.pg, query);
+    check_cypher_params(replica, query, &[], response)
+}
+
+/// [`check_cypher`] with wire-shaped parameter bindings: the local
+/// expectation runs the engine's own parameterized evaluation over the
+/// same JSON → value conversion the server applies.
+fn check_cypher_params(
+    replica: &Replica,
+    query: &str,
+    bindings: &[(String, Json)],
+    response: &Response,
+) -> Option<String> {
+    let params = match s3pg_server::params::cypher_params(bindings) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("cypher {query:?}: local bindings rejected: {e}")),
+    };
+    let expected = cypher::execute_params(&replica.out.pg, query, &params);
     match (response, expected) {
         (Response::Cypher { rows, .. }, Ok(local)) => {
             let server_set = ResultSet::from_rendered_rows(rows.clone());
@@ -390,6 +419,7 @@ pub fn run_loadgen(
                         &mut client,
                         &Request::Cypher {
                             query: query.clone(),
+                            params: Vec::new(),
                         },
                         &mut local_samples,
                     )?;
@@ -408,6 +438,7 @@ pub fn run_loadgen(
                         &mut client,
                         &Request::Sparql {
                             query: query.clone(),
+                            params: Vec::new(),
                         },
                         &mut local_samples,
                     )?;
@@ -425,6 +456,7 @@ pub fn run_loadgen(
                             &mut client,
                             &Request::Cypher {
                                 query: query.clone(),
+                                params: Vec::new(),
                             },
                             &mut local_samples,
                         )?;
@@ -442,6 +474,7 @@ pub fn run_loadgen(
                             &mut client,
                             &Request::Cypher {
                                 query: query.clone(),
+                                params: Vec::new(),
                             },
                             &mut local_samples,
                         )?;
@@ -490,6 +523,7 @@ pub fn run_loadgen(
         let response = client
             .call(&Request::Cypher {
                 query: query.clone(),
+                params: Vec::new(),
             })
             .map_err(|e| e.to_string())?;
         final_requests += 1;
@@ -501,6 +535,7 @@ pub fn run_loadgen(
     let response = client
         .call(&Request::Sparql {
             query: query.clone(),
+            params: Vec::new(),
         })
         .map_err(|e| e.to_string())?;
     final_requests += 1;
@@ -541,13 +576,16 @@ pub fn run_loadgen(
     // cache (the exposition check below asserts hit rate > 0.9 across the
     // whole run). Sized so exercise hits alone outvote the worst-case
     // miss count — every other query text in the run is distinct at most
-    // once per (connection, round). Responses stay differentially checked.
+    // once per (connection, round), plus the distinct texts the literal
+    // sweep below deliberately burns. Responses stay differentially
+    // checked.
     let cache_query = "MATCH (p:Person) WHERE p.name = \"B\" RETURN p.name".to_string();
-    let cache_repeats = 10 * (2 * config.connections * config.rounds + 8) as u64;
+    let cache_repeats = 10 * (2 * config.connections * config.rounds + 8 + PARAM_SWEEP + 1) as u64;
     for i in 0..cache_repeats {
         let response = client
             .call(&Request::Cypher {
                 query: cache_query.clone(),
+                params: Vec::new(),
             })
             .map_err(|e| e.to_string())?;
         final_requests += 1;
@@ -555,6 +593,123 @@ pub fn run_loadgen(
             mismatches.push(format!("cache-exercise #{i}: {m}"));
             break; // one disagreement would repeat thousands of times
         }
+    }
+
+    // ---- Parameterized exercise: the same selective lookup issued two
+    // ways over fresh values. Inlined as literal text, every value makes a
+    // new query string, so every issue must *miss* the plan cache; carried
+    // as a `$name` binding over one fixed text, the server plans once and
+    // every later issue must *hit*. The bracketed counter fetches prove
+    // both halves; like [`plan_cache_probe`], the brackets assume nothing
+    // else drives the server during the post-run phases. Every response is
+    // still differentially checked, and the parameterized answers for the
+    // sweep values must equal the literal answers exactly — the cached
+    // plan may not change what the query returns.
+    let plan_counters = |client: &mut Client| -> Result<(f64, f64), String> {
+        match client.call(&Request::Metrics).map_err(|e| e.to_string())? {
+            Response::Metrics { exposition } => {
+                let parsed = s3pg_obs::parse_exposition(&exposition).map_err(|e| e.to_string())?;
+                let value = |name: &str| {
+                    parsed
+                        .iter()
+                        .find(|s| s.name == name)
+                        .map(|s| s.value)
+                        .unwrap_or(0.0)
+                };
+                Ok((
+                    value("s3pg_plan_cache_hits_total{listener=\"json\"}"),
+                    value("s3pg_plan_cache_misses_total{listener=\"json\"}"),
+                ))
+            }
+            other => Err(format!("metrics: unexpected response {other:?}")),
+        }
+    };
+    let sweep: Vec<String> = (0..PARAM_SWEEP)
+        .map(|i| format!("param-sweep-{i}"))
+        .collect();
+
+    // Literal half. The swept names exist nowhere, so the expected rows
+    // are empty — emptiness is itself differentially checked.
+    let (hits_start, misses_start) = plan_counters(&mut client)?;
+    final_requests += 1;
+    let mut literal_answers: Vec<Response> = Vec::with_capacity(sweep.len());
+    for value in &sweep {
+        let query = format!("MATCH (p:Person) WHERE p.name = \"{value}\" RETURN p.name");
+        let response = client
+            .call(&Request::Cypher {
+                query: query.clone(),
+                params: Vec::new(),
+            })
+            .map_err(|e| e.to_string())?;
+        final_requests += 1;
+        if let Some(m) = check_cypher(&global, &query, &response) {
+            mismatches.push(format!("literal-sweep {value}: {m}"));
+        }
+        literal_answers.push(response);
+    }
+    let (hits_mid, misses_mid) = plan_counters(&mut client)?;
+    final_requests += 1;
+    if misses_mid - misses_start < sweep.len() as f64 {
+        mismatches.push(format!(
+            "plan cache: literal sweep of {} distinct texts produced only {:.0} misses",
+            sweep.len(),
+            misses_mid - misses_start
+        ));
+    }
+    let literal_denominator = ((hits_mid - hits_start) + (misses_mid - misses_start)).max(1.0);
+    let literal_rate = (hits_mid - hits_start) / literal_denominator;
+    if literal_rate >= 0.05 {
+        mismatches.push(format!(
+            "plan cache: distinct literal texts hit at {literal_rate:.3}; expected ~0"
+        ));
+    }
+
+    // Parameterized half: one text over every value the run has touched —
+    // the base names, every connection's markers, and the literal sweep's
+    // values (whose answers must match the literal half bit-for-bit).
+    let param_query = "MATCH (p:Person) WHERE p.name = $name RETURN p.name";
+    let mut values: Vec<String> = vec!["A".into(), "B".into(), "C".into()];
+    for c in 0..config.connections {
+        for r in 0..config.rounds {
+            values.push(marker(c, r));
+        }
+    }
+    values.extend(sweep.iter().cloned());
+    for (i, value) in values.iter().enumerate() {
+        let bindings = vec![("name".to_string(), Json::Str(value.clone()))];
+        let response = client
+            .call(&Request::Cypher {
+                query: param_query.to_string(),
+                params: bindings.clone(),
+            })
+            .map_err(|e| e.to_string())?;
+        final_requests += 1;
+        if let Some(m) = check_cypher_params(&global, param_query, &bindings, &response) {
+            mismatches.push(format!("param-sweep $name={value}: {m}"));
+        }
+        // The tail of `values` is the literal sweep, in order.
+        if let Some(j) = i.checked_sub(values.len() - sweep.len()) {
+            if response != literal_answers[j] {
+                mismatches.push(format!(
+                    "param-sweep $name={value}: parameterized answer {response:?} \
+                     differs from literal answer {:?}",
+                    literal_answers[j]
+                ));
+            }
+        }
+    }
+    let (hits_end, misses_end) = plan_counters(&mut client)?;
+    final_requests += 1;
+    let param_denominator = ((hits_end - hits_mid) + (misses_end - misses_mid)).max(1.0);
+    let param_rate = (hits_end - hits_mid) / param_denominator;
+    if param_rate <= 0.95 {
+        mismatches.push(format!(
+            "plan cache: parameterized issues hit at {param_rate:.3} ≤ 0.95 \
+             ({:.0} hits, {:.0} misses over {} issues of one text)",
+            hits_end - hits_mid,
+            misses_end - misses_mid,
+            values.len()
+        ));
     }
 
     // Metrics: the exposition must be well-formed, and the server's
@@ -566,7 +721,7 @@ pub fn run_loadgen(
     for s in &latencies {
         *tally.entry(s.endpoint).or_default() += 1;
     }
-    *tally.entry("cypher").or_default() += 2 + cache_repeats;
+    *tally.entry("cypher").or_default() += 2 + cache_repeats + (sweep.len() + values.len()) as u64;
     *tally.entry("sparql").or_default() += 1;
     *tally.entry("stats").or_default() += 1;
     *tally.entry("health").or_default() += 1;
@@ -607,9 +762,11 @@ pub fn run_loadgen(
                         .unwrap_or(0.0)
                 };
                 // The plan cache must be doing its job: on this repeat-heavy
-                // workload more than 9 in 10 query lookups hit.
-                let hits = value("s3pg_plan_cache_hit");
-                let misses = value("s3pg_plan_cache_miss");
+                // workload more than 9 in 10 query lookups hit. (This
+                // client speaks JSON; the bolt listener's counters are a
+                // separate series.)
+                let hits = value("s3pg_plan_cache_hits_total{listener=\"json\"}");
+                let misses = value("s3pg_plan_cache_misses_total{listener=\"json\"}");
                 if hits + misses <= 0.0 {
                     mismatches.push("metrics: plan-cache counters missing or zero".to_string());
                 } else {
@@ -660,6 +817,7 @@ pub fn plan_cache_probe(addr: &str) -> Result<(), String> {
         match client
             .call(&Request::Cypher {
                 query: query.to_string(),
+                params: Vec::new(),
             })
             .map_err(|e| e.to_string())?
         {
@@ -677,7 +835,7 @@ pub fn plan_cache_probe(addr: &str) -> Result<(), String> {
     // Decode (trace id, span name, kind) out of the JSONL tail; events are
     // oldest-first, so the last two `query_eval` begins are our two issues
     // (nothing else talks to the server while the probe runs).
-    use s3pg_server::json::{self, Json};
+    use s3pg_server::json;
     let mut eval_traces: Vec<u64> = Vec::new();
     let mut plan_traces: Vec<u64> = Vec::new();
     for (i, line) in events.iter().enumerate() {

@@ -1,0 +1,144 @@
+//! Chunked message framing: a Bolt message is a sequence of chunks, each
+//! a 2-byte big-endian length followed by that many payload bytes, ended
+//! by a zero-length chunk (`0x0000`). A zero-length chunk *between*
+//! messages is a NOOP keep-alive and is skipped.
+//!
+//! Reads enforce a caller-supplied cap on the reassembled message size so
+//! a hostile peer cannot stream chunks forever; the cap violation is a
+//! typed [`Error::Protocol`] the server turns into a `FAILURE` record
+//! before closing, never a hang or an OOM.
+
+use crate::Error;
+use std::io::{ErrorKind, Read, Write};
+
+/// Largest payload one chunk can carry (the length field is u16).
+pub const MAX_CHUNK: usize = 0xFFFF;
+
+/// Write one message as chunks plus the terminating `0x0000`.
+pub fn write_message(w: &mut impl Write, payload: &[u8]) -> Result<(), Error> {
+    for chunk in payload.chunks(MAX_CHUNK) {
+        w.write_all(&(chunk.len() as u16).to_be_bytes())?;
+        w.write_all(chunk)?;
+    }
+    w.write_all(&[0, 0])?;
+    Ok(())
+}
+
+/// Read one complete message.
+///
+/// Returns `Ok(None)` on clean EOF at a message boundary (the peer hung
+/// up between messages). EOF *inside* a message, or a message growing
+/// past `max_message_bytes`, is an error.
+pub fn read_message(r: &mut impl Read, max_message_bytes: usize) -> Result<Option<Vec<u8>>, Error> {
+    let mut payload = Vec::new();
+    loop {
+        let mut header = [0u8; 2];
+        match read_exact_or_eof(r, &mut header)? {
+            ReadOutcome::Eof if payload.is_empty() => return Ok(None),
+            ReadOutcome::Eof => {
+                return Err(Error::protocol("connection closed mid-message"));
+            }
+            ReadOutcome::Filled => {}
+        }
+        let len = u16::from_be_bytes(header) as usize;
+        if len == 0 {
+            if payload.is_empty() {
+                // NOOP keep-alive between messages; keep waiting.
+                continue;
+            }
+            return Ok(Some(payload));
+        }
+        if payload.len() + len > max_message_bytes {
+            return Err(Error::protocol(format!(
+                "message exceeds the {max_message_bytes}-byte limit"
+            )));
+        }
+        let start = payload.len();
+        payload.resize(start + len, 0);
+        r.read_exact(&mut payload[start..])?;
+    }
+}
+
+enum ReadOutcome {
+    Filled,
+    Eof,
+}
+
+/// `read_exact`, but a clean EOF before the *first* byte is reported as
+/// [`ReadOutcome::Eof`] instead of an error.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, Error> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => return Err(Error::protocol("connection closed mid-frame")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chunk_round_trip() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, b"hello").unwrap();
+        assert_eq!(wire, [&[0, 5][..], b"hello", &[0, 0]].concat());
+        let got = read_message(&mut wire.as_slice(), 1024).unwrap();
+        assert_eq!(got.as_deref(), Some(&b"hello"[..]));
+    }
+
+    #[test]
+    fn large_message_splits_and_reassembles() {
+        let payload = vec![0xABu8; MAX_CHUNK + 17];
+        let mut wire = Vec::new();
+        write_message(&mut wire, &payload).unwrap();
+        // Two chunks: MAX_CHUNK then 17, then the terminator.
+        assert_eq!(&wire[..2], &[0xFF, 0xFF]);
+        let got = read_message(&mut wire.as_slice(), MAX_CHUNK * 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn noop_chunks_between_messages_are_skipped() {
+        let mut wire = vec![0, 0, 0, 0]; // two keep-alives
+        write_message(&mut wire, b"x").unwrap();
+        let got = read_message(&mut wire.as_slice(), 16).unwrap();
+        assert_eq!(got.as_deref(), Some(&b"x"[..]));
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none_mid_message_is_error() {
+        assert!(read_message(&mut (&[][..]), 16).unwrap().is_none());
+        // Chunk header promises 5 bytes, stream ends after 2.
+        let wire = [0u8, 5, b'h', b'i'];
+        assert!(read_message(&mut (&wire[..]), 16).is_err());
+        // Stream ends after a data chunk with no terminator.
+        let wire = [0u8, 1, b'x'];
+        assert!(read_message(&mut (&wire[..]), 16).is_err());
+    }
+
+    #[test]
+    fn oversized_message_is_rejected_before_allocation() {
+        // One max-size chunk header with a tiny limit: rejected on the
+        // header alone, without reading the (absent) payload.
+        let wire = [0xFFu8, 0xFF];
+        let err = read_message(&mut (&wire[..]), 64).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+        // Many small chunks that sum past the limit.
+        let mut wire = Vec::new();
+        for _ in 0..10 {
+            wire.extend_from_slice(&[0, 16]);
+            wire.extend_from_slice(&[0u8; 16]);
+        }
+        let err = read_message(&mut wire.as_slice(), 64).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+}

@@ -83,6 +83,10 @@ pub enum Expr {
     Var(String),
     Prop(String, String),
     Lit(Value),
+    /// `$name`: a query parameter, resolved against the caller-supplied
+    /// [`Params`] map at evaluation time. Parameterized queries parse and
+    /// plan once; only evaluation sees the concrete values.
+    Param(String),
     Null,
     Coalesce(Vec<Expr>),
     Cmp(CmpOp, Box<Expr>, Box<Expr>),
@@ -144,6 +148,51 @@ pub struct CypherQuery {
     pub parts: Vec<SingleQuery>,
 }
 
+/// Parameter bindings for one evaluation: `$name` → value.
+pub type Params = FxHashMap<String, Value>;
+
+/// Every `$param` name a parsed query references, sorted. Callers use this
+/// to reject undeclared (used but unbound) and unused (bound but unused)
+/// parameters with a typed error before evaluation.
+pub fn param_names(query: &CypherQuery) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for part in &query.parts {
+        let mut exprs: Vec<&Expr> = Vec::new();
+        exprs.extend(&part.where_clause);
+        exprs.extend(part.unwind.iter().map(|(e, _)| e));
+        exprs.extend(&part.unwind_where);
+        for (item, _) in &part.return_items {
+            match item {
+                ReturnItem::Expr(e) => exprs.push(e),
+                ReturnItem::Count { arg, .. } => exprs.extend(arg),
+            }
+        }
+        for e in exprs {
+            collect_param_names(e, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_param_names(expr: &Expr, out: &mut std::collections::BTreeSet<String>) {
+    match expr {
+        Expr::Param(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Coalesce(args) => {
+            for a in args {
+                collect_param_names(a, out);
+            }
+        }
+        Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_param_names(a, out);
+            collect_param_names(b, out);
+        }
+        Expr::Not(a) | Expr::IsNull(a, _) => collect_param_names(a, out),
+        Expr::Var(_) | Expr::Prop(_, _) | Expr::Lit(_) | Expr::Null => {}
+    }
+}
+
 // ---- planning --------------------------------------------------------------
 
 /// One equality-predicate pushdown: the start binding of a pattern is
@@ -156,8 +205,19 @@ pub struct CypherQuery {
 struct Probe {
     label: String,
     key: String,
-    /// Index keys whose union covers every scalar the predicate can equal.
-    keys: Vec<Value>,
+    keys: ProbeKeys,
+}
+
+/// What the probe looks up in the `(label, key, value)` index.
+#[derive(Debug, Clone, PartialEq)]
+enum ProbeKeys {
+    /// Literal predicate: index keys whose union covers every scalar the
+    /// predicate can equal, computed at plan time.
+    Values(Vec<Value>),
+    /// `var.key = $param`: the key set depends on the bound value, so it is
+    /// resolved against the [`Params`] map at evaluation time. This is what
+    /// lets one cached plan serve every parameter value.
+    Param(String),
 }
 
 /// Execution plan for one [`SingleQuery`].
@@ -204,9 +264,17 @@ pub fn plan<G: PgRead>(pg: &G, query: &CypherQuery) -> CypherPlan {
     }
 }
 
-/// Collect top-level conjuncts of the form `var.key = literal` (either
-/// operand order). OR / NOT subtrees contribute nothing.
-fn collect_eq_predicates<'a>(expr: &'a Expr, out: &mut Vec<(&'a str, &'a str, &'a Value)>) {
+/// The right-hand side of a pushable equality conjunct: a literal value or
+/// a parameter slot.
+enum EqRhs<'a> {
+    Lit(&'a Value),
+    Param(&'a str),
+}
+
+/// Collect top-level conjuncts of the form `var.key = literal` or
+/// `var.key = $param` (either operand order). OR / NOT subtrees contribute
+/// nothing.
+fn collect_eq_predicates<'a>(expr: &'a Expr, out: &mut Vec<(&'a str, &'a str, EqRhs<'a>)>) {
     match expr {
         Expr::And(a, b) => {
             collect_eq_predicates(a, out);
@@ -214,7 +282,10 @@ fn collect_eq_predicates<'a>(expr: &'a Expr, out: &mut Vec<(&'a str, &'a str, &'
         }
         Expr::Cmp(CmpOp::Eq, l, r) => match (&**l, &**r) {
             (Expr::Prop(var, key), Expr::Lit(v)) | (Expr::Lit(v), Expr::Prop(var, key)) => {
-                out.push((var, key, v))
+                out.push((var, key, EqRhs::Lit(v)))
+            }
+            (Expr::Prop(var, key), Expr::Param(p)) | (Expr::Param(p), Expr::Prop(var, key)) => {
+                out.push((var, key, EqRhs::Param(p)))
             }
             _ => {}
         },
@@ -262,7 +333,7 @@ fn equivalent_index_keys(lit: &Value) -> Option<Vec<Value>> {
 }
 
 fn plan_single<G: PgRead>(pg: &G, q: &SingleQuery) -> SinglePlan {
-    let mut eq: Vec<(&str, &str, &Value)> = Vec::new();
+    let mut eq: Vec<(&str, &str, EqRhs)> = Vec::new();
     if let Some(where_clause) = &q.where_clause {
         collect_eq_predicates(where_clause, &mut eq);
     }
@@ -275,11 +346,15 @@ fn plan_single<G: PgRead>(pg: &G, q: &SingleQuery) -> SinglePlan {
             let label = p.start.labels.first()?;
             eq.iter()
                 .find(|(v, _, _)| *v == var)
-                .and_then(|(_, key, value)| {
+                .and_then(|(_, key, rhs)| {
+                    let keys = match rhs {
+                        EqRhs::Lit(value) => ProbeKeys::Values(equivalent_index_keys(value)?),
+                        EqRhs::Param(name) => ProbeKeys::Param((*name).to_string()),
+                    };
                     Some(Probe {
                         label: label.clone(),
                         key: (*key).to_string(),
-                        keys: equivalent_index_keys(value)?,
+                        keys,
                     })
                 })
         })
@@ -310,11 +385,15 @@ fn plan_single<G: PgRead>(pg: &G, q: &SingleQuery) -> SinglePlan {
                     return (pos, 1, true);
                 }
                 let est = if let Some(probe) = &probes[pi] {
-                    probe
-                        .keys
-                        .iter()
-                        .map(|k| pg.nodes_with_label_prop(&probe.label, &probe.key, k).len())
-                        .sum()
+                    match &probe.keys {
+                        ProbeKeys::Values(keys) => keys
+                            .iter()
+                            .map(|k| pg.nodes_with_label_prop(&probe.label, &probe.key, k).len())
+                            .sum(),
+                        // The value is unknown at plan time; assume an
+                        // equality probe is selective.
+                        ProbeKeys::Param(_) => 2,
+                    }
                 } else if let Some(label) = p.start.labels.first() {
                     pg.label_cardinality(label)
                 } else {
@@ -369,6 +448,7 @@ enum Tok {
     Str(String),
     Num(f64),
     Int(i64),
+    Param(String), // $name
     LParen,
     RParen,
     LBracket,
@@ -531,6 +611,24 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, CypherError> {
                 let (tok, next) = lex_number(bytes, pos)?;
                 out.push(tok);
                 pos = next;
+            }
+            b'$' => {
+                let start = pos + 1;
+                pos = start;
+                while pos < bytes.len() {
+                    let c = bytes[pos] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if pos == start {
+                    return err("expected parameter name after '$'");
+                }
+                out.push(Tok::Param(
+                    std::str::from_utf8(&bytes[start..pos]).unwrap().to_string(),
+                ));
             }
             _ => {
                 let start = pos;
@@ -973,6 +1071,7 @@ impl Parser {
             Some(Tok::Str(s)) => Ok(Expr::Lit(Value::String(s))),
             Some(Tok::Int(i)) => Ok(Expr::Lit(Value::Int(i))),
             Some(Tok::Num(f)) => Ok(Expr::Lit(Value::Float(f))),
+            Some(Tok::Param(name)) => Ok(Expr::Param(name)),
             Some(Tok::LParen) => {
                 let e = self.expr()?;
                 if !self.eat(&Tok::RParen) {
@@ -1023,6 +1122,16 @@ impl Rows {
 /// record `query_plan` / `query_eval` child spans — the server's plan
 /// cache skips the `query_plan` stage entirely on a hit.
 pub fn execute<G: PgRead>(pg: &G, query: &str) -> Result<Rows, CypherError> {
+    execute_params(pg, query, &Params::default())
+}
+
+/// [`execute`] with parameter bindings: `$name` references in the query
+/// resolve against `params`. Unbound parameters are an error.
+pub fn execute_params<G: PgRead>(
+    pg: &G,
+    query: &str,
+    params: &Params,
+) -> Result<Rows, CypherError> {
     let (q, p) = {
         let _span = s3pg_obs::tracer().span_here("query_plan");
         let q = parse(query)?;
@@ -1030,7 +1139,7 @@ pub fn execute<G: PgRead>(pg: &G, query: &str) -> Result<Rows, CypherError> {
         (q, p)
     };
     let _span = s3pg_obs::tracer().span_here("query_eval");
-    evaluate_planned(pg, &q, &p, 1)
+    evaluate_planned_params(pg, &q, &p, params, 1)
 }
 
 /// Evaluate a parsed query over `pg`: plans (pattern ordering + equality
@@ -1060,12 +1169,31 @@ pub fn evaluate_planned<G: PgRead>(
     plan: &CypherPlan,
     threads: usize,
 ) -> Result<Rows, CypherError> {
+    evaluate_planned_params(pg, query, plan, &Params::default(), threads)
+}
+
+/// [`evaluate_planned`] with parameter bindings. The plan is value-free —
+/// param probes carry a name slot, resolved here — so one cached plan
+/// serves every binding of the same query text.
+pub fn evaluate_planned_params<G: PgRead>(
+    pg: &G,
+    query: &CypherQuery,
+    plan: &CypherPlan,
+    params: &Params,
+    threads: usize,
+) -> Result<Rows, CypherError> {
     debug_assert_eq!(plan.plans.len(), query.parts.len());
+    for name in param_names(query) {
+        if !params.contains_key(&name) {
+            return err(format!("parameter ${name} is not bound"));
+        }
+    }
     let mut columns: Vec<String> = Vec::new();
     let mut all_rows: Vec<Vec<Option<Value>>> = Vec::new();
     for (i, part) in query.parts.iter().enumerate() {
-        let rows = expand_patterns_planned(pg, part, &plan.plans[i], threads)?;
-        let part_rows = finish_single(pg, part, rows)?;
+        let probes = resolve_probes(&plan.plans[i].probes, params);
+        let rows = expand_patterns_planned(pg, part, &plan.plans[i], &probes, threads)?;
+        let part_rows = finish_single(pg, part, rows, params)?;
         if i == 0 {
             columns = part_rows.columns;
         }
@@ -1077,11 +1205,48 @@ pub fn evaluate_planned<G: PgRead>(
     })
 }
 
+/// Resolve a plan's probes against the parameter map: param probes become
+/// concrete key-set probes. A probe drops to `None` (label-scan superset)
+/// when the parameter's value has no safely enumerable key set — the WHERE
+/// predicate still filters, so the fallback is never incorrect.
+fn resolve_probes(probes: &[Option<Probe>], params: &Params) -> Vec<Option<Probe>> {
+    probes
+        .iter()
+        .map(|probe| match probe {
+            Some(Probe {
+                label,
+                key,
+                keys: ProbeKeys::Param(name),
+            }) => Some(Probe {
+                label: label.clone(),
+                key: key.clone(),
+                keys: ProbeKeys::Values(equivalent_index_keys(params.get(name)?)?),
+            }),
+            other => other.clone(),
+        })
+        .collect()
+}
+
 /// The pre-planner baseline: evaluate with MATCH patterns in written order
 /// and label-scan candidate enumeration only (no index pushdown, no
 /// reordering, single-threaded). Kept as the reference for differential
 /// tests and the scan-vs-indexed benchmark.
 pub fn evaluate_scan<G: PgRead>(pg: &G, query: &CypherQuery) -> Result<Rows, CypherError> {
+    evaluate_scan_params(pg, query, &Params::default())
+}
+
+/// [`evaluate_scan`] with parameter bindings — the unplanned reference for
+/// differential tests of parameterized evaluation.
+pub fn evaluate_scan_params<G: PgRead>(
+    pg: &G,
+    query: &CypherQuery,
+    params: &Params,
+) -> Result<Rows, CypherError> {
+    for name in param_names(query) {
+        if !params.contains_key(&name) {
+            return err(format!("parameter ${name} is not bound"));
+        }
+    }
     let mut columns: Vec<String> = Vec::new();
     let mut all_rows: Vec<Vec<Option<Value>>> = Vec::new();
     for (i, part) in query.parts.iter().enumerate() {
@@ -1092,7 +1257,7 @@ pub fn evaluate_scan<G: PgRead>(pg: &G, query: &CypherQuery) -> Result<Rows, Cyp
                 break;
             }
         }
-        let part_rows = finish_single(pg, part, rows)?;
+        let part_rows = finish_single(pg, part, rows, params)?;
         if i == 0 {
             columns = part_rows.columns;
         }
@@ -1120,12 +1285,13 @@ fn expand_patterns_planned<G: PgRead>(
     pg: &G,
     q: &SingleQuery,
     sp: &SinglePlan,
+    probes: &[Option<Probe>],
     threads: usize,
 ) -> Result<Vec<Row>, CypherError> {
     if threads > 1 {
         if let Some(&first) = sp.order.first() {
             let pattern = &q.patterns[first];
-            let candidates = start_candidates(pg, &pattern.start, sp.probes[first].as_ref());
+            let candidates = start_candidates(pg, &pattern.start, probes[first].as_ref());
             let candidates = candidates.as_slice();
             // Estimated per-row cost of everything after the first pattern:
             // bound anchors and reversed patterns are O(degree) (counted 1),
@@ -1152,12 +1318,7 @@ fn expand_patterns_planned<G: PgRead>(
                                     rows = if sp.reversed[pi] {
                                         expand_path_reversed(pg, &q.patterns[pi], rows)?
                                     } else {
-                                        expand_path(
-                                            pg,
-                                            &q.patterns[pi],
-                                            sp.probes[pi].as_ref(),
-                                            rows,
-                                        )?
+                                        expand_path(pg, &q.patterns[pi], probes[pi].as_ref(), rows)?
                                     };
                                 }
                                 Ok(rows)
@@ -1182,7 +1343,7 @@ fn expand_patterns_planned<G: PgRead>(
         rows = if sp.reversed[pi] {
             expand_path_reversed(pg, &q.patterns[pi], rows)?
         } else {
-            expand_path(pg, &q.patterns[pi], sp.probes[pi].as_ref(), rows)?
+            expand_path(pg, &q.patterns[pi], probes[pi].as_ref(), rows)?
         };
         if rows.is_empty() {
             break;
@@ -1194,7 +1355,12 @@ fn expand_patterns_planned<G: PgRead>(
 /// Everything after required-pattern expansion: OPTIONAL MATCH left-joins,
 /// WHERE, UNWIND, projection/aggregation, DISTINCT, ORDER BY, SKIP, LIMIT.
 /// Shared by the planned and the baseline scan paths.
-fn finish_single<G: PgRead>(pg: &G, q: &SingleQuery, rows: Vec<Row>) -> Result<Rows, CypherError> {
+fn finish_single<G: PgRead>(
+    pg: &G,
+    q: &SingleQuery,
+    rows: Vec<Row>,
+    params: &Params,
+) -> Result<Rows, CypherError> {
     let mut rows = rows;
     // OPTIONAL MATCH: left-join semantics per pattern.
     for pattern in &q.optional_patterns {
@@ -1210,12 +1376,12 @@ fn finish_single<G: PgRead>(pg: &G, q: &SingleQuery, rows: Vec<Row>) -> Result<R
         rows = extended;
     }
     if let Some(where_clause) = &q.where_clause {
-        rows.retain(|row| matches!(eval(pg, where_clause, row), Some(Value::Bool(true))));
+        rows.retain(|row| matches!(eval(pg, where_clause, row, params), Some(Value::Bool(true))));
     }
     for (expr, var) in &q.unwind {
         let mut unwound = Vec::new();
         for row in rows {
-            match eval(pg, expr, &row) {
+            match eval(pg, expr, &row, params) {
                 None => {} // UNWIND NULL → no rows
                 Some(value) => {
                     for item in value.iter_flat() {
@@ -1229,7 +1395,7 @@ fn finish_single<G: PgRead>(pg: &G, q: &SingleQuery, rows: Vec<Row>) -> Result<R
         rows = unwound;
     }
     if let Some(unwind_where) = &q.unwind_where {
-        rows.retain(|row| matches!(eval(pg, unwind_where, row), Some(Value::Bool(true))));
+        rows.retain(|row| matches!(eval(pg, unwind_where, row, params), Some(Value::Bool(true))));
     }
     let columns: Vec<String> = q.return_items.iter().map(|(_, a)| a.clone()).collect();
     let has_aggregate = q
@@ -1238,14 +1404,14 @@ fn finish_single<G: PgRead>(pg: &G, q: &SingleQuery, rows: Vec<Row>) -> Result<R
         .any(|(item, _)| matches!(item, ReturnItem::Count { .. }));
 
     let mut out: Vec<Vec<Option<Value>>> = if has_aggregate {
-        aggregate_rows(pg, q, &rows)
+        aggregate_rows(pg, q, &rows, params)
     } else {
         rows.iter()
             .map(|row| {
                 q.return_items
                     .iter()
                     .map(|(item, _)| match item {
-                        ReturnItem::Expr(e) => eval(pg, e, row),
+                        ReturnItem::Expr(e) => eval(pg, e, row, params),
                         ReturnItem::Count { .. } => unreachable!(),
                     })
                     .collect()
@@ -1292,7 +1458,12 @@ fn finish_single<G: PgRead>(pg: &G, q: &SingleQuery, rows: Vec<Row>) -> Result<R
 /// Cypher's implicit grouping: non-aggregated RETURN items form the group
 /// key; each `count` aggregates within its group. `count(expr)` skips NULLs;
 /// `count(DISTINCT expr)` counts distinct non-NULL values.
-fn aggregate_rows<G: PgRead>(pg: &G, q: &SingleQuery, rows: &[Row]) -> Vec<Vec<Option<Value>>> {
+fn aggregate_rows<G: PgRead>(
+    pg: &G,
+    q: &SingleQuery,
+    rows: &[Row],
+    params: &Params,
+) -> Vec<Vec<Option<Value>>> {
     use std::collections::BTreeMap;
     // Group key: rendered non-aggregate values in item order.
     struct Group {
@@ -1315,7 +1486,7 @@ fn aggregate_rows<G: PgRead>(pg: &G, q: &SingleQuery, rows: &[Row]) -> Vec<Vec<O
         let mut key_values = Vec::new();
         for (item, _) in &q.return_items {
             if let ReturnItem::Expr(e) = item {
-                let v = eval(pg, e, row);
+                let v = eval(pg, e, row, params);
                 key.push(v.as_ref().map_or("∅".to_string(), |v| format!("{v:?}")));
                 key_values.push(v);
             }
@@ -1332,7 +1503,7 @@ fn aggregate_rows<G: PgRead>(pg: &G, q: &SingleQuery, rows: &[Row]) -> Vec<Vec<O
                 match arg {
                     None => group.counts[slot] += 1,
                     Some(expr) => {
-                        if let Some(v) = eval(pg, expr, row) {
+                        if let Some(v) = eval(pg, expr, row, params) {
                             if *distinct {
                                 group.distinct_seen[slot].insert(format!("{v:?}"));
                             } else {
@@ -1397,10 +1568,17 @@ fn start_candidates<'a, G: PgRead>(
     start: &NodePattern,
     probe: Option<&Probe>,
 ) -> Candidates<'a> {
-    if let Some(probe) = probe {
+    // An unresolved param probe (no `resolve_probes` pass) falls through to
+    // the label-scan superset; the WHERE predicate still filters.
+    if let Some(Probe {
+        label,
+        key,
+        keys: ProbeKeys::Values(keys),
+    }) = probe
+    {
         let mut out: Vec<NodeId> = Vec::new();
-        for key in &probe.keys {
-            out.extend_from_slice(pg.nodes_with_label_prop(&probe.label, &probe.key, key));
+        for k in keys {
+            out.extend_from_slice(pg.nodes_with_label_prop(label, key, k));
         }
         out.sort_unstable();
         out.dedup();
@@ -1607,10 +1785,13 @@ fn node_matches<G: PgRead>(pg: &G, node: NodeId, pattern: &NodePattern) -> bool 
     pattern.labels.iter().all(|l| pg.has_label(node, l))
 }
 
-fn eval<G: PgRead>(pg: &G, expr: &Expr, row: &Row) -> Option<Value> {
+fn eval<G: PgRead>(pg: &G, expr: &Expr, row: &Row, params: &Params) -> Option<Value> {
     match expr {
         Expr::Null => None,
         Expr::Lit(v) => Some(v.clone()),
+        // Unbound parameters are rejected before evaluation starts, so a
+        // miss here (library misuse) degrades to NULL, never a panic.
+        Expr::Param(name) => params.get(name).cloned(),
         Expr::Var(name) => match row.get(name)? {
             Binding::Val(v) => Some(v.clone()),
             Binding::Node(_) | Binding::Edge(_) => None,
@@ -1620,10 +1801,10 @@ fn eval<G: PgRead>(pg: &G, expr: &Expr, row: &Row) -> Option<Value> {
             Binding::Edge(e) => pg.edge_prop_value(*e, key),
             Binding::Val(_) => None,
         },
-        Expr::Coalesce(args) => args.iter().find_map(|a| eval(pg, a, row)),
+        Expr::Coalesce(args) => args.iter().find_map(|a| eval(pg, a, row, params)),
         Expr::Cmp(op, left, right) => {
-            let l = eval(pg, left, row)?;
-            let r = eval(pg, right, row)?;
+            let l = eval(pg, left, row, params)?;
+            let r = eval(pg, right, row, params)?;
             let ord = compare(&l, &r)?;
             Some(Value::Bool(match op {
                 CmpOp::Eq => ord.is_eq(),
@@ -1634,24 +1815,24 @@ fn eval<G: PgRead>(pg: &G, expr: &Expr, row: &Row) -> Option<Value> {
                 CmpOp::Ge => ord.is_ge(),
             }))
         }
-        Expr::And(a, b) => match (eval(pg, a, row), eval(pg, b, row)) {
+        Expr::And(a, b) => match (eval(pg, a, row, params), eval(pg, b, row, params)) {
             (Some(Value::Bool(x)), Some(Value::Bool(y))) => Some(Value::Bool(x && y)),
             (Some(Value::Bool(false)), _) | (_, Some(Value::Bool(false))) => {
                 Some(Value::Bool(false))
             }
             _ => None,
         },
-        Expr::Or(a, b) => match (eval(pg, a, row), eval(pg, b, row)) {
+        Expr::Or(a, b) => match (eval(pg, a, row, params), eval(pg, b, row, params)) {
             (Some(Value::Bool(x)), Some(Value::Bool(y))) => Some(Value::Bool(x || y)),
             (Some(Value::Bool(true)), _) | (_, Some(Value::Bool(true))) => Some(Value::Bool(true)),
             _ => None,
         },
-        Expr::Not(a) => match eval(pg, a, row) {
+        Expr::Not(a) => match eval(pg, a, row, params) {
             Some(Value::Bool(b)) => Some(Value::Bool(!b)),
             _ => None,
         },
         Expr::IsNull(a, negated) => {
-            let is_null = eval(pg, a, row).is_none();
+            let is_null = eval(pg, a, row, params).is_none();
             Some(Value::Bool(is_null != *negated))
         }
     }
@@ -1719,6 +1900,108 @@ mod tests {
         let rows = execute(&graph(), "MATCH (n:Student) RETURN n.regNo").unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows.columns, vec!["n.regNo"]);
+    }
+
+    fn params(pairs: &[(&str, Value)]) -> Params {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn parameterized_where_resolves_at_evaluation() {
+        let pg = graph();
+        let q = parse("MATCH (n:Student) WHERE n.regNo = $reg RETURN n.iri").unwrap();
+        assert_eq!(
+            param_names(&q).into_iter().collect::<Vec<_>>(),
+            vec!["reg".to_string()]
+        );
+        let p = plan(&pg, &q);
+        // One plan, two bindings, two different answers.
+        for (reg, iri) in [("Bs12", "http://ex/bob"), ("Bs13", "http://ex/carol")] {
+            let binding = params(&[("reg", Value::String(reg.into()))]);
+            let rows = evaluate_planned_params(&pg, &q, &p, &binding, 1).unwrap();
+            assert_eq!(rows.len(), 1, "{reg}");
+            assert_eq!(rows.rows[0][0], Some(Value::String(iri.into())));
+            // Scan reference agrees.
+            let scan = evaluate_scan_params(&pg, &q, &binding).unwrap();
+            assert_eq!(sorted_rows(&rows), sorted_rows(&scan));
+        }
+    }
+
+    #[test]
+    fn parameterized_probe_uses_cross_type_keys() {
+        let pg = graph();
+        let q = parse("MATCH (n:Student) WHERE n.age = $age RETURN n.regNo").unwrap();
+        let p = plan(&pg, &q);
+        // Int and Float bindings must both find bob (age stored as Int 24).
+        for age in [Value::Int(24), Value::Float(24.0)] {
+            let rows = evaluate_planned_params(&pg, &q, &p, &params(&[("age", age)]), 1).unwrap();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows.rows[0][0], Some(Value::String("Bs12".into())));
+        }
+    }
+
+    #[test]
+    fn parameter_in_return_and_unwind() {
+        let pg = graph();
+        let rows = execute_params(
+            &pg,
+            "MATCH (n:Professor) RETURN n.name, $tag AS tag",
+            &params(&[("tag", Value::String("t1".into()))]),
+        )
+        .unwrap();
+        assert_eq!(rows.rows[0][1], Some(Value::String("t1".into())));
+        let rows = execute_params(
+            &pg,
+            "MATCH (n:Professor) UNWIND $items AS v RETURN v",
+            &params(&[(
+                "items",
+                Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+            )]),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn unbound_parameter_is_an_error() {
+        let pg = graph();
+        let err = execute_params(
+            &pg,
+            "MATCH (n:Student) WHERE n.regNo = $reg RETURN n.iri",
+            &Params::default(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("$reg"), "{err}");
+    }
+
+    #[test]
+    fn dollar_without_name_is_a_parse_error() {
+        assert!(parse("MATCH (n) WHERE n.x = $ RETURN n.x").is_err());
+    }
+
+    #[test]
+    fn parameterized_plan_is_value_free() {
+        // The same plan (computed once) must answer different parameter
+        // values correctly in parallel mode too.
+        let mut pg = PropertyGraph::new();
+        for i in 0..2000i64 {
+            let n = pg.add_node(["Person"]);
+            pg.set_prop(n, "idx", Value::Int(i));
+            pg.set_prop(n, "name", Value::String(format!("p{i}")));
+        }
+        let q = parse("MATCH (n:Person) WHERE n.idx = $i RETURN n.name").unwrap();
+        let p = plan(&pg, &q);
+        for i in [0i64, 7, 1999] {
+            let binding = params(&[("i", Value::Int(i))]);
+            for threads in [1, 4] {
+                let rows = evaluate_planned_params(&pg, &q, &p, &binding, threads).unwrap();
+                assert_eq!(rows.len(), 1, "i={i} threads={threads}");
+                assert_eq!(rows.rows[0][0], Some(Value::String(format!("p{i}"))));
+            }
+        }
     }
 
     /// Render rows order-independently for multiset comparison: planned

@@ -46,6 +46,67 @@ pub enum PatternTerm {
         lexical: String,
         datatype: Option<String>,
     },
+    /// `$name`: a query parameter, substituted with a concrete [`Iri`] or
+    /// [`Literal`] term from the caller's [`Params`] map before evaluation.
+    /// (This dialect reserves `$` for parameters; `?name` is the variable
+    /// syntax.)
+    ///
+    /// [`Iri`]: PatternTerm::Iri
+    /// [`Literal`]: PatternTerm::Literal
+    Param(String),
+}
+
+/// Parameter bindings for one evaluation: `$name` → concrete term. Values
+/// must be [`PatternTerm::Iri`] or [`PatternTerm::Literal`].
+pub type Params = FxHashMap<String, PatternTerm>;
+
+/// Every `$param` name a parsed query references (triple patterns of the
+/// required and OPTIONAL groups), sorted. Callers use this to reject
+/// undeclared and unused parameters with a typed error before evaluation.
+pub fn param_names(query: &SelectQuery) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    let walk = |pats: &[TriplePattern], out: &mut std::collections::BTreeSet<String>| {
+        for pat in pats {
+            for term in [&pat.s, &pat.p, &pat.o] {
+                if let PatternTerm::Param(name) = term {
+                    out.insert(name.clone());
+                }
+            }
+        }
+    };
+    walk(&query.patterns, &mut out);
+    for group in &query.optionals {
+        walk(group, &mut out);
+    }
+    out
+}
+
+/// Replace every `$param` term with its bound value. Fails on an unbound
+/// parameter or a binding that is not a concrete term.
+fn substitute(
+    patterns: &[TriplePattern],
+    params: &Params,
+) -> Result<Vec<TriplePattern>, SparqlError> {
+    let sub = |term: &PatternTerm| -> Result<PatternTerm, SparqlError> {
+        match term {
+            PatternTerm::Param(name) => match params.get(name) {
+                Some(t @ (PatternTerm::Iri(_) | PatternTerm::Literal { .. })) => Ok(t.clone()),
+                Some(_) => err(format!("parameter ${name} must bind an IRI or literal")),
+                None => err(format!("parameter ${name} is not bound")),
+            },
+            other => Ok(other.clone()),
+        }
+    };
+    patterns
+        .iter()
+        .map(|pat| {
+            Ok(TriplePattern {
+                s: sub(&pat.s)?,
+                p: sub(&pat.p)?,
+                o: sub(&pat.o)?,
+            })
+        })
+        .collect()
 }
 
 /// One `s p o .` pattern.
@@ -420,6 +481,14 @@ impl<'a> Parser<'a> {
                 self.eat_char('?');
                 Ok(PatternTerm::Var(self.name()))
             }
+            Some('$') => {
+                self.eat_char('$');
+                let name = self.name();
+                if name.is_empty() {
+                    return err("expected parameter name after '$'");
+                }
+                Ok(PatternTerm::Param(name))
+            }
             Some('<') => {
                 self.eat_char('<');
                 let Some(end) = self.rest.find('>') else {
@@ -593,12 +662,25 @@ impl Solutions {
 /// this thread (the server's request span), the plan and evaluation
 /// stages record `query_plan` / `query_eval` child spans.
 pub fn execute(graph: &Graph, query: &str) -> Result<Solutions, SparqlError> {
+    execute_params(graph, query, &Params::default())
+}
+
+/// [`execute`] with parameter bindings: `$name` terms in the query are
+/// substituted from `params` before evaluation.
+pub fn execute_params(
+    graph: &Graph,
+    query: &str,
+    params: &Params,
+) -> Result<Solutions, SparqlError> {
     let q = {
         let _span = s3pg_obs::tracer().span_here("query_plan");
         parse(query)?
     };
     let _span = s3pg_obs::tracer().span_here("query_eval");
-    evaluate(graph, &q)
+    match evaluate_outcome_threads_params(graph, &q, params, 1)? {
+        Outcome::Solutions(s) => Ok(s),
+        Outcome::Count { .. } => err("aggregate query: use execute_outcome/evaluate_outcome"),
+    }
 }
 
 /// Evaluate a parsed query over `graph`.
@@ -662,6 +744,9 @@ fn compile_patterns(
                     }
                     _ => Slot::Bound(None),
                 }
+            }
+            PatternTerm::Param(name) => {
+                return err(format!("parameter ${name} is not bound"));
             }
         })
     };
@@ -959,6 +1044,43 @@ pub fn evaluate_outcome_threads(
     query: &SelectQuery,
     threads: usize,
 ) -> Result<Outcome, SparqlError> {
+    evaluate_outcome_threads_params(graph, query, &Params::default(), threads)
+}
+
+/// [`evaluate_outcome_threads`] with parameter bindings: every `$name`
+/// term is substituted from `params` before the patterns are compiled
+/// against the interner, so parameterized queries parse once and evaluate
+/// with per-call values.
+pub fn evaluate_outcome_threads_params(
+    graph: &Graph,
+    query: &SelectQuery,
+    params: &Params,
+    threads: usize,
+) -> Result<Outcome, SparqlError> {
+    let names = param_names(query);
+    if names.is_empty() {
+        return evaluate_outcome_inner(graph, query, threads);
+    }
+    for name in &names {
+        if !params.contains_key(name) {
+            return err(format!("parameter ${name} is not bound"));
+        }
+    }
+    let mut q = query.clone();
+    q.patterns = substitute(&q.patterns, params)?;
+    q.optionals = q
+        .optionals
+        .iter()
+        .map(|group| substitute(group, params))
+        .collect::<Result<_, _>>()?;
+    evaluate_outcome_inner(graph, &q, threads)
+}
+
+fn evaluate_outcome_inner(
+    graph: &Graph,
+    query: &SelectQuery,
+    threads: usize,
+) -> Result<Outcome, SparqlError> {
     // Collect variables in first-seen order, across required and optional
     // patterns (optional-only variables may be projected and come out
     // unbound).
@@ -1167,6 +1289,67 @@ mod tests {
 "#,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn parameterized_object_iri_and_literal() {
+        let g = graph();
+        let q = parse("PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:takesCourse $course . }")
+            .unwrap();
+        assert_eq!(
+            param_names(&q).into_iter().collect::<Vec<_>>(),
+            vec!["course".to_string()]
+        );
+        // Same parsed query, two bindings: an IRI object and a literal one.
+        let mut params = Params::default();
+        params.insert("course".into(), PatternTerm::Iri("http://ex/db".into()));
+        let sols = match evaluate_outcome_threads_params(&g, &q, &params, 1).unwrap() {
+            Outcome::Solutions(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(sols.len(), 2); // bob and carol take :db
+        params.insert(
+            "course".into(),
+            PatternTerm::Literal {
+                lexical: "Self Study".into(),
+                datatype: None,
+            },
+        );
+        let sols = match evaluate_outcome_threads_params(&g, &q, &params, 1).unwrap() {
+            Outcome::Solutions(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(sols.len(), 1); // only bob
+    }
+
+    #[test]
+    fn parameterized_subject_and_predicate() {
+        let g = graph();
+        let mut params = Params::default();
+        params.insert("s".into(), PatternTerm::Iri("http://ex/bob".into()));
+        params.insert("p".into(), PatternTerm::Iri("http://ex/regNo".into()));
+        let sols = execute_params(&g, "SELECT ?v WHERE { $s $p ?v . }", &params).unwrap();
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn unbound_parameter_is_an_error() {
+        let g = graph();
+        let e =
+            execute_params(&g, "SELECT ?s WHERE { ?s ?p $o . }", &Params::default()).unwrap_err();
+        assert!(e.0.contains("$o"), "{e}");
+        // The params-free evaluation path reports it too (compile stage).
+        let q = parse("SELECT ?s WHERE { ?s ?p $o . }").unwrap();
+        assert!(evaluate(&g, &q).is_err());
+    }
+
+    #[test]
+    fn variable_parameter_binding_is_rejected() {
+        let g = graph();
+        let mut params = Params::default();
+        params.insert("o".into(), PatternTerm::Var("v".into()));
+        let e = execute_params(&g, "SELECT ?s WHERE { ?s ?p $o . }", &params).unwrap_err();
+        assert!(e.0.contains("must bind"), "{e}");
     }
 
     #[test]

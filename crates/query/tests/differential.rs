@@ -61,6 +61,9 @@ fn bind(
             }
             _ => false,
         },
+        // The generator never emits parameters; they are substituted away
+        // before evaluation anyway.
+        PatternTerm::Param(_) => false,
     }
 }
 

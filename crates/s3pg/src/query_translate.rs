@@ -18,6 +18,15 @@
 //! graphs where a predicate is key/value on one class and an edge on
 //! another — both, in which case the translation is a `UNION ALL` over the
 //! encoding variants.
+//!
+//! `$name` parameters translate to Cypher `$name` parameters, keeping the
+//! translated text *value-free*: one SPARQL template yields one Cypher
+//! text no matter what the parameter binds, so a server-side plan cache
+//! keyed on text hits across bindings. A parameter in subject position
+//! becomes an `iri = $name` constraint; in object position the key/value
+//! variant compares the unwound value (`u = $name`) and the edge variant
+//! compares the carrier's term rendering (`COALESCE(t.ov, t.iri) =
+//! $name`), so the binding may be a literal or an IRI string.
 
 use crate::error::S3pgError;
 use crate::mapping::Mapping;
@@ -53,13 +62,20 @@ pub fn translate(query: &SelectQuery, mapping: &Mapping) -> Result<String, S3pgE
         let PatternTerm::Iri(predicate) = &pattern.p else {
             return unsupported("variable predicates");
         };
-        // Constant subjects become a synthesized variable constrained by IRI.
+        // Constant (or parameterized) subjects become a synthesized
+        // variable constrained by IRI; the constraint's right-hand side is
+        // pre-rendered Cypher (a string literal or a `$param` reference).
         let (subject, subject_constraint) = match &pattern.s {
             PatternTerm::Var(v) => (v.clone(), None),
             PatternTerm::Iri(iri) => {
                 anon += 1;
                 let var = format!("s{anon}");
-                (var.clone(), Some((var, iri.clone())))
+                (var.clone(), Some((var, cypher_string(iri))))
+            }
+            PatternTerm::Param(name) => {
+                anon += 1;
+                let var = format!("s{anon}");
+                (var.clone(), Some((var, format!("${name}"))))
             }
             PatternTerm::Literal { .. } => {
                 return unsupported("literal subjects");
@@ -79,9 +95,8 @@ pub fn translate(query: &SelectQuery, mapping: &Mapping) -> Result<String, S3pgE
                 let mut v = variant.clone();
                 v.bind_node(subject);
                 v.match_parts.push(format!("({})", var_name(subject)));
-                if let Some((var, iri)) = &subject_constraint {
-                    v.wheres
-                        .push(format!("{}.iri = {}", var_name(var), cypher_string(iri)));
+                if let Some((var, rhs)) = &subject_constraint {
+                    v.wheres.push(format!("{}.iri = {rhs}", var_name(var)));
                 }
                 match &pattern.o {
                     PatternTerm::Var(object) => {
@@ -102,6 +117,18 @@ pub fn translate(query: &SelectQuery, mapping: &Mapping) -> Result<String, S3pgE
                         v.post_wheres
                             .push(format!("{u} = {}", cypher_string(lexical)));
                     }
+                    PatternTerm::Param(name) => {
+                        // The binding is unknown at translation time, so
+                        // keep the variant and compare the unwound value
+                        // against the parameter (an IRI-valued binding
+                        // simply matches nothing here and is covered by
+                        // the edge variant).
+                        anon += 1;
+                        let u = format!("u{anon}");
+                        v.unwinds
+                            .push((format!("{}.{}", var_name(subject), key), u.clone()));
+                        v.post_wheres.push(format!("{u} = ${name}"));
+                    }
                     PatternTerm::Iri(_) => {
                         // IRIs are never stored as key/values; this variant
                         // cannot match.
@@ -113,9 +140,8 @@ pub fn translate(query: &SelectQuery, mapping: &Mapping) -> Result<String, S3pgE
             if let Some(label) = as_edge {
                 let mut v = variant.clone();
                 v.bind_node(subject);
-                if let Some((var, iri)) = &subject_constraint {
-                    v.wheres
-                        .push(format!("{}.iri = {}", var_name(var), cypher_string(iri)));
+                if let Some((var, rhs)) = &subject_constraint {
+                    v.wheres.push(format!("{}.iri = {rhs}", var_name(var)));
                 }
                 match &pattern.o {
                     PatternTerm::Var(object) => {
@@ -141,6 +167,17 @@ pub fn translate(query: &SelectQuery, mapping: &Mapping) -> Result<String, S3pgE
                         v.match_parts
                             .push(format!("({})-[:{}]->({t})", var_name(subject), label));
                         v.wheres.push(format!("{t}.iri = {}", cypher_string(iri)));
+                    }
+                    PatternTerm::Param(name) => {
+                        // Literal bindings live on the carrier's `ov`,
+                        // IRI bindings on `iri`; the Q22 COALESCE idiom
+                        // covers both with one value-free clause.
+                        anon += 1;
+                        let t = format!("t{anon}");
+                        v.match_parts
+                            .push(format!("({})-[:{}]->({t})", var_name(subject), label));
+                        v.wheres
+                            .push(format!("COALESCE({t}.ov, {t}.iri) = ${name}"));
                     }
                 }
                 next.push(v);
@@ -469,6 +506,102 @@ shape:Person a sh:NodeShape ; sh:targetClass :Person ;
         );
         check_equivalent(
             "PREFIX ex: <http://ex/> SELECT ?t WHERE { <http://ex/other> ex:title ?t . }",
+        );
+    }
+
+    /// One parameterized SPARQL template must translate to one value-free
+    /// Cypher text that agrees with the SPARQL engine for every binding.
+    fn check_equivalent_params(sparql_text: &str, bindings: &[(&str, sparql::PatternTerm)]) {
+        let (g, pg, mapping) = setup();
+        let cypher_text = translate_str(sparql_text, &mapping).unwrap();
+        for (name, term) in bindings {
+            let mut sp = sparql::Params::default();
+            sp.insert(name.to_string(), term.clone());
+            let sols = sparql::execute_params(&g, sparql_text, &sp).unwrap();
+            let gt = ResultSet::from_sparql(&g, &sols);
+            let mut cp = cypher::Params::default();
+            let value = match term {
+                sparql::PatternTerm::Iri(iri) => s3pg_pg::Value::String(iri.clone()),
+                sparql::PatternTerm::Literal { lexical, .. } => {
+                    s3pg_pg::Value::String(lexical.clone())
+                }
+                _ => unreachable!("bindings are concrete terms"),
+            };
+            cp.insert(name.to_string(), value);
+            let rows = cypher::execute_params(&pg, &cypher_text, &cp).unwrap();
+            let observed = ResultSet::from_cypher(&rows);
+            assert!(
+                gt.same_as(&observed),
+                "results differ for {name}={term:?}:\n{sparql_text}\n→\n{cypher_text}\nGT {} vs observed {}",
+                gt.len(),
+                observed.len()
+            );
+        }
+    }
+
+    fn lit(s: &str) -> sparql::PatternTerm {
+        sparql::PatternTerm::Literal {
+            lexical: s.to_string(),
+            datatype: None,
+        }
+    }
+
+    #[test]
+    fn parameterized_object_is_value_free_and_equivalent() {
+        let (_, _, mapping) = setup();
+        let text = translate_str(
+            "PREFIX ex: <http://ex/> SELECT ?e WHERE { ?e ex:title $t . }",
+            &mapping,
+        )
+        .unwrap();
+        assert!(text.contains("$t"), "{text}");
+        assert!(!text.contains("Other"), "value leaked into text: {text}");
+        check_equivalent_params(
+            "PREFIX ex: <http://ex/> SELECT ?e WHERE { ?e ex:title $t . }",
+            &[
+                ("t", lit("Other")),
+                ("t", lit("California Sunrise")),
+                ("t", lit("no such title")),
+            ],
+        );
+    }
+
+    #[test]
+    fn parameterized_hetero_object_covers_both_encodings() {
+        // ex:writer is key/value on one subject and an edge on another; an
+        // IRI binding matches via the edge variant, a literal binding via
+        // either (UNWIND u = $w, or a carrier's ov).
+        check_equivalent_params(
+            "PREFIX ex: <http://ex/> SELECT ?e WHERE { ?e ex:writer $w . }",
+            &[
+                ("w", sparql::PatternTerm::Iri("http://ex/billy".to_string())),
+                ("w", lit("Tofer Brown")),
+                ("w", lit("Solo Writer")),
+            ],
+        );
+    }
+
+    #[test]
+    fn parameterized_subject_constrains_iri() {
+        let (_, _, mapping) = setup();
+        let text = translate_str(
+            "PREFIX ex: <http://ex/> SELECT ?t WHERE { $album ex:title ?t . }",
+            &mapping,
+        )
+        .unwrap();
+        assert!(text.contains(".iri = $album"), "{text}");
+        check_equivalent_params(
+            "PREFIX ex: <http://ex/> SELECT ?t WHERE { $album ex:title ?t . }",
+            &[
+                (
+                    "album",
+                    sparql::PatternTerm::Iri("http://ex/sunrise".to_string()),
+                ),
+                (
+                    "album",
+                    sparql::PatternTerm::Iri("http://ex/other".to_string()),
+                ),
+            ],
         );
     }
 

@@ -25,6 +25,8 @@ pub struct Options {
     pub mode: Mode,
     /// Bind address; port 0 picks an ephemeral port (printed on startup).
     pub addr: String,
+    /// Bolt listener bind address (`None` disables the Bolt front end).
+    pub bolt_addr: Option<String>,
     pub workers: usize,
     pub queue_capacity: usize,
     /// Threads for the startup transform only.
@@ -48,6 +50,7 @@ pub struct Options {
 /// Usage text.
 pub const USAGE: &str = "usage: s3pg-serve --data FILE[.ttl|.nt] [--shapes FILE.ttl] \
                          [--mode parsimonious|non-parsimonious] [--addr HOST:PORT] \
+                         [--bolt-addr HOST:PORT] \
                          [--workers N] [--queue N] [--threads N] [--slow-query-ms MS] \
                          [--wal-dir DIR] [--checkpoint-every N] [--fsync-ms MS] \
                          [--fsync-batch N] [--replica-of HOST:PORT]";
@@ -58,6 +61,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     let mut shapes = None;
     let mut mode = Mode::Parsimonious;
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut bolt_addr = None;
     let mut workers = 4usize;
     let mut queue_capacity = 64usize;
     let mut threads = 1usize;
@@ -94,6 +98,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
                 }
             }
             "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?,
+            "--bolt-addr" => bolt_addr = Some(it.next().ok_or("--bolt-addr needs HOST:PORT")?),
             "--workers" => workers = positive("--workers", it.next())?,
             "--queue" => queue_capacity = positive("--queue", it.next())?,
             "--threads" => threads = positive("--threads", it.next())?,
@@ -118,6 +123,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         shapes,
         mode,
         addr,
+        bolt_addr,
         workers,
         queue_capacity,
         threads,
@@ -146,6 +152,20 @@ pub fn start(options: &Options) -> Result<(ServerHandle, String), String> {
     // (health/metrics answer; graph requests get `recovering`).
     let (mut handle, installer) = serve_deferred(&options.addr, config, Arc::clone(&registry))
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    // The Bolt listener binds before recovery too: drivers connecting
+    // during a long WAL replay get a typed transient FAILURE, not a
+    // connection refused.
+    let bolt_addr = match &options.bolt_addr {
+        Some(bolt) => match handle.listen_bolt(bolt) {
+            Ok(addr) => Some(addr),
+            Err(e) => {
+                handle.shutdown();
+                handle.join();
+                return Err(format!("cannot bind bolt {bolt}: {e}"));
+            }
+        },
+        None => None,
+    };
 
     let recovered = match recover(
         &RecoveryConfig {
@@ -212,6 +232,9 @@ pub fn start(options: &Options) -> Result<(ServerHandle, String), String> {
         "\nlistening on {} ({} workers, queue {})",
         handle.addr, options.workers, options.queue_capacity
     ));
+    if let Some(bolt) = bolt_addr {
+        report.push_str(&format!("\nbolt listening on {bolt}"));
+    }
     Ok((handle, report))
 }
 
@@ -258,6 +281,7 @@ mod tests {
         assert_eq!(o.addr, "127.0.0.1:7878");
         assert_eq!((o.workers, o.queue_capacity, o.threads), (4, 64, 1));
         assert_eq!(o.slow_query_ms, None);
+        assert_eq!(o.bolt_addr, None);
     }
 
     #[test]
@@ -271,6 +295,8 @@ mod tests {
             "non-parsimonious",
             "--addr",
             "0.0.0.0:0",
+            "--bolt-addr",
+            "127.0.0.1:7687",
             "--workers",
             "8",
             "--queue",
@@ -286,6 +312,8 @@ mod tests {
         assert_eq!((o.workers, o.queue_capacity, o.threads), (8, 2, 4));
         assert_eq!(o.shapes, Some(PathBuf::from("s.ttl")));
         assert_eq!(o.slow_query_ms, Some(250));
+        assert_eq!(o.bolt_addr.as_deref(), Some("127.0.0.1:7687"));
+        assert!(args(&["--data", "g.ttl", "--bolt-addr"]).is_err());
     }
 
     #[test]

@@ -14,10 +14,24 @@
 //! committed log — all riding on the same monotonicity property
 //! (F(G∪Δ) = F(G)∪F(Δ)) that powers the incremental update path.
 //!
+//! With `--bolt-addr` the same store is also served over a subset of
+//! the Bolt protocol (the Neo4j wire protocol), so stock drivers and
+//! `cypher-shell` can run parameterized Cypher against the transformed
+//! graph; both listeners share one dispatch — validation, parameter
+//! conversion, plan cache, row rendering — so answers are identical by
+//! construction.
+//!
 //! * [`json`] — dependency-free JSON for the wire protocol.
 //! * [`protocol`] — line-delimited JSON requests/responses with *typed*
 //!   error frames (`bad_request`, `parse`, `query`, `overloaded`,
-//!   `shutting_down`, `internal`, `recovering`, `read_only`).
+//!   `shutting_down`, `internal`, `recovering`, `read_only`); `cypher`
+//!   and `sparql` carry an optional `params` object binding `$name`
+//!   references.
+//! * [`params`] — wire parameters → engine bindings, plus the strict
+//!   undeclared/unused/duplicate validation both listeners share.
+//! * `bolt` (private) — the Bolt listener: thread-per-session accept
+//!   loop and the RUN/PULL state machine over the [`s3pg_bolt`] codec,
+//!   funneling into the same dispatch as the JSON listener.
 //! * [`store`] — `RwLock`-published `Arc` snapshots for lock-free reads;
 //!   a mutex-serialized writer applying deltas via [`s3pg::incremental`],
 //!   logging each applied delta to the WAL and group-committing outside
@@ -46,9 +60,11 @@
 //! let pong = client.call(&Request::Ping).unwrap();
 //! ```
 
+mod bolt;
 pub mod cli;
 pub mod client;
 pub mod json;
+pub mod params;
 pub mod plan_cache;
 pub mod protocol;
 pub mod recovery;

@@ -1,0 +1,237 @@
+//! Wire-level query parameters: JSON (and Bolt, which decodes into the
+//! same [`Json`] shapes) → engine bindings, plus the declared/unused
+//! validation both listeners share.
+//!
+//! The conversion rules are part of the protocol contract:
+//!
+//! * **Cypher** — `null` is rejected (property values are never null);
+//!   booleans, strings, and homogeneous arrays map directly; a number maps
+//!   to `Int` when it is integral and in `i64` range, `Float` otherwise.
+//! * **SPARQL** — a string shaped like `"<iri>"` binds an IRI term; any
+//!   other string binds a plain literal; integral numbers bind
+//!   `xsd:integer` literals, other numbers `xsd:double`, booleans
+//!   `xsd:boolean`. Arrays/objects/null have no RDF term form and are
+//!   rejected.
+//!
+//! Validation is symmetric and strict: a query that references `$x`
+//! requires a binding for `x` (otherwise the parameter is *undeclared*),
+//! and a binding for `y` requires the query to reference `$y` (otherwise
+//! it is *unused* — almost always a typo'd name). Both are `bad_request`
+//! errors, raised before any evaluation work.
+
+use crate::json::Json;
+use crate::protocol::{ErrorFrame, ErrorKind};
+use s3pg_pg::Value;
+use s3pg_query::{cypher, sparql};
+use std::collections::BTreeSet;
+
+fn bad(message: String) -> ErrorFrame {
+    ErrorFrame {
+        kind: ErrorKind::BadRequest,
+        message,
+    }
+}
+
+/// Reject undeclared (referenced but unbound) and unused (bound but
+/// unreferenced) parameters, and duplicate bindings. `declared` comes from
+/// the parsed query (`cypher::param_names` / `sparql::param_names`).
+pub fn check_names(
+    declared: &BTreeSet<String>,
+    provided: &[(String, Json)],
+) -> Result<(), ErrorFrame> {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for (name, _) in provided {
+        if !seen.insert(name) {
+            return Err(bad(format!("duplicate parameter ${name}")));
+        }
+        if !declared.contains(name) {
+            return Err(bad(format!(
+                "unused parameter ${name}: the query does not reference it"
+            )));
+        }
+    }
+    for name in declared {
+        if !seen.contains(name.as_str()) {
+            return Err(bad(format!(
+                "undeclared parameter ${name}: the query references it but no binding was supplied"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Convert JSON parameter bindings into Cypher [`Value`]s.
+pub fn cypher_params(provided: &[(String, Json)]) -> Result<cypher::Params, ErrorFrame> {
+    let mut out = cypher::Params::default();
+    for (name, value) in provided {
+        out.insert(name.clone(), cypher_value(name, value)?);
+    }
+    Ok(out)
+}
+
+fn cypher_value(name: &str, json: &Json) -> Result<Value, ErrorFrame> {
+    Ok(match json {
+        Json::Null => {
+            return Err(bad(format!(
+                "parameter ${name}: null values are not supported"
+            )))
+        }
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Num(n) => number_value(*n),
+        Json::Str(s) => Value::String(s.clone()),
+        Json::Arr(items) => Value::List(
+            items
+                .iter()
+                .map(|v| cypher_value(name, v))
+                .collect::<Result<_, _>>()?,
+        ),
+        Json::Obj(_) => {
+            return Err(bad(format!(
+                "parameter ${name}: object values are not supported"
+            )))
+        }
+    })
+}
+
+/// JSON has one number kind; a property value does not. Integral numbers
+/// in `i64` range become `Int` so they compare equal to stored integer
+/// properties; everything else stays `Float`.
+fn number_value(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        Value::Int(n as i64)
+    } else {
+        Value::Float(n)
+    }
+}
+
+/// Convert JSON parameter bindings into SPARQL terms.
+pub fn sparql_params(provided: &[(String, Json)]) -> Result<sparql::Params, ErrorFrame> {
+    let mut out = sparql::Params::default();
+    for (name, value) in provided {
+        out.insert(name.clone(), sparql_term(name, value)?);
+    }
+    Ok(out)
+}
+
+fn sparql_term(name: &str, json: &Json) -> Result<sparql::PatternTerm, ErrorFrame> {
+    Ok(match json {
+        Json::Str(s) => {
+            if let Some(iri) = s.strip_prefix('<').and_then(|r| r.strip_suffix('>')) {
+                sparql::PatternTerm::Iri(iri.to_string())
+            } else {
+                sparql::PatternTerm::Literal {
+                    lexical: s.clone(),
+                    datatype: None,
+                }
+            }
+        }
+        Json::Num(n) => {
+            let (lexical, datatype) = if n.fract() == 0.0 && n.abs() < 9e15 {
+                (
+                    format!("{}", *n as i64),
+                    s3pg_rdf::vocab::xsd::INTEGER.to_string(),
+                )
+            } else {
+                (n.to_string(), s3pg_rdf::vocab::xsd::DOUBLE.to_string())
+            };
+            sparql::PatternTerm::Literal {
+                lexical,
+                datatype: Some(datatype),
+            }
+        }
+        Json::Bool(b) => sparql::PatternTerm::Literal {
+            lexical: b.to_string(),
+            datatype: Some(s3pg_rdf::vocab::xsd::BOOLEAN.to_string()),
+        },
+        Json::Null | Json::Arr(_) | Json::Obj(_) => {
+            return Err(bad(format!(
+                "parameter ${name}: SPARQL parameters must be strings, numbers, or booleans \
+                 (use \"<iri>\" for an IRI)"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn declared(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn name_checks_reject_both_directions() {
+        let bind = |names: &[&str]| -> Vec<(String, Json)> {
+            names
+                .iter()
+                .map(|n| (n.to_string(), Json::Num(1.0)))
+                .collect()
+        };
+        assert!(check_names(&declared(&["a"]), &bind(&["a"])).is_ok());
+        assert!(check_names(&declared(&[]), &bind(&[])).is_ok());
+        let e = check_names(&declared(&["a"]), &bind(&[])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        assert!(e.message.contains("undeclared parameter $a"), "{e}");
+        let e = check_names(&declared(&[]), &bind(&["b"])).unwrap_err();
+        assert!(e.message.contains("unused parameter $b"), "{e}");
+        let e = check_names(&declared(&["a"]), &bind(&["a", "a"])).unwrap_err();
+        assert!(e.message.contains("duplicate parameter $a"), "{e}");
+    }
+
+    #[test]
+    fn cypher_values_convert() {
+        let provided = vec![
+            ("s".to_string(), Json::Str("x".to_string())),
+            ("i".to_string(), Json::Num(7.0)),
+            ("f".to_string(), Json::Num(1.5)),
+            ("b".to_string(), Json::Bool(true)),
+            (
+                "l".to_string(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)]),
+            ),
+        ];
+        let params = cypher_params(&provided).unwrap();
+        assert_eq!(params["s"], Value::String("x".to_string()));
+        assert_eq!(params["i"], Value::Int(7));
+        assert_eq!(params["f"], Value::Float(1.5));
+        assert_eq!(params["b"], Value::Bool(true));
+        assert_eq!(params["l"], Value::List(vec![Value::Int(1), Value::Int(2)]));
+        for bad in [Json::Null, Json::Obj(vec![])] {
+            let e = cypher_params(&[("x".to_string(), bad)]).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest);
+        }
+    }
+
+    #[test]
+    fn sparql_terms_convert() {
+        let term = |j: Json| sparql_term("p", &j).unwrap();
+        assert_eq!(
+            term(Json::Str("<http://ex/a>".to_string())),
+            sparql::PatternTerm::Iri("http://ex/a".to_string())
+        );
+        assert_eq!(
+            term(Json::Str("plain".to_string())),
+            sparql::PatternTerm::Literal {
+                lexical: "plain".to_string(),
+                datatype: None,
+            }
+        );
+        assert_eq!(
+            term(Json::Num(3.0)),
+            sparql::PatternTerm::Literal {
+                lexical: "3".to_string(),
+                datatype: Some(s3pg_rdf::vocab::xsd::INTEGER.to_string()),
+            }
+        );
+        assert_eq!(
+            term(Json::Bool(false)),
+            sparql::PatternTerm::Literal {
+                lexical: "false".to_string(),
+                datatype: Some(s3pg_rdf::vocab::xsd::BOOLEAN.to_string()),
+            }
+        );
+        let e = sparql_term("p", &Json::Arr(vec![])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+    }
+}

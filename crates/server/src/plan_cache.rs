@@ -7,26 +7,37 @@
 //! stores the parsed AST — including parse *errors*, so a repeatedly
 //! malformed query doesn't re-run the parser either.
 //!
+//! Parameterized queries are what make the cache effective across users:
+//! `WHERE n.iri = $iri` is one cache entry no matter how many distinct
+//! values bind `$iri`, because plans are value-free — index probes carry a
+//! parameter *slot* resolved at evaluation time (see
+//! [`s3pg_query::cypher`]). Literal-text queries that differ only in an
+//! embedded constant each occupy (and miss) their own entry.
+//!
 //! Cypher entries additionally carry the cardinality-based
 //! [`CypherPlan`], which depends on the graph's statistics and is
 //! therefore tagged with the snapshot **epoch** it was computed against
 //! (see [`crate::store::Snapshot::epoch`]). When an update publishes a new
-//! snapshot the epoch advances and the next lookup replans from the cached
-//! AST — much cheaper than a reparse, and counted separately
-//! (`s3pg_plan_cache_replan`) so stale-plan churn is visible. SPARQL
-//! orders its patterns inside evaluation (the ordering is a pure function
-//! of the graph probed at run time), so its entries cache only the AST.
+//! snapshot the epoch advances and the next lookup *replans* from the
+//! cached AST — much cheaper than a reparse, and deliberately **not** a
+//! miss: the entry was found and its parse reused, so the lookup counts a
+//! hit and the replan lands on its own counter. SPARQL orders its patterns
+//! inside evaluation (the ordering is a pure function of the graph probed
+//! at run time), so its entries cache only the AST.
 //!
 //! A hit skips the `query_plan` span entirely: repeat queries show
 //! `request → execute → query_eval` with no planning child, which
-//! `serve_smoke.sh` asserts. Hit/miss land on the shared registry as
-//! `s3pg_plan_cache_hit` / `s3pg_plan_cache_miss`.
+//! `serve_smoke.sh` asserts. Accounting is per listener — the JSON and
+//! Bolt front ends share one cache but report
+//! `s3pg_plan_cache_{hits,misses,replans}_total{listener="..."}`
+//! separately, so each wire protocol's cache effectiveness is visible on
+//! its own.
 
 use s3pg_obs::{Counter, Registry};
 use s3pg_pg::PgRead;
 use s3pg_query::cypher::{self, CypherPlan, CypherQuery};
 use s3pg_query::sparql::SelectQuery;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
 /// Entries retained before the cache flushes itself. Serving workloads
@@ -34,26 +45,49 @@ use std::sync::{Arc, Mutex};
 /// an adversarial stream of unique texts growing memory without limit.
 const DEFAULT_CAPACITY: usize = 1024;
 
+/// The listeners the cache meters. The first entry is the fallback for
+/// unknown labels.
+pub const LISTENERS: [&str; 2] = ["json", "bolt"];
+
 /// One cached query: the parse outcome for its endpoint.
 pub enum CachedEntry {
     /// A Cypher query (or its parse error message, verbatim).
     Cypher(Result<CachedCypher, String>),
     /// A SPARQL query (or its parse error message, verbatim).
-    Sparql(Result<Arc<SelectQuery>, String>),
+    Sparql(Result<CachedSparql, String>),
 }
 
 /// A parsed Cypher query plus its epoch-tagged plan.
 pub struct CachedCypher {
     pub ast: Arc<CypherQuery>,
+    /// Every `$name` the query references, computed once at parse time so
+    /// per-request parameter validation never re-walks the AST.
+    pub params: BTreeSet<String>,
     /// `(epoch, plan)` the plan was computed against. Replaced (not
     /// accumulated) when the snapshot epoch moves on.
     plan: Mutex<(u64, Arc<CypherPlan>)>,
 }
 
+/// A parsed SPARQL query plus its referenced parameter names.
+pub struct CachedSparql {
+    pub ast: Arc<SelectQuery>,
+    /// Every `$name` the query references (see [`CachedCypher::params`]).
+    pub params: BTreeSet<String>,
+}
+
+impl CachedSparql {
+    pub fn new(ast: Arc<SelectQuery>) -> CachedSparql {
+        let params = s3pg_query::sparql::param_names(&ast);
+        CachedSparql { ast, params }
+    }
+}
+
 impl CachedCypher {
     pub fn new(ast: Arc<CypherQuery>, epoch: u64, plan: Arc<CypherPlan>) -> CachedCypher {
+        let params = cypher::param_names(&ast);
         CachedCypher {
             ast,
+            params,
             plan: Mutex::new((epoch, plan)),
         }
     }
@@ -73,31 +107,58 @@ impl CachedCypher {
     }
 }
 
-/// Normalized-text → parsed-entry map shared by all server workers.
-pub struct PlanCache {
-    entries: Mutex<HashMap<String, Arc<CachedEntry>>>,
-    capacity: usize,
+/// Hit/miss/replan counter handles for one listener label.
+struct ListenerCounters {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     replans: Arc<Counter>,
 }
 
+/// Normalized-text → parsed-entry map shared by all server workers (and
+/// all listeners — a query planned through JSON is a hit over Bolt).
+pub struct PlanCache {
+    entries: Mutex<HashMap<String, Arc<CachedEntry>>>,
+    capacity: usize,
+    listeners: Vec<(&'static str, ListenerCounters)>,
+}
+
 impl PlanCache {
-    /// A cache whose hit/miss/replan counters live on `registry`.
+    /// A cache whose per-listener hit/miss/replan counters live on
+    /// `registry`.
     pub fn new(registry: &Registry) -> PlanCache {
         PlanCache {
             entries: Mutex::new(HashMap::new()),
             capacity: DEFAULT_CAPACITY,
-            hits: registry.counter("s3pg_plan_cache_hit"),
-            misses: registry.counter("s3pg_plan_cache_miss"),
-            replans: registry.counter("s3pg_plan_cache_replan"),
+            listeners: LISTENERS
+                .iter()
+                .map(|&listener| {
+                    let series = |family: &str| format!("{family}{{listener=\"{listener}\"}}");
+                    (
+                        listener,
+                        ListenerCounters {
+                            hits: registry.counter(&series("s3pg_plan_cache_hits_total")),
+                            misses: registry.counter(&series("s3pg_plan_cache_misses_total")),
+                            replans: registry.counter(&series("s3pg_plan_cache_replans_total")),
+                        },
+                    )
+                })
+                .collect(),
         }
+    }
+
+    fn counters(&self, listener: &str) -> &ListenerCounters {
+        self.listeners
+            .iter()
+            .find(|(name, _)| *name == listener)
+            .map(|(_, c)| c)
+            .unwrap_or(&self.listeners[0].1)
     }
 
     /// The cache key: endpoint-prefixed, whitespace-normalized query text.
     /// Collapsing runs of whitespace makes trivially reformatted queries
     /// (extra spaces, newlines) share one entry; no deeper canonicalization
-    /// is attempted.
+    /// is attempted. Parameter *values* never reach the key — that is the
+    /// point of parameterization.
     pub fn key(endpoint: &str, query: &str) -> String {
         let mut key = String::with_capacity(endpoint.len() + 1 + query.len());
         key.push_str(endpoint);
@@ -113,18 +174,20 @@ impl PlanCache {
         key
     }
 
-    /// Look up a query. `Some` counts a hit, `None` a miss — the caller
-    /// is expected to parse/plan and [`insert`](PlanCache::insert).
-    pub fn lookup(&self, endpoint: &str, query: &str) -> Option<Arc<CachedEntry>> {
+    /// Look up a query on behalf of `listener`. `Some` counts a hit,
+    /// `None` a miss — the caller is expected to parse/plan and
+    /// [`insert`](PlanCache::insert).
+    pub fn lookup(&self, listener: &str, endpoint: &str, query: &str) -> Option<Arc<CachedEntry>> {
         let key = PlanCache::key(endpoint, query);
+        let counters = self.counters(listener);
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         match entries.get(&key) {
             Some(entry) => {
-                self.hits.inc();
+                counters.hits.inc();
                 Some(Arc::clone(entry))
             }
             None => {
-                self.misses.inc();
+                counters.misses.inc();
                 None
             }
         }
@@ -142,10 +205,11 @@ impl PlanCache {
         entries.insert(key, entry);
     }
 
-    /// Counter handle for epoch-mismatch replans (used by
-    /// [`CachedCypher::plan_for`]).
-    pub fn replan_counter(&self) -> &Counter {
-        &self.replans
+    /// Counter handle for `listener`'s epoch-mismatch replans (used by
+    /// [`CachedCypher::plan_for`]). A replan reuses the cached parse, so
+    /// it rides on a *hit* — never a miss.
+    pub fn replan_counter(&self, listener: &str) -> &Counter {
+        &self.counters(listener).replans
     }
 
     /// Cached entry count (tests/introspection).
@@ -183,32 +247,83 @@ mod tests {
     }
 
     #[test]
-    fn lookup_counts_hits_and_misses() {
+    fn lookup_counts_hits_and_misses_per_listener() {
         let (registry, cache) = cache();
-        assert!(cache.lookup("cypher", "MATCH (n) RETURN n").is_none());
+        assert!(cache
+            .lookup("json", "cypher", "MATCH (n) RETURN n")
+            .is_none());
         cache.insert(
             "cypher",
             "MATCH (n) RETURN n",
             Arc::new(CachedEntry::Cypher(Err("nope".into()))),
         );
-        // Differently spaced text resolves to the same entry.
-        assert!(cache.lookup("cypher", "MATCH  (n)  RETURN  n").is_some());
-        assert_eq!(registry.counter("s3pg_plan_cache_hit").get(), 1);
-        assert_eq!(registry.counter("s3pg_plan_cache_miss").get(), 1);
+        // Differently spaced text resolves to the same entry, and an entry
+        // inserted through one listener is a hit on the other.
+        assert!(cache
+            .lookup("json", "cypher", "MATCH  (n)  RETURN  n")
+            .is_some());
+        assert!(cache
+            .lookup("bolt", "cypher", "MATCH (n) RETURN n")
+            .is_some());
+        let series = |family: &str, listener: &str| {
+            registry
+                .counter(&format!("{family}{{listener=\"{listener}\"}}"))
+                .get()
+        };
+        assert_eq!(series("s3pg_plan_cache_hits_total", "json"), 1);
+        assert_eq!(series("s3pg_plan_cache_misses_total", "json"), 1);
+        assert_eq!(series("s3pg_plan_cache_hits_total", "bolt"), 1);
+        assert_eq!(series("s3pg_plan_cache_misses_total", "bolt"), 0);
     }
 
     #[test]
-    fn epoch_mismatch_replans_from_ast() {
+    fn unknown_listener_falls_back_to_first_label() {
+        let (registry, cache) = cache();
+        assert!(cache.lookup("??", "cypher", "MATCH (n) RETURN n").is_none());
+        assert_eq!(
+            registry
+                .counter("s3pg_plan_cache_misses_total{listener=\"json\"}")
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn epoch_mismatch_replans_from_ast_without_counting_a_miss() {
         let (registry, cache) = cache();
         let pg = PropertyGraph::new();
         let ast = Arc::new(cypher::parse("MATCH (n:Person) RETURN n").unwrap());
         let plan = Arc::new(cypher::plan(&pg, &ast));
         let cached = CachedCypher::new(Arc::clone(&ast), 0, plan);
-        cached.plan_for(&pg, 0, cache.replan_counter());
-        assert_eq!(registry.counter("s3pg_plan_cache_replan").get(), 0);
-        cached.plan_for(&pg, 1, cache.replan_counter());
-        cached.plan_for(&pg, 1, cache.replan_counter());
-        assert_eq!(registry.counter("s3pg_plan_cache_replan").get(), 1);
+        let replans = registry.counter("s3pg_plan_cache_replans_total{listener=\"json\"}");
+        cached.plan_for(&pg, 0, cache.replan_counter("json"));
+        assert_eq!(replans.get(), 0);
+        cached.plan_for(&pg, 1, cache.replan_counter("json"));
+        cached.plan_for(&pg, 1, cache.replan_counter("json"));
+        assert_eq!(replans.get(), 1);
+        assert_eq!(
+            registry
+                .counter("s3pg_plan_cache_misses_total{listener=\"json\"}")
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn cached_entries_precompute_param_names() {
+        let ast = Arc::new(
+            cypher::parse("MATCH (n:Person) WHERE n.iri = $iri AND n.age = $age RETURN n").unwrap(),
+        );
+        let pg = PropertyGraph::new();
+        let plan = Arc::new(cypher::plan(&pg, &ast));
+        let cached = CachedCypher::new(ast, 0, plan);
+        let names: Vec<&str> = cached.params.iter().map(String::as_str).collect();
+        assert_eq!(names, ["age", "iri"]);
+
+        let ast = Arc::new(s3pg_query::sparql::parse("SELECT ?s WHERE { ?s ?p $o }").unwrap());
+        let cached = CachedSparql::new(ast);
+        let names: Vec<&str> = cached.params.iter().map(String::as_str).collect();
+        assert_eq!(names, ["o"]);
     }
 
     #[test]

@@ -23,12 +23,24 @@ use std::fmt;
 pub const DEFAULT_TRACE_LIMIT: u64 = 256;
 
 /// A client request: one endpoint invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (`PartialEq` only: parameter values may carry JSON floats.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Run a Cypher query against the current PG snapshot.
-    Cypher { query: String },
-    /// Run a SPARQL query against the current RDF snapshot.
-    Sparql { query: String },
+    /// Run a Cypher query against the current PG snapshot. `params` binds
+    /// `$name` references in the query text; see [`crate::params`] for the
+    /// JSON → value mapping and the undeclared/unused rejection rules.
+    Cypher {
+        query: String,
+        params: Vec<(String, Json)>,
+    },
+    /// Run a SPARQL query against the current RDF snapshot. `params` binds
+    /// `$name` references (`"<iri>"` strings become IRIs, everything else
+    /// becomes a literal — see [`crate::params`]).
+    Sparql {
+        query: String,
+        params: Vec<(String, Json)>,
+    },
     /// Apply an N-Triples delta (additions and/or deletions) through the
     /// monotonic incremental-update path.
     Update {
@@ -64,6 +76,22 @@ pub enum Request {
 pub const DEFAULT_REPLICATE_MAX: u64 = 512;
 
 impl Request {
+    /// A parameterless Cypher request.
+    pub fn cypher(query: impl Into<String>) -> Request {
+        Request::Cypher {
+            query: query.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// A parameterless SPARQL request.
+    pub fn sparql(query: impl Into<String>) -> Request {
+        Request::Sparql {
+            query: query.into(),
+            params: Vec::new(),
+        }
+    }
+
     /// The endpoint name used for metrics and the `"op"` field.
     pub fn endpoint(&self) -> &'static str {
         match self {
@@ -124,12 +152,25 @@ impl Request {
                 .unwrap_or_default()
                 .to_string()
         };
+        // Optional `params` object: `{"name": value, ...}`. Anything other
+        // than an object (or absence) is a typed bad_request; value
+        // conversion and declared/unused checks happen at dispatch, where
+        // the parsed query is known.
+        let params = || -> Result<Vec<(String, Json)>, ErrorFrame> {
+            match value.get("params") {
+                None => Ok(Vec::new()),
+                Some(Json::Obj(fields)) => Ok(fields.clone()),
+                Some(_) => Err(bad("\"params\" must be a JSON object".to_string())),
+            }
+        };
         match op {
             "cypher" => Ok(Request::Cypher {
                 query: field("query")?,
+                params: params()?,
             }),
             "sparql" => Ok(Request::Sparql {
                 query: field("query")?,
+                params: params()?,
             }),
             "update" => {
                 let additions = optional("additions");
@@ -169,13 +210,21 @@ impl Request {
 
     /// Encode this request as one protocol line (no newline).
     pub fn encode(&self) -> String {
+        // Omit an empty `params` object so parameterless frames keep the
+        // exact wire shape older clients produce.
+        let query_op = |op: &'static str, query: &str, params: &[(String, Json)]| {
+            let mut fields = vec![
+                ("op".to_string(), Json::Str(op.to_string())),
+                ("query".to_string(), Json::Str(query.to_string())),
+            ];
+            if !params.is_empty() {
+                fields.push(("params".to_string(), Json::Obj(params.to_vec())));
+            }
+            Json::Obj(fields)
+        };
         let json = match self {
-            Request::Cypher { query } => {
-                Json::obj([("op", "cypher".into()), ("query", query.as_str().into())])
-            }
-            Request::Sparql { query } => {
-                Json::obj([("op", "sparql".into()), ("query", query.as_str().into())])
-            }
+            Request::Cypher { query, params } => query_op("cypher", query, params),
+            Request::Sparql { query, params } => query_op("sparql", query, params),
             Request::Update {
                 additions,
                 deletions,
@@ -641,11 +690,18 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         for request in [
+            Request::cypher("MATCH (n) RETURN n"),
+            Request::sparql("SELECT * WHERE { ?s ?p ?o }"),
             Request::Cypher {
-                query: "MATCH (n) RETURN n".to_string(),
+                query: "MATCH (n:Person) WHERE n.iri = $iri RETURN n.name".to_string(),
+                params: vec![
+                    ("iri".to_string(), Json::Str("http://ex/a".to_string())),
+                    ("limit".to_string(), Json::Num(3.0)),
+                ],
             },
             Request::Sparql {
-                query: "SELECT * WHERE { ?s ?p ?o }".to_string(),
+                query: "SELECT ?s WHERE { ?s ?p $o }".to_string(),
+                params: vec![("o".to_string(), Json::Str("<http://ex/b>".to_string()))],
             },
             Request::Update {
                 additions: "<http://ex/a> <http://ex/p> \"line\\nbreak\" .\n".to_string(),
@@ -763,6 +819,8 @@ mod tests {
             r#"{"op":42}"#,
             r#"{"op":"fly"}"#,
             r#"{"op":"cypher"}"#,
+            r#"{"op":"cypher","query":"RETURN 1","params":[1,2]}"#,
+            r#"{"op":"sparql","query":"SELECT ?s WHERE { ?s ?p ?o }","params":"x"}"#,
             r#"{"op":"update"}"#,
             r#"{"op":"update","additions":7}"#,
         ] {
@@ -815,6 +873,26 @@ mod tests {
         assert_eq!(
             Request::decode(r#"{"op":"replicate","from":9,"max":3}"#).unwrap(),
             Request::Replicate { from: 9, max: 3 }
+        );
+    }
+
+    #[test]
+    fn params_are_optional_and_omitted_when_empty() {
+        let r = Request::decode(r#"{"op":"cypher","query":"RETURN 1"}"#).unwrap();
+        assert_eq!(r, Request::cypher("RETURN 1"));
+        let line = Request::cypher("RETURN 1").encode();
+        assert!(!line.contains("params"), "{line}");
+        let r = Request::decode(r#"{"op":"cypher","query":"RETURN $x","params":{"x":7,"y":"s"}}"#)
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::Cypher {
+                query: "RETURN $x".to_string(),
+                params: vec![
+                    ("x".to_string(), Json::Num(7.0)),
+                    ("y".to_string(), Json::Str("s".to_string())),
+                ],
+            }
         );
     }
 

@@ -27,7 +27,9 @@
 //! queued-but-unserved connections receive a typed `shutting_down` frame,
 //! and [`ServerHandle::join`] returns once every thread has exited.
 
-use crate::plan_cache::{CachedCypher, CachedEntry, PlanCache};
+use crate::json::Json;
+use crate::params;
+use crate::plan_cache::{CachedCypher, CachedEntry, CachedSparql, PlanCache};
 use crate::protocol::{ErrorFrame, ErrorKind, Request, Response};
 use crate::store::GraphStore;
 use s3pg::S3pgError;
@@ -70,13 +72,13 @@ impl Default for ServerConfig {
 const SLOW_QUERY_CAPACITY: usize = 128;
 
 /// How often blocked threads re-check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// How often the acceptor polls the nonblocking listener. Much tighter
 /// than [`POLL_INTERVAL`]: this bounds the latency of a connection's
 /// *first* request (accept → queue → worker pickup), which would
 /// otherwise show up as a multi-millisecond p99 artifact under load.
-const ACCEPT_POLL: Duration = Duration::from_millis(1);
+pub(crate) const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
 /// Obs handles for one endpoint, resolved once at startup so the hot
 /// path never touches the registry's name maps.
@@ -149,14 +151,18 @@ pub struct SlowQuery {
 }
 
 /// The installed store plus its serving role.
-struct ServingState {
-    store: Arc<GraphStore>,
+pub(crate) struct ServingState {
+    pub(crate) store: Arc<GraphStore>,
     /// Replicas reject `update` frames with a typed `read_only` error;
     /// their state advances only through the replication loop.
-    replica: bool,
+    pub(crate) replica: bool,
 }
 
-struct Shared {
+/// State every listener (JSON and Bolt) shares: the installed store, the
+/// plan cache, metrics, and the shutdown flag. The Bolt front end holds an
+/// `Arc<Shared>` and funnels its RUN requests through the same
+/// [`Shared::run_cypher`] the JSON dispatch uses.
+pub(crate) struct Shared {
     /// Empty while the binary is still recovering (loading a checkpoint,
     /// replaying the WAL tail); requests that need graph state get a typed
     /// `recovering` error until [`StoreInstaller::install`] fills it.
@@ -170,6 +176,191 @@ struct Shared {
     shutdown: AtomicBool,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_signal: Condvar,
+}
+
+impl Shared {
+    /// The installed store, or `None` while recovery is still replaying.
+    pub(crate) fn serving(&self) -> Option<&ServingState> {
+        self.serving.get()
+    }
+
+    /// Whether shutdown has been requested (listener loops poll this).
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The shared metrics registry.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Account one served request to the per-endpoint counters and
+    /// latency histogram. The JSON dispatch calls this from `respond`;
+    /// the Bolt session calls it around each `RUN`, so
+    /// `s3pg_requests_total{endpoint="cypher"}` counts queries from both
+    /// listeners.
+    pub(crate) fn observe_request(&self, endpoint: &str, elapsed: Duration, ok: bool) {
+        self.metrics.observe(endpoint, elapsed, ok);
+    }
+
+    /// Run one Cypher query through the shared plan cache and parameter
+    /// pipeline. `listener` labels the cache accounting
+    /// (`s3pg_plan_cache_*_total{listener=...}`); both the JSON dispatch
+    /// and the Bolt session funnel through here, so the two wire protocols
+    /// cannot drift in semantics.
+    pub(crate) fn run_cypher(
+        &self,
+        store: &GraphStore,
+        query: &str,
+        params: &[(String, Json)],
+        listener: &'static str,
+    ) -> Response {
+        let snap = store.snapshot();
+        // Plan-cache hit: no reparse, no `query_plan` span. Miss: parse +
+        // plan under one `query_plan` span, then cache the outcome (parse
+        // errors included) for the next issue. Parameter values are not in
+        // the key, so `$iri = "a"` and `$iri = "b"` share one entry.
+        let entry = self
+            .plan_cache
+            .lookup(listener, "cypher", query)
+            .unwrap_or_else(|| {
+                let _span = tracer().span_here("query_plan");
+                let entry = Arc::new(CachedEntry::Cypher(match cypher::parse(query) {
+                    Ok(ast) => {
+                        let ast = Arc::new(ast);
+                        // Plan against whichever representation the
+                        // evaluation below will use; the statistics
+                        // (and so the plan) are identical either way.
+                        let plan = Arc::new(match snap.compact() {
+                            Some(compact) => cypher::plan(compact.as_ref(), &ast),
+                            None => cypher::plan(&snap.pg, &ast),
+                        });
+                        Ok(CachedCypher::new(ast, snap.epoch, plan))
+                    }
+                    Err(e) => Err(e.to_string()),
+                }));
+                self.plan_cache.insert("cypher", query, Arc::clone(&entry));
+                entry
+            });
+        let cached = match &*entry {
+            CachedEntry::Cypher(Ok(cached)) => cached,
+            CachedEntry::Cypher(Err(message)) | CachedEntry::Sparql(Err(message)) => {
+                return Response::Error(ErrorFrame {
+                    kind: ErrorKind::Query,
+                    message: message.clone(),
+                })
+            }
+            CachedEntry::Sparql(Ok(_)) => unreachable!("endpoint-prefixed cache key"),
+        };
+        // Parameter names must match the query exactly (no undeclared, no
+        // unused) before any evaluation work happens.
+        if let Err(frame) = params::check_names(&cached.params, params) {
+            return Response::Error(frame);
+        }
+        let bound = match params::cypher_params(params) {
+            Ok(bound) => bound,
+            Err(frame) => return Response::Error(frame),
+        };
+        // Serve from the read-optimized compact form when background
+        // compaction has landed it; fall back to the mutable PG in the
+        // window right after an update.
+        let replans = self.plan_cache.replan_counter(listener);
+        let result = match snap.compact() {
+            Some(compact) => {
+                let plan = cached.plan_for(compact.as_ref(), snap.epoch, replans);
+                let _span = tracer().span_here("query_eval");
+                cypher::evaluate_planned_params(compact.as_ref(), &cached.ast, &plan, &bound, 1)
+            }
+            None => {
+                let plan = cached.plan_for(&snap.pg, snap.epoch, replans);
+                let _span = tracer().span_here("query_eval");
+                cypher::evaluate_planned_params(&snap.pg, &cached.ast, &plan, &bound, 1)
+            }
+        };
+        match result {
+            Ok(rows) => Response::Cypher {
+                columns: rows.columns.clone(),
+                rows: rows
+                    .rows
+                    .iter()
+                    .map(|row| row.iter().map(|v| v.as_ref().map(render_value)).collect())
+                    .collect(),
+            },
+            Err(e) => Response::Error(ErrorFrame {
+                kind: ErrorKind::Query,
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// Run one SPARQL query through the shared plan cache and parameter
+    /// pipeline (see [`Shared::run_cypher`]).
+    pub(crate) fn run_sparql(
+        &self,
+        store: &GraphStore,
+        query: &str,
+        params: &[(String, Json)],
+        listener: &'static str,
+    ) -> Response {
+        let snap = store.snapshot();
+        let entry = self
+            .plan_cache
+            .lookup(listener, "sparql", query)
+            .unwrap_or_else(|| {
+                let _span = tracer().span_here("query_plan");
+                let entry = Arc::new(CachedEntry::Sparql(match sparql::parse(query) {
+                    Ok(ast) => Ok(CachedSparql::new(Arc::new(ast))),
+                    Err(e) => Err(e.to_string()),
+                }));
+                self.plan_cache.insert("sparql", query, Arc::clone(&entry));
+                entry
+            });
+        let cached = match &*entry {
+            CachedEntry::Sparql(Ok(cached)) => cached,
+            CachedEntry::Sparql(Err(message)) | CachedEntry::Cypher(Err(message)) => {
+                return Response::Error(ErrorFrame {
+                    kind: ErrorKind::Query,
+                    message: message.clone(),
+                })
+            }
+            CachedEntry::Cypher(Ok(_)) => unreachable!("endpoint-prefixed cache key"),
+        };
+        if let Err(frame) = params::check_names(&cached.params, params) {
+            return Response::Error(frame);
+        }
+        let bound = match params::sparql_params(params) {
+            Ok(bound) => bound,
+            Err(frame) => return Response::Error(frame),
+        };
+        let result = {
+            let _span = tracer().span_here("query_eval");
+            sparql::evaluate_outcome_threads_params(&snap.rdf, &cached.ast, &bound, 1)
+        };
+        match result {
+            Ok(sparql::Outcome::Solutions(solutions)) => Response::Sparql {
+                vars: solutions.vars.clone(),
+                rows: solutions
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|t| t.map(|t| render_term(&snap.rdf, t)))
+                            .collect()
+                    })
+                    .collect(),
+            },
+            // The wire endpoints have never served aggregate projections;
+            // keep the engine's own error message for them.
+            Ok(sparql::Outcome::Count { .. }) => Response::Error(ErrorFrame {
+                kind: ErrorKind::Query,
+                message: "aggregate query: use execute_outcome/evaluate_outcome".to_string(),
+            }),
+            Err(e) => Response::Error(ErrorFrame {
+                kind: ErrorKind::Query,
+                message: e.to_string(),
+            }),
+        }
+    }
 }
 
 /// A running server; dropping the handle does *not* stop it — call
@@ -232,6 +423,23 @@ impl ServerHandle {
     /// The store's metrics registry (endpoint + memory series).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.shared.registry)
+    }
+
+    /// The shared listener state (store, plan cache, metrics) — this is
+    /// what the Bolt front end runs against.
+    pub(crate) fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Bind a Bolt listener on `addr` serving the same store, plan
+    /// cache, and metrics as the JSON listener (port 0 picks an
+    /// ephemeral port; the bound address is returned). The listener's
+    /// threads join through [`ServerHandle::join`] and honor the same
+    /// shutdown flag.
+    pub fn listen_bolt(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let (local, thread) = crate::bolt::spawn(addr, self.shared())?;
+        self.threads.push(thread);
+        Ok(local)
     }
 
     /// The current slow-query log, oldest first (empty when no threshold
@@ -550,7 +758,7 @@ fn respond(line: &str, shared: &Shared) -> Reply {
 /// What the slow-query log shows as the request body.
 fn query_text(request: &Request) -> String {
     match request {
-        Request::Cypher { query } | Request::Sparql { query } => query.clone(),
+        Request::Cypher { query, .. } | Request::Sparql { query, .. } => query.clone(),
         Request::Update {
             additions,
             deletions,
@@ -591,7 +799,7 @@ fn record_slow_query(shared: &Shared, entry: SlowQuery) {
     log.push_back(entry);
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
     panic
         .downcast_ref::<&str>()
         .copied()
@@ -627,125 +835,8 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
     };
     let store = serving.store.as_ref();
     match request {
-        Request::Cypher { query } => {
-            let snap = store.snapshot();
-            // Plan-cache hit: no reparse, no `query_plan` span. Miss:
-            // parse + plan under one `query_plan` span, then cache the
-            // outcome (parse errors included) for the next issue.
-            let entry = shared
-                .plan_cache
-                .lookup("cypher", query)
-                .unwrap_or_else(|| {
-                    let _span = tracer().span_here("query_plan");
-                    let entry = Arc::new(CachedEntry::Cypher(match cypher::parse(query) {
-                        Ok(ast) => {
-                            let ast = Arc::new(ast);
-                            // Plan against whichever representation the
-                            // evaluation below will use; the statistics
-                            // (and so the plan) are identical either way.
-                            let plan = Arc::new(match snap.compact() {
-                                Some(compact) => cypher::plan(compact.as_ref(), &ast),
-                                None => cypher::plan(&snap.pg, &ast),
-                            });
-                            Ok(CachedCypher::new(ast, snap.epoch, plan))
-                        }
-                        Err(e) => Err(e.to_string()),
-                    }));
-                    shared
-                        .plan_cache
-                        .insert("cypher", query, Arc::clone(&entry));
-                    entry
-                });
-            let cached = match &*entry {
-                CachedEntry::Cypher(Ok(cached)) => cached,
-                CachedEntry::Cypher(Err(message)) | CachedEntry::Sparql(Err(message)) => {
-                    return Response::Error(ErrorFrame {
-                        kind: ErrorKind::Query,
-                        message: message.clone(),
-                    })
-                }
-                CachedEntry::Sparql(Ok(_)) => unreachable!("endpoint-prefixed cache key"),
-            };
-            // Serve from the read-optimized compact form when background
-            // compaction has landed it; fall back to the mutable PG in the
-            // window right after an update.
-            let replans = shared.plan_cache.replan_counter();
-            let result = match snap.compact() {
-                Some(compact) => {
-                    let plan = cached.plan_for(compact.as_ref(), snap.epoch, replans);
-                    let _span = tracer().span_here("query_eval");
-                    cypher::evaluate_planned(compact.as_ref(), &cached.ast, &plan, 1)
-                }
-                None => {
-                    let plan = cached.plan_for(&snap.pg, snap.epoch, replans);
-                    let _span = tracer().span_here("query_eval");
-                    cypher::evaluate_planned(&snap.pg, &cached.ast, &plan, 1)
-                }
-            };
-            match result {
-                Ok(rows) => Response::Cypher {
-                    columns: rows.columns.clone(),
-                    rows: rows
-                        .rows
-                        .iter()
-                        .map(|row| row.iter().map(|v| v.as_ref().map(render_value)).collect())
-                        .collect(),
-                },
-                Err(e) => Response::Error(ErrorFrame {
-                    kind: ErrorKind::Query,
-                    message: e.to_string(),
-                }),
-            }
-        }
-        Request::Sparql { query } => {
-            let snap = store.snapshot();
-            let entry = shared
-                .plan_cache
-                .lookup("sparql", query)
-                .unwrap_or_else(|| {
-                    let _span = tracer().span_here("query_plan");
-                    let entry = Arc::new(CachedEntry::Sparql(match sparql::parse(query) {
-                        Ok(ast) => Ok(Arc::new(ast)),
-                        Err(e) => Err(e.to_string()),
-                    }));
-                    shared
-                        .plan_cache
-                        .insert("sparql", query, Arc::clone(&entry));
-                    entry
-                });
-            let ast = match &*entry {
-                CachedEntry::Sparql(Ok(ast)) => ast,
-                CachedEntry::Sparql(Err(message)) | CachedEntry::Cypher(Err(message)) => {
-                    return Response::Error(ErrorFrame {
-                        kind: ErrorKind::Query,
-                        message: message.clone(),
-                    })
-                }
-                CachedEntry::Cypher(Ok(_)) => unreachable!("endpoint-prefixed cache key"),
-            };
-            let result = {
-                let _span = tracer().span_here("query_eval");
-                sparql::evaluate(&snap.rdf, ast)
-            };
-            match result {
-                Ok(solutions) => Response::Sparql {
-                    vars: solutions.vars.clone(),
-                    rows: solutions
-                        .rows
-                        .iter()
-                        .map(|row| {
-                            row.iter()
-                                .map(|t| t.map(|t| render_term(&snap.rdf, t)))
-                                .collect()
-                        })
-                        .collect(),
-                },
-                Err(e) => Response::Error(ErrorFrame {
-                    kind: ErrorKind::Query,
-                    message: e.to_string(),
-                }),
-            }
-        }
+        Request::Cypher { query, params } => shared.run_cypher(store, query, params, "json"),
+        Request::Sparql { query, params } => shared.run_sparql(store, query, params, "json"),
         Request::Update {
             additions,
             deletions,

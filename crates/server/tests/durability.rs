@@ -98,6 +98,7 @@ fn names(client: &mut Client) -> Vec<Vec<Option<String>>> {
     let response = client
         .call(&Request::Sparql {
             query: "SELECT ?s ?o WHERE { ?s <http://ex/name> ?o }".to_string(),
+            params: Vec::new(),
         })
         .unwrap();
     let Response::Sparql { mut rows, .. } = response else {

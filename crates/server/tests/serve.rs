@@ -50,6 +50,7 @@ fn serves_reads_updates_and_metrics_over_tcp() {
     let response = client
         .call(&Request::Cypher {
             query: "MATCH (p:Person) RETURN p.name".to_string(),
+            params: Vec::new(),
         })
         .unwrap();
     let Response::Cypher { columns, mut rows } = response else {
@@ -66,6 +67,7 @@ fn serves_reads_updates_and_metrics_over_tcp() {
     let response = client
         .call(&Request::Sparql {
             query: "PREFIX ex: <http://ex/> SELECT ?n WHERE { ?s ex:name ?n }".to_string(),
+            params: Vec::new(),
         })
         .unwrap();
     let Response::Sparql { vars, rows } = response else {
@@ -100,6 +102,7 @@ fn serves_reads_updates_and_metrics_over_tcp() {
     let response = client
         .call(&Request::Cypher {
             query: "MATCH (p:Person) RETURN p.name".to_string(),
+            params: Vec::new(),
         })
         .unwrap();
     let Response::Cypher { rows, .. } = response else {
@@ -172,6 +175,7 @@ fn malformed_input_yields_typed_errors_not_panics() {
     let Response::Error(e) = client
         .call(&Request::Cypher {
             query: "MATCH (((".to_string(),
+            params: Vec::new(),
         })
         .unwrap()
     else {
@@ -183,6 +187,7 @@ fn malformed_input_yields_typed_errors_not_panics() {
     let Response::Error(e) = client
         .call(&Request::Sparql {
             query: "SELECT WHERE {".to_string(),
+            params: Vec::new(),
         })
         .unwrap()
     else {
@@ -221,6 +226,121 @@ fn malformed_input_yields_typed_errors_not_panics() {
     assert_eq!(
         sample("s3pg_request_errors_total{endpoint=\"invalid\"}"),
         2.0
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn parameterized_queries_plan_once_and_validate_names() {
+    use s3pg_server::json::Json;
+
+    let handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    let query = "MATCH (p:Person) WHERE p.name = $who RETURN p.name";
+    let run = |client: &mut Client, who: &str| {
+        let response = client
+            .call(&Request::Cypher {
+                query: query.to_string(),
+                params: vec![("who".to_string(), Json::Str(who.to_string()))],
+            })
+            .unwrap();
+        let Response::Cypher { rows, .. } = response else {
+            panic!("expected cypher rows, got {response:?}");
+        };
+        rows
+    };
+
+    let cache_series = |handle: &ServerHandle, family: &str| {
+        let exposition = handle.metrics_exposition();
+        s3pg_obs::parse_exposition(&exposition)
+            .unwrap()
+            .iter()
+            .find(|s| s.name == format!("s3pg_plan_cache_{family}_total{{listener=\"json\"}}"))
+            .map(|s| s.value as u64)
+            .unwrap_or(0)
+    };
+
+    // Two different bindings of one query text: correct rows both times,
+    // and the second issue is a plan-cache hit (same normalized text).
+    let hits_before = cache_series(&handle, "hits");
+    assert_eq!(run(&mut client, "A"), vec![vec![Some("A".to_string())]]);
+    assert_eq!(run(&mut client, "B"), vec![vec![Some("B".to_string())]]);
+    assert_eq!(
+        run(&mut client, "nobody"),
+        Vec::<Vec<Option<String>>>::new()
+    );
+    let hits_after = cache_series(&handle, "hits");
+    assert!(
+        hits_after >= hits_before + 2,
+        "expected ≥2 new hits, got {hits_before} → {hits_after}"
+    );
+
+    // Unused binding (query never references $typo) → typed bad_request.
+    let response = client
+        .call(&Request::Cypher {
+            query: query.to_string(),
+            params: vec![
+                ("who".to_string(), Json::Str("A".to_string())),
+                ("typo".to_string(), Json::Str("x".to_string())),
+            ],
+        })
+        .unwrap();
+    let Response::Error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.kind, ErrorKind::BadRequest);
+    assert!(
+        e.message.contains("unused parameter $typo"),
+        "{}",
+        e.message
+    );
+
+    // Undeclared (query references $who, no binding) → typed bad_request.
+    let response = client
+        .call(&Request::Cypher {
+            query: query.to_string(),
+            params: Vec::new(),
+        })
+        .unwrap();
+    let Response::Error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.kind, ErrorKind::BadRequest);
+    assert!(
+        e.message.contains("undeclared parameter $who"),
+        "{}",
+        e.message
+    );
+
+    // SPARQL shares the exact same parameter semantics: an "<iri>" string
+    // binds an IRI term, and validation applies identically.
+    let response = client
+        .call(&Request::Sparql {
+            query: "PREFIX ex: <http://ex/> SELECT ?n WHERE { $s ex:name ?n }".to_string(),
+            params: vec![("s".to_string(), Json::Str("<http://ex/a>".to_string()))],
+        })
+        .unwrap();
+    let Response::Sparql { rows, .. } = response else {
+        panic!("expected sparql rows, got {response:?}");
+    };
+    assert_eq!(rows, vec![vec![Some("A".to_string())]]);
+    let response = client
+        .call(&Request::Sparql {
+            query: "PREFIX ex: <http://ex/> SELECT ?n WHERE { ?s ex:name ?n }".to_string(),
+            params: vec![("ghost".to_string(), Json::Str("x".to_string()))],
+        })
+        .unwrap();
+    let Response::Error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.kind, ErrorKind::BadRequest);
+    assert!(
+        e.message.contains("unused parameter $ghost"),
+        "{}",
+        e.message
     );
 
     handle.shutdown();
@@ -331,6 +451,7 @@ fn concurrent_clients_see_consistent_monotonic_state() {
                             query: format!(
                                 "SELECT ?n WHERE {{ <{iri}> <http://ex/name> ?n }}"
                             ),
+                            params: Vec::new(),
                         })
                         .unwrap();
                     let Response::Sparql { rows, .. } = response else {

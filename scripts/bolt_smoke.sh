@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Smoke-test the Bolt listener end to end: start `s3pg-serve` with both
+# front ends on ephemeral ports, then drive the scripted Bolt client
+# (`bolt_probe`) through handshake → HELLO → parameterized RUN/PULL,
+# differentially checking every answer against the JSON listener, and
+# through the robustness contract (malformed handshake, unsupported
+# version, oversized chunked message, RUN before HELLO — all typed, none
+# hang). Finally shut the server down via the wire protocol. Fully
+# offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p s3pg-server -p s3pg-bench
+
+SERVE=target/release/s3pg-serve
+LOADGEN=target/release/loadgen
+PROBE=target/release/bolt_probe
+DEMO_DIR=$(mktemp -d)
+SERVER_LOG="$DEMO_DIR/server.log"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$DEMO_DIR"' EXIT
+
+echo "== write demo dataset =="
+"$LOADGEN" --write-demo "$DEMO_DIR"
+
+echo "== start s3pg-serve with JSON and Bolt listeners on ephemeral ports =="
+"$SERVE" --data "$DEMO_DIR/data.ttl" --shapes "$DEMO_DIR/shapes.ttl" \
+         --addr 127.0.0.1:0 --bolt-addr 127.0.0.1:0 --workers 8 >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+ADDR=""
+BOLT_ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on \([0-9.:]*\).*/\1/p' "$SERVER_LOG" | head -1)
+    BOLT_ADDR=$(sed -n 's/^bolt listening on \([0-9.:]*\).*/\1/p' "$SERVER_LOG" | head -1)
+    [ -n "$ADDR" ] && [ -n "$BOLT_ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SERVER_LOG"; echo "server died during startup"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] && [ -n "$BOLT_ADDR" ] \
+    || { cat "$SERVER_LOG"; echo "server never reported both addresses"; exit 1; }
+echo "json on $ADDR, bolt on $BOLT_ADDR"
+
+echo "== bolt probe (differential RUN/PULL + robustness contract) =="
+"$PROBE" --bolt-addr "$BOLT_ADDR" --json-addr "$ADDR"
+
+echo "== protocol shutdown =="
+"$LOADGEN" --addr "$ADDR" --connections 1 --rounds 1 --shutdown >/dev/null
+
+echo "== wait for the server to drain and exit =="
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    cat "$SERVER_LOG"
+    echo "server did not exit after shutdown"
+    exit 1
+fi
+wait "$SERVER_PID"
+grep -q "shutdown complete" "$SERVER_LOG" || { cat "$SERVER_LOG"; echo "missing clean-shutdown line"; exit 1; }
+
+echo "bolt smoke OK"

@@ -34,6 +34,7 @@ fn metrics_endpoint_exposes_counters_and_memory_gauges() {
     client
         .call(&Request::Cypher {
             query: "MATCH (p:Person) RETURN p.name".to_string(),
+            params: Vec::new(),
         })
         .unwrap();
     client.call(&Request::Stats).unwrap();
@@ -138,6 +139,7 @@ fn trace_endpoint_tails_request_span_trees() {
     client
         .call(&Request::Sparql {
             query: "SELECT ?s WHERE { ?s <http://ex/name> ?n }".to_string(),
+            params: Vec::new(),
         })
         .unwrap();
 
@@ -182,6 +184,7 @@ fn slow_query_log_records_stage_timings_and_rows() {
     client
         .call(&Request::Cypher {
             query: query.clone(),
+            params: Vec::new(),
         })
         .unwrap();
     client.call(&Request::Ping).unwrap();
