@@ -160,6 +160,56 @@ impl BoltProbe {
         }
         Ok(Ok((fields, rows)))
     }
+
+    /// RUN + PULL(-1) keeping the final SUCCESS metadata — the carrier of
+    /// `plan`/`profile` summaries for EXPLAIN/PROFILE queries.
+    #[allow(clippy::type_complexity)]
+    fn run_with_summary(
+        &mut self,
+        query: &str,
+    ) -> Result<(Vec<String>, Rows, Vec<(String, Value)>), String> {
+        let answer = self.call(ClientMessage::Run {
+            query: query.to_string(),
+            parameters: Vec::new(),
+            extra: Vec::new(),
+        })?;
+        let ServerMessage::Success(meta) = answer else {
+            return Err(format!("RUN {query:?} must succeed, got {answer:?}"));
+        };
+        let Some(Value::List(fields)) = meta
+            .iter()
+            .find(|(k, _)| k == "fields")
+            .map(|(_, v)| v.clone())
+        else {
+            return Err(format!("RUN success must carry fields, got {meta:?}"));
+        };
+        let fields = fields
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or(format!("non-string field in {fields:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.send(ClientMessage::Pull(vec![("n".into(), Value::Int(-1))]))?;
+        let mut rows = Vec::new();
+        loop {
+            match self.recv()? {
+                ServerMessage::Record(values) => rows.push(
+                    values
+                        .into_iter()
+                        .map(|v| match v {
+                            Value::Null => Ok(None),
+                            Value::String(s) => Ok(Some(s)),
+                            other => Err(format!("rows are strings or null, got {other:?}")),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+                ServerMessage::Success(summary) => return Ok((fields, rows, summary)),
+                other => return Err(format!("unexpected PULL answer {other:?}")),
+            }
+        }
+    }
 }
 
 fn dial(addr: &str) -> Result<TcpStream, String> {
@@ -217,6 +267,150 @@ fn check_agreement(
             ))
         }
     }
+    Ok(())
+}
+
+/// A summary map's `plan`/`profile` entry as map entries, checked to be a
+/// well-formed operator rendering (an `operatorType` string at the root).
+fn summary_plan<'a>(
+    summary: &'a [(String, Value)],
+    key: &str,
+) -> Result<&'a [(String, Value)], String> {
+    let Some(Value::Map(entries)) = summary.iter().find(|(k, _)| k == key).map(|(_, v)| v) else {
+        return Err(format!("summary must carry a {key:?} map, got {summary:?}"));
+    };
+    match entries.iter().find(|(k, _)| k == "operatorType") {
+        Some((_, Value::String(_))) => Ok(entries),
+        other => Err(format!(
+            "{key} root lacks an operatorType string: {other:?}"
+        )),
+    }
+}
+
+/// EXPLAIN/PROFILE introspection through both listeners: EXPLAIN renders
+/// the operator tree without executing, PROFILE executes and annotates it,
+/// and the profiled answer must equal the plain answer exactly. The Bolt
+/// listener carries the same trees as Neo4j-style `plan`/`profile` summary
+/// metadata.
+fn check_introspection(json: &mut Client, bolt: &mut BoltProbe) -> Result<(), String> {
+    let cypher = "MATCH (p:Person) RETURN p.name ORDER BY p.name";
+    let sparql = "SELECT ?s WHERE { ?s <http://ex/knows> <http://ex/b> }";
+    let call = |json: &mut Client, request: &Request| {
+        json.call(request).map_err(|e| format!("json call: {e}"))
+    };
+    let cypher_request = |query: String| Request::Cypher {
+        query,
+        params: Vec::new(),
+    };
+    let sparql_request = |query: String| Request::Sparql {
+        query,
+        params: Vec::new(),
+    };
+
+    // Reference answers, no introspection.
+    let (ref_columns, ref_rows) = match call(json, &cypher_request(cypher.into()))? {
+        Response::Cypher { columns, rows } => (columns, rows),
+        other => return Err(format!("plain cypher got {other:?}")),
+    };
+    let sparql_rows = match call(json, &sparql_request(sparql.into()))? {
+        Response::Sparql { rows, .. } => rows,
+        other => return Err(format!("plain sparql got {other:?}")),
+    };
+
+    // JSON EXPLAIN: a rendered tree, nothing executed (no row counts).
+    for (request, language) in [
+        (cypher_request(format!("EXPLAIN {cypher}")), "cypher"),
+        (sparql_request(format!("EXPLAIN {sparql}")), "sparql"),
+    ] {
+        match call(json, &request)? {
+            Response::Explain {
+                language: reported,
+                plan,
+            } => {
+                if reported != language {
+                    return Err(format!("EXPLAIN language {reported:?} != {language:?}"));
+                }
+                if plan.ops().is_empty() {
+                    return Err(format!("{language} EXPLAIN rendered an empty tree"));
+                }
+                if plan.rows.is_some() {
+                    return Err(format!("{language} EXPLAIN must not execute: {plan:?}"));
+                }
+                println!("  json {language} EXPLAIN: {:?}", plan.ops());
+            }
+            other => return Err(format!("{language} EXPLAIN got {other:?}")),
+        }
+    }
+
+    // JSON PROFILE: answers identical to the plain run, tree annotated.
+    match call(json, &cypher_request(format!("PROFILE {cypher}")))? {
+        Response::Profile {
+            columns,
+            rows,
+            plan,
+            ..
+        } => {
+            if columns != ref_columns || rows != ref_rows {
+                return Err("cypher PROFILE answer diverges from the plain run".into());
+            }
+            if plan.rows != Some(rows.len() as u64) {
+                return Err(format!(
+                    "cypher PROFILE root rows {:?} != result rows {}",
+                    plan.rows,
+                    rows.len()
+                ));
+            }
+            println!("  json cypher PROFILE: {} rows, tree annotated", rows.len());
+        }
+        other => return Err(format!("cypher PROFILE got {other:?}")),
+    }
+    match call(json, &sparql_request(format!("PROFILE {sparql}")))? {
+        Response::Profile { rows, plan, .. } => {
+            if rows != sparql_rows {
+                return Err("sparql PROFILE answer diverges from the plain run".into());
+            }
+            if plan.rows != Some(rows.len() as u64) {
+                return Err(format!(
+                    "sparql PROFILE root rows {:?} != result rows {}",
+                    plan.rows,
+                    rows.len()
+                ));
+            }
+            println!("  json sparql PROFILE: {} rows, tree annotated", rows.len());
+        }
+        other => return Err(format!("sparql PROFILE got {other:?}")),
+    }
+
+    // Bolt EXPLAIN: empty result, tree in the final SUCCESS `plan` meta.
+    let (fields, rows, summary) = bolt.run_with_summary(&format!("EXPLAIN {cypher}"))?;
+    if !fields.is_empty() || !rows.is_empty() {
+        return Err(format!(
+            "bolt EXPLAIN must return no data, got {fields:?}/{} rows",
+            rows.len()
+        ));
+    }
+    let plan = summary_plan(&summary, "plan")?;
+    if plan.iter().any(|(k, _)| k == "rows") {
+        return Err("bolt EXPLAIN plan carries row counts".into());
+    }
+    println!("  bolt EXPLAIN: plan summary, no rows");
+
+    // Bolt PROFILE: plain answer plus the annotated `profile` meta.
+    let (fields, rows, summary) = bolt.run_with_summary(&format!("PROFILE {cypher}"))?;
+    if fields != ref_columns || rows != ref_rows {
+        return Err("bolt PROFILE answer diverges from the plain run".into());
+    }
+    let profile = summary_plan(&summary, "profile")?;
+    match profile.iter().find(|(k, _)| k == "rows") {
+        Some((_, Value::Int(n))) if *n == rows.len() as i64 => {}
+        other => {
+            return Err(format!(
+                "bolt PROFILE root rows {other:?} != result rows {}",
+                rows.len()
+            ))
+        }
+    }
+    println!("  bolt PROFILE: {} rows, profile summary", rows.len());
     Ok(())
 }
 
@@ -309,6 +503,8 @@ fn run(bolt_addr: &str, json_addr: &str) -> Result<(), String> {
             bindings,
         )?;
     }
+    println!("== introspection: EXPLAIN/PROFILE on both listeners ==");
+    check_introspection(&mut json, &mut bolt)?;
     bolt.send(ClientMessage::Goodbye)?;
     println!("== robustness: malformed peers ==");
     check_robustness(bolt_addr)?;

@@ -784,9 +784,58 @@ pub fn run_loadgen(
                     mismatches
                         .push("metrics: s3pg_mem_pg_prop_index_bytes missing or zero".to_string());
                 }
+                // The query-statistics aggregates must cover everything
+                // this client executed (`<` not `!=`: other clients may
+                // add, never subtract).
+                for language in ["cypher", "sparql"] {
+                    let sent = tally.get(language).copied().unwrap_or(0);
+                    let series = format!("s3pg_query_executions_total{{language=\"{language}\"}}");
+                    let executed = value(&series) as u64;
+                    if executed < sent {
+                        mismatches.push(format!(
+                            "query stats: {series} counted {executed} executions, \
+                             this client issued {sent}"
+                        ));
+                    }
+                }
             }
             Err(e) => mismatches.push(format!("metrics: exposition did not parse: {e}")),
         }
+    }
+
+    // The per-query registry must agree with the issued counts for the
+    // two texts this run hammered: the plan-cache exercise query and the
+    // parameterized sweep's single normalized text (one entry across all
+    // bindings, since values never reach the key).
+    match client
+        .call(&Request::QueryStats)
+        .map_err(|e| e.to_string())?
+    {
+        Response::QueryStats { queries } => {
+            final_requests += 1;
+            let calls_for = |text: &str| {
+                queries
+                    .iter()
+                    .find(|e| e.endpoint == "cypher" && e.query == text)
+                    .map(|e| e.calls)
+            };
+            match calls_for(&cache_query) {
+                Some(calls) if calls >= cache_repeats => {}
+                got => mismatches.push(format!(
+                    "query stats: cache-exercise text shows {got:?} calls, \
+                     client issued ≥{cache_repeats}"
+                )),
+            }
+            match calls_for(param_query) {
+                Some(calls) if calls >= values.len() as u64 => {}
+                got => mismatches.push(format!(
+                    "query stats: parameterized text shows {got:?} calls, \
+                     client issued {} bindings of one text",
+                    values.len()
+                )),
+            }
+        }
+        other => mismatches.push(format!("query_stats: unexpected response {other:?}")),
     }
 
     Ok(LoadReport {
@@ -826,7 +875,10 @@ pub fn plan_cache_probe(addr: &str) -> Result<(), String> {
         }
     }
     let events = match client
-        .call(&Request::Trace { limit: 4096 })
+        .call(&Request::Trace {
+            limit: 4096,
+            since: 0,
+        })
         .map_err(|e| e.to_string())?
     {
         Response::Trace { events } => events,

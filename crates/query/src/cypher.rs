@@ -25,9 +25,11 @@
 //! `IS NULL` / `IS NOT NULL`. NULL propagates as in Cypher; `UNWIND` of
 //! NULL produces no rows.
 
+use crate::profile::{NoProf, PlanNode, ProfHook, ProfSink};
 use s3pg_pg::{EdgeId, NodeId, PgRead, Value};
 use s3pg_rdf::fxhash::{FxHashMap, FxHashSet};
 use std::fmt;
+use std::time::Instant;
 
 /// A parse or evaluation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -438,6 +440,227 @@ fn pattern_vars(p: &PathPattern) -> impl Iterator<Item = &str> {
             .iter()
             .flat_map(|(rel, node)| rel.var.as_deref().into_iter().chain(node.var.as_deref())),
     )
+}
+
+// ---- explain ---------------------------------------------------------------
+
+/// Render the operator tree [`evaluate_planned_params`] would execute —
+/// without executing anything. `threads` is the worker budget evaluation
+/// would be given; with `threads > 1` each part shows a `ParallelFanOut`
+/// operator (engaged at run time only when the plan's work estimate
+/// clears `PARALLEL_MIN_WORK`). Operator ids match the ones
+/// [`evaluate_planned_profiled`] records, so
+/// [`PlanNode::annotate`](crate::profile::PlanNode::annotate) joins a
+/// profiled run onto this exact tree.
+pub fn explain(query: &CypherQuery, plan: &CypherPlan, threads: usize) -> PlanNode {
+    debug_assert_eq!(plan.plans.len(), query.parts.len());
+    let mut parts: Vec<PlanNode> = query
+        .parts
+        .iter()
+        .zip(&plan.plans)
+        .enumerate()
+        .map(|(i, (part, sp))| explain_single(part, sp, i, threads))
+        .collect();
+    if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        let mut union = PlanNode::new("Union", "union").arg("parts", parts.len().to_string());
+        union.children = parts;
+        union
+    }
+}
+
+/// One UNION part's operator spine, leaf (first executed pattern) first.
+fn explain_single(q: &SingleQuery, sp: &SinglePlan, i: usize, threads: usize) -> PlanNode {
+    let id = |s: &str| format!("p{i}.{s}");
+    // Pattern chain in planned execution order: each pattern's operators
+    // take the previous pattern's chain as their innermost input
+    // (nested-loop join, exactly how `expand_patterns_planned` runs them).
+    let mut bound: FxHashSet<&str> = FxHashSet::default();
+    let mut chain: Option<PlanNode> = None;
+    for &pi in &sp.order {
+        let p = &q.patterns[pi];
+        let mut node = if sp.reversed[pi] {
+            let (rel, end) = &p.hops[0];
+            PlanNode::new("ExpandReverse", id(&format!("pat{pi}")))
+                .arg("anchor", end.var.clone().unwrap_or_default())
+                .arg("rel", render_rel(rel))
+                .arg("to", p.start.var.clone().unwrap_or_default())
+        } else {
+            let start_bound = p.start.var.as_deref().is_some_and(|v| bound.contains(v));
+            let mut base = if start_bound {
+                PlanNode::new("BoundAnchor", id(&format!("pat{pi}.start")))
+                    .arg("var", p.start.var.clone().unwrap_or_default())
+            } else if let Some(probe) = &sp.probes[pi] {
+                let probe_node = PlanNode::new("NodeIndexProbe", id(&format!("pat{pi}.start")))
+                    .arg("label", probe.label.clone())
+                    .arg("key", probe.key.clone());
+                match &probe.keys {
+                    ProbeKeys::Values(vals) => probe_node.arg(
+                        "values",
+                        vals.iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ),
+                    ProbeKeys::Param(name) => probe_node.arg("param", format!("${name}")),
+                }
+            } else if let Some(label) = p.start.labels.first() {
+                PlanNode::new("NodeByLabelScan", id(&format!("pat{pi}.start")))
+                    .arg("label", label.clone())
+            } else {
+                PlanNode::new("AllNodesScan", id(&format!("pat{pi}.start")))
+            };
+            base = base.arg("est_rows", sp.cost[pi].to_string());
+            for (h, (rel, target)) in p.hops.iter().enumerate() {
+                base = base.feed(
+                    PlanNode::new("Expand", id(&format!("pat{pi}.hop{h}")))
+                        .arg("rel", render_rel(rel))
+                        .arg("to", target.var.clone().unwrap_or_default()),
+                );
+            }
+            base
+        };
+        // The outermost operator of the pattern carries the profiled id.
+        node.id = id(&format!("pat{pi}"));
+        for var in pattern_vars(p) {
+            bound.insert(var);
+        }
+        if let Some(prev) = chain.take() {
+            push_innermost(&mut node, prev);
+        }
+        chain = Some(node);
+    }
+    let mut node = chain.unwrap_or_else(|| PlanNode::new("Empty", id("empty")));
+    if threads > 1 {
+        node = node.feed(
+            PlanNode::new("ParallelFanOut", id("parallel"))
+                .arg("threads", threads.to_string())
+                .arg("min_work", PARALLEL_MIN_WORK.to_string()),
+        );
+    }
+    for (k, pattern) in q.optional_patterns.iter().enumerate() {
+        node = node.feed(
+            PlanNode::new("OptionalExpand", id(&format!("optional{k}")))
+                .arg("pattern", render_pattern(pattern)),
+        );
+    }
+    if let Some(w) = &q.where_clause {
+        node = node.feed(PlanNode::new("Filter", id("filter")).arg("predicate", render_expr(w)));
+    }
+    for (k, (expr, var)) in q.unwind.iter().enumerate() {
+        node = node.feed(
+            PlanNode::new("Unwind", id(&format!("unwind{k}")))
+                .arg("expr", render_expr(expr))
+                .arg("as", var.clone()),
+        );
+    }
+    if let Some(w) = &q.unwind_where {
+        node = node
+            .feed(PlanNode::new("Filter", id("unwind_filter")).arg("predicate", render_expr(w)));
+    }
+    let has_aggregate = q
+        .return_items
+        .iter()
+        .any(|(item, _)| matches!(item, ReturnItem::Count { .. }));
+    let columns = q
+        .return_items
+        .iter()
+        .map(|(_, alias)| alias.as_str())
+        .collect::<Vec<_>>()
+        .join(", ");
+    node = node.feed(if has_aggregate {
+        PlanNode::new("Aggregate", id("aggregate")).arg("columns", columns)
+    } else {
+        PlanNode::new("Projection", id("project")).arg("columns", columns)
+    });
+    if q.distinct {
+        node = node.feed(PlanNode::new("Distinct", id("distinct")));
+    }
+    if let Some((index, descending)) = q.order_by {
+        node = node.feed(
+            PlanNode::new("Sort", id("sort"))
+                .arg("key", q.return_items[index].1.clone())
+                .arg("dir", if descending { "desc" } else { "asc" }),
+        );
+    }
+    if let Some(n) = q.skip {
+        node = node.feed(PlanNode::new("Skip", id("skip")).arg("n", n.to_string()));
+    }
+    if let Some(n) = q.limit {
+        node = node.feed(PlanNode::new("Limit", id("limit")).arg("n", n.to_string()));
+    }
+    node
+}
+
+/// Append `prev` under the innermost (first-child spine) operator of
+/// `node` — the pattern's scan/anchor, which consumes the previous
+/// pattern's rows in the nested-loop expansion.
+fn push_innermost(node: &mut PlanNode, prev: PlanNode) {
+    match node.children.first_mut() {
+        Some(child) => push_innermost(child, prev),
+        None => node.children.push(prev),
+    }
+}
+
+fn render_node_pattern(n: &NodePattern) -> String {
+    let labels: String = n.labels.iter().map(|l| format!(":{l}")).collect();
+    format!("({}{labels})", n.var.clone().unwrap_or_default())
+}
+
+fn render_rel(rel: &RelPattern) -> String {
+    let labels = if rel.labels.is_empty() {
+        String::new()
+    } else {
+        format!(":{}", rel.labels.join("|"))
+    };
+    match rel.direction {
+        Direction::Out => format!("-[{labels}]->"),
+        Direction::In => format!("<-[{labels}]-"),
+        Direction::Undirected => format!("-[{labels}]-"),
+    }
+}
+
+fn render_pattern(p: &PathPattern) -> String {
+    let mut out = render_node_pattern(&p.start);
+    for (rel, node) in &p.hops {
+        out.push_str(&render_rel(rel));
+        out.push_str(&render_node_pattern(node));
+    }
+    out
+}
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Var(v) => v.clone(),
+        Expr::Prop(var, key) => format!("{var}.{key}"),
+        Expr::Lit(v) => v.to_string(),
+        Expr::Param(name) => format!("${name}"),
+        Expr::Null => "NULL".into(),
+        Expr::Coalesce(args) => format!(
+            "coalesce({})",
+            args.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Cmp(op, l, r) => {
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("{} {sym} {}", render_expr(l), render_expr(r))
+        }
+        Expr::And(a, b) => format!("({} AND {})", render_expr(a), render_expr(b)),
+        Expr::Or(a, b) => format!("({} OR {})", render_expr(a), render_expr(b)),
+        Expr::Not(a) => format!("NOT {}", render_expr(a)),
+        Expr::IsNull(a, negated) => format!(
+            "{} IS {}NULL",
+            render_expr(a),
+            if *negated { "NOT " } else { "" }
+        ),
+    }
 }
 
 // ---- lexer -----------------------------------------------------------------
@@ -1182,6 +1405,33 @@ pub fn evaluate_planned_params<G: PgRead>(
     params: &Params,
     threads: usize,
 ) -> Result<Rows, CypherError> {
+    evaluate_planned_inner(pg, query, plan, params, threads, None)
+}
+
+/// [`evaluate_planned_params`] with per-operator profiling: every operator
+/// records rows emitted and wall time into `sink` under the same ids
+/// [`explain`] assigns, so [`PlanNode::annotate`] joins the two. Counting
+/// happens at stage boundaries (`Vec::len`), never per row, so the answer
+/// is bit-identical to the unprofiled evaluation.
+pub fn evaluate_planned_profiled<G: PgRead>(
+    pg: &G,
+    query: &CypherQuery,
+    plan: &CypherPlan,
+    params: &Params,
+    threads: usize,
+    sink: &ProfSink,
+) -> Result<Rows, CypherError> {
+    evaluate_planned_inner(pg, query, plan, params, threads, Some(sink))
+}
+
+fn evaluate_planned_inner<G: PgRead>(
+    pg: &G,
+    query: &CypherQuery,
+    plan: &CypherPlan,
+    params: &Params,
+    threads: usize,
+    prof: Option<&ProfSink>,
+) -> Result<Rows, CypherError> {
     debug_assert_eq!(plan.plans.len(), query.parts.len());
     for name in param_names(query) {
         if !params.contains_key(&name) {
@@ -1192,8 +1442,22 @@ pub fn evaluate_planned_params<G: PgRead>(
     let mut all_rows: Vec<Vec<Option<Value>>> = Vec::new();
     for (i, part) in query.parts.iter().enumerate() {
         let probes = resolve_probes(&plan.plans[i].probes, params);
-        let rows = expand_patterns_planned(pg, part, &plan.plans[i], &probes, threads)?;
-        let part_rows = finish_single(pg, part, rows, params)?;
+        // Dispatch once per UNION part: the unprofiled arm monomorphizes
+        // with the zero-sized NoProf hook, so its loop bodies carry no
+        // instrumentation at all.
+        let part_rows = match prof {
+            None => {
+                let rows =
+                    expand_patterns_planned(pg, part, &plan.plans[i], &probes, threads, NoProf)?;
+                finish_single_inner(pg, part, rows, params, NoProf)?
+            }
+            Some(sink) => {
+                let hook = Prof { sink, part: i };
+                let rows =
+                    expand_patterns_planned(pg, part, &plan.plans[i], &probes, threads, hook)?;
+                finish_single_inner(pg, part, rows, params, hook)?
+            }
+        };
         if i == 0 {
             columns = part_rows.columns;
         }
@@ -1203,6 +1467,31 @@ pub fn evaluate_planned_params<G: PgRead>(
         columns,
         rows: all_rows,
     })
+}
+
+/// The enabled profiling hook for one UNION part: the shared sink plus the
+/// part index that prefixes operator ids (`"p0.filter"`, `"p1.pat0"`, …).
+#[derive(Clone, Copy)]
+struct Prof<'a> {
+    sink: &'a ProfSink,
+    part: usize,
+}
+
+impl ProfHook for Prof<'_> {
+    fn begin(self) -> Option<Instant> {
+        Some(Instant::now())
+    }
+
+    fn record(self, id: std::fmt::Arguments<'_>, rows: usize, started: Option<Instant>) {
+        let elapsed = started.map(|s| s.elapsed()).unwrap_or_default();
+        self.sink
+            .record(&format!("p{}.{id}", self.part), rows as u64, elapsed);
+    }
+
+    fn note_chunks(self, id: std::fmt::Arguments<'_>, chunks: usize) {
+        self.sink
+            .note_chunks(&format!("p{}.{id}", self.part), chunks as u64);
+    }
 }
 
 /// Resolve a plan's probes against the parameter map: param probes become
@@ -1281,12 +1570,13 @@ pub(crate) const PARALLEL_MIN_WORK: usize = 4096;
 /// into contiguous chunks, each expanded through the whole pattern chain by
 /// a scoped worker; concatenating per-chunk rows in chunk order reproduces
 /// the sequential row order exactly.
-fn expand_patterns_planned<G: PgRead>(
+fn expand_patterns_planned<G: PgRead, P: ProfHook>(
     pg: &G,
     q: &SingleQuery,
     sp: &SinglePlan,
     probes: &[Option<Probe>],
     threads: usize,
+    prof: P,
 ) -> Result<Vec<Row>, CypherError> {
     if threads > 1 {
         if let Some(&first) = sp.order.first() {
@@ -1304,27 +1594,36 @@ fn expand_patterns_planned<G: PgRead>(
             if candidates.len() >= threads * 4 && work >= PARALLEL_MIN_WORK {
                 let rest = &sp.order[1..];
                 let chunk_size = candidates.len().div_ceil(threads);
+                let fan_out = prof.begin();
                 let outcomes: Vec<Result<Vec<Row>, CypherError>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = candidates
                         .chunks(chunk_size)
                         .map(|chunk| {
                             scope.spawn(move || {
+                                // Per-chunk records accumulate in the shared
+                                // sink: rows sum, times sum (cumulative
+                                // operator time, not wall time).
+                                let started = prof.begin();
                                 let seed = seed_rows(pg, &pattern.start, chunk, Row::default());
                                 let mut rows = expand_hops(pg, pattern, seed)?;
+                                prof.record(format_args!("pat{first}"), rows.len(), started);
                                 for &pi in rest {
                                     if rows.is_empty() {
                                         break;
                                     }
+                                    let started = prof.begin();
                                     rows = if sp.reversed[pi] {
                                         expand_path_reversed(pg, &q.patterns[pi], rows)?
                                     } else {
                                         expand_path(pg, &q.patterns[pi], probes[pi].as_ref(), rows)?
                                     };
+                                    prof.record(format_args!("pat{pi}"), rows.len(), started);
                                 }
                                 Ok(rows)
                             })
                         })
                         .collect();
+                    prof.note_chunks(format_args!("parallel"), handles.len());
                     handles
                         .into_iter()
                         .map(|h| h.join().expect("cypher worker panicked"))
@@ -1334,17 +1633,20 @@ fn expand_patterns_planned<G: PgRead>(
                 for outcome in outcomes {
                     merged.extend(outcome?);
                 }
+                prof.record(format_args!("parallel"), merged.len(), fan_out);
                 return Ok(merged);
             }
         }
     }
     let mut rows: Vec<Row> = vec![Row::default()];
     for &pi in &sp.order {
+        let started = prof.begin();
         rows = if sp.reversed[pi] {
             expand_path_reversed(pg, &q.patterns[pi], rows)?
         } else {
             expand_path(pg, &q.patterns[pi], probes[pi].as_ref(), rows)?
         };
+        prof.record(format_args!("pat{pi}"), rows.len(), started);
         if rows.is_empty() {
             break;
         }
@@ -1361,9 +1663,25 @@ fn finish_single<G: PgRead>(
     rows: Vec<Row>,
     params: &Params,
 ) -> Result<Rows, CypherError> {
+    finish_single_inner(pg, q, rows, params, NoProf)
+}
+
+/// [`finish_single`] with stage profiling. With the [`NoProf`] hook (the
+/// scan reference and every unprofiled call) each stage compiles exactly
+/// as if uninstrumented; when profiling, stage boundaries record
+/// `rows.len()` and elapsed time — never anything per row, so output is
+/// identical.
+fn finish_single_inner<G: PgRead, P: ProfHook>(
+    pg: &G,
+    q: &SingleQuery,
+    rows: Vec<Row>,
+    params: &Params,
+    prof: P,
+) -> Result<Rows, CypherError> {
     let mut rows = rows;
     // OPTIONAL MATCH: left-join semantics per pattern.
-    for pattern in &q.optional_patterns {
+    for (k, pattern) in q.optional_patterns.iter().enumerate() {
+        let started = prof.begin();
         let mut extended = Vec::with_capacity(rows.len());
         for row in rows {
             let sub = expand_path(pg, pattern, None, vec![row.clone()])?;
@@ -1374,11 +1692,15 @@ fn finish_single<G: PgRead>(
             }
         }
         rows = extended;
+        prof.record(format_args!("optional{k}"), rows.len(), started);
     }
     if let Some(where_clause) = &q.where_clause {
+        let started = prof.begin();
         rows.retain(|row| matches!(eval(pg, where_clause, row, params), Some(Value::Bool(true))));
+        prof.record(format_args!("filter"), rows.len(), started);
     }
-    for (expr, var) in &q.unwind {
+    for (k, (expr, var)) in q.unwind.iter().enumerate() {
+        let started = prof.begin();
         let mut unwound = Vec::new();
         for row in rows {
             match eval(pg, expr, &row, params) {
@@ -1393,9 +1715,12 @@ fn finish_single<G: PgRead>(
             }
         }
         rows = unwound;
+        prof.record(format_args!("unwind{k}"), rows.len(), started);
     }
     if let Some(unwind_where) = &q.unwind_where {
+        let started = prof.begin();
         rows.retain(|row| matches!(eval(pg, unwind_where, row, params), Some(Value::Bool(true))));
+        prof.record(format_args!("unwind_filter"), rows.len(), started);
     }
     let columns: Vec<String> = q.return_items.iter().map(|(_, a)| a.clone()).collect();
     let has_aggregate = q
@@ -1403,6 +1728,7 @@ fn finish_single<G: PgRead>(
         .iter()
         .any(|(item, _)| matches!(item, ReturnItem::Count { .. }));
 
+    let started = prof.begin();
     let mut out: Vec<Vec<Option<Value>>> = if has_aggregate {
         aggregate_rows(pg, q, &rows, params)
     } else {
@@ -1418,7 +1744,13 @@ fn finish_single<G: PgRead>(
             })
             .collect()
     };
+    if has_aggregate {
+        prof.record(format_args!("aggregate"), out.len(), started);
+    } else {
+        prof.record(format_args!("project"), out.len(), started);
+    }
     if q.distinct {
+        let started = prof.begin();
         let mut seen = FxHashSet::default();
         out.retain(|r| {
             let key: Vec<String> = r
@@ -1427,8 +1759,10 @@ fn finish_single<G: PgRead>(
                 .collect();
             seen.insert(key)
         });
+        prof.record(format_args!("distinct"), out.len(), started);
     }
     if let Some((index, descending)) = q.order_by {
+        let started = prof.begin();
         out.sort_by(|a, b| {
             let ord = match (&a[index], &b[index]) {
                 (Some(x), Some(y)) => {
@@ -1445,12 +1779,17 @@ fn finish_single<G: PgRead>(
                 ord
             }
         });
+        prof.record(format_args!("sort"), out.len(), started);
     }
     if let Some(skip) = q.skip {
+        let started = prof.begin();
         out.drain(..skip.min(out.len()));
+        prof.record(format_args!("skip"), out.len(), started);
     }
     if let Some(limit) = q.limit {
+        let started = prof.begin();
         out.truncate(limit);
+        prof.record(format_args!("limit"), out.len(), started);
     }
     Ok(Rows { columns, rows: out })
 }

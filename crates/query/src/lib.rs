@@ -16,8 +16,11 @@
 //! * [`results`] — the `tr(µ)` conversion of Definition 3.2 mapping SPARQL
 //!   results onto the value domain of Cypher results, plus multiset
 //!   comparison used by the accuracy metric.
+//! * [`profile`] — serializable operator trees (`EXPLAIN`) and the
+//!   per-operator statistics sink (`PROFILE`) both engines render into.
 
 pub mod cypher;
+pub mod profile;
 pub mod results;
 pub mod sparql;
 

@@ -14,6 +14,7 @@
 //! step the pattern with the smallest index-estimated candidate count under
 //! the current bindings is expanded.
 
+use crate::profile::{NoProf, PlanNode, ProfHook, ProfSink};
 use s3pg_rdf::fxhash::FxHashMap;
 use s3pg_rdf::{Graph, Sym, Term};
 use std::fmt;
@@ -845,27 +846,28 @@ fn join_patterns(
         return results;
     };
     let order = order_patterns(graph, compiled, &probe);
-    join_in_order(graph, compiled, &order, results)
+    join_in_order(graph, compiled, &order, results, NoProf)
 }
 
 /// Join with up to `threads` workers: the first ordered pattern expands
 /// sequentially, then its result rows are split into contiguous chunks and
 /// each chunk joins the remaining patterns on its own scoped worker. Rows
 /// merge back in chunk order — byte-identical to the sequential join.
-fn join_patterns_threads(
+fn join_patterns_threads<P: ProfHook>(
     graph: &Graph,
     compiled: &[Compiled],
     results: Vec<Vec<Option<Term>>>,
     threads: usize,
+    prof: P,
 ) -> Vec<Vec<Option<Term>>> {
     let Some(probe) = results.first().cloned() else {
         return results;
     };
     let order = order_patterns(graph, compiled, &probe);
     if threads <= 1 || order.len() < 2 {
-        return join_in_order(graph, compiled, &order, results);
+        return join_in_order(graph, compiled, &order, results, prof);
     }
-    let first_rows = join_in_order(graph, compiled, &order[..1], results);
+    let first_rows = join_in_order(graph, compiled, &order[..1], results, prof);
     // Same work floor as the Cypher path: scoped spawn costs tens of
     // microseconds per worker — more than a small join's entire runtime —
     // so workers engage only when row count × estimated per-row cost of
@@ -923,32 +925,40 @@ fn join_patterns_threads(
     if first_rows.len() < threads * 4
         || first_rows.len().saturating_mul(per_row) < crate::cypher::PARALLEL_MIN_WORK
     {
-        return join_in_order(graph, compiled, &order[1..], first_rows);
+        return join_in_order(graph, compiled, &order[1..], first_rows, prof);
     }
     let rest = &order[1..];
     let chunk_size = first_rows.len().div_ceil(threads);
-    std::thread::scope(|scope| {
+    let fan_out = prof.begin();
+    let merged: Vec<Vec<Option<Term>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = first_rows
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(move || join_in_order(graph, compiled, rest, chunk.to_vec())))
+            .map(|chunk| {
+                scope.spawn(move || join_in_order(graph, compiled, rest, chunk.to_vec(), prof))
+            })
             .collect();
+        prof.note_chunks(format_args!("parallel"), handles.len());
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("sparql worker panicked"))
             .collect()
-    })
+    });
+    prof.record(format_args!("parallel"), merged.len(), fan_out);
+    merged
 }
 
-fn join_in_order(
+fn join_in_order<P: ProfHook>(
     graph: &Graph,
     compiled: &[Compiled],
     order: &[usize],
     mut results: Vec<Vec<Option<Term>>>,
+    prof: P,
 ) -> Vec<Vec<Option<Term>>> {
     for &pattern_index in order {
         if results.is_empty() {
             break;
         }
+        let started = prof.begin();
         let c = &compiled[pattern_index];
 
         let mut next: Vec<Vec<Option<Term>>> = Vec::new();
@@ -997,6 +1007,7 @@ fn join_in_order(
             }
         }
         results = next;
+        prof.record(format_args!("pat{pattern_index}"), results.len(), started);
     }
     results
 }
@@ -1057,9 +1068,40 @@ pub fn evaluate_outcome_threads_params(
     params: &Params,
     threads: usize,
 ) -> Result<Outcome, SparqlError> {
+    evaluate_outcome_params_inner(graph, query, params, threads, None)
+}
+
+/// [`evaluate_outcome_threads_params`] with per-operator profiling: every
+/// join step and solution modifier records rows emitted and wall time into
+/// `sink` under the same ids [`explain`] assigns. Counting happens at
+/// stage boundaries, so the outcome is bit-identical to the unprofiled
+/// evaluation.
+pub fn evaluate_outcome_profiled(
+    graph: &Graph,
+    query: &SelectQuery,
+    params: &Params,
+    threads: usize,
+    sink: &ProfSink,
+) -> Result<Outcome, SparqlError> {
+    evaluate_outcome_params_inner(graph, query, params, threads, Some(sink))
+}
+
+fn evaluate_outcome_params_inner(
+    graph: &Graph,
+    query: &SelectQuery,
+    params: &Params,
+    threads: usize,
+    prof: Option<&ProfSink>,
+) -> Result<Outcome, SparqlError> {
     let names = param_names(query);
     if names.is_empty() {
-        return evaluate_outcome_inner(graph, query, threads);
+        // Dispatch once: the unprofiled arm monomorphizes with the
+        // zero-sized NoProf hook, so its loop bodies carry no
+        // instrumentation at all.
+        return match prof {
+            None => evaluate_outcome_inner(graph, query, threads, NoProf),
+            Some(sink) => evaluate_outcome_inner(graph, query, threads, sink),
+        };
     }
     for name in &names {
         if !params.contains_key(name) {
@@ -1073,22 +1115,20 @@ pub fn evaluate_outcome_threads_params(
         .iter()
         .map(|group| substitute(group, params))
         .collect::<Result<_, _>>()?;
-    evaluate_outcome_inner(graph, &q, threads)
+    match prof {
+        None => evaluate_outcome_inner(graph, &q, threads, NoProf),
+        Some(sink) => evaluate_outcome_inner(graph, &q, threads, sink),
+    }
 }
 
-fn evaluate_outcome_inner(
-    graph: &Graph,
-    query: &SelectQuery,
-    threads: usize,
-) -> Result<Outcome, SparqlError> {
-    // Collect variables in first-seen order, across required and optional
-    // patterns (optional-only variables may be projected and come out
-    // unbound).
+/// Collect variables in first-seen order, across required and optional
+/// patterns (optional-only variables may be projected and come out
+/// unbound). Shared by evaluation and [`explain`] so operator trees use
+/// the exact variable universe evaluation binds.
+fn register_vars(query: &SelectQuery) -> (FxHashMap<String, usize>, Vec<String>) {
     let mut var_index: FxHashMap<String, usize> = FxHashMap::default();
     let mut var_names: Vec<String> = Vec::new();
-    let register = |pats: &[TriplePattern],
-                    var_index: &mut FxHashMap<String, usize>,
-                    var_names: &mut Vec<String>| {
+    let mut register = |pats: &[TriplePattern]| {
         for pat in pats {
             for term in [&pat.s, &pat.p, &pat.o] {
                 if let PatternTerm::Var(name) = term {
@@ -1100,19 +1140,30 @@ fn evaluate_outcome_inner(
             }
         }
     };
-    register(&query.patterns, &mut var_index, &mut var_names);
+    register(&query.patterns);
     for group in &query.optionals {
-        register(group, &mut var_index, &mut var_names);
+        register(group);
     }
+    (var_index, var_names)
+}
+
+fn evaluate_outcome_inner<P: ProfHook>(
+    graph: &Graph,
+    query: &SelectQuery,
+    threads: usize,
+    prof: P,
+) -> Result<Outcome, SparqlError> {
+    let (var_index, var_names) = register_vars(query);
     let nvars = var_names.len();
 
     let compiled = compile_patterns(graph, &query.patterns, &var_index)?;
     let mut results: Vec<Vec<Option<Term>>> = vec![vec![None; nvars]];
-    results = join_patterns_threads(graph, &compiled, results, threads);
+    results = join_patterns_threads(graph, &compiled, results, threads, prof);
 
     // OPTIONAL groups: left-join — rows that the group cannot extend are
     // kept with the group's variables unbound.
-    for group in &query.optionals {
+    for (k, group) in query.optionals.iter().enumerate() {
+        let started = prof.begin();
         let compiled_group = compile_patterns(graph, group, &var_index)?;
         let mut extended = Vec::with_capacity(results.len());
         for row in results {
@@ -1124,15 +1175,19 @@ fn evaluate_outcome_inner(
             }
         }
         results = extended;
+        prof.record(format_args!("optional{k}"), results.len(), started);
     }
 
     // FILTERs.
-    for filter in &query.filters {
+    for (j, filter) in query.filters.iter().enumerate() {
+        let started = prof.begin();
         results.retain(|row| eval_filter(graph, filter, &var_index, row));
+        prof.record(format_args!("filter{j}"), results.len(), started);
     }
 
     // Aggregate projection.
     if let Some(agg) = &query.aggregate {
+        let started = prof.begin();
         let value = match &agg.var {
             None => results.len(),
             Some(var) => {
@@ -1151,6 +1206,7 @@ fn evaluate_outcome_inner(
                 }
             }
         };
+        prof.record(format_args!("aggregate"), 1, started);
         return Ok(Outcome::Count {
             alias: agg.alias.clone(),
             value,
@@ -1159,6 +1215,7 @@ fn evaluate_outcome_inner(
 
     // ORDER BY (before projection: the sort variable need not be projected).
     if let Some((var, descending)) = &query.order_by {
+        let started = prof.begin();
         let Some(&i) = var_index.get(var.as_str()) else {
             return err(format!("ORDER BY unbound variable ?{var}"));
         };
@@ -1175,9 +1232,11 @@ fn evaluate_outcome_inner(
                 ord
             }
         });
+        prof.record(format_args!("sort"), results.len(), started);
     }
 
     // Projection.
+    let started = prof.begin();
     let projected: Vec<String> = if query.vars.is_empty() {
         var_names.clone()
     } else {
@@ -1194,15 +1253,22 @@ fn evaluate_outcome_inner(
     for row in results {
         rows.push(proj_idx.iter().map(|&i| row[i]).collect());
     }
+    prof.record(format_args!("project"), rows.len(), started);
     if query.distinct {
+        let started = prof.begin();
         let mut seen = s3pg_rdf::fxhash::FxHashSet::default();
         rows.retain(|r| seen.insert(r.clone()));
+        prof.record(format_args!("distinct"), rows.len(), started);
     }
     if let Some(offset) = query.offset {
+        let started = prof.begin();
         rows.drain(..offset.min(rows.len()));
+        prof.record(format_args!("offset"), rows.len(), started);
     }
     if let Some(limit) = query.limit {
+        let started = prof.begin();
         rows.truncate(limit);
+        prof.record(format_args!("limit"), rows.len(), started);
     }
     Ok(Outcome::Solutions(Solutions {
         vars: projected,
@@ -1269,6 +1335,172 @@ fn eval_filter(
             eval_filter(graph, a, var_index, row) || eval_filter(graph, b, var_index, row)
         }
         FilterExpr::Not(a) => !eval_filter(graph, a, var_index, row),
+    }
+}
+
+// ---- EXPLAIN ---------------------------------------------------------------
+
+/// Render the query's execution strategy as an operator tree without
+/// executing it.
+///
+/// The tree mirrors [`evaluate_outcome_threads_params`] exactly: triple
+/// patterns appear in the greedy join order `order_patterns` picks
+/// (`TriplePatternScan` for the seed pattern, `TriplePatternJoin` for each
+/// subsequent one), followed by the solution modifiers in evaluation order.
+/// Operator ids match the ids [`evaluate_outcome_profiled`] records, so a
+/// `PROFILE` run annotates this same tree via [`PlanNode::annotate`].
+///
+/// Pattern arguments are rendered from the *original* query terms, so
+/// parameter slots stay value-free (`$name`) in cached/logged plans; join
+/// ordering and the `est_rows` cardinality estimates use the substituted
+/// terms, exactly as evaluation would.
+pub fn explain(
+    graph: &Graph,
+    query: &SelectQuery,
+    params: &Params,
+    threads: usize,
+) -> Result<PlanNode, SparqlError> {
+    for name in &param_names(query) {
+        if !params.contains_key(name) {
+            return err(format!("parameter ${name} is not bound"));
+        }
+    }
+    let substituted = substitute(&query.patterns, params)?;
+    let (var_index, var_names) = register_vars(query);
+    let compiled = compile_patterns(graph, &substituted, &var_index)?;
+    let probe: Vec<Option<Term>> = vec![None; var_names.len()];
+    let order = order_patterns(graph, &compiled, &probe);
+
+    let est_rows = |c: &Compiled| -> usize {
+        let term = |slot: Slot| match resolve_slot(slot, &probe) {
+            ResolvedSlot::Term(t) => t,
+            _ => None,
+        };
+        let pred = |slot: Slot| match resolve_slot(slot, &probe) {
+            ResolvedSlot::Pred(p) => p,
+            _ => None,
+        };
+        if [c.s, c.p, c.o]
+            .into_iter()
+            .any(|slot| matches!(resolve_slot(slot, &probe), ResolvedSlot::Never))
+        {
+            0
+        } else {
+            graph.pattern_cardinality(term(c.s), pred(c.p), term(c.o))
+        }
+    };
+
+    let mut node: Option<PlanNode> = None;
+    for (i, &pi) in order.iter().enumerate() {
+        let op = if i == 0 {
+            "TriplePatternScan"
+        } else {
+            "TriplePatternJoin"
+        };
+        let next = PlanNode::new(op, format!("pat{pi}"))
+            .arg("pattern", render_pattern(&query.patterns[pi]))
+            .arg("est_rows", est_rows(&compiled[pi]).to_string());
+        node = Some(match node {
+            Some(prev) => prev.feed(next),
+            None => next,
+        });
+    }
+    let mut node = node.unwrap_or_else(|| PlanNode::new("TriplePatternScan", "pat0"));
+    if threads > 1 && order.len() >= 2 {
+        node = node
+            .feed(PlanNode::new("ParallelFanOut", "parallel").arg("threads", threads.to_string()));
+    }
+    for (k, group) in query.optionals.iter().enumerate() {
+        let rendered: Vec<String> = group.iter().map(render_pattern).collect();
+        node = node.feed(
+            PlanNode::new("OptionalJoin", format!("optional{k}"))
+                .arg("patterns", rendered.join(" . ")),
+        );
+    }
+    for (j, filter) in query.filters.iter().enumerate() {
+        node = node.feed(
+            PlanNode::new("Filter", format!("filter{j}")).arg("predicate", render_filter(filter)),
+        );
+    }
+    if let Some(agg) = &query.aggregate {
+        let mut agg_node = PlanNode::new("Aggregate", "aggregate").arg(
+            "count",
+            match &agg.var {
+                Some(v) => format!("?{v}"),
+                None => "*".to_string(),
+            },
+        );
+        if agg.distinct {
+            agg_node = agg_node.arg("distinct", "true");
+        }
+        // COUNT short-circuits the remaining modifiers, like evaluation.
+        return Ok(node.feed(agg_node.arg("as", format!("?{}", agg.alias))));
+    }
+    if let Some((var, descending)) = &query.order_by {
+        node = node.feed(
+            PlanNode::new("Sort", "sort")
+                .arg("key", format!("?{var}"))
+                .arg("dir", if *descending { "desc" } else { "asc" }),
+        );
+    }
+    let projected: Vec<String> = if query.vars.is_empty() {
+        var_names
+    } else {
+        query.vars.clone()
+    };
+    let vars: Vec<String> = projected.iter().map(|v| format!("?{v}")).collect();
+    node = node.feed(PlanNode::new("Projection", "project").arg("vars", vars.join(", ")));
+    if query.distinct {
+        node = node.feed(PlanNode::new("Distinct", "distinct"));
+    }
+    if let Some(offset) = query.offset {
+        node = node.feed(PlanNode::new("Skip", "offset").arg("n", offset.to_string()));
+    }
+    if let Some(limit) = query.limit {
+        node = node.feed(PlanNode::new("Limit", "limit").arg("n", limit.to_string()));
+    }
+    Ok(node)
+}
+
+fn render_pattern_term(term: &PatternTerm) -> String {
+    match term {
+        PatternTerm::Var(name) => format!("?{name}"),
+        PatternTerm::Iri(iri) => format!("<{iri}>"),
+        PatternTerm::Literal { lexical, datatype } => match datatype {
+            Some(dt) => format!("\"{lexical}\"^^<{dt}>"),
+            None => format!("\"{lexical}\""),
+        },
+        PatternTerm::Param(name) => format!("${name}"),
+    }
+}
+
+fn render_pattern(pat: &TriplePattern) -> String {
+    format!(
+        "{} {} {}",
+        render_pattern_term(&pat.s),
+        render_pattern_term(&pat.p),
+        render_pattern_term(&pat.o)
+    )
+}
+
+fn render_filter(filter: &FilterExpr) -> String {
+    match filter {
+        FilterExpr::IsLiteral(v) => format!("isLiteral(?{v})"),
+        FilterExpr::IsIri(v) => format!("isIRI(?{v})"),
+        FilterExpr::Compare { var, op, value } => {
+            let sym = match op {
+                CompareOp::Eq => "=",
+                CompareOp::Ne => "!=",
+                CompareOp::Lt => "<",
+                CompareOp::Le => "<=",
+                CompareOp::Gt => ">",
+                CompareOp::Ge => ">=",
+            };
+            format!("?{var} {sym} \"{value}\"")
+        }
+        FilterExpr::And(a, b) => format!("({} && {})", render_filter(a), render_filter(b)),
+        FilterExpr::Or(a, b) => format!("({} || {})", render_filter(a), render_filter(b)),
+        FilterExpr::Not(a) => format!("!({})", render_filter(a)),
     }
 }
 

@@ -34,11 +34,12 @@
 
 use crate::json::Json;
 use crate::protocol::{ErrorKind, Response};
-use crate::server::{panic_message, Shared, ACCEPT_POLL, POLL_INTERVAL};
+use crate::server::{panic_message, Shared, SlowQuery, ACCEPT_POLL, POLL_INTERVAL};
 use s3pg_bolt::message::{self, ClientMessage};
 use s3pg_bolt::packstream::Value;
 use s3pg_bolt::{frame, handshake, DEFAULT_MAX_MESSAGE_BYTES};
 use s3pg_obs::Counter;
+use s3pg_query::profile::PlanNode;
 use std::collections::VecDeque;
 use std::io::ErrorKind as IoErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -167,6 +168,7 @@ fn serve_session(mut stream: TcpStream, shared: &Shared, metrics: &BoltMetrics) 
         failed: false,
         fields: Vec::new(),
         pending: VecDeque::new(),
+        summary: None,
     }
     .run(stream);
 }
@@ -185,6 +187,10 @@ struct Session<'a> {
     fields: Vec<String>,
     /// Buffered rows of the current result, drained by `PULL`.
     pending: VecDeque<Vec<Value>>,
+    /// Extra metadata for the current result's final `SUCCESS` — the
+    /// Neo4j-style `plan` (EXPLAIN) or `profile` (PROFILE) entry, so
+    /// `cypher-shell` renders operator trees natively.
+    summary: Option<(&'static str, Value)>,
 }
 
 impl Session<'_> {
@@ -307,6 +313,7 @@ impl Session<'_> {
                 self.failed = false;
                 self.fields.clear();
                 self.pending.clear();
+                self.summary = None;
                 push(out, message::encode_success(&[]));
             }
             ClientMessage::Run { .. } | ClientMessage::Pull(_) | ClientMessage::Discard(_)
@@ -369,32 +376,48 @@ impl Session<'_> {
                 message: format!("handler panicked: {}", panic_message(&panic)),
             })
         });
+        let elapsed = started.elapsed();
         let ok = response.is_ok();
-        self.shared.observe_request("cypher", started.elapsed(), ok);
+        self.shared.observe_request("cypher", elapsed, ok);
+        // Bolt queries go through the same slow-query log as the JSON
+        // listener's; only the execute stage exists here (no JSON
+        // decode/serialize stages on this path).
+        if let Some(threshold) = self.shared.slow_query_threshold() {
+            if elapsed >= threshold {
+                self.shared.log_slow_query(SlowQuery {
+                    endpoint: "cypher",
+                    listener: "bolt",
+                    query: query.to_string(),
+                    rows: match &response {
+                        Response::Cypher { rows, .. } | Response::Profile { rows, .. } => {
+                            rows.len() as u64
+                        }
+                        _ => 0,
+                    },
+                    total_micros: elapsed.as_micros() as u64,
+                    decode_micros: 0,
+                    execute_micros: elapsed.as_micros() as u64,
+                    serialize_micros: 0,
+                    plan: self.shared.last_plan_json("cypher", query),
+                });
+            }
+        }
         match response {
             Response::Cypher { columns, rows } => {
-                self.fields = columns;
-                self.pending = rows
-                    .into_iter()
-                    .map(|row| {
-                        row.into_iter()
-                            .map(|cell| match cell {
-                                Some(text) => Value::String(text),
-                                None => Value::Null,
-                            })
-                            .collect()
-                    })
-                    .collect();
-                push(
-                    out,
-                    message::encode_success(&[
-                        (
-                            "fields".to_string(),
-                            Value::List(self.fields.iter().cloned().map(Value::String).collect()),
-                        ),
-                        ("t_first".to_string(), Value::Int(0)),
-                    ]),
-                );
+                self.install_result(columns, rows, None, out);
+            }
+            Response::Explain { plan, .. } => {
+                // Nothing executed: an empty result whose final SUCCESS
+                // carries the `plan` metadata entry.
+                self.install_result(Vec::new(), Vec::new(), Some(("plan", plan)), out);
+            }
+            Response::Profile {
+                columns,
+                rows,
+                plan,
+                ..
+            } => {
+                self.install_result(columns, rows, Some(("profile", plan)), out);
             }
             Response::Error(frame) => {
                 self.failed = true;
@@ -414,6 +437,41 @@ impl Session<'_> {
                 );
             }
         }
+    }
+
+    /// Stage a query result for `PULL`/`DISCARD`: fields, buffered rows,
+    /// and an optional `plan`/`profile` summary entry for the final
+    /// `SUCCESS`, then answer the `RUN` with the field list.
+    fn install_result(
+        &mut self,
+        columns: Vec<String>,
+        rows: Vec<Vec<Option<String>>>,
+        summary: Option<(&'static str, PlanNode)>,
+        out: &mut Vec<u8>,
+    ) {
+        self.fields = columns;
+        self.pending = rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|cell| match cell {
+                        Some(text) => Value::String(text),
+                        None => Value::Null,
+                    })
+                    .collect()
+            })
+            .collect();
+        self.summary = summary.map(|(key, plan)| (key, plan_value(&plan)));
+        push(
+            out,
+            message::encode_success(&[
+                (
+                    "fields".to_string(),
+                    Value::List(self.fields.iter().cloned().map(Value::String).collect()),
+                ),
+                ("t_first".to_string(), Value::Int(0)),
+            ]),
+        );
     }
 
     /// `PULL` (emit records) or `DISCARD` (drop them): consume up to `n`
@@ -437,10 +495,11 @@ impl Session<'_> {
         }
         if self.pending.is_empty() {
             self.fields.clear();
-            push(
-                out,
-                message::encode_success(&[("t_last".to_string(), Value::Int(0))]),
-            );
+            let mut meta = vec![("t_last".to_string(), Value::Int(0))];
+            if let Some((key, plan)) = self.summary.take() {
+                meta.push((key.to_string(), plan));
+            }
+            push(out, message::encode_success(&meta));
         } else {
             push(
                 out,
@@ -453,6 +512,41 @@ impl Session<'_> {
 /// Frame one response message onto the output buffer.
 fn push(out: &mut Vec<u8>, payload: Vec<u8>) {
     frame::write_message(out, &payload).expect("writing to a Vec cannot fail");
+}
+
+/// Render an operator tree as Neo4j-style plan metadata: `operatorType`,
+/// an `args` map (operator id and per-operator stats ride in it), `rows`
+/// at the top level for profiled operators, and nested `children` —
+/// exactly the shape `cypher-shell` renders for `EXPLAIN`/`PROFILE`.
+fn plan_value(node: &PlanNode) -> Value {
+    let mut args: Vec<(String, Value)> = vec![("id".to_string(), Value::String(node.id.clone()))];
+    args.extend(
+        node.args
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::String(v.clone()))),
+    );
+    if let Some(time_us) = node.time_us {
+        args.push(("time_us".to_string(), Value::Int(time_us as i64)));
+    }
+    if let Some(chunks) = node.chunks {
+        args.push(("chunks".to_string(), Value::Int(chunks as i64)));
+    }
+    let mut map = vec![
+        ("operatorType".to_string(), Value::String(node.op.clone())),
+        ("args".to_string(), Value::Map(args)),
+        ("identifiers".to_string(), Value::List(Vec::new())),
+    ];
+    if let Some(rows) = node.rows {
+        map.push(("rows".to_string(), Value::Int(rows as i64)));
+        // `dbHits` is required by some renderers for profile trees; we
+        // don't track page-level hits, so report 0 rather than omit it.
+        map.push(("dbHits".to_string(), Value::Int(0)));
+    }
+    map.push((
+        "children".to_string(),
+        Value::List(node.children.iter().map(plan_value).collect()),
+    ));
+    Value::Map(map)
 }
 
 /// Convert Bolt parameter values to the protocol's JSON shape so both

@@ -38,6 +38,10 @@
 //!   the write lock.
 //! * [`plan_cache`] — normalized-text → parsed AST + epoch-tagged query
 //!   plan; repeat queries skip parse and planning entirely.
+//! * `query_stats` (private) — the per-query statistics registry keyed on
+//!   the plan-cache's normalized text: calls, errors, rows, latency
+//!   quantiles, per-listener counts, and the last rendered operator tree,
+//!   served by the `query_stats` endpoint and the `s3pg_query_*` series.
 //! * [`server`] — fixed worker pool, bounded accept queue with load
 //!   shedding, per-endpoint request/error/latency metrics and per-request
 //!   trace spans built on [`s3pg_obs`], a slow-query log, graceful drain
@@ -67,6 +71,7 @@ pub mod json;
 pub mod params;
 pub mod plan_cache;
 pub mod protocol;
+mod query_stats;
 pub mod recovery;
 pub mod replica;
 pub mod server;

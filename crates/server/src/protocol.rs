@@ -16,6 +16,7 @@
 //! ```
 
 use crate::json::{self, Json};
+use s3pg_query::profile::PlanNode;
 use std::fmt;
 
 /// How many trace events a `trace` request tails when the client does not
@@ -55,8 +56,15 @@ pub enum Request {
     /// Liveness probe with uptime (cheap, no store access).
     Health,
     /// Tail of the server's span ring: the most recent `limit` trace
-    /// events as JSONL lines.
-    Trace { limit: u64 },
+    /// events as JSONL lines. `since` is a cursor — only events whose
+    /// timestamp (µs since server start) is strictly greater are returned,
+    /// so a poller can resume from the last event it saw instead of
+    /// re-downloading the whole ring.
+    Trace { limit: u64, since: u64 },
+    /// Per-query statistics: one entry per normalized parameterized query
+    /// text the server has executed, with calls, errors, rows, latency
+    /// quantiles, per-listener counts, and the last rendered plan.
+    QueryStats,
     /// Liveness probe.
     Ping,
     /// Begin graceful shutdown: drain in-flight requests, then exit.
@@ -102,6 +110,7 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Health => "health",
             Request::Trace { .. } => "trace",
+            Request::QueryStats => "query_stats",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
             Request::Replicate { .. } => "replicate",
@@ -111,7 +120,7 @@ impl Request {
 
     /// Endpoints a server tracks metrics for, in reporting order.
     /// `"invalid"` accounts for frames that never parsed into a request.
-    pub const ENDPOINTS: [&'static str; 12] = [
+    pub const ENDPOINTS: [&'static str; 13] = [
         "cypher",
         "sparql",
         "update",
@@ -119,6 +128,7 @@ impl Request {
         "metrics",
         "health",
         "trace",
+        "query_stats",
         "ping",
         "shutdown",
         "replicate",
@@ -193,7 +203,9 @@ impl Request {
                     .get("limit")
                     .and_then(Json::as_u64)
                     .unwrap_or(DEFAULT_TRACE_LIMIT),
+                since: value.get("since").and_then(Json::as_u64).unwrap_or(0),
             }),
+            "query_stats" => Ok(Request::QueryStats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             "replicate" => Ok(Request::Replicate {
@@ -236,9 +248,12 @@ impl Request {
             Request::Stats => Json::obj([("op", "stats".into())]),
             Request::Metrics => Json::obj([("op", "metrics".into())]),
             Request::Health => Json::obj([("op", "health".into())]),
-            Request::Trace { limit } => {
-                Json::obj([("op", "trace".into()), ("limit", (*limit).into())])
-            }
+            Request::Trace { limit, since } => Json::obj([
+                ("op", "trace".into()),
+                ("limit", (*limit).into()),
+                ("since", (*since).into()),
+            ]),
+            Request::QueryStats => Json::obj([("op", "query_stats".into())]),
             Request::Ping => Json::obj([("op", "ping".into())]),
             Request::Shutdown => Json::obj([("op", "shutdown".into())]),
             Request::Replicate { from, max } => Json::obj([
@@ -337,6 +352,25 @@ pub enum Response {
         vars: Vec<String>,
         rows: Vec<Vec<Option<String>>>,
     },
+    /// The operator tree an `EXPLAIN`-prefixed query would execute —
+    /// nothing was executed. `language` is `"cypher"` or `"sparql"`.
+    Explain {
+        language: String,
+        plan: PlanNode,
+    },
+    /// Result rows of a `PROFILE`-prefixed query plus its operator tree
+    /// annotated with per-operator rows/time/chunks. `columns` carries the
+    /// projection for both languages (SPARQL variables appear as columns).
+    Profile {
+        language: String,
+        columns: Vec<String>,
+        rows: Vec<Vec<Option<String>>>,
+        plan: PlanNode,
+    },
+    /// The per-query statistics registry, most-called entries first.
+    QueryStats {
+        queries: Vec<QueryStatEntry>,
+    },
     /// Outcome of an applied delta.
     Update {
         added_nodes: u64,
@@ -403,6 +437,103 @@ pub struct ReplicaRecord {
     pub deletions: String,
 }
 
+/// One registry entry on the wire, inside a [`Response::QueryStats`] frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryStatEntry {
+    /// `"cypher"` or `"sparql"`.
+    pub endpoint: String,
+    /// Whitespace-normalized parameterized query text (the plan-cache key).
+    pub query: String,
+    /// Successful executions.
+    pub calls: u64,
+    /// Executions that returned a typed error.
+    pub errors: u64,
+    /// Result rows emitted across all successful executions.
+    pub rows: u64,
+    /// Latency quantiles over successful executions, microseconds.
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    /// Calls that arrived over the JSON line protocol.
+    pub json_calls: u64,
+    /// Calls that arrived over the Bolt listener.
+    pub bolt_calls: u64,
+    /// The most recently rendered plan for this query, if any execution
+    /// ran with `EXPLAIN`/`PROFILE` or the slow-query path captured one.
+    pub last_plan: Option<PlanNode>,
+}
+
+/// Serialize an operator tree as a JSON object: `op`, `id`, then `args`
+/// (object), `rows`/`time_us`/`chunks` (profile annotations), and
+/// `children` — each omitted when empty/absent, so `EXPLAIN` plans carry
+/// no profile fields at all.
+pub fn plan_to_json(node: &PlanNode) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("op".to_string(), Json::Str(node.op.clone())),
+        ("id".to_string(), Json::Str(node.id.clone())),
+    ];
+    if !node.args.is_empty() {
+        fields.push((
+            "args".to_string(),
+            Json::Obj(
+                node.args
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(rows) = node.rows {
+        fields.push(("rows".to_string(), rows.into()));
+    }
+    if let Some(time_us) = node.time_us {
+        fields.push(("time_us".to_string(), time_us.into()));
+    }
+    if let Some(chunks) = node.chunks {
+        fields.push(("chunks".to_string(), chunks.into()));
+    }
+    if !node.children.is_empty() {
+        fields.push((
+            "children".to_string(),
+            Json::Arr(node.children.iter().map(plan_to_json).collect()),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Parse an operator tree produced by [`plan_to_json`].
+pub fn plan_from_json(value: &Json) -> Result<PlanNode, String> {
+    let text = |name: &str| -> Result<String, String> {
+        value
+            .get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("plan node missing string field \"{name}\""))
+    };
+    let mut node = PlanNode::new(text("op")?, text("id")?);
+    if let Some(args) = value.get("args") {
+        let Json::Obj(fields) = args else {
+            return Err("plan node \"args\" must be an object".to_string());
+        };
+        for (k, v) in fields {
+            let v = v.as_str().ok_or("plan arg values must be strings")?;
+            node.args.push((k.clone(), v.to_string()));
+        }
+    }
+    node.rows = value.get("rows").and_then(Json::as_u64);
+    node.time_us = value.get("time_us").and_then(Json::as_u64);
+    node.chunks = value.get("chunks").and_then(Json::as_u64);
+    if let Some(children) = value.get("children") {
+        for child in children
+            .as_array()
+            .ok_or("plan \"children\" must be an array")?
+        {
+            node.children.push(plan_from_json(child)?);
+        }
+    }
+    Ok(node)
+}
+
 impl Response {
     /// Whether this is a success frame.
     pub fn is_ok(&self) -> bool {
@@ -439,6 +570,52 @@ impl Response {
                 ("ok", true.into()),
                 ("vars", strings(vars)),
                 ("rows", rows_json(rows)),
+            ]),
+            Response::Explain { language, plan } => Json::obj([
+                ("ok", true.into()),
+                ("language", language.as_str().into()),
+                ("plan", plan_to_json(plan)),
+            ]),
+            Response::Profile {
+                language,
+                columns,
+                rows,
+                plan,
+            } => Json::obj([
+                ("ok", true.into()),
+                ("language", language.as_str().into()),
+                ("columns", strings(columns)),
+                ("rows", rows_json(rows)),
+                ("plan", plan_to_json(plan)),
+            ]),
+            Response::QueryStats { queries } => Json::obj([
+                ("ok", true.into()),
+                (
+                    "queries",
+                    Json::Arr(
+                        queries
+                            .iter()
+                            .map(|q| {
+                                let mut fields: Vec<(String, Json)> = vec![
+                                    ("endpoint".to_string(), q.endpoint.as_str().into()),
+                                    ("query".to_string(), q.query.as_str().into()),
+                                    ("calls".to_string(), q.calls.into()),
+                                    ("errors".to_string(), q.errors.into()),
+                                    ("rows".to_string(), q.rows.into()),
+                                    ("p50_us".to_string(), q.p50_us.into()),
+                                    ("p99_us".to_string(), q.p99_us.into()),
+                                    ("max_us".to_string(), q.max_us.into()),
+                                    ("json_calls".to_string(), q.json_calls.into()),
+                                    ("bolt_calls".to_string(), q.bolt_calls.into()),
+                                ];
+                                if let Some(plan) = &q.last_plan {
+                                    fields.push(("last_plan".to_string(), plan_to_json(plan)));
+                                }
+                                Json::Obj(fields)
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Response::Update {
                 added_nodes,
@@ -588,7 +765,55 @@ impl Response {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("missing numeric field \"{name}\""))
         };
-        if let Some(columns) = value.get("columns") {
+        // `plan` must be checked before `columns`: Profile frames carry both.
+        if let Some(plan) = value.get("plan") {
+            let language = value
+                .get("language")
+                .and_then(Json::as_str)
+                .ok_or("plan frame missing \"language\"")?
+                .to_string();
+            let plan = plan_from_json(plan)?;
+            match value.get("columns") {
+                Some(columns) => Ok(Response::Profile {
+                    language,
+                    columns: strings_of(columns)?,
+                    rows: rows_of(value.get("rows").ok_or("missing \"rows\"")?)?,
+                    plan,
+                }),
+                None => Ok(Response::Explain { language, plan }),
+            }
+        } else if let Some(queries) = value.get("queries") {
+            let queries = queries
+                .as_array()
+                .ok_or("\"queries\" must be an array")?
+                .iter()
+                .map(|q| -> Result<QueryStatEntry, String> {
+                    let text = |name: &str| -> Result<String, String> {
+                        q.get(name)
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("query entry missing \"{name}\""))
+                    };
+                    Ok(QueryStatEntry {
+                        endpoint: text("endpoint")?,
+                        query: text("query")?,
+                        calls: num(q, "calls")?,
+                        errors: num(q, "errors")?,
+                        rows: num(q, "rows")?,
+                        p50_us: num(q, "p50_us")?,
+                        p99_us: num(q, "p99_us")?,
+                        max_us: num(q, "max_us")?,
+                        json_calls: num(q, "json_calls")?,
+                        bolt_calls: num(q, "bolt_calls")?,
+                        last_plan: match q.get("last_plan") {
+                            Some(p) => Some(plan_from_json(p)?),
+                            None => None,
+                        },
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Response::QueryStats { queries })
+        } else if let Some(columns) = value.get("columns") {
             Ok(Response::Cypher {
                 columns: strings_of(columns)?,
                 rows: rows_of(value.get("rows").ok_or("missing \"rows\"")?)?,
@@ -710,7 +935,11 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Health,
-            Request::Trace { limit: 64 },
+            Request::Trace {
+                limit: 64,
+                since: 120_000,
+            },
+            Request::QueryStats,
             Request::Ping,
             Request::Shutdown,
             Request::Replicate { from: 41, max: 16 },
@@ -735,6 +964,52 @@ mod tests {
             Response::Sparql {
                 vars: vec!["s".into()],
                 rows: vec![vec![Some("http://ex/a".into())]],
+            },
+            Response::Explain {
+                language: "cypher".to_string(),
+                plan: PlanNode::new("NodeByLabelScan", "p0.pat0")
+                    .arg("label", "Person")
+                    .arg("est_rows", "12")
+                    .feed(PlanNode::new("Projection", "p0.project").arg("columns", "n.name")),
+            },
+            Response::Profile {
+                language: "sparql".to_string(),
+                columns: vec!["s".into()],
+                rows: vec![vec![Some("http://ex/a".into())]],
+                plan: {
+                    let mut scan =
+                        PlanNode::new("TriplePatternScan", "pat0").arg("pattern", "?s ?p ?o");
+                    scan.rows = Some(3);
+                    scan.time_us = Some(17);
+                    scan.chunks = Some(4);
+                    scan.feed(PlanNode::new("Projection", "project"))
+                },
+            },
+            Response::QueryStats {
+                queries: vec![
+                    QueryStatEntry {
+                        endpoint: "cypher".to_string(),
+                        query: "MATCH (n:Person) RETURN n.name".to_string(),
+                        calls: 9,
+                        errors: 1,
+                        rows: 42,
+                        p50_us: 120,
+                        p99_us: 900,
+                        max_us: 1400,
+                        json_calls: 7,
+                        bolt_calls: 2,
+                        last_plan: Some(PlanNode::new("NodeByLabelScan", "p0.pat0")),
+                    },
+                    QueryStatEntry {
+                        endpoint: "sparql".to_string(),
+                        query: "SELECT ?s WHERE { ?s ?p $o }".to_string(),
+                        calls: 1,
+                        ..QueryStatEntry::default()
+                    },
+                ],
+            },
+            Response::QueryStats {
+                queries: Vec::new(),
             },
             Response::Update {
                 added_nodes: 1,
@@ -852,12 +1127,16 @@ mod tests {
         assert_eq!(
             Request::decode(r#"{"op":"trace"}"#).unwrap(),
             Request::Trace {
-                limit: DEFAULT_TRACE_LIMIT
+                limit: DEFAULT_TRACE_LIMIT,
+                since: 0,
             }
         );
         assert_eq!(
-            Request::decode(r#"{"op":"trace","limit":8}"#).unwrap(),
-            Request::Trace { limit: 8 }
+            Request::decode(r#"{"op":"trace","limit":8,"since":99}"#).unwrap(),
+            Request::Trace {
+                limit: 8,
+                since: 99
+            }
         );
     }
 

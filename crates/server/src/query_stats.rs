@@ -1,0 +1,304 @@
+//! The per-query statistics registry.
+//!
+//! Every `cypher`/`sparql` execution — from either listener — is recorded
+//! against its plan-cache key ([`PlanCache::key`]): the endpoint plus the
+//! whitespace-normalized, parameterized query text. Parameter *values*
+//! never reach the key, so `$iri = "a"` and `$iri = "b"` aggregate into
+//! one entry, exactly like the plan cache.
+//!
+//! Each entry tracks calls, errors, result rows, a latency histogram,
+//! per-listener call counts, and the most recently rendered operator tree
+//! (captured on plan-cache misses for Cypher and on every
+//! `EXPLAIN`/`PROFILE` run). The registry is exposed three ways:
+//!
+//! * the `query_stats` JSON endpoint (full entries, most-called first),
+//! * aggregate `s3pg_query_*` series in the Prometheus exposition,
+//! * the slow-query log, whose entries embed the entry's last plan.
+
+use crate::plan_cache::PlanCache;
+use crate::protocol::QueryStatEntry;
+use s3pg_obs::{Counter, Gauge, Histogram, Registry};
+use s3pg_query::profile::PlanNode;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Most entries the registry retains. At capacity, executions of *new*
+/// query texts still feed the aggregate `s3pg_query_*` series but do not
+/// create entries — existing entries keep accumulating, so a scrape can
+/// never be flushed by an adversarial stream of distinct texts.
+const CAPACITY: usize = 512;
+
+/// One tracked query text.
+struct Entry {
+    endpoint: &'static str,
+    /// Whitespace-normalized query text (what [`PlanCache::key`] hashes).
+    query: String,
+    calls: u64,
+    errors: u64,
+    rows: u64,
+    latency: Histogram,
+    json_calls: u64,
+    bolt_calls: u64,
+    last_plan: Option<PlanNode>,
+}
+
+/// Aggregate per-language series registered on the shared [`Registry`] so
+/// they appear in the `metrics` exposition alongside everything else.
+struct LangAggregates {
+    executions: Arc<Counter>,
+    errors: Arc<Counter>,
+    rows: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+impl LangAggregates {
+    fn new(registry: &Registry, language: &str) -> LangAggregates {
+        let series = |family: &str| format!("{family}{{language=\"{language}\"}}");
+        LangAggregates {
+            executions: registry.counter(&series("s3pg_query_executions_total")),
+            errors: registry.counter(&series("s3pg_query_errors_total")),
+            rows: registry.counter(&series("s3pg_query_rows_total")),
+            latency: registry.histogram(&series("s3pg_query_latency_microseconds")),
+        }
+    }
+}
+
+/// The registry: a capacity-capped map of per-query entries plus the
+/// aggregate series. One instance lives in the server's `Shared` state.
+pub(crate) struct QueryStats {
+    entries: Mutex<HashMap<String, Entry>>,
+    cypher: LangAggregates,
+    sparql: LangAggregates,
+    tracked: Arc<Gauge>,
+}
+
+impl QueryStats {
+    pub(crate) fn new(registry: &Registry) -> QueryStats {
+        QueryStats {
+            entries: Mutex::new(HashMap::new()),
+            cypher: LangAggregates::new(registry, "cypher"),
+            sparql: LangAggregates::new(registry, "sparql"),
+            tracked: registry.gauge("s3pg_query_tracked"),
+        }
+    }
+
+    fn aggregates(&self, endpoint: &str) -> &LangAggregates {
+        if endpoint == "sparql" {
+            &self.sparql
+        } else {
+            &self.cypher
+        }
+    }
+
+    /// Record one execution. `rows` is `Some(count)` on success and `None`
+    /// when the engine returned a typed error; `listener` is `"json"` or
+    /// `"bolt"`.
+    pub(crate) fn observe(
+        &self,
+        endpoint: &'static str,
+        query: &str,
+        listener: &str,
+        elapsed: Duration,
+        rows: Option<u64>,
+    ) {
+        let agg = self.aggregates(endpoint);
+        agg.executions.inc();
+        match rows {
+            Some(n) => agg.rows.add(n),
+            None => agg.errors.inc(),
+        }
+        agg.latency.record(elapsed);
+
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(entry) = Self::entry(&mut entries, endpoint, query) else {
+            return;
+        };
+        entry.calls += 1;
+        match rows {
+            Some(n) => entry.rows += n,
+            None => entry.errors += 1,
+        }
+        entry.latency.record(elapsed);
+        match listener {
+            "bolt" => entry.bolt_calls += 1,
+            _ => entry.json_calls += 1,
+        }
+        self.tracked.set_u64(entries.len() as u64);
+    }
+
+    /// Remember the most recently rendered operator tree for `query`.
+    pub(crate) fn record_plan(&self, endpoint: &'static str, query: &str, plan: PlanNode) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = Self::entry(&mut entries, endpoint, query) {
+            entry.last_plan = Some(plan);
+        }
+        self.tracked.set_u64(entries.len() as u64);
+    }
+
+    /// The last plan rendered for `query`, if one was captured (feeds the
+    /// slow-query log).
+    pub(crate) fn last_plan(&self, endpoint: &str, query: &str) -> Option<PlanNode> {
+        let key = PlanCache::key(endpoint, query);
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.get(&key).and_then(|e| e.last_plan.clone())
+    }
+
+    fn entry<'a>(
+        entries: &'a mut HashMap<String, Entry>,
+        endpoint: &'static str,
+        query: &str,
+    ) -> Option<&'a mut Entry> {
+        let key = PlanCache::key(endpoint, query);
+        if entries.len() >= CAPACITY && !entries.contains_key(&key) {
+            return None;
+        }
+        let normalized = key[endpoint.len() + 1..].to_string();
+        Some(entries.entry(key).or_insert_with(|| Entry {
+            endpoint,
+            query: normalized,
+            calls: 0,
+            errors: 0,
+            rows: 0,
+            latency: Histogram::new(),
+            json_calls: 0,
+            bolt_calls: 0,
+            last_plan: None,
+        }))
+    }
+
+    /// All entries as wire frames, most-called first (ties broken by
+    /// query text for a deterministic order).
+    pub(crate) fn snapshot(&self) -> Vec<QueryStatEntry> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<QueryStatEntry> = entries
+            .values()
+            .map(|e| {
+                let snap = e.latency.snapshot();
+                QueryStatEntry {
+                    endpoint: e.endpoint.to_string(),
+                    query: e.query.clone(),
+                    calls: e.calls,
+                    errors: e.errors,
+                    rows: e.rows,
+                    p50_us: snap.quantile_micros(0.50).unwrap_or(0),
+                    p99_us: snap.quantile_micros(0.99).unwrap_or(0),
+                    max_us: snap.max_micros().unwrap_or(0),
+                    json_calls: e.json_calls,
+                    bolt_calls: e.bolt_calls,
+                    last_plan: e.last_plan.clone(),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.calls.cmp(&a.calls).then_with(|| a.query.cmp(&b.query)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_key_on_normalized_text_across_listeners() {
+        let registry = Registry::new();
+        let stats = QueryStats::new(&registry);
+        stats.observe(
+            "cypher",
+            "MATCH (n)  RETURN n",
+            "json",
+            Duration::from_micros(100),
+            Some(3),
+        );
+        stats.observe(
+            "cypher",
+            "MATCH (n) RETURN n",
+            "bolt",
+            Duration::from_micros(300),
+            Some(3),
+        );
+        stats.observe(
+            "cypher",
+            "MATCH (n) RETURN n",
+            "json",
+            Duration::from_micros(200),
+            None,
+        );
+        let snap = stats.snapshot();
+        assert_eq!(snap.len(), 1);
+        let e = &snap[0];
+        assert_eq!(e.query, "MATCH (n) RETURN n");
+        assert_eq!((e.calls, e.errors, e.rows), (3, 1, 6));
+        assert_eq!((e.json_calls, e.bolt_calls), (2, 1));
+        assert!(e.max_us >= e.p50_us);
+    }
+
+    #[test]
+    fn aggregates_feed_registry_series() {
+        let registry = Registry::new();
+        let stats = QueryStats::new(&registry);
+        stats.observe(
+            "sparql",
+            "SELECT * WHERE { ?s ?p ?o }",
+            "json",
+            Duration::from_micros(50),
+            Some(7),
+        );
+        let exposition = registry.expose();
+        assert!(
+            exposition.contains("s3pg_query_executions_total{language=\"sparql\"} 1"),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains("s3pg_query_rows_total{language=\"sparql\"} 7"),
+            "{exposition}"
+        );
+    }
+
+    #[test]
+    fn capacity_cap_stops_new_entries_not_existing_ones() {
+        let registry = Registry::new();
+        let stats = QueryStats::new(&registry);
+        for i in 0..CAPACITY + 10 {
+            stats.observe(
+                "cypher",
+                &format!("MATCH (n) RETURN {i}"),
+                "json",
+                Duration::ZERO,
+                Some(0),
+            );
+        }
+        assert_eq!(stats.snapshot().len(), CAPACITY);
+        // An existing entry still accumulates.
+        stats.observe(
+            "cypher",
+            "MATCH (n) RETURN 0",
+            "json",
+            Duration::ZERO,
+            Some(0),
+        );
+        let snap = stats.snapshot();
+        let e = snap
+            .iter()
+            .find(|e| e.query == "MATCH (n) RETURN 0")
+            .unwrap();
+        assert_eq!(e.calls, 2);
+    }
+
+    #[test]
+    fn last_plan_round_trips() {
+        let registry = Registry::new();
+        let stats = QueryStats::new(&registry);
+        stats.record_plan(
+            "cypher",
+            "MATCH (n) RETURN n",
+            PlanNode::new("AllNodesScan", "p0.pat0"),
+        );
+        let plan = stats.last_plan("cypher", "MATCH  (n)  RETURN n").unwrap();
+        assert_eq!(plan.op, "AllNodesScan");
+        assert_eq!(
+            stats.snapshot()[0].last_plan.as_ref().unwrap().op,
+            "AllNodesScan"
+        );
+    }
+}

@@ -30,10 +30,12 @@
 use crate::json::Json;
 use crate::params;
 use crate::plan_cache::{CachedCypher, CachedEntry, CachedSparql, PlanCache};
-use crate::protocol::{ErrorFrame, ErrorKind, Request, Response};
+use crate::protocol::{plan_to_json, ErrorFrame, ErrorKind, Request, Response};
+use crate::query_stats::QueryStats;
 use crate::store::GraphStore;
 use s3pg::S3pgError;
 use s3pg_obs::{tracer, Counter, Histogram, Registry};
+use s3pg_query::profile::ProfSink;
 use s3pg_query::{cypher, render_term, render_value, sparql};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
@@ -139,6 +141,8 @@ impl ServerMetrics {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlowQuery {
     pub endpoint: &'static str,
+    /// Which listener served the request: `"json"` or `"bolt"`.
+    pub listener: &'static str,
     /// The query text for `cypher`/`sparql`, a size summary for `update`,
     /// empty for bodyless endpoints.
     pub query: String,
@@ -148,6 +152,42 @@ pub struct SlowQuery {
     pub decode_micros: u64,
     pub execute_micros: u64,
     pub serialize_micros: u64,
+    /// The query's last rendered operator tree as a JSON object, when the
+    /// statistics registry has captured one (plan-cache miss for Cypher,
+    /// any `EXPLAIN`/`PROFILE` run for either language).
+    pub plan: Option<String>,
+}
+
+/// Leading `EXPLAIN`/`PROFILE` keyword on a query, for either language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Introspect {
+    /// Execute normally.
+    None,
+    /// Render the operator tree; execute nothing.
+    Explain,
+    /// Execute with a per-operator [`ProfSink`] and return rows + the
+    /// annotated tree.
+    Profile,
+}
+
+/// Split a leading `EXPLAIN`/`PROFILE` keyword (case-insensitive, must be
+/// followed by whitespace) off the query text. The remainder is what the
+/// plan cache and statistics registry key on, so `EXPLAIN q`, `PROFILE q`,
+/// and `q` share one cache entry.
+pub(crate) fn strip_introspection(query: &str) -> (Introspect, &str) {
+    let trimmed = query.trim_start();
+    for (word, mode) in [
+        ("EXPLAIN", Introspect::Explain),
+        ("PROFILE", Introspect::Profile),
+    ] {
+        if trimmed.len() > word.len()
+            && trimmed[..word.len()].eq_ignore_ascii_case(word)
+            && trimmed[word.len()..].starts_with(char::is_whitespace)
+        {
+            return (mode, trimmed[word.len()..].trim_start());
+        }
+    }
+    (Introspect::None, query)
 }
 
 /// The installed store plus its serving role.
@@ -169,6 +209,7 @@ pub(crate) struct Shared {
     serving: OnceLock<ServingState>,
     metrics: ServerMetrics,
     plan_cache: PlanCache,
+    query_stats: QueryStats,
     registry: Arc<Registry>,
     started: Instant,
     slow_query_threshold: Option<Duration>,
@@ -203,6 +244,29 @@ impl Shared {
         self.metrics.observe(endpoint, elapsed, ok);
     }
 
+    /// The configured slow-query threshold. The Bolt session checks this
+    /// around each `RUN`, mirroring the JSON dispatch, so queries from
+    /// both listeners land in one log.
+    pub(crate) fn slow_query_threshold(&self) -> Option<Duration> {
+        self.slow_query_threshold
+    }
+
+    /// Append one entry to the slow-query log (either listener).
+    pub(crate) fn log_slow_query(&self, entry: SlowQuery) {
+        record_slow_query(self, entry);
+    }
+
+    /// The statistics registry's last rendered plan for `query`, as a JSON
+    /// line — what slow-query entries embed. Any `EXPLAIN`/`PROFILE`
+    /// prefix is stripped so the lookup hits the same registry entry the
+    /// execution recorded against.
+    pub(crate) fn last_plan_json(&self, endpoint: &str, query: &str) -> Option<String> {
+        let (_, bare) = strip_introspection(query);
+        self.query_stats
+            .last_plan(endpoint, bare)
+            .map(|p| plan_to_json(&p).to_line())
+    }
+
     /// Run one Cypher query through the shared plan cache and parameter
     /// pipeline. `listener` labels the cache accounting
     /// (`s3pg_plan_cache_*_total{listener=...}`); both the JSON dispatch
@@ -212,6 +276,31 @@ impl Shared {
         &self,
         store: &GraphStore,
         query: &str,
+        params: &[(String, Json)],
+        listener: &'static str,
+    ) -> Response {
+        let started = Instant::now();
+        let (mode, bare) = strip_introspection(query);
+        let response = self.run_cypher_inner(store, bare, mode, params, listener);
+        // EXPLAIN executes nothing, so it does not count as a query
+        // execution in the statistics registry.
+        if mode != Introspect::Explain {
+            self.query_stats.observe(
+                "cypher",
+                bare,
+                listener,
+                started.elapsed(),
+                response_rows(&response),
+            );
+        }
+        response
+    }
+
+    fn run_cypher_inner(
+        &self,
+        store: &GraphStore,
+        query: &str,
+        mode: Introspect,
         params: &[(String, Json)],
         listener: &'static str,
     ) -> Response {
@@ -235,6 +324,14 @@ impl Shared {
                             Some(compact) => cypher::plan(compact.as_ref(), &ast),
                             None => cypher::plan(&snap.pg, &ast),
                         });
+                        // A fresh plan is the cheapest moment to render the
+                        // operator tree once, so the statistics registry
+                        // and slow-query log always have a plan to show.
+                        self.query_stats.record_plan(
+                            "cypher",
+                            query,
+                            cypher::explain(&ast, &plan, 1),
+                        );
                         Ok(CachedCypher::new(ast, snap.epoch, plan))
                     }
                     Err(e) => Err(e.to_string()),
@@ -252,6 +349,22 @@ impl Shared {
             }
             CachedEntry::Sparql(Ok(_)) => unreachable!("endpoint-prefixed cache key"),
         };
+        let replans = self.plan_cache.replan_counter(listener);
+        // EXPLAIN: render the (epoch-refreshed) plan's operator tree and
+        // return before parameter validation — a plan never depends on
+        // parameter values, so `EXPLAIN q` works without bindings.
+        if mode == Introspect::Explain {
+            let plan = match snap.compact() {
+                Some(compact) => cached.plan_for(compact.as_ref(), snap.epoch, replans),
+                None => cached.plan_for(&snap.pg, snap.epoch, replans),
+            };
+            let tree = cypher::explain(&cached.ast, &plan, 1);
+            self.query_stats.record_plan("cypher", query, tree.clone());
+            return Response::Explain {
+                language: "cypher".to_string(),
+                plan: tree,
+            };
+        }
         // Parameter names must match the query exactly (no undeclared, no
         // unused) before any evaluation work happens.
         if let Err(frame) = params::check_names(&cached.params, params) {
@@ -263,29 +376,76 @@ impl Shared {
         };
         // Serve from the read-optimized compact form when background
         // compaction has landed it; fall back to the mutable PG in the
-        // window right after an update.
-        let replans = self.plan_cache.replan_counter(listener);
-        let result = match snap.compact() {
+        // window right after an update. PROFILE threads a sink through the
+        // same planned evaluation — answers stay bit-identical.
+        let sink = (mode == Introspect::Profile).then(ProfSink::new);
+        let (result, plan) = match snap.compact() {
             Some(compact) => {
                 let plan = cached.plan_for(compact.as_ref(), snap.epoch, replans);
                 let _span = tracer().span_here("query_eval");
-                cypher::evaluate_planned_params(compact.as_ref(), &cached.ast, &plan, &bound, 1)
+                let result = match &sink {
+                    Some(sink) => cypher::evaluate_planned_profiled(
+                        compact.as_ref(),
+                        &cached.ast,
+                        &plan,
+                        &bound,
+                        1,
+                        sink,
+                    ),
+                    None => cypher::evaluate_planned_params(
+                        compact.as_ref(),
+                        &cached.ast,
+                        &plan,
+                        &bound,
+                        1,
+                    ),
+                };
+                (result, plan)
             }
             None => {
                 let plan = cached.plan_for(&snap.pg, snap.epoch, replans);
                 let _span = tracer().span_here("query_eval");
-                cypher::evaluate_planned_params(&snap.pg, &cached.ast, &plan, &bound, 1)
+                let result = match &sink {
+                    Some(sink) => cypher::evaluate_planned_profiled(
+                        &snap.pg,
+                        &cached.ast,
+                        &plan,
+                        &bound,
+                        1,
+                        sink,
+                    ),
+                    None => {
+                        cypher::evaluate_planned_params(&snap.pg, &cached.ast, &plan, &bound, 1)
+                    }
+                };
+                (result, plan)
             }
         };
         match result {
-            Ok(rows) => Response::Cypher {
-                columns: rows.columns.clone(),
-                rows: rows
+            Ok(rows) => {
+                let rendered: Vec<Vec<Option<String>>> = rows
                     .rows
                     .iter()
                     .map(|row| row.iter().map(|v| v.as_ref().map(render_value)).collect())
-                    .collect(),
-            },
+                    .collect();
+                match sink {
+                    Some(sink) => {
+                        let mut tree = cypher::explain(&cached.ast, &plan, 1);
+                        tree.annotate(&sink);
+                        self.query_stats.record_plan("cypher", query, tree.clone());
+                        Response::Profile {
+                            language: "cypher".to_string(),
+                            columns: rows.columns.clone(),
+                            rows: rendered,
+                            plan: tree,
+                        }
+                    }
+                    None => Response::Cypher {
+                        columns: rows.columns.clone(),
+                        rows: rendered,
+                    },
+                }
+            }
             Err(e) => Response::Error(ErrorFrame {
                 kind: ErrorKind::Query,
                 message: e.to_string(),
@@ -299,6 +459,29 @@ impl Shared {
         &self,
         store: &GraphStore,
         query: &str,
+        params: &[(String, Json)],
+        listener: &'static str,
+    ) -> Response {
+        let started = Instant::now();
+        let (mode, bare) = strip_introspection(query);
+        let response = self.run_sparql_inner(store, bare, mode, params, listener);
+        if mode != Introspect::Explain {
+            self.query_stats.observe(
+                "sparql",
+                bare,
+                listener,
+                started.elapsed(),
+                response_rows(&response),
+            );
+        }
+        response
+    }
+
+    fn run_sparql_inner(
+        &self,
+        store: &GraphStore,
+        query: &str,
+        mode: Introspect,
         params: &[(String, Json)],
         listener: &'static str,
     ) -> Response {
@@ -332,14 +515,37 @@ impl Shared {
             Ok(bound) => bound,
             Err(frame) => return Response::Error(frame),
         };
+        // SPARQL has no persisted plan: the greedy join order is recomputed
+        // per evaluation, so EXPLAIN renders it fresh (after parameter
+        // binding — ordering uses the substituted cardinalities).
+        if mode == Introspect::Explain {
+            return match sparql::explain(&snap.rdf, &cached.ast, &bound, 1) {
+                Ok(tree) => {
+                    self.query_stats.record_plan("sparql", query, tree.clone());
+                    Response::Explain {
+                        language: "sparql".to_string(),
+                        plan: tree,
+                    }
+                }
+                Err(e) => Response::Error(ErrorFrame {
+                    kind: ErrorKind::Query,
+                    message: e.to_string(),
+                }),
+            };
+        }
+        let sink = (mode == Introspect::Profile).then(ProfSink::new);
         let result = {
             let _span = tracer().span_here("query_eval");
-            sparql::evaluate_outcome_threads_params(&snap.rdf, &cached.ast, &bound, 1)
+            match &sink {
+                Some(sink) => {
+                    sparql::evaluate_outcome_profiled(&snap.rdf, &cached.ast, &bound, 1, sink)
+                }
+                None => sparql::evaluate_outcome_threads_params(&snap.rdf, &cached.ast, &bound, 1),
+            }
         };
         match result {
-            Ok(sparql::Outcome::Solutions(solutions)) => Response::Sparql {
-                vars: solutions.vars.clone(),
-                rows: solutions
+            Ok(sparql::Outcome::Solutions(solutions)) => {
+                let rendered: Vec<Vec<Option<String>>> = solutions
                     .rows
                     .iter()
                     .map(|row| {
@@ -347,8 +553,30 @@ impl Shared {
                             .map(|t| t.map(|t| render_term(&snap.rdf, t)))
                             .collect()
                     })
-                    .collect(),
-            },
+                    .collect();
+                match sink {
+                    Some(sink) => match sparql::explain(&snap.rdf, &cached.ast, &bound, 1) {
+                        Ok(mut tree) => {
+                            tree.annotate(&sink);
+                            self.query_stats.record_plan("sparql", query, tree.clone());
+                            Response::Profile {
+                                language: "sparql".to_string(),
+                                columns: solutions.vars.clone(),
+                                rows: rendered,
+                                plan: tree,
+                            }
+                        }
+                        Err(e) => Response::Error(ErrorFrame {
+                            kind: ErrorKind::Internal,
+                            message: format!("profiled query lost its plan: {e}"),
+                        }),
+                    },
+                    None => Response::Sparql {
+                        vars: solutions.vars.clone(),
+                        rows: rendered,
+                    },
+                }
+            }
             // The wire endpoints have never served aggregate projections;
             // keep the engine's own error message for them.
             Ok(sparql::Outcome::Count { .. }) => Response::Error(ErrorFrame {
@@ -360,6 +588,19 @@ impl Shared {
                 message: e.to_string(),
             }),
         }
+    }
+}
+
+/// Rows returned by a query response, as the statistics registry counts
+/// them: `Some(n)` for success frames, `None` for typed errors (counted
+/// as an error, not zero rows).
+fn response_rows(response: &Response) -> Option<u64> {
+    match response {
+        Response::Cypher { rows, .. }
+        | Response::Sparql { rows, .. }
+        | Response::Profile { rows, .. } => Some(rows.len() as u64),
+        Response::Error(_) => None,
+        _ => Some(0),
     }
 }
 
@@ -514,6 +755,7 @@ pub fn serve_deferred(
         serving: OnceLock::new(),
         metrics: ServerMetrics::new(&registry),
         plan_cache: PlanCache::new(&registry),
+        query_stats: QueryStats::new(&registry),
         registry,
         started: Instant::now(),
         slow_query_threshold: config.slow_query_threshold,
@@ -734,16 +976,22 @@ fn respond(line: &str, shared: &Shared) -> Reply {
     shared.metrics.observe(endpoint, total, response.is_ok());
     if let Some(threshold) = shared.slow_query_threshold {
         if total >= threshold {
+            let plan = match endpoint {
+                "cypher" | "sparql" => shared.last_plan_json(endpoint, &query),
+                _ => None,
+            };
             record_slow_query(
                 shared,
                 SlowQuery {
                     endpoint,
+                    listener: "json",
                     query,
                     rows: rows_returned(&response),
                     total_micros: total.as_micros() as u64,
                     decode_micros: (decoded_at - start).as_micros() as u64,
                     execute_micros: (executed_at - decoded_at).as_micros() as u64,
                     serialize_micros: (serialized_at - executed_at).as_micros() as u64,
+                    plan,
                 },
             );
         }
@@ -772,22 +1020,21 @@ fn query_text(request: &Request) -> String {
 }
 
 fn rows_returned(response: &Response) -> u64 {
-    match response {
-        Response::Cypher { rows, .. } | Response::Sparql { rows, .. } => rows.len() as u64,
-        _ => 0,
-    }
+    response_rows(response).unwrap_or(0)
 }
 
 fn record_slow_query(shared: &Shared, entry: SlowQuery) {
     eprintln!(
-        "slow-query endpoint={} total_us={} decode_us={} execute_us={} serialize_us={} rows={} query={:?}",
+        "slow-query endpoint={} listener={} total_us={} decode_us={} execute_us={} serialize_us={} rows={} query={:?} plan={}",
         entry.endpoint,
+        entry.listener,
         entry.total_micros,
         entry.decode_micros,
         entry.execute_micros,
         entry.serialize_micros,
         entry.rows,
         entry.query,
+        entry.plan.as_deref().unwrap_or("null"),
     );
     let mut log = shared
         .slow_queries
@@ -824,6 +1071,11 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
         }
         Request::Ping => return Response::Pong,
         Request::Shutdown => return Response::ShuttingDown,
+        Request::QueryStats => {
+            return Response::QueryStats {
+                queries: shared.query_stats.snapshot(),
+            }
+        }
         _ => {}
     }
     let Some(serving) = shared.serving.get() else {
@@ -948,15 +1200,23 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
                 applied_seq: store.applied_seq(),
             }
         }
-        Request::Trace { limit } => Response::Trace {
+        // `limit` tails the ring first; `since` then drops events at or
+        // before the cursor (µs since server start), so a poller resumes
+        // from the newest `t_us` it has seen without re-downloading.
+        Request::Trace { limit, since } => Response::Trace {
             events: tracer()
                 .tail((*limit).min(u32::MAX as u64) as usize)
                 .iter()
+                .filter(|e| e.t_us > *since)
                 .map(|e| e.to_json())
                 .collect(),
         },
         // Handled in the recovery-independent prefix above.
-        Request::Metrics | Request::Health | Request::Ping | Request::Shutdown => {
+        Request::Metrics
+        | Request::Health
+        | Request::Ping
+        | Request::Shutdown
+        | Request::QueryStats => {
             unreachable!("stateless endpoints answered before store lookup")
         }
     }

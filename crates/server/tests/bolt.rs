@@ -387,6 +387,132 @@ fn pull_batches_and_discard_follow_bolt_semantics() {
 }
 
 #[test]
+fn explain_profile_and_stats_over_bolt() {
+    // Zero threshold: every query lands in the slow-query log, so the
+    // test can assert Bolt-path entries carry the listener tag.
+    let rdf = parse_turtle(DATA).unwrap();
+    let shapes = parse_shacl_turtle(SHAPES).unwrap();
+    let store = GraphStore::new(rdf, &shapes, Mode::Parsimonious, 1);
+    let mut handle = serve(
+        "127.0.0.1:0",
+        store,
+        ServerConfig {
+            slow_query_threshold: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let bolt_addr = handle.listen_bolt("127.0.0.1:0").unwrap();
+    let mut json = Client::connect(&handle.addr.to_string()).unwrap();
+    let mut bolt = BoltClient::connect(bolt_addr);
+
+    let text = "MATCH (p:Person) RETURN p.name";
+    let meta_plan = |meta: &[(String, Value)], key: &str| -> Vec<(String, Value)> {
+        let Some(Value::Map(entries)) = meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+        else {
+            panic!("expected {key} map in summary, got {meta:?}");
+        };
+        entries
+    };
+
+    // EXPLAIN: an empty result whose final SUCCESS carries `plan`.
+    let answer = bolt.call(ClientMessage::Run {
+        query: format!("EXPLAIN {text}"),
+        parameters: vec![],
+        extra: vec![],
+    });
+    let ServerMessage::Success(meta) = answer else {
+        panic!("EXPLAIN RUN must succeed, got {answer:?}");
+    };
+    assert_eq!(
+        meta.iter().find(|(k, _)| k == "fields").map(|(_, v)| v),
+        Some(&Value::List(Vec::new())),
+        "EXPLAIN executes nothing, so no fields"
+    );
+    bolt.send(ClientMessage::Pull(vec![("n".into(), Value::Int(-1))]));
+    let ServerMessage::Success(meta) = bolt.recv() else {
+        panic!("EXPLAIN PULL yields no records, just the summary");
+    };
+    let plan = meta_plan(&meta, "plan");
+    assert!(
+        plan.iter()
+            .any(|(k, v)| k == "operatorType" && matches!(v, Value::String(_))),
+        "{plan:?}"
+    );
+    assert!(
+        !plan.iter().any(|(k, _)| k == "rows"),
+        "EXPLAIN plans carry no profile annotations: {plan:?}"
+    );
+
+    // PROFILE: real rows plus a `profile` tree annotated with row counts.
+    let answer = bolt.call(ClientMessage::Run {
+        query: format!("PROFILE {text}"),
+        parameters: vec![],
+        extra: vec![],
+    });
+    assert!(matches!(answer, ServerMessage::Success(_)), "{answer:?}");
+    bolt.send(ClientMessage::Pull(vec![("n".into(), Value::Int(-1))]));
+    let mut rows = 0u64;
+    let meta = loop {
+        match bolt.recv() {
+            ServerMessage::Record(_) => rows += 1,
+            ServerMessage::Success(meta) => break meta,
+            other => panic!("unexpected PULL answer {other:?}"),
+        }
+    };
+    assert_eq!(rows, 2);
+    let profile = meta_plan(&meta, "profile");
+    assert_eq!(
+        profile.iter().find(|(k, _)| k == "rows").map(|(_, v)| v),
+        Some(&Value::Int(2)),
+        "{profile:?}"
+    );
+    assert!(profile.iter().any(|(k, _)| k == "dbHits"), "{profile:?}");
+
+    // A plain Bolt run counts in the registry under bolt_calls; the
+    // EXPLAIN above did not (nothing executed).
+    let (_, plain) = bolt.run(text, vec![]).unwrap();
+    assert_eq!(plain.len(), 2);
+    let Response::QueryStats { queries } = json.call(&Request::QueryStats).unwrap() else {
+        panic!("expected query stats");
+    };
+    let entry = queries
+        .iter()
+        .find(|e| e.endpoint == "cypher" && e.query == text)
+        .unwrap_or_else(|| panic!("no entry for {text}: {queries:?}"));
+    // PROFILE + plain run, both over Bolt.
+    assert_eq!((entry.calls, entry.bolt_calls, entry.json_calls), (2, 2, 0));
+    assert!(entry.last_plan.is_some());
+
+    // Every Bolt query hit the shared slow-query log tagged with its
+    // listener, and the profiled entry embeds the operator tree.
+    let log = handle.slow_queries();
+    assert!(
+        log.iter()
+            .filter(|e| e.endpoint == "cypher")
+            .all(|e| e.listener == "bolt"),
+        "{log:?}"
+    );
+    let profiled = log
+        .iter()
+        .find(|e| e.query.starts_with("PROFILE"))
+        .expect("profiled run logged");
+    assert_eq!(profiled.endpoint, "cypher");
+    assert_eq!(profiled.rows, 2);
+    assert!(
+        profiled
+            .plan
+            .as_deref()
+            .is_some_and(|p| p.contains("\"op\"")),
+        "{profiled:?}"
+    );
+
+    bolt.send(ClientMessage::Goodbye);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn malformed_peers_get_typed_closes_not_hangs() {
     let (handle, bolt_addr) = start_server();
 

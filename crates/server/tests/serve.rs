@@ -348,6 +348,209 @@ fn parameterized_queries_plan_once_and_validate_names() {
 }
 
 #[test]
+fn explain_profile_and_query_stats_over_tcp() {
+    use s3pg_server::json;
+
+    let handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    // EXPLAIN on both languages: a plan comes back, nothing executes.
+    let response = client
+        .call(&Request::Cypher {
+            query: "EXPLAIN MATCH (p:Person) RETURN p.name ORDER BY p.name".to_string(),
+            params: Vec::new(),
+        })
+        .unwrap();
+    let Response::Explain { language, plan } = response else {
+        panic!("expected explain plan, got {response:?}");
+    };
+    assert_eq!(language, "cypher");
+    assert!(plan.ops().contains(&"Sort"), "{:?}", plan.ops());
+    assert!(plan.rows.is_none(), "EXPLAIN must carry no profile fields");
+
+    let response = client
+        .call(&Request::Sparql {
+            query: "explain PREFIX ex: <http://ex/> SELECT ?n WHERE { ?s ex:name ?n }".to_string(),
+            params: Vec::new(),
+        })
+        .unwrap();
+    let Response::Explain { language, plan } = response else {
+        panic!("expected explain plan, got {response:?}");
+    };
+    assert_eq!(language, "sparql");
+    assert!(
+        plan.ops().contains(&"TriplePatternScan"),
+        "{:?}",
+        plan.ops()
+    );
+
+    // Neither EXPLAIN counted as an execution: the registry captured the
+    // plans but shows zero calls for both texts.
+    let Response::QueryStats { queries } = client.call(&Request::QueryStats).unwrap() else {
+        panic!("expected query stats");
+    };
+    assert!(queries.iter().all(|q| q.calls == 0), "{queries:?}");
+
+    // PROFILE returns bit-identical rows plus an annotated operator tree.
+    let cypher_text = "MATCH (p:Person) RETURN p.name";
+    let Response::Cypher { rows: plain, .. } = client
+        .call(&Request::Cypher {
+            query: cypher_text.to_string(),
+            params: Vec::new(),
+        })
+        .unwrap()
+    else {
+        panic!("expected cypher rows");
+    };
+    let response = client
+        .call(&Request::Cypher {
+            query: format!("PROFILE {cypher_text}"),
+            params: Vec::new(),
+        })
+        .unwrap();
+    let Response::Profile {
+        language,
+        columns,
+        rows,
+        plan,
+    } = response
+    else {
+        panic!("expected profile, got {response:?}");
+    };
+    assert_eq!(language, "cypher");
+    assert_eq!(columns, vec!["p.name"]);
+    assert_eq!(rows, plain);
+    assert_eq!(plan.rows, Some(plain.len() as u64), "{plan:?}");
+
+    let sparql_text = "PREFIX ex: <http://ex/> SELECT ?n WHERE { ?s ex:name ?n }";
+    let Response::Sparql { rows: splain, .. } = client
+        .call(&Request::Sparql {
+            query: sparql_text.to_string(),
+            params: Vec::new(),
+        })
+        .unwrap()
+    else {
+        panic!("expected sparql rows");
+    };
+    let response = client
+        .call(&Request::Sparql {
+            query: format!("PROFILE {sparql_text}"),
+            params: Vec::new(),
+        })
+        .unwrap();
+    let Response::Profile {
+        language,
+        columns,
+        rows,
+        plan,
+    } = response
+    else {
+        panic!("expected profile, got {response:?}");
+    };
+    assert_eq!(language, "sparql");
+    assert_eq!(columns, vec!["n"]);
+    assert_eq!(rows, splain);
+    assert_eq!(plan.rows, Some(splain.len() as u64), "{plan:?}");
+
+    // Whitespace variants of one text share a registry entry; a failing
+    // query counts as an error under its own text.
+    for _ in 0..2 {
+        client
+            .call(&Request::Cypher {
+                query: "MATCH (p:Person)   RETURN   p.name".to_string(),
+                params: Vec::new(),
+            })
+            .unwrap();
+    }
+    let Response::Error(_) = client
+        .call(&Request::Cypher {
+            query: "MATCH (((".to_string(),
+            params: Vec::new(),
+        })
+        .unwrap()
+    else {
+        panic!("expected parse error");
+    };
+    let Response::QueryStats { queries } = client.call(&Request::QueryStats).unwrap() else {
+        panic!("expected query stats");
+    };
+    let entry = queries
+        .iter()
+        .find(|e| e.endpoint == "cypher" && e.query == cypher_text)
+        .unwrap_or_else(|| panic!("no entry for {cypher_text}: {queries:?}"));
+    // One plain run, one PROFILE run, two whitespace variants.
+    assert_eq!(entry.calls, 4);
+    assert_eq!(entry.json_calls, 4);
+    assert_eq!(entry.errors, 0);
+    assert_eq!(entry.rows, 4 * plain.len() as u64);
+    assert!(entry.last_plan.is_some());
+    let bad = queries
+        .iter()
+        .find(|e| e.query == "MATCH (((")
+        .expect("failing text is tracked");
+    assert_eq!((bad.calls, bad.errors, bad.rows), (1, 1, 0));
+
+    // Aggregate series appear in the Prometheus exposition.
+    let Response::Metrics { exposition } = client.call(&Request::Metrics).unwrap() else {
+        panic!("expected metrics");
+    };
+    let samples = s3pg_obs::parse_exposition(&exposition).unwrap();
+    let sample = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from exposition:\n{exposition}"))
+            .value
+    };
+    assert_eq!(
+        sample("s3pg_query_executions_total{language=\"cypher\"}"),
+        5.0
+    );
+    assert_eq!(sample("s3pg_query_errors_total{language=\"cypher\"}"), 1.0);
+    assert_eq!(
+        sample("s3pg_query_executions_total{language=\"sparql\"}"),
+        2.0
+    );
+    assert!(sample("s3pg_query_tracked") >= 4.0);
+
+    // The trace cursor: `since` returns only events newer than the mark.
+    let t_us = |line: &str| {
+        json::parse(line)
+            .unwrap()
+            .get("t_us")
+            .and_then(json::Json::as_u64)
+            .unwrap_or_else(|| panic!("no t_us in {line}"))
+    };
+    let Response::Trace { events } = client
+        .call(&Request::Trace {
+            limit: 4096,
+            since: 0,
+        })
+        .unwrap()
+    else {
+        panic!("expected trace events");
+    };
+    assert!(!events.is_empty());
+    let cursor = t_us(events.last().unwrap());
+    client.call(&Request::Ping).unwrap();
+    let Response::Trace { events: newer } = client
+        .call(&Request::Trace {
+            limit: 4096,
+            since: cursor,
+        })
+        .unwrap()
+    else {
+        panic!("expected trace events");
+    };
+    assert!(!newer.is_empty());
+    assert!(newer.iter().all(|e| t_us(e) > cursor), "{newer:?}");
+    assert!(newer.len() < events.len() + 4, "cursor failed to filter");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn sheds_load_with_typed_rejection_when_saturated() {
     // One worker, queue of one: the third concurrent connection must be
     // rejected immediately with an `overloaded` frame.

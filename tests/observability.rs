@@ -143,7 +143,13 @@ fn trace_endpoint_tails_request_span_trees() {
         })
         .unwrap();
 
-    let Response::Trace { events } = client.call(&Request::Trace { limit: 4096 }).unwrap() else {
+    let Response::Trace { events } = client
+        .call(&Request::Trace {
+            limit: 4096,
+            since: 0,
+        })
+        .unwrap()
+    else {
         panic!("expected trace response");
     };
     assert!(!events.is_empty(), "the ring must hold request spans");
