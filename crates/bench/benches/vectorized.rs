@@ -1,0 +1,268 @@
+//! Vectorized-execution benchmark: interpreted vs batched columnar
+//! evaluation over the same frozen [`CompactGraph`] and the same cached
+//! plan, across scale tiers, emitting a machine-readable
+//! `BENCH_vectorized.json` that `trace_check --vectorized-bench` validates
+//! in CI.
+//!
+//! ```text
+//! cargo bench --bench vectorized -- [--scales 1,10,100] [--out BENCH_vectorized.json]
+//! ```
+//!
+//! Both sides run [`cypher::evaluate_planned_interpreted`] /
+//! [`cypher::evaluate_planned_params`] over the *same* compact snapshot
+//! under the *same* plan, so the measured delta is purely the physical
+//! execution strategy — row-at-a-time hash-map bindings vs postings runs,
+//! selection vectors, and CSR gathers. Row counts are asserted equal
+//! before any timing happens.
+
+use s3pg::pipeline::transform;
+use s3pg::query_translate;
+use s3pg::Mode;
+use s3pg_bench::experiments::{prepare, Dataset, Scale};
+use s3pg_bench::timing::{bench_samples, section, Samples};
+use s3pg_pg::{PgRead, PropertyGraph, Value};
+use s3pg_query::cypher;
+use s3pg_workloads::generate_queries;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut scales: Vec<f64> = vec![1.0, 10.0];
+    let mut out_path = "BENCH_vectorized.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scales" => {
+                if let Some(v) = it.next() {
+                    scales = v
+                        .split(',')
+                        .filter_map(|s| s.trim().parse::<f64>().ok())
+                        .collect();
+                }
+            }
+            "--out" => {
+                if let Some(v) = it.next() {
+                    out_path = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(!scales.is_empty(), "--scales parsed to an empty list");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dataset\": \"{}\",", Dataset::DBpedia2022.name());
+    json.push_str("  \"tiers\": [\n");
+    for (ti, &scale) in scales.iter().enumerate() {
+        section(&format!("scale {scale}"));
+        let prepared = prepare(Dataset::DBpedia2022, Scale(scale));
+        let out = transform(
+            &prepared.generated.graph,
+            &prepared.shapes,
+            Mode::Parsimonious,
+        );
+        let pg = &out.pg;
+        let compact = pg.freeze();
+        println!(
+            "scale {scale}: {} nodes, {} edges",
+            compact.node_count(),
+            compact.edge_count()
+        );
+
+        // Query set: translated workload queries plus the traversal shapes
+        // the CSR-gather pipeline targets (tagged `traversal*` so the CI
+        // gate can find them) and an equality probe over the frozen
+        // eq-index.
+        let mut queries: Vec<(String, String)> = Vec::new();
+        for q in generate_queries(&prepared.generated.meta, 1) {
+            let text = query_translate::translate_str(&q.sparql, &out.schema.mapping).unwrap();
+            queries.push((format!("{}-Q{}", q.category.name(), q.id), text));
+        }
+        if let Some((edge_label, src)) = busiest_edge(pg) {
+            queries.push((
+                "traversal".to_string(),
+                format!("MATCH (a:{src})-[:{edge_label}]->(v) RETURN a.iri, v.iri"),
+            ));
+            queries.push((
+                "traversal-2hop".to_string(),
+                format!(
+                    "MATCH (a:{src})-[:{edge_label}]->(v)-[:{edge_label}]->(w) \
+                     RETURN a.iri, w.iri"
+                ),
+            ));
+            queries.push((
+                "traversal-filtered".to_string(),
+                format!(
+                    "MATCH (a:{src})-[:{edge_label}]->(v) WHERE a.iri <> v.iri \
+                     RETURN a.iri, v.iri"
+                ),
+            ));
+        }
+        if let Some(text) = equality_query(pg) {
+            queries.push(("equality".to_string(), text));
+        }
+
+        if ti > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"scale\": {scale},");
+        let _ = writeln!(json, "      \"nodes\": {},", compact.node_count());
+        let _ = writeln!(json, "      \"edges\": {},", compact.edge_count());
+        json.push_str("      \"queries\": [\n");
+        let mut first = true;
+        for (tag, text) in &queries {
+            let parsed = cypher::parse(text).unwrap();
+            let plan = cypher::plan(&compact, &parsed);
+            let params = cypher::Params::default();
+            let rows_interpreted =
+                cypher::evaluate_planned_interpreted(&compact, &parsed, &plan, &params, 1).unwrap();
+            let rows_vectorized =
+                cypher::evaluate_planned_params(&compact, &parsed, &plan, &params, 1).unwrap();
+            assert_eq!(
+                rows_interpreted, rows_vectorized,
+                "pipelines disagree on {text}"
+            );
+            let rows = rows_vectorized.rows.len();
+            // Interleave the two pipelines (A/B/A/B…, min p50 per side) so
+            // machine drift between passes cancels instead of biasing
+            // whichever side ran later.
+            let mut interpreted: Option<Samples> = None;
+            let mut vectorized: Option<Samples> = None;
+            for _ in 0..3 {
+                let a = bench_samples(&format!("interpreted/{tag}"), || {
+                    cypher::evaluate_planned_interpreted(&compact, &parsed, &plan, &params, 1)
+                        .unwrap()
+                });
+                if interpreted.as_ref().is_none_or(|best| a.p50 < best.p50) {
+                    interpreted = Some(a);
+                }
+                let b = bench_samples(&format!("vectorized/{tag}"), || {
+                    cypher::evaluate_planned_params(&compact, &parsed, &plan, &params, 1).unwrap()
+                });
+                if vectorized.as_ref().is_none_or(|best| b.p50 < best.p50) {
+                    vectorized = Some(b);
+                }
+            }
+            let (interpreted, vectorized) = (interpreted.unwrap(), vectorized.unwrap());
+            let speedup =
+                interpreted.p50.as_nanos().max(1) as f64 / vectorized.p50.as_nanos().max(1) as f64;
+            println!("{tag:<40} interpreted/vectorized p50 {speedup:.2}x");
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            json.push_str("        {\n");
+            let _ = writeln!(json, "          \"tag\": {},", json_string(tag));
+            let _ = writeln!(json, "          \"query\": {},", json_string(text));
+            let _ = writeln!(json, "          \"rows\": {rows},");
+            let _ = writeln!(
+                json,
+                "          \"interpreted\": {},",
+                samples_json(&interpreted)
+            );
+            let _ = writeln!(
+                json,
+                "          \"vectorized\": {},",
+                samples_json(&vectorized)
+            );
+            let _ = writeln!(
+                json,
+                "          \"p50_interpreted_over_vectorized\": {speedup:.3}"
+            );
+            json.push_str("        }");
+        }
+        json.push_str("\n      ]\n    }");
+    }
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_vectorized.json");
+    println!("\nwrote {out_path}");
+}
+
+/// `{"p50_us": …, "p99_us": …, "mean_us": …, "iters": …}` for one sample set.
+fn samples_json(s: &Samples) -> String {
+    format!(
+        "{{\"p50_us\": {:.2}, \"p99_us\": {:.2}, \"mean_us\": {:.2}, \"iters\": {}}}",
+        s.p50.as_nanos() as f64 / 1_000.0,
+        s.p99.as_nanos() as f64 / 1_000.0,
+        s.mean.as_nanos() as f64 / 1_000.0,
+        s.iters
+    )
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Whether `s` can appear bare as a Cypher label/key identifier.
+fn identifier_safe(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// The busiest identifier-safe edge label and a label of one of its
+/// source nodes.
+fn busiest_edge(pg: &PropertyGraph) -> Option<(String, String)> {
+    let mut edges: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for id in pg.edge_ids() {
+        for label in pg.edge_labels_of(id) {
+            if identifier_safe(label) {
+                *edges.entry(label.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    let (edge_label, _) = edges
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))?;
+    let src = pg.edge_ids().find_map(|id| {
+        if !pg.edge_labels_of(id).contains(&edge_label.as_str()) {
+            return None;
+        }
+        pg.labels_of(pg.edge(id).src)
+            .iter()
+            .find(|l| identifier_safe(l))
+            .map(|l| l.to_string())
+    })?;
+    Some((edge_label, src))
+}
+
+/// An equality probe on a real `(label, key, literal)` present in the PG.
+fn equality_query(pg: &PropertyGraph) -> Option<String> {
+    for id in pg.node_ids() {
+        for label in pg.labels_of(id) {
+            if !identifier_safe(label) {
+                continue;
+            }
+            for (key, value) in &pg.node(id).props {
+                let key = pg.resolve(*key);
+                if !identifier_safe(key) {
+                    continue;
+                }
+                let literal = match value {
+                    Value::String(s) if !s.contains(['"', '\\']) => format!("{s:?}"),
+                    Value::Int(i) => i.to_string(),
+                    _ => continue,
+                };
+                return Some(format!(
+                    "MATCH (n:{label}) WHERE n.{key} = {literal} RETURN n.iri"
+                ));
+            }
+        }
+    }
+    None
+}

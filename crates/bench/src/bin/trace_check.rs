@@ -4,14 +4,16 @@
 //! fields present, begins/ends balanced with proper nesting via
 //! [`s3pg_obs::validate_span_tree`]), optionally the `metrics.json`
 //! summary `s3pg-convert --metrics` writes, the `BENCH_query.json`
-//! document the `query_runtime` bench emits, and/or the
-//! `BENCH_compact.json` document the `compact` bench emits — without
-//! needing any external tooling in CI.
+//! document the `query_runtime` bench emits, the `BENCH_compact.json`
+//! document the `compact` bench emits, and/or the
+//! `BENCH_vectorized.json` document the `vectorized` bench emits —
+//! without needing any external tooling in CI.
 //!
 //! ```text
 //! trace_check --trace out/trace.jsonl [--metrics out/metrics.json]
 //! trace_check --query-bench BENCH_query.json
 //! trace_check --compact-bench BENCH_compact.json
+//! trace_check --vectorized-bench BENCH_vectorized.json
 //! ```
 //!
 //! Exits 0 and prints one summary line per artifact on success; prints
@@ -23,13 +25,14 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: trace_check [--trace FILE.jsonl] [--metrics FILE.json] \
-     [--query-bench FILE.json] [--compact-bench FILE.json]";
+     [--query-bench FILE.json] [--compact-bench FILE.json] [--vectorized-bench FILE.json]";
 
 fn main() {
     let mut trace_path: Option<PathBuf> = None;
     let mut metrics_path: Option<PathBuf> = None;
     let mut query_bench_path: Option<PathBuf> = None;
     let mut compact_bench_path: Option<PathBuf> = None;
+    let mut vectorized_bench_path: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -37,6 +40,7 @@ fn main() {
             "--metrics" => metrics_path = it.next().map(PathBuf::from),
             "--query-bench" => query_bench_path = it.next().map(PathBuf::from),
             "--compact-bench" => compact_bench_path = it.next().map(PathBuf::from),
+            "--vectorized-bench" => vectorized_bench_path = it.next().map(PathBuf::from),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -44,9 +48,13 @@ fn main() {
             other => fail(&format!("unknown argument '{other}'\n{USAGE}")),
         }
     }
-    if trace_path.is_none() && query_bench_path.is_none() && compact_bench_path.is_none() {
+    if trace_path.is_none()
+        && query_bench_path.is_none()
+        && compact_bench_path.is_none()
+        && vectorized_bench_path.is_none()
+    {
         fail(&format!(
-            "--trace, --query-bench, or --compact-bench is required\n{USAGE}"
+            "--trace, --query-bench, --compact-bench, or --vectorized-bench is required\n{USAGE}"
         ));
     }
 
@@ -81,6 +89,15 @@ fn main() {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
         match check_compact_bench(&text) {
+            Ok(summary) => println!("{}: {summary}", path.display()),
+            Err(e) => fail(&format!("{}: {e}", path.display())),
+        }
+    }
+
+    if let Some(path) = vectorized_bench_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+        match check_vectorized_bench(&text) {
             Ok(summary) => println!("{}: {summary}", path.display()),
             Err(e) => fail(&format!("{}: {e}", path.display())),
         }
@@ -389,6 +406,134 @@ fn check_compact_bench(text: &str) -> Result<String, String> {
         "ok — compact {ratio:.2}x smaller ({compact_bytes} vs {mutable_bytes} bytes), \
          {} queries benched",
         queries.len(),
+    ))
+}
+
+/// Validate the `BENCH_vectorized.json` document emitted by the
+/// `vectorized` bench and enforce its perf acceptance gates:
+///
+/// * every tier at **scale ≥ 10** must contain at least one
+///   `traversal*`-tagged query, and every such query must show a
+///   vectorized p50 win of **≥ 2×** over the interpreter — that is the
+///   headline claim of the batched CSR-gather pipeline;
+/// * every tier at **scale < 10** (the CI smoke tier) must show **no
+///   query regressing by more than 1.05×** — the dispatch threshold is
+///   supposed to keep tiny probes on the interpreted path, so a
+///   regression here means the cutover is misplaced.
+///
+/// Timing ratios at the smoke tier are noisy, but the regression bound
+/// is deliberately loose (0.952×) and the committed repo-root artifact
+/// is produced at full scale, so both gates are enforced outright.
+fn check_vectorized_bench(text: &str) -> Result<String, String> {
+    let value = json::parse(text.trim()).map_err(|e| e.to_string())?;
+    value
+        .get("dataset")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"dataset\"")?;
+    let tiers = value
+        .get("tiers")
+        .and_then(Json::as_array)
+        .ok_or("missing \"tiers\" array")?;
+    if tiers.is_empty() {
+        return Err("\"tiers\" is empty".to_string());
+    }
+
+    let mut total_queries = 0usize;
+    let mut gated_traversals = 0usize;
+    for (ti, tier) in tiers.iter().enumerate() {
+        let tcx = format!("tiers[{ti}]");
+        let scale = tier
+            .get("scale")
+            .and_then(Json::as_f64)
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .ok_or(format!("{tcx}: missing positive numeric field \"scale\""))?;
+        for field in ["nodes", "edges"] {
+            tier.get(field)
+                .and_then(Json::as_u64)
+                .ok_or(format!("{tcx}: missing numeric field \"{field}\""))?;
+        }
+        let queries = tier
+            .get("queries")
+            .and_then(Json::as_array)
+            .ok_or(format!("{tcx}: missing \"queries\" array"))?;
+        if queries.is_empty() {
+            return Err(format!("{tcx}: \"queries\" is empty"));
+        }
+        let mut tier_traversals = 0usize;
+        for (i, entry) in queries.iter().enumerate() {
+            let context = format!("{tcx}.queries[{i}]");
+            let tag = entry
+                .get("tag")
+                .and_then(Json::as_str)
+                .ok_or(format!("{context}: missing string field \"tag\""))?;
+            entry
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or(format!("{context}: missing string field \"query\""))?;
+            entry
+                .get("rows")
+                .and_then(Json::as_u64)
+                .ok_or(format!("{context}: missing numeric field \"rows\""))?;
+            for side in ["interpreted", "vectorized"] {
+                let s = entry
+                    .get(side)
+                    .ok_or(format!("{context}: missing field \"{side}\""))?;
+                for stat in ["p50_us", "p99_us", "mean_us"] {
+                    let v = s
+                        .get(stat)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("{context}.{side}: missing numeric \"{stat}\""))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("{context}.{side}.{stat}: bad value {v}"));
+                    }
+                }
+                s.get("iters")
+                    .and_then(Json::as_u64)
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("{context}.{side}: missing positive \"iters\""))?;
+            }
+            let speedup = entry
+                .get("p50_interpreted_over_vectorized")
+                .and_then(Json::as_f64)
+                .ok_or(format!(
+                    "{context}: missing numeric \"p50_interpreted_over_vectorized\""
+                ))?;
+            if !speedup.is_finite() || speedup <= 0.0 {
+                return Err(format!(
+                    "{context}.p50_interpreted_over_vectorized: bad value {speedup}"
+                ));
+            }
+            if scale >= 10.0 && tag.starts_with("traversal") {
+                tier_traversals += 1;
+                if speedup < 2.0 {
+                    return Err(format!(
+                        "{context} (\"{tag}\", scale {scale}): vectorized p50 win is only \
+                         {speedup:.2}x over interpreted (need >= 2x on traversals at scale >= 10)"
+                    ));
+                }
+            }
+            if scale < 10.0 && speedup < 1.0 / 1.05 {
+                return Err(format!(
+                    "{context} (\"{tag}\", scale {scale}): vectorized regresses \
+                     {:.2}x vs interpreted (no query may regress > 1.05x at scale < 10)",
+                    1.0 / speedup
+                ));
+            }
+            total_queries += 1;
+        }
+        if scale >= 10.0 && tier_traversals == 0 {
+            return Err(format!(
+                "{tcx} (scale {scale}): no \"traversal*\"-tagged query — the >= 2x \
+                 traversal gate has nothing to check"
+            ));
+        }
+        gated_traversals += tier_traversals;
+    }
+
+    Ok(format!(
+        "ok — {} tier(s), {total_queries} queries benched, {gated_traversals} traversal \
+         measurement(s) >= 2x at scale >= 10",
+        tiers.len(),
     ))
 }
 

@@ -503,6 +503,60 @@ impl CompactGraph {
             .collect()
     }
 
+    // ---- Batch accessors for the vectorized execution pipeline ----
+    //
+    // The row-at-a-time `PgRead` surface takes `&str` labels/keys and
+    // re-probes the key dictionary on every call. Vectorized operators
+    // resolve each label/key to a `Sym` once per batch and then work
+    // against these symbol-keyed accessors, which answer from the
+    // columnar arrays with no hashing and no allocation.
+
+    /// Resolve a label or property key to its frozen symbol. `None` means
+    /// the graph has never seen the string — every probe with it is empty.
+    #[inline]
+    pub fn key_sym(&self, name: &str) -> Option<Sym> {
+        self.keys.get(name)
+    }
+
+    /// The id-sorted label postings slice for an already-resolved label.
+    #[inline]
+    pub fn label_postings(&self, label: Sym) -> &[NodeId] {
+        self.by_label
+            .get(&label)
+            .map(|&(s, t)| &self.by_label_postings[s as usize..t as usize])
+            .unwrap_or(&[])
+    }
+
+    /// The label symbols of a node (columnar row slice).
+    #[inline]
+    pub fn node_label_syms(&self, id: NodeId) -> &[Sym] {
+        self.node_labels_row(id)
+    }
+
+    /// The label symbols of an edge (columnar row slice).
+    #[inline]
+    pub fn edge_label_syms(&self, id: EdgeId) -> &[Sym] {
+        self.edge_labels_row(id)
+    }
+
+    /// A node property by already-resolved key symbol, decoded.
+    #[inline]
+    pub fn node_prop_sym(&self, id: NodeId, key: Sym) -> Option<Value> {
+        self.node_props_row(id)
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| self.decode(v))
+    }
+
+    /// An edge property by already-resolved key symbol, decoded.
+    #[inline]
+    pub fn edge_prop_sym(&self, id: EdgeId, key: Sym) -> Option<Value> {
+        self.edge_props_row(id)
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| self.decode(v))
+    }
+
     #[inline]
     fn node_labels_row(&self, id: NodeId) -> &[Sym] {
         let s = self.node_label_offsets[id.0 as usize] as usize;
@@ -635,6 +689,10 @@ impl PgRead for CompactGraph {
 
     fn edge_live(&self, _id: EdgeId) -> bool {
         true
+    }
+
+    fn as_compact(&self) -> Option<&CompactGraph> {
+        Some(self)
     }
 }
 

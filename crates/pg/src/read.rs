@@ -4,7 +4,7 @@
 //! is generic over [`PgRead`], so planned, sequential, and parallel
 //! evaluation run unchanged over either the mutable
 //! [`PropertyGraph`](crate::graph::PropertyGraph) or the frozen, read-optimized
-//! [`CompactGraph`](crate::compact::CompactGraph). The trait is shaped so
+//! [`CompactGraph`]. The trait is shaped so
 //! both implementations answer from slices with no per-call allocation:
 //!
 //! * adjacency is exposed as raw `&[EdgeId]` rows plus an [`edge_live`]
@@ -20,6 +20,7 @@
 //! [`edge_live`]: PgRead::edge_live
 //! [`edge_has_any_label`]: PgRead::edge_has_any_label
 
+use crate::compact::CompactGraph;
 use crate::graph::{EdgeId, NodeId};
 use crate::value::Value;
 
@@ -71,4 +72,15 @@ pub trait PgRead: Sync {
 
     /// Whether an edge id from an adjacency row refers to a live edge.
     fn edge_live(&self, id: EdgeId) -> bool;
+
+    /// Downcast to the frozen [`CompactGraph`] when this reader is one.
+    ///
+    /// The vectorized execution pipeline needs the compact form's batch
+    /// accessors (symbol-keyed columns, postings slices, CSR gathers);
+    /// generic callers probe through this hook and fall back to the
+    /// row-at-a-time interpreter when it returns `None` (the mutable
+    /// graph, or test doubles).
+    fn as_compact(&self) -> Option<&CompactGraph> {
+        None
+    }
 }

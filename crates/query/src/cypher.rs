@@ -43,7 +43,7 @@ impl fmt::Display for CypherError {
 
 impl std::error::Error for CypherError {}
 
-fn err<T>(msg: impl Into<String>) -> Result<T, CypherError> {
+pub(crate) fn err<T>(msg: impl Into<String>) -> Result<T, CypherError> {
     Err(CypherError(msg.into()))
 }
 
@@ -204,15 +204,15 @@ fn collect_param_names(expr: &Expr, out: &mut std::collections::BTreeSet<String>
 /// numeric equality (`Int`/`Float`/`Year`) is handled by probing every
 /// equivalent key representation.
 #[derive(Debug, Clone, PartialEq)]
-struct Probe {
-    label: String,
-    key: String,
-    keys: ProbeKeys,
+pub(crate) struct Probe {
+    pub(crate) label: String,
+    pub(crate) key: String,
+    pub(crate) keys: ProbeKeys,
 }
 
 /// What the probe looks up in the `(label, key, value)` index.
 #[derive(Debug, Clone, PartialEq)]
-enum ProbeKeys {
+pub(crate) enum ProbeKeys {
     /// Literal predicate: index keys whose union covers every scalar the
     /// predicate can equal, computed at plan time.
     Values(Vec<Value>),
@@ -224,24 +224,24 @@ enum ProbeKeys {
 
 /// Execution plan for one [`SingleQuery`].
 #[derive(Debug, Clone, PartialEq, Default)]
-struct SinglePlan {
+pub(crate) struct SinglePlan {
     /// Pattern execution order: indices into `SingleQuery::patterns`,
     /// greedily arranged by estimated start cardinality (bound-variable
     /// anchors first, mirroring the SPARQL `join_patterns` order).
-    order: Vec<usize>,
+    pub(crate) order: Vec<usize>,
     /// Per pattern (aligned with `SingleQuery::patterns`): index probe for
     /// the start binding, when a `WHERE var.key = literal` conjunct applies.
-    probes: Vec<Option<Probe>>,
+    pub(crate) probes: Vec<Option<Probe>>,
     /// Per pattern (aligned with `SingleQuery::patterns`): evaluate the
     /// pattern *backwards* — its single hop ends in a variable bound by an
     /// earlier pattern, so anchoring at that node and walking the opposite
     /// adjacency list is O(degree) instead of a start-bucket scan per row.
-    reversed: Vec<bool>,
+    pub(crate) reversed: Vec<bool>,
     /// Per pattern (aligned with `SingleQuery::patterns`): the start
     /// cardinality estimate at selection time — 0 for a bound anchor, 1
     /// for a reversed pattern, otherwise the probe/bucket size. Feeds the
     /// parallel-engagement work estimate.
-    cost: Vec<usize>,
+    pub(crate) cost: Vec<usize>,
 }
 
 /// A cardinality-ordered execution plan: one `SinglePlan` per UNION ALL
@@ -249,7 +249,7 @@ struct SinglePlan {
 /// valid for the snapshot it was computed against.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CypherPlan {
-    plans: Vec<SinglePlan>,
+    pub(crate) plans: Vec<SinglePlan>,
 }
 
 /// Compute an execution plan for a parsed query against `pg`'s current
@@ -467,6 +467,34 @@ pub fn explain(query: &CypherQuery, plan: &CypherPlan, threads: usize) -> PlanNo
         let mut union = PlanNode::new("Union", "union").arg("parts", parts.len().to_string());
         union.children = parts;
         union
+    }
+}
+
+/// [`explain`] for evaluation over a compact snapshot: the same operator
+/// tree with `vectorized=true` on every operator the batched columnar
+/// pipeline executes. Parts with `OPTIONAL MATCH` fall back to the
+/// interpreter after pattern expansion, so only their pattern-phase
+/// operators carry the marker.
+pub fn explain_compact(query: &CypherQuery, plan: &CypherPlan, threads: usize) -> PlanNode {
+    let mut tree = explain(query, plan, threads);
+    for (i, part) in query.parts.iter().enumerate() {
+        mark_vectorized(&mut tree, i, part.optional_patterns.is_empty());
+    }
+    tree
+}
+
+/// Tag part `i`'s operators with `vectorized=true`: all of them when the
+/// whole part runs batched (`all`), otherwise only the pattern-expansion
+/// spine (`pat*` operator ids and the parallel fan-out).
+fn mark_vectorized(node: &mut PlanNode, part: usize, all: bool) {
+    let prefix = format!("p{part}.");
+    if let Some(rest) = node.id.strip_prefix(&prefix) {
+        if all || rest.starts_with("pat") || rest == "parallel" {
+            node.args.push(("vectorized".into(), "true".into()));
+        }
+    }
+    for child in &mut node.children {
+        mark_vectorized(child, part, all);
     }
 }
 
@@ -1311,13 +1339,13 @@ impl Parser {
 
 /// One bound variable.
 #[derive(Debug, Clone, PartialEq)]
-enum Binding {
+pub(crate) enum Binding {
     Node(NodeId),
     Edge(EdgeId),
     Val(Value),
 }
 
-type Row = FxHashMap<String, Binding>;
+pub(crate) type Row = FxHashMap<String, Binding>;
 
 /// Query results: aliases plus rows of nullable values.
 #[derive(Debug, Clone, PartialEq)]
@@ -1405,7 +1433,7 @@ pub fn evaluate_planned_params<G: PgRead>(
     params: &Params,
     threads: usize,
 ) -> Result<Rows, CypherError> {
-    evaluate_planned_inner(pg, query, plan, params, threads, None)
+    evaluate_planned_inner(pg, query, plan, params, threads, None, true)
 }
 
 /// [`evaluate_planned_params`] with per-operator profiling: every operator
@@ -1421,9 +1449,25 @@ pub fn evaluate_planned_profiled<G: PgRead>(
     threads: usize,
     sink: &ProfSink,
 ) -> Result<Rows, CypherError> {
-    evaluate_planned_inner(pg, query, plan, params, threads, Some(sink))
+    evaluate_planned_inner(pg, query, plan, params, threads, Some(sink), true)
 }
 
+/// [`evaluate_planned_params`] with the vectorized-over-compact dispatch
+/// disabled: every operator runs the row-at-a-time interpreter even when
+/// `pg` is a [`CompactGraph`](s3pg_pg::CompactGraph). This is the
+/// differential reference the vectorized pipeline is pinned against, and
+/// the A-side of the vectorized benchmark.
+pub fn evaluate_planned_interpreted<G: PgRead>(
+    pg: &G,
+    query: &CypherQuery,
+    plan: &CypherPlan,
+    params: &Params,
+    threads: usize,
+) -> Result<Rows, CypherError> {
+    evaluate_planned_inner(pg, query, plan, params, threads, None, false)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn evaluate_planned_inner<G: PgRead>(
     pg: &G,
     query: &CypherQuery,
@@ -1431,6 +1475,7 @@ fn evaluate_planned_inner<G: PgRead>(
     params: &Params,
     threads: usize,
     prof: Option<&ProfSink>,
+    vectorize: bool,
 ) -> Result<Rows, CypherError> {
     debug_assert_eq!(plan.plans.len(), query.parts.len());
     for name in param_names(query) {
@@ -1438,6 +1483,11 @@ fn evaluate_planned_inner<G: PgRead>(
             return err(format!("parameter ${name} is not bound"));
         }
     }
+    // Physical dispatch: over the frozen compact snapshot the same plan
+    // runs through the batched columnar operators; over the mutable graph
+    // (or when the caller pins the interpreted reference) it runs the
+    // row-at-a-time interpreter. Both produce bit-identical rows.
+    let compact = if vectorize { pg.as_compact() } else { None };
     let mut columns: Vec<String> = Vec::new();
     let mut all_rows: Vec<Vec<Option<Value>>> = Vec::new();
     for (i, part) in query.parts.iter().enumerate() {
@@ -1445,13 +1495,31 @@ fn evaluate_planned_inner<G: PgRead>(
         // Dispatch once per UNION part: the unprofiled arm monomorphizes
         // with the zero-sized NoProf hook, so its loop bodies carry no
         // instrumentation at all.
-        let part_rows = match prof {
-            None => {
+        let part_rows = match (compact, prof) {
+            (Some(cg), None) => crate::vectorized::evaluate_part_vectorized(
+                cg,
+                part,
+                &plan.plans[i],
+                &probes,
+                params,
+                threads,
+                NoProf,
+            )?,
+            (Some(cg), Some(sink)) => crate::vectorized::evaluate_part_vectorized(
+                cg,
+                part,
+                &plan.plans[i],
+                &probes,
+                params,
+                threads,
+                Prof { sink, part: i },
+            )?,
+            (None, None) => {
                 let rows =
                     expand_patterns_planned(pg, part, &plan.plans[i], &probes, threads, NoProf)?;
                 finish_single_inner(pg, part, rows, params, NoProf)?
             }
-            Some(sink) => {
+            (None, Some(sink)) => {
                 let hook = Prof { sink, part: i };
                 let rows =
                     expand_patterns_planned(pg, part, &plan.plans[i], &probes, threads, hook)?;
@@ -1491,6 +1559,11 @@ impl ProfHook for Prof<'_> {
     fn note_chunks(self, id: std::fmt::Arguments<'_>, chunks: usize) {
         self.sink
             .note_chunks(&format!("p{}.{id}", self.part), chunks as u64);
+    }
+
+    fn note_batches(self, id: std::fmt::Arguments<'_>, batches: usize) {
+        self.sink
+            .note_batches(&format!("p{}.{id}", self.part), batches as u64);
     }
 }
 
@@ -1570,7 +1643,7 @@ pub(crate) const PARALLEL_MIN_WORK: usize = 4096;
 /// into contiguous chunks, each expanded through the whole pattern chain by
 /// a scoped worker; concatenating per-chunk rows in chunk order reproduces
 /// the sequential row order exactly.
-fn expand_patterns_planned<G: PgRead, P: ProfHook>(
+pub(crate) fn expand_patterns_planned<G: PgRead, P: ProfHook>(
     pg: &G,
     q: &SingleQuery,
     sp: &SinglePlan,
@@ -1671,7 +1744,7 @@ fn finish_single<G: PgRead>(
 /// as if uninstrumented; when profiling, stage boundaries record
 /// `rows.len()` and elapsed time — never anything per row, so output is
 /// identical.
-fn finish_single_inner<G: PgRead, P: ProfHook>(
+pub(crate) fn finish_single_inner<G: PgRead, P: ProfHook>(
     pg: &G,
     q: &SingleQuery,
     rows: Vec<Row>,
@@ -1749,6 +1822,14 @@ fn finish_single_inner<G: PgRead, P: ProfHook>(
     } else {
         prof.record(format_args!("project"), out.len(), started);
     }
+    shape_rows(q, &mut out, prof);
+    Ok(Rows { columns, rows: out })
+}
+
+/// The result-shaping tail every evaluation path shares: DISTINCT,
+/// ORDER BY, SKIP, LIMIT over already-projected value rows. Factored out
+/// so the vectorized pipeline runs byte-identical shaping code.
+pub(crate) fn shape_rows<P: ProfHook>(q: &SingleQuery, out: &mut Vec<Vec<Option<Value>>>, prof: P) {
     if q.distinct {
         let started = prof.begin();
         let mut seen = FxHashSet::default();
@@ -1791,7 +1872,6 @@ fn finish_single_inner<G: PgRead, P: ProfHook>(
         out.truncate(limit);
         prof.record(format_args!("limit"), out.len(), started);
     }
-    Ok(Rows { columns, rows: out })
 }
 
 /// Cypher's implicit grouping: non-aggregated RETURN items form the group
@@ -1802,6 +1882,25 @@ fn aggregate_rows<G: PgRead>(
     q: &SingleQuery,
     rows: &[Row],
     params: &Params,
+) -> Vec<Vec<Option<Value>>> {
+    aggregate_core(q, rows.len(), |row, item_index| {
+        let expr = match &q.return_items[item_index].0 {
+            ReturnItem::Expr(e) => e,
+            // Only called for count items that carry an argument.
+            ReturnItem::Count { arg, .. } => arg.as_ref().expect("count item has an argument"),
+        };
+        eval(pg, expr, &rows[row], params)
+    })
+}
+
+/// The grouping/counting core of [`aggregate_rows`], parameterized over
+/// how a return item is evaluated for a row index — the interpreted path
+/// evaluates against binding rows, the vectorized path against batch
+/// columns, and both flow through this identical grouping logic.
+pub(crate) fn aggregate_core(
+    q: &SingleQuery,
+    n_rows: usize,
+    mut eval_item: impl FnMut(usize, usize) -> Option<Value>,
 ) -> Vec<Vec<Option<Value>>> {
     use std::collections::BTreeMap;
     // Group key: rendered non-aggregate values in item order.
@@ -1820,12 +1919,12 @@ fn aggregate_rows<G: PgRead>(
         .map(|(i, _)| i)
         .collect();
     let mut groups: BTreeMap<Vec<String>, Group> = BTreeMap::new();
-    for row in rows {
+    for row in 0..n_rows {
         let mut key = Vec::new();
         let mut key_values = Vec::new();
-        for (item, _) in &q.return_items {
-            if let ReturnItem::Expr(e) = item {
-                let v = eval(pg, e, row, params);
+        for (item_index, (item, _)) in q.return_items.iter().enumerate() {
+            if let ReturnItem::Expr(_) = item {
+                let v = eval_item(row, item_index);
                 key.push(v.as_ref().map_or("∅".to_string(), |v| format!("{v:?}")));
                 key_values.push(v);
             }
@@ -1841,8 +1940,8 @@ fn aggregate_rows<G: PgRead>(
             if let (ReturnItem::Count { distinct, arg }, _) = &q.return_items[item_index] {
                 match arg {
                     None => group.counts[slot] += 1,
-                    Some(expr) => {
-                        if let Some(v) = eval(pg, expr, row, params) {
+                    Some(_) => {
+                        if let Some(v) = eval_item(row, item_index) {
                             if *distinct {
                                 group.distinct_seen[slot].insert(format!("{v:?}"));
                             } else {
@@ -1888,13 +1987,13 @@ fn aggregate_rows<G: PgRead>(
 /// planned, else label scan, else every live node. Probe results are
 /// merged id-sorted, matching label-posting order, so indexed enumeration
 /// visits nodes in the same order a label scan would.
-enum Candidates<'a> {
+pub(crate) enum Candidates<'a> {
     Borrowed(&'a [NodeId]),
     Owned(Vec<NodeId>),
 }
 
 impl Candidates<'_> {
-    fn as_slice(&self) -> &[NodeId] {
+    pub(crate) fn as_slice(&self) -> &[NodeId] {
         match self {
             Candidates::Borrowed(s) => s,
             Candidates::Owned(v) => v,
@@ -1902,7 +2001,7 @@ impl Candidates<'_> {
     }
 }
 
-fn start_candidates<'a, G: PgRead>(
+pub(crate) fn start_candidates<'a, G: PgRead>(
     pg: &'a G,
     start: &NodePattern,
     probe: Option<&Probe>,
@@ -1964,6 +2063,7 @@ fn expand_path_reversed<G: PgRead>(
         .as_deref()
         .expect("reversed pattern has an end variable");
     let mut out: Vec<Row> = Vec::new();
+    let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
     for row in rows {
         let anchor = match row.get(end_var) {
             Some(Binding::Node(n)) => *n,
@@ -1981,7 +2081,7 @@ fn expand_path_reversed<G: PgRead>(
         if !node_matches(pg, anchor, end) {
             continue;
         }
-        let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
+        candidates.clear();
         let mut collect = |edges: &[EdgeId], incoming: bool| {
             for &e in edges {
                 if !pg.edge_live(e) {
@@ -2004,7 +2104,7 @@ fn expand_path_reversed<G: PgRead>(
                 collect(pg.in_adjacency(anchor), true);
             }
         }
-        for (e, start_node) in candidates {
+        for &(e, start_node) in &candidates {
             if !node_matches(pg, start_node, &pattern.start) {
                 continue;
             }
@@ -2021,14 +2121,17 @@ fn expand_path_reversed<G: PgRead>(
     Ok(out)
 }
 
-fn expand_path<G: PgRead>(
+pub(crate) fn expand_path<G: PgRead>(
     pg: &G,
     pattern: &PathPattern,
     probe: Option<&Probe>,
     rows: Vec<Row>,
 ) -> Result<Vec<Row>, CypherError> {
-    // Bind the start node.
+    // Bind the start node. Start candidates are row-independent, so they
+    // are enumerated (and probe results sorted/deduped) once for the whole
+    // row set, not once per row.
     let mut current: Vec<Row> = Vec::new();
+    let mut candidates: Option<Candidates<'_>> = None;
     for row in rows {
         let pre_bound = match pattern.start.var.as_ref().and_then(|v| row.get(v)) {
             Some(Binding::Node(n)) => Some(*n),
@@ -2044,7 +2147,8 @@ fn expand_path<G: PgRead>(
                 }
             }
             None => {
-                let candidates = start_candidates(pg, &pattern.start, probe);
+                let candidates =
+                    candidates.get_or_insert_with(|| start_candidates(pg, &pattern.start, probe));
                 current.extend(seed_rows(pg, &pattern.start, candidates.as_slice(), row));
             }
         }
@@ -2059,13 +2163,16 @@ fn expand_hops<G: PgRead>(
     pattern: &PathPattern,
     mut current: Vec<Row>,
 ) -> Result<Vec<Row>, CypherError> {
+    // One candidate buffer for the whole expansion, cleared per row —
+    // the per-row `Vec` churn here dominated allocation on hot traversals.
+    let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
     for (rel, node) in &pattern.hops {
         let mut next: Vec<Row> = Vec::new();
         for row in &current {
             let Some(Binding::Node(anchor)) = row.get("\u{0}anchor").cloned() else {
                 continue;
             };
-            let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
+            candidates.clear();
             let mut collect = |edges: &[EdgeId], outgoing: bool| {
                 for &e in edges {
                     if !pg.edge_live(e) {
@@ -2086,7 +2193,7 @@ fn expand_hops<G: PgRead>(
                     collect(pg.in_adjacency(anchor), false);
                 }
             }
-            for (e, target) in candidates {
+            for &(e, target) in &candidates {
                 if !node_matches(pg, target, node) {
                     continue;
                 }
@@ -2120,7 +2227,7 @@ fn expand_hops<G: PgRead>(
     Ok(current)
 }
 
-fn node_matches<G: PgRead>(pg: &G, node: NodeId, pattern: &NodePattern) -> bool {
+pub(crate) fn node_matches<G: PgRead>(pg: &G, node: NodeId, pattern: &NodePattern) -> bool {
     pattern.labels.iter().all(|l| pg.has_label(node, l))
 }
 
@@ -2177,7 +2284,7 @@ fn eval<G: PgRead>(pg: &G, expr: &Expr, row: &Row, params: &Params) -> Option<Va
     }
 }
 
-fn compare(l: &Value, r: &Value) -> Option<std::cmp::Ordering> {
+pub(crate) fn compare(l: &Value, r: &Value) -> Option<std::cmp::Ordering> {
     use Value::*;
     match (l, r) {
         (Int(a), Int(b)) => Some(a.cmp(b)),

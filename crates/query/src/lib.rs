@@ -23,5 +23,6 @@ pub mod cypher;
 pub mod profile;
 pub mod results;
 pub mod sparql;
+pub(crate) mod vectorized;
 
 pub use results::{accuracy, render_term, render_value, ResultSet};

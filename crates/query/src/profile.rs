@@ -44,6 +44,9 @@ pub struct PlanNode {
     pub time_us: Option<u64>,
     /// Parallel chunks this operator fanned out into (profile only).
     pub chunks: Option<u64>,
+    /// Column batches this operator processed on the vectorized path
+    /// (profile only; absent for interpreted operators).
+    pub batches: Option<u64>,
     /// Input operators (leaf-first execution: children run before parents).
     pub children: Vec<PlanNode>,
 }
@@ -80,6 +83,9 @@ impl PlanNode {
             self.time_us = Some(stat.time_us);
             if stat.chunks > 0 {
                 self.chunks = Some(stat.chunks);
+            }
+            if stat.batches > 0 {
+                self.batches = Some(stat.batches);
             }
         }
         for child in &mut self.children {
@@ -121,6 +127,9 @@ pub struct OpStat {
     pub invocations: u64,
     /// Parallel chunks recorded via [`ProfSink::note_chunks`].
     pub chunks: u64,
+    /// Column batches recorded via [`ProfSink::note_batches`] (vectorized
+    /// operators only; zero on the interpreted path).
+    pub batches: u64,
 }
 
 /// A sink collecting per-operator stats during one profiled evaluation.
@@ -152,6 +161,13 @@ impl ProfSink {
     pub fn note_chunks(&self, id: &str, n: u64) {
         let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
         stats.entry(id.to_string()).or_default().chunks += n;
+    }
+
+    /// Record that operator `id` processed `n` column batches (the
+    /// vectorized physical path; summed across parallel chunks).
+    pub fn note_batches(&self, id: &str, n: u64) {
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.entry(id.to_string()).or_default().batches += n;
     }
 
     /// The accumulated stat for `id`, if any invocation recorded.
@@ -189,6 +205,9 @@ pub(crate) trait ProfHook: Copy + Send + Sync {
     fn record(self, id: Arguments<'_>, rows: usize, started: Option<Instant>);
     /// Record that stage `id` fanned out into `chunks` parallel workers.
     fn note_chunks(self, id: Arguments<'_>, chunks: usize);
+    /// Record that stage `id` processed `batches` column batches
+    /// (vectorized operators only).
+    fn note_batches(self, id: Arguments<'_>, batches: usize);
 }
 
 /// The disabled hook: all methods compile away.
@@ -204,6 +223,8 @@ impl ProfHook for NoProf {
     fn record(self, _id: Arguments<'_>, _rows: usize, _started: Option<Instant>) {}
     #[inline(always)]
     fn note_chunks(self, _id: Arguments<'_>, _chunks: usize) {}
+    #[inline(always)]
+    fn note_batches(self, _id: Arguments<'_>, _batches: usize) {}
 }
 
 /// The enabled hook with unprefixed ids (the SPARQL engine).
@@ -217,6 +238,9 @@ impl ProfHook for &ProfSink {
     }
     fn note_chunks(self, id: Arguments<'_>, chunks: usize) {
         ProfSink::note_chunks(self, &id.to_string(), chunks as u64);
+    }
+    fn note_batches(self, id: Arguments<'_>, batches: usize) {
+        ProfSink::note_batches(self, &id.to_string(), batches as u64);
     }
 }
 

@@ -951,18 +951,35 @@ fn join_in_order<P: ProfHook>(
     graph: &Graph,
     compiled: &[Compiled],
     order: &[usize],
-    mut results: Vec<Vec<Option<Term>>>,
+    results: Vec<Vec<Option<Term>>>,
     prof: P,
 ) -> Vec<Vec<Option<Term>>> {
+    if order.is_empty() || results.is_empty() {
+        return results;
+    }
+    // Bindings travel through the join as one flat column-major-agnostic
+    // buffer of `stride` slots per row ([`Term`] is `Copy`): each match
+    // extends the output by `memcpy` instead of cloning a fresh `Vec` per
+    // emitted row, and a repeated-variable mismatch just truncates the
+    // appended slice. Row order and contents are identical to the old
+    // row-at-a-time join; only the allocation pattern changes.
+    let stride = results[0].len();
+    let mut n_rows = results.len();
+    let mut flat: Vec<Option<Term>> = Vec::with_capacity(n_rows * stride);
+    for row in &results {
+        flat.extend_from_slice(row);
+    }
     for &pattern_index in order {
-        if results.is_empty() {
+        if n_rows == 0 {
             break;
         }
         let started = prof.begin();
         let c = &compiled[pattern_index];
 
-        let mut next: Vec<Vec<Option<Term>>> = Vec::new();
-        for binding in &results {
+        let mut next: Vec<Option<Term>> = Vec::new();
+        let mut next_rows = 0usize;
+        for r in 0..n_rows {
+            let binding = &flat[r * stride..(r + 1) * stride];
             let (s, s_free) = match resolve_slot(c.s, binding) {
                 ResolvedSlot::Term(t) => (t, None),
                 ResolvedSlot::Free(i) => (None, Some(i)),
@@ -983,33 +1000,40 @@ fn join_in_order<P: ProfHook>(
                 ResolvedSlot::Pred(_) => unreachable!(),
             };
             for t in graph.match_pattern(s, p, o) {
-                let mut row = binding.clone();
+                let base = next.len();
+                next.extend_from_slice(&flat[r * stride..(r + 1) * stride]);
                 if let Some(i) = s_free {
-                    row[i] = Some(t.s);
+                    next[base + i] = Some(t.s);
                 }
                 if let Some(i) = p_free {
                     let pt = Term::Iri(t.p);
-                    if s_free == Some(i) && row[i] != Some(pt) {
+                    if s_free == Some(i) && next[base + i] != Some(pt) {
+                        next.truncate(base);
                         continue;
                     }
-                    row[i] = Some(pt);
+                    next[base + i] = Some(pt);
                 }
                 if let Some(i) = o_free {
                     // Same variable may repeat within a pattern.
-                    if (s_free == Some(i) && row[i] != Some(t.o))
-                        || (p_free == Some(i) && row[i] != Some(t.o))
+                    if (s_free == Some(i) && next[base + i] != Some(t.o))
+                        || (p_free == Some(i) && next[base + i] != Some(t.o))
                     {
+                        next.truncate(base);
                         continue;
                     }
-                    row[i] = Some(t.o);
+                    next[base + i] = Some(t.o);
                 }
-                next.push(row);
+                next_rows += 1;
             }
         }
-        results = next;
-        prof.record(format_args!("pat{pattern_index}"), results.len(), started);
+        flat = next;
+        n_rows = next_rows;
+        prof.record(format_args!("pat{pattern_index}"), n_rows, started);
+        prof.note_batches(format_args!("pat{pattern_index}"), 1);
     }
-    results
+    (0..n_rows)
+        .map(|r| flat[r * stride..(r + 1) * stride].to_vec())
+        .collect()
 }
 
 /// Outcome of a query: solution rows, or an aggregate count.
@@ -1399,7 +1423,8 @@ pub fn explain(
         };
         let next = PlanNode::new(op, format!("pat{pi}"))
             .arg("pattern", render_pattern(&query.patterns[pi]))
-            .arg("est_rows", est_rows(&compiled[pi]).to_string());
+            .arg("est_rows", est_rows(&compiled[pi]).to_string())
+            .arg("vectorized", "true");
         node = Some(match node {
             Some(prev) => prev.feed(next),
             None => next,
@@ -1407,8 +1432,11 @@ pub fn explain(
     }
     let mut node = node.unwrap_or_else(|| PlanNode::new("TriplePatternScan", "pat0"));
     if threads > 1 && order.len() >= 2 {
-        node = node
-            .feed(PlanNode::new("ParallelFanOut", "parallel").arg("threads", threads.to_string()));
+        node = node.feed(
+            PlanNode::new("ParallelFanOut", "parallel")
+                .arg("threads", threads.to_string())
+                .arg("vectorized", "true"),
+        );
     }
     for (k, group) in query.optionals.iter().enumerate() {
         let rendered: Vec<String> = group.iter().map(render_pattern).collect();

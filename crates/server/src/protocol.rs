@@ -464,7 +464,7 @@ pub struct QueryStatEntry {
 }
 
 /// Serialize an operator tree as a JSON object: `op`, `id`, then `args`
-/// (object), `rows`/`time_us`/`chunks` (profile annotations), and
+/// (object), `rows`/`time_us`/`chunks`/`batches` (profile annotations), and
 /// `children` — each omitted when empty/absent, so `EXPLAIN` plans carry
 /// no profile fields at all.
 pub fn plan_to_json(node: &PlanNode) -> Json {
@@ -491,6 +491,9 @@ pub fn plan_to_json(node: &PlanNode) -> Json {
     }
     if let Some(chunks) = node.chunks {
         fields.push(("chunks".to_string(), chunks.into()));
+    }
+    if let Some(batches) = node.batches {
+        fields.push(("batches".to_string(), batches.into()));
     }
     if !node.children.is_empty() {
         fields.push((
@@ -523,6 +526,7 @@ pub fn plan_from_json(value: &Json) -> Result<PlanNode, String> {
     node.rows = value.get("rows").and_then(Json::as_u64);
     node.time_us = value.get("time_us").and_then(Json::as_u64);
     node.chunks = value.get("chunks").and_then(Json::as_u64);
+    node.batches = value.get("batches").and_then(Json::as_u64);
     if let Some(children) = value.get("children") {
         for child in children
             .as_array()

@@ -327,11 +327,13 @@ impl Shared {
                         // A fresh plan is the cheapest moment to render the
                         // operator tree once, so the statistics registry
                         // and slow-query log always have a plan to show.
-                        self.query_stats.record_plan(
-                            "cypher",
-                            query,
-                            cypher::explain(&ast, &plan, 1),
-                        );
+                        // Over the compact form the vectorized operators
+                        // are what will actually run, so mark them.
+                        let tree = match snap.compact() {
+                            Some(_) => cypher::explain_compact(&ast, &plan, 1),
+                            None => cypher::explain(&ast, &plan, 1),
+                        };
+                        self.query_stats.record_plan("cypher", query, tree);
                         Ok(CachedCypher::new(ast, snap.epoch, plan))
                     }
                     Err(e) => Err(e.to_string()),
@@ -354,11 +356,16 @@ impl Shared {
         // return before parameter validation — a plan never depends on
         // parameter values, so `EXPLAIN q` works without bindings.
         if mode == Introspect::Explain {
-            let plan = match snap.compact() {
-                Some(compact) => cached.plan_for(compact.as_ref(), snap.epoch, replans),
-                None => cached.plan_for(&snap.pg, snap.epoch, replans),
+            let tree = match snap.compact() {
+                Some(compact) => {
+                    let plan = cached.plan_for(compact.as_ref(), snap.epoch, replans);
+                    cypher::explain_compact(&cached.ast, &plan, 1)
+                }
+                None => {
+                    let plan = cached.plan_for(&snap.pg, snap.epoch, replans);
+                    cypher::explain(&cached.ast, &plan, 1)
+                }
             };
-            let tree = cypher::explain(&cached.ast, &plan, 1);
             self.query_stats.record_plan("cypher", query, tree.clone());
             return Response::Explain {
                 language: "cypher".to_string(),
@@ -379,7 +386,7 @@ impl Shared {
         // window right after an update. PROFILE threads a sink through the
         // same planned evaluation — answers stay bit-identical.
         let sink = (mode == Introspect::Profile).then(ProfSink::new);
-        let (result, plan) = match snap.compact() {
+        let (result, plan, vectorized) = match snap.compact() {
             Some(compact) => {
                 let plan = cached.plan_for(compact.as_ref(), snap.epoch, replans);
                 let _span = tracer().span_here("query_eval");
@@ -400,7 +407,7 @@ impl Shared {
                         1,
                     ),
                 };
-                (result, plan)
+                (result, plan, true)
             }
             None => {
                 let plan = cached.plan_for(&snap.pg, snap.epoch, replans);
@@ -418,7 +425,7 @@ impl Shared {
                         cypher::evaluate_planned_params(&snap.pg, &cached.ast, &plan, &bound, 1)
                     }
                 };
-                (result, plan)
+                (result, plan, false)
             }
         };
         match result {
@@ -430,7 +437,11 @@ impl Shared {
                     .collect();
                 match sink {
                     Some(sink) => {
-                        let mut tree = cypher::explain(&cached.ast, &plan, 1);
+                        let mut tree = if vectorized {
+                            cypher::explain_compact(&cached.ast, &plan, 1)
+                        } else {
+                            cypher::explain(&cached.ast, &plan, 1)
+                        };
                         tree.annotate(&sink);
                         self.query_stats.record_plan("cypher", query, tree.clone());
                         Response::Profile {

@@ -33,6 +33,14 @@ pub struct DatasetSpec {
     pub seed: u64,
 }
 
+/// Standard scale tiers for multi-tier benchmarks: ×1 is the CI smoke
+/// scale (and the no-regression gate), ×10 is where batched execution must
+/// demonstrate its traversal win, ×100 is the offline headroom tier kept
+/// out of CI. Generators scale through [`DatasetSpec::scaled`], so a tier
+/// multiplies instance counts while the class/property schema — and with
+/// it the query set — stays fixed.
+pub const BENCH_TIERS: [f64; 3] = [1.0, 10.0, 100.0];
+
 impl DatasetSpec {
     /// Uniform scale factor on instance counts.
     pub fn scaled(mut self, factor: f64) -> Self {
