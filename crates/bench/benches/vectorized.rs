@@ -2,17 +2,20 @@
 //! evaluation over the same frozen [`CompactGraph`] and the same cached
 //! plan, across scale tiers, emitting a machine-readable
 //! `BENCH_vectorized.json` that `trace_check --vectorized-bench` validates
-//! in CI.
+//! in CI — plus the **morsel scheduler benchmark**: morsel-driven vs
+//! static-chunked parallel execution on uniform and skewed-degree graphs,
+//! and ORDER BY/LIMIT top-K pushdown vs full sort, emitting
+//! `BENCH_morsel.json` for `trace_check --morsel-bench`.
 //!
 //! ```text
-//! cargo bench --bench vectorized -- [--scales 1,10,100] [--out BENCH_vectorized.json]
+//! cargo bench --bench vectorized -- [--scales 1,10,100] \
+//!     [--out BENCH_vectorized.json] [--morsel-out BENCH_morsel.json] \
+//!     [--morsel-only]
 //! ```
 //!
-//! Both sides run [`cypher::evaluate_planned_interpreted`] /
-//! [`cypher::evaluate_planned_params`] over the *same* compact snapshot
-//! under the *same* plan, so the measured delta is purely the physical
-//! execution strategy — row-at-a-time hash-map bindings vs postings runs,
-//! selection vectors, and CSR gathers. Row counts are asserted equal
+//! Both sides of every A/B run over the *same* compact snapshot under the
+//! *same* plan, so the measured delta is purely the physical execution
+//! strategy. Row counts (vectorized A/B: full answers) are asserted equal
 //! before any timing happens.
 
 use s3pg::pipeline::transform;
@@ -20,14 +23,21 @@ use s3pg::query_translate;
 use s3pg::Mode;
 use s3pg_bench::experiments::{prepare, Dataset, Scale};
 use s3pg_bench::timing::{bench_samples, section, Samples};
-use s3pg_pg::{PgRead, PropertyGraph, Value};
-use s3pg_query::cypher;
+use s3pg_pg::{CompactGraph, PgRead, PropertyGraph, Value};
+use s3pg_query::cypher::{self, ExecTuning, Scheduler};
+use s3pg_shacl::extract_shapes;
 use s3pg_workloads::generate_queries;
+use s3pg_workloads::skew;
 use std::fmt::Write as _;
+
+/// Worker count every parallel A/B runs at.
+const MORSEL_BENCH_THREADS: usize = 4;
 
 fn main() {
     let mut scales: Vec<f64> = vec![1.0, 10.0];
     let mut out_path = "BENCH_vectorized.json".to_string();
+    let mut morsel_out = "BENCH_morsel.json".to_string();
+    let mut morsel_only = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -44,11 +54,24 @@ fn main() {
                     out_path = v;
                 }
             }
+            "--morsel-out" => {
+                if let Some(v) = it.next() {
+                    morsel_out = v;
+                }
+            }
+            "--morsel-only" => morsel_only = true,
             _ => {}
         }
     }
     assert!(!scales.is_empty(), "--scales parsed to an empty list");
 
+    if !morsel_only {
+        run_vectorized(&scales, &out_path);
+    }
+    run_morsel(&scales, &morsel_out);
+}
+
+fn run_vectorized(scales: &[f64], out_path: &str) {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"dataset\": \"{}\",", Dataset::DBpedia2022.name());
     json.push_str("  \"tiers\": [\n");
@@ -175,7 +198,274 @@ fn main() {
     }
     json.push_str("\n  ]\n}\n");
 
-    std::fs::write(&out_path, &json).expect("write BENCH_vectorized.json");
+    std::fs::write(out_path, &json).expect("write BENCH_vectorized.json");
+    println!("\nwrote {out_path}");
+}
+
+/// One morsel-vs-static (or topk-vs-fullsort) A/B over a frozen snapshot:
+/// assert both tunings answer identically, then interleave 3 passes of
+/// each side and keep the best p50 per side.
+fn ab_tunings(
+    compact: &CompactGraph,
+    text: &str,
+    tag: &str,
+    a: (ExecTuning, &str),
+    b: (ExecTuning, &str),
+) -> (usize, Samples, Samples) {
+    let parsed = cypher::parse(text).unwrap();
+    let plan = cypher::plan(compact, &parsed);
+    let params = cypher::Params::default();
+    let run = |tuning: ExecTuning| {
+        cypher::evaluate_planned_tuned(
+            compact,
+            &parsed,
+            &plan,
+            &params,
+            MORSEL_BENCH_THREADS,
+            tuning,
+        )
+        .unwrap()
+    };
+    let rows_a = run(a.0);
+    let rows_b = run(b.0);
+    assert_eq!(rows_a, rows_b, "tunings disagree on {text}");
+    let rows = rows_a.rows.len();
+    let mut best_a: Option<Samples> = None;
+    let mut best_b: Option<Samples> = None;
+    for _ in 0..3 {
+        let s = bench_samples(&format!("{}/{tag}", a.1), || run(a.0));
+        if best_a.as_ref().is_none_or(|best| s.p50 < best.p50) {
+            best_a = Some(s);
+        }
+        let s = bench_samples(&format!("{}/{tag}", b.1), || run(b.0));
+        if best_b.as_ref().is_none_or(|best| s.p50 < best.p50) {
+            best_b = Some(s);
+        }
+    }
+    (rows, best_a.unwrap(), best_b.unwrap())
+}
+
+/// Render one A/B query entry: `a`/`b` are the JSON field names for the
+/// two sides and `ratio_field` names `b.p50 / a.p50` (so >1 means side
+/// `a` is faster).
+#[allow(clippy::too_many_arguments)]
+fn ab_entry_json(
+    json: &mut String,
+    first: &mut bool,
+    tag: &str,
+    text: &str,
+    rows: usize,
+    (a_name, a): (&str, &Samples),
+    (b_name, b): (&str, &Samples),
+    ratio_field: &str,
+) {
+    let ratio = b.p50.as_nanos().max(1) as f64 / a.p50.as_nanos().max(1) as f64;
+    println!("{tag:<40} {ratio_field} p50 {ratio:.2}x");
+    if !*first {
+        json.push_str(",\n");
+    }
+    *first = false;
+    json.push_str("        {\n");
+    let _ = writeln!(json, "          \"tag\": {},", json_string(tag));
+    let _ = writeln!(json, "          \"query\": {},", json_string(text));
+    let _ = writeln!(json, "          \"rows\": {rows},");
+    let _ = writeln!(json, "          \"{a_name}\": {},", samples_json(a));
+    let _ = writeln!(json, "          \"{b_name}\": {},", samples_json(b));
+    let _ = writeln!(json, "          \"{ratio_field}\": {ratio:.3}");
+    json.push_str("        }");
+}
+
+/// The morsel scheduler benchmark: three sections per scale tier.
+///
+/// * `uniform` — morsel vs static chunking on the evenly distributed
+///   DBpedia-style workload (the scheduler must not regress it);
+/// * `skew` — the same A/B on the skewed-degree graph whose hub owns ~30%
+///   of all edges (the shape morsels exist for);
+/// * `topk` — ORDER BY/LIMIT pushdown vs full materialize-then-sort,
+///   both on the morsel scheduler.
+fn run_morsel(scales: &[f64], out_path: &str) {
+    let morsel = ExecTuning::default();
+    let static_chunks = ExecTuning {
+        scheduler: Scheduler::Static,
+        topk_pushdown: false,
+    };
+    let no_topk = ExecTuning {
+        scheduler: Scheduler::Morsel,
+        topk_pushdown: false,
+    };
+
+    // Recorded so the gate knows whether scheduler timing ratios mean
+    // anything: on a 1-core machine every thread pool is oversubscription
+    // and morsel-vs-static p50s are scheduling noise, so `trace_check
+    // --morsel-bench` only enforces them when this is >= 2.
+    let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"threads\": {MORSEL_BENCH_THREADS},");
+    let _ = writeln!(json, "  \"parallelism\": {parallelism},");
+    let _ = writeln!(json, "  \"morsel_size\": 2048,");
+
+    // Uniform tiers: the no-regression guard.
+    json.push_str("  \"uniform\": [\n");
+    for (ti, &scale) in scales.iter().enumerate() {
+        section(&format!("morsel uniform scale {scale}"));
+        let prepared = prepare(Dataset::DBpedia2022, Scale(scale));
+        let out = transform(
+            &prepared.generated.graph,
+            &prepared.shapes,
+            Mode::Parsimonious,
+        );
+        let compact = out.pg.freeze();
+        let mut queries: Vec<(String, String)> = Vec::new();
+        if let Some((edge_label, src)) = busiest_edge(&out.pg) {
+            queries.push((
+                "uniform-traversal".to_string(),
+                format!("MATCH (a:{src})-[:{edge_label}]->(v) RETURN a.iri, v.iri"),
+            ));
+            queries.push((
+                "uniform-filtered".to_string(),
+                format!(
+                    "MATCH (a:{src})-[:{edge_label}]->(v) WHERE a.iri <> v.iri \
+                     RETURN a.iri, v.iri"
+                ),
+            ));
+            queries.push((
+                "uniform-group-count".to_string(),
+                format!("MATCH (a:{src})-[:{edge_label}]->(v) RETURN a.iri, count(v) AS n"),
+            ));
+        }
+        if ti > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"scale\": {scale},");
+        json.push_str("      \"queries\": [\n");
+        let mut first = true;
+        for (tag, text) in &queries {
+            let (rows, m, s) = ab_tunings(
+                &compact,
+                text,
+                tag,
+                (morsel, "morsel"),
+                (static_chunks, "static"),
+            );
+            ab_entry_json(
+                &mut json,
+                &mut first,
+                tag,
+                text,
+                rows,
+                ("morsel", &m),
+                ("static", &s),
+                "p50_static_over_morsel",
+            );
+        }
+        json.push_str("\n      ]\n    }");
+    }
+    json.push_str("\n  ],\n");
+
+    // Skew + top-K tiers share the skewed snapshot per scale.
+    let mut skew_json = String::new();
+    let mut topk_json = String::new();
+    for (ti, &scale) in scales.iter().enumerate() {
+        section(&format!("morsel skew scale {scale}"));
+        let skewed = skew::generate_skewed(scale, 0xD1CE);
+        let shapes = extract_shapes(&skewed.graph);
+        let out = transform(&skewed.graph, &shapes, Mode::Parsimonious);
+        let compact = out.pg.freeze();
+        println!(
+            "skew scale {scale}: {} nodes, {} edges, hub degree {} ({:.1}% of edges)",
+            compact.node_count(),
+            compact.edge_count(),
+            skewed.hub_degree,
+            100.0 * skewed.hub_edge_share()
+        );
+
+        if ti > 0 {
+            skew_json.push_str(",\n");
+            topk_json.push_str(",\n");
+        }
+        skew_json.push_str("    {\n");
+        let _ = writeln!(skew_json, "      \"scale\": {scale},");
+        let _ = writeln!(skew_json, "      \"hub_degree\": {},", skewed.hub_degree);
+        let _ = writeln!(
+            skew_json,
+            "      \"hub_edge_share\": {:.3},",
+            skewed.hub_edge_share()
+        );
+        skew_json.push_str("      \"queries\": [\n");
+        let skew_queries = [
+            (
+                "skew-traversal",
+                "MATCH (s:Source)-[:linksTo]->(t:Target) RETURN s.iri, t.iri".to_string(),
+            ),
+            (
+                "skew-filtered",
+                "MATCH (s:Source)-[:linksTo]->(t:Target) WHERE t.rank > 50000 \
+                 RETURN s.iri, t.rank"
+                    .to_string(),
+            ),
+            (
+                "skew-agg",
+                "MATCH (s:Source)-[:linksTo]->(t:Target) \
+                 RETURN s.iri, count(t) AS n, sum(t.rank) AS total"
+                    .to_string(),
+            ),
+        ];
+        let mut first = true;
+        for (tag, text) in &skew_queries {
+            let (rows, m, s) = ab_tunings(
+                &compact,
+                text,
+                tag,
+                (morsel, "morsel"),
+                (static_chunks, "static"),
+            );
+            ab_entry_json(
+                &mut skew_json,
+                &mut first,
+                tag,
+                text,
+                rows,
+                ("morsel", &m),
+                ("static", &s),
+                "p50_static_over_morsel",
+            );
+        }
+        skew_json.push_str("\n      ]\n    }");
+
+        topk_json.push_str("    {\n");
+        let _ = writeln!(topk_json, "      \"scale\": {scale},");
+        topk_json.push_str("      \"queries\": [\n");
+        let text = "MATCH (s:Source)-[:linksTo]->(t:Target) \
+                    RETURN t.iri, t.rank ORDER BY t.rank LIMIT 10";
+        let (rows, t, f) = ab_tunings(
+            &compact,
+            text,
+            "topk-order-limit",
+            (morsel, "topk"),
+            (no_topk, "fullsort"),
+        );
+        let mut first = true;
+        ab_entry_json(
+            &mut topk_json,
+            &mut first,
+            "topk-order-limit",
+            text,
+            rows,
+            ("topk", &t),
+            ("fullsort", &f),
+            "p50_fullsort_over_topk",
+        );
+        topk_json.push_str("\n      ]\n    }");
+    }
+    json.push_str("  \"skew\": [\n");
+    json.push_str(&skew_json);
+    json.push_str("\n  ],\n");
+    json.push_str("  \"topk\": [\n");
+    json.push_str(&topk_json);
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(out_path, &json).expect("write BENCH_morsel.json");
     println!("\nwrote {out_path}");
 }
 

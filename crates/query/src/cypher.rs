@@ -131,14 +131,43 @@ pub struct SingleQuery {
     pub limit: Option<usize>,
 }
 
-/// One projection: a plain expression or a `count(...)` aggregate. When any
-/// aggregate is present the non-aggregated items act as grouping keys
-/// (Cypher's implicit GROUP BY).
+/// Aggregate functions usable in `RETURN` items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(*)` / `count(expr)` — rows, or rows where `expr` is non-NULL.
+    Count,
+    /// `sum(expr)` — numeric sum; NULL and non-numeric values are skipped,
+    /// an all-NULL (or empty) group sums to `0`.
+    Sum,
+    /// `min(expr)` — smallest value under the `ORDER BY` comparator.
+    Min,
+    /// `max(expr)` — largest value under the `ORDER BY` comparator.
+    Max,
+}
+
+impl AggFunc {
+    /// The lowercase Cypher function name (`count`, `sum`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One projection: a plain expression or an aggregate. When any aggregate
+/// is present the non-aggregated items act as grouping keys (Cypher's
+/// implicit GROUP BY).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReturnItem {
     Expr(Expr),
-    /// `count(*)` (arg `None`) or `count([DISTINCT] expr)`.
-    Count {
+    /// `count(*)` (arg `None`) or `count/sum/min/max([DISTINCT] expr)`.
+    /// Only `count` accepts `*`; `DISTINCT` changes the result for `count`
+    /// and `sum` and is a no-op for `min`/`max`.
+    Agg {
+        func: AggFunc,
         distinct: bool,
         arg: Option<Expr>,
     },
@@ -166,7 +195,7 @@ pub fn param_names(query: &CypherQuery) -> std::collections::BTreeSet<String> {
         for (item, _) in &part.return_items {
             match item {
                 ReturnItem::Expr(e) => exprs.push(e),
-                ReturnItem::Count { arg, .. } => exprs.extend(arg),
+                ReturnItem::Agg { arg, .. } => exprs.extend(arg),
             }
         }
         for e in exprs {
@@ -475,12 +504,46 @@ pub fn explain(query: &CypherQuery, plan: &CypherPlan, threads: usize) -> PlanNo
 /// pipeline executes. Parts with `OPTIONAL MATCH` fall back to the
 /// interpreter after pattern expansion, so only their pattern-phase
 /// operators carry the marker.
+///
+/// On the compact path the parallel fan-out is morsel-driven, so the
+/// `ParallelFanOut` node is retagged `MorselFanOut` (same `parallel`
+/// operator id) with the morsel size, and a `Sort` that the executor can
+/// satisfy with the bounded top-K heap (ORDER BY + LIMIT, no DISTINCT, no
+/// aggregates) is retagged `TopKSort` (same `sort` id) with its bound.
 pub fn explain_compact(query: &CypherQuery, plan: &CypherPlan, threads: usize) -> PlanNode {
     let mut tree = explain(query, plan, threads);
     for (i, part) in query.parts.iter().enumerate() {
         mark_vectorized(&mut tree, i, part.optional_patterns.is_empty());
+        mark_morsel(&mut tree, i, part);
     }
     tree
+}
+
+/// Retag part `i`'s physical operators for the compact executor: the
+/// fan-out becomes `MorselFanOut` and a pushdown-eligible `Sort` becomes
+/// `TopKSort`. Operator ids are untouched so profile records still join.
+fn mark_morsel(node: &mut PlanNode, part: usize, q: &SingleQuery) {
+    let prefix = format!("p{part}.");
+    if let Some(rest) = node.id.strip_prefix(&prefix) {
+        if rest == "parallel" && node.op == "ParallelFanOut" {
+            node.op = "MorselFanOut".into();
+            // The ceiling: the executor shrinks morsels on short runs
+            // (`morsel_size_for`), and EXPLAIN runs before candidates are
+            // counted.
+            node.args.push((
+                "morsel_size_max".into(),
+                crate::morsel::MORSEL_SIZE.to_string(),
+            ));
+        }
+        if rest == "sort" && node.op == "Sort" && crate::morsel::topk_eligible(q) {
+            node.op = "TopKSort".into();
+            let k = q.skip.unwrap_or(0).saturating_add(q.limit.unwrap_or(0));
+            node.args.push(("k".into(), k.to_string()));
+        }
+    }
+    for child in &mut node.children {
+        mark_morsel(child, part, q);
+    }
 }
 
 /// Tag part `i`'s operators with `vectorized=true`: all of them when the
@@ -587,10 +650,7 @@ fn explain_single(q: &SingleQuery, sp: &SinglePlan, i: usize, threads: usize) ->
         node = node
             .feed(PlanNode::new("Filter", id("unwind_filter")).arg("predicate", render_expr(w)));
     }
-    let has_aggregate = q
-        .return_items
-        .iter()
-        .any(|(item, _)| matches!(item, ReturnItem::Count { .. }));
+    let has_aggregate = has_aggregate(q);
     let columns = q
         .return_items
         .iter()
@@ -1067,7 +1127,9 @@ impl Parser {
                 match &item {
                     ReturnItem::Expr(Expr::Var(v)) => v.clone(),
                     ReturnItem::Expr(Expr::Prop(v, k)) => format!("{v}.{k}"),
-                    ReturnItem::Count { .. } => format!("count{}", return_items.len()),
+                    ReturnItem::Agg { func, .. } => {
+                        format!("{}{}", func.name(), return_items.len())
+                    }
                     _ => format!("col{}", return_items.len()),
                 }
             };
@@ -1132,18 +1194,34 @@ impl Parser {
         })
     }
 
-    /// A RETURN item: `count(*)`, `count([DISTINCT] expr)`, or an expression.
+    /// A RETURN item: `count(*)`, `count/sum/min/max([DISTINCT] expr)`, or
+    /// an expression.
     fn return_item(&mut self) -> Result<ReturnItem, CypherError> {
         if let Some(Tok::Ident(w)) = self.peek() {
-            if w.eq_ignore_ascii_case("COUNT") {
+            let func = if w.eq_ignore_ascii_case("COUNT") {
+                Some(AggFunc::Count)
+            } else if w.eq_ignore_ascii_case("SUM") {
+                Some(AggFunc::Sum)
+            } else if w.eq_ignore_ascii_case("MIN") {
+                Some(AggFunc::Min)
+            } else if w.eq_ignore_ascii_case("MAX") {
+                Some(AggFunc::Max)
+            } else {
+                None
+            };
+            if let Some(func) = func {
                 // Lookahead: only treat as aggregate when '(' follows.
                 if self.tokens.get(self.pos + 1) == Some(&Tok::LParen) {
                     self.pos += 2;
                     if self.eat(&Tok::Star) {
+                        if func != AggFunc::Count {
+                            return err("only count(...) accepts *");
+                        }
                         if !self.eat(&Tok::RParen) {
                             return err("expected ')' after count(*");
                         }
-                        return Ok(ReturnItem::Count {
+                        return Ok(ReturnItem::Agg {
+                            func,
                             distinct: false,
                             arg: None,
                         });
@@ -1151,9 +1229,10 @@ impl Parser {
                     let distinct = self.eat_kw("DISTINCT");
                     let arg = self.expr()?;
                     if !self.eat(&Tok::RParen) {
-                        return err("expected ')' closing count(...)");
+                        return err("expected ')' closing an aggregate");
                     }
-                    return Ok(ReturnItem::Count {
+                    return Ok(ReturnItem::Agg {
+                        func,
                         distinct,
                         arg: Some(arg),
                     });
@@ -1433,7 +1512,63 @@ pub fn evaluate_planned_params<G: PgRead>(
     params: &Params,
     threads: usize,
 ) -> Result<Rows, CypherError> {
-    evaluate_planned_inner(pg, query, plan, params, threads, None, true)
+    evaluate_planned_inner(
+        pg,
+        query,
+        plan,
+        params,
+        threads,
+        None,
+        true,
+        ExecTuning::default(),
+    )
+}
+
+/// Which parallel scheduler the compact (vectorized) executor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Fixed-size morsels pulled from a shared work queue — skew-robust,
+    /// the default.
+    #[default]
+    Morsel,
+    /// One static contiguous chunk per thread — the pre-morsel design,
+    /// kept as the A/B baseline for benchmarks and differential tests.
+    Static,
+}
+
+/// Executor tuning knobs for [`evaluate_planned_tuned`]. Every setting
+/// produces bit-identical rows; only the physical strategy changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecTuning {
+    /// Parallel scheduling strategy over the first pattern's candidates.
+    pub scheduler: Scheduler,
+    /// Satisfy `ORDER BY … LIMIT …` (no DISTINCT, no aggregates) with a
+    /// bounded top-K heap instead of a full materialize-then-sort.
+    pub topk_pushdown: bool,
+}
+
+impl Default for ExecTuning {
+    fn default() -> ExecTuning {
+        ExecTuning {
+            scheduler: Scheduler::Morsel,
+            topk_pushdown: true,
+        }
+    }
+}
+
+/// [`evaluate_planned_params`] with explicit executor tuning — benchmarks
+/// and differential tests use this to pit the morsel scheduler against
+/// static chunking and top-K pushdown against the full sort on identical
+/// inputs. Answers are bit-identical across every tuning.
+pub fn evaluate_planned_tuned<G: PgRead>(
+    pg: &G,
+    query: &CypherQuery,
+    plan: &CypherPlan,
+    params: &Params,
+    threads: usize,
+    tuning: ExecTuning,
+) -> Result<Rows, CypherError> {
+    evaluate_planned_inner(pg, query, plan, params, threads, None, true, tuning)
 }
 
 /// [`evaluate_planned_params`] with per-operator profiling: every operator
@@ -1449,7 +1584,16 @@ pub fn evaluate_planned_profiled<G: PgRead>(
     threads: usize,
     sink: &ProfSink,
 ) -> Result<Rows, CypherError> {
-    evaluate_planned_inner(pg, query, plan, params, threads, Some(sink), true)
+    evaluate_planned_inner(
+        pg,
+        query,
+        plan,
+        params,
+        threads,
+        Some(sink),
+        true,
+        ExecTuning::default(),
+    )
 }
 
 /// [`evaluate_planned_params`] with the vectorized-over-compact dispatch
@@ -1464,7 +1608,16 @@ pub fn evaluate_planned_interpreted<G: PgRead>(
     params: &Params,
     threads: usize,
 ) -> Result<Rows, CypherError> {
-    evaluate_planned_inner(pg, query, plan, params, threads, None, false)
+    evaluate_planned_inner(
+        pg,
+        query,
+        plan,
+        params,
+        threads,
+        None,
+        false,
+        ExecTuning::default(),
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1476,6 +1629,7 @@ fn evaluate_planned_inner<G: PgRead>(
     threads: usize,
     prof: Option<&ProfSink>,
     vectorize: bool,
+    tuning: ExecTuning,
 ) -> Result<Rows, CypherError> {
     debug_assert_eq!(plan.plans.len(), query.parts.len());
     for name in param_names(query) {
@@ -1503,6 +1657,7 @@ fn evaluate_planned_inner<G: PgRead>(
                 &probes,
                 params,
                 threads,
+                tuning,
                 NoProf,
             )?,
             (Some(cg), Some(sink)) => crate::vectorized::evaluate_part_vectorized(
@@ -1512,6 +1667,7 @@ fn evaluate_planned_inner<G: PgRead>(
                 &probes,
                 params,
                 threads,
+                tuning,
                 Prof { sink, part: i },
             )?,
             (None, None) => {
@@ -1564,6 +1720,11 @@ impl ProfHook for Prof<'_> {
     fn note_batches(self, id: std::fmt::Arguments<'_>, batches: usize) {
         self.sink
             .note_batches(&format!("p{}.{id}", self.part), batches as u64);
+    }
+
+    fn note_morsels(self, id: std::fmt::Arguments<'_>, morsels: usize) {
+        self.sink
+            .note_morsels(&format!("p{}.{id}", self.part), morsels as u64);
     }
 }
 
@@ -1664,7 +1825,11 @@ pub(crate) fn expand_patterns_planned<G: PgRead, P: ProfHook>(
                 .map(|&pi| sp.cost[pi].max(1))
                 .sum::<usize>();
             let work = candidates.len().saturating_mul(per_row);
-            if candidates.len() >= threads * 4 && work >= PARALLEL_MIN_WORK {
+            // Engagement is based on estimated total work alone: a small
+            // candidate set with a huge per-row fan-out still parallelizes.
+            // (`work >= PARALLEL_MIN_WORK` implies a non-empty candidate
+            // slice, so the chunk arithmetic below stays safe.)
+            if work >= PARALLEL_MIN_WORK {
                 let rest = &sp.order[1..];
                 let chunk_size = candidates.len().div_ceil(threads);
                 let fan_out = prof.begin();
@@ -1796,10 +1961,7 @@ pub(crate) fn finish_single_inner<G: PgRead, P: ProfHook>(
         prof.record(format_args!("unwind_filter"), rows.len(), started);
     }
     let columns: Vec<String> = q.return_items.iter().map(|(_, a)| a.clone()).collect();
-    let has_aggregate = q
-        .return_items
-        .iter()
-        .any(|(item, _)| matches!(item, ReturnItem::Count { .. }));
+    let has_aggregate = has_aggregate(q);
 
     let started = prof.begin();
     let mut out: Vec<Vec<Option<Value>>> = if has_aggregate {
@@ -1811,7 +1973,7 @@ pub(crate) fn finish_single_inner<G: PgRead, P: ProfHook>(
                     .iter()
                     .map(|(item, _)| match item {
                         ReturnItem::Expr(e) => eval(pg, e, row, params),
-                        ReturnItem::Count { .. } => unreachable!(),
+                        ReturnItem::Agg { .. } => unreachable!(),
                     })
                     .collect()
             })
@@ -1844,22 +2006,7 @@ pub(crate) fn shape_rows<P: ProfHook>(q: &SingleQuery, out: &mut Vec<Vec<Option<
     }
     if let Some((index, descending)) = q.order_by {
         let started = prof.begin();
-        out.sort_by(|a, b| {
-            let ord = match (&a[index], &b[index]) {
-                (Some(x), Some(y)) => {
-                    compare(x, y).unwrap_or_else(|| x.to_string().cmp(&y.to_string()))
-                }
-                (None, None) => std::cmp::Ordering::Equal,
-                // NULL sorts last (Cypher default ascending).
-                (None, Some(_)) => std::cmp::Ordering::Greater,
-                (Some(_), None) => std::cmp::Ordering::Less,
-            };
-            if descending {
-                ord.reverse()
-            } else {
-                ord
-            }
-        });
+        out.sort_by(|a, b| order_cmp(a, b, index, descending));
         prof.record(format_args!("sort"), out.len(), started);
     }
     if let Some(skip) = q.skip {
@@ -1874,9 +2021,47 @@ pub(crate) fn shape_rows<P: ProfHook>(q: &SingleQuery, out: &mut Vec<Vec<Option<
     }
 }
 
+/// Whether any RETURN item is an aggregate (implicit GROUP BY applies).
+pub(crate) fn has_aggregate(q: &SingleQuery) -> bool {
+    q.return_items
+        .iter()
+        .any(|(item, _)| matches!(item, ReturnItem::Agg { .. }))
+}
+
+/// The total ordering ORDER BY and MIN/MAX share: typed [`compare`] where
+/// defined, rendered-string comparison across incomparable types.
+pub(crate) fn total_cmp_values(x: &Value, y: &Value) -> std::cmp::Ordering {
+    compare(x, y).unwrap_or_else(|| x.to_string().cmp(&y.to_string()))
+}
+
+/// The exact ORDER BY comparator [`shape_rows`] sorts with, factored out so
+/// the top-K pushdown selects under *the same* ordering: NULL sorts last
+/// ascending, the whole ordering reverses under DESC.
+pub(crate) fn order_cmp(
+    a: &[Option<Value>],
+    b: &[Option<Value>],
+    index: usize,
+    descending: bool,
+) -> std::cmp::Ordering {
+    let ord = match (&a[index], &b[index]) {
+        (Some(x), Some(y)) => total_cmp_values(x, y),
+        (None, None) => std::cmp::Ordering::Equal,
+        // NULL sorts last (Cypher default ascending).
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (Some(_), None) => std::cmp::Ordering::Less,
+    };
+    if descending {
+        ord.reverse()
+    } else {
+        ord
+    }
+}
+
 /// Cypher's implicit grouping: non-aggregated RETURN items form the group
-/// key; each `count` aggregates within its group. `count(expr)` skips NULLs;
-/// `count(DISTINCT expr)` counts distinct non-NULL values.
+/// key; each aggregate accumulates within its group. `count(expr)` and
+/// `sum(expr)` skip NULLs; `count(DISTINCT expr)` / `sum(DISTINCT expr)`
+/// deduplicate non-NULL values first; `min`/`max` pick extremes under the
+/// ORDER BY comparator.
 fn aggregate_rows<G: PgRead>(
     pg: &G,
     q: &SingleQuery,
@@ -1886,101 +2071,29 @@ fn aggregate_rows<G: PgRead>(
     aggregate_core(q, rows.len(), |row, item_index| {
         let expr = match &q.return_items[item_index].0 {
             ReturnItem::Expr(e) => e,
-            // Only called for count items that carry an argument.
-            ReturnItem::Count { arg, .. } => arg.as_ref().expect("count item has an argument"),
+            // Only called for aggregate items that carry an argument.
+            ReturnItem::Agg { arg, .. } => arg.as_ref().expect("aggregate item has an argument"),
         };
         eval(pg, expr, &rows[row], params)
     })
 }
 
-/// The grouping/counting core of [`aggregate_rows`], parameterized over
+/// The grouping/accumulation core of [`aggregate_rows`], parameterized over
 /// how a return item is evaluated for a row index — the interpreted path
 /// evaluates against binding rows, the vectorized path against batch
-/// columns, and both flow through this identical grouping logic.
+/// columns, and both flow through the shared
+/// [`GroupTable`](crate::morsel::GroupTable), the same accumulator the
+/// morsel workers merge, so every path aggregates by identical rules.
 pub(crate) fn aggregate_core(
     q: &SingleQuery,
     n_rows: usize,
     mut eval_item: impl FnMut(usize, usize) -> Option<Value>,
 ) -> Vec<Vec<Option<Value>>> {
-    use std::collections::BTreeMap;
-    // Group key: rendered non-aggregate values in item order.
-    struct Group {
-        key_values: Vec<Option<Value>>,
-        count_star: usize,
-        /// Per count-item: plain tally and distinct-set.
-        counts: Vec<usize>,
-        distinct_seen: Vec<FxHashSet<String>>,
-    }
-    let count_items: Vec<usize> = q
-        .return_items
-        .iter()
-        .enumerate()
-        .filter(|(_, (item, _))| matches!(item, ReturnItem::Count { .. }))
-        .map(|(i, _)| i)
-        .collect();
-    let mut groups: BTreeMap<Vec<String>, Group> = BTreeMap::new();
+    let mut table = crate::morsel::GroupTable::new(q);
     for row in 0..n_rows {
-        let mut key = Vec::new();
-        let mut key_values = Vec::new();
-        for (item_index, (item, _)) in q.return_items.iter().enumerate() {
-            if let ReturnItem::Expr(_) = item {
-                let v = eval_item(row, item_index);
-                key.push(v.as_ref().map_or("∅".to_string(), |v| format!("{v:?}")));
-                key_values.push(v);
-            }
-        }
-        let group = groups.entry(key).or_insert_with(|| Group {
-            key_values,
-            count_star: 0,
-            counts: vec![0; count_items.len()],
-            distinct_seen: vec![FxHashSet::default(); count_items.len()],
-        });
-        group.count_star += 1;
-        for (slot, &item_index) in count_items.iter().enumerate() {
-            if let (ReturnItem::Count { distinct, arg }, _) = &q.return_items[item_index] {
-                match arg {
-                    None => group.counts[slot] += 1,
-                    Some(_) => {
-                        if let Some(v) = eval_item(row, item_index) {
-                            if *distinct {
-                                group.distinct_seen[slot].insert(format!("{v:?}"));
-                            } else {
-                                group.counts[slot] += 1;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        table.add_row(q, (0, row as u64), |item| eval_item(row, item));
     }
-    // When there are no rows and no grouping keys, count(*) is 0.
-    if groups.is_empty() && count_items.len() == q.return_items.len() {
-        let row = q.return_items.iter().map(|_| Some(Value::Int(0))).collect();
-        return vec![row];
-    }
-    groups
-        .into_values()
-        .map(|group| {
-            let mut key_iter = group.key_values.into_iter();
-            let mut counts = group.counts.iter();
-            let mut distinct_sets = group.distinct_seen.iter();
-            q.return_items
-                .iter()
-                .map(|(item, _)| match item {
-                    ReturnItem::Expr(_) => key_iter.next().unwrap(),
-                    ReturnItem::Count { distinct, arg } => {
-                        let plain = *counts.next().unwrap();
-                        let distinct_count = distinct_sets.next().unwrap().len();
-                        let n = match (arg, distinct) {
-                            (Some(_), true) => distinct_count,
-                            _ => plain,
-                        };
-                        Some(Value::Int(n as i64))
-                    }
-                })
-                .collect()
-        })
-        .collect()
+    table.finish(q)
 }
 
 /// Start-binding candidates for an unbound pattern start: index probe if

@@ -20,6 +20,7 @@
 //!   per-operator statistics sink (`PROFILE`) both engines render into.
 
 pub mod cypher;
+pub(crate) mod morsel;
 pub mod profile;
 pub mod results;
 pub mod sparql;

@@ -47,6 +47,9 @@ pub struct PlanNode {
     /// Column batches this operator processed on the vectorized path
     /// (profile only; absent for interpreted operators).
     pub batches: Option<u64>,
+    /// Morsels this operator scheduled on the morsel-driven parallel path
+    /// (profile only; absent for static chunking and sequential runs).
+    pub morsels: Option<u64>,
     /// Input operators (leaf-first execution: children run before parents).
     pub children: Vec<PlanNode>,
 }
@@ -77,6 +80,11 @@ impl PlanNode {
     /// Fill `rows`/`time_us`/`chunks` from `sink` wherever an operator id
     /// has a recorded stat; untouched operators keep `None` (e.g. stages
     /// skipped because an earlier stage produced no rows).
+    ///
+    /// A fan-out operator whose workers recorded per-worker stats under
+    /// `{id}.w{k}` additionally gains one synthesized `Worker` child per
+    /// recorded worker, so `PROFILE` output shows how evenly the morsel
+    /// scheduler balanced the load.
     pub fn annotate(&mut self, sink: &ProfSink) {
         if let Some(stat) = sink.get(&self.id) {
             self.rows = Some(stat.rows);
@@ -86,6 +94,15 @@ impl PlanNode {
             }
             if stat.batches > 0 {
                 self.batches = Some(stat.batches);
+            }
+            if stat.morsels > 0 {
+                self.morsels = Some(stat.morsels);
+            }
+            for w in 0..stat.chunks {
+                let wid = format!("{}.w{w}", self.id);
+                if sink.get(&wid).is_some() && self.find(&wid).is_none() {
+                    self.children.push(PlanNode::new("Worker", wid));
+                }
             }
         }
         for child in &mut self.children {
@@ -130,6 +147,9 @@ pub struct OpStat {
     /// Column batches recorded via [`ProfSink::note_batches`] (vectorized
     /// operators only; zero on the interpreted path).
     pub batches: u64,
+    /// Morsels recorded via [`ProfSink::note_morsels`] (morsel-driven
+    /// parallel runs only; zero elsewhere).
+    pub morsels: u64,
 }
 
 /// A sink collecting per-operator stats during one profiled evaluation.
@@ -170,6 +190,13 @@ impl ProfSink {
         stats.entry(id.to_string()).or_default().batches += n;
     }
 
+    /// Record that operator `id` scheduled `n` morsels onto its worker
+    /// pool (the morsel-driven parallel path).
+    pub fn note_morsels(&self, id: &str, n: u64) {
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.entry(id.to_string()).or_default().morsels += n;
+    }
+
     /// The accumulated stat for `id`, if any invocation recorded.
     pub fn get(&self, id: &str) -> Option<OpStat> {
         self.stats
@@ -208,6 +235,9 @@ pub(crate) trait ProfHook: Copy + Send + Sync {
     /// Record that stage `id` processed `batches` column batches
     /// (vectorized operators only).
     fn note_batches(self, id: Arguments<'_>, batches: usize);
+    /// Record that stage `id` scheduled `morsels` morsels onto its
+    /// worker pool (morsel-driven parallel runs only).
+    fn note_morsels(self, id: Arguments<'_>, morsels: usize);
 }
 
 /// The disabled hook: all methods compile away.
@@ -225,6 +255,8 @@ impl ProfHook for NoProf {
     fn note_chunks(self, _id: Arguments<'_>, _chunks: usize) {}
     #[inline(always)]
     fn note_batches(self, _id: Arguments<'_>, _batches: usize) {}
+    #[inline(always)]
+    fn note_morsels(self, _id: Arguments<'_>, _morsels: usize) {}
 }
 
 /// The enabled hook with unprefixed ids (the SPARQL engine).
@@ -241,6 +273,9 @@ impl ProfHook for &ProfSink {
     }
     fn note_batches(self, id: Arguments<'_>, batches: usize) {
         ProfSink::note_batches(self, &id.to_string(), batches as u64);
+    }
+    fn note_morsels(self, id: Arguments<'_>, morsels: usize) {
+        ProfSink::note_morsels(self, &id.to_string(), morsels as u64);
     }
 }
 

@@ -849,10 +849,13 @@ fn join_patterns(
     join_in_order(graph, compiled, &order, results, NoProf)
 }
 
-/// Join with up to `threads` workers: the first ordered pattern expands
-/// sequentially, then its result rows are split into contiguous chunks and
-/// each chunk joins the remaining patterns on its own scoped worker. Rows
-/// merge back in chunk order — byte-identical to the sequential join.
+/// Join with up to `threads` workers, morsel-driven: the first ordered
+/// pattern expands sequentially, then its result rows are cut into
+/// fixed-size morsels behind a shared cursor; workers pull morsels and
+/// join the remaining patterns per morsel. Per-morsel results are tagged
+/// with their morsel index and merged in index order — byte-identical to
+/// the sequential join, but skew-robust (one heavy row run no longer
+/// serializes a whole contiguous chunk on a single worker).
 fn join_patterns_threads<P: ProfHook>(
     graph: &Graph,
     compiled: &[Compiled],
@@ -922,27 +925,52 @@ fn join_patterns_threads<P: ProfHook>(
             }
         }
     }
-    if first_rows.len() < threads * 4
-        || first_rows.len().saturating_mul(per_row) < crate::cypher::PARALLEL_MIN_WORK
-    {
+    // Engagement is decided on estimated total work alone — morsels handle
+    // granularity, so a small first-pattern run with a huge per-row
+    // fan-out still parallelizes.
+    if first_rows.len().saturating_mul(per_row) < crate::cypher::PARALLEL_MIN_WORK {
         return join_in_order(graph, compiled, &order[1..], first_rows, prof);
     }
     let rest = &order[1..];
-    let chunk_size = first_rows.len().div_ceil(threads);
+    let morsel_size = crate::morsel::morsel_size_for(first_rows.len(), threads);
+    let n_morsels = first_rows.len().div_ceil(morsel_size).max(1);
+    let n_workers = threads.min(n_morsels);
+    let first_rows = &first_rows;
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
     let fan_out = prof.begin();
-    let merged: Vec<Vec<Option<Term>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = first_rows
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || join_in_order(graph, compiled, rest, chunk.to_vec(), prof))
+    let mut tagged: Vec<(usize, Vec<Vec<Option<Term>>>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, Vec<Vec<Option<Term>>>)> = Vec::new();
+                    loop {
+                        let m = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if m >= n_morsels {
+                            return out;
+                        }
+                        let lo = m * morsel_size;
+                        let hi = (lo + morsel_size).min(first_rows.len());
+                        let rows =
+                            join_in_order(graph, compiled, rest, first_rows[lo..hi].to_vec(), prof);
+                        if !rows.is_empty() {
+                            out.push((m, rows));
+                        }
+                    }
+                })
             })
             .collect();
         prof.note_chunks(format_args!("parallel"), handles.len());
+        prof.note_morsels(format_args!("parallel"), n_morsels);
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("sparql worker panicked"))
             .collect()
     });
+    // Morsel order equals first-row order, so sorting the tags restores
+    // exactly the sequential output order.
+    tagged.sort_unstable_by_key(|&(m, _)| m);
+    let merged: Vec<Vec<Option<Term>>> = tagged.into_iter().flat_map(|(_, r)| r).collect();
     prof.record(format_args!("parallel"), merged.len(), fan_out);
     merged
 }
@@ -1433,8 +1461,9 @@ pub fn explain(
     let mut node = node.unwrap_or_else(|| PlanNode::new("TriplePatternScan", "pat0"));
     if threads > 1 && order.len() >= 2 {
         node = node.feed(
-            PlanNode::new("ParallelFanOut", "parallel")
+            PlanNode::new("MorselFanOut", "parallel")
                 .arg("threads", threads.to_string())
+                .arg("morsel_size_max", crate::morsel::MORSEL_SIZE.to_string())
                 .arg("vectorized", "true"),
         );
     }

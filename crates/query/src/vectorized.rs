@@ -16,22 +16,25 @@
 //! * property predicates and projections compile to [`VExpr`] trees whose
 //!   label/key strings are resolved to dictionary symbols **once per
 //!   batch**, then evaluated over id vectors;
-//! * parallel fan-out splits the first pattern's candidate run into the
-//!   same contiguous chunks the interpreter uses and concatenates chunk
-//!   batches in chunk order.
+//! * parallel fan-out is **morsel-driven** by default (see
+//!   [`crate::morsel`]): the first pattern's candidate run is cut into
+//!   fixed-size morsels behind a shared cursor and merged in morsel
+//!   order; the legacy static contiguous chunking survives behind
+//!   [`Scheduler::Static`](crate::cypher::Scheduler) as an A/B baseline.
 //!
 //! Answers are bit-identical to the interpreted path (pinned by
-//! `tests/vectorized_differential.rs`): operators emit rows in the same
-//! order, apply the same three-valued NULL logic via the shared
-//! [`compare`]/[`aggregate_core`]/[`shape_rows`] helpers, and fall back to
-//! the interpreter for the `OPTIONAL MATCH` tail, which is row-oriented by
-//! nature.
+//! `tests/vectorized_differential.rs` and `tests/morsel_differential.rs`):
+//! operators emit rows in the same order, apply the same three-valued NULL
+//! logic via the shared [`compare`]/[`aggregate_core`]/[`shape_rows`]
+//! helpers, and fall back to the interpreter for the `OPTIONAL MATCH`
+//! tail, which is row-oriented by nature.
 
 use crate::cypher::compare;
 use crate::cypher::{
     aggregate_core, err, expand_patterns_planned, finish_single_inner, shape_rows,
-    start_candidates, Binding, CmpOp, CypherError, Direction, Expr, NodePattern, Params,
-    PathPattern, Probe, ReturnItem, Row, Rows, SinglePlan, SingleQuery, PARALLEL_MIN_WORK,
+    start_candidates, Binding, CmpOp, CypherError, Direction, ExecTuning, Expr, NodePattern,
+    Params, PathPattern, Probe, ReturnItem, Row, Rows, Scheduler, SinglePlan, SingleQuery,
+    PARALLEL_MIN_WORK,
 };
 use crate::profile::ProfHook;
 use s3pg_pg::{CompactGraph, EdgeId, NodeId, PgRead, Value};
@@ -85,7 +88,7 @@ impl Batch {
         }
     }
 
-    fn empty() -> Batch {
+    pub(crate) fn empty() -> Batch {
         Batch {
             cols: Vec::new(),
             len: 0,
@@ -123,9 +126,9 @@ impl Batch {
         }
     }
 
-    /// Concatenate another batch with the same schema (parallel chunk
-    /// merge, chunk order preserved by the caller).
-    fn append(&mut self, other: Batch) {
+    /// Concatenate another batch with the same schema (parallel chunk or
+    /// morsel merge, order preserved by the caller).
+    pub(crate) fn append(&mut self, other: Batch) {
         debug_assert!(self
             .cols
             .iter()
@@ -242,9 +245,13 @@ fn seed_batch(
     }
 }
 
-/// Seed the first pattern from one contiguous candidate chunk (parallel
-/// worker entry — the interpreter's `seed_rows` over a chunk).
-fn seed_chunk(cg: &CompactGraph, start: &NodePattern, chunk: &[NodeId]) -> (Batch, Vec<NodeId>) {
+/// Seed the first pattern from one contiguous candidate chunk or morsel
+/// (parallel worker entry — the interpreter's `seed_rows` over a chunk).
+pub(crate) fn seed_chunk(
+    cg: &CompactGraph,
+    start: &NodePattern,
+    chunk: &[NodeId],
+) -> (Batch, Vec<NodeId>) {
     let labels = resolve_node_labels(cg, &start.labels);
     let matching: Vec<NodeId> = chunk
         .iter()
@@ -266,7 +273,7 @@ fn seed_chunk(cg: &CompactGraph, start: &NodePattern, chunk: &[NodeId]) -> (Batc
 /// then the batch is gathered through it. Check order (edge label, target
 /// label, pre-bound target equality) matches the interpreter exactly, so
 /// emitted row order is identical.
-fn expand_hops_batch(
+pub(crate) fn expand_hops_batch(
     cg: &CompactGraph,
     pattern: &PathPattern,
     mut batch: Batch,
@@ -407,7 +414,7 @@ fn expand_reversed(
 }
 
 /// One planned pattern, vectorized: reverse-anchored or seed-then-expand.
-fn expand_pattern(
+pub(crate) fn expand_pattern(
     cg: &CompactGraph,
     pattern: &PathPattern,
     probe: Option<&Probe>,
@@ -422,9 +429,12 @@ fn expand_pattern(
     }
 }
 
-/// Expand the required MATCH patterns in planned order over batches. The
-/// parallel engagement test, chunking, and merge order are byte-for-byte
-/// the interpreter's, so sequential and parallel results are identical.
+/// Expand the required MATCH patterns in planned order over batches using
+/// **static contiguous chunking** (the [`Scheduler::Static`] baseline).
+/// Chunking and merge order match the interpreter's, so sequential and
+/// parallel results are identical. Engagement is decided on estimated
+/// total work alone — morsels/chunks handle granularity, so a small
+/// candidate run with a huge fan-out still parallelizes.
 fn expand_patterns_vectorized<P: ProfHook>(
     cg: &CompactGraph,
     q: &SingleQuery,
@@ -443,7 +453,7 @@ fn expand_patterns_vectorized<P: ProfHook>(
                 .map(|&pi| sp.cost[pi].max(1))
                 .sum::<usize>();
             let work = candidates.len().saturating_mul(per_row);
-            if candidates.len() >= threads * 4 && work >= PARALLEL_MIN_WORK {
+            if work >= PARALLEL_MIN_WORK {
                 let rest = &sp.order[1..];
                 let chunk_size = candidates.len().div_ceil(threads);
                 let fan_out = prof.begin();
@@ -526,7 +536,7 @@ fn expand_patterns_vectorized<P: ProfHook>(
 /// symbols once, instead of per row. Evaluation mirrors the interpreter's
 /// `eval` (same NULL propagation, same three-valued logic, the shared
 /// [`compare`]).
-enum VExpr {
+pub(crate) enum VExpr {
     /// Literals, `NULL`, resolved parameters, and every reference that can
     /// only ever be NULL (unbound variables, unknown keys, non-node
     /// bindings).
@@ -543,7 +553,7 @@ enum VExpr {
 }
 
 impl VExpr {
-    fn compile(cg: &CompactGraph, expr: &Expr, batch: &Batch, params: &Params) -> VExpr {
+    pub(crate) fn compile(cg: &CompactGraph, expr: &Expr, batch: &Batch, params: &Params) -> VExpr {
         match expr {
             Expr::Null => VExpr::Const(None),
             Expr::Lit(v) => VExpr::Const(Some(v.clone())),
@@ -590,7 +600,7 @@ impl VExpr {
         }
     }
 
-    fn eval(&self, cg: &CompactGraph, batch: &Batch, i: usize) -> Option<Value> {
+    pub(crate) fn eval(&self, cg: &CompactGraph, batch: &Batch, i: usize) -> Option<Value> {
         match self {
             VExpr::Const(v) => v.clone(),
             VExpr::ValCol(ci) => match &batch.cols[*ci].1 {
@@ -647,7 +657,7 @@ impl VExpr {
 
 /// Materialize a batch back into binding rows (the `OPTIONAL MATCH`
 /// interpreter fallback).
-fn batch_to_rows(batch: &Batch) -> Vec<Row> {
+pub(crate) fn batch_to_rows(batch: &Batch) -> Vec<Row> {
     (0..batch.len)
         .map(|i| {
             let mut row = Row::default();
@@ -664,23 +674,17 @@ fn batch_to_rows(batch: &Batch) -> Vec<Row> {
         .collect()
 }
 
-/// Everything after required-pattern expansion, vectorized: WHERE / UNWIND
-/// as selection-vector filters over compiled expressions, projection and
-/// aggregation through the shared [`aggregate_core`], then the shared
-/// [`shape_rows`] tail. Parts with `OPTIONAL MATCH` materialize rows and
-/// run the interpreter's finish (same operator ids, so PROFILE output
-/// stays joinable).
-fn finish_vectorized<P: ProfHook>(
+/// The row-stage middle of a part: WHERE / UNWIND / post-UNWIND WHERE as
+/// selection-vector filters over compiled expressions. Shared between the
+/// sequential finish and each morsel worker (per-morsel invocations
+/// accumulate under the same operator ids, so PROFILE rows still sum).
+pub(crate) fn apply_row_stages<P: ProfHook>(
     cg: &CompactGraph,
     q: &SingleQuery,
     mut batch: Batch,
     params: &Params,
     prof: P,
-) -> Result<Rows, CypherError> {
-    if !q.optional_patterns.is_empty() {
-        let rows = batch_to_rows(&batch);
-        return finish_single_inner(cg, q, rows, params, prof);
-    }
+) -> Result<Batch, CypherError> {
     if let Some(where_clause) = &q.where_clause {
         let started = prof.begin();
         let ve = VExpr::compile(cg, where_clause, &batch, params);
@@ -726,22 +730,71 @@ fn finish_vectorized<P: ProfHook>(
         prof.record(format_args!("unwind_filter"), batch.len, started);
         prof.note_batches(format_args!("unwind_filter"), 1);
     }
-    let columns: Vec<String> = q.return_items.iter().map(|(_, a)| a.clone()).collect();
-    let has_aggregate = q
-        .return_items
-        .iter()
-        .any(|(item, _)| matches!(item, ReturnItem::Count { .. }));
-    let started = prof.begin();
-    let compiled: Vec<Option<VExpr>> = q
-        .return_items
+    Ok(batch)
+}
+
+/// Compile every return item against a batch's column layout: `Some` for
+/// expressions and aggregate arguments, `None` for `count(*)` (no
+/// argument — every row counts).
+pub(crate) fn compile_return_items(
+    cg: &CompactGraph,
+    q: &SingleQuery,
+    batch: &Batch,
+    params: &Params,
+) -> Vec<Option<VExpr>> {
+    q.return_items
         .iter()
         .map(|(item, _)| match item {
-            ReturnItem::Expr(e) => Some(VExpr::compile(cg, e, &batch, params)),
-            ReturnItem::Count { arg, .. } => {
-                arg.as_ref().map(|e| VExpr::compile(cg, e, &batch, params))
+            ReturnItem::Expr(e) => Some(VExpr::compile(cg, e, batch, params)),
+            ReturnItem::Agg { arg, .. } => {
+                arg.as_ref().map(|e| VExpr::compile(cg, e, batch, params))
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Everything after required-pattern expansion, vectorized: the shared
+/// [`apply_row_stages`] middle, projection and aggregation over compiled
+/// column accessors through the shared [`aggregate_core`], then the shared
+/// [`shape_rows`] tail — or, when `topk` allows it and the query is
+/// eligible, a bounded top-K selection instead of the full sort. Parts
+/// with `OPTIONAL MATCH` materialize rows and run the interpreter's finish
+/// (same operator ids, so PROFILE output stays joinable).
+fn finish_vectorized<P: ProfHook>(
+    cg: &CompactGraph,
+    q: &SingleQuery,
+    batch: Batch,
+    params: &Params,
+    topk: bool,
+    prof: P,
+) -> Result<Rows, CypherError> {
+    if !q.optional_patterns.is_empty() {
+        let rows = batch_to_rows(&batch);
+        return finish_single_inner(cg, q, rows, params, prof);
+    }
+    let batch = apply_row_stages(cg, q, batch, params, prof)?;
+    let columns: Vec<String> = q.return_items.iter().map(|(_, a)| a.clone()).collect();
+    let has_aggregate = crate::cypher::has_aggregate(q);
+    let started = prof.begin();
+    let compiled = compile_return_items(cg, q, &batch, params);
+    if !has_aggregate && topk && crate::morsel::topk_eligible(q) {
+        // Sequential ORDER BY/LIMIT pushdown: same bounded selection the
+        // morsel workers use, with a single (sequential) heap.
+        let (index, descending) = q.order_by.expect("top-K requires ORDER BY");
+        let k = q.skip.unwrap_or(0).saturating_add(q.limit.unwrap_or(0));
+        let mut heap = crate::morsel::TopK::new(index, descending, k);
+        for i in 0..batch.len {
+            let row: Vec<Option<Value>> = compiled
+                .iter()
+                .map(|ve| ve.as_ref().and_then(|ve| ve.eval(cg, &batch, i)))
+                .collect();
+            heap.push((0, i as u64), row);
+        }
+        prof.record(format_args!("project"), batch.len, started);
+        prof.note_batches(format_args!("project"), 1);
+        let rows = crate::morsel::merge_topk(q, vec![heap], prof);
+        return Ok(Rows { columns, rows });
+    }
     let mut out: Vec<Vec<Option<Value>>> = if has_aggregate {
         aggregate_core(q, batch.len, |row, item| {
             compiled[item]
@@ -780,7 +833,10 @@ const VECTORIZE_MIN_WORK: usize = 16;
 /// [`CompactGraph`]; answers are bit-identical to the interpreted path.
 /// Tiny workloads (estimated from the first pattern's candidate run, the
 /// same statistic the parallel engagement test uses) short-circuit to the
-/// interpreter, which has lower constant overhead.
+/// interpreter, which has lower constant overhead. Parallel-worthy parts
+/// dispatch to the morsel scheduler unless `tuning` pins the legacy
+/// static chunking.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_part_vectorized<P: ProfHook>(
     cg: &CompactGraph,
     part: &SingleQuery,
@@ -788,6 +844,7 @@ pub(crate) fn evaluate_part_vectorized<P: ProfHook>(
     probes: &[Option<Probe>],
     params: &Params,
     threads: usize,
+    tuning: ExecTuning,
     prof: P,
 ) -> Result<Rows, CypherError> {
     if let Some(&first) = sp.order.first() {
@@ -801,7 +858,25 @@ pub(crate) fn evaluate_part_vectorized<P: ProfHook>(
             let rows = expand_patterns_planned(cg, part, sp, probes, threads, prof)?;
             return finish_single_inner(cg, part, rows, params, prof);
         }
+        if threads > 1 && tuning.scheduler == Scheduler::Morsel {
+            let candidates =
+                start_candidates(cg, &part.patterns[first].start, probes[first].as_ref());
+            let slice = candidates.as_slice();
+            if slice.len().saturating_mul(per_row) >= PARALLEL_MIN_WORK {
+                return crate::morsel::evaluate_part_morsel(
+                    cg,
+                    part,
+                    sp,
+                    probes,
+                    params,
+                    slice,
+                    threads,
+                    tuning.topk_pushdown,
+                    prof,
+                );
+            }
+        }
     }
     let batch = expand_patterns_vectorized(cg, part, sp, probes, threads, prof)?;
-    finish_vectorized(cg, part, batch, params, prof)
+    finish_vectorized(cg, part, batch, params, tuning.topk_pushdown, prof)
 }

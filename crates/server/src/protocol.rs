@@ -464,9 +464,9 @@ pub struct QueryStatEntry {
 }
 
 /// Serialize an operator tree as a JSON object: `op`, `id`, then `args`
-/// (object), `rows`/`time_us`/`chunks`/`batches` (profile annotations), and
-/// `children` — each omitted when empty/absent, so `EXPLAIN` plans carry
-/// no profile fields at all.
+/// (object), `rows`/`time_us`/`chunks`/`batches`/`morsels` (profile
+/// annotations), and `children` — each omitted when empty/absent, so
+/// `EXPLAIN` plans carry no profile fields at all.
 pub fn plan_to_json(node: &PlanNode) -> Json {
     let mut fields: Vec<(String, Json)> = vec![
         ("op".to_string(), Json::Str(node.op.clone())),
@@ -494,6 +494,9 @@ pub fn plan_to_json(node: &PlanNode) -> Json {
     }
     if let Some(batches) = node.batches {
         fields.push(("batches".to_string(), batches.into()));
+    }
+    if let Some(morsels) = node.morsels {
+        fields.push(("morsels".to_string(), morsels.into()));
     }
     if !node.children.is_empty() {
         fields.push((
@@ -527,6 +530,7 @@ pub fn plan_from_json(value: &Json) -> Result<PlanNode, String> {
     node.time_us = value.get("time_us").and_then(Json::as_u64);
     node.chunks = value.get("chunks").and_then(Json::as_u64);
     node.batches = value.get("batches").and_then(Json::as_u64);
+    node.morsels = value.get("morsels").and_then(Json::as_u64);
     if let Some(children) = value.get("children") {
         for child in children
             .as_array()

@@ -15,14 +15,17 @@
 //! * [`dbpedia`] / [`bio2rdf`] — specs matching the paper's datasets.
 //! * [`evolution`] — Δ-snapshot generation for the §5.4 monotonicity study.
 //! * [`queries`] — the four query categories of Tables 6–7.
+//! * [`skew`] — a skewed-degree graph for scheduler benchmarks.
 
 pub mod bio2rdf;
 pub mod dbpedia;
 pub mod evolution;
 pub mod queries;
+pub mod skew;
 pub mod spec;
 pub mod university;
 
 pub use evolution::{evolve, Evolution};
 pub use queries::{generate_queries, QueryCategory, QuerySpec};
+pub use skew::{generate_skewed, SkewedDataset};
 pub use spec::{generate, DatasetMeta, DatasetSpec, GeneratedDataset, PropertyMeta};
